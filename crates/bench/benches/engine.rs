@@ -1,0 +1,57 @@
+//! Criterion benchmarks of end-to-end engine execution: full execution
+//! trees (serialize → merge → byte-counted links) over a live cluster.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hillview_bench::setup::BenchCluster;
+use hillview_core::spreadsheet::Spreadsheet;
+use hillview_core::QueryOptions;
+use hillview_sketch::count::CountSketch;
+use hillview_sketch::histogram::HistogramSketch;
+use hillview_sketch::BucketSpec;
+use hillview_viz::display::DisplaySpec;
+
+fn bench_engine(c: &mut Criterion) {
+    let bench = BenchCluster::new(4, 4, 50_000);
+    let ds = bench.load_warm(5); // 650k rows
+    let mut g = c.benchmark_group("engine_650k_rows_4x4");
+    g.sample_size(10);
+
+    g.bench_function("count_tree", |b| {
+        b.iter(|| {
+            bench
+                .engine
+                .run(ds, CountSketch::rows(), &QueryOptions::default())
+                .unwrap()
+        })
+    });
+
+    let spec = BucketSpec::numeric(-100.0, 600.0, 100);
+    g.bench_function("histogram_tree_streaming", |b| {
+        b.iter(|| {
+            bench
+                .engine
+                .run(
+                    ds,
+                    HistogramSketch::streaming("DepDelay", spec.clone()),
+                    &QueryOptions::default(),
+                )
+                .unwrap()
+        })
+    });
+
+    let sheet = Spreadsheet::new(bench.engine.clone(), ds, DisplaySpec::new(600, 200));
+    sheet.set_seed(7);
+    g.bench_function("spreadsheet_histogram_with_cdf", |b| {
+        b.iter(|| sheet.histogram_with_cdf("DepDelay", None).unwrap())
+    });
+    g.bench_function("spreadsheet_sort_view", |b| {
+        b.iter(|| sheet.sort_view(&["DepDelay"], 20).unwrap())
+    });
+    g.bench_function("spreadsheet_heatmap", |b| {
+        b.iter(|| sheet.heatmap("Distance", "AirTime").unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

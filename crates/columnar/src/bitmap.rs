@@ -1,0 +1,257 @@
+//! A packed bitmap over row indexes.
+//!
+//! Used both as the null mask of a column and as the dense representation of
+//! a [`MembershipSet`](crate::membership::MembershipSet) (paper §5.6: "Dense
+//! tables that contain most rows store a bitmap").
+
+/// A fixed-length bitmap backed by 64-bit words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// Create a bitmap of `len` bits, all clear.
+    pub fn new(len: usize) -> Self {
+        Bitmap {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Create a bitmap of `len` bits, all set.
+    pub fn all_set(len: usize) -> Self {
+        let mut b = Bitmap {
+            words: vec![u64::MAX; len.div_ceil(64)],
+            len,
+        };
+        b.clear_tail();
+        b
+    }
+
+    /// Zero any bits beyond `len` in the last word so popcounts stay exact.
+    fn clear_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Number of bits (rows) the bitmap covers.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the bitmap covers zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Get bit `i`. Panics if out of range (callers own bounds).
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len, "bit {i} out of range {}", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Set bit `i` to 1.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Clear bit `i`.
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Assign bit `i`.
+    #[inline]
+    pub fn assign(&mut self, i: usize, v: bool) {
+        if v {
+            self.set(i)
+        } else {
+            self.clear(i)
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Bitwise AND with another bitmap of identical length.
+    pub fn and(&self, other: &Bitmap) -> Bitmap {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        Bitmap {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & b)
+                .collect(),
+            len: self.len,
+        }
+    }
+
+    /// Bitwise OR with another bitmap of identical length.
+    pub fn or(&self, other: &Bitmap) -> Bitmap {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        Bitmap {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a | b)
+                .collect(),
+            len: self.len,
+        }
+    }
+
+    /// Bitwise NOT (within `len`).
+    pub fn not(&self) -> Bitmap {
+        let mut b = Bitmap {
+            words: self.words.iter().map(|w| !w).collect(),
+            len: self.len,
+        };
+        b.clear_tail();
+        b
+    }
+
+    /// Iterate over the indexes of set bits, ascending.
+    pub fn iter_ones(&self) -> OnesIter<'_> {
+        OnesIter {
+            bitmap: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+/// Iterator over set-bit indexes of a [`Bitmap`], ascending.
+pub struct OnesIter<'a> {
+    bitmap: &'a Bitmap,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for OnesIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1; // clear lowest set bit
+                return Some(self.word_idx * 64 + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.bitmap.words.len() {
+                return None;
+            }
+            self.current = self.bitmap.words[self.word_idx];
+        }
+    }
+}
+
+impl FromIterator<usize> for Bitmap {
+    /// Build from set-bit indexes; length is `max_index + 1`.
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let idx: Vec<usize> = iter.into_iter().collect();
+        let len = idx.iter().max().map_or(0, |m| m + 1);
+        let mut b = Bitmap::new(len);
+        for i in idx {
+            b.set(i);
+        }
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_all_clear() {
+        let b = Bitmap::new(100);
+        assert_eq!(b.len(), 100);
+        assert_eq!(b.count_ones(), 0);
+        assert!(!b.get(0));
+        assert!(!b.get(99));
+    }
+
+    #[test]
+    fn all_set_has_exact_popcount() {
+        for len in [0, 1, 63, 64, 65, 127, 128, 1000] {
+            let b = Bitmap::all_set(len);
+            assert_eq!(b.count_ones(), len, "len={len}");
+        }
+    }
+
+    #[test]
+    fn set_get_clear_roundtrip() {
+        let mut b = Bitmap::new(130);
+        b.set(0);
+        b.set(64);
+        b.set(129);
+        assert!(b.get(0) && b.get(64) && b.get(129));
+        assert_eq!(b.count_ones(), 3);
+        b.clear(64);
+        assert!(!b.get(64));
+        assert_eq!(b.count_ones(), 2);
+    }
+
+    #[test]
+    fn iter_ones_matches_set_bits() {
+        let mut b = Bitmap::new(200);
+        let idx = [0usize, 1, 63, 64, 65, 127, 128, 199];
+        for &i in &idx {
+            b.set(i);
+        }
+        let got: Vec<usize> = b.iter_ones().collect();
+        assert_eq!(got, idx);
+    }
+
+    #[test]
+    fn iter_ones_empty() {
+        let b = Bitmap::new(77);
+        assert_eq!(b.iter_ones().count(), 0);
+        let b = Bitmap::new(0);
+        assert_eq!(b.iter_ones().count(), 0);
+    }
+
+    #[test]
+    fn and_or_not() {
+        let mut a = Bitmap::new(70);
+        let mut b = Bitmap::new(70);
+        a.set(1);
+        a.set(65);
+        b.set(65);
+        b.set(2);
+        assert_eq!(a.and(&b).iter_ones().collect::<Vec<_>>(), vec![65]);
+        assert_eq!(a.or(&b).iter_ones().collect::<Vec<_>>(), vec![1, 2, 65]);
+        let n = a.not();
+        assert_eq!(n.count_ones(), 68);
+        assert!(!n.get(1) && !n.get(65) && n.get(0));
+    }
+
+    #[test]
+    fn not_respects_tail() {
+        let b = Bitmap::new(65);
+        let n = b.not();
+        assert_eq!(n.count_ones(), 65);
+    }
+
+    #[test]
+    fn from_iter_builds_minimal_length() {
+        let b: Bitmap = [3usize, 10, 7].into_iter().collect();
+        assert_eq!(b.len(), 11);
+        assert_eq!(b.iter_ones().collect::<Vec<_>>(), vec![3, 7, 10]);
+    }
+}

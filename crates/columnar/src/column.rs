@@ -1,0 +1,403 @@
+//! Typed columns over base-type arrays.
+//!
+//! Columns are immutable after construction (tables are snapshots, paper §2).
+//! Enum dispatch keeps hot scan loops monomorphic without trait objects.
+
+use crate::dictionary::{Dictionary, DictionaryBuilder};
+use crate::nullmask::NullMask;
+use crate::schema::ColumnKind;
+use crate::value::Value;
+use std::sync::Arc;
+
+/// A column of 64-bit integers (also backs `Date` columns as epoch millis).
+#[derive(Debug, Clone, Default)]
+pub struct I64Column {
+    data: Vec<i64>,
+    nulls: NullMask,
+}
+
+impl I64Column {
+    /// Build from values and an optional per-row null flag.
+    pub fn new(data: Vec<i64>, nulls: NullMask) -> Self {
+        I64Column { data, nulls }
+    }
+
+    /// Build from options: `None` becomes a null.
+    pub fn from_options(vals: impl IntoIterator<Item = Option<i64>>) -> Self {
+        let vals: Vec<Option<i64>> = vals.into_iter().collect();
+        let len = vals.len();
+        let nulls = NullMask::from_flags(vals.iter().map(|v| v.is_none()), len);
+        let data = vals.into_iter().map(|v| v.unwrap_or(0)).collect();
+        I64Column { data, nulls }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Raw data slice (null rows hold 0; check the mask).
+    #[inline]
+    pub fn data(&self) -> &[i64] {
+        &self.data
+    }
+
+    /// Null mask.
+    #[inline]
+    pub fn nulls(&self) -> &NullMask {
+        &self.nulls
+    }
+
+    /// Value at row `i`, or `None` if missing.
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<i64> {
+        if self.nulls.is_null(i) {
+            None
+        } else {
+            Some(self.data[i])
+        }
+    }
+}
+
+/// A column of 64-bit floats. NaNs are normalized to nulls at build time.
+#[derive(Debug, Clone, Default)]
+pub struct F64Column {
+    data: Vec<f64>,
+    nulls: NullMask,
+}
+
+impl F64Column {
+    /// Build from values and a null mask; NaNs become additional nulls.
+    pub fn new(data: Vec<f64>, mut nulls: NullMask) -> Self {
+        let len = data.len();
+        for (i, v) in data.iter().enumerate() {
+            if v.is_nan() {
+                nulls.set_null(i, len);
+            }
+        }
+        F64Column { data, nulls }
+    }
+
+    /// Build from options: `None` (and NaN) become nulls.
+    pub fn from_options(vals: impl IntoIterator<Item = Option<f64>>) -> Self {
+        let vals: Vec<Option<f64>> = vals.into_iter().collect();
+        let len = vals.len();
+        let nulls = NullMask::from_flags(
+            vals.iter().map(|v| v.map_or(true, f64::is_nan)),
+            len,
+        );
+        let data = vals.into_iter().map(|v| v.unwrap_or(0.0)).collect();
+        F64Column { data, nulls }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Raw data slice (null rows hold 0.0; check the mask).
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Null mask.
+    #[inline]
+    pub fn nulls(&self) -> &NullMask {
+        &self.nulls
+    }
+
+    /// Value at row `i`, or `None` if missing.
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<f64> {
+        if self.nulls.is_null(i) {
+            None
+        } else {
+            Some(self.data[i])
+        }
+    }
+}
+
+/// A dictionary-encoded column of strings or categoricals.
+#[derive(Debug, Clone, Default)]
+pub struct DictColumn {
+    codes: Vec<u32>,
+    dict: Arc<Dictionary>,
+    nulls: NullMask,
+}
+
+impl DictColumn {
+    /// Build from pre-encoded codes and their dictionary.
+    pub fn new(codes: Vec<u32>, dict: Arc<Dictionary>, nulls: NullMask) -> Self {
+        DictColumn { codes, dict, nulls }
+    }
+
+    /// Build by interning an iterator of optional strings.
+    pub fn from_strings<'a>(vals: impl IntoIterator<Item = Option<&'a str>>) -> Self {
+        let mut builder = DictionaryBuilder::new();
+        let mut codes = Vec::new();
+        let mut null_rows = Vec::new();
+        for (i, v) in vals.into_iter().enumerate() {
+            match v {
+                Some(s) => codes.push(builder.intern(s)),
+                None => {
+                    codes.push(0);
+                    null_rows.push(i);
+                }
+            }
+        }
+        let len = codes.len();
+        let mut nulls = NullMask::none();
+        for i in null_rows {
+            nulls.set_null(i, len);
+        }
+        DictColumn {
+            codes,
+            dict: Arc::new(builder.finish()),
+            nulls,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// True if the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Raw code slice (null rows hold code 0; check the mask).
+    #[inline]
+    pub fn codes(&self) -> &[u32] {
+        &self.codes
+    }
+
+    /// The dictionary shared by this column.
+    #[inline]
+    pub fn dictionary(&self) -> &Arc<Dictionary> {
+        &self.dict
+    }
+
+    /// Null mask.
+    #[inline]
+    pub fn nulls(&self) -> &NullMask {
+        &self.nulls
+    }
+
+    /// The string at row `i`, or `None` if missing.
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<&Arc<str>> {
+        if self.nulls.is_null(i) {
+            None
+        } else {
+            Some(self.dict.get(self.codes[i]))
+        }
+    }
+}
+
+/// A typed column. The kind tag distinguishes `Int` from `Date` and `String`
+/// from `Category` even though they share storage layouts.
+#[derive(Debug, Clone)]
+pub enum Column {
+    /// Integers.
+    Int(I64Column),
+    /// Dates (epoch milliseconds).
+    Date(I64Column),
+    /// Floats.
+    Double(F64Column),
+    /// Free-form strings.
+    Str(DictColumn),
+    /// Categorical strings.
+    Cat(DictColumn),
+}
+
+impl Column {
+    /// The column's kind.
+    pub fn kind(&self) -> ColumnKind {
+        match self {
+            Column::Int(_) => ColumnKind::Int,
+            Column::Date(_) => ColumnKind::Date,
+            Column::Double(_) => ColumnKind::Double,
+            Column::Str(_) => ColumnKind::String,
+            Column::Cat(_) => ColumnKind::Category,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int(c) | Column::Date(c) => c.len(),
+            Column::Double(c) => c.len(),
+            Column::Str(c) | Column::Cat(c) => c.len(),
+        }
+    }
+
+    /// True if the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of missing values.
+    pub fn null_count(&self) -> usize {
+        match self {
+            Column::Int(c) | Column::Date(c) => c.nulls().null_count(),
+            Column::Double(c) => c.nulls().null_count(),
+            Column::Str(c) | Column::Cat(c) => c.nulls().null_count(),
+        }
+    }
+
+    /// True if row `i` is missing.
+    #[inline]
+    pub fn is_null(&self, i: usize) -> bool {
+        match self {
+            Column::Int(c) | Column::Date(c) => c.nulls().is_null(i),
+            Column::Double(c) => c.nulls().is_null(i),
+            Column::Str(c) | Column::Cat(c) => c.nulls().is_null(i),
+        }
+    }
+
+    /// The dynamically-typed value at row `i`.
+    pub fn value(&self, i: usize) -> Value {
+        match self {
+            Column::Int(c) => c.get(i).map_or(Value::Missing, Value::Int),
+            Column::Date(c) => c.get(i).map_or(Value::Missing, Value::Date),
+            Column::Double(c) => c.get(i).map_or(Value::Missing, Value::Double),
+            Column::Str(c) | Column::Cat(c) => c
+                .get(i)
+                .map_or(Value::Missing, |s| Value::Str(s.clone())),
+        }
+    }
+
+    /// Row `i` as an `f64`, when the column is numeric and the row present.
+    /// Used by chart vizketches (histogram/CDF/heatmap), which operate on
+    /// anything convertible to a real number (paper §4.3).
+    #[inline]
+    pub fn as_f64(&self, i: usize) -> Option<f64> {
+        match self {
+            Column::Int(c) | Column::Date(c) => c.get(i).map(|v| v as f64),
+            Column::Double(c) => c.get(i),
+            _ => None,
+        }
+    }
+
+    /// The numeric (`I64Column`) view if the column is `Int` or `Date`.
+    pub fn as_i64_col(&self) -> Option<&I64Column> {
+        match self {
+            Column::Int(c) | Column::Date(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The float view if the column is `Double`.
+    pub fn as_f64_col(&self) -> Option<&F64Column> {
+        match self {
+            Column::Double(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The dictionary view if the column is `Str` or `Cat`.
+    pub fn as_dict_col(&self) -> Option<&DictColumn> {
+        match self {
+            Column::Str(c) | Column::Cat(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Approximate heap footprint in bytes (for the data-cache accounting of
+    /// paper §5.4).
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            Column::Int(c) | Column::Date(c) => c.data().len() * 8,
+            Column::Double(c) => c.data().len() * 8,
+            Column::Str(c) | Column::Cat(c) => {
+                c.codes().len() * 4 + c.dictionary().heap_bytes()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn i64_column_nulls() {
+        let c = I64Column::from_options([Some(1), None, Some(3)]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(0), Some(1));
+        assert_eq!(c.get(1), None);
+        assert_eq!(c.get(2), Some(3));
+        assert_eq!(c.nulls().null_count(), 1);
+    }
+
+    #[test]
+    fn f64_column_normalizes_nan() {
+        let c = F64Column::new(vec![1.0, f64::NAN, 3.0], NullMask::none());
+        assert_eq!(c.get(1), None);
+        assert_eq!(c.nulls().null_count(), 1);
+        let c = F64Column::from_options([Some(1.0), Some(f64::NAN), None]);
+        assert_eq!(c.nulls().null_count(), 2);
+    }
+
+    #[test]
+    fn dict_column_round_trips() {
+        let c = DictColumn::from_strings([Some("UA"), Some("AA"), None, Some("UA")]);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.get(0).unwrap().as_ref(), "UA");
+        assert_eq!(c.get(1).unwrap().as_ref(), "AA");
+        assert!(c.get(2).is_none());
+        assert_eq!(c.codes()[0], c.codes()[3], "repeated strings share codes");
+        assert_eq!(c.dictionary().len(), 2);
+    }
+
+    #[test]
+    fn column_value_and_kind() {
+        let col = Column::Int(I64Column::from_options([Some(5), None]));
+        assert_eq!(col.kind(), ColumnKind::Int);
+        assert_eq!(col.value(0), Value::Int(5));
+        assert_eq!(col.value(1), Value::Missing);
+        assert_eq!(col.null_count(), 1);
+
+        let col = Column::Date(I64Column::from_options([Some(1000)]));
+        assert_eq!(col.kind(), ColumnKind::Date);
+        assert_eq!(col.value(0), Value::Date(1000));
+        assert_eq!(col.as_f64(0), Some(1000.0));
+
+        let col = Column::Cat(DictColumn::from_strings([Some("DL")]));
+        assert_eq!(col.kind(), ColumnKind::Category);
+        assert_eq!(col.value(0), Value::str("DL"));
+        assert_eq!(col.as_f64(0), None);
+    }
+
+    #[test]
+    fn typed_views() {
+        let int = Column::Int(I64Column::from_options([Some(1)]));
+        assert!(int.as_i64_col().is_some());
+        assert!(int.as_f64_col().is_none());
+        assert!(int.as_dict_col().is_none());
+        let dbl = Column::Double(F64Column::from_options([Some(1.0)]));
+        assert!(dbl.as_f64_col().is_some());
+        let s = Column::Str(DictColumn::from_strings([Some("a")]));
+        assert!(s.as_dict_col().is_some());
+    }
+
+    #[test]
+    fn heap_bytes_scales_with_rows() {
+        let small = Column::Int(I64Column::from_options((0..10).map(Some)));
+        let big = Column::Int(I64Column::from_options((0..1000).map(Some)));
+        assert!(big.heap_bytes() > small.heap_bytes());
+    }
+}

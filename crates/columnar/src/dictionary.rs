@@ -1,0 +1,149 @@
+//! Dictionary encoding for string and categorical columns.
+//!
+//! Paper §6: "String columns use dictionary encoding for compression." A
+//! column stores `u32` codes; the dictionary maps codes to interned strings.
+//! Dictionaries are immutable once built (tables are snapshots), so lookups
+//! by code are a plain array index.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// An immutable, deduplicated code → string mapping.
+#[derive(Debug, Clone, Default)]
+pub struct Dictionary {
+    strings: Vec<Arc<str>>,
+}
+
+impl Dictionary {
+    /// Number of distinct strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True if the dictionary holds no strings.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// The string for `code`. Panics on unknown codes (column invariant).
+    #[inline]
+    pub fn get(&self, code: u32) -> &Arc<str> {
+        &self.strings[code as usize]
+    }
+
+    /// Find the code of `s`, by linear scan (used only in tests/small paths).
+    pub fn code_of(&self, s: &str) -> Option<u32> {
+        self.strings
+            .iter()
+            .position(|x| x.as_ref() == s)
+            .map(|i| i as u32)
+    }
+
+    /// Iterate all strings in code order.
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<str>> {
+        self.strings.iter()
+    }
+
+    /// Approximate heap footprint in bytes (for cache accounting).
+    pub fn heap_bytes(&self) -> usize {
+        self.strings
+            .iter()
+            .map(|s| s.len() + std::mem::size_of::<Arc<str>>())
+            .sum()
+    }
+}
+
+/// Incrementally interns strings while building a dictionary-encoded column.
+#[derive(Debug, Default)]
+pub struct DictionaryBuilder {
+    dict: Dictionary,
+    index: HashMap<Arc<str>, u32>,
+}
+
+impl DictionaryBuilder {
+    /// Create an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `s`, returning its (possibly new) code.
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&code) = self.index.get(s) {
+            return code;
+        }
+        let arc: Arc<str> = Arc::from(s);
+        let code = self.dict.strings.len() as u32;
+        self.dict.strings.push(arc.clone());
+        self.index.insert(arc, code);
+        code
+    }
+
+    /// Current number of distinct strings.
+    pub fn len(&self) -> usize {
+        self.dict.len()
+    }
+
+    /// True if nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.dict.is_empty()
+    }
+
+    /// Finish building; drops the intern index.
+    pub fn finish(self) -> Dictionary {
+        self.dict
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_dedups() {
+        let mut b = DictionaryBuilder::new();
+        let a = b.intern("SFO");
+        let c = b.intern("JFK");
+        let a2 = b.intern("SFO");
+        assert_eq!(a, a2);
+        assert_ne!(a, c);
+        let d = b.finish();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.get(a).as_ref(), "SFO");
+        assert_eq!(d.get(c).as_ref(), "JFK");
+    }
+
+    #[test]
+    fn codes_are_dense_and_ordered_by_first_appearance() {
+        let mut b = DictionaryBuilder::new();
+        for s in ["c", "a", "b", "a", "c"] {
+            b.intern(s);
+        }
+        let d = b.finish();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.get(0).as_ref(), "c");
+        assert_eq!(d.get(1).as_ref(), "a");
+        assert_eq!(d.get(2).as_ref(), "b");
+    }
+
+    #[test]
+    fn code_of_round_trips() {
+        let mut b = DictionaryBuilder::new();
+        for s in ["x", "y", "z"] {
+            b.intern(s);
+        }
+        let d = b.finish();
+        for s in ["x", "y", "z"] {
+            let c = d.code_of(s).unwrap();
+            assert_eq!(d.get(c).as_ref(), s);
+        }
+        assert_eq!(d.code_of("w"), None);
+    }
+
+    #[test]
+    fn heap_bytes_nonzero_when_nonempty() {
+        let mut b = DictionaryBuilder::new();
+        b.intern("hello");
+        let d = b.finish();
+        assert!(d.heap_bytes() >= 5);
+    }
+}

@@ -1,0 +1,56 @@
+//! # hillview-columnar
+//!
+//! Columnar in-memory table substrate for Hillview-RS, a Rust reproduction of
+//! *"Hillview: A trillion-cell spreadsheet for big data"* (VLDB 2019).
+//!
+//! Hillview operates on immutable, horizontally-partitioned tables held in a
+//! column-oriented representation (paper §5.4, §6: "in-memory tables use as
+//! much as possible arrays of base types"; "string columns use dictionary
+//! encoding for compression"). This crate provides that representation:
+//!
+//! * [`Column`] — typed columns over base-type arrays with null masks:
+//!   integers, doubles, dates, dictionary-encoded strings and categoricals.
+//! * [`Table`] — an immutable set of columns sharing a row count; cheap to
+//!   clone (columns are reference-counted) so derived tables share storage.
+//! * [`MembershipSet`] — the paper's §5.6 "membership set" structure that
+//!   identifies which rows belong to a filtered (derived) table, with dense
+//!   (bitmap) and sparse (sorted index) implementations and uniform sampling.
+//! * [`SortOrder`]/[`RowKey`] — multi-column row ordering used by the tabular
+//!   view vizketches (next-items, quantile scrollbar, find).
+//! * [`Predicate`] — row selection expressions (comparisons, ranges, text
+//!   search including a small self-contained regex engine).
+//! * [`udf`] — named user-defined map functions that derive new columns from
+//!   existing ones (paper §5.6 "user-defined maps"; Rust closures substitute
+//!   for the paper's JavaScript functions).
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bitmap;
+pub mod column;
+pub mod dictionary;
+pub mod error;
+pub mod membership;
+pub mod nullmask;
+pub mod predicate;
+pub mod regexlite;
+pub mod rows;
+pub mod schema;
+pub mod sort;
+pub mod table;
+pub mod udf;
+pub mod value;
+
+pub use bitmap::Bitmap;
+pub use column::{Column, DictColumn, F64Column, I64Column};
+pub use dictionary::Dictionary;
+pub use error::{Error, Result};
+pub use membership::MembershipSet;
+pub use nullmask::NullMask;
+pub use predicate::{Predicate, StrMatchKind};
+pub use rows::{Row, RowKey};
+pub use schema::{ColumnDesc, ColumnKind, Schema};
+pub use sort::{ResolvedSortOrder, SortColumn, SortOrder};
+pub use table::Table;
+pub use udf::UdfRegistry;
+pub use value::Value;

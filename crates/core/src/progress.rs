@@ -1,0 +1,79 @@
+//! Progress reporting and cancellation.
+//!
+//! Paper §5.3: partial results flow to the UI as leaves complete; "Hillview
+//! shows a progress bar that reflects the number of leafs that have
+//! completed. Users can cancel the computation based on the partial results
+//! they see." Cancellation "causes tree nodes to ... remove work for that
+//! computation that was previously enqueued, and ignore requests for
+//! micropartitions not yet started."
+
+use bytes::Bytes;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Cooperative cancellation flag shared across the execution tree.
+#[derive(Debug, Clone, Default)]
+pub struct CancellationToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancellationToken {
+    /// A token that is not cancelled.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation (idempotent).
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// True once cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
+
+/// A partial result streamed to the client while a query runs.
+#[derive(Debug, Clone)]
+pub struct Partial {
+    /// Fraction of leaves that have completed, in `[0, 1]`.
+    pub fraction: f64,
+    /// The partially merged summary, wire-encoded.
+    pub summary: Bytes,
+}
+
+/// Callback invoked on each partial result (the "client web browser" side
+/// of Fig. 1).
+pub type PartialCallback = Arc<dyn Fn(&Partial) + Send + Sync>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_starts_clear_and_latches() {
+        let t = CancellationToken::new();
+        assert!(!t.is_cancelled());
+        t.cancel();
+        assert!(t.is_cancelled());
+        t.cancel();
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn clones_share_the_flag() {
+        let t = CancellationToken::new();
+        let t2 = t.clone();
+        t2.cancel();
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn token_crosses_threads() {
+        let t = CancellationToken::new();
+        let t2 = t.clone();
+        std::thread::spawn(move || t2.cancel()).join().unwrap();
+        assert!(t.is_cancelled());
+    }
+}

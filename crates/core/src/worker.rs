@@ -1,0 +1,444 @@
+//! Worker nodes: per-server soft state, caches, and leaf execution.
+//!
+//! A worker models one server of the paper's testbed: it owns a slice of
+//! every dataset (as micropartition [`TableView`]s), a thread pool that
+//! executes leaf `summarize` calls, an in-memory data cache, and a
+//! computation cache for deterministic summaries (§5.4). All of it is soft
+//! state (§5.7): `evict_all`/`kill` erase it, and the root reconstructs it
+//! by replaying lineage.
+
+use crate::dataset::{DatasetId, SourceRegistry, SourceSpec};
+use crate::error::{EngineError, EngineResult};
+use crate::pool::ThreadPool;
+use bytes::Bytes;
+use hillview_columnar::udf::UdfRegistry;
+use hillview_columnar::{MembershipSet, Predicate};
+use hillview_sketch::TableView;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One simulated server.
+pub struct Worker {
+    /// Worker index within the cluster.
+    pub id: usize,
+    num_workers: usize,
+    micropartition_rows: usize,
+    pool: ThreadPool,
+    datasets: Mutex<HashMap<DatasetId, Arc<Vec<TableView>>>>,
+    comp_cache: Mutex<HashMap<(DatasetId, u64), Bytes>>,
+    alive: AtomicBool,
+    sources: SourceRegistry,
+    udfs: UdfRegistry,
+    /// Cumulative rows loaded from sources (diagnostics).
+    rows_loaded: AtomicU64,
+    /// Computation-cache hit counter (diagnostics / tests).
+    cache_hits: AtomicU64,
+}
+
+impl Worker {
+    /// Create a worker with `threads` pool threads.
+    pub fn new(
+        id: usize,
+        num_workers: usize,
+        threads: usize,
+        micropartition_rows: usize,
+        sources: SourceRegistry,
+        udfs: UdfRegistry,
+    ) -> Self {
+        Worker {
+            id,
+            num_workers,
+            micropartition_rows,
+            pool: ThreadPool::new(threads, &format!("worker{id}")),
+            datasets: Mutex::new(HashMap::new()),
+            comp_cache: Mutex::new(HashMap::new()),
+            alive: AtomicBool::new(true),
+            sources,
+            udfs,
+            rows_loaded: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// The worker's thread pool (used by the execution tree for leaves).
+    pub fn pool(&self) -> &ThreadPool {
+        &self.pool
+    }
+
+    /// True while the worker is up.
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::SeqCst)
+    }
+
+    /// Fault injection: the worker "crashes" — all soft state is lost and
+    /// queries against it fail until [`Worker::restart`].
+    pub fn kill(&self) {
+        self.alive.store(false, Ordering::SeqCst);
+        self.datasets.lock().clear();
+        self.comp_cache.lock().clear();
+    }
+
+    /// Bring a crashed worker back, empty ("Worker nodes are stateless, so
+    /// restarting the node after a failure is equivalent to deleting all
+    /// cached datasets", §5.8).
+    pub fn restart(&self) {
+        self.alive.store(true, Ordering::SeqCst);
+    }
+
+    /// Drop all cached datasets but stay alive — models cache expiry or
+    /// memory pressure; the next query triggers lazy reconstruction.
+    pub fn evict_all(&self) {
+        self.datasets.lock().clear();
+        self.comp_cache.lock().clear();
+    }
+
+    /// Drop one dataset.
+    pub fn evict(&self, id: DatasetId) {
+        self.datasets.lock().remove(&id);
+        self.comp_cache.lock().retain(|(d, _), _| *d != id);
+    }
+
+    /// Whether the worker currently materializes `id`.
+    pub fn has_dataset(&self, id: DatasetId) -> bool {
+        self.datasets.lock().contains_key(&id)
+    }
+
+    /// This worker's partitions of `id`, if materialized.
+    pub fn partitions(&self, id: DatasetId) -> Option<Arc<Vec<TableView>>> {
+        self.datasets.lock().get(&id).cloned()
+    }
+
+    /// Total rows across this worker's partitions of `id`.
+    pub fn dataset_rows(&self, id: DatasetId) -> usize {
+        self.partitions(id)
+            .map(|p| p.iter().map(|v| v.len()).sum())
+            .unwrap_or(0)
+    }
+
+    /// Rows loaded from sources so far.
+    pub fn rows_loaded(&self) -> u64 {
+        self.rows_loaded.load(Ordering::Relaxed)
+    }
+
+    /// Computation-cache hits so far.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    fn check_alive(&self) -> EngineResult<()> {
+        if self.is_alive() {
+            Ok(())
+        } else {
+            Err(EngineError::WorkerDown(self.id))
+        }
+    }
+
+    /// Materialize a loaded dataset from its source (the leaf of every
+    /// lineage chain; paper §5.7 "the recursion ends when data is read from
+    /// disk").
+    pub fn load(&self, id: DatasetId, spec: &SourceSpec) -> EngineResult<()> {
+        self.check_alive()?;
+        let source = self.sources.get(&spec.source)?;
+        let tables = source.load(
+            self.id,
+            self.num_workers,
+            self.micropartition_rows,
+            spec.snapshot,
+        )?;
+        let mut views = Vec::new();
+        for t in tables {
+            // Split oversized tables into micropartitions (paper §5.3).
+            if t.num_rows() > self.micropartition_rows {
+                for part in hillview_storage::partition_table(&t, self.micropartition_rows) {
+                    views.push(TableView::full(Arc::new(part)));
+                }
+            } else {
+                views.push(TableView::full(Arc::new(t)));
+            }
+        }
+        let rows: usize = views.iter().map(|v| v.len()).sum();
+        self.rows_loaded.fetch_add(rows as u64, Ordering::Relaxed);
+        self.datasets.lock().insert(id, Arc::new(views));
+        Ok(())
+    }
+
+    /// Materialize a filtered dataset: same tables, narrowed membership
+    /// sets (paper §5.6). Partitions are filtered in parallel on the pool.
+    pub fn filter(
+        self: &Arc<Self>,
+        id: DatasetId,
+        parent: DatasetId,
+        predicate: &Predicate,
+    ) -> EngineResult<()> {
+        self.check_alive()?;
+        let parent_views = self
+            .partitions(parent)
+            .ok_or(EngineError::DatasetMissing {
+                worker: self.id,
+                dataset: parent,
+            })?;
+        let n = parent_views.len();
+        let (tx, rx) = crossbeam::channel::bounded(n.max(1));
+        for (i, view) in parent_views.iter().enumerate() {
+            let view = view.clone();
+            let predicate = predicate.clone();
+            let tx = tx.clone();
+            self.pool.submit(move || {
+                let result = (|| -> EngineResult<TableView> {
+                    let compiled = predicate.compile(view.table())?;
+                    let rows: Vec<u32> = view
+                        .iter_rows()
+                        .filter(|&r| compiled.eval(view.table(), r))
+                        .map(|r| r as u32)
+                        .collect();
+                    let members = MembershipSet::from_rows(rows, view.table().num_rows());
+                    Ok(TableView::with_members(
+                        view.table().clone(),
+                        Arc::new(members),
+                    ))
+                })();
+                let _ = tx.send((i, result));
+            });
+        }
+        drop(tx);
+        let mut out: Vec<Option<TableView>> = vec![None; n];
+        for _ in 0..n {
+            let (i, r) = rx.recv().map_err(|_| EngineError::WorkerDown(self.id))?;
+            out[i] = Some(r?);
+        }
+        let views: Vec<TableView> = out.into_iter().map(|v| v.expect("all filled")).collect();
+        self.datasets.lock().insert(id, Arc::new(views));
+        Ok(())
+    }
+
+    /// Materialize a mapped dataset: each partition's table gains a derived
+    /// column computed by the named UDF (paper §5.6). The derived column
+    /// lives only in this soft state, recomputed on demand after eviction.
+    pub fn map(
+        self: &Arc<Self>,
+        id: DatasetId,
+        parent: DatasetId,
+        udf: &str,
+        new_column: &str,
+    ) -> EngineResult<()> {
+        self.check_alive()?;
+        let parent_views = self
+            .partitions(parent)
+            .ok_or(EngineError::DatasetMissing {
+                worker: self.id,
+                dataset: parent,
+            })?;
+        let n = parent_views.len();
+        let (tx, rx) = crossbeam::channel::bounded(n.max(1));
+        for (i, view) in parent_views.iter().enumerate() {
+            let view = view.clone();
+            let udfs = self.udfs.clone();
+            let udf = udf.to_string();
+            let new_column = new_column.to_string();
+            let tx = tx.clone();
+            self.pool.submit(move || {
+                let result = (|| -> EngineResult<TableView> {
+                    let col = udfs
+                        .materialize(&udf, view.table())
+                        .map_err(EngineError::from)?;
+                    let table = view.table().with_column(&new_column, col)?;
+                    Ok(TableView::with_members(
+                        Arc::new(table),
+                        view.members().clone(),
+                    ))
+                })();
+                let _ = tx.send((i, result));
+            });
+        }
+        drop(tx);
+        let mut out: Vec<Option<TableView>> = vec![None; n];
+        for _ in 0..n {
+            let (i, r) = rx.recv().map_err(|_| EngineError::WorkerDown(self.id))?;
+            out[i] = Some(r?);
+        }
+        let views: Vec<TableView> = out.into_iter().map(|v| v.expect("all filled")).collect();
+        self.datasets.lock().insert(id, Arc::new(views));
+        Ok(())
+    }
+
+    /// Computation-cache lookup (paper §5.4: "indexed by what mergeable
+    /// summary was used and what dataset was operated on").
+    pub fn cache_get(&self, dataset: DatasetId, key: u64) -> Option<Bytes> {
+        let hit = self.comp_cache.lock().get(&(dataset, key)).cloned();
+        if hit.is_some() {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Store a merged worker-level summary in the computation cache.
+    pub fn cache_put(&self, dataset: DatasetId, key: u64, value: Bytes) {
+        self.comp_cache.lock().insert((dataset, key), value);
+    }
+}
+
+impl std::fmt::Debug for Worker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Worker{}(alive={}, datasets={})",
+            self.id,
+            self.is_alive(),
+            self.datasets.lock().len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::FnSource;
+    use hillview_columnar::column::{Column, I64Column};
+    use hillview_columnar::{ColumnKind, Table, Value};
+
+    fn test_worker() -> Arc<Worker> {
+        let mut sources = SourceRegistry::new();
+        sources.register(Arc::new(FnSource::new("nums", |w, _n, _mp, _snap| {
+            let t = Table::builder()
+                .column(
+                    "X",
+                    ColumnKind::Int,
+                    Column::Int(I64Column::from_options(
+                        (0..100).map(|i| Some(i + w as i64 * 1000)),
+                    )),
+                )
+                .build()
+                .unwrap();
+            Ok(vec![t])
+        })));
+        let mut udfs = UdfRegistry::with_builtins();
+        udfs.register_sum("X2", "X", "X");
+        Arc::new(Worker::new(0, 2, 2, 30, sources, udfs))
+    }
+
+    fn spec() -> SourceSpec {
+        SourceSpec {
+            source: Arc::from("nums"),
+            snapshot: 0,
+        }
+    }
+
+    #[test]
+    fn load_splits_into_micropartitions() {
+        let w = test_worker();
+        w.load(DatasetId(1), &spec()).unwrap();
+        let parts = w.partitions(DatasetId(1)).unwrap();
+        assert_eq!(parts.len(), 4, "100 rows at 30/partition");
+        assert_eq!(w.dataset_rows(DatasetId(1)), 100);
+        assert_eq!(w.rows_loaded(), 100);
+    }
+
+    #[test]
+    fn filter_narrows_membership() {
+        let w = test_worker();
+        w.load(DatasetId(1), &spec()).unwrap();
+        w.filter(DatasetId(2), DatasetId(1), &Predicate::range("X", 0.0, 50.0))
+            .unwrap();
+        assert_eq!(w.dataset_rows(DatasetId(2)), 50);
+        // Parent untouched.
+        assert_eq!(w.dataset_rows(DatasetId(1)), 100);
+        // Tables are shared, not copied.
+        let p1 = w.partitions(DatasetId(1)).unwrap();
+        let p2 = w.partitions(DatasetId(2)).unwrap();
+        assert!(Arc::ptr_eq(p1[0].table(), p2[0].table()));
+    }
+
+    #[test]
+    fn map_adds_derived_column() {
+        let w = test_worker();
+        w.load(DatasetId(1), &spec()).unwrap();
+        w.map(DatasetId(3), DatasetId(1), "X2", "Doubled").unwrap();
+        let parts = w.partitions(DatasetId(3)).unwrap();
+        let t = parts[0].table();
+        assert_eq!(t.get(5, "Doubled").unwrap(), Value::Double(10.0));
+        assert_eq!(t.num_columns(), 2);
+    }
+
+    #[test]
+    fn filter_of_filter_composes() {
+        let w = test_worker();
+        w.load(DatasetId(1), &spec()).unwrap();
+        w.filter(DatasetId(2), DatasetId(1), &Predicate::range("X", 0.0, 50.0))
+            .unwrap();
+        w.filter(DatasetId(3), DatasetId(2), &Predicate::range("X", 25.0, 100.0))
+            .unwrap();
+        assert_eq!(w.dataset_rows(DatasetId(3)), 25);
+    }
+
+    #[test]
+    fn missing_parent_reports_dataset_missing() {
+        let w = test_worker();
+        let e = w
+            .filter(DatasetId(9), DatasetId(8), &Predicate::True)
+            .unwrap_err();
+        assert!(matches!(e, EngineError::DatasetMissing { dataset: DatasetId(8), .. }));
+    }
+
+    #[test]
+    fn kill_drops_state_and_rejects_work() {
+        let w = test_worker();
+        w.load(DatasetId(1), &spec()).unwrap();
+        w.kill();
+        assert!(!w.is_alive());
+        assert!(!w.has_dataset(DatasetId(1)));
+        assert!(matches!(
+            w.load(DatasetId(1), &spec()),
+            Err(EngineError::WorkerDown(0))
+        ));
+        w.restart();
+        assert!(w.is_alive());
+        assert!(!w.has_dataset(DatasetId(1)), "restart does not restore data");
+        w.load(DatasetId(1), &spec()).unwrap();
+        assert_eq!(w.dataset_rows(DatasetId(1)), 100);
+    }
+
+    #[test]
+    fn eviction_is_soft() {
+        let w = test_worker();
+        w.load(DatasetId(1), &spec()).unwrap();
+        w.evict(DatasetId(1));
+        assert!(!w.has_dataset(DatasetId(1)));
+        assert!(w.is_alive(), "eviction is not a crash");
+    }
+
+    #[test]
+    fn computation_cache_round_trip() {
+        let w = test_worker();
+        assert!(w.cache_get(DatasetId(1), 42).is_none());
+        w.cache_put(DatasetId(1), 42, Bytes::from_static(b"summary"));
+        assert_eq!(
+            w.cache_get(DatasetId(1), 42).unwrap(),
+            Bytes::from_static(b"summary")
+        );
+        assert_eq!(w.cache_hits(), 1);
+        w.evict(DatasetId(1));
+        assert!(w.cache_get(DatasetId(1), 42).is_none(), "evict clears cache");
+    }
+
+    #[test]
+    fn unknown_source_is_unregistered() {
+        let w = test_worker();
+        let bad = SourceSpec {
+            source: Arc::from("nope"),
+            snapshot: 0,
+        };
+        assert!(matches!(
+            w.load(DatasetId(1), &bad),
+            Err(EngineError::Unregistered(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_udf_errors() {
+        let w = test_worker();
+        w.load(DatasetId(1), &spec()).unwrap();
+        assert!(w.map(DatasetId(2), DatasetId(1), "nope", "Y").is_err());
+    }
+}

@@ -1,0 +1,225 @@
+//! Synthetic server-log dataset.
+//!
+//! The paper motivates trillion-cell tables with datacenter telemetry
+//! (§3.1: "50 servers logging 100 columns at a rate of 100 rows per minute
+//! generate in a month 21.6B cells"). This generator produces that kind of
+//! table for the examples: timestamps, Zipf-popular servers, log levels,
+//! lognormal request latencies, status codes, and free-text messages.
+
+use crate::dist::{Lognormal, Zipf};
+use hillview_columnar::column::{Column, DictColumn, F64Column, I64Column};
+use hillview_columnar::{ColumnKind, NullMask, Table};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Server host names: popularity follows a Zipf over this list.
+pub const SERVERS: &[&str] = &[
+    "gandalf", "frodo", "samwise", "aragorn", "legolas", "gimli", "boromir",
+    "merry", "pippin", "sauron", "saruman", "elrond", "galadriel", "bilbo",
+    "thorin", "smaug", "beorn", "treebeard", "eowyn", "faramir",
+];
+
+/// Log levels with fixed relative frequencies.
+const LEVELS: &[(&str, f64)] = &[
+    ("DEBUG", 0.30),
+    ("INFO", 0.55),
+    ("WARN", 0.10),
+    ("ERROR", 0.045),
+    ("FATAL", 0.005),
+];
+
+/// HTTP-ish status codes with fixed relative frequencies.
+const STATUS: &[(&str, f64)] = &[
+    ("200", 0.86),
+    ("204", 0.04),
+    ("301", 0.02),
+    ("404", 0.05),
+    ("500", 0.02),
+    ("503", 0.01),
+];
+
+/// Message templates for the free-text column.
+const MESSAGES: &[&str] = &[
+    "request completed",
+    "cache miss, fetching from origin",
+    "connection reset by peer",
+    "slow query detected",
+    "retrying upstream call",
+    "health check ok",
+    "GC pause exceeded budget",
+    "TLS handshake failed",
+];
+
+/// Configuration for the log generator.
+#[derive(Debug, Clone)]
+pub struct LogsConfig {
+    /// Number of rows.
+    pub rows: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LogsConfig {
+    fn default() -> Self {
+        LogsConfig {
+            rows: 10_000,
+            seed: 0x10C5,
+        }
+    }
+}
+
+impl LogsConfig {
+    /// Convenience constructor.
+    pub fn new(rows: usize, seed: u64) -> Self {
+        LogsConfig { rows, seed }
+    }
+}
+
+fn weighted_pick(rng: &mut SmallRng, table: &[(&'static str, f64)]) -> &'static str {
+    let u: f64 = rng.gen();
+    let mut acc = 0.0;
+    for (name, w) in table {
+        acc += w;
+        if u < acc {
+            return name;
+        }
+    }
+    table.last().expect("non-empty table").0
+}
+
+/// Generate the server-log table.
+pub fn generate_logs(cfg: &LogsConfig) -> Table {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let server_zipf = Zipf::new(SERVERS.len(), 1.0);
+    let latency = Lognormal::new(3.0, 0.9);
+    let start_ms: i64 = 1_700_000_000_000;
+
+    let n = cfg.rows;
+    let mut ts = Vec::with_capacity(n);
+    let mut server = Vec::with_capacity(n);
+    let mut level = Vec::with_capacity(n);
+    let mut lat = Vec::with_capacity(n);
+    let mut status = Vec::with_capacity(n);
+    let mut msg = Vec::with_capacity(n);
+    let mut bytes = Vec::with_capacity(n);
+
+    let mut clock = start_ms;
+    for _ in 0..n {
+        clock += rng.gen_range(1..2_000);
+        ts.push(clock);
+        server.push(Some(SERVERS[server_zipf.sample(&mut rng)]));
+        let lv = weighted_pick(&mut rng, LEVELS);
+        level.push(Some(lv));
+        // Errors are slower: shift the latency distribution right.
+        let mult = if lv == "ERROR" || lv == "FATAL" { 4.0 } else { 1.0 };
+        lat.push(Some(latency.sample(&mut rng) * mult));
+        status.push(Some(if lv == "ERROR" || lv == "FATAL" {
+            weighted_pick(&mut rng, &STATUS[3..])
+        } else {
+            weighted_pick(&mut rng, STATUS)
+        }));
+        msg.push(Some(MESSAGES[rng.gen_range(0..MESSAGES.len())]));
+        bytes.push(rng.gen_range(64..1_048_576i64));
+    }
+
+    Table::builder()
+        .column(
+            "Timestamp",
+            ColumnKind::Date,
+            Column::Date(I64Column::new(ts, NullMask::none())),
+        )
+        .column(
+            "Server",
+            ColumnKind::Category,
+            Column::Cat(DictColumn::from_strings(server)),
+        )
+        .column(
+            "Level",
+            ColumnKind::Category,
+            Column::Cat(DictColumn::from_strings(level)),
+        )
+        .column(
+            "LatencyMs",
+            ColumnKind::Double,
+            Column::Double(F64Column::from_options(lat)),
+        )
+        .column(
+            "Status",
+            ColumnKind::Category,
+            Column::Cat(DictColumn::from_strings(status)),
+        )
+        .column(
+            "Message",
+            ColumnKind::String,
+            Column::Str(DictColumn::from_strings(msg)),
+        )
+        .column(
+            "Bytes",
+            ColumnKind::Int,
+            Column::Int(I64Column::new(bytes, NullMask::none())),
+        )
+        .build()
+        .expect("log schema is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_determinism() {
+        let a = generate_logs(&LogsConfig::new(1000, 9));
+        assert_eq!(a.num_rows(), 1000);
+        assert_eq!(a.num_columns(), 7);
+        let b = generate_logs(&LogsConfig::new(1000, 9));
+        assert_eq!(a.full_row(123), b.full_row(123));
+    }
+
+    #[test]
+    fn timestamps_monotonic() {
+        let t = generate_logs(&LogsConfig::new(2000, 10));
+        let c = t.column_by_name("Timestamp").unwrap();
+        let mut prev = i64::MIN;
+        for i in 0..t.num_rows() {
+            let v = c.value(i).as_i64().unwrap();
+            assert!(v > prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn levels_roughly_weighted() {
+        let t = generate_logs(&LogsConfig::new(50_000, 11));
+        let c = t.column_by_name("Level").unwrap();
+        let mut errors = 0usize;
+        let mut infos = 0usize;
+        for i in 0..t.num_rows() {
+            match c.value(i).to_string().as_str() {
+                "ERROR" => errors += 1,
+                "INFO" => infos += 1,
+                _ => {}
+            }
+        }
+        assert!(infos > errors * 5, "INFO={infos} ERROR={errors}");
+        assert!(errors > 500, "too few errors: {errors}");
+    }
+
+    #[test]
+    fn errors_are_slower() {
+        let t = generate_logs(&LogsConfig::new(50_000, 12));
+        let level = t.column_by_name("Level").unwrap();
+        let lat = t.column_by_name("LatencyMs").unwrap();
+        let (mut err_sum, mut err_n, mut ok_sum, mut ok_n) = (0.0, 0usize, 0.0, 0usize);
+        for i in 0..t.num_rows() {
+            let l = lat.as_f64(i).unwrap();
+            if level.value(i).to_string() == "ERROR" {
+                err_sum += l;
+                err_n += 1;
+            } else if level.value(i).to_string() == "INFO" {
+                ok_sum += l;
+                ok_n += 1;
+            }
+        }
+        assert!(err_sum / err_n as f64 > 2.0 * ok_sum / ok_n as f64);
+    }
+}

@@ -1,0 +1,31 @@
+//! # hillview-net
+//!
+//! Simulated RPC substrate for Hillview-RS.
+//!
+//! The paper's deployment runs gRPC between servers and streams partial
+//! results to a web client (§6). Here the whole cluster lives in one process
+//! (DESIGN.md §1), but the *communication discipline* is preserved: every
+//! summary that crosses a tree edge is serialized into a length-prefixed
+//! frame with a hand-rolled wire format, byte counts are recorded per edge
+//! (Figure 5's "data received by the root node" is measured, not estimated),
+//! and links can inject latency/bandwidth delays to model a 10 Gbps LAN.
+//!
+//! * [`wire`] — compact binary serialization ([`Wire`] trait) for all
+//!   summary payloads, with property-tested round-trips.
+//! * [`link`] — simulated point-to-point links over crossbeam channels with
+//!   byte accounting and optional delay injection.
+//! * [`metrics`] — shared atomic counters for bytes/messages per endpoint.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod error;
+pub mod link;
+pub mod metrics;
+pub mod values;
+pub mod wire;
+
+pub use error::{Error, Result};
+pub use link::{link_pair, LinkConfig, LinkReceiver, LinkSender};
+pub use metrics::NetMetrics;
+pub use wire::{Wire, WireReader, WireWriter};

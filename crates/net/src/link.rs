@@ -1,0 +1,212 @@
+//! Simulated point-to-point links.
+//!
+//! A link is a unidirectional, framed byte channel between two tree nodes
+//! (paper Fig. 1: "communication happens only along the edges of the tree").
+//! Frames carry opaque payloads produced by [`Wire`](crate::wire::Wire)
+//! encoders. Each send records traffic in the receiver-side [`NetMetrics`]
+//! and can stall to model link latency and bandwidth.
+
+use crate::error::{Error, Result};
+use crate::metrics::NetMetrics;
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::time::Duration;
+
+/// Delay model for a link.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LinkConfig {
+    /// Fixed per-message latency applied on send.
+    pub latency: Duration,
+    /// Optional bandwidth cap in bytes/second; adds size-proportional delay.
+    pub bandwidth: Option<u64>,
+}
+
+impl LinkConfig {
+    /// No injected delay (the default for unit tests).
+    pub fn instant() -> Self {
+        Self::default()
+    }
+
+    /// Roughly a 10 Gbps LAN with 0.1 ms latency — the paper's testbed.
+    pub fn lan_10gbps() -> Self {
+        LinkConfig {
+            latency: Duration::from_micros(100),
+            bandwidth: Some(1_250_000_000),
+        }
+    }
+
+    fn delay_for(&self, len: usize) -> Duration {
+        let bw = match self.bandwidth {
+            Some(b) if b > 0 => Duration::from_secs_f64(len as f64 / b as f64),
+            _ => Duration::ZERO,
+        };
+        self.latency + bw
+    }
+}
+
+/// Sending half of a link.
+#[derive(Debug, Clone)]
+pub struct LinkSender {
+    tx: Sender<Bytes>,
+    cfg: LinkConfig,
+    metrics: NetMetrics,
+}
+
+/// Receiving half of a link.
+#[derive(Debug)]
+pub struct LinkReceiver {
+    rx: Receiver<Bytes>,
+    metrics: NetMetrics,
+}
+
+/// Create a connected link pair. Traffic is recorded in the returned
+/// receiver's metrics (readable via [`LinkReceiver::metrics`]).
+pub fn link_pair(cfg: LinkConfig) -> (LinkSender, LinkReceiver) {
+    let (tx, rx) = unbounded();
+    let metrics = NetMetrics::new();
+    (
+        LinkSender {
+            tx,
+            cfg,
+            metrics: metrics.clone(),
+        },
+        LinkReceiver { rx, metrics },
+    )
+}
+
+impl LinkSender {
+    /// Send one frame; blocks for the modeled transmission delay.
+    pub fn send(&self, payload: Bytes) -> Result<()> {
+        let delay = self.cfg.delay_for(payload.len());
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
+        self.metrics.record(payload.len() as u64);
+        self.tx.send(payload).map_err(|_| Error::Disconnected)
+    }
+
+    /// The metrics this link reports into.
+    pub fn metrics(&self) -> &NetMetrics {
+        &self.metrics
+    }
+}
+
+impl LinkReceiver {
+    /// Block until a frame arrives or the sender disconnects.
+    pub fn recv(&self) -> Result<Bytes> {
+        self.rx.recv().map_err(|_| Error::Disconnected)
+    }
+
+    /// Block with a timeout; `Ok(None)` on timeout.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Option<Bytes>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(b) => Ok(Some(b)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(Error::Disconnected),
+        }
+    }
+
+    /// Non-blocking poll; `Ok(None)` when no frame is waiting.
+    pub fn try_recv(&self) -> Result<Option<Bytes>> {
+        match self.rx.try_recv() {
+            Ok(b) => Ok(Some(b)),
+            Err(crossbeam::channel::TryRecvError::Empty) => Ok(None),
+            Err(crossbeam::channel::TryRecvError::Disconnected) => Err(Error::Disconnected),
+        }
+    }
+
+    /// Traffic counters for this endpoint.
+    pub fn metrics(&self) -> &NetMetrics {
+        &self.metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn frames_arrive_in_order() {
+        let (tx, rx) = link_pair(LinkConfig::instant());
+        for i in 0u8..10 {
+            tx.send(Bytes::from(vec![i])).unwrap();
+        }
+        for i in 0u8..10 {
+            assert_eq!(rx.recv().unwrap(), Bytes::from(vec![i]));
+        }
+    }
+
+    #[test]
+    fn metrics_count_traffic() {
+        let (tx, rx) = link_pair(LinkConfig::instant());
+        tx.send(Bytes::from(vec![0; 100])).unwrap();
+        tx.send(Bytes::from(vec![0; 20])).unwrap();
+        assert_eq!(rx.metrics().messages(), 2);
+        assert_eq!(rx.metrics().bytes(), 128);
+    }
+
+    #[test]
+    fn disconnection_detected() {
+        let (tx, rx) = link_pair(LinkConfig::instant());
+        drop(tx);
+        assert_eq!(rx.recv(), Err(Error::Disconnected));
+        let (tx, rx) = link_pair(LinkConfig::instant());
+        drop(rx);
+        assert_eq!(tx.send(Bytes::new()), Err(Error::Disconnected));
+    }
+
+    #[test]
+    fn timeout_and_try_recv() {
+        let (tx, rx) = link_pair(LinkConfig::instant());
+        assert_eq!(rx.try_recv().unwrap(), None);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)).unwrap(),
+            None
+        );
+        tx.send(Bytes::from_static(b"x")).unwrap();
+        assert_eq!(rx.try_recv().unwrap(), Some(Bytes::from_static(b"x")));
+    }
+
+    #[test]
+    fn latency_injection_delays_sends() {
+        let cfg = LinkConfig {
+            latency: Duration::from_millis(20),
+            bandwidth: None,
+        };
+        let (tx, rx) = link_pair(cfg);
+        let start = Instant::now();
+        tx.send(Bytes::from_static(b"slow")).unwrap();
+        rx.recv().unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn bandwidth_cap_scales_with_size() {
+        let cfg = LinkConfig {
+            latency: Duration::ZERO,
+            bandwidth: Some(1_000_000), // 1 MB/s
+        };
+        let (tx, _rx) = link_pair(cfg);
+        let start = Instant::now();
+        tx.send(Bytes::from(vec![0u8; 50_000])).unwrap(); // 50 ms at 1 MB/s
+        assert!(start.elapsed() >= Duration::from_millis(45));
+    }
+
+    #[test]
+    fn cross_thread_usage() {
+        let (tx, rx) = link_pair(LinkConfig::instant());
+        let h = std::thread::spawn(move || {
+            for i in 0u64..100 {
+                tx.send(Bytes::copy_from_slice(&i.to_le_bytes())).unwrap();
+            }
+        });
+        let mut sum = 0u64;
+        for _ in 0..100 {
+            let b = rx.recv().unwrap();
+            sum += u64::from_le_bytes(b.as_ref().try_into().unwrap());
+        }
+        h.join().unwrap();
+        assert_eq!(sum, 4950);
+    }
+}

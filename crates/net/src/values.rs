@@ -1,0 +1,148 @@
+//! [`Wire`] implementations for columnar cell values and rows.
+//!
+//! Tabular-view summaries (next items, quantiles, find) ship small numbers
+//! of materialized rows between tree nodes; these encoders define their
+//! on-wire representation.
+
+use crate::error::{Error, Result};
+use crate::wire::{Wire, WireReader, WireWriter};
+use hillview_columnar::{Row, RowKey, Value};
+
+impl Wire for Value {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            Value::Missing => w.put_u8(0),
+            Value::Int(v) => {
+                w.put_u8(1);
+                w.put_i64(*v);
+            }
+            Value::Double(v) => {
+                w.put_u8(2);
+                w.put_f64(*v);
+            }
+            Value::Date(v) => {
+                w.put_u8(3);
+                w.put_i64(*v);
+            }
+            Value::Str(s) => {
+                w.put_u8(4);
+                w.put_str(s);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader) -> Result<Self> {
+        Ok(match r.get_u8()? {
+            0 => Value::Missing,
+            1 => Value::Int(r.get_i64()?),
+            2 => Value::Double(r.get_f64()?),
+            3 => Value::Date(r.get_i64()?),
+            4 => Value::Str(r.get_str()?.into()),
+            tag => {
+                return Err(Error::BadTag {
+                    context: "Value",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+impl Wire for Row {
+    fn encode(&self, w: &mut WireWriter) {
+        self.values.encode(w);
+    }
+
+    fn decode(r: &mut WireReader) -> Result<Self> {
+        Ok(Row::new(Vec::<Value>::decode(r)?))
+    }
+}
+
+impl Wire for RowKey {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_varint(self.values().len() as u64);
+        for (v, d) in self.values().iter().zip(self.descending()) {
+            v.encode(w);
+            w.put_u8(*d as u8);
+        }
+    }
+
+    fn decode(r: &mut WireReader) -> Result<Self> {
+        let len = r.get_len("RowKey")?;
+        let mut values = Vec::with_capacity(len.min(64));
+        let mut desc = Vec::with_capacity(len.min(64));
+        for _ in 0..len {
+            values.push(Value::decode(r)?);
+            desc.push(match r.get_u8()? {
+                0 => false,
+                1 => true,
+                tag => {
+                    return Err(Error::BadTag {
+                        context: "RowKey direction",
+                        tag,
+                    })
+                }
+            });
+        }
+        Ok(RowKey::new(values, desc))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        assert_eq!(T::from_bytes(v.to_bytes()).unwrap(), v);
+    }
+
+    #[test]
+    fn value_variants_roundtrip() {
+        roundtrip(Value::Missing);
+        roundtrip(Value::Int(-42));
+        roundtrip(Value::Double(2.5));
+        roundtrip(Value::Date(1_700_000_000_000));
+        roundtrip(Value::str("Gandalf"));
+        roundtrip(Value::str(""));
+    }
+
+    #[test]
+    fn row_roundtrip() {
+        roundtrip(Row::new(vec![
+            Value::str("SFO"),
+            Value::Int(42),
+            Value::Missing,
+        ]));
+        roundtrip(Row::new(vec![]));
+    }
+
+    #[test]
+    fn rowkey_roundtrip_preserves_direction() {
+        let k = RowKey::new(
+            vec![Value::str("AA"), Value::Int(10)],
+            vec![false, true],
+        );
+        let k2 = RowKey::from_bytes(k.to_bytes()).unwrap();
+        assert_eq!(k2.descending(), &[false, true]);
+        assert_eq!(k, k2);
+    }
+
+    #[test]
+    fn rowkey_ordering_survives_wire() {
+        let a = RowKey::new(vec![Value::Int(1)], vec![true]);
+        let b = RowKey::new(vec![Value::Int(2)], vec![true]);
+        let a2 = RowKey::from_bytes(a.to_bytes()).unwrap();
+        let b2 = RowKey::from_bytes(b.to_bytes()).unwrap();
+        assert_eq!(a.cmp(&b), a2.cmp(&b2));
+    }
+
+    #[test]
+    fn bad_value_tag_rejected() {
+        let mut w = WireWriter::new();
+        w.put_u8(99);
+        assert!(matches!(
+            Value::from_bytes(w.finish()),
+            Err(Error::BadTag { .. })
+        ));
+    }
+}

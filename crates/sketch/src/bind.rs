@@ -1,0 +1,114 @@
+//! Internal helper binding a column to a bucket spec for fast row→bucket
+//! lookup, shared by the heatmap and stacked-histogram kernels.
+
+use crate::buckets::BucketSpec;
+use crate::traits::{SketchError, SketchResult};
+use hillview_columnar::column::DictColumn;
+use hillview_columnar::Column;
+
+/// Where a row's value landed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Cell {
+    /// Value missing.
+    Missing,
+    /// Value outside the bucket range.
+    Out,
+    /// Bucket index.
+    In(usize),
+}
+
+/// A column bound to its bucket spec.
+pub(crate) enum BoundColumn<'a> {
+    Num {
+        col: &'a Column,
+        spec: &'a BucketSpec,
+    },
+    Dict {
+        col: &'a DictColumn,
+        /// Bucket of each dictionary code, precomputed once.
+        code_bucket: Vec<Option<usize>>,
+    },
+}
+
+impl<'a> BoundColumn<'a> {
+    pub(crate) fn bind(col: &'a Column, spec: &'a BucketSpec) -> SketchResult<Self> {
+        match (spec, col) {
+            (BucketSpec::Numeric { .. }, c) if c.kind().is_numeric() => {
+                Ok(BoundColumn::Num { col, spec })
+            }
+            (BucketSpec::Strings { .. }, Column::Str(c) | Column::Cat(c)) => {
+                let code_bucket = c
+                    .dictionary()
+                    .iter()
+                    .map(|s| spec.index_of_str(s))
+                    .collect();
+                Ok(BoundColumn::Dict { col: c, code_bucket })
+            }
+            (spec, col) => Err(SketchError::BadConfig(format!(
+                "bucket spec with {} buckets incompatible with column kind {}",
+                spec.count(),
+                col.kind()
+            ))),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn bucket(&self, row: usize) -> Cell {
+        match self {
+            BoundColumn::Num { col, spec } => match col.as_f64(row) {
+                None => Cell::Missing,
+                Some(v) => match spec.index_of_f64(v) {
+                    Some(b) => Cell::In(b),
+                    None => Cell::Out,
+                },
+            },
+            BoundColumn::Dict { col, code_bucket } => {
+                if col.nulls().is_null(row) {
+                    Cell::Missing
+                } else {
+                    match code_bucket[col.codes()[row] as usize] {
+                        Some(b) => Cell::In(b),
+                        None => Cell::Out,
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hillview_columnar::column::{F64Column, I64Column};
+
+    #[test]
+    fn numeric_binding() {
+        let col = Column::Double(F64Column::from_options([Some(5.0), None, Some(99.0)]));
+        let spec = BucketSpec::numeric(0.0, 10.0, 2);
+        let b = BoundColumn::bind(&col, &spec).unwrap();
+        assert_eq!(b.bucket(0), Cell::In(1));
+        assert_eq!(b.bucket(1), Cell::Missing);
+        assert_eq!(b.bucket(2), Cell::Out);
+    }
+
+    #[test]
+    fn dict_binding_precomputes_codes() {
+        let col = Column::Cat(DictColumn::from_strings([
+            Some("apple"),
+            Some("zebra"),
+            None,
+        ]));
+        let spec = BucketSpec::strings(vec!["a".into(), "m".into()]);
+        let b = BoundColumn::bind(&col, &spec).unwrap();
+        assert_eq!(b.bucket(0), Cell::In(0));
+        assert_eq!(b.bucket(1), Cell::In(1));
+        assert_eq!(b.bucket(2), Cell::Missing);
+    }
+
+    #[test]
+    fn incompatible_binding_rejected() {
+        let col = Column::Int(I64Column::from_options([Some(1)]));
+        let spec = BucketSpec::strings(vec!["a".into()]);
+        assert!(BoundColumn::bind(&col, &spec).is_err());
+    }
+}

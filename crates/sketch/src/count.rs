@@ -1,0 +1,161 @@
+//! Exact row/missing counting — the simplest mergeable summary.
+//!
+//! Used by the preparation phase of every visualization (paper §5.3: the
+//! first execution tree "computes data-wide parameters such as the size ...
+//! of the data set").
+
+use crate::traits::{Sketch, SketchResult, Summary};
+use crate::view::TableView;
+use hillview_net::{Result as WireResult, Wire, WireReader, WireWriter};
+use std::sync::Arc;
+
+/// Counts present and missing rows, optionally of one column.
+#[derive(Debug, Clone)]
+pub struct CountSketch {
+    /// Column whose missing values are counted; `None` counts rows only.
+    pub column: Option<Arc<str>>,
+}
+
+impl CountSketch {
+    /// Count rows of the whole table.
+    pub fn rows() -> Self {
+        CountSketch { column: None }
+    }
+
+    /// Count rows and missing values of one column.
+    pub fn of_column(name: &str) -> Self {
+        CountSketch {
+            column: Some(Arc::from(name)),
+        }
+    }
+}
+
+/// Result of a [`CountSketch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CountSummary {
+    /// Rows present in the view (including ones missing in the column).
+    pub rows: u64,
+    /// Rows whose tracked column is missing.
+    pub missing: u64,
+}
+
+impl Summary for CountSummary {
+    fn merge(&self, other: &Self) -> Self {
+        CountSummary {
+            rows: self.rows + other.rows,
+            missing: self.missing + other.missing,
+        }
+    }
+}
+
+impl Wire for CountSummary {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_varint(self.rows);
+        w.put_varint(self.missing);
+    }
+    fn decode(r: &mut WireReader) -> WireResult<Self> {
+        Ok(CountSummary {
+            rows: r.get_varint()?,
+            missing: r.get_varint()?,
+        })
+    }
+}
+
+impl Sketch for CountSketch {
+    type Summary = CountSummary;
+
+    fn name(&self) -> &'static str {
+        "count"
+    }
+
+    fn summarize(&self, view: &TableView, _seed: u64) -> SketchResult<CountSummary> {
+        let rows = view.len() as u64;
+        let missing = match &self.column {
+            None => 0,
+            Some(name) => {
+                let col = view.table().column_by_name(name)?;
+                if col.null_count() == 0 {
+                    0
+                } else {
+                    view.iter_rows().filter(|&r| col.is_null(r)).count() as u64
+                }
+            }
+        };
+        Ok(CountSummary { rows, missing })
+    }
+
+    fn identity(&self) -> CountSummary {
+        CountSummary::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hillview_columnar::column::{Column, F64Column};
+    use hillview_columnar::{ColumnKind, MembershipSet, Table};
+
+    fn view() -> TableView {
+        let t = Table::builder()
+            .column(
+                "D",
+                ColumnKind::Double,
+                Column::Double(F64Column::from_options([
+                    Some(1.0),
+                    None,
+                    Some(3.0),
+                    None,
+                    Some(5.0),
+                ])),
+            )
+            .build()
+            .unwrap();
+        TableView::full(Arc::new(t))
+    }
+
+    #[test]
+    fn counts_rows_and_missing() {
+        let s = CountSketch::of_column("D");
+        let sum = s.summarize(&view(), 0).unwrap();
+        assert_eq!(sum.rows, 5);
+        assert_eq!(sum.missing, 2);
+    }
+
+    #[test]
+    fn row_only_count() {
+        let s = CountSketch::rows();
+        let sum = s.summarize(&view(), 0).unwrap();
+        assert_eq!(sum, CountSummary { rows: 5, missing: 0 });
+    }
+
+    #[test]
+    fn respects_membership() {
+        let v = view();
+        let v = TableView::with_members(
+            v.table().clone(),
+            Arc::new(MembershipSet::from_rows(vec![0, 1], 5)),
+        );
+        let sum = CountSketch::of_column("D").summarize(&v, 0).unwrap();
+        assert_eq!(sum, CountSummary { rows: 2, missing: 1 });
+    }
+
+    #[test]
+    fn merge_adds_and_identity_is_unit() {
+        let s = CountSketch::of_column("D");
+        let a = CountSummary { rows: 3, missing: 1 };
+        let b = CountSummary { rows: 2, missing: 1 };
+        assert_eq!(a.merge(&b), CountSummary { rows: 5, missing: 2 });
+        assert_eq!(a.merge(&s.identity()), a);
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        assert!(CountSketch::of_column("X").summarize(&view(), 0).is_err());
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let s = CountSummary { rows: 7, missing: 2 };
+        assert_eq!(CountSummary::from_bytes(s.to_bytes()).unwrap(), s);
+    }
+}

@@ -1,0 +1,315 @@
+//! Find-text: locate the next matching row in sort order.
+//!
+//! Paper App. B.2: *"Given a row R, a search criteria (the search text;
+//! whether it is exact match, substring, or regexp; and whether it is case
+//! sensitive), and a column sort order, we want to find the next row
+//! satisfying the criteria in the sort order. This is similar to the next
+//! item vizketch above except that we eliminate all rows that do not match
+//! the search criteria."*
+
+use crate::traits::{Sketch, SketchResult, Summary};
+use crate::view::TableView;
+use hillview_columnar::{Predicate, Row, RowKey, SortOrder, StrMatchKind};
+use hillview_net::{Result as WireResult, Wire, WireReader, WireWriter};
+use std::sync::Arc;
+
+/// Find-text sketch.
+#[derive(Debug, Clone)]
+pub struct FindSketch {
+    /// Column searched.
+    pub column: Arc<str>,
+    /// Query text or pattern.
+    pub query: Arc<str>,
+    /// Match mode (exact / substring / regex).
+    pub kind: StrMatchKind,
+    /// Case-insensitive matching.
+    pub case_insensitive: bool,
+    /// Sort order defining "next".
+    pub order: SortOrder,
+    /// Exclusive start key; `None` searches from the beginning.
+    pub start: Option<RowKey>,
+}
+
+impl FindSketch {
+    /// Find the first match of `query` in `column` under `order`.
+    pub fn new(column: &str, query: &str, kind: StrMatchKind, order: SortOrder) -> Self {
+        FindSketch {
+            column: Arc::from(column),
+            query: Arc::from(query),
+            kind,
+            case_insensitive: false,
+            order,
+            start: None,
+        }
+    }
+
+    /// Fold case when matching.
+    pub fn case_insensitive(mut self) -> Self {
+        self.case_insensitive = true;
+        self
+    }
+
+    /// Continue from (strictly after) `start`.
+    pub fn after(mut self, start: RowKey) -> Self {
+        self.start = Some(start);
+        self
+    }
+}
+
+/// The first matching row after the start key, plus match counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FindSummary {
+    /// Smallest matching (key, row) after the start key, if any.
+    pub first: Option<(RowKey, Row)>,
+    /// Matches after the start key (including `first`).
+    pub matches_after: u64,
+    /// Matches anywhere in the scanned data (lets the UI say "wrapped").
+    pub matches_total: u64,
+}
+
+impl Summary for FindSummary {
+    fn merge(&self, other: &Self) -> Self {
+        let first = match (&self.first, &other.first) {
+            (Some(a), Some(b)) => Some(if a.0 <= b.0 { a.clone() } else { b.clone() }),
+            (x, None) => x.clone(),
+            (None, x) => x.clone(),
+        };
+        FindSummary {
+            first,
+            matches_after: self.matches_after + other.matches_after,
+            matches_total: self.matches_total + other.matches_total,
+        }
+    }
+}
+
+impl Wire for FindSummary {
+    fn encode(&self, w: &mut WireWriter) {
+        match &self.first {
+            None => w.put_u8(0),
+            Some((key, row)) => {
+                w.put_u8(1);
+                key.encode(w);
+                row.encode(w);
+            }
+        }
+        w.put_varint(self.matches_after);
+        w.put_varint(self.matches_total);
+    }
+    fn decode(r: &mut WireReader) -> WireResult<Self> {
+        let first = match r.get_u8()? {
+            0 => None,
+            1 => Some((RowKey::decode(r)?, Row::decode(r)?)),
+            tag => {
+                return Err(hillview_net::Error::BadTag {
+                    context: "FindSummary",
+                    tag,
+                })
+            }
+        };
+        Ok(FindSummary {
+            first,
+            matches_after: r.get_varint()?,
+            matches_total: r.get_varint()?,
+        })
+    }
+}
+
+impl Sketch for FindSketch {
+    type Summary = FindSummary;
+
+    fn name(&self) -> &'static str {
+        "find-text"
+    }
+
+    fn summarize(&self, view: &TableView, _seed: u64) -> SketchResult<FindSummary> {
+        let table = view.table();
+        let resolved = self.order.resolve(table)?;
+        let pred = Predicate::str_match(
+            &self.column,
+            &self.query,
+            self.kind.clone(),
+            self.case_insensitive,
+        )
+        .compile(table)?;
+        let mut out = FindSummary {
+            first: None,
+            matches_after: 0,
+            matches_total: 0,
+        };
+        for row in view.iter_rows() {
+            if !pred.eval(table, row) {
+                continue;
+            }
+            out.matches_total += 1;
+            let key = resolved.key(table, row);
+            if let Some(start) = &self.start {
+                if key <= *start {
+                    continue;
+                }
+            }
+            out.matches_after += 1;
+            let better = match &out.first {
+                None => true,
+                Some((best, _)) => key < *best,
+            };
+            if better {
+                out.first = Some((key, table.full_row(row)));
+            }
+        }
+        Ok(out)
+    }
+
+    fn identity(&self) -> FindSummary {
+        FindSummary {
+            first: None,
+            matches_after: 0,
+            matches_total: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hillview_columnar::column::{Column, DictColumn, I64Column};
+    use hillview_columnar::{ColumnKind, MembershipSet, Table, Value};
+
+    fn view() -> TableView {
+        let servers = ["frodo", "gandalf-1", "bilbo", "gandalf-2", "GANDALF-3"];
+        let ord = [4i64, 1, 3, 2, 0];
+        let t = Table::builder()
+            .column(
+                "Server",
+                ColumnKind::String,
+                Column::Str(DictColumn::from_strings(servers.iter().map(|&s| Some(s)))),
+            )
+            .column(
+                "Ord",
+                ColumnKind::Int,
+                Column::Int(I64Column::from_options(ord.iter().map(|&v| Some(v)))),
+            )
+            .build()
+            .unwrap();
+        TableView::full(Arc::new(t))
+    }
+
+    #[test]
+    fn finds_first_in_sort_order() {
+        let sk = FindSketch::new(
+            "Server",
+            "gandalf",
+            StrMatchKind::Substring,
+            SortOrder::ascending(&["Ord"]),
+        );
+        let s = sk.summarize(&view(), 0).unwrap();
+        let (key, row) = s.first.unwrap();
+        assert_eq!(key.values(), &[Value::Int(1)]);
+        assert_eq!(row.values[0], Value::str("gandalf-1"));
+        assert_eq!(s.matches_total, 2, "case-sensitive: GANDALF-3 excluded");
+    }
+
+    #[test]
+    fn case_insensitive_widens_matches() {
+        let sk = FindSketch::new(
+            "Server",
+            "gandalf",
+            StrMatchKind::Substring,
+            SortOrder::ascending(&["Ord"]),
+        )
+        .case_insensitive();
+        let s = sk.summarize(&view(), 0).unwrap();
+        assert_eq!(s.matches_total, 3);
+        let (key, _) = s.first.unwrap();
+        assert_eq!(key.values(), &[Value::Int(0)], "GANDALF-3 sorts first");
+    }
+
+    #[test]
+    fn find_next_continues_after_start() {
+        let order = SortOrder::ascending(&["Ord"]);
+        let first = FindSketch::new("Server", "gandalf", StrMatchKind::Substring, order.clone())
+            .summarize(&view(), 0)
+            .unwrap();
+        let start = first.first.unwrap().0;
+        let next = FindSketch::new("Server", "gandalf", StrMatchKind::Substring, order)
+            .after(start)
+            .summarize(&view(), 0)
+            .unwrap();
+        let (key, row) = next.first.unwrap();
+        assert_eq!(key.values(), &[Value::Int(2)]);
+        assert_eq!(row.values[0], Value::str("gandalf-2"));
+        assert_eq!(next.matches_after, 1);
+        assert_eq!(next.matches_total, 2, "total ignores the start key");
+    }
+
+    #[test]
+    fn regex_matching() {
+        let sk = FindSketch::new(
+            "Server",
+            "^gandalf-[0-9]$",
+            StrMatchKind::Regex,
+            SortOrder::ascending(&["Ord"]),
+        );
+        let s = sk.summarize(&view(), 0).unwrap();
+        assert_eq!(s.matches_total, 2);
+    }
+
+    #[test]
+    fn merge_takes_global_minimum() {
+        let v = view();
+        let t = v.table().clone();
+        let sk = FindSketch::new(
+            "Server",
+            "gandalf",
+            StrMatchKind::Substring,
+            SortOrder::ascending(&["Ord"]),
+        );
+        let a = sk
+            .summarize(
+                &TableView::with_members(
+                    t.clone(),
+                    Arc::new(MembershipSet::from_rows(vec![0, 3], 5)),
+                ),
+                0,
+            )
+            .unwrap();
+        let b = sk
+            .summarize(
+                &TableView::with_members(
+                    t,
+                    Arc::new(MembershipSet::from_rows(vec![1, 2, 4], 5)),
+                ),
+                0,
+            )
+            .unwrap();
+        let merged = a.merge(&b);
+        let whole = sk.summarize(&view(), 0).unwrap();
+        assert_eq!(merged, whole);
+    }
+
+    #[test]
+    fn no_match_yields_none() {
+        let sk = FindSketch::new(
+            "Server",
+            "sauron",
+            StrMatchKind::Substring,
+            SortOrder::ascending(&["Ord"]),
+        );
+        let s = sk.summarize(&view(), 0).unwrap();
+        assert!(s.first.is_none());
+        assert_eq!(s.matches_total, 0);
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let sk = FindSketch::new(
+            "Server",
+            "gandalf",
+            StrMatchKind::Substring,
+            SortOrder::ascending(&["Ord"]),
+        );
+        let s = sk.summarize(&view(), 0).unwrap();
+        assert_eq!(FindSummary::from_bytes(s.to_bytes()).unwrap(), s);
+        let empty = sk.identity();
+        assert_eq!(FindSummary::from_bytes(empty.to_bytes()).unwrap(), empty);
+    }
+}

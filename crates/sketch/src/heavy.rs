@@ -1,0 +1,465 @@
+//! Heavy hitters: Misra-Gries (streaming) and sampling variants.
+//!
+//! Paper App. B.2 gives both algorithms. Misra-Gries keeps K counters and is
+//! exact up to an additive n/K undercount; the mergeable variant (Agarwal et
+//! al. [2]) combines counter sets and re-truncates. The sampling variant
+//! draws `n = K² log(K/δ)` rows and reports items with sample frequency
+//! ≥ 3n/4K; Theorem 4 (App. C.3) shows this returns every item above 1/K and
+//! none below 1/4K with probability 1−δ.
+
+use crate::traits::{Sketch, SketchResult, Summary};
+use crate::view::TableView;
+use hillview_columnar::Value;
+use hillview_net::{Result as WireResult, Wire, WireReader, WireWriter};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Misra-Gries
+// ---------------------------------------------------------------------------
+
+/// Streaming Misra-Gries heavy hitters over one column.
+#[derive(Debug, Clone)]
+pub struct MisraGriesSketch {
+    /// Column name.
+    pub column: Arc<str>,
+    /// Maximum number of counters (the paper's K).
+    pub k: usize,
+}
+
+impl MisraGriesSketch {
+    /// Track up to `k` heavy items of the named column.
+    pub fn new(column: &str, k: usize) -> Self {
+        MisraGriesSketch {
+            column: Arc::from(column),
+            k: k.max(1),
+        }
+    }
+}
+
+/// Misra-Gries counter set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MisraGriesSummary {
+    /// Counter capacity.
+    pub k: usize,
+    /// (value, counter) pairs; counters underestimate true counts by at most
+    /// `total/k`.
+    pub counters: Vec<(Value, u64)>,
+    /// Total rows observed (present values only).
+    pub total: u64,
+}
+
+impl MisraGriesSummary {
+    fn zero(k: usize) -> Self {
+        MisraGriesSummary {
+            k,
+            counters: Vec::new(),
+            total: 0,
+        }
+    }
+
+    /// Estimated count of `v` (0 if not tracked).
+    pub fn count_of(&self, v: &Value) -> u64 {
+        self.counters
+            .iter()
+            .find(|(x, _)| x == v)
+            .map_or(0, |(_, c)| *c)
+    }
+
+    /// Items whose estimated frequency is at least `threshold` (e.g. `1.0 /
+    /// k as f64` for the paper's heavy-hitter definition), sorted by
+    /// descending count.
+    pub fn heavy_hitters(&self, threshold: f64) -> Vec<(Value, u64)> {
+        let mut out: Vec<(Value, u64)> = self
+            .counters
+            .iter()
+            .filter(|(_, c)| self.total > 0 && *c as f64 / self.total as f64 >= threshold)
+            .cloned()
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out
+    }
+}
+
+impl Summary for MisraGriesSummary {
+    fn merge(&self, other: &Self) -> Self {
+        let k = self.k.max(other.k);
+        // Combine counters additively.
+        let mut map: HashMap<Value, u64> = HashMap::with_capacity(self.counters.len() + other.counters.len());
+        for (v, c) in self.counters.iter().chain(&other.counters) {
+            *map.entry(v.clone()).or_insert(0) += c;
+        }
+        let mut counters: Vec<(Value, u64)> = map.into_iter().collect();
+        // If over capacity: subtract the (k+1)-th largest counter from all
+        // and drop non-positive (the mergeable-summaries MG merge).
+        if counters.len() > k {
+            counters.sort_by(|a, b| b.1.cmp(&a.1));
+            let pivot = counters[k].1;
+            counters = counters
+                .into_iter()
+                .filter_map(|(v, c)| (c > pivot).then(|| (v, c - pivot)))
+                .collect();
+        }
+        counters.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        MisraGriesSummary {
+            k,
+            counters,
+            total: self.total + other.total,
+        }
+    }
+}
+
+impl Wire for MisraGriesSummary {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_varint(self.k as u64);
+        w.put_varint(self.counters.len() as u64);
+        for (v, c) in &self.counters {
+            v.encode(w);
+            w.put_varint(*c);
+        }
+        w.put_varint(self.total);
+    }
+    fn decode(r: &mut WireReader) -> WireResult<Self> {
+        let k = r.get_len("MG k")?;
+        let n = r.get_len("MG counters")?;
+        let mut counters = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            let v = Value::decode(r)?;
+            let c = r.get_varint()?;
+            counters.push((v, c));
+        }
+        Ok(MisraGriesSummary {
+            k,
+            counters,
+            total: r.get_varint()?,
+        })
+    }
+}
+
+impl Sketch for MisraGriesSketch {
+    type Summary = MisraGriesSummary;
+
+    fn name(&self) -> &'static str {
+        "heavy-hitters-mg"
+    }
+
+    fn summarize(&self, view: &TableView, _seed: u64) -> SketchResult<MisraGriesSummary> {
+        let col = view.table().column_by_name(&self.column)?;
+        let mut counters: HashMap<Value, u64> = HashMap::with_capacity(self.k + 1);
+        let mut total = 0u64;
+        for row in view.iter_rows() {
+            let v = col.value(row);
+            if v.is_missing() {
+                continue;
+            }
+            total += 1;
+            if let Some(c) = counters.get_mut(&v) {
+                *c += 1;
+            } else if counters.len() < self.k {
+                counters.insert(v, 1);
+            } else {
+                // Decrement all; drop zeros. Amortized O(1) per row.
+                counters.retain(|_, c| {
+                    *c -= 1;
+                    *c > 0
+                });
+            }
+        }
+        let mut counters: Vec<(Value, u64)> = counters.into_iter().collect();
+        counters.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        Ok(MisraGriesSummary {
+            k: self.k,
+            counters,
+            total,
+        })
+    }
+
+    fn identity(&self) -> MisraGriesSummary {
+        MisraGriesSummary::zero(self.k)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sampling heavy hitters
+// ---------------------------------------------------------------------------
+
+/// Sampling heavy hitters (paper §4.3 "Heavy hitters (sampling)").
+#[derive(Debug, Clone)]
+pub struct SampledHeavyHittersSketch {
+    /// Column name.
+    pub column: Arc<str>,
+    /// Maximum number of heavy hitters desired (the paper's K).
+    pub k: usize,
+    /// Row sampling rate chosen by the caller so the expected total sample
+    /// size is `K² log(K/δ)`.
+    pub rate: f64,
+}
+
+impl SampledHeavyHittersSketch {
+    /// Sketch with an explicit rate.
+    pub fn new(column: &str, k: usize, rate: f64) -> Self {
+        SampledHeavyHittersSketch {
+            column: Arc::from(column),
+            k: k.max(1),
+            rate,
+        }
+    }
+
+    /// The paper's target sample size: `n = K² log(K/δ)`.
+    pub fn target_sample_size(k: usize, delta: f64) -> u64 {
+        let k = k.max(1) as f64;
+        (k * k * (k / delta).ln()).ceil() as u64
+    }
+}
+
+/// Exact counts over the sampled rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampledHeavyHittersSummary {
+    /// (value, sample count), all values seen in the sample.
+    pub counts: Vec<(Value, u64)>,
+    /// Total sampled rows with a present value.
+    pub sampled: u64,
+}
+
+impl SampledHeavyHittersSummary {
+    /// Items with sample frequency ≥ `3n/4K` (Theorem 4), sorted descending.
+    pub fn heavy_hitters(&self, k: usize) -> Vec<(Value, u64)> {
+        let threshold = 3.0 * self.sampled as f64 / (4.0 * k.max(1) as f64);
+        let mut out: Vec<(Value, u64)> = self
+            .counts
+            .iter()
+            .filter(|(_, c)| *c as f64 >= threshold)
+            .cloned()
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out
+    }
+}
+
+impl Summary for SampledHeavyHittersSummary {
+    fn merge(&self, other: &Self) -> Self {
+        let mut map: HashMap<Value, u64> =
+            HashMap::with_capacity(self.counts.len() + other.counts.len());
+        for (v, c) in self.counts.iter().chain(&other.counts) {
+            *map.entry(v.clone()).or_insert(0) += c;
+        }
+        let mut counts: Vec<(Value, u64)> = map.into_iter().collect();
+        counts.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        SampledHeavyHittersSummary {
+            counts,
+            sampled: self.sampled + other.sampled,
+        }
+    }
+}
+
+impl Wire for SampledHeavyHittersSummary {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_varint(self.counts.len() as u64);
+        for (v, c) in &self.counts {
+            v.encode(w);
+            w.put_varint(*c);
+        }
+        w.put_varint(self.sampled);
+    }
+    fn decode(r: &mut WireReader) -> WireResult<Self> {
+        let n = r.get_len("HH counts")?;
+        let mut counts = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            let v = Value::decode(r)?;
+            let c = r.get_varint()?;
+            counts.push((v, c));
+        }
+        Ok(SampledHeavyHittersSummary {
+            counts,
+            sampled: r.get_varint()?,
+        })
+    }
+}
+
+impl Sketch for SampledHeavyHittersSketch {
+    type Summary = SampledHeavyHittersSummary;
+
+    fn name(&self) -> &'static str {
+        "heavy-hitters-sampling"
+    }
+
+    fn summarize(&self, view: &TableView, seed: u64) -> SketchResult<SampledHeavyHittersSummary> {
+        let col = view.table().column_by_name(&self.column)?;
+        let mut map: HashMap<Value, u64> = HashMap::new();
+        let mut sampled = 0u64;
+        for row in view.sample_rows(self.rate.min(1.0), seed) {
+            let v = col.value(row as usize);
+            if v.is_missing() {
+                continue;
+            }
+            sampled += 1;
+            *map.entry(v).or_insert(0) += 1;
+        }
+        let mut counts: Vec<(Value, u64)> = map.into_iter().collect();
+        counts.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        Ok(SampledHeavyHittersSummary { counts, sampled })
+    }
+
+    fn identity(&self) -> SampledHeavyHittersSummary {
+        SampledHeavyHittersSummary {
+            counts: Vec::new(),
+            sampled: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hillview_columnar::column::{Column, DictColumn};
+    use hillview_columnar::{ColumnKind, MembershipSet, Table};
+
+    /// 1000 rows: "whale" 40%, "shark" 25%, long tail of minnows.
+    fn skewed_view() -> TableView {
+        let mut vals = Vec::new();
+        for i in 0..1000 {
+            vals.push(if i % 10 < 4 {
+                "whale".to_string()
+            } else if i % 10 < 6 {
+                "shark".to_string()
+            } else {
+                format!("minnow{}", i)
+            });
+        }
+        let t = Table::builder()
+            .column(
+                "S",
+                ColumnKind::String,
+                Column::Str(DictColumn::from_strings(
+                    vals.iter().map(|s| Some(s.as_str())),
+                )),
+            )
+            .build()
+            .unwrap();
+        TableView::full(Arc::new(t))
+    }
+
+    #[test]
+    fn mg_finds_the_heavy_items() {
+        let sk = MisraGriesSketch::new("S", 10);
+        let s = sk.summarize(&skewed_view(), 0).unwrap();
+        let hh = s.heavy_hitters(0.1);
+        assert_eq!(hh[0].0, Value::str("whale"));
+        assert_eq!(hh[1].0, Value::str("shark"));
+        // MG undercounts by at most total/k = 100.
+        assert!(hh[0].1 >= 400 - 100);
+        assert!(hh[0].1 <= 400);
+    }
+
+    #[test]
+    fn mg_merge_preserves_heavy_items() {
+        let v = skewed_view();
+        let t = v.table().clone();
+        let sk = MisraGriesSketch::new("S", 10);
+        let a = sk
+            .summarize(
+                &TableView::with_members(
+                    t.clone(),
+                    Arc::new(MembershipSet::from_rows((0..500).collect(), 1000)),
+                ),
+                0,
+            )
+            .unwrap();
+        let b = sk
+            .summarize(
+                &TableView::with_members(
+                    t,
+                    Arc::new(MembershipSet::from_rows((500..1000).collect(), 1000)),
+                ),
+                0,
+            )
+            .unwrap();
+        let merged = a.merge(&b);
+        assert_eq!(merged.total, 1000);
+        let hh = merged.heavy_hitters(0.1);
+        assert_eq!(hh[0].0, Value::str("whale"));
+        // Merged MG error bound: ≤ total/k per the mergeable-summaries paper.
+        assert!(merged.count_of(&Value::str("whale")) >= 300);
+        assert!(merged.counters.len() <= 10, "capacity respected");
+    }
+
+    #[test]
+    fn mg_identity_is_unit() {
+        let sk = MisraGriesSketch::new("S", 5);
+        let s = sk.summarize(&skewed_view(), 0).unwrap();
+        let m = sk.identity().merge(&s);
+        assert_eq!(m.total, s.total);
+        assert_eq!(m.heavy_hitters(0.1), s.heavy_hitters(0.1));
+    }
+
+    #[test]
+    fn mg_never_tracks_more_than_k() {
+        let sk = MisraGriesSketch::new("S", 3);
+        let s = sk.summarize(&skewed_view(), 0).unwrap();
+        assert!(s.counters.len() <= 3);
+    }
+
+    #[test]
+    fn sampled_hh_finds_heavy_items() {
+        let sk = SampledHeavyHittersSketch::new("S", 4, 0.5);
+        let s = sk.summarize(&skewed_view(), 1).unwrap();
+        let hh = s.heavy_hitters(4);
+        let names: Vec<String> = hh.iter().map(|(v, _)| v.to_string()).collect();
+        assert!(names.contains(&"whale".to_string()), "{names:?}");
+        assert!(names.contains(&"shark".to_string()), "{names:?}");
+        // No minnow occurs anywhere near 3n/4K of the sample.
+        assert!(names.iter().all(|n| !n.starts_with("minnow")));
+    }
+
+    #[test]
+    fn sampled_hh_merge_accumulates() {
+        let v = skewed_view();
+        let t = v.table().clone();
+        let sk = SampledHeavyHittersSketch::new("S", 4, 0.6);
+        let a = sk
+            .summarize(
+                &TableView::with_members(
+                    t.clone(),
+                    Arc::new(MembershipSet::from_rows((0..500).collect(), 1000)),
+                ),
+                1,
+            )
+            .unwrap();
+        let b = sk
+            .summarize(
+                &TableView::with_members(
+                    t,
+                    Arc::new(MembershipSet::from_rows((500..1000).collect(), 1000)),
+                ),
+                2,
+            )
+            .unwrap();
+        let merged = a.merge(&b);
+        assert_eq!(merged.sampled, a.sampled + b.sampled);
+        let hh = merged.heavy_hitters(4);
+        assert_eq!(hh[0].0, Value::str("whale"));
+    }
+
+    #[test]
+    fn target_sample_size_formula() {
+        // n = K² log(K/δ)
+        let n = SampledHeavyHittersSketch::target_sample_size(10, 0.01);
+        assert_eq!(n, (100.0 * (1000.0f64).ln()).ceil() as u64);
+        assert!(SampledHeavyHittersSketch::target_sample_size(100, 0.01) > n);
+    }
+
+    #[test]
+    fn wire_roundtrips() {
+        let s = MisraGriesSketch::new("S", 5)
+            .summarize(&skewed_view(), 0)
+            .unwrap();
+        assert_eq!(MisraGriesSummary::from_bytes(s.to_bytes()).unwrap(), s);
+        let s = SampledHeavyHittersSketch::new("S", 5, 0.3)
+            .summarize(&skewed_view(), 0)
+            .unwrap();
+        assert_eq!(
+            SampledHeavyHittersSummary::from_bytes(s.to_bytes()).unwrap(),
+            s
+        );
+    }
+}

@@ -1,0 +1,414 @@
+//! Histogram bucket-count kernels, streaming (exact) and sampled.
+//!
+//! Paper §4.3: the histogram vizketch divides a range into B equi-sized
+//! intervals; the summarize function outputs a vector of B bin counts and
+//! merge adds two vectors. The *sampled* variant reads only a uniform subset
+//! of rows at a supplied rate — the viz layer picks the rate from the screen
+//! resolution so the error stays under half a pixel (App. C.2). CDFs reuse
+//! this kernel with one bucket per horizontal pixel.
+
+use crate::buckets::BucketSpec;
+use crate::traits::{Sketch, SketchError, SketchResult, Summary};
+use crate::view::TableView;
+use hillview_columnar::Column;
+use hillview_net::{Result as WireResult, Wire, WireReader, WireWriter};
+use std::sync::Arc;
+
+/// Histogram sketch over one column.
+#[derive(Debug, Clone)]
+pub struct HistogramSketch {
+    /// Column to bucket (numeric for [`BucketSpec::Numeric`], string for
+    /// [`BucketSpec::Strings`]).
+    pub column: Arc<str>,
+    /// Bucket boundaries.
+    pub buckets: BucketSpec,
+    /// Row sampling rate; `>= 1.0` streams every row (exact).
+    pub rate: f64,
+}
+
+impl HistogramSketch {
+    /// Exact (streaming) histogram.
+    pub fn streaming(column: &str, buckets: BucketSpec) -> Self {
+        HistogramSketch {
+            column: Arc::from(column),
+            buckets,
+            rate: 1.0,
+        }
+    }
+
+    /// Sampled histogram at `rate`.
+    pub fn sampled(column: &str, buckets: BucketSpec, rate: f64) -> Self {
+        HistogramSketch {
+            column: Arc::from(column),
+            buckets,
+            rate,
+        }
+    }
+}
+
+/// Bucket counts produced by a [`HistogramSketch`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSummary {
+    /// Count per bucket (of sampled rows when `rate < 1`).
+    pub buckets: Vec<u64>,
+    /// Sampled rows whose value was missing.
+    pub missing: u64,
+    /// Sampled rows whose value fell outside the bucket range.
+    pub out_of_range: u64,
+    /// Total rows inspected (= sample size at the leaf).
+    pub rows_inspected: u64,
+}
+
+impl HistogramSummary {
+    /// Zero counts for `n` buckets.
+    pub fn zero(n: usize) -> Self {
+        HistogramSummary {
+            buckets: vec![0; n],
+            ..Default::default()
+        }
+    }
+
+    /// Total count across buckets.
+    pub fn total_in_buckets(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+}
+
+impl Summary for HistogramSummary {
+    fn merge(&self, other: &Self) -> Self {
+        // The identity summary is zero-length; adopt the other's width.
+        if self.buckets.is_empty() {
+            return other.clone();
+        }
+        if other.buckets.is_empty() {
+            return self.clone();
+        }
+        debug_assert_eq!(self.buckets.len(), other.buckets.len());
+        HistogramSummary {
+            buckets: self
+                .buckets
+                .iter()
+                .zip(&other.buckets)
+                .map(|(a, b)| a + b)
+                .collect(),
+            missing: self.missing + other.missing,
+            out_of_range: self.out_of_range + other.out_of_range,
+            rows_inspected: self.rows_inspected + other.rows_inspected,
+        }
+    }
+}
+
+impl Wire for HistogramSummary {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_varint(self.buckets.len() as u64);
+        for &b in &self.buckets {
+            w.put_varint(b);
+        }
+        w.put_varint(self.missing);
+        w.put_varint(self.out_of_range);
+        w.put_varint(self.rows_inspected);
+    }
+    fn decode(r: &mut WireReader) -> WireResult<Self> {
+        let n = r.get_len("histogram buckets")?;
+        let mut buckets = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            buckets.push(r.get_varint()?);
+        }
+        Ok(HistogramSummary {
+            buckets,
+            missing: r.get_varint()?,
+            out_of_range: r.get_varint()?,
+            rows_inspected: r.get_varint()?,
+        })
+    }
+}
+
+impl Sketch for HistogramSketch {
+    type Summary = HistogramSummary;
+
+    fn name(&self) -> &'static str {
+        if self.rate >= 1.0 {
+            "histogram-streaming"
+        } else {
+            "histogram-sampled"
+        }
+    }
+
+    fn summarize(&self, view: &TableView, seed: u64) -> SketchResult<HistogramSummary> {
+        let col = view.table().column_by_name(&self.column)?;
+        let mut out = HistogramSummary::zero(self.buckets.count());
+        match (&self.buckets, col) {
+            // Numeric buckets over numeric columns: monomorphic hot loops.
+            (BucketSpec::Numeric { .. }, Column::Double(c)) => {
+                self.scan_numeric(view, seed, &mut out, |r| c.get(r));
+            }
+            (BucketSpec::Numeric { .. }, Column::Int(c) | Column::Date(c)) => {
+                self.scan_numeric(view, seed, &mut out, |r| c.get(r).map(|v| v as f64));
+            }
+            // String buckets over dictionary columns: bucket the dictionary
+            // once, then count by code — O(dict) lookups instead of O(rows).
+            (BucketSpec::Strings { .. }, Column::Str(c) | Column::Cat(c)) => {
+                let dict = c.dictionary();
+                let code_bucket: Vec<Option<usize>> = dict
+                    .iter()
+                    .map(|s| self.buckets.index_of_str(s))
+                    .collect();
+                let mut tally = |row: usize| {
+                    out.rows_inspected += 1;
+                    if c.nulls().is_null(row) {
+                        out.missing += 1;
+                        return;
+                    }
+                    match code_bucket[c.codes()[row] as usize] {
+                        Some(b) => out.buckets[b] += 1,
+                        None => out.out_of_range += 1,
+                    }
+                };
+                if self.rate >= 1.0 {
+                    for row in view.iter_rows() {
+                        tally(row);
+                    }
+                } else {
+                    for row in view.sample_rows(self.rate, seed) {
+                        tally(row as usize);
+                    }
+                }
+            }
+            (spec, col) => {
+                return Err(SketchError::BadConfig(format!(
+                    "bucket spec {:?} incompatible with column kind {}",
+                    spec.count(),
+                    col.kind()
+                )))
+            }
+        }
+        Ok(out)
+    }
+
+    fn identity(&self) -> HistogramSummary {
+        HistogramSummary::zero(self.buckets.count())
+    }
+}
+
+impl HistogramSketch {
+    fn scan_numeric(
+        &self,
+        view: &TableView,
+        seed: u64,
+        out: &mut HistogramSummary,
+        get: impl Fn(usize) -> Option<f64>,
+    ) {
+        let mut tally = |row: usize| {
+            out.rows_inspected += 1;
+            match get(row) {
+                None => out.missing += 1,
+                Some(v) => match self.buckets.index_of_f64(v) {
+                    Some(b) => out.buckets[b] += 1,
+                    None => out.out_of_range += 1,
+                },
+            }
+        };
+        if self.rate >= 1.0 {
+            for row in view.iter_rows() {
+                tally(row);
+            }
+        } else {
+            for row in view.sample_rows(self.rate, seed) {
+                tally(row as usize);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::merge_law_holds;
+    use hillview_columnar::column::{DictColumn, F64Column, I64Column};
+    use hillview_columnar::{ColumnKind, MembershipSet, Table};
+
+    fn numeric_view() -> TableView {
+        let vals: Vec<Option<f64>> = (0..100).map(|i| Some(i as f64)).collect();
+        let t = Table::builder()
+            .column(
+                "X",
+                ColumnKind::Double,
+                Column::Double(F64Column::from_options(vals)),
+            )
+            .build()
+            .unwrap();
+        TableView::full(Arc::new(t))
+    }
+
+    #[test]
+    fn streaming_counts_are_exact() {
+        let sk = HistogramSketch::streaming("X", BucketSpec::numeric(0.0, 100.0, 10));
+        let s = sk.summarize(&numeric_view(), 0).unwrap();
+        assert_eq!(s.buckets, vec![10; 10]);
+        assert_eq!(s.missing, 0);
+        assert_eq!(s.out_of_range, 0);
+        assert_eq!(s.rows_inspected, 100);
+    }
+
+    #[test]
+    fn out_of_range_and_missing_counted() {
+        let t = Table::builder()
+            .column(
+                "X",
+                ColumnKind::Double,
+                Column::Double(F64Column::from_options([
+                    Some(-5.0),
+                    Some(5.0),
+                    None,
+                    Some(150.0),
+                ])),
+            )
+            .build()
+            .unwrap();
+        let v = TableView::full(Arc::new(t));
+        let sk = HistogramSketch::streaming("X", BucketSpec::numeric(0.0, 100.0, 10));
+        let s = sk.summarize(&v, 0).unwrap();
+        assert_eq!(s.total_in_buckets(), 1);
+        assert_eq!(s.missing, 1);
+        assert_eq!(s.out_of_range, 2);
+    }
+
+    #[test]
+    fn int_and_date_columns_bucket() {
+        let t = Table::builder()
+            .column(
+                "I",
+                ColumnKind::Int,
+                Column::Int(I64Column::from_options([Some(1), Some(9)])),
+            )
+            .column(
+                "D",
+                ColumnKind::Date,
+                Column::Date(I64Column::from_options([Some(100), Some(900)])),
+            )
+            .build()
+            .unwrap();
+        let v = TableView::full(Arc::new(t));
+        let s = HistogramSketch::streaming("I", BucketSpec::numeric(0.0, 10.0, 2))
+            .summarize(&v, 0)
+            .unwrap();
+        assert_eq!(s.buckets, vec![1, 1]);
+        let s = HistogramSketch::streaming("D", BucketSpec::numeric(0.0, 1000.0, 2))
+            .summarize(&v, 0)
+            .unwrap();
+        assert_eq!(s.buckets, vec![1, 1]);
+    }
+
+    #[test]
+    fn string_histogram_buckets_by_boundaries() {
+        let t = Table::builder()
+            .column(
+                "S",
+                ColumnKind::Category,
+                Column::Cat(DictColumn::from_strings([
+                    Some("apple"),
+                    Some("banana"),
+                    Some("cherry"),
+                    Some("avocado"),
+                    None,
+                ])),
+            )
+            .build()
+            .unwrap();
+        let v = TableView::full(Arc::new(t));
+        let sk = HistogramSketch::streaming(
+            "S",
+            BucketSpec::strings(vec!["a".into(), "b".into(), "c".into()]),
+        );
+        let s = sk.summarize(&v, 0).unwrap();
+        assert_eq!(s.buckets, vec![2, 1, 1]);
+        assert_eq!(s.missing, 1);
+    }
+
+    #[test]
+    fn merge_law_on_partitions() {
+        let v = numeric_view();
+        let t = v.table().clone();
+        let parts: Vec<TableView> = (0..4)
+            .map(|p| {
+                TableView::with_members(
+                    t.clone(),
+                    Arc::new(MembershipSet::from_rows(
+                        (p * 25..(p + 1) * 25).collect(),
+                        100,
+                    )),
+                )
+            })
+            .collect();
+        let sk = HistogramSketch::streaming("X", BucketSpec::numeric(0.0, 100.0, 7));
+        assert!(merge_law_holds(&sk, &v, &parts, 9));
+    }
+
+    #[test]
+    fn sampled_histogram_approximates_exact() {
+        let vals: Vec<Option<f64>> = (0..200_000).map(|i| Some((i % 100) as f64)).collect();
+        let t = Table::builder()
+            .column(
+                "X",
+                ColumnKind::Double,
+                Column::Double(F64Column::from_options(vals)),
+            )
+            .build()
+            .unwrap();
+        let v = TableView::full(Arc::new(t));
+        let spec = BucketSpec::numeric(0.0, 100.0, 10);
+        let sampled = HistogramSketch::sampled("X", spec, 0.05)
+            .summarize(&v, 3)
+            .unwrap();
+        let n = sampled.rows_inspected as f64;
+        assert!((n - 10_000.0).abs() < 1_500.0, "sample size {n}");
+        // Each bucket holds ~10% of the distribution.
+        for (i, &b) in sampled.buckets.iter().enumerate() {
+            let frac = b as f64 / n;
+            assert!((frac - 0.1).abs() < 0.02, "bucket {i} frac {frac}");
+        }
+    }
+
+    #[test]
+    fn sampled_is_deterministic_in_seed() {
+        let v = numeric_view();
+        let sk = HistogramSketch::sampled("X", BucketSpec::numeric(0.0, 100.0, 4), 0.5);
+        assert_eq!(sk.summarize(&v, 1).unwrap(), sk.summarize(&v, 1).unwrap());
+        // Different seeds explore different rows (almost surely).
+        assert_ne!(sk.summarize(&v, 1).unwrap(), sk.summarize(&v, 2).unwrap());
+    }
+
+    #[test]
+    fn identity_is_merge_unit() {
+        let sk = HistogramSketch::streaming("X", BucketSpec::numeric(0.0, 1.0, 3));
+        let s = HistogramSummary {
+            buckets: vec![1, 2, 3],
+            missing: 4,
+            out_of_range: 5,
+            rows_inspected: 15,
+        };
+        assert_eq!(sk.identity().merge(&s), s);
+        assert_eq!(s.merge(&sk.identity()), s);
+    }
+
+    #[test]
+    fn mismatched_spec_and_column_rejected() {
+        let v = numeric_view();
+        let sk = HistogramSketch::streaming("X", BucketSpec::strings(vec!["a".into()]));
+        assert!(matches!(
+            sk.summarize(&v, 0),
+            Err(SketchError::BadConfig(_))
+        ));
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let s = HistogramSummary {
+            buckets: vec![0, 5, 17, 2],
+            missing: 3,
+            out_of_range: 1,
+            rows_inspected: 28,
+        };
+        assert_eq!(HistogramSummary::from_bytes(s.to_bytes()).unwrap(), s);
+    }
+}

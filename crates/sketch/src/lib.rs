@@ -1,0 +1,58 @@
+//! # hillview-sketch
+//!
+//! The mergeable-summary substrate of Hillview-RS.
+//!
+//! Paper §4.1: *"a mergeable summarization method consists of two functions
+//! `summarize(D)` and `merge(S, S')` ... `summarize(D1 ⊎ D2) =
+//! merge(summarize(D1), summarize(D2))`."* Every query in Hillview — charts,
+//! tabular views, auxiliary statistics — is expressed as such a pair, which
+//! is what lets the engine parallelize blindly and stream partial results.
+//!
+//! This crate contains the summarization algorithms themselves, independent
+//! of display resolution (the `hillview-viz` crate layers the
+//! visualization-driven parameter choices on top):
+//!
+//! * [`histogram`]/[`heatmap`]/[`stacked`] — bucket-count kernels, exact
+//!   (streaming) and sampled.
+//! * [`moments`]/[`range`] — column statistics (App. B.3 "Moments").
+//! * [`distinct`] — HyperLogLog distinct counting (App. B.3).
+//! * [`heavy`] — Misra-Gries and sampling heavy hitters (App. B.2/C.3).
+//! * [`bottomk`] — bottom-k sampling over distinct strings, for equi-width
+//!   string buckets (App. B.1).
+//! * [`quantile`] — sampled quantiles for the scroll bar (App. C.1).
+//! * [`nextk`] — the "next K items" tabular-view summary (§4.3).
+//! * [`find`] — find-text in sort order (App. B.2).
+//! * [`pca`] — sampled correlation-matrix sketch plus a Jacobi eigensolver
+//!   for principal component analysis (App. B.3).
+//!
+//! All summaries implement the [`Summary`] merge law (property-tested) and
+//! [`Wire`](hillview_net::Wire) serialization, and all randomized sketches
+//! are deterministic in an explicit seed — the engine's replay-based fault
+//! tolerance depends on that (paper §5.8).
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod bind;
+pub mod bottomk;
+pub mod buckets;
+pub mod count;
+pub mod hashutil;
+pub mod distinct;
+pub mod eigen;
+pub mod find;
+pub mod heatmap;
+pub mod heavy;
+pub mod histogram;
+pub mod moments;
+pub mod nextk;
+pub mod pca;
+pub mod quantile;
+pub mod range;
+pub mod stacked;
+pub mod traits;
+pub mod view;
+
+pub use buckets::BucketSpec;
+pub use traits::{Sketch, SketchError, SketchResult, Summary};
+pub use view::TableView;

@@ -1,0 +1,262 @@
+//! Statistical moments of a numeric column.
+//!
+//! Paper App. B.3: *"Given a column, this vizketch collects its minimum and
+//! maximum values, number of rows, the number of missing values, and the
+//! statistical moments up to a specified value K (including mean and
+//! variance, the first two moments)."*
+
+use crate::traits::{Sketch, SketchError, SketchResult, Summary};
+use crate::view::TableView;
+use hillview_net::{Result as WireResult, Wire, WireReader, WireWriter};
+use std::sync::Arc;
+
+/// Computes min/max/counts and power sums up to order `k` of one column.
+#[derive(Debug, Clone)]
+pub struct MomentsSketch {
+    /// Column name (must be numeric).
+    pub column: Arc<str>,
+    /// Highest moment order (≥ 1).
+    pub k: usize,
+}
+
+impl MomentsSketch {
+    /// Moments up to order `k` of the named column.
+    pub fn new(column: &str, k: usize) -> Self {
+        MomentsSketch {
+            column: Arc::from(column),
+            k: k.max(1),
+        }
+    }
+}
+
+/// Result of a [`MomentsSketch`]: mergeable power sums.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MomentsSummary {
+    /// Present rows.
+    pub present: u64,
+    /// Missing rows.
+    pub missing: u64,
+    /// Minimum value, if any row present.
+    pub min: Option<f64>,
+    /// Maximum value, if any row present.
+    pub max: Option<f64>,
+    /// `sums[i]` = Σ vⁱ⁺¹ over present rows.
+    pub sums: Vec<f64>,
+}
+
+impl MomentsSummary {
+    fn zero(k: usize) -> Self {
+        MomentsSummary {
+            present: 0,
+            missing: 0,
+            min: None,
+            max: None,
+            sums: vec![0.0; k],
+        }
+    }
+
+    /// Mean, if any row is present.
+    pub fn mean(&self) -> Option<f64> {
+        (self.present > 0).then(|| self.sums[0] / self.present as f64)
+    }
+
+    /// Population variance, if at least one row present and k ≥ 2.
+    pub fn variance(&self) -> Option<f64> {
+        if self.present == 0 || self.sums.len() < 2 {
+            return None;
+        }
+        let n = self.present as f64;
+        let mean = self.sums[0] / n;
+        Some((self.sums[1] / n - mean * mean).max(0.0))
+    }
+}
+
+impl Summary for MomentsSummary {
+    fn merge(&self, other: &Self) -> Self {
+        debug_assert_eq!(self.sums.len(), other.sums.len());
+        MomentsSummary {
+            present: self.present + other.present,
+            missing: self.missing + other.missing,
+            min: match (self.min, other.min) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (x, None) | (None, x) => x,
+            },
+            max: match (self.max, other.max) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                (x, None) | (None, x) => x,
+            },
+            sums: self
+                .sums
+                .iter()
+                .zip(&other.sums)
+                .map(|(a, b)| a + b)
+                .collect(),
+        }
+    }
+}
+
+impl Wire for MomentsSummary {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_varint(self.present);
+        w.put_varint(self.missing);
+        self.min.encode(w);
+        self.max.encode(w);
+        self.sums.encode(w);
+    }
+    fn decode(r: &mut WireReader) -> WireResult<Self> {
+        Ok(MomentsSummary {
+            present: r.get_varint()?,
+            missing: r.get_varint()?,
+            min: Option::<f64>::decode(r)?,
+            max: Option::<f64>::decode(r)?,
+            sums: Vec::<f64>::decode(r)?,
+        })
+    }
+}
+
+impl Sketch for MomentsSketch {
+    type Summary = MomentsSummary;
+
+    fn name(&self) -> &'static str {
+        "moments"
+    }
+
+    fn summarize(&self, view: &TableView, _seed: u64) -> SketchResult<MomentsSummary> {
+        let col = view.table().column_by_name(&self.column)?;
+        if !col.kind().is_numeric() {
+            return Err(SketchError::BadConfig(format!(
+                "moments require a numeric column, {} is {}",
+                self.column,
+                col.kind()
+            )));
+        }
+        let mut out = MomentsSummary::zero(self.k);
+        for r in view.iter_rows() {
+            match col.as_f64(r) {
+                None => out.missing += 1,
+                Some(v) => {
+                    out.present += 1;
+                    out.min = Some(out.min.map_or(v, |m| m.min(v)));
+                    out.max = Some(out.max.map_or(v, |m| m.max(v)));
+                    let mut p = 1.0;
+                    for s in &mut out.sums {
+                        p *= v;
+                        *s += p;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn identity(&self) -> MomentsSummary {
+        MomentsSummary::zero(self.k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hillview_columnar::column::{Column, F64Column};
+    use hillview_columnar::{ColumnKind, MembershipSet, Table};
+
+    fn view(vals: &[Option<f64>]) -> TableView {
+        let t = Table::builder()
+            .column(
+                "X",
+                ColumnKind::Double,
+                Column::Double(F64Column::from_options(vals.iter().copied())),
+            )
+            .build()
+            .unwrap();
+        TableView::full(Arc::new(t))
+    }
+
+    #[test]
+    fn mean_and_variance() {
+        let v = view(&[Some(2.0), Some(4.0), Some(6.0), None]);
+        let s = MomentsSketch::new("X", 2).summarize(&v, 0).unwrap();
+        assert_eq!(s.present, 3);
+        assert_eq!(s.missing, 1);
+        assert_eq!(s.mean(), Some(4.0));
+        let var = s.variance().unwrap();
+        assert!((var - 8.0 / 3.0).abs() < 1e-12, "var={var}");
+        assert_eq!(s.min, Some(2.0));
+        assert_eq!(s.max, Some(6.0));
+    }
+
+    #[test]
+    fn higher_moments() {
+        let v = view(&[Some(1.0), Some(2.0)]);
+        let s = MomentsSketch::new("X", 4).summarize(&v, 0).unwrap();
+        assert_eq!(s.sums, vec![3.0, 5.0, 9.0, 17.0]);
+    }
+
+    #[test]
+    fn merge_matches_whole_scan() {
+        let v = view(&[Some(1.0), Some(2.0), Some(3.0), Some(4.0)]);
+        let t = v.table().clone();
+        let sk = MomentsSketch::new("X", 3);
+        let whole = sk.summarize(&v, 0).unwrap();
+        let a = sk
+            .summarize(
+                &TableView::with_members(
+                    t.clone(),
+                    Arc::new(MembershipSet::from_rows(vec![0, 1], 4)),
+                ),
+                0,
+            )
+            .unwrap();
+        let b = sk
+            .summarize(
+                &TableView::with_members(t, Arc::new(MembershipSet::from_rows(vec![2, 3], 4))),
+                0,
+            )
+            .unwrap();
+        let merged = a.merge(&b).merge(&sk.identity());
+        assert_eq!(merged.present, whole.present);
+        assert_eq!(merged.min, whole.min);
+        assert_eq!(merged.max, whole.max);
+        for (m, w) in merged.sums.iter().zip(&whole.sums) {
+            assert!((m - w).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn non_numeric_column_rejected() {
+        use hillview_columnar::column::DictColumn;
+        let t = Table::builder()
+            .column(
+                "S",
+                ColumnKind::String,
+                Column::Str(DictColumn::from_strings([Some("a")])),
+            )
+            .build()
+            .unwrap();
+        let v = TableView::full(Arc::new(t));
+        assert!(matches!(
+            MomentsSketch::new("S", 2).summarize(&v, 0),
+            Err(SketchError::BadConfig(_))
+        ));
+    }
+
+    #[test]
+    fn empty_has_no_mean() {
+        let v = view(&[]);
+        let s = MomentsSketch::new("X", 2).summarize(&v, 0).unwrap();
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.variance(), None);
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let s = MomentsSummary {
+            present: 3,
+            missing: 1,
+            min: Some(-1.0),
+            max: Some(5.0),
+            sums: vec![7.0, 35.0],
+        };
+        assert_eq!(MomentsSummary::from_bytes(s.to_bytes()).unwrap(), s);
+    }
+}

@@ -1,0 +1,237 @@
+//! Column range: min/max plus counts.
+//!
+//! Every chart starts with a range computation (paper §5.3 / App. B.4:
+//! "All charts, when produced initially, require a vizketch to determine the
+//! range of the inputs; subsequently, this information can be cached").
+//! Numeric columns report numeric bounds; string columns report the
+//! lexicographic extremes.
+
+use crate::traits::{Sketch, SketchResult, Summary};
+use crate::view::TableView;
+use hillview_net::{Result as WireResult, Wire, WireReader, WireWriter};
+use std::sync::Arc;
+
+/// Computes the range of one column.
+#[derive(Debug, Clone)]
+pub struct RangeSketch {
+    /// Column name.
+    pub column: Arc<str>,
+}
+
+impl RangeSketch {
+    /// Range of the named column.
+    pub fn new(column: &str) -> Self {
+        RangeSketch {
+            column: Arc::from(column),
+        }
+    }
+}
+
+/// Result of a [`RangeSketch`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RangeSummary {
+    /// Present (non-missing) rows.
+    pub present: u64,
+    /// Missing rows.
+    pub missing: u64,
+    /// Numeric minimum, if the column is numeric and any row present.
+    pub min: Option<f64>,
+    /// Numeric maximum.
+    pub max: Option<f64>,
+    /// Lexicographic minimum, for string columns.
+    pub min_str: Option<String>,
+    /// Lexicographic maximum, for string columns.
+    pub max_str: Option<String>,
+}
+
+impl Summary for RangeSummary {
+    fn merge(&self, other: &Self) -> Self {
+        RangeSummary {
+            present: self.present + other.present,
+            missing: self.missing + other.missing,
+            min: merge_opt(self.min, other.min, f64::min),
+            max: merge_opt(self.max, other.max, f64::max),
+            min_str: merge_opt_clone(&self.min_str, &other.min_str, |a, b| {
+                if a <= b { a } else { b }
+            }),
+            max_str: merge_opt_clone(&self.max_str, &other.max_str, |a, b| {
+                if a >= b { a } else { b }
+            }),
+        }
+    }
+}
+
+fn merge_opt<T: Copy>(a: Option<T>, b: Option<T>, f: impl Fn(T, T) -> T) -> Option<T> {
+    match (a, b) {
+        (Some(a), Some(b)) => Some(f(a, b)),
+        (x, None) | (None, x) => x,
+    }
+}
+
+fn merge_opt_clone<T: Clone>(
+    a: &Option<T>,
+    b: &Option<T>,
+    f: impl Fn(T, T) -> T,
+) -> Option<T> {
+    match (a, b) {
+        (Some(a), Some(b)) => Some(f(a.clone(), b.clone())),
+        (x, None) => x.clone(),
+        (None, x) => x.clone(),
+    }
+}
+
+impl Wire for RangeSummary {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_varint(self.present);
+        w.put_varint(self.missing);
+        self.min.encode(w);
+        self.max.encode(w);
+        self.min_str.encode(w);
+        self.max_str.encode(w);
+    }
+    fn decode(r: &mut WireReader) -> WireResult<Self> {
+        Ok(RangeSummary {
+            present: r.get_varint()?,
+            missing: r.get_varint()?,
+            min: Option::<f64>::decode(r)?,
+            max: Option::<f64>::decode(r)?,
+            min_str: Option::<String>::decode(r)?,
+            max_str: Option::<String>::decode(r)?,
+        })
+    }
+}
+
+impl Sketch for RangeSketch {
+    type Summary = RangeSummary;
+
+    fn name(&self) -> &'static str {
+        "range"
+    }
+
+    fn summarize(&self, view: &TableView, _seed: u64) -> SketchResult<RangeSummary> {
+        let col = view.table().column_by_name(&self.column)?;
+        let mut out = RangeSummary::default();
+        if let Some(dict) = col.as_dict_col() {
+            for r in view.iter_rows() {
+                match dict.get(r) {
+                    None => out.missing += 1,
+                    Some(s) => {
+                        out.present += 1;
+                        let s = s.as_ref();
+                        if out.min_str.as_deref().map_or(true, |m| s < m) {
+                            out.min_str = Some(s.to_string());
+                        }
+                        if out.max_str.as_deref().map_or(true, |m| s > m) {
+                            out.max_str = Some(s.to_string());
+                        }
+                    }
+                }
+            }
+        } else {
+            for r in view.iter_rows() {
+                match col.as_f64(r) {
+                    None => out.missing += 1,
+                    Some(v) => {
+                        out.present += 1;
+                        out.min = Some(out.min.map_or(v, |m| m.min(v)));
+                        out.max = Some(out.max.map_or(v, |m| m.max(v)));
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn identity(&self) -> RangeSummary {
+        RangeSummary::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::merge_law_holds;
+    use hillview_columnar::column::{Column, DictColumn, F64Column};
+    use hillview_columnar::{ColumnKind, MembershipSet, Table};
+
+    fn view() -> TableView {
+        let t = Table::builder()
+            .column(
+                "D",
+                ColumnKind::Double,
+                Column::Double(F64Column::from_options([
+                    Some(5.0),
+                    None,
+                    Some(-3.5),
+                    Some(12.0),
+                ])),
+            )
+            .column(
+                "S",
+                ColumnKind::String,
+                Column::Str(DictColumn::from_strings([
+                    Some("m"),
+                    Some("a"),
+                    None,
+                    Some("z"),
+                ])),
+            )
+            .build()
+            .unwrap();
+        TableView::full(Arc::new(t))
+    }
+
+    #[test]
+    fn numeric_range() {
+        let s = RangeSketch::new("D").summarize(&view(), 0).unwrap();
+        assert_eq!(s.present, 3);
+        assert_eq!(s.missing, 1);
+        assert_eq!(s.min, Some(-3.5));
+        assert_eq!(s.max, Some(12.0));
+        assert_eq!(s.min_str, None);
+    }
+
+    #[test]
+    fn string_range() {
+        let s = RangeSketch::new("S").summarize(&view(), 0).unwrap();
+        assert_eq!(s.min_str.as_deref(), Some("a"));
+        assert_eq!(s.max_str.as_deref(), Some("z"));
+        assert_eq!(s.min, None);
+    }
+
+    #[test]
+    fn merge_law() {
+        let v = view();
+        let t = v.table().clone();
+        let parts = vec![
+            TableView::with_members(t.clone(), Arc::new(MembershipSet::from_rows(vec![0, 1], 4))),
+            TableView::with_members(t, Arc::new(MembershipSet::from_rows(vec![2, 3], 4))),
+        ];
+        assert!(merge_law_holds(&RangeSketch::new("D"), &v, &parts, 0));
+        assert!(merge_law_holds(&RangeSketch::new("S"), &v, &parts, 0));
+    }
+
+    #[test]
+    fn empty_view_gives_identity() {
+        let v = view();
+        let empty = TableView::with_members(
+            v.table().clone(),
+            Arc::new(MembershipSet::from_rows(vec![], 4)),
+        );
+        let sk = RangeSketch::new("D");
+        assert_eq!(sk.summarize(&empty, 0).unwrap(), sk.identity());
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let s = RangeSummary {
+            present: 10,
+            missing: 2,
+            min: Some(-1.0),
+            max: Some(9.0),
+            min_str: None,
+            max_str: Some("zz".into()),
+        };
+        assert_eq!(RangeSummary::from_bytes(s.to_bytes()).unwrap(), s);
+    }
+}

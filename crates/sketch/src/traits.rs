@@ -1,0 +1,100 @@
+//! The `Sketch`/`Summary` abstraction (paper §4.1, Appendix A).
+
+use crate::view::TableView;
+use hillview_net::Wire;
+use std::fmt;
+
+/// Errors a sketch can raise while summarizing a partition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SketchError {
+    /// Underlying columnar error (unknown column, type mismatch...).
+    Column(String),
+    /// The sketch was configured with invalid parameters.
+    BadConfig(String),
+}
+
+impl fmt::Display for SketchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SketchError::Column(m) => write!(f, "column error: {m}"),
+            SketchError::BadConfig(m) => write!(f, "bad sketch configuration: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SketchError {}
+
+impl From<hillview_columnar::Error> for SketchError {
+    fn from(e: hillview_columnar::Error) -> Self {
+        SketchError::Column(e.to_string())
+    }
+}
+
+/// Result alias for sketch operations.
+pub type SketchResult<T> = Result<T, SketchError>;
+
+/// A mergeable summary (paper §4.1).
+///
+/// `merge` must be associative and commutative with the sketch's identity
+/// summary as unit — the execution tree merges summaries in whatever order
+/// partitions happen to complete, so any other behaviour would make results
+/// depend on timing. These laws are property-tested per summary type.
+pub trait Summary: Clone + Send + Sync + 'static {
+    /// Combine two summaries of disjoint data partitions.
+    fn merge(&self, other: &Self) -> Self;
+}
+
+/// A mergeable summarization method bound to concrete parameters
+/// (column names, bucket boundaries, sampling rates...).
+///
+/// Implementations must be deterministic functions of `(view, seed)`: the
+/// engine logs seeds in its redo log and replays sketches after failures,
+/// expecting bit-identical summaries (paper §5.8).
+pub trait Sketch: Send + Sync + 'static {
+    /// The summary type this sketch produces.
+    type Summary: Summary + Wire;
+
+    /// A short stable name, used for computation-cache keys and diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Summarize one partition view.
+    fn summarize(&self, view: &TableView, seed: u64) -> SketchResult<Self::Summary>;
+
+    /// The merge identity (summary of an empty partition).
+    fn identity(&self) -> Self::Summary;
+}
+
+/// Check the mergeability law on concrete data: summarizing the union must
+/// equal merging the parts. Exact sketches satisfy this bit-for-bit when
+/// given the same effective sampling behaviour; used by tests.
+pub fn merge_law_holds<S>(sketch: &S, whole: &TableView, parts: &[TableView], seed: u64) -> bool
+where
+    S: Sketch,
+    S::Summary: PartialEq,
+{
+    let direct = match sketch.summarize(whole, seed) {
+        Ok(s) => s,
+        Err(_) => return false,
+    };
+    let mut merged = sketch.identity();
+    for p in parts {
+        match sketch.summarize(p, seed) {
+            Ok(s) => merged = merged.merge(&s),
+            Err(_) => return false,
+        }
+    }
+    direct == merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display() {
+        let e = SketchError::BadConfig("zero buckets".into());
+        assert!(e.to_string().contains("zero buckets"));
+        let e: SketchError = hillview_columnar::Error::UnknownColumn("X".into()).into();
+        assert!(e.to_string().contains('X'));
+    }
+}

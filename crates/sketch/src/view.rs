@@ -1,0 +1,122 @@
+//! Partition views: the data a sketch's `summarize` sees.
+//!
+//! A view pairs an immutable [`Table`] (one micropartition of columnar data)
+//! with a [`MembershipSet`] selecting which of its rows belong to the
+//! current (possibly filtered) dataset — the paper's §5.6 derived-table
+//! representation, where filtered tables share storage with their parents.
+
+use hillview_columnar::{MembershipSet, Table};
+use std::sync::Arc;
+
+/// One partition's worth of (possibly filtered) data.
+#[derive(Debug, Clone)]
+pub struct TableView {
+    table: Arc<Table>,
+    members: Arc<MembershipSet>,
+}
+
+impl TableView {
+    /// View over every row of `table`.
+    pub fn full(table: Arc<Table>) -> Self {
+        let n = table.num_rows();
+        TableView {
+            table,
+            members: Arc::new(MembershipSet::full(n)),
+        }
+    }
+
+    /// View over a subset of rows.
+    pub fn with_members(table: Arc<Table>, members: Arc<MembershipSet>) -> Self {
+        debug_assert_eq!(members.universe(), table.num_rows());
+        TableView { table, members }
+    }
+
+    /// The underlying table.
+    pub fn table(&self) -> &Arc<Table> {
+        &self.table
+    }
+
+    /// The membership set.
+    pub fn members(&self) -> &Arc<MembershipSet> {
+        &self.members
+    }
+
+    /// Number of rows present in the view.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True if the view has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Iterate present row indexes in ascending order.
+    pub fn iter_rows(&self) -> impl Iterator<Item = usize> + '_ {
+        self.members.iter()
+    }
+
+    /// Uniform row sample at `rate`, deterministic in `seed` (§5.6).
+    pub fn sample_rows(&self, rate: f64, seed: u64) -> Vec<u32> {
+        self.members.sample(rate, seed)
+    }
+
+    /// Derive a narrower view by intersecting membership.
+    pub fn restrict(&self, members: &MembershipSet) -> TableView {
+        TableView {
+            table: self.table.clone(),
+            members: Arc::new(self.members.intersect(members)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hillview_columnar::column::{Column, I64Column};
+    use hillview_columnar::ColumnKind;
+
+    fn table(n: usize) -> Arc<Table> {
+        Arc::new(
+            Table::builder()
+                .column(
+                    "X",
+                    ColumnKind::Int,
+                    Column::Int(I64Column::from_options((0..n as i64).map(Some))),
+                )
+                .build()
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn full_view_covers_table() {
+        let v = TableView::full(table(10));
+        assert_eq!(v.len(), 10);
+        assert_eq!(v.iter_rows().count(), 10);
+    }
+
+    #[test]
+    fn filtered_view() {
+        let t = table(10);
+        let m = Arc::new(MembershipSet::from_rows(vec![1, 3, 5], 10));
+        let v = TableView::with_members(t, m);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.iter_rows().collect::<Vec<_>>(), vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn restrict_intersects() {
+        let v = TableView::full(table(10));
+        let v2 = v.restrict(&MembershipSet::from_rows(vec![0, 2, 9], 10));
+        assert_eq!(v2.iter_rows().collect::<Vec<_>>(), vec![0, 2, 9]);
+        let v3 = v2.restrict(&MembershipSet::from_rows(vec![2, 3], 10));
+        assert_eq!(v3.iter_rows().collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let v = TableView::full(table(1000));
+        assert_eq!(v.sample_rows(0.3, 5), v.sample_rows(0.3, 5));
+    }
+}

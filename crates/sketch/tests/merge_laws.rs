@@ -1,0 +1,215 @@
+//! Property tests for the sketch merge laws (paper §4.1).
+//!
+//! For every summary type: merge is commutative, associative, and has the
+//! sketch identity as unit; and for exact (non-sampled) sketches,
+//! `summarize(D1 ⊎ D2) = merge(summarize(D1), summarize(D2))` over random
+//! data and random partition splits.
+
+use hillview_columnar::column::{Column, DictColumn, F64Column};
+use hillview_columnar::{ColumnKind, MembershipSet, SortOrder, Table};
+use hillview_sketch::buckets::BucketSpec;
+use hillview_sketch::count::CountSketch;
+use hillview_sketch::distinct::DistinctSketch;
+use hillview_sketch::heatmap::HeatmapSketch;
+use hillview_sketch::heavy::MisraGriesSketch;
+use hillview_sketch::histogram::HistogramSketch;
+use hillview_sketch::nextk::NextKSketch;
+use hillview_sketch::range::RangeSketch;
+use hillview_sketch::stacked::StackedHistogramSketch;
+use hillview_sketch::traits::{Sketch, Summary};
+use hillview_sketch::TableView;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Random table: numeric column X in [0, 100) with nulls, category column C.
+fn table_strategy() -> impl Strategy<Value = Table> {
+    let rows = proptest::collection::vec(
+        (
+            proptest::option::weighted(0.9, 0.0f64..100.0),
+            0usize..5usize,
+        ),
+        1..200,
+    );
+    rows.prop_map(|rows| {
+        let cats = ["aa", "bb", "cc", "dd", "ee"];
+        Table::builder()
+            .column(
+                "X",
+                ColumnKind::Double,
+                Column::Double(F64Column::from_options(rows.iter().map(|(x, _)| *x))),
+            )
+            .column(
+                "C",
+                ColumnKind::Category,
+                Column::Cat(DictColumn::from_strings(
+                    rows.iter().map(|(_, c)| Some(cats[*c])),
+                )),
+            )
+            .build()
+            .unwrap()
+    })
+}
+
+/// Split `n` rows into three disjoint views by `split` percentages.
+fn three_way_split(table: Arc<Table>, cut1: usize, cut2: usize) -> Vec<TableView> {
+    let n = table.num_rows();
+    let c1 = (cut1 % (n + 1)).min(n);
+    let c2 = c1 + (cut2 % (n - c1 + 1));
+    [(0..c1), (c1..c2), (c2..n)]
+        .into_iter()
+        .map(|r| {
+            TableView::with_members(
+                table.clone(),
+                Arc::new(MembershipSet::from_rows(r.map(|i| i as u32).collect(), n)),
+            )
+        })
+        .collect()
+}
+
+/// Assert the full merge-law battery for an exact sketch, returning the
+/// error string on failure so proptest can shrink.
+fn check_exact_sketch<S>(sketch: &S, table: Arc<Table>, cut1: usize, cut2: usize) -> Result<(), TestCaseError>
+where
+    S: Sketch,
+    S::Summary: PartialEq + std::fmt::Debug,
+{
+    let whole = TableView::full(table.clone());
+    let parts = three_way_split(table, cut1, cut2);
+    let direct = sketch.summarize(&whole, 7).unwrap();
+    let s: Vec<_> = parts
+        .iter()
+        .map(|p| sketch.summarize(p, 7).unwrap())
+        .collect();
+    // Mergeability.
+    let merged = s[0].merge(&s[1]).merge(&s[2]);
+    prop_assert_eq!(&merged, &direct, "summarize(⊎) == fold(merge)");
+    // Commutativity & associativity.
+    let ab_c = s[0].merge(&s[1]).merge(&s[2]);
+    let a_bc = s[0].merge(&s[1].merge(&s[2]));
+    prop_assert_eq!(&ab_c, &a_bc, "associative");
+    let ba = s[1].merge(&s[0]);
+    let ab = s[0].merge(&s[1]);
+    prop_assert_eq!(&ba, &ab, "commutative");
+    // Identity.
+    let with_id = direct.merge(&sketch.identity());
+    prop_assert_eq!(&with_id, &direct, "identity is unit");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn count_merge_laws(t in table_strategy(), c1 in 0usize..200, c2 in 0usize..200) {
+        check_exact_sketch(&CountSketch::of_column("X"), Arc::new(t), c1, c2)?;
+    }
+
+    #[test]
+    fn range_merge_laws(t in table_strategy(), c1 in 0usize..200, c2 in 0usize..200) {
+        check_exact_sketch(&RangeSketch::new("X"), Arc::new(t), c1, c2)?;
+    }
+
+    #[test]
+    fn histogram_merge_laws(t in table_strategy(), c1 in 0usize..200, c2 in 0usize..200) {
+        let sk = HistogramSketch::streaming("X", BucketSpec::numeric(0.0, 100.0, 13));
+        check_exact_sketch(&sk, Arc::new(t), c1, c2)?;
+    }
+
+    #[test]
+    fn string_histogram_merge_laws(t in table_strategy(), c1 in 0usize..200, c2 in 0usize..200) {
+        let sk = HistogramSketch::streaming(
+            "C",
+            BucketSpec::strings(vec!["aa".into(), "cc".into()]),
+        );
+        check_exact_sketch(&sk, Arc::new(t), c1, c2)?;
+    }
+
+    #[test]
+    fn heatmap_merge_laws(t in table_strategy(), c1 in 0usize..200, c2 in 0usize..200) {
+        let sk = HeatmapSketch::streaming(
+            "X",
+            "C",
+            BucketSpec::numeric(0.0, 100.0, 5),
+            BucketSpec::strings(vec!["aa".into(), "cc".into(), "ee".into()]),
+        );
+        check_exact_sketch(&sk, Arc::new(t), c1, c2)?;
+    }
+
+    #[test]
+    fn stacked_merge_laws(t in table_strategy(), c1 in 0usize..200, c2 in 0usize..200) {
+        let sk = StackedHistogramSketch::streaming(
+            "X",
+            "C",
+            BucketSpec::numeric(0.0, 100.0, 4),
+            BucketSpec::strings(vec!["aa".into(), "bb".into(), "cc".into()]),
+        );
+        check_exact_sketch(&sk, Arc::new(t), c1, c2)?;
+    }
+
+    #[test]
+    fn hll_merge_laws(t in table_strategy(), c1 in 0usize..200, c2 in 0usize..200) {
+        check_exact_sketch(&DistinctSketch::new("C"), Arc::new(t), c1, c2)?;
+    }
+
+    #[test]
+    fn nextk_merge_laws(t in table_strategy(), c1 in 0usize..200, c2 in 0usize..200) {
+        let sk = NextKSketch::first_page(SortOrder::ascending(&["C", "X"]), 7);
+        check_exact_sketch(&sk, Arc::new(t), c1, c2)?;
+    }
+
+    /// Misra-Gries is not exactly partition-invariant (the summary depends on
+    /// arrival order), but the heavy-hitter *guarantee* must survive merging:
+    /// any item with true frequency > total/k appears in the merged counters.
+    #[test]
+    fn misra_gries_guarantee_survives_merge(
+        t in table_strategy(),
+        c1 in 0usize..200,
+        c2 in 0usize..200,
+    ) {
+        let table = Arc::new(t);
+        let k = 3usize;
+        let sk = MisraGriesSketch::new("C", k);
+        let parts = three_way_split(table.clone(), c1, c2);
+        let merged = parts
+            .iter()
+            .map(|p| sk.summarize(p, 0).unwrap())
+            .fold(sk.identity(), |acc, s| acc.merge(&s));
+        // Exact counts for comparison.
+        let col = table.column_by_name("C").unwrap();
+        let mut exact = std::collections::HashMap::new();
+        for i in 0..table.num_rows() {
+            *exact.entry(col.value(i).to_string()).or_insert(0u64) += 1;
+        }
+        let total = table.num_rows() as u64;
+        for (v, count) in exact {
+            if count > total / k as u64 {
+                let found = merged
+                    .counters
+                    .iter()
+                    .any(|(val, _)| val.to_string() == v);
+                prop_assert!(found, "heavy item {} (count {}) missing", v, count);
+            }
+        }
+    }
+
+    /// Wire round-trips on randomly generated summaries.
+    #[test]
+    fn summaries_roundtrip_wire(t in table_strategy()) {
+        use hillview_net::Wire;
+        let v = TableView::full(Arc::new(t));
+        let h = HistogramSketch::streaming("X", BucketSpec::numeric(0.0, 100.0, 9))
+            .summarize(&v, 0)
+            .unwrap();
+        prop_assert_eq!(
+            hillview_sketch::histogram::HistogramSummary::from_bytes(h.to_bytes()).unwrap(),
+            h
+        );
+        let n = NextKSketch::first_page(SortOrder::ascending(&["X"]), 5)
+            .summarize(&v, 0)
+            .unwrap();
+        prop_assert_eq!(
+            hillview_sketch::nextk::NextKSummary::from_bytes(n.to_bytes()).unwrap(),
+            n
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! Storage-layer errors.
+
+use std::fmt;
+
+/// Errors from readers, writers, and partitioning.
+#[derive(Debug)]
+pub enum Error {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed input at a given line/offset.
+    Parse {
+        /// Format being parsed ("csv", "jsonl", "hvc").
+        format: &'static str,
+        /// 1-based line (text formats) or byte offset (binary).
+        at: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Columnar-layer error while assembling tables.
+    Column(hillview_columnar::Error),
+    /// A schema mismatch between file and expectation.
+    Schema(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "I/O error: {e}"),
+            Error::Parse {
+                format,
+                at,
+                message,
+            } => write!(f, "{format} parse error at {at}: {message}"),
+            Error::Column(e) => write!(f, "column error: {e}"),
+            Error::Schema(m) => write!(f, "schema error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            Error::Column(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+impl From<hillview_columnar::Error> for Error {
+    fn from(e: hillview_columnar::Error) -> Self {
+        Error::Column(e)
+    }
+}
+
+/// Result alias using [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_location() {
+        let e = Error::Parse {
+            format: "csv",
+            at: 42,
+            message: "unterminated quote".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("csv") && s.contains("42") && s.contains("quote"));
+    }
+}

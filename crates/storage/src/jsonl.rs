@@ -1,0 +1,345 @@
+//! JSON-lines reader: one JSON object per line.
+//!
+//! Hillview reads "JSON files" among its storage formats (paper §2). This
+//! module contains a small self-contained JSON value parser (objects,
+//! arrays, strings with escapes, numbers, booleans, null) and a reader that
+//! assembles flat objects into a columnar [`Table`] with type inference.
+
+use crate::error::{Error, Result};
+use hillview_columnar::column::{Column, DictColumn, F64Column, I64Column};
+use hillview_columnar::Table;
+use std::collections::BTreeMap;
+use std::io::BufRead;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true`/`false`.
+    Bool(bool),
+    /// Integral number.
+    Int(i64),
+    /// Non-integral number.
+    Double(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Json>),
+    /// Object (sorted keys).
+    Object(BTreeMap<String, Json>),
+}
+
+/// Parse one JSON document from a string.
+pub fn parse_json(input: &str) -> std::result::Result<Json, String> {
+    let chars: Vec<char> = input.chars().collect();
+    let mut pos = 0usize;
+    let v = parse_value(&chars, &mut pos)?;
+    skip_ws(&chars, &mut pos);
+    if pos != chars.len() {
+        return Err(format!("trailing characters at {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(c: &[char], pos: &mut usize) {
+    while *pos < c.len() && c[*pos].is_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn parse_value(c: &[char], pos: &mut usize) -> std::result::Result<Json, String> {
+    skip_ws(c, pos);
+    match c.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some('{') => {
+            *pos += 1;
+            let mut map = BTreeMap::new();
+            skip_ws(c, pos);
+            if c.get(*pos) == Some(&'}') {
+                *pos += 1;
+                return Ok(Json::Object(map));
+            }
+            loop {
+                skip_ws(c, pos);
+                let key = match parse_value(c, pos)? {
+                    Json::Str(s) => s,
+                    other => return Err(format!("object key must be string, got {other:?}")),
+                };
+                skip_ws(c, pos);
+                if c.get(*pos) != Some(&':') {
+                    return Err(format!("expected ':' at {pos}"));
+                }
+                *pos += 1;
+                let val = parse_value(c, pos)?;
+                map.insert(key, val);
+                skip_ws(c, pos);
+                match c.get(*pos) {
+                    Some(',') => *pos += 1,
+                    Some('}') => {
+                        *pos += 1;
+                        return Ok(Json::Object(map));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at {pos}")),
+                }
+            }
+        }
+        Some('[') => {
+            *pos += 1;
+            let mut arr = Vec::new();
+            skip_ws(c, pos);
+            if c.get(*pos) == Some(&']') {
+                *pos += 1;
+                return Ok(Json::Array(arr));
+            }
+            loop {
+                arr.push(parse_value(c, pos)?);
+                skip_ws(c, pos);
+                match c.get(*pos) {
+                    Some(',') => *pos += 1,
+                    Some(']') => {
+                        *pos += 1;
+                        return Ok(Json::Array(arr));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at {pos}")),
+                }
+            }
+        }
+        Some('"') => {
+            *pos += 1;
+            let mut s = String::new();
+            loop {
+                match c.get(*pos) {
+                    None => return Err("unterminated string".into()),
+                    Some('"') => {
+                        *pos += 1;
+                        return Ok(Json::Str(s));
+                    }
+                    Some('\\') => {
+                        *pos += 1;
+                        match c.get(*pos) {
+                            Some('"') => s.push('"'),
+                            Some('\\') => s.push('\\'),
+                            Some('/') => s.push('/'),
+                            Some('n') => s.push('\n'),
+                            Some('t') => s.push('\t'),
+                            Some('r') => s.push('\r'),
+                            Some('b') => s.push('\u{8}'),
+                            Some('f') => s.push('\u{c}'),
+                            Some('u') => {
+                                let hex: String =
+                                    c.get(*pos + 1..*pos + 5).ok_or("bad \\u escape")?.iter().collect();
+                                let code = u32::from_str_radix(&hex, 16)
+                                    .map_err(|_| "bad \\u escape".to_string())?;
+                                s.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                                *pos += 4;
+                            }
+                            other => return Err(format!("bad escape {other:?}")),
+                        }
+                        *pos += 1;
+                    }
+                    Some(ch) => {
+                        s.push(*ch);
+                        *pos += 1;
+                    }
+                }
+            }
+        }
+        Some('t') => expect_lit(c, pos, "true", Json::Bool(true)),
+        Some('f') => expect_lit(c, pos, "false", Json::Bool(false)),
+        Some('n') => expect_lit(c, pos, "null", Json::Null),
+        Some(_) => {
+            let start = *pos;
+            while *pos < c.len()
+                && matches!(c[*pos], '0'..='9' | '-' | '+' | '.' | 'e' | 'E')
+            {
+                *pos += 1;
+            }
+            let text: String = c[start..*pos].iter().collect();
+            if let Ok(i) = text.parse::<i64>() {
+                Ok(Json::Int(i))
+            } else if let Ok(f) = text.parse::<f64>() {
+                Ok(Json::Double(f))
+            } else {
+                Err(format!("invalid number {text:?} at {start}"))
+            }
+        }
+    }
+}
+
+fn expect_lit(
+    c: &[char],
+    pos: &mut usize,
+    lit: &str,
+    value: Json,
+) -> std::result::Result<Json, String> {
+    let end = *pos + lit.len();
+    if c.len() >= end && c[*pos..end].iter().collect::<String>() == lit {
+        *pos = end;
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at {pos}"))
+    }
+}
+
+/// Read a JSON-lines stream into a [`Table`]. Columns are the union of all
+/// object keys; nested values are stored as their JSON text.
+pub fn read_jsonl(reader: impl BufRead) -> Result<Table> {
+    let mut columns: BTreeMap<String, Vec<Option<Json>>> = BTreeMap::new();
+    let mut rows = 0usize;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let obj = parse_json(&line).map_err(|m| Error::Parse {
+            format: "jsonl",
+            at: idx + 1,
+            message: m,
+        })?;
+        let map = match obj {
+            Json::Object(m) => m,
+            other => {
+                return Err(Error::Parse {
+                    format: "jsonl",
+                    at: idx + 1,
+                    message: format!("expected object per line, got {other:?}"),
+                })
+            }
+        };
+        // Backfill new columns and append this row.
+        for (k, v) in map {
+            columns.entry(k).or_insert_with(|| vec![None; rows]).push(Some(v));
+        }
+        rows += 1;
+        for col in columns.values_mut() {
+            if col.len() < rows {
+                col.push(None);
+            }
+        }
+    }
+
+    let mut builder = Table::builder();
+    for (name, vals) in &columns {
+        let all_int = vals
+            .iter()
+            .flatten()
+            .all(|v| matches!(v, Json::Int(_)));
+        let all_num = vals
+            .iter()
+            .flatten()
+            .all(|v| matches!(v, Json::Int(_) | Json::Double(_)));
+        let column = if all_int {
+            Column::Int(I64Column::from_options(vals.iter().map(|v| match v {
+                Some(Json::Int(i)) => Some(*i),
+                _ => None,
+            })))
+        } else if all_num {
+            Column::Double(F64Column::from_options(vals.iter().map(|v| match v {
+                Some(Json::Int(i)) => Some(*i as f64),
+                Some(Json::Double(f)) => Some(*f),
+                _ => None,
+            })))
+        } else {
+            let strs: Vec<Option<String>> = vals
+                .iter()
+                .map(|v| {
+                    v.as_ref().and_then(|j| match j {
+                        Json::Null => None,
+                        Json::Str(s) => Some(s.clone()),
+                        Json::Bool(b) => Some(b.to_string()),
+                        Json::Int(i) => Some(i.to_string()),
+                        Json::Double(f) => Some(f.to_string()),
+                        other => Some(format!("{other:?}")),
+                    })
+                })
+                .collect();
+            Column::Str(DictColumn::from_strings(strs.iter().map(|s| s.as_deref())))
+        };
+        builder = builder.column(name, column.kind(), column);
+    }
+    Ok(builder.build()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hillview_columnar::{ColumnKind, Value};
+    use std::io::Cursor;
+
+    #[test]
+    fn parse_scalars() {
+        assert_eq!(parse_json("42").unwrap(), Json::Int(42));
+        assert_eq!(parse_json("-3.5").unwrap(), Json::Double(-3.5));
+        assert_eq!(parse_json("true").unwrap(), Json::Bool(true));
+        assert_eq!(parse_json("null").unwrap(), Json::Null);
+        assert_eq!(parse_json("\"hi\"").unwrap(), Json::Str("hi".into()));
+    }
+
+    #[test]
+    fn parse_nested() {
+        let v = parse_json(r#"{"a": [1, 2, {"b": null}], "c": "x"}"#).unwrap();
+        match v {
+            Json::Object(m) => {
+                assert!(matches!(m["a"], Json::Array(_)));
+                assert_eq!(m["c"], Json::Str("x".into()));
+            }
+            _ => panic!("expected object"),
+        }
+    }
+
+    #[test]
+    fn parse_escapes() {
+        assert_eq!(
+            parse_json(r#""a\"b\nA""#).unwrap(),
+            Json::Str("a\"b\nA".into())
+        );
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("[1,]").is_err());
+        assert!(parse_json("12abc").is_err());
+        assert!(parse_json("\"unterminated").is_err());
+        assert!(parse_json("1 2").is_err(), "trailing data");
+    }
+
+    #[test]
+    fn read_lines_to_table() {
+        let data = r#"{"server": "gandalf", "latency": 3.5, "code": 200}
+{"server": "frodo", "latency": 1.25, "code": 404}
+"#;
+        let t = read_jsonl(Cursor::new(data)).unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.schema().kind_of("code").unwrap(), ColumnKind::Int);
+        assert_eq!(t.schema().kind_of("latency").unwrap(), ColumnKind::Double);
+        assert_eq!(t.get(1, "server").unwrap(), Value::str("frodo"));
+    }
+
+    #[test]
+    fn ragged_objects_fill_missing() {
+        let data = "{\"a\": 1}\n{\"b\": 2}\n{\"a\": 3, \"b\": 4}\n";
+        let t = read_jsonl(Cursor::new(data)).unwrap();
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.get(0, "b").unwrap(), Value::Missing);
+        assert_eq!(t.get(1, "a").unwrap(), Value::Missing);
+        assert_eq!(t.get(2, "a").unwrap(), Value::Int(3));
+    }
+
+    #[test]
+    fn mixed_int_double_promotes() {
+        let data = "{\"x\": 1}\n{\"x\": 2.5}\n";
+        let t = read_jsonl(Cursor::new(data)).unwrap();
+        assert_eq!(t.schema().kind_of("x").unwrap(), ColumnKind::Double);
+        assert_eq!(t.get(0, "x").unwrap(), Value::Double(1.0));
+    }
+
+    #[test]
+    fn non_object_line_is_error() {
+        assert!(matches!(
+            read_jsonl(Cursor::new("[1,2]\n")),
+            Err(Error::Parse { .. })
+        ));
+    }
+}

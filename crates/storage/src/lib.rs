@@ -1,0 +1,34 @@
+//! # hillview-storage
+//!
+//! The storage layer of Hillview-RS.
+//!
+//! Paper §2/§5.4: Hillview is *storage-independent* — it "reads data
+//! repositories without pre-processing, repartitioning, or other
+//! optimizations", requiring only that data is horizontally partitioned and
+//! immutable while browsed. This crate provides that layer:
+//!
+//! * [`csv`] — a from-scratch CSV reader/writer (quoting, headers, type
+//!   inference) — the paper's most common input format.
+//! * [`jsonl`] — a JSON-lines reader (one object per row) with a small
+//!   self-contained JSON parser.
+//! * [`hvc`] — our columnar binary format ("HillView Columnar"), the
+//!   substitute for ORC/Parquet: per-column typed blocks with dictionary
+//!   pages, varint-encoded, fast sequential column reads.
+//! * [`partition`] — horizontal partitioning into micropartitions
+//!   (paper §5.3: "the data partition within a server is divided into
+//!   micropartitions ... each assigned to a leaf").
+//! * [`throttle`] — a throttled reader that models cold-SSD bandwidth for
+//!   the Figure 6 experiments.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod csv;
+pub mod error;
+pub mod hvc;
+pub mod jsonl;
+pub mod partition;
+pub mod throttle;
+
+pub use error::{Error, Result};
+pub use partition::partition_table;

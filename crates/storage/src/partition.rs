@@ -1,0 +1,177 @@
+//! Horizontal partitioning into micropartitions.
+//!
+//! Paper §5.3: *"the data partition within a server is divided into
+//! micropartitions of 10-20M rows, each micropartition assigned to a
+//! leaf."* (Scaled down by default here — see DESIGN.md §1.) Partitioning
+//! is arbitrary: Hillview makes no assumptions about which rows land where
+//! (§2), which the sketch merge laws guarantee is harmless.
+
+use hillview_columnar::column::{Column, DictColumn, F64Column, I64Column};
+use hillview_columnar::{NullMask, Table};
+
+/// Split `table` into chunks of at most `rows_per_partition` rows.
+///
+/// Copies column data (partitions are independent tables, as if read from
+/// separate files); row order is preserved across the concatenation.
+pub fn partition_table(table: &Table, rows_per_partition: usize) -> Vec<Table> {
+    let rpp = rows_per_partition.max(1);
+    let n = table.num_rows();
+    if n == 0 {
+        return vec![table.clone()];
+    }
+    let mut out = Vec::with_capacity(n.div_ceil(rpp));
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + rpp).min(n);
+        out.push(slice_table(table, start, end));
+        start = end;
+    }
+    out
+}
+
+/// Copy rows `start..end` of every column into a new table.
+pub fn slice_table(table: &Table, start: usize, end: usize) -> Table {
+    let mut builder = Table::builder();
+    for c in 0..table.num_columns() {
+        let desc = table.schema().desc(c);
+        let col = table.column(c);
+        let rows = start..end;
+        let sliced = match col {
+            Column::Int(ic) | Column::Date(ic) => {
+                let data: Vec<i64> = ic.data()[start..end].to_vec();
+                let mut nulls = NullMask::none();
+                for (j, i) in rows.clone().enumerate() {
+                    if ic.nulls().is_null(i) {
+                        nulls.set_null(j, end - start);
+                    }
+                }
+                let nc = I64Column::new(data, nulls);
+                if matches!(col, Column::Int(_)) {
+                    Column::Int(nc)
+                } else {
+                    Column::Date(nc)
+                }
+            }
+            Column::Double(fc) => {
+                let data: Vec<f64> = fc.data()[start..end].to_vec();
+                let mut nulls = NullMask::none();
+                for (j, i) in rows.clone().enumerate() {
+                    if fc.nulls().is_null(i) {
+                        nulls.set_null(j, end - start);
+                    }
+                }
+                Column::Double(F64Column::new(data, nulls))
+            }
+            Column::Str(dc) | Column::Cat(dc) => {
+                // Share the dictionary; slice only the codes.
+                let codes: Vec<u32> = dc.codes()[start..end].to_vec();
+                let mut nulls = NullMask::none();
+                for (j, i) in rows.clone().enumerate() {
+                    if dc.nulls().is_null(i) {
+                        nulls.set_null(j, end - start);
+                    }
+                }
+                let nc = DictColumn::new(codes, dc.dictionary().clone(), nulls);
+                if matches!(col, Column::Str(_)) {
+                    Column::Str(nc)
+                } else {
+                    Column::Cat(nc)
+                }
+            }
+        };
+        builder = builder.column(&desc.name, desc.kind, sliced);
+    }
+    builder.build().expect("slice preserves schema validity")
+}
+
+/// Deal partitions round-robin to `workers` buckets (how a cluster spreads
+/// shards; paper Fig. 1 "data repository" → workers).
+pub fn assign_round_robin<T>(items: Vec<T>, workers: usize) -> Vec<Vec<T>> {
+    let mut out: Vec<Vec<T>> = (0..workers.max(1)).map(|_| Vec::new()).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        out[i % workers.max(1)].push(item);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hillview_columnar::{ColumnKind, Value};
+
+    fn table(n: usize) -> Table {
+        Table::builder()
+            .column(
+                "X",
+                ColumnKind::Int,
+                Column::Int(I64Column::from_options(
+                    (0..n).map(|i| if i % 7 == 3 { None } else { Some(i as i64) }),
+                )),
+            )
+            .column(
+                "S",
+                ColumnKind::Category,
+                Column::Cat(DictColumn::from_strings(
+                    (0..n).map(|i| Some(["a", "b", "c"][i % 3])),
+                )),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn partitions_cover_all_rows_in_order() {
+        let t = table(25);
+        let parts = partition_table(&t, 10);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0].num_rows(), 10);
+        assert_eq!(parts[2].num_rows(), 5);
+        let mut global = 0usize;
+        for p in &parts {
+            for r in 0..p.num_rows() {
+                assert_eq!(p.full_row(r), t.full_row(global), "row {global}");
+                global += 1;
+            }
+        }
+        assert_eq!(global, 25);
+    }
+
+    #[test]
+    fn nulls_survive_slicing() {
+        let t = table(20);
+        let parts = partition_table(&t, 6);
+        // Row 3, 10, 17 are null in X; find them in their partitions.
+        assert_eq!(parts[0].get(3, "X").unwrap(), Value::Missing);
+        assert_eq!(parts[1].get(4, "X").unwrap(), Value::Missing); // global 10
+        assert_eq!(parts[2].get(5, "X").unwrap(), Value::Missing); // global 17
+    }
+
+    #[test]
+    fn dictionaries_are_shared_not_copied() {
+        let t = table(30);
+        let parts = partition_table(&t, 10);
+        let orig = t.column_by_name("S").unwrap().as_dict_col().unwrap();
+        for p in &parts {
+            let pc = p.column_by_name("S").unwrap().as_dict_col().unwrap();
+            assert!(std::sync::Arc::ptr_eq(pc.dictionary(), orig.dictionary()));
+        }
+    }
+
+    #[test]
+    fn tiny_and_oversized_partitions() {
+        let t = table(5);
+        assert_eq!(partition_table(&t, 100).len(), 1);
+        assert_eq!(partition_table(&t, 1).len(), 5);
+        let empty = Table::empty();
+        assert_eq!(partition_table(&empty, 10).len(), 1);
+    }
+
+    #[test]
+    fn round_robin_assignment() {
+        let parts: Vec<i32> = (0..7).collect();
+        let buckets = assign_round_robin(parts, 3);
+        assert_eq!(buckets[0], vec![0, 3, 6]);
+        assert_eq!(buckets[1], vec![1, 4]);
+        assert_eq!(buckets[2], vec![2, 5]);
+    }
+}

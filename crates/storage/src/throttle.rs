@@ -1,0 +1,94 @@
+//! Throttled reading: a model of cold-storage bandwidth.
+//!
+//! Figure 6 of the paper measures Hillview "when data is not in memory, so
+//! it needs to be loaded from SSD". On this testbed the files live in the
+//! page cache, so a bandwidth throttle injects the missing latency: reads
+//! stall to keep the effective throughput at a configured bytes/second,
+//! modeling the paper's SATA-SSD sequential-read speeds.
+
+use std::io::Read;
+use std::time::{Duration, Instant};
+
+/// A reader that limits throughput to `bytes_per_sec`.
+pub struct ThrottledReader<R> {
+    inner: R,
+    bytes_per_sec: u64,
+    started: Option<Instant>,
+    bytes_read: u64,
+}
+
+impl<R: Read> ThrottledReader<R> {
+    /// Wrap `inner`, limiting it to `bytes_per_sec` (0 = unlimited).
+    pub fn new(inner: R, bytes_per_sec: u64) -> Self {
+        ThrottledReader {
+            inner,
+            bytes_per_sec,
+            started: None,
+            bytes_read: 0,
+        }
+    }
+
+    /// Bytes read so far.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+}
+
+impl<R: Read> Read for ThrottledReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.bytes_read += n as u64;
+        if self.bytes_per_sec > 0 {
+            let started = *self.started.get_or_insert_with(Instant::now);
+            let target = Duration::from_secs_f64(self.bytes_read as f64 / self.bytes_per_sec as f64);
+            let elapsed = started.elapsed();
+            if target > elapsed {
+                std::thread::sleep(target - elapsed);
+            }
+        }
+        Ok(n)
+    }
+}
+
+/// A typical SATA-SSD sequential read bandwidth (≈500 MB/s), matching the
+/// class of SSDs in the paper's testbed.
+pub const SSD_BYTES_PER_SEC: u64 = 500_000_000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn unthrottled_reads_pass_through() {
+        let data = vec![7u8; 4096];
+        let mut r = ThrottledReader::new(Cursor::new(data.clone()), 0);
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(out, data);
+        assert_eq!(r.bytes_read(), 4096);
+    }
+
+    #[test]
+    fn throttling_delays_reads() {
+        // 100 KB at 1 MB/s should take ≈100 ms.
+        let data = vec![0u8; 100_000];
+        let mut r = ThrottledReader::new(Cursor::new(data), 1_000_000);
+        let start = Instant::now();
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        let elapsed = start.elapsed();
+        assert!(elapsed >= Duration::from_millis(90), "{elapsed:?}");
+        assert_eq!(out.len(), 100_000);
+    }
+
+    #[test]
+    fn fast_budget_does_not_stall_noticeably() {
+        let data = vec![0u8; 10_000];
+        let mut r = ThrottledReader::new(Cursor::new(data), u64::MAX);
+        let start = Instant::now();
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert!(start.elapsed() < Duration::from_millis(50));
+    }
+}

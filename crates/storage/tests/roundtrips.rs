@@ -1,0 +1,101 @@
+//! Property tests: every storage format must round-trip arbitrary tables.
+
+use hillview_columnar::column::{Column, DictColumn, F64Column, I64Column};
+use hillview_columnar::{ColumnKind, Table};
+use hillview_storage::csv::{read_csv, write_csv, CsvOptions};
+use hillview_storage::hvc;
+use hillview_storage::partition::{partition_table, slice_table};
+use proptest::prelude::*;
+use std::io::Cursor;
+
+/// Arbitrary mixed-type tables with nulls.
+fn table_strategy() -> impl Strategy<Value = Table> {
+    let row = (
+        proptest::option::weighted(0.85, any::<i64>()),
+        proptest::option::weighted(0.85, -1e12f64..1e12),
+        proptest::option::weighted(0.85, "[a-zA-Z0-9 ,\"']{0,12}"),
+    );
+    proptest::collection::vec(row, 1..80).prop_map(|rows| {
+        Table::builder()
+            .column(
+                "I",
+                ColumnKind::Int,
+                Column::Int(I64Column::from_options(rows.iter().map(|r| r.0))),
+            )
+            .column(
+                "F",
+                ColumnKind::Double,
+                Column::Double(F64Column::from_options(rows.iter().map(|r| r.1))),
+            )
+            .column(
+                "S",
+                ColumnKind::String,
+                Column::Str(DictColumn::from_strings(
+                    rows.iter().map(|r| r.2.as_deref()),
+                )),
+            )
+            .build()
+            .unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn hvc_roundtrip_everything(t in table_strategy()) {
+        let decoded = hvc::decode(hvc::encode(&t)).unwrap();
+        prop_assert_eq!(decoded.num_rows(), t.num_rows());
+        prop_assert_eq!(decoded.num_columns(), t.num_columns());
+        for r in 0..t.num_rows() {
+            prop_assert_eq!(decoded.full_row(r), t.full_row(r));
+        }
+    }
+
+    /// CSV round-trips values it can represent. Empty strings decode as
+    /// missing (CSV cannot distinguish them), so inputs avoid them.
+    #[test]
+    fn csv_roundtrip(t in table_strategy()) {
+        let mut buf = Vec::new();
+        write_csv(&t, &mut buf).unwrap();
+        let back = read_csv(Cursor::new(buf), &CsvOptions::default()).unwrap();
+        prop_assert_eq!(back.num_rows(), t.num_rows());
+        for r in 0..t.num_rows() {
+            // Int/missing round-trip exactly.
+            prop_assert_eq!(back.get(r, "I").unwrap(), t.get(r, "I").unwrap());
+            // Strings round-trip except empty → missing.
+            let orig = t.get(r, "S").unwrap();
+            let got = back.get(r, "S").unwrap();
+            match orig.as_str() {
+                Some("") => prop_assert!(got.is_missing()),
+                _ => prop_assert_eq!(got, orig),
+            }
+        }
+    }
+
+    #[test]
+    fn partitioning_is_lossless(t in table_strategy(), rpp in 1usize..40) {
+        let parts = partition_table(&t, rpp);
+        let total: usize = parts.iter().map(|p| p.num_rows()).sum();
+        prop_assert_eq!(total, t.num_rows());
+        let mut global = 0usize;
+        for p in &parts {
+            for r in 0..p.num_rows() {
+                prop_assert_eq!(p.full_row(r), t.full_row(global));
+                global += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn slices_compose(t in table_strategy(), cut in 0usize..80) {
+        let n = t.num_rows();
+        let cut = cut.min(n);
+        let a = slice_table(&t, 0, cut);
+        let b = slice_table(&t, cut, n);
+        prop_assert_eq!(a.num_rows() + b.num_rows(), n);
+        if cut < n {
+            prop_assert_eq!(b.full_row(0), t.full_row(cut));
+        }
+    }
+}

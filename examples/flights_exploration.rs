@@ -1,0 +1,109 @@
+//! Flights exploration: the paper's §7.5 analyst workflow, scripted.
+//!
+//! Answers a handful of the Figure 10 questions against the synthetic
+//! flights dataset using only spreadsheet operations (filter, chart,
+//! summarize) — exactly what the paper's human operator clicked through.
+//!
+//! ```sh
+//! cargo run -p hillview-examples --bin flights_exploration
+//! ```
+
+use hillview_columnar::udf::UdfRegistry;
+use hillview_columnar::Predicate;
+use hillview_core::dataset::{FnSource, SourceRegistry};
+use hillview_core::{Cluster, ClusterConfig, Engine, Spreadsheet};
+use hillview_data::{generate_flights, FlightsConfig};
+use hillview_storage::partition_table;
+use hillview_viz::display::DisplaySpec;
+use std::sync::Arc;
+
+fn mean_delay(sheet: &Spreadsheet, pred: Predicate) -> f64 {
+    let f = sheet.filtered(pred).expect("filter");
+    let (m, _) = f.moments("DepDelay", 2).expect("moments");
+    m.mean().unwrap_or(f64::NAN)
+}
+
+fn main() {
+    let mut sources = SourceRegistry::new();
+    sources.register(Arc::new(FnSource::new("flights", |w, _n, mp, _s| {
+        Ok(partition_table(
+            &generate_flights(&FlightsConfig::new(250_000, w as u64)),
+            mp,
+        ))
+    })));
+    let mut udfs = UdfRegistry::with_builtins();
+    udfs.register_ratio("Speed", "Distance", "AirTime");
+    let cluster = Cluster::new(
+        ClusterConfig {
+            workers: 4,
+            threads_per_worker: 4,
+            micropartition_rows: 50_000,
+            ..Default::default()
+        },
+        sources,
+        udfs,
+    );
+    let engine = Arc::new(Engine::new(cluster));
+    let sheet =
+        Spreadsheet::open(engine, "flights", 0, DisplaySpec::new(60, 12)).expect("open");
+
+    println!("Q1: Who has more late flights, UA or AA?");
+    for carrier in ["UA", "AA"] {
+        let all = sheet
+            .filtered(Predicate::equals("Carrier", carrier))
+            .unwrap();
+        let (total, _) = all.row_count().unwrap();
+        let late = all
+            .filtered(Predicate::range("DepDelay", 15.0, 1e9))
+            .unwrap();
+        let (n, _) = late.row_count().unwrap();
+        println!(
+            "  {carrier}: {n} of {total} ({:.1}%)",
+            n as f64 / total as f64 * 100.0
+        );
+    }
+
+    println!("\nQ5: Is it better to fly SFO→JFK or SFO→EWR?");
+    for dest in ["JFK", "EWR"] {
+        let m = mean_delay(
+            &sheet,
+            Predicate::equals("Origin", "SFO").and(Predicate::equals("Dest", dest)),
+        );
+        println!("  SFO→{dest}: mean departure delay {m:.1} min");
+    }
+
+    println!("\nQ7: What is the best time of day to fly?");
+    for (label, lo, hi) in [
+        ("red-eye 00–06", 0.0, 600.0),
+        ("morning 06–12", 600.0, 1200.0),
+        ("afternoon 12–18", 1200.0, 1800.0),
+        ("evening 18–24", 1800.0, 2400.0),
+    ] {
+        let m = mean_delay(&sheet, Predicate::range("CRSDepTime", lo, hi));
+        println!("  {label}: {m:.1} min");
+    }
+
+    println!("\nQ11: What is the longest flight in distance?");
+    let (range, _) = sheet.range_of("Distance").unwrap();
+    println!("  {:.0} miles", range.max.unwrap());
+
+    println!("\nQ14: Which airlines fly to Hawaii?");
+    let hawaii = sheet
+        .filtered(Predicate::equals("DestState", "HI"))
+        .unwrap();
+    let (hh, _) = hawaii.heavy_hitters_streaming("Carrier", 14).unwrap();
+    let names: Vec<String> = hh.items.iter().map(|(v, _, _)| v.to_string()).collect();
+    println!("  {} carriers: {}", names.len(), names.join(", "));
+
+    println!("\nDerived column: cruise speed = Distance / AirTime (UDF)");
+    let speedy = sheet.with_column("Speed", "Speed").expect("udf column");
+    let (chart, _, _) = speedy.histogram_with_cdf("Speed", Some(30)).unwrap();
+    println!("{}", chart.to_ascii(10));
+
+    println!("Zoom: delays in [0, 60) minutes only (chart-region filter)");
+    let zoomed = sheet
+        .filtered(Predicate::range("DepDelay", 0.0, 60.0))
+        .unwrap();
+    let (chart, _, _) = zoomed.histogram_with_cdf("DepDelay", Some(30)).unwrap();
+    println!("{}", chart.to_ascii(10));
+}

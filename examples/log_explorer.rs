@@ -1,0 +1,104 @@
+//! Log explorer: drilling into datacenter telemetry.
+//!
+//! The paper motivates trillion-cell spreadsheets with server logs (§3.1).
+//! This example browses a synthetic log table: find the noisy hosts, chart
+//! latency, search messages, and drill into errors.
+//!
+//! ```sh
+//! cargo run -p hillview-examples --bin log_explorer
+//! ```
+
+use hillview_columnar::udf::UdfRegistry;
+use hillview_columnar::{Predicate, StrMatchKind};
+use hillview_core::dataset::{FnSource, SourceRegistry};
+use hillview_core::{Cluster, ClusterConfig, Engine, Spreadsheet};
+use hillview_data::{generate_logs, LogsConfig};
+use hillview_storage::partition_table;
+use hillview_viz::display::DisplaySpec;
+use std::sync::Arc;
+
+fn main() {
+    let mut sources = SourceRegistry::new();
+    sources.register(Arc::new(FnSource::new("logs", |w, _n, mp, _s| {
+        Ok(partition_table(
+            &generate_logs(&LogsConfig::new(300_000, w as u64 + 1)),
+            mp,
+        ))
+    })));
+    let cluster = Cluster::new(
+        ClusterConfig {
+            workers: 4,
+            threads_per_worker: 4,
+            micropartition_rows: 50_000,
+            ..Default::default()
+        },
+        sources,
+        UdfRegistry::with_builtins(),
+    );
+    let engine = Arc::new(Engine::new(cluster));
+    let sheet = Spreadsheet::open(engine, "logs", 0, DisplaySpec::new(64, 12)).expect("open");
+    let (rows, _) = sheet.row_count().unwrap();
+    println!("Browsing {rows} log rows.\n");
+
+    println!("== Which hosts produce the most log volume? (heavy hitters) ==");
+    let (hh, _) = sheet.heavy_hitters_streaming("Server", 20).unwrap();
+    print!("{}", hh.to_text());
+
+    println!("\n== Latency distribution (log-ish right tail) ==");
+    let capped = sheet
+        .filtered(Predicate::range("LatencyMs", 0.0, 200.0))
+        .unwrap();
+    let (chart, _, _) = capped.histogram_with_cdf("LatencyMs", Some(32)).unwrap();
+    println!("{}", chart.to_ascii(10));
+
+    println!("== Errors only: which hosts? ==");
+    let errors = sheet
+        .filtered(Predicate::equals("Level", "ERROR"))
+        .unwrap();
+    let (err_rows, _) = errors.row_count().unwrap();
+    let (hh, _) = errors.heavy_hitters_streaming("Server", 20).unwrap();
+    println!("{err_rows} error rows; top sources:");
+    print!("{}", hh.to_text());
+
+    println!("\n== Error latency vs overall (derived views share storage) ==");
+    let (all_m, _) = sheet.moments("LatencyMs", 2).unwrap();
+    let (err_m, _) = errors.moments("LatencyMs", 2).unwrap();
+    println!(
+        "overall mean {:.1} ms; errors mean {:.1} ms",
+        all_m.mean().unwrap(),
+        err_m.mean().unwrap()
+    );
+
+    println!("\n== Find: first TLS failure in time order ==");
+    let (found, _) = sheet
+        .find_text(
+            "Message",
+            "TLS handshake",
+            StrMatchKind::Substring,
+            false,
+            &["Timestamp"],
+            None,
+        )
+        .unwrap();
+    match found.first {
+        Some((key, row)) => {
+            println!(
+                "{} matches; first at {} → {}",
+                found.matches_total,
+                key.values()[0],
+                row
+            );
+        }
+        None => println!("no matches"),
+    }
+
+    println!("\n== Status × level stacked histogram ==");
+    let (stacked, _, _) = sheet
+        .stacked_histogram_with_cdf("LatencyMs", "Status")
+        .unwrap();
+    println!(
+        "{} bars; tallest bar = {} rows",
+        stacked.bar_px.len(),
+        stacked.max_count
+    );
+}

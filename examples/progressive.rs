@@ -1,0 +1,100 @@
+//! Progressive visualization: partial results and cancellation.
+//!
+//! Paper §5.3: aggregation nodes propagate partially merged summaries every
+//! 100 ms, so "the client sees an initial visualization quickly and
+//! subsequently sees more precise results", with a progress bar and a
+//! cancel button. This example slows the leaves down (cold-style work) and
+//! prints each partial update as it arrives, then demonstrates cancelling.
+//!
+//! ```sh
+//! cargo run -p hillview-examples --bin progressive
+//! ```
+
+use hillview_columnar::udf::UdfRegistry;
+use hillview_core::dataset::{FnSource, SourceRegistry};
+use hillview_core::progress::Partial;
+use hillview_core::{Cluster, ClusterConfig, Engine, Spreadsheet};
+use hillview_data::{generate_flights, FlightsConfig};
+use hillview_net::Wire;
+use hillview_sketch::histogram::HistogramSummary;
+use hillview_storage::partition_table;
+use hillview_viz::display::DisplaySpec;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let mut sources = SourceRegistry::new();
+    sources.register(Arc::new(FnSource::new("flights", |w, _n, mp, _s| {
+        Ok(partition_table(
+            &generate_flights(&FlightsConfig::new(2_500_000, w as u64)),
+            mp,
+        ))
+    })));
+    let cluster = Cluster::new(
+        ClusterConfig {
+            workers: 2,
+            threads_per_worker: 1, // deliberately starved: leaves trickle in
+            micropartition_rows: 30_000,
+            batch_interval: Duration::from_millis(25),
+            ..Default::default()
+        },
+        sources,
+        UdfRegistry::with_builtins(),
+    );
+    let engine = Arc::new(Engine::new(cluster));
+    let sheet =
+        Spreadsheet::open(engine, "flights", 0, DisplaySpec::new(48, 10)).expect("open");
+    // Chart the bulk of the distribution (zooming first keeps the demo
+    // chart readable; the heavy delay tail would otherwise own the range).
+    let mut sheet = sheet
+        .filtered(hillview_columnar::Predicate::range("DepDelay", -30.0, 120.0))
+        .expect("zoom filter");
+
+    // Stream partial histograms to the "browser": each update re-renders.
+    let updates = Arc::new(Mutex::new(0usize));
+    let updates2 = updates.clone();
+    sheet.on_partial = Some(Arc::new(move |p: &Partial| {
+        let mut n = updates2.lock();
+        *n += 1;
+        if let Ok(h) = HistogramSummary::from_bytes(p.summary.clone()) {
+            let bar = "#".repeat((p.fraction * 40.0) as usize);
+            println!(
+                "partial {:>2}: [{bar:<40}] {:>5.1}%  rows so far: {}",
+                *n,
+                p.fraction * 100.0,
+                h.rows_inspected
+            );
+        }
+    }));
+
+    println!("== Progressive histogram over 2.4M rows on 2 starved workers ==");
+    let (chart, _, stats) = sheet
+        .histogram_with_cdf("DepDelay", Some(24))
+        .expect("histogram");
+    println!(
+        "\nfinal chart after {:.2}s ({} partial updates, first at {:.2}s):",
+        stats.duration.as_secs_f64(),
+        updates.lock(),
+        stats.first_partial.unwrap_or_default().as_secs_f64(),
+    );
+    println!("{}", chart.to_ascii(8));
+
+    // Cancellation: fire a query and cancel it after the first partial.
+    println!("== Cancellation: stop after the first partial ==");
+    let cancel = sheet.cancel.clone();
+    sheet.on_partial = Some(Arc::new(move |p: &Partial| {
+        println!("  partial at {:.1}% — user hits cancel", p.fraction * 100.0);
+        cancel.cancel();
+    }));
+    let started = std::time::Instant::now();
+    let result = sheet.histogram_with_cdf("ArrDelay", Some(24));
+    println!(
+        "  returned in {:.2}s: {}",
+        started.elapsed().as_secs_f64(),
+        match result {
+            Ok((chart, ..)) => format!("partial chart with {} bars kept", chart.heights_px.len()),
+            Err(e) => format!("{e}"),
+        }
+    );
+}

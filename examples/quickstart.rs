@@ -1,0 +1,74 @@
+//! Quickstart: load a dataset, browse it, chart it.
+//!
+//! ```sh
+//! cargo run -p hillview-examples --bin quickstart
+//! ```
+
+use hillview_columnar::udf::UdfRegistry;
+use hillview_core::dataset::{FnSource, SourceRegistry};
+use hillview_core::{Cluster, ClusterConfig, Engine, Spreadsheet};
+use hillview_data::{generate_flights, FlightsConfig};
+use hillview_storage::partition_table;
+use hillview_viz::display::DisplaySpec;
+use std::sync::Arc;
+
+fn main() {
+    // 1. Register a data source. Hillview never ingests or re-partitions:
+    //    it reads whatever horizontal shards the storage layer provides.
+    let mut sources = SourceRegistry::new();
+    sources.register(Arc::new(FnSource::new("flights", |worker, _n, mp, _snap| {
+        let table = generate_flights(&FlightsConfig::new(200_000, worker as u64));
+        Ok(partition_table(&table, mp))
+    })));
+
+    // 2. Build a simulated cluster: 4 workers × 4 threads.
+    let cluster = Cluster::new(
+        ClusterConfig {
+            workers: 4,
+            threads_per_worker: 4,
+            micropartition_rows: 50_000,
+            ..Default::default()
+        },
+        sources,
+        UdfRegistry::with_builtins(),
+    );
+    let engine = Arc::new(Engine::new(cluster));
+
+    // 3. Open a spreadsheet on the dataset.
+    let sheet = Spreadsheet::open(engine, "flights", 0, DisplaySpec::new(72, 16))
+        .expect("load flights");
+
+    let (rows, _) = sheet.row_count().expect("count");
+    println!("Loaded {rows} rows across 4 workers.\n");
+
+    // 4. Tabular view: first page sorted by departure delay.
+    let (page, stats) = sheet
+        .sort_view(&["DepDelay", "Carrier", "Origin"], 8)
+        .expect("sort view");
+    println!("== First page by DepDelay ({} root bytes) ==", stats.root_bytes);
+    println!("{}", page.to_text());
+
+    // 5. Chart: histogram of departure delays, rendered at 72×16 "pixels".
+    let (chart, cdf, stats) = sheet
+        .histogram_with_cdf("DepDelay", Some(36))
+        .expect("histogram");
+    println!(
+        "== DepDelay histogram (max bar = {} flights, {} bytes on the wire) ==",
+        chart.max_count, stats.root_bytes
+    );
+    println!("{}", chart.to_ascii(12));
+    println!(
+        "CDF endpoints: {}..{} px over {} sampled rows\n",
+        cdf.heights_px.first().unwrap(),
+        cdf.heights_px.last().unwrap(),
+        cdf.rows
+    );
+
+    // 6. Analyses: distinct counts and heavy hitters.
+    let (distinct, _) = sheet.distinct_count("TailNum").expect("distinct");
+    println!("Distinct tail numbers (HyperLogLog): ≈{distinct:.0}");
+    let (hh, _) = sheet
+        .heavy_hitters_streaming("Carrier", 14)
+        .expect("heavy hitters");
+    println!("Top carriers:\n{}", hh.to_text());
+}

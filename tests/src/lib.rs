@@ -1,0 +1,53 @@
+//! Integration-test host crate for Hillview-RS.
+//!
+//! The actual cross-crate tests live in `tests/tests/`; this library only
+//! provides shared fixtures.
+
+use hillview_columnar::udf::UdfRegistry;
+use hillview_core::dataset::{FnSource, SourceRegistry};
+use hillview_core::{Cluster, ClusterConfig, Engine, Spreadsheet};
+use hillview_data::{generate_flights, generate_logs, FlightsConfig, LogsConfig};
+use hillview_storage::partition_table;
+use hillview_viz::display::DisplaySpec;
+use std::sync::Arc;
+
+/// Build an engine over `workers` workers with flight and log sources.
+pub fn test_engine(workers: usize, rows_per_worker: usize) -> Arc<Engine> {
+    let mut sources = SourceRegistry::new();
+    sources.register(Arc::new(FnSource::new("flights", move |w, _n, mp, snap| {
+        Ok(partition_table(
+            &generate_flights(&FlightsConfig::new(rows_per_worker, snap ^ w as u64)),
+            mp,
+        ))
+    })));
+    sources.register(Arc::new(FnSource::new("logs", move |w, _n, mp, snap| {
+        Ok(partition_table(
+            &generate_logs(&LogsConfig::new(rows_per_worker, snap ^ (w as u64) << 4)),
+            mp,
+        ))
+    })));
+    let mut udfs = UdfRegistry::with_builtins();
+    udfs.register_ratio("Speed", "Distance", "AirTime");
+    udfs.register_sum("TotalDelay", "DepDelay", "ArrDelay");
+    let cluster = Cluster::new(
+        ClusterConfig {
+            workers,
+            threads_per_worker: 2,
+            micropartition_rows: 5_000,
+            batch_interval: std::time::Duration::from_millis(2),
+            ..Default::default()
+        },
+        sources,
+        udfs,
+    );
+    Arc::new(Engine::new(cluster))
+}
+
+/// Open a flights spreadsheet on a fresh test engine.
+pub fn flights_sheet(workers: usize, rows_per_worker: usize) -> Spreadsheet {
+    let engine = test_engine(workers, rows_per_worker);
+    let sheet = Spreadsheet::open(engine, "flights", 0, DisplaySpec::new(120, 60))
+        .expect("load flights");
+    sheet.set_seed(31337);
+    sheet
+}

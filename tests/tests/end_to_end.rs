@@ -1,0 +1,132 @@
+//! End-to-end spreadsheet sessions across every crate.
+
+use hillview_columnar::{Predicate, StrMatchKind};
+use hillview_integration::{flights_sheet, test_engine};
+use hillview_viz::display::DisplaySpec;
+
+#[test]
+fn full_analyst_session() {
+    let sheet = flights_sheet(3, 20_000);
+    let (rows, _) = sheet.row_count().unwrap();
+    assert_eq!(rows, 60_000);
+
+    // Sort and page through the data.
+    let (page1, _) = sheet.sort_view(&["Carrier", "DepDelay"], 10).unwrap();
+    assert_eq!(page1.rows.len(), 10);
+
+    // Chart a column, zoom into a region, chart again.
+    let (chart, cdf, _) = sheet.histogram_with_cdf("DepDelay", Some(30)).unwrap();
+    assert_eq!(chart.heights_px.len(), 30);
+    assert!(cdf.heights_px.windows(2).all(|w| w[0] <= w[1]));
+    let zoomed = sheet
+        .filtered(Predicate::range("DepDelay", 0.0, 30.0))
+        .unwrap();
+    let (zchart, _, _) = zoomed.histogram_with_cdf("DepDelay", Some(30)).unwrap();
+    assert!(zchart.max_count <= chart.max_count);
+
+    // Heavy hitters, distinct count, heat map.
+    let (hh, _) = sheet.heavy_hitters_streaming("Carrier", 14).unwrap();
+    assert!(!hh.items.is_empty());
+    let (distinct, _) = sheet.distinct_count("Origin").unwrap();
+    assert!((50.0..70.0).contains(&distinct), "60 airports, got {distinct}");
+    let (grid, _) = sheet.heatmap("Distance", "AirTime").unwrap();
+    assert!(grid.max_count > 0);
+
+    // Search.
+    let (found, _) = sheet
+        .find_text("Origin", "SFO", StrMatchKind::Exact, false, &["FlightDate"], None)
+        .unwrap();
+    assert!(found.first.is_some());
+}
+
+#[test]
+fn filter_counts_match_ground_truth() {
+    let sheet = flights_sheet(2, 10_000);
+    // Independently compute the expected count from the generator.
+    let t = hillview_data::generate_flights(&hillview_data::FlightsConfig::new(10_000, 0));
+    let col = t.column_by_name("Carrier").unwrap();
+    let expected_w0 = (0..t.num_rows())
+        .filter(|&r| col.value(r).to_string() == "WN")
+        .count();
+    let t1 = hillview_data::generate_flights(&hillview_data::FlightsConfig::new(10_000, 1));
+    let col1 = t1.column_by_name("Carrier").unwrap();
+    let expected_w1 = (0..t1.num_rows())
+        .filter(|&r| col1.value(r).to_string() == "WN")
+        .count();
+
+    let wn = sheet.filtered(Predicate::equals("Carrier", "WN")).unwrap();
+    let (n, _) = wn.row_count().unwrap();
+    assert_eq!(n as usize, expected_w0 + expected_w1);
+}
+
+#[test]
+fn derived_column_statistics() {
+    let sheet = flights_sheet(2, 10_000);
+    let with_total = sheet.with_column("TotalDelay", "TotalDelay").unwrap();
+    let (m, _) = with_total.moments("TotalDelay", 2).unwrap();
+    assert!(m.present > 0);
+    // TotalDelay = DepDelay + ArrDelay; means should add up approximately.
+    let (dep, _) = sheet.moments("DepDelay", 2).unwrap();
+    let (arr, _) = sheet.moments("ArrDelay", 2).unwrap();
+    let sum_means = dep.mean().unwrap() + arr.mean().unwrap();
+    assert!(
+        (m.mean().unwrap() - sum_means).abs() < 1.5,
+        "{} vs {}",
+        m.mean().unwrap(),
+        sum_means
+    );
+}
+
+#[test]
+fn scroll_bar_session() {
+    let sheet = flights_sheet(2, 15_000);
+    // Scroll to the middle of the distance-sorted view.
+    let (page, stats) = sheet.scroll_to(&["Distance"], 50, 10).unwrap();
+    assert!(!page.rows.is_empty());
+    assert!(stats.trees >= 2);
+    // The median-ish distance should be mid-range (routes span 100..2700).
+    let first_distance: f64 = page.rows[0].0[0].parse().unwrap();
+    assert!(
+        (300.0..2300.0).contains(&first_distance),
+        "scrolled to {first_distance}"
+    );
+}
+
+#[test]
+fn multiple_sheets_share_one_engine() {
+    let engine = test_engine(2, 8_000);
+    let flights = hillview_core::Spreadsheet::open(
+        engine.clone(),
+        "flights",
+        0,
+        DisplaySpec::new(100, 50),
+    )
+    .unwrap();
+    let logs =
+        hillview_core::Spreadsheet::open(engine.clone(), "logs", 0, DisplaySpec::new(100, 50))
+            .unwrap();
+    let (fr, _) = flights.row_count().unwrap();
+    let (lr, _) = logs.row_count().unwrap();
+    assert_eq!(fr, 16_000);
+    assert_eq!(lr, 16_000);
+    assert_eq!(engine.redo_log().len(), 2);
+}
+
+#[test]
+fn results_scale_invariant_for_sampled_charts() {
+    // The same distribution at different sizes renders the same chart
+    // shape — the vizketch scalability claim (§4.4).
+    let small = flights_sheet(2, 5_000);
+    let large = flights_sheet(2, 50_000);
+    let (cs, _, _) = small.histogram_with_cdf("CRSDepTime", Some(24)).unwrap();
+    let (cl, _, _) = large.histogram_with_cdf("CRSDepTime", Some(24)).unwrap();
+    // Compare normalized bar heights loosely.
+    for (a, b) in cs.heights_px.iter().zip(&cl.heights_px) {
+        assert!(
+            (*a as i64 - *b as i64).abs() <= 12,
+            "{:?} vs {:?}",
+            cs.heights_px,
+            cl.heights_px
+        );
+    }
+}
