@@ -35,6 +35,8 @@ pub struct GpEngine {
 
 /// A value→count table shipped in full (the shape of an exact group-by).
 type CountMap = Vec<(Value, u64)>;
+/// Exact 2-D group-by result: `((x, y), count)` pairs.
+pub type PairCounts = Vec<((Value, Value), u64)>;
 
 fn encode_counts(counts: &CountMap) -> Bytes {
     let mut w = WireWriter::new();
@@ -241,7 +243,7 @@ impl GpEngine {
         dataset: DatasetId,
         col_x: &str,
         col_y: &str,
-    ) -> EngineResult<GpOutcome<Vec<((Value, Value), u64)>>> {
+    ) -> EngineResult<GpOutcome<PairCounts>> {
         self.collect(
             |w| {
                 let parts = self.partitions_of(w, dataset)?;

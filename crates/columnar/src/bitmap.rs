@@ -124,6 +124,23 @@ impl Bitmap {
         b
     }
 
+    /// The backing 64-bit words, little-endian within the vector: bit `i`
+    /// lives at `words()[i / 64] >> (i % 64)`. Bits at or beyond
+    /// [`Bitmap::len`] are always zero (maintained by `clear_tail`), so
+    /// word-level popcounts are exact. This is the raw surface the chunked
+    /// scan layer ([`crate::scan`]) builds on.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Word `i` of the backing storage, or 0 if `i` is past the end —
+    /// callers processing 64-row blocks need no bounds branch.
+    #[inline]
+    pub fn word(&self, i: usize) -> u64 {
+        self.words.get(i).copied().unwrap_or(0)
+    }
+
     /// Iterate over the indexes of set bits, ascending.
     pub fn iter_ones(&self) -> OnesIter<'_> {
         OnesIter {

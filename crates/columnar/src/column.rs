@@ -88,7 +88,7 @@ impl F64Column {
         let vals: Vec<Option<f64>> = vals.into_iter().collect();
         let len = vals.len();
         let nulls = NullMask::from_flags(
-            vals.iter().map(|v| v.map_or(true, f64::is_nan)),
+            vals.iter().map(|v| v.is_none_or(f64::is_nan)),
             len,
         );
         let data = vals.into_iter().map(|v| v.unwrap_or(0.0)).collect();
@@ -255,6 +255,18 @@ impl Column {
             Column::Int(c) | Column::Date(c) => c.nulls().null_count(),
             Column::Double(c) => c.nulls().null_count(),
             Column::Str(c) | Column::Cat(c) => c.nulls().null_count(),
+        }
+    }
+
+    /// The null bitmap shared by all column kinds, if any nulls exist.
+    /// Chunked kernels combine this with membership words (see
+    /// [`crate::scan`]).
+    #[inline]
+    pub fn null_bitmap(&self) -> Option<&crate::bitmap::Bitmap> {
+        match self {
+            Column::Int(c) | Column::Date(c) => c.nulls().bitmap(),
+            Column::Double(c) => c.nulls().bitmap(),
+            Column::Str(c) | Column::Cat(c) => c.nulls().bitmap(),
         }
     }
 

@@ -22,6 +22,21 @@
 //! * [`udf`] — named user-defined map functions that derive new columns from
 //!   existing ones (paper §5.6 "user-defined maps"; Rust closures substitute
 //!   for the paper's JavaScript functions).
+//!
+//! ## Chunked scans
+//!
+//! The [`scan`] module is the performance substrate for sketch kernels: it
+//! decomposes any [`MembershipSet`] into [`scan::ScanChunk`]s — dense row
+//! ranges, 64-row bitmap words, or sparse index lists — and provides typed
+//! drivers ([`scan::scan_values`], [`scan::scan_rows`],
+//! [`scan::count_missing`]) that combine those chunks with a column's raw
+//! value slice and null-mask words. Null checks cost one word fetch per 64
+//! rows, and when a chunk is a dense range over a column with no nulls the
+//! inner loop degenerates to a plain slice iteration (the *dense fast
+//! path*) that the compiler can unroll and vectorize. Chunks arrive in
+//! ascending row order, so chunked kernels visit exactly the rows
+//! `MembershipSet::iter` would, in the same order — which is what makes
+//! chunked and per-row kernel results bit-identical.
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -35,6 +50,7 @@ pub mod nullmask;
 pub mod predicate;
 pub mod regexlite;
 pub mod rows;
+pub mod scan;
 pub mod schema;
 pub mod sort;
 pub mod table;
@@ -49,6 +65,7 @@ pub use membership::MembershipSet;
 pub use nullmask::NullMask;
 pub use predicate::{Predicate, StrMatchKind};
 pub use rows::{Row, RowKey};
+pub use scan::{ScanChunk, Selection};
 pub use schema::{ColumnDesc, ColumnKind, Schema};
 pub use sort::{ResolvedSortOrder, SortColumn, SortOrder};
 pub use table::Table;

@@ -61,7 +61,7 @@ impl MembershipSet {
     pub fn from_rows(mut rows: Vec<u32>, universe: usize) -> Self {
         rows.sort_unstable();
         rows.dedup();
-        debug_assert!(rows.last().map_or(true, |&r| (r as usize) < universe));
+        debug_assert!(rows.last().is_none_or(|&r| (r as usize) < universe));
         if rows.len() == universe {
             return MembershipSet::Full(universe);
         }

@@ -58,6 +58,18 @@ impl NullMask {
     pub fn bitmap(&self) -> Option<&Bitmap> {
         self.mask.as_ref()
     }
+
+    /// Null bits of the 64-row block starting at row `64 * i` (bit `b` set
+    /// means row `64 * i + b` is missing). Zero when the column has no nulls
+    /// at all, so chunked kernels pay one branch-free word fetch per block
+    /// instead of a per-row `is_null` probe.
+    #[inline]
+    pub fn word(&self, i: usize) -> u64 {
+        match &self.mask {
+            None => 0,
+            Some(b) => b.word(i),
+        }
+    }
 }
 
 #[cfg(test)]

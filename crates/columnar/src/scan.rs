@@ -1,0 +1,617 @@
+//! Chunked columnar scans: batch row selection for vizketch kernels.
+//!
+//! The per-row scan interface (`MembershipSet::iter` + `Column::get(i) ->
+//! Option<T>`) pays a membership probe, a bounds check, and an `Option`
+//! branch on *every cell*. That is far from the paper's claim that
+//! `summarize` loops run "as fast as the hardware allows" (§5, App. C).
+//! This module provides the batch alternative every sketch kernel is built
+//! on:
+//!
+//! * [`ScanChunk`] — a batch of selected rows in one of three shapes:
+//!   a dense row range (`Range`), a 64-row bitmap word (`Mask`), or an
+//!   explicit sorted index list (`Rows`).
+//! * [`MembershipSet::chunks`] — decomposes any membership representation
+//!   into chunks, coalescing consecutive all-ones bitmap words into dense
+//!   ranges.
+//! * [`Selection`] — unifies "scan the whole membership" and "scan these
+//!   sampled rows" so kernels have a single streaming/sampled code path.
+//! * [`scan_values`] / [`scan_rows`] / [`count_missing`] — typed drivers
+//!   that fold null masks in at word granularity: one `u64` fetch per 64
+//!   rows, with a branch-free inner loop over the raw value slice whenever
+//!   a chunk is dense and the column has no nulls there (the *dense fast
+//!   path*).
+//!
+//! Chunks are always emitted in ascending row order and never overlap, so
+//! order-sensitive kernels (Misra-Gries, next-K) observe exactly the same
+//! row sequence as the per-row reference path — the scan-equivalence
+//! property tests in `hillview-sketch` rely on that.
+
+use crate::bitmap::Bitmap;
+use crate::membership::MembershipSet;
+
+/// A batch of selected rows, in ascending row order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanChunk<'a> {
+    /// Every row in `start..end` is selected.
+    Range {
+        /// First selected row.
+        start: usize,
+        /// One past the last selected row.
+        end: usize,
+    },
+    /// Selected rows within the 64-row block starting at `base` (which is
+    /// always 64-aligned): bit `b` set means row `base + b` is selected.
+    /// The word is never zero.
+    Mask {
+        /// 64-aligned block start.
+        base: usize,
+        /// Selection bits for rows `base..base + 64`.
+        word: u64,
+    },
+    /// Explicitly listed selected rows, sorted ascending.
+    Rows(&'a [u32]),
+}
+
+/// Iterator over the [`ScanChunk`]s of a selection.
+pub struct ScanChunks<'a> {
+    inner: ChunksInner<'a>,
+}
+
+enum ChunksInner<'a> {
+    Done,
+    /// A single dense range, emitted once.
+    Range(usize, usize),
+    /// Bitmap words still to decompose.
+    Words {
+        words: &'a [u64],
+        len: usize,
+        idx: usize,
+    },
+    /// A single explicit row list, emitted once.
+    Rows(&'a [u32]),
+}
+
+impl<'a> ScanChunks<'a> {
+    fn range(start: usize, end: usize) -> Self {
+        ScanChunks {
+            inner: if start < end {
+                ChunksInner::Range(start, end)
+            } else {
+                ChunksInner::Done
+            },
+        }
+    }
+
+    fn rows(rows: &'a [u32]) -> Self {
+        ScanChunks {
+            inner: if rows.is_empty() {
+                ChunksInner::Done
+            } else {
+                ChunksInner::Rows(rows)
+            },
+        }
+    }
+
+    fn bitmap(bitmap: &'a Bitmap) -> Self {
+        ScanChunks {
+            inner: ChunksInner::Words {
+                words: bitmap.words(),
+                len: bitmap.len(),
+                idx: 0,
+            },
+        }
+    }
+}
+
+/// The all-ones pattern for word `idx` of a bitmap of `len` bits (the last
+/// word of a non-multiple-of-64 bitmap has a shorter tail).
+#[inline]
+fn full_word(idx: usize, len: usize) -> u64 {
+    let remaining = len - idx * 64;
+    if remaining >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << remaining) - 1
+    }
+}
+
+impl<'a> Iterator for ScanChunks<'a> {
+    type Item = ScanChunk<'a>;
+
+    fn next(&mut self) -> Option<ScanChunk<'a>> {
+        match &mut self.inner {
+            ChunksInner::Done => None,
+            ChunksInner::Range(start, end) => {
+                let chunk = ScanChunk::Range {
+                    start: *start,
+                    end: *end,
+                };
+                self.inner = ChunksInner::Done;
+                Some(chunk)
+            }
+            ChunksInner::Rows(rows) => {
+                let chunk = ScanChunk::Rows(rows);
+                self.inner = ChunksInner::Done;
+                Some(chunk)
+            }
+            ChunksInner::Words { words, len, idx } => {
+                // Skip empty words.
+                while *idx < words.len() && words[*idx] == 0 {
+                    *idx += 1;
+                }
+                if *idx >= words.len() {
+                    self.inner = ChunksInner::Done;
+                    return None;
+                }
+                let w = words[*idx];
+                if w == full_word(*idx, *len) {
+                    // Coalesce a run of all-ones words into one dense range.
+                    let start = *idx * 64;
+                    let mut j = *idx + 1;
+                    while j < words.len() && words[j] == full_word(j, *len) && words[j] != 0 {
+                        j += 1;
+                    }
+                    let end = (j * 64).min(*len);
+                    *idx = j;
+                    Some(ScanChunk::Range { start, end })
+                } else {
+                    let base = *idx * 64;
+                    *idx += 1;
+                    Some(ScanChunk::Mask { base, word: w })
+                }
+            }
+        }
+    }
+}
+
+impl MembershipSet {
+    /// Decompose this membership set into [`ScanChunk`]s: `Full` becomes one
+    /// dense range, `Dense` becomes bitmap words with all-ones runs
+    /// coalesced into ranges, `Sparse` becomes one explicit row list.
+    pub fn chunks(&self) -> ScanChunks<'_> {
+        match self {
+            MembershipSet::Full(n) => ScanChunks::range(0, *n),
+            MembershipSet::Dense(b) => ScanChunks::bitmap(b),
+            MembershipSet::Sparse { rows, .. } => ScanChunks::rows(rows),
+        }
+    }
+}
+
+/// What a kernel scans: an entire membership set (streaming) or an explicit
+/// sampled row list. Gives kernels one code path for both.
+#[derive(Debug, Clone, Copy)]
+pub enum Selection<'a> {
+    /// Every row of the membership set.
+    Members(&'a MembershipSet),
+    /// A pre-drawn ascending row sample (e.g. from
+    /// [`MembershipSet::sample`]).
+    Rows(&'a [u32]),
+}
+
+impl<'a> Selection<'a> {
+    /// Number of selected rows.
+    pub fn count(&self) -> usize {
+        match self {
+            Selection::Members(m) => m.len(),
+            Selection::Rows(r) => r.len(),
+        }
+    }
+
+    /// The selection as chunks, ascending.
+    pub fn chunks(&self) -> ScanChunks<'a> {
+        match self {
+            Selection::Members(m) => m.chunks(),
+            Selection::Rows(r) => ScanChunks::rows(r),
+        }
+    }
+}
+
+/// The bits `[lo, hi)` of a 64-bit word, set.
+#[inline]
+fn mask_span(lo: usize, hi: usize) -> u64 {
+    debug_assert!(lo <= hi && hi <= 64);
+    if hi - lo == 64 {
+        u64::MAX
+    } else {
+        ((1u64 << (hi - lo)) - 1) << lo
+    }
+}
+
+/// Stream the non-null values of `data` at the selected rows into
+/// `present`, adding the number of selected-but-null rows to `missing`.
+///
+/// This is the workhorse of every single-column kernel. Null handling is
+/// word-granular: per 64-row block the driver fetches one null word, and
+/// when a dense chunk has no nulls the inner loop is a plain slice
+/// iteration the compiler can unroll/vectorize (the dense fast path).
+pub fn scan_values<T: Copy>(
+    sel: &Selection<'_>,
+    data: &[T],
+    nulls: Option<&Bitmap>,
+    missing: &mut u64,
+    mut present: impl FnMut(T),
+) {
+    for chunk in sel.chunks() {
+        match chunk {
+            ScanChunk::Range { start, end } => match nulls {
+                // Dense fast path: no filter, no nulls — pure slice loop.
+                None => {
+                    for &v in &data[start..end] {
+                        present(v);
+                    }
+                }
+                Some(nb) => {
+                    let mut r = start;
+                    while r < end {
+                        let w_idx = r / 64;
+                        let w_end = ((w_idx + 1) * 64).min(end);
+                        let nword = nb.word(w_idx);
+                        if nword == 0 {
+                            for &v in &data[r..w_end] {
+                                present(v);
+                            }
+                        } else {
+                            let span = mask_span(r - w_idx * 64, w_end - w_idx * 64);
+                            *missing += (nword & span).count_ones() as u64;
+                            let mut live = span & !nword;
+                            while live != 0 {
+                                let b = live.trailing_zeros() as usize;
+                                live &= live - 1;
+                                present(data[w_idx * 64 + b]);
+                            }
+                        }
+                        r = w_end;
+                    }
+                }
+            },
+            ScanChunk::Mask { base, word } => {
+                let nword = match nulls {
+                    None => 0,
+                    Some(nb) => nb.word(base / 64),
+                };
+                *missing += (word & nword).count_ones() as u64;
+                let mut live = word & !nword;
+                while live != 0 {
+                    let b = live.trailing_zeros() as usize;
+                    live &= live - 1;
+                    present(data[base + b]);
+                }
+            }
+            ScanChunk::Rows(rows) => match nulls {
+                None => {
+                    for &r in rows {
+                        present(data[r as usize]);
+                    }
+                }
+                Some(nb) => {
+                    for &r in rows {
+                        if nb.get(r as usize) {
+                            *missing += 1;
+                        } else {
+                            present(data[r as usize]);
+                        }
+                    }
+                }
+            },
+        }
+    }
+}
+
+/// Receiver for [`scan_value_runs`]: dense null-free runs arrive as whole
+/// slices via [`RunSink::run`], everything else (masked words, null
+/// neighborhoods, sparse rows) value-at-a-time via [`RunSink::one`].
+pub trait RunSink<T> {
+    /// A dense, null-free run of selected values.
+    fn run(&mut self, run: &[T]);
+    /// A single selected, non-null value.
+    fn one(&mut self, v: T);
+}
+
+/// Like [`scan_values`], but dense null-free runs are handed to the sink
+/// as whole slices instead of value-at-a-time. Kernels with heavy per-value
+/// arithmetic (histogram bucketing) process such runs in blocks, separating
+/// the arithmetic from their accumulator updates so the compiler can
+/// pipeline or vectorize it.
+///
+/// Every selected non-null value reaches exactly one of the sink's two
+/// methods, in ascending row order overall.
+pub fn scan_value_runs<T: Copy, S: RunSink<T>>(
+    sel: &Selection<'_>,
+    data: &[T],
+    nulls: Option<&Bitmap>,
+    missing: &mut u64,
+    sink: &mut S,
+) {
+    for chunk in sel.chunks() {
+        match chunk {
+            ScanChunk::Range { start, end } => match nulls {
+                None => sink.run(&data[start..end]),
+                Some(nb) => {
+                    let mut r = start;
+                    // Coalesce consecutive null-free words into one run.
+                    let mut run_start = None;
+                    while r < end {
+                        let w_idx = r / 64;
+                        let w_end = ((w_idx + 1) * 64).min(end);
+                        let nword = nb.word(w_idx);
+                        if nword == 0 {
+                            run_start.get_or_insert(r);
+                        } else {
+                            if let Some(s) = run_start.take() {
+                                sink.run(&data[s..r]);
+                            }
+                            let span = mask_span(r - w_idx * 64, w_end - w_idx * 64);
+                            *missing += (nword & span).count_ones() as u64;
+                            let mut live = span & !nword;
+                            while live != 0 {
+                                let b = live.trailing_zeros() as usize;
+                                live &= live - 1;
+                                sink.one(data[w_idx * 64 + b]);
+                            }
+                        }
+                        r = w_end;
+                    }
+                    if let Some(s) = run_start.take() {
+                        sink.run(&data[s..end]);
+                    }
+                }
+            },
+            ScanChunk::Mask { base, word } => {
+                let nword = match nulls {
+                    None => 0,
+                    Some(nb) => nb.word(base / 64),
+                };
+                *missing += (word & nword).count_ones() as u64;
+                let mut live = word & !nword;
+                while live != 0 {
+                    let b = live.trailing_zeros() as usize;
+                    live &= live - 1;
+                    sink.one(data[base + b]);
+                }
+            }
+            ScanChunk::Rows(rows) => match nulls {
+                None => {
+                    for &r in rows {
+                        sink.one(data[r as usize]);
+                    }
+                }
+                Some(nb) => {
+                    for &r in rows {
+                        if nb.get(r as usize) {
+                            *missing += 1;
+                        } else {
+                            sink.one(data[r as usize]);
+                        }
+                    }
+                }
+            },
+        }
+    }
+}
+
+/// Enumerate the selected row indexes, ascending. For kernels that must
+/// touch several columns per row (heat maps, next-K): the membership probe
+/// is amortized to chunk decoding but value access stays per-row.
+pub fn scan_rows(sel: &Selection<'_>, mut f: impl FnMut(usize)) {
+    for chunk in sel.chunks() {
+        match chunk {
+            ScanChunk::Range { start, end } => {
+                for r in start..end {
+                    f(r);
+                }
+            }
+            ScanChunk::Mask { base, word } => {
+                let mut live = word;
+                while live != 0 {
+                    let b = live.trailing_zeros() as usize;
+                    live &= live - 1;
+                    f(base + b);
+                }
+            }
+            ScanChunk::Rows(rows) => {
+                for &r in rows {
+                    f(r as usize);
+                }
+            }
+        }
+    }
+}
+
+/// Count selected rows whose bit is set in `nulls`, touching no column
+/// data at all — pure word-AND popcounts for dense selections.
+pub fn count_missing(sel: &Selection<'_>, nulls: Option<&Bitmap>) -> u64 {
+    let Some(nb) = nulls else {
+        return 0;
+    };
+    let mut missing = 0u64;
+    for chunk in sel.chunks() {
+        match chunk {
+            ScanChunk::Range { start, end } => {
+                let mut r = start;
+                while r < end {
+                    let w_idx = r / 64;
+                    let w_end = ((w_idx + 1) * 64).min(end);
+                    let span = mask_span(r - w_idx * 64, w_end - w_idx * 64);
+                    missing += (nb.word(w_idx) & span).count_ones() as u64;
+                    r = w_end;
+                }
+            }
+            ScanChunk::Mask { base, word } => {
+                missing += (word & nb.word(base / 64)).count_ones() as u64;
+            }
+            ScanChunk::Rows(rows) => {
+                missing += rows.iter().filter(|&&r| nb.get(r as usize)).count() as u64;
+            }
+        }
+    }
+    missing
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunk_rows(m: &MembershipSet) -> Vec<usize> {
+        let mut out = Vec::new();
+        scan_rows(&Selection::Members(m), |r| out.push(r));
+        out
+    }
+
+    #[test]
+    fn full_is_one_range() {
+        let m = MembershipSet::full(100);
+        let chunks: Vec<_> = m.chunks().collect();
+        assert_eq!(chunks, vec![ScanChunk::Range { start: 0, end: 100 }]);
+    }
+
+    #[test]
+    fn empty_full_yields_nothing() {
+        let m = MembershipSet::full(0);
+        assert_eq!(m.chunks().count(), 0);
+    }
+
+    #[test]
+    fn sparse_is_one_rows_chunk() {
+        let m = MembershipSet::from_rows(vec![3, 17, 64], 1000);
+        let chunks: Vec<_> = m.chunks().collect();
+        assert!(matches!(chunks.as_slice(), [ScanChunk::Rows(r)] if r == &[3, 17, 64]));
+    }
+
+    #[test]
+    fn dense_coalesces_full_words_into_ranges() {
+        // 320 rows: words 0,1 full; word 2 partial; word 3 full; word 4 empty.
+        let mut bm = Bitmap::new(320);
+        for i in 0..128 {
+            bm.set(i);
+        }
+        bm.set(130);
+        bm.set(190);
+        for i in 192..256 {
+            bm.set(i);
+        }
+        let m = MembershipSet::Dense(bm);
+        let chunks: Vec<_> = m.chunks().collect();
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[0], ScanChunk::Range { start: 0, end: 128 });
+        assert!(matches!(chunks[1], ScanChunk::Mask { base: 128, .. }));
+        assert_eq!(
+            chunks[2],
+            ScanChunk::Range {
+                start: 192,
+                end: 256
+            }
+        );
+    }
+
+    #[test]
+    fn dense_full_tail_word_coalesces() {
+        // 70 rows all set: last word is a 6-bit tail, still a Range.
+        let bm = Bitmap::all_set(70);
+        let m = MembershipSet::Dense(bm);
+        let chunks: Vec<_> = m.chunks().collect();
+        assert_eq!(chunks, vec![ScanChunk::Range { start: 0, end: 70 }]);
+    }
+
+    #[test]
+    fn chunk_row_enumeration_matches_iter_for_all_reps() {
+        for m in [
+            MembershipSet::full(130),
+            MembershipSet::from_rows((0..130).step_by(3).collect(), 130),
+            MembershipSet::from_rows((0..130).step_by(31).collect(), 130),
+            MembershipSet::from_rows(vec![], 130),
+            {
+                let mut bm = Bitmap::new(130);
+                for i in 50..130 {
+                    bm.set(i);
+                }
+                MembershipSet::Dense(bm)
+            },
+        ] {
+            assert_eq!(chunk_rows(&m), m.iter().collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn scan_values_respects_null_words() {
+        let data: Vec<i64> = (0..200).collect();
+        let mut nulls = Bitmap::new(200);
+        for i in (0..200).step_by(7) {
+            nulls.set(i);
+        }
+        let m = MembershipSet::full(200);
+        let mut missing = 0u64;
+        let mut sum = 0i64;
+        scan_values(
+            &Selection::Members(&m),
+            &data,
+            Some(&nulls),
+            &mut missing,
+            |v| sum += v,
+        );
+        let expect_missing = (0..200).step_by(7).count() as u64;
+        assert_eq!(missing, expect_missing);
+        let expect_sum: i64 = (0..200).filter(|i| i % 7 != 0).sum();
+        assert_eq!(sum, expect_sum);
+    }
+
+    #[test]
+    fn scan_values_dense_fast_path() {
+        let data: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let m = MembershipSet::full(1000);
+        let mut missing = 0u64;
+        let mut n = 0usize;
+        scan_values(&Selection::Members(&m), &data, None, &mut missing, |_| {
+            n += 1
+        });
+        assert_eq!(n, 1000);
+        assert_eq!(missing, 0);
+    }
+
+    #[test]
+    fn scan_values_sampled_rows() {
+        let data: Vec<i64> = (0..100).collect();
+        let mut nulls = Bitmap::new(100);
+        nulls.set(10);
+        let rows: Vec<u32> = vec![5, 10, 20];
+        let mut missing = 0u64;
+        let mut seen = Vec::new();
+        scan_values(
+            &Selection::Rows(&rows),
+            &data,
+            Some(&nulls),
+            &mut missing,
+            |v| seen.push(v),
+        );
+        assert_eq!(missing, 1);
+        assert_eq!(seen, vec![5, 20]);
+    }
+
+    #[test]
+    fn count_missing_agrees_with_scan() {
+        let mut nulls = Bitmap::new(500);
+        for i in (0..500).step_by(13) {
+            nulls.set(i);
+        }
+        for m in [
+            MembershipSet::full(500),
+            MembershipSet::from_rows((100..400).collect(), 500),
+            MembershipSet::from_rows((0..500).step_by(29).collect(), 500),
+        ] {
+            let sel = Selection::Members(&m);
+            let fast = count_missing(&sel, Some(&nulls));
+            let slow = m.iter().filter(|&r| nulls.get(r)).count() as u64;
+            assert_eq!(fast, slow);
+        }
+        assert_eq!(
+            count_missing(&Selection::Members(&MembershipSet::full(500)), None),
+            0
+        );
+    }
+
+    #[test]
+    fn selection_count_matches() {
+        let m = MembershipSet::from_rows(vec![1, 5, 9], 10);
+        assert_eq!(Selection::Members(&m).count(), 3);
+        assert_eq!(Selection::Rows(&[1, 2]).count(), 2);
+    }
+}

@@ -108,7 +108,7 @@ proptest! {
                 any::<i64>().prop_map(Value::Int),
                 (-1e12f64..1e12).prop_map(Value::Double),
                 any::<i64>().prop_map(Value::Date),
-                "[a-z]{0,8}".prop_map(|s| Value::str(s)),
+                "[a-z]{0,8}".prop_map(Value::str),
             ],
             0..50,
         ),

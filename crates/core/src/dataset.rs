@@ -93,11 +93,15 @@ pub trait DataSource: Send + Sync + 'static {
     ) -> EngineResult<Vec<Table>>;
 }
 
+/// Signature of a [`FnSource`] closure: `f(worker, num_workers,
+/// micropartition_rows, snapshot)` produces that worker's partitions.
+pub type SourceFn = dyn Fn(usize, usize, usize, u64) -> EngineResult<Vec<Table>> + Send + Sync;
+
 /// A [`DataSource`] built from a closure — the usual way benches and tests
 /// plug in generated or file-backed data.
 pub struct FnSource {
     name: String,
-    f: Arc<dyn Fn(usize, usize, usize, u64) -> EngineResult<Vec<Table>> + Send + Sync>,
+    f: Arc<SourceFn>,
 }
 
 impl FnSource {

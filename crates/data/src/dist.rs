@@ -162,13 +162,13 @@ mod tests {
         let z = Zipf::new(10, 1.0);
         let mut r = rng();
         let n = 100_000;
-        let mut counts = vec![0usize; 10];
+        let mut counts = [0usize; 10];
         for _ in 0..n {
             counts[z.sample(&mut r)] += 1;
         }
-        for k in 0..10 {
+        for (k, &count) in counts.iter().enumerate() {
             let expect = z.pmf(k) * n as f64;
-            let got = counts[k] as f64;
+            let got = count as f64;
             assert!(
                 (got - expect).abs() < expect * 0.15 + 30.0,
                 "rank {k}: got {got} expect {expect}"

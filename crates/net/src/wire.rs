@@ -374,7 +374,7 @@ mod tests {
         roundtrip(-1i64);
         roundtrip(i64::MIN);
         roundtrip(i64::MAX);
-        roundtrip(3.141592653589793f64);
+        roundtrip(std::f64::consts::PI);
         roundtrip(f64::NEG_INFINITY);
         roundtrip(true);
         roundtrip(false);

@@ -11,7 +11,7 @@ fn value_strategy() -> impl Strategy<Value = Value> {
         any::<i64>().prop_map(Value::Int),
         (-1e15f64..1e15).prop_map(Value::Double),
         any::<i64>().prop_map(Value::Date),
-        "\\PC{0,24}".prop_map(|s| Value::str(s)),
+        "\\PC{0,24}".prop_map(Value::str),
     ]
 }
 

@@ -1,10 +1,14 @@
 //! Internal helper binding a column to a bucket spec for fast row→bucket
 //! lookup, shared by the heatmap and stacked-histogram kernels.
+//!
+//! Binding resolves the column to its raw storage once — value slice plus
+//! optional null bitmap — so the per-row `bucket()` probe costs a slice
+//! index and a bitmap bit test instead of a `Column` enum dispatch and an
+//! `Option` round-trip.
 
 use crate::buckets::BucketSpec;
 use crate::traits::{SketchError, SketchResult};
-use hillview_columnar::column::DictColumn;
-use hillview_columnar::Column;
+use hillview_columnar::{Bitmap, Column};
 
 /// Where a row's value landed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -17,14 +21,21 @@ pub(crate) enum Cell {
     In(usize),
 }
 
-/// A column bound to its bucket spec.
+/// A column bound to its bucket spec, resolved to raw storage.
 pub(crate) enum BoundColumn<'a> {
-    Num {
-        col: &'a Column,
+    F64 {
+        data: &'a [f64],
+        nulls: Option<&'a Bitmap>,
+        spec: &'a BucketSpec,
+    },
+    I64 {
+        data: &'a [i64],
+        nulls: Option<&'a Bitmap>,
         spec: &'a BucketSpec,
     },
     Dict {
-        col: &'a DictColumn,
+        codes: &'a [u32],
+        nulls: Option<&'a Bitmap>,
         /// Bucket of each dictionary code, precomputed once.
         code_bucket: Vec<Option<usize>>,
     },
@@ -33,8 +44,17 @@ pub(crate) enum BoundColumn<'a> {
 impl<'a> BoundColumn<'a> {
     pub(crate) fn bind(col: &'a Column, spec: &'a BucketSpec) -> SketchResult<Self> {
         match (spec, col) {
-            (BucketSpec::Numeric { .. }, c) if c.kind().is_numeric() => {
-                Ok(BoundColumn::Num { col, spec })
+            (BucketSpec::Numeric { .. }, Column::Double(c)) => Ok(BoundColumn::F64 {
+                data: c.data(),
+                nulls: c.nulls().bitmap(),
+                spec,
+            }),
+            (BucketSpec::Numeric { .. }, Column::Int(c) | Column::Date(c)) => {
+                Ok(BoundColumn::I64 {
+                    data: c.data(),
+                    nulls: c.nulls().bitmap(),
+                    spec,
+                })
             }
             (BucketSpec::Strings { .. }, Column::Str(c) | Column::Cat(c)) => {
                 let code_bucket = c
@@ -42,7 +62,11 @@ impl<'a> BoundColumn<'a> {
                     .iter()
                     .map(|s| spec.index_of_str(s))
                     .collect();
-                Ok(BoundColumn::Dict { col: c, code_bucket })
+                Ok(BoundColumn::Dict {
+                    codes: c.codes(),
+                    nulls: c.nulls().bitmap(),
+                    code_bucket,
+                })
             }
             (spec, col) => Err(SketchError::BadConfig(format!(
                 "bucket spec with {} buckets incompatible with column kind {}",
@@ -55,18 +79,35 @@ impl<'a> BoundColumn<'a> {
     #[inline]
     pub(crate) fn bucket(&self, row: usize) -> Cell {
         match self {
-            BoundColumn::Num { col, spec } => match col.as_f64(row) {
-                None => Cell::Missing,
-                Some(v) => match spec.index_of_f64(v) {
-                    Some(b) => Cell::In(b),
-                    None => Cell::Out,
-                },
-            },
-            BoundColumn::Dict { col, code_bucket } => {
-                if col.nulls().is_null(row) {
+            BoundColumn::F64 { data, nulls, spec } => {
+                if nulls.is_some_and(|nb| nb.get(row)) {
                     Cell::Missing
                 } else {
-                    match code_bucket[col.codes()[row] as usize] {
+                    match spec.index_of_f64(data[row]) {
+                        Some(b) => Cell::In(b),
+                        None => Cell::Out,
+                    }
+                }
+            }
+            BoundColumn::I64 { data, nulls, spec } => {
+                if nulls.is_some_and(|nb| nb.get(row)) {
+                    Cell::Missing
+                } else {
+                    match spec.index_of_f64(data[row] as f64) {
+                        Some(b) => Cell::In(b),
+                        None => Cell::Out,
+                    }
+                }
+            }
+            BoundColumn::Dict {
+                codes,
+                nulls,
+                code_bucket,
+            } => {
+                if nulls.is_some_and(|nb| nb.get(row)) {
+                    Cell::Missing
+                } else {
+                    match code_bucket[codes[row] as usize] {
                         Some(b) => Cell::In(b),
                         None => Cell::Out,
                     }
@@ -79,7 +120,7 @@ impl<'a> BoundColumn<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hillview_columnar::column::{F64Column, I64Column};
+    use hillview_columnar::column::{DictColumn, F64Column, I64Column};
 
     #[test]
     fn numeric_binding() {
@@ -89,6 +130,15 @@ mod tests {
         assert_eq!(b.bucket(0), Cell::In(1));
         assert_eq!(b.bucket(1), Cell::Missing);
         assert_eq!(b.bucket(2), Cell::Out);
+    }
+
+    #[test]
+    fn int_binding_buckets_as_f64() {
+        let col = Column::Int(I64Column::from_options([Some(3), None]));
+        let spec = BucketSpec::numeric(0.0, 10.0, 5);
+        let b = BoundColumn::bind(&col, &spec).unwrap();
+        assert_eq!(b.bucket(0), Cell::In(1));
+        assert_eq!(b.bucket(1), Cell::Missing);
     }
 
     #[test]

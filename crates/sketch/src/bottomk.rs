@@ -10,6 +10,7 @@
 use crate::hashutil::hash_str;
 use crate::traits::{Sketch, SketchError, SketchResult, Summary};
 use crate::view::TableView;
+use hillview_columnar::scan::{scan_values, Selection};
 use hillview_net::{Result as WireResult, Wire, WireReader, WireWriter};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -151,8 +152,52 @@ impl Sketch for BottomKSketch {
                 col.kind()
             ))
         })?;
-        // Hash each distinct dictionary entry once; then only track which
-        // codes actually occur in this view.
+        // Chunked scan over the raw code slice: mark which codes occur, with
+        // one null-word probe per 64 rows instead of per-row `is_null`.
+        let mut seen = vec![false; dict.dictionary().len()];
+        let mut missing = 0u64;
+        let sel = Selection::Members(view.members());
+        scan_values(
+            &sel,
+            dict.codes(),
+            dict.nulls().bitmap(),
+            &mut missing,
+            |code| seen[code as usize] = true,
+        );
+        let rows = sel.count() as u64 - missing;
+        // Hash each distinct dictionary entry once — O(dict), not O(rows).
+        let mut map: BTreeMap<u64, String> = BTreeMap::new();
+        for (code, &s) in seen.iter().enumerate() {
+            if s {
+                map.entry(hash_str(dict.dictionary().get(code as u32), self.seed))
+                    .or_insert_with(|| dict.dictionary().get(code as u32).to_string());
+            }
+        }
+        let entries: Vec<(u64, String)> = map.into_iter().take(self.k).collect();
+        Ok(BottomKSummary {
+            k: self.k,
+            entries,
+            rows,
+        })
+    }
+
+    fn identity(&self) -> BottomKSummary {
+        BottomKSummary::zero(self.k)
+    }
+}
+
+impl BottomKSketch {
+    /// Per-row reference implementation, kept for the scan-equivalence
+    /// property tests. Must remain bit-identical to [`Sketch::summarize`].
+    pub fn summarize_rowwise(&self, view: &TableView, _seed: u64) -> SketchResult<BottomKSummary> {
+        let col = view.table().column_by_name(&self.column)?;
+        let dict = col.as_dict_col().ok_or_else(|| {
+            SketchError::BadConfig(format!(
+                "bottom-k requires a string column, {} is {}",
+                self.column,
+                col.kind()
+            ))
+        })?;
         let hashes: Vec<u64> = dict
             .dictionary()
             .iter()
@@ -179,10 +224,6 @@ impl Sketch for BottomKSketch {
             entries,
             rows,
         })
-    }
-
-    fn identity(&self) -> BottomKSummary {
-        BottomKSummary::zero(self.k)
     }
 }
 

@@ -57,6 +57,11 @@ impl BucketSpec {
 
     /// Bucket index of a numeric value, or `None` if out of range or the
     /// spec is for strings.
+    ///
+    /// The index is `(v - lo) * (count / (hi - lo))`, i.e. a multiply by a
+    /// precomputable scale rather than a per-value division — the chunked
+    /// histogram kernel hoists the scale out of its inner loop and must
+    /// produce bit-identical buckets to this function.
     #[inline]
     pub fn index_of_f64(&self, v: f64) -> Option<usize> {
         match self {
@@ -64,7 +69,8 @@ impl BucketSpec {
                 if v < *lo || v >= *hi {
                     return None;
                 }
-                let idx = ((v - lo) / (hi - lo) * *count as f64) as usize;
+                let scale = *count as f64 / (hi - lo);
+                let idx = ((v - lo) * scale) as usize;
                 Some(idx.min(count - 1))
             }
             BucketSpec::Strings { .. } => None,

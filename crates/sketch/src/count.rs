@@ -6,6 +6,7 @@
 
 use crate::traits::{Sketch, SketchResult, Summary};
 use crate::view::TableView;
+use hillview_columnar::scan::{count_missing, Selection};
 use hillview_net::{Result as WireResult, Wire, WireReader, WireWriter};
 use std::sync::Arc;
 
@@ -74,11 +75,9 @@ impl Sketch for CountSketch {
             None => 0,
             Some(name) => {
                 let col = view.table().column_by_name(name)?;
-                if col.null_count() == 0 {
-                    0
-                } else {
-                    view.iter_rows().filter(|&r| col.is_null(r)).count() as u64
-                }
+                // Word-AND popcounts of membership × null mask: no column
+                // data is touched at all.
+                count_missing(&Selection::Members(view.members()), col.null_bitmap())
             }
         };
         Ok(CountSummary { rows, missing })

@@ -8,6 +8,7 @@ use crate::bind::{BoundColumn, Cell};
 use crate::buckets::BucketSpec;
 use crate::traits::{Sketch, SketchResult, Summary};
 use crate::view::TableView;
+use hillview_columnar::scan::{scan_rows, Selection};
 use hillview_net::{Result as WireResult, Wire, WireReader, WireWriter};
 use std::sync::Arc;
 
@@ -161,6 +162,38 @@ impl Sketch for HeatmapSketch {
     fn summarize(&self, view: &TableView, seed: u64) -> SketchResult<HeatmapSummary> {
         let cx = view.table().column_by_name(&self.col_x)?;
         let cy = view.table().column_by_name(&self.col_y)?;
+        // Bind once: raw slices + null bitmaps, no per-row enum dispatch.
+        let bx = BoundColumn::bind(cx, &self.buckets_x)?;
+        let by = BoundColumn::bind(cy, &self.buckets_y)?;
+        let sampled = (self.rate < 1.0).then(|| view.sample_rows(self.rate, seed));
+        let sel = match &sampled {
+            Some(rows) => Selection::Rows(rows),
+            None => Selection::Members(view.members()),
+        };
+        let mut out = HeatmapSummary::zero(self.buckets_x.count(), self.buckets_y.count());
+        out.rows_inspected = sel.count() as u64;
+        let width_y = out.by;
+        scan_rows(&sel, |row| {
+            match (bx.bucket(row), by.bucket(row)) {
+                (Cell::In(x), Cell::In(y)) => out.counts[x * width_y + y] += 1,
+                (Cell::Missing, _) | (_, Cell::Missing) => out.missing += 1,
+                _ => out.out_of_range += 1,
+            }
+        });
+        Ok(out)
+    }
+
+    fn identity(&self) -> HeatmapSummary {
+        HeatmapSummary::zero(self.buckets_x.count(), self.buckets_y.count())
+    }
+}
+
+impl HeatmapSketch {
+    /// Per-row reference implementation, kept for the scan-equivalence
+    /// property tests. Must remain bit-identical to [`Sketch::summarize`].
+    pub fn summarize_rowwise(&self, view: &TableView, seed: u64) -> SketchResult<HeatmapSummary> {
+        let cx = view.table().column_by_name(&self.col_x)?;
+        let cy = view.table().column_by_name(&self.col_y)?;
         let bx = BoundColumn::bind(cx, &self.buckets_x)?;
         let by = BoundColumn::bind(cy, &self.buckets_y)?;
         let mut out = HeatmapSummary::zero(self.buckets_x.count(), self.buckets_y.count());
@@ -183,10 +216,6 @@ impl Sketch for HeatmapSketch {
             }
         }
         Ok(out)
-    }
-
-    fn identity(&self) -> HeatmapSummary {
-        HeatmapSummary::zero(self.buckets_x.count(), self.buckets_y.count())
     }
 }
 

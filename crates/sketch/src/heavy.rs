@@ -9,6 +9,7 @@
 
 use crate::traits::{Sketch, SketchResult, Summary};
 use crate::view::TableView;
+use hillview_columnar::scan::{scan_rows, scan_values, Selection};
 use hillview_columnar::Value;
 use hillview_net::{Result as WireResult, Wire, WireReader, WireWriter};
 use std::collections::HashMap;
@@ -93,7 +94,7 @@ impl Summary for MisraGriesSummary {
         // If over capacity: subtract the (k+1)-th largest counter from all
         // and drop non-positive (the mergeable-summaries MG merge).
         if counters.len() > k {
-            counters.sort_by(|a, b| b.1.cmp(&a.1));
+            counters.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
             let pivot = counters[k].1;
             counters = counters
                 .into_iter()
@@ -145,6 +146,86 @@ impl Sketch for MisraGriesSketch {
 
     fn summarize(&self, view: &TableView, _seed: u64) -> SketchResult<MisraGriesSummary> {
         let col = view.table().column_by_name(&self.column)?;
+        let sel = Selection::Members(view.members());
+        // Dictionary fast path: run the MG counter updates keyed by u32
+        // code over the raw code slice (chunked, null-word aware) and only
+        // materialize `Value`s for the ≤ k surviving counters. The counter
+        // dynamics see the identical value stream, so the result is
+        // bit-identical to the per-row reference.
+        let mut counters: Vec<(Value, u64)>;
+        let total;
+        if let Some(dict) = col.as_dict_col() {
+            let mut code_counters: HashMap<u32, u64> = HashMap::with_capacity(self.k + 1);
+            let mut missing = 0u64;
+            scan_values(
+                &sel,
+                dict.codes(),
+                dict.nulls().bitmap(),
+                &mut missing,
+                |code| {
+                    if let Some(c) = code_counters.get_mut(&code) {
+                        *c += 1;
+                    } else if code_counters.len() < self.k {
+                        code_counters.insert(code, 1);
+                    } else {
+                        code_counters.retain(|_, c| {
+                            *c -= 1;
+                            *c > 0
+                        });
+                    }
+                },
+            );
+            total = sel.count() as u64 - missing;
+            counters = code_counters
+                .into_iter()
+                .map(|(code, c)| (Value::Str(dict.dictionary().get(code).clone()), c))
+                .collect();
+        } else {
+            let mut val_counters: HashMap<Value, u64> = HashMap::with_capacity(self.k + 1);
+            let mut present = 0u64;
+            scan_rows(&sel, |row| {
+                let v = col.value(row);
+                if v.is_missing() {
+                    return;
+                }
+                present += 1;
+                if let Some(c) = val_counters.get_mut(&v) {
+                    *c += 1;
+                } else if val_counters.len() < self.k {
+                    val_counters.insert(v, 1);
+                } else {
+                    // Decrement all; drop zeros. Amortized O(1) per row.
+                    val_counters.retain(|_, c| {
+                        *c -= 1;
+                        *c > 0
+                    });
+                }
+            });
+            total = present;
+            counters = val_counters.into_iter().collect();
+        }
+        counters.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        Ok(MisraGriesSummary {
+            k: self.k,
+            counters,
+            total,
+        })
+    }
+
+    fn identity(&self) -> MisraGriesSummary {
+        MisraGriesSummary::zero(self.k)
+    }
+}
+
+impl MisraGriesSketch {
+    /// Per-row reference implementation, kept for the scan-equivalence
+    /// property tests. Must remain bit-identical to [`Sketch::summarize`].
+    pub fn summarize_rowwise(
+        &self,
+        view: &TableView,
+        _seed: u64,
+    ) -> SketchResult<MisraGriesSummary> {
+        let col = view.table().column_by_name(&self.column)?;
         let mut counters: HashMap<Value, u64> = HashMap::with_capacity(self.k + 1);
         let mut total = 0u64;
         for row in view.iter_rows() {
@@ -158,7 +239,6 @@ impl Sketch for MisraGriesSketch {
             } else if counters.len() < self.k {
                 counters.insert(v, 1);
             } else {
-                // Decrement all; drop zeros. Amortized O(1) per row.
                 counters.retain(|_, c| {
                     *c -= 1;
                     *c > 0
@@ -172,10 +252,6 @@ impl Sketch for MisraGriesSketch {
             counters,
             total,
         })
-    }
-
-    fn identity(&self) -> MisraGriesSummary {
-        MisraGriesSummary::zero(self.k)
     }
 }
 
@@ -285,6 +361,68 @@ impl Sketch for SampledHeavyHittersSketch {
 
     fn summarize(&self, view: &TableView, seed: u64) -> SketchResult<SampledHeavyHittersSummary> {
         let col = view.table().column_by_name(&self.column)?;
+        // rate >= 1.0 is exact: scan the membership chunks directly instead
+        // of materializing every row index (sample_rows(1.0) returns all
+        // members ascending, so results are identical either way).
+        let sampled = (self.rate < 1.0).then(|| view.sample_rows(self.rate, seed));
+        let sel = match &sampled {
+            Some(rows) => Selection::Rows(rows),
+            None => Selection::Members(view.members()),
+        };
+        let mut counts: Vec<(Value, u64)>;
+        let sampled;
+        if let Some(dict) = col.as_dict_col() {
+            // Dictionary fast path: exact counts keyed by code; values are
+            // materialized once per distinct code, not once per row.
+            let mut by_code: HashMap<u32, u64> = HashMap::new();
+            let mut missing = 0u64;
+            scan_values(
+                &sel,
+                dict.codes(),
+                dict.nulls().bitmap(),
+                &mut missing,
+                |code| *by_code.entry(code).or_insert(0) += 1,
+            );
+            sampled = sel.count() as u64 - missing;
+            counts = by_code
+                .into_iter()
+                .map(|(code, c)| (Value::Str(dict.dictionary().get(code).clone()), c))
+                .collect();
+        } else {
+            let mut map: HashMap<Value, u64> = HashMap::new();
+            let mut present = 0u64;
+            scan_rows(&sel, |row| {
+                let v = col.value(row);
+                if v.is_missing() {
+                    return;
+                }
+                present += 1;
+                *map.entry(v).or_insert(0) += 1;
+            });
+            sampled = present;
+            counts = map.into_iter().collect();
+        }
+        counts.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        Ok(SampledHeavyHittersSummary { counts, sampled })
+    }
+
+    fn identity(&self) -> SampledHeavyHittersSummary {
+        SampledHeavyHittersSummary {
+            counts: Vec::new(),
+            sampled: 0,
+        }
+    }
+}
+
+impl SampledHeavyHittersSketch {
+    /// Per-row reference implementation, kept for the scan-equivalence
+    /// property tests. Must remain bit-identical to [`Sketch::summarize`].
+    pub fn summarize_rowwise(
+        &self,
+        view: &TableView,
+        seed: u64,
+    ) -> SketchResult<SampledHeavyHittersSummary> {
+        let col = view.table().column_by_name(&self.column)?;
         let mut map: HashMap<Value, u64> = HashMap::new();
         let mut sampled = 0u64;
         for row in view.sample_rows(self.rate.min(1.0), seed) {
@@ -298,13 +436,6 @@ impl Sketch for SampledHeavyHittersSketch {
         let mut counts: Vec<(Value, u64)> = map.into_iter().collect();
         counts.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         Ok(SampledHeavyHittersSummary { counts, sampled })
-    }
-
-    fn identity(&self) -> SampledHeavyHittersSummary {
-        SampledHeavyHittersSummary {
-            counts: Vec::new(),
-            sampled: 0,
-        }
     }
 }
 

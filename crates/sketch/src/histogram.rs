@@ -6,10 +6,16 @@
 //! of rows at a supplied rate — the viz layer picks the rate from the screen
 //! resolution so the error stays under half a pixel (App. C.2). CDFs reuse
 //! this kernel with one bucket per horizontal pixel.
+//!
+//! The hot loop consumes [`hillview_columnar::scan`] chunks: raw value
+//! slices with one null-word check per 64 rows and a branch-free dense fast
+//! path. [`HistogramSketch::summarize_rowwise`] keeps the per-row scan as
+//! the reference implementation for the equivalence property tests.
 
 use crate::buckets::BucketSpec;
 use crate::traits::{Sketch, SketchError, SketchResult, Summary};
 use crate::view::TableView;
+use hillview_columnar::scan::{scan_value_runs, scan_values, RunSink, Selection};
 use hillview_columnar::Column;
 use hillview_net::{Result as WireResult, Wire, WireReader, WireWriter};
 use std::sync::Arc;
@@ -136,20 +142,173 @@ impl Sketch for HistogramSketch {
 
     fn summarize(&self, view: &TableView, seed: u64) -> SketchResult<HistogramSummary> {
         let col = view.table().column_by_name(&self.column)?;
+        let sampled = (self.rate < 1.0).then(|| view.sample_rows(self.rate, seed));
+        let sel = match &sampled {
+            Some(rows) => Selection::Rows(rows),
+            None => Selection::Members(view.members()),
+        };
         let mut out = HistogramSummary::zero(self.buckets.count());
+        out.rows_inspected = sel.count() as u64;
         match (&self.buckets, col) {
-            // Numeric buckets over numeric columns: monomorphic hot loops.
-            (BucketSpec::Numeric { .. }, Column::Double(c)) => {
-                self.scan_numeric(view, seed, &mut out, |r| c.get(r));
+            // Numeric buckets over numeric columns: chunked slice loops with
+            // one null-word check per 64 rows. Dense null-free runs are
+            // processed in 64-value blocks — bucket indexes are computed
+            // into a small buffer first (pipelinable arithmetic with no
+            // store dependencies), then folded into the counters. The
+            // arithmetic is `index_of_f64` with the spec fields hoisted;
+            // identical expression order, and counter additions commute, so
+            // the result is bit-identical to the reference path.
+            (BucketSpec::Numeric { lo, hi, count }, Column::Double(c)) => {
+                scan_numeric_chunked(
+                    &sel,
+                    c.data(),
+                    c.nulls().bitmap(),
+                    (*lo, *hi, *count),
+                    &mut out,
+                    |v| v,
+                );
             }
-            (BucketSpec::Numeric { .. }, Column::Int(c) | Column::Date(c)) => {
-                self.scan_numeric(view, seed, &mut out, |r| c.get(r).map(|v| v as f64));
+            (BucketSpec::Numeric { lo, hi, count }, Column::Int(c) | Column::Date(c)) => {
+                scan_numeric_chunked(
+                    &sel,
+                    c.data(),
+                    c.nulls().bitmap(),
+                    (*lo, *hi, *count),
+                    &mut out,
+                    |v| v as f64,
+                );
             }
             // String buckets over dictionary columns: bucket the dictionary
             // once, then count by code — O(dict) lookups instead of O(rows).
             (BucketSpec::Strings { .. }, Column::Str(c) | Column::Cat(c)) => {
-                let dict = c.dictionary();
-                let code_bucket: Vec<Option<usize>> = dict
+                let code_bucket: Vec<Option<usize>> = c
+                    .dictionary()
+                    .iter()
+                    .map(|s| self.buckets.index_of_str(s))
+                    .collect();
+                scan_values(&sel, c.codes(), c.nulls().bitmap(), &mut out.missing, |code| {
+                    match code_bucket[code as usize] {
+                        Some(b) => out.buckets[b] += 1,
+                        None => out.out_of_range += 1,
+                    }
+                });
+            }
+            (spec, col) => {
+                return Err(SketchError::BadConfig(format!(
+                    "bucket spec {:?} incompatible with column kind {}",
+                    spec.count(),
+                    col.kind()
+                )))
+            }
+        }
+        Ok(out)
+    }
+
+    fn identity(&self) -> HistogramSummary {
+        HistogramSummary::zero(self.buckets.count())
+    }
+}
+
+/// Chunked numeric histogram loop shared by the Double and Int/Date arms.
+///
+/// Counts land in a `cnt + 1`-slot scratch vector whose last slot collects
+/// out-of-range rows, so the per-value work is a single clamped index and
+/// an increment; the scratch is folded into `out` afterwards. Dense runs
+/// compute indexes for 64 values at a time before touching the counters.
+fn scan_numeric_chunked<T: Copy>(
+    sel: &Selection<'_>,
+    data: &[T],
+    nulls: Option<&hillview_columnar::Bitmap>,
+    (lo, hi, cnt): (f64, f64, usize),
+    out: &mut HistogramSummary,
+    to_f64: impl Fn(T) -> f64,
+) {
+    struct Sink<F, T> {
+        lo: f64,
+        hi: f64,
+        cnt: usize,
+        /// `cnt / (hi - lo)`, hoisted; identical bits to the per-call value
+        /// `index_of_f64` computes.
+        scale: f64,
+        to_f64: F,
+        counts: Vec<u64>,
+        idxs: [u32; 64],
+        _marker: std::marker::PhantomData<fn(T)>,
+    }
+
+    impl<F: Fn(T) -> f64, T: Copy> Sink<F, T> {
+        /// Bucket of a value, or `cnt` when out of range. Identical
+        /// arithmetic to `BucketSpec::index_of_f64`, written branch-free so
+        /// the blocked run loop can vectorize.
+        #[inline]
+        fn index(&self, raw: T) -> u32 {
+            let v = (self.to_f64)(raw);
+            let idx = (((v - self.lo) * self.scale) as u32).min(self.cnt as u32 - 1);
+            let out_of_range = (v < self.lo) | (v >= self.hi);
+            if out_of_range {
+                self.cnt as u32
+            } else {
+                idx
+            }
+        }
+    }
+
+    impl<F: Fn(T) -> f64, T: Copy> RunSink<T> for Sink<F, T> {
+        fn run(&mut self, run: &[T]) {
+            // Two passes per 64-value block: compute indexes (pipelinable,
+            // vectorizable — no memory dependencies), then fold into the
+            // counters. Counter additions commute, so splitting changes
+            // nothing observable.
+            for block in run.chunks(64) {
+                for (i, &v) in block.iter().enumerate() {
+                    self.idxs[i] = self.index(v);
+                }
+                for &i in &self.idxs[..block.len()] {
+                    self.counts[i as usize] += 1;
+                }
+            }
+        }
+        #[inline]
+        fn one(&mut self, v: T) {
+            let i = self.index(v);
+            self.counts[i as usize] += 1;
+        }
+    }
+
+    let mut sink = Sink {
+        lo,
+        hi,
+        cnt,
+        scale: cnt as f64 / (hi - lo),
+        to_f64,
+        counts: vec![0u64; cnt + 1],
+        idxs: [0u32; 64],
+        _marker: std::marker::PhantomData,
+    };
+    scan_value_runs(sel, data, nulls, &mut out.missing, &mut sink);
+    out.out_of_range += sink.counts[cnt];
+    for (b, c) in out.buckets.iter_mut().zip(&sink.counts) {
+        *b += c;
+    }
+}
+
+impl HistogramSketch {
+    /// Per-row reference implementation: the pre-chunking scan, kept for the
+    /// scan-equivalence property tests and the chunked-vs-rowwise benchmark.
+    /// Must remain bit-identical to [`Sketch::summarize`].
+    pub fn summarize_rowwise(&self, view: &TableView, seed: u64) -> SketchResult<HistogramSummary> {
+        let col = view.table().column_by_name(&self.column)?;
+        let mut out = HistogramSummary::zero(self.buckets.count());
+        match (&self.buckets, col) {
+            (BucketSpec::Numeric { .. }, Column::Double(c)) => {
+                self.scan_numeric_rowwise(view, seed, &mut out, |r| c.get(r));
+            }
+            (BucketSpec::Numeric { .. }, Column::Int(c) | Column::Date(c)) => {
+                self.scan_numeric_rowwise(view, seed, &mut out, |r| c.get(r).map(|v| v as f64));
+            }
+            (BucketSpec::Strings { .. }, Column::Str(c) | Column::Cat(c)) => {
+                let code_bucket: Vec<Option<usize>> = c
+                    .dictionary()
                     .iter()
                     .map(|s| self.buckets.index_of_str(s))
                     .collect();
@@ -185,13 +344,7 @@ impl Sketch for HistogramSketch {
         Ok(out)
     }
 
-    fn identity(&self) -> HistogramSummary {
-        HistogramSummary::zero(self.buckets.count())
-    }
-}
-
-impl HistogramSketch {
-    fn scan_numeric(
+    fn scan_numeric_rowwise(
         &self,
         view: &TableView,
         seed: u64,

@@ -7,6 +7,8 @@
 
 use crate::traits::{Sketch, SketchError, SketchResult, Summary};
 use crate::view::TableView;
+use hillview_columnar::scan::{scan_values, Selection};
+use hillview_columnar::Column;
 use hillview_net::{Result as WireResult, Wire, WireReader, WireWriter};
 use std::sync::Arc;
 
@@ -123,6 +125,60 @@ impl Sketch for MomentsSketch {
 
     fn summarize(&self, view: &TableView, _seed: u64) -> SketchResult<MomentsSummary> {
         let col = view.table().column_by_name(&self.column)?;
+        let mut out = MomentsSummary::zero(self.k);
+        let sel = Selection::Members(view.members());
+        // Chunked scan over the raw slice; accumulation visits rows in the
+        // same ascending order as the per-row reference, so the
+        // floating-point sums are bit-identical.
+        {
+            let sums = &mut out.sums;
+            let min = &mut out.min;
+            let max = &mut out.max;
+            let present = &mut out.present;
+            let mut accum = |v: f64| {
+                *present += 1;
+                *min = Some(min.map_or(v, |m| m.min(v)));
+                *max = Some(max.map_or(v, |m| m.max(v)));
+                let mut p = 1.0;
+                for s in sums.iter_mut() {
+                    p *= v;
+                    *s += p;
+                }
+            };
+            match col {
+                Column::Double(c) => {
+                    scan_values(&sel, c.data(), c.nulls().bitmap(), &mut out.missing, accum)
+                }
+                Column::Int(c) | Column::Date(c) => scan_values(
+                    &sel,
+                    c.data(),
+                    c.nulls().bitmap(),
+                    &mut out.missing,
+                    |v| accum(v as f64),
+                ),
+                _ => {
+                    return Err(SketchError::BadConfig(format!(
+                        "moments require a numeric column, {} is {}",
+                        self.column,
+                        col.kind()
+                    )))
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn identity(&self) -> MomentsSummary {
+        MomentsSummary::zero(self.k)
+    }
+}
+
+impl MomentsSketch {
+    /// Per-row reference implementation, kept for the scan-equivalence
+    /// property tests and the chunked-vs-rowwise benchmark. Must remain
+    /// bit-identical to [`Sketch::summarize`].
+    pub fn summarize_rowwise(&self, view: &TableView, _seed: u64) -> SketchResult<MomentsSummary> {
+        let col = view.table().column_by_name(&self.column)?;
         if !col.kind().is_numeric() {
             return Err(SketchError::BadConfig(format!(
                 "moments require a numeric column, {} is {}",
@@ -147,10 +203,6 @@ impl Sketch for MomentsSketch {
             }
         }
         Ok(out)
-    }
-
-    fn identity(&self) -> MomentsSummary {
-        MomentsSummary::zero(self.k)
     }
 }
 

@@ -14,6 +14,7 @@
 
 use crate::traits::{Sketch, SketchResult, Summary};
 use crate::view::TableView;
+use hillview_columnar::scan::{scan_rows, Selection};
 use hillview_columnar::{Row, RowKey, SortOrder};
 use hillview_net::{Result as WireResult, Wire, WireReader, WireWriter};
 use std::collections::BTreeMap;
@@ -151,7 +152,65 @@ impl Sketch for NextKSketch {
 
         // Bounded "heap": a BTreeMap of at most k+1 keys; evict the largest
         // when over capacity, exactly the paper's priority-heap behaviour
-        // but with duplicate aggregation.
+        // but with duplicate aggregation. Row enumeration is chunked so the
+        // per-row membership probe disappears on dense views.
+        let mut map: BTreeMap<RowKey, (Row, u64)> = BTreeMap::new();
+        let mut matched = 0u64;
+        scan_rows(&Selection::Members(view.members()), |row| {
+            let key = resolved.key(table, row);
+            if let Some(start) = &self.start {
+                if key <= *start {
+                    return;
+                }
+            }
+            matched += 1;
+            // Skip rows beyond the current k-th smallest key, unless they
+            // duplicate an existing key.
+            if map.len() == self.k {
+                let largest = map.keys().next_back().expect("non-empty");
+                if key > *largest {
+                    return;
+                }
+            }
+            match map.get_mut(&key) {
+                Some((_, c)) => *c += 1,
+                None => {
+                    let mut values = key.values().to_vec();
+                    values.extend(display_idx.iter().map(|&c| table.column(c).value(row)));
+                    map.insert(key, (Row::new(values), 1));
+                    if map.len() > self.k {
+                        let largest = map.keys().next_back().expect("over capacity").clone();
+                        map.remove(&largest);
+                    }
+                }
+            }
+        });
+        Ok(NextKSummary {
+            k: self.k,
+            rows: map
+                .into_iter()
+                .map(|(key, (row, count))| (key, row, count))
+                .collect(),
+            matched,
+        })
+    }
+
+    fn identity(&self) -> NextKSummary {
+        NextKSummary::zero(self.k)
+    }
+}
+
+impl NextKSketch {
+    /// Per-row reference implementation, kept for the scan-equivalence
+    /// property tests. Must remain bit-identical to [`Sketch::summarize`].
+    pub fn summarize_rowwise(&self, view: &TableView, _seed: u64) -> SketchResult<NextKSummary> {
+        let table = view.table();
+        let resolved = self.order.resolve(table)?;
+        let display_idx: Vec<usize> = self
+            .display
+            .iter()
+            .map(|c| table.schema().index_of(c))
+            .collect::<Result<_, _>>()?;
         let mut map: BTreeMap<RowKey, (Row, u64)> = BTreeMap::new();
         let mut matched = 0u64;
         for row in view.iter_rows() {
@@ -162,8 +221,6 @@ impl Sketch for NextKSketch {
                 }
             }
             matched += 1;
-            // Skip rows beyond the current k-th smallest key, unless they
-            // duplicate an existing key.
             if map.len() == self.k {
                 let largest = map.keys().next_back().expect("non-empty");
                 if key > *largest {
@@ -191,10 +248,6 @@ impl Sketch for NextKSketch {
                 .collect(),
             matched,
         })
-    }
-
-    fn identity(&self) -> NextKSummary {
-        NextKSummary::zero(self.k)
     }
 }
 

@@ -12,6 +12,7 @@
 
 use crate::traits::{Sketch, SketchResult, Summary};
 use crate::view::TableView;
+use hillview_columnar::scan::{scan_rows, Selection};
 use hillview_columnar::{RowKey, SortOrder};
 use hillview_net::{Result as WireResult, Wire, WireReader, WireWriter};
 
@@ -114,10 +115,17 @@ impl Sketch for QuantileSketch {
 
     fn summarize(&self, view: &TableView, seed: u64) -> SketchResult<QuantileSummary> {
         let resolved = self.order.resolve(view.table())?;
-        let mut keys = Vec::new();
-        for row in view.sample_rows(self.rate.min(1.0), seed) {
-            keys.push(resolved.key(view.table(), row as usize));
-        }
+        // Streaming (rate >= 1) walks membership chunks directly instead of
+        // materializing every row index; sampling produces a Rows chunk.
+        let sampled = (self.rate < 1.0).then(|| view.sample_rows(self.rate, seed));
+        let sel = match &sampled {
+            Some(rows) => Selection::Rows(rows),
+            None => Selection::Members(view.members()),
+        };
+        let mut keys = Vec::with_capacity(sel.count().min(2 * self.cap));
+        scan_rows(&sel, |row| {
+            keys.push(resolved.key(view.table(), row));
+        });
         if keys.len() > self.cap {
             let stride = keys.len().div_ceil(self.cap);
             keys = keys.into_iter().step_by(stride).collect();

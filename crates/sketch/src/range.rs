@@ -118,10 +118,10 @@ impl Sketch for RangeSketch {
                     Some(s) => {
                         out.present += 1;
                         let s = s.as_ref();
-                        if out.min_str.as_deref().map_or(true, |m| s < m) {
+                        if out.min_str.as_deref().is_none_or(|m| s < m) {
                             out.min_str = Some(s.to_string());
                         }
-                        if out.max_str.as_deref().map_or(true, |m| s > m) {
+                        if out.max_str.as_deref().is_none_or(|m| s > m) {
                             out.max_str = Some(s.to_string());
                         }
                     }

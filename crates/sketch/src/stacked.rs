@@ -11,6 +11,7 @@ use crate::bind::{BoundColumn, Cell};
 use crate::buckets::BucketSpec;
 use crate::traits::{Sketch, SketchResult, Summary};
 use crate::view::TableView;
+use hillview_columnar::scan::{scan_rows, Selection};
 use hillview_net::{Result as WireResult, Wire, WireReader, WireWriter};
 use std::sync::Arc;
 
@@ -167,6 +168,45 @@ impl Sketch for StackedHistogramSketch {
         let cy = view.table().column_by_name(&self.col_y)?;
         let bound_x = BoundColumn::bind(cx, &self.buckets_x)?;
         let bound_y = BoundColumn::bind(cy, &self.buckets_y)?;
+        let sampled = (self.rate < 1.0).then(|| view.sample_rows(self.rate, seed));
+        let sel = match &sampled {
+            Some(rows) => Selection::Rows(rows),
+            None => Selection::Members(view.members()),
+        };
+        let mut out = StackedSummary::zero(self.buckets_x.count(), self.buckets_y.count());
+        out.rows_inspected = sel.count() as u64;
+        let width_y = out.by;
+        scan_rows(&sel, |row| {
+            match bound_x.bucket(row) {
+                Cell::Missing => out.missing += 1,
+                Cell::Out => out.out_of_range += 1,
+                Cell::In(x) => {
+                    // The bar counts every row in the X bucket, even when Y
+                    // is missing or out of range (paper: bar height is the X
+                    // histogram); only in-range Y contributes a subdivision.
+                    out.x_counts[x] += 1;
+                    if let Cell::In(y) = bound_y.bucket(row) {
+                        out.xy_counts[x * width_y + y] += 1;
+                    }
+                }
+            }
+        });
+        Ok(out)
+    }
+
+    fn identity(&self) -> StackedSummary {
+        StackedSummary::zero(self.buckets_x.count(), self.buckets_y.count())
+    }
+}
+
+impl StackedHistogramSketch {
+    /// Per-row reference implementation, kept for the scan-equivalence
+    /// property tests. Must remain bit-identical to [`Sketch::summarize`].
+    pub fn summarize_rowwise(&self, view: &TableView, seed: u64) -> SketchResult<StackedSummary> {
+        let cx = view.table().column_by_name(&self.col_x)?;
+        let cy = view.table().column_by_name(&self.col_y)?;
+        let bound_x = BoundColumn::bind(cx, &self.buckets_x)?;
+        let bound_y = BoundColumn::bind(cy, &self.buckets_y)?;
         let mut out = StackedSummary::zero(self.buckets_x.count(), self.buckets_y.count());
         let width_y = out.by;
         let mut tally = |row: usize| {
@@ -175,9 +215,6 @@ impl Sketch for StackedHistogramSketch {
                 Cell::Missing => out.missing += 1,
                 Cell::Out => out.out_of_range += 1,
                 Cell::In(x) => {
-                    // The bar counts every row in the X bucket, even when Y
-                    // is missing or out of range (paper: bar height is the X
-                    // histogram); only in-range Y contributes a subdivision.
                     out.x_counts[x] += 1;
                     if let Cell::In(y) = bound_y.bucket(row) {
                         out.xy_counts[x * width_y + y] += 1;
@@ -195,10 +232,6 @@ impl Sketch for StackedHistogramSketch {
             }
         }
         Ok(out)
-    }
-
-    fn identity(&self) -> StackedSummary {
-        StackedSummary::zero(self.buckets_x.count(), self.buckets_y.count())
     }
 }
 

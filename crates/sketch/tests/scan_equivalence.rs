@@ -1,0 +1,340 @@
+//! Scan-equivalence property tests: every chunked kernel must produce
+//! **bit-identical** summaries to its per-row reference implementation,
+//! across random tables, membership representations (full / dense / sparse /
+//! contiguous-range / empty), null densities from 0% to ~100%, and sampling
+//! rates. This is the contract that lets the chunked scan layer replace the
+//! per-row path wholesale.
+
+use hillview_columnar::column::{Column, DictColumn, F64Column, I64Column};
+use hillview_columnar::{ColumnKind, MembershipSet, SortOrder, Table};
+use hillview_sketch::bottomk::BottomKSketch;
+use hillview_sketch::buckets::BucketSpec;
+use hillview_sketch::count::CountSketch;
+use hillview_sketch::heatmap::HeatmapSketch;
+use hillview_sketch::heavy::{MisraGriesSketch, SampledHeavyHittersSketch};
+use hillview_sketch::histogram::HistogramSketch;
+use hillview_sketch::moments::MomentsSketch;
+use hillview_sketch::nextk::NextKSketch;
+use hillview_sketch::quantile::QuantileSketch;
+use hillview_sketch::stacked::StackedHistogramSketch;
+use hillview_sketch::traits::Sketch;
+use hillview_sketch::TableView;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const CATS: [&str; 6] = ["aa", "bb", "cc", "dd", "ee", "ff"];
+
+/// Random mixed-type table. `null_p` drives the Double column's null
+/// density anywhere from 0% to ~100%; the Int and Category columns carry
+/// their own sparser null flags.
+fn table_strategy() -> impl Strategy<Value = Table> {
+    (
+        0.0f64..1.1, // > 1.0 ⇒ fully-null Double column sometimes
+        proptest::collection::vec(
+            (
+                (0.0f64..1.0, -50.0f64..150.0),
+                (0.0f64..1.0, -100i64..100),
+                (0.0f64..1.0, 0usize..6),
+            ),
+            1..300,
+        ),
+    )
+        .prop_map(|(null_p, rows)| {
+            Table::builder()
+                .column(
+                    "X",
+                    ColumnKind::Double,
+                    Column::Double(F64Column::from_options(
+                        rows.iter().map(|r| (r.0 .0 >= null_p).then_some(r.0 .1)),
+                    )),
+                )
+                .column(
+                    "I",
+                    ColumnKind::Int,
+                    Column::Int(I64Column::from_options(
+                        rows.iter().map(|r| (r.1 .0 >= 0.15).then_some(r.1 .1)),
+                    )),
+                )
+                .column(
+                    "C",
+                    ColumnKind::Category,
+                    Column::Cat(DictColumn::from_strings(
+                        rows.iter()
+                            .map(|r| (r.2 .0 >= 0.1).then(|| CATS[r.2 .1])),
+                    )),
+                )
+                .build()
+                .unwrap()
+        })
+}
+
+/// Build a membership set of the requested shape over `n` rows. Covers
+/// every representation the chunk iterator decomposes differently.
+fn membership(kind: usize, raw: &[u32], cuts: (f64, f64), n: usize) -> MembershipSet {
+    match kind {
+        0 => MembershipSet::full(n),
+        1 => MembershipSet::from_rows(Vec::new(), n),
+        // Sparse-ish: arbitrary rows (representation picked by selectivity).
+        2 => MembershipSet::from_rows(raw.iter().map(|r| r % n as u32).collect(), n),
+        // Dense: ~70% of rows, which lands above the sparse threshold.
+        3 => MembershipSet::from_rows(
+            (0..n as u32).filter(|r| r % 10 != 3 && r % 7 != 1).collect(),
+            n,
+        ),
+        // Contiguous range: exercises all-ones word coalescing.
+        _ => {
+            let a = ((cuts.0 * n as f64) as usize).min(n);
+            let b = ((cuts.1 * n as f64) as usize).min(n);
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            MembershipSet::from_rows((lo as u32..hi as u32).collect(), n)
+        }
+    }
+}
+
+fn num_spec() -> BucketSpec {
+    BucketSpec::numeric(-50.0, 150.0, 17)
+}
+
+fn str_spec() -> BucketSpec {
+    BucketSpec::strings(vec!["aa".into(), "cc".into(), "ee".into()])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn histogram_numeric_streaming_matches_reference(
+        t in table_strategy(),
+        kind in 0usize..5,
+        raw in proptest::collection::vec(any::<u32>(), 0..200),
+        cuts in (0.0f64..1.0, 0.0f64..1.0),
+    ) {
+        let n = t.num_rows();
+        let v = TableView::with_members(Arc::new(t), Arc::new(membership(kind, &raw, cuts, n)));
+        for col in ["X", "I"] {
+            let sk = HistogramSketch::streaming(col, num_spec());
+            prop_assert_eq!(
+                sk.summarize(&v, 0).unwrap(),
+                sk.summarize_rowwise(&v, 0).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_sampled_matches_reference(
+        t in table_strategy(),
+        kind in 0usize..5,
+        raw in proptest::collection::vec(any::<u32>(), 0..200),
+        cuts in (0.0f64..1.0, 0.0f64..1.0),
+        rate in 0.05f64..0.95,
+        seed in any::<u64>(),
+    ) {
+        let n = t.num_rows();
+        let v = TableView::with_members(Arc::new(t), Arc::new(membership(kind, &raw, cuts, n)));
+        let sk = HistogramSketch::sampled("X", num_spec(), rate);
+        prop_assert_eq!(
+            sk.summarize(&v, seed).unwrap(),
+            sk.summarize_rowwise(&v, seed).unwrap()
+        );
+    }
+
+    #[test]
+    fn histogram_string_matches_reference(
+        t in table_strategy(),
+        kind in 0usize..5,
+        raw in proptest::collection::vec(any::<u32>(), 0..200),
+        cuts in (0.0f64..1.0, 0.0f64..1.0),
+    ) {
+        let n = t.num_rows();
+        let v = TableView::with_members(Arc::new(t), Arc::new(membership(kind, &raw, cuts, n)));
+        let sk = HistogramSketch::streaming("C", str_spec());
+        prop_assert_eq!(
+            sk.summarize(&v, 0).unwrap(),
+            sk.summarize_rowwise(&v, 0).unwrap()
+        );
+    }
+
+    #[test]
+    fn heatmap_matches_reference(
+        t in table_strategy(),
+        kind in 0usize..5,
+        raw in proptest::collection::vec(any::<u32>(), 0..200),
+        cuts in (0.0f64..1.0, 0.0f64..1.0),
+        rate in 0.3f64..1.2, // crosses the streaming/sampled boundary
+        seed in any::<u64>(),
+    ) {
+        let n = t.num_rows();
+        let v = TableView::with_members(Arc::new(t), Arc::new(membership(kind, &raw, cuts, n)));
+        let sk = HeatmapSketch::sampled("X", "C", num_spec(), str_spec(), rate);
+        prop_assert_eq!(
+            sk.summarize(&v, seed).unwrap(),
+            sk.summarize_rowwise(&v, seed).unwrap()
+        );
+    }
+
+    #[test]
+    fn stacked_matches_reference(
+        t in table_strategy(),
+        kind in 0usize..5,
+        raw in proptest::collection::vec(any::<u32>(), 0..200),
+        cuts in (0.0f64..1.0, 0.0f64..1.0),
+    ) {
+        let n = t.num_rows();
+        let v = TableView::with_members(Arc::new(t), Arc::new(membership(kind, &raw, cuts, n)));
+        let sk = StackedHistogramSketch::streaming("I", "C", num_spec(), str_spec());
+        prop_assert_eq!(
+            sk.summarize(&v, 0).unwrap(),
+            sk.summarize_rowwise(&v, 0).unwrap()
+        );
+    }
+
+    /// Moments must match *bit for bit*: the chunked scan visits rows in
+    /// the same order, so even floating-point power sums are identical.
+    #[test]
+    fn moments_match_reference_bitwise(
+        t in table_strategy(),
+        kind in 0usize..5,
+        raw in proptest::collection::vec(any::<u32>(), 0..200),
+        cuts in (0.0f64..1.0, 0.0f64..1.0),
+    ) {
+        let n = t.num_rows();
+        let v = TableView::with_members(Arc::new(t), Arc::new(membership(kind, &raw, cuts, n)));
+        for col in ["X", "I"] {
+            let sk = MomentsSketch::new(col, 4);
+            let chunked = sk.summarize(&v, 0).unwrap();
+            let rowwise = sk.summarize_rowwise(&v, 0).unwrap();
+            prop_assert_eq!(chunked.present, rowwise.present);
+            prop_assert_eq!(chunked.missing, rowwise.missing);
+            prop_assert_eq!(chunked.min, rowwise.min);
+            prop_assert_eq!(chunked.max, rowwise.max);
+            for (c, r) in chunked.sums.iter().zip(&rowwise.sums) {
+                prop_assert!(
+                    c.to_bits() == r.to_bits(),
+                    "power sums differ bitwise: {c} vs {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bottomk_matches_reference(
+        t in table_strategy(),
+        kind in 0usize..5,
+        raw in proptest::collection::vec(any::<u32>(), 0..200),
+        cuts in (0.0f64..1.0, 0.0f64..1.0),
+    ) {
+        let n = t.num_rows();
+        let v = TableView::with_members(Arc::new(t), Arc::new(membership(kind, &raw, cuts, n)));
+        let sk = BottomKSketch::new("C", 8);
+        prop_assert_eq!(
+            sk.summarize(&v, 0).unwrap(),
+            sk.summarize_rowwise(&v, 0).unwrap()
+        );
+    }
+
+    #[test]
+    fn nextk_matches_reference(
+        t in table_strategy(),
+        kind in 0usize..5,
+        raw in proptest::collection::vec(any::<u32>(), 0..200),
+        cuts in (0.0f64..1.0, 0.0f64..1.0),
+        k in 1usize..8,
+    ) {
+        let n = t.num_rows();
+        let v = TableView::with_members(Arc::new(t), Arc::new(membership(kind, &raw, cuts, n)));
+        let sk = NextKSketch::first_page(SortOrder::ascending(&["C", "I"]), k)
+            .with_display(&["X"]);
+        prop_assert_eq!(
+            sk.summarize(&v, 0).unwrap(),
+            sk.summarize_rowwise(&v, 0).unwrap()
+        );
+    }
+
+    /// Misra-Gries is order-sensitive; chunked enumeration preserves row
+    /// order, so the counter sets must agree exactly — including on the
+    /// dictionary fast path.
+    #[test]
+    fn misra_gries_matches_reference(
+        t in table_strategy(),
+        kind in 0usize..5,
+        raw in proptest::collection::vec(any::<u32>(), 0..200),
+        cuts in (0.0f64..1.0, 0.0f64..1.0),
+        k in 1usize..6,
+    ) {
+        let n = t.num_rows();
+        let v = TableView::with_members(Arc::new(t), Arc::new(membership(kind, &raw, cuts, n)));
+        for col in ["C", "I"] {
+            let sk = MisraGriesSketch::new(col, k);
+            prop_assert_eq!(
+                sk.summarize(&v, 0).unwrap(),
+                sk.summarize_rowwise(&v, 0).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn sampled_heavy_hitters_match_reference(
+        t in table_strategy(),
+        kind in 0usize..5,
+        raw in proptest::collection::vec(any::<u32>(), 0..200),
+        cuts in (0.0f64..1.0, 0.0f64..1.0),
+        rate in 0.05f64..1.2,
+        seed in any::<u64>(),
+    ) {
+        let n = t.num_rows();
+        let v = TableView::with_members(Arc::new(t), Arc::new(membership(kind, &raw, cuts, n)));
+        for col in ["C", "X"] {
+            let sk = SampledHeavyHittersSketch::new(col, 4, rate);
+            prop_assert_eq!(
+                sk.summarize(&v, seed).unwrap(),
+                sk.summarize_rowwise(&v, seed).unwrap()
+            );
+        }
+    }
+
+    /// Count's word-popcount missing tally vs a naive per-row filter.
+    #[test]
+    fn count_matches_naive(
+        t in table_strategy(),
+        kind in 0usize..5,
+        raw in proptest::collection::vec(any::<u32>(), 0..200),
+        cuts in (0.0f64..1.0, 0.0f64..1.0),
+    ) {
+        let n = t.num_rows();
+        let table = Arc::new(t);
+        let v = TableView::with_members(table.clone(), Arc::new(membership(kind, &raw, cuts, n)));
+        for col_name in ["X", "I", "C"] {
+            let s = CountSketch::of_column(col_name).summarize(&v, 0).unwrap();
+            let col = table.column_by_name(col_name).unwrap();
+            let naive = v.iter_rows().filter(|&r| col.is_null(r)).count() as u64;
+            prop_assert_eq!(s.missing, naive, "column {}", col_name);
+            prop_assert_eq!(s.rows, v.len() as u64);
+        }
+    }
+
+    /// Quantile keys: chunked row enumeration vs a naive per-row walk with
+    /// the same down-sampling.
+    #[test]
+    fn quantile_matches_naive(
+        t in table_strategy(),
+        kind in 0usize..5,
+        raw in proptest::collection::vec(any::<u32>(), 0..200),
+        cuts in (0.0f64..1.0, 0.0f64..1.0),
+        cap in 1usize..64,
+    ) {
+        let n = t.num_rows();
+        let table = Arc::new(t);
+        let v = TableView::with_members(table.clone(), Arc::new(membership(kind, &raw, cuts, n)));
+        let order = SortOrder::ascending(&["I", "X"]);
+        let sk = QuantileSketch::new(order.clone(), 1.0, cap);
+        let s = sk.summarize(&v, 0).unwrap();
+        let resolved = order.resolve(&table).unwrap();
+        let mut naive: Vec<_> = v.iter_rows().map(|r| resolved.key(&table, r)).collect();
+        if naive.len() > cap {
+            let stride = naive.len().div_ceil(cap);
+            naive = naive.into_iter().step_by(stride).collect();
+        }
+        prop_assert_eq!(s.keys, naive);
+        prop_assert_eq!(s.population, v.len() as u64);
+    }
+}

@@ -51,7 +51,7 @@ impl DisplaySpec {
     /// Number of histogram bars that fit: one per 4 horizontal pixels,
     /// capped at [`MAX_HISTOGRAM_BARS`] and at the caller's request.
     pub fn histogram_buckets(&self, requested: Option<usize>) -> usize {
-        let fit = (self.width_px / 4).max(1).min(MAX_HISTOGRAM_BARS);
+        let fit = (self.width_px / 4).clamp(1, MAX_HISTOGRAM_BARS);
         match requested {
             Some(r) => r.clamp(1, fit),
             None => fit,

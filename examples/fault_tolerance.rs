@@ -66,7 +66,11 @@ fn main() {
     assert!(!engine.cluster().worker(1).is_alive());
 
     // The next query transparently restarts the worker and replays its
-    // lineage chain. Same seeds → identical answer.
+    // lineage chain. Re-pin the seed sequence so the recovered query uses
+    // the same sketch seeds as the original — §5.8's determinism claim is
+    // "same seeds → bit-identical summaries", and each query consumes the
+    // next seed in the sequence.
+    derived.set_seed(2024);
     let started = std::time::Instant::now();
     let (after, _, _) = derived
         .histogram_with_cdf("TotalDelay", Some(20))
@@ -84,6 +88,7 @@ fn main() {
     // Cache expiry behaves the same way: evict everything, query again.
     println!("\n!! evicting every dataset on every worker (cache expiry)");
     engine.cluster().evict_all();
+    derived.set_seed(2024);
     let (again, _, _) = derived
         .histogram_with_cdf("TotalDelay", Some(20))
         .expect("post-eviction histogram");

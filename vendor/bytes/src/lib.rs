@@ -1,0 +1,314 @@
+//! Offline API shim for the `bytes` crate.
+//!
+//! Provides cheap-to-clone immutable byte buffers (`Bytes`), a growable
+//! builder (`BytesMut`), and the `Buf`/`BufMut` reader/writer traits — the
+//! exact surface this workspace consumes. See `vendor/README.md`.
+
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+/// A cheaply cloneable, immutable slice of bytes.
+///
+/// Backed by an `Arc<[u8]>` plus a window; `clone` and `slice` are O(1) and
+/// share storage, matching the upstream crate's semantics.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Wrap a static byte slice (zero-copy in spirit; one allocation here).
+    pub fn from_static(b: &'static [u8]) -> Self {
+        Bytes::from(b.to_vec())
+    }
+
+    /// Copy an arbitrary slice into a new buffer.
+    pub fn copy_from_slice(b: &[u8]) -> Self {
+        Bytes::from(b.to_vec())
+    }
+
+    /// Length of the visible window.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True if the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A sub-window sharing the same storage.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let lo = match range.start_bound() {
+            Bound::Included(&i) => i,
+            Bound::Excluded(&i) => i + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&i) => i + 1,
+            Bound::Excluded(&i) => i,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(lo <= hi && hi <= self.len(), "slice out of range");
+        Bytes {
+            data: self.data.clone(),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+
+    /// Copy the window out into a `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_ref().to_vec()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes {
+            data: v.into(),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(b: &'static [u8]) -> Self {
+        Bytes::from_static(b)
+    }
+}
+
+impl<const N: usize> From<&'static [u8; N]> for Bytes {
+    fn from(b: &'static [u8; N]) -> Self {
+        Bytes::from_static(b)
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_ref()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_ref() == other
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_ref().hash(state);
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_ref() {
+            write!(f, "{}", std::ascii::escape_default(b))?;
+        }
+        write!(f, "\"")
+    }
+}
+
+/// Reader over a byte source, advancing an internal cursor.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// The unread window.
+    fn chunk(&self) -> &[u8];
+    /// Advance the cursor.
+    fn advance(&mut self, n: usize);
+
+    /// True if any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8 {
+        let b = self.chunk()[0];
+        self.advance(1);
+        b
+    }
+
+    /// Read a little-endian f64.
+    fn get_f64_le(&mut self) -> f64 {
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&self.chunk()[..8]);
+        self.advance(8);
+        f64::from_le_bytes(raw)
+    }
+
+    /// Read a little-endian u64.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&self.chunk()[..8]);
+        self.advance(8);
+        u64::from_le_bytes(raw)
+    }
+
+    /// Split off the next `n` bytes as an owned buffer.
+    fn copy_to_bytes(&mut self, n: usize) -> Bytes {
+        let out = Bytes::from(self.chunk()[..n].to_vec());
+        self.advance(n);
+        out
+    }
+
+    /// Fill `dst` from the cursor.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self.as_ref()
+    }
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance past end");
+        self.start += n;
+    }
+}
+
+/// A growable byte buffer that freezes into [`Bytes`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Bytes written.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Convert into an immutable buffer.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+
+    /// Append a slice.
+    pub fn extend_from_slice(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Writer trait appending to a growable buffer.
+pub trait BufMut {
+    /// Append a slice.
+    fn put_slice(&mut self, b: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a little-endian f64.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian u64.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, b: &[u8]) {
+        self.extend_from_slice(b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_slice() {
+        let b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        assert_eq!(b.len(), 5);
+        let s = b.slice(1..4);
+        assert_eq!(s.as_ref(), &[2, 3, 4]);
+        assert_eq!(s.slice(..2).as_ref(), &[2, 3]);
+    }
+
+    #[test]
+    fn buf_reads() {
+        let mut m = BytesMut::with_capacity(0);
+        m.put_u8(7);
+        m.put_f64_le(1.5);
+        let mut b = m.freeze();
+        assert_eq!(b.remaining(), 9);
+        assert_eq!(b.get_u8(), 7);
+        assert_eq!(b.get_f64_le(), 1.5);
+        assert!(!b.has_remaining());
+    }
+
+    #[test]
+    fn copy_to_bytes_advances() {
+        let mut b = Bytes::from(vec![1, 2, 3, 4]);
+        let head = b.copy_to_bytes(2);
+        assert_eq!(head.as_ref(), &[1, 2]);
+        assert_eq!(b.as_ref(), &[3, 4]);
+    }
+}

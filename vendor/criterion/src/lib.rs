@@ -1,0 +1,250 @@
+//! Offline API shim for the `criterion` benchmark harness.
+//!
+//! Implements the subset this workspace uses — `Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::{iter, iter_batched}`,
+//! `criterion_group!`/`criterion_main!` — with a simple but honest
+//! measurement loop: a warm-up pass, then `sample_size` timed samples, and
+//! a median/mean/min report per benchmark on stdout.
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value passthrough.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Batch sizing policy for [`Bencher::iter_batched`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Fresh input per iteration.
+    PerIteration,
+    /// Small inputs (shim treats the same as `PerIteration`).
+    SmallInput,
+    /// Large inputs (shim treats the same as `PerIteration`).
+    LargeInput,
+}
+
+/// One measured benchmark result.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// `group/name` identifier.
+    pub id: String,
+    /// Median per-iteration time.
+    pub median: Duration,
+    /// Mean per-iteration time.
+    pub mean: Duration,
+    /// Fastest sample.
+    pub min: Duration,
+    /// Samples taken.
+    pub samples: usize,
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    sample_size: usize,
+    warmup: Duration,
+    results: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warmup: Duration::from_millis(300),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the default number of timed samples.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("benchmark group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    /// Benchmark a function outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size;
+        let warmup = self.warmup;
+        let m = run_bench(id, sample_size, warmup, f);
+        self.results.push(m);
+        self
+    }
+
+    /// All measurements recorded so far (shim extension, used to export
+    /// numbers without re-parsing stdout).
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.results
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Benchmark one function.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let full = format!("{}/{}", self.name, id);
+        let m = run_bench(&full, sample_size, self.criterion.warmup, f);
+        self.criterion.results.push(m);
+        self
+    }
+
+    /// Finish the group (formatting no-op in the shim).
+    pub fn finish(self) {}
+}
+
+fn run_bench<F>(id: &str, samples: usize, warmup: Duration, mut f: F) -> Measurement
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up: run until the warm-up budget elapses at least once.
+    let start = Instant::now();
+    while start.elapsed() < warmup {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        if b.iters == 0 {
+            break; // closure never called iter(); avoid a spin
+        }
+    }
+    let mut per_iter: Vec<Duration> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        if b.iters > 0 {
+            per_iter.push(b.elapsed / b.iters as u32);
+        }
+    }
+    per_iter.sort();
+    let median = per_iter
+        .get(per_iter.len() / 2)
+        .copied()
+        .unwrap_or_default();
+    let min = per_iter.first().copied().unwrap_or_default();
+    let mean = if per_iter.is_empty() {
+        Duration::ZERO
+    } else {
+        per_iter.iter().sum::<Duration>() / per_iter.len() as u32
+    };
+    println!("{id:<48} time: [min {min:>12.3?}  med {median:>12.3?}  mean {mean:>12.3?}]");
+    Measurement {
+        id: id.to_string(),
+        median,
+        mean,
+        min,
+        samples: per_iter.len(),
+    }
+}
+
+/// Passed to benchmark closures; times the measured routine.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine` once per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let t = Instant::now();
+        let out = routine();
+        self.elapsed += t.elapsed();
+        self.iters += 1;
+        black_box(out);
+    }
+
+    /// Time `routine` on a fresh input from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let t = Instant::now();
+        let out = routine(input);
+        self.elapsed += t.elapsed();
+        self.iters += 1;
+        black_box(out);
+    }
+}
+
+/// Collect benchmark functions into a runnable group, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let m = &c.measurements()[0];
+        assert_eq!(m.id, "noop");
+        assert_eq!(m.samples, 3);
+    }
+
+    #[test]
+    fn groups_prefix_ids() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(2);
+        g.bench_function("x", |b| {
+            b.iter_batched(|| 5u64, |v| v * 2, BatchSize::PerIteration)
+        });
+        g.finish();
+        assert_eq!(c.measurements()[0].id, "grp/x");
+    }
+}
