@@ -120,10 +120,7 @@ impl GpEngine {
         self.cluster
             .worker(worker)
             .partitions(dataset)
-            .ok_or(EngineError::DatasetMissing {
-                worker,
-                dataset,
-            })
+            .ok_or(EngineError::DatasetMissing { worker, dataset })
     }
 
     /// Exact sort: every worker sorts *all* of its keys and ships them; the
@@ -190,8 +187,7 @@ impl GpEngine {
         let result = if sorted.result.is_empty() {
             None
         } else {
-            let idx =
-                ((q.clamp(0.0, 1.0)) * (sorted.result.len() - 1) as f64).round() as usize;
+            let idx = ((q.clamp(0.0, 1.0)) * (sorted.result.len() - 1) as f64).round() as usize;
             Some(sorted.result[idx].clone())
         };
         Ok(GpOutcome {
@@ -214,7 +210,10 @@ impl GpEngine {
                 let parts = self.partitions_of(w, dataset)?;
                 let mut counts: HashMap<Value, u64> = HashMap::new();
                 for view in parts.iter() {
-                    let col = view.table().column_by_name(column).map_err(EngineError::from)?;
+                    let col = view
+                        .table()
+                        .column_by_name(column)
+                        .map_err(EngineError::from)?;
                     for row in view.iter_rows() {
                         *counts.entry(col.value(row)).or_insert(0) += 1;
                     }
@@ -249,12 +248,16 @@ impl GpEngine {
                 let parts = self.partitions_of(w, dataset)?;
                 let mut counts: HashMap<(Value, Value), u64> = HashMap::new();
                 for view in parts.iter() {
-                    let cx = view.table().column_by_name(col_x).map_err(EngineError::from)?;
-                    let cy = view.table().column_by_name(col_y).map_err(EngineError::from)?;
+                    let cx = view
+                        .table()
+                        .column_by_name(col_x)
+                        .map_err(EngineError::from)?;
+                    let cy = view
+                        .table()
+                        .column_by_name(col_y)
+                        .map_err(EngineError::from)?;
                     for row in view.iter_rows() {
-                        *counts
-                            .entry((cx.value(row), cy.value(row)))
-                            .or_insert(0) += 1;
+                        *counts.entry((cx.value(row), cy.value(row))).or_insert(0) += 1;
                     }
                 }
                 let mut w2 = WireWriter::new();
@@ -291,11 +294,7 @@ impl GpEngine {
     }
 
     /// Exact distinct values: ships the whole distinct set (O9's shape).
-    pub fn distinct(
-        &self,
-        dataset: DatasetId,
-        column: &str,
-    ) -> EngineResult<GpOutcome<u64>> {
+    pub fn distinct(&self, dataset: DatasetId, column: &str) -> EngineResult<GpOutcome<u64>> {
         let counted = self.group_count(dataset, column)?;
         Ok(GpOutcome {
             result: counted

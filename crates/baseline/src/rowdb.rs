@@ -144,10 +144,7 @@ impl RowDb {
             .collect();
         self.txn += 1;
         for r in 0..table.num_rows() {
-            let values: Box<[Value]> = cols
-                .iter()
-                .map(|&c| table.column(c).value(r))
-                .collect();
+            let values: Box<[Value]> = cols.iter().map(|&c| table.column(c).value(r)).collect();
             let row_id = self.rows.len() as u32;
             for (&c, tree) in self.indexes.iter_mut() {
                 tree.entry(IndexKey(values[c].clone()))
@@ -235,10 +232,7 @@ impl RowDb {
 
     /// Point lookup through an index (sanity check that indexes work).
     pub fn lookup(&self, column: &str, value: &Value) -> Vec<u32> {
-        match self
-            .column_index(column)
-            .and_then(|c| self.indexes.get(&c))
-        {
+        match self.column_index(column).and_then(|c| self.indexes.get(&c)) {
             Some(tree) => tree
                 .get(&IndexKey(value.clone()))
                 .cloned()

@@ -72,30 +72,32 @@ fn main() {
 fn run_op(sheet: &Spreadsheet, op: &str) -> OpStats {
     match op {
         "O1" => sheet.sort_view(&["DepDelay"], 20).unwrap().1,
-        "O2" => sheet
-            .sort_view(
-                &["Year", "Month", "DayOfMonth", "CRSDepTime", "FlightNum"],
-                20,
-            )
-            .unwrap()
-            .1,
+        "O2" => {
+            sheet
+                .sort_view(
+                    &["Year", "Month", "DayOfMonth", "CRSDepTime", "FlightNum"],
+                    20,
+                )
+                .unwrap()
+                .1
+        }
         "O3" => sheet.sort_view(&["TailNum"], 20).unwrap().1,
-        "O4" => sheet
-            .scroll_to(
-                &["Year", "Month", "DayOfMonth", "CRSDepTime", "FlightNum"],
-                50,
-                20,
-            )
-            .unwrap()
-            .1,
+        "O4" => {
+            sheet
+                .scroll_to(
+                    &["Year", "Month", "DayOfMonth", "CRSDepTime", "FlightNum"],
+                    50,
+                    20,
+                )
+                .unwrap()
+                .1
+        }
         "O5" => sheet.histogram_with_cdf("DepDelay", None).unwrap().2,
         "O6" => {
             // Filter + range + (histogram & cdf): the derivation is part of
             // the measured operation.
             let started = Instant::now();
-            let filtered = sheet
-                .filtered(Predicate::equals("Carrier", "UA"))
-                .unwrap();
+            let filtered = sheet.filtered(Predicate::equals("Carrier", "UA")).unwrap();
             let mut stats = filtered.histogram_with_cdf("DepDelay", None).unwrap().2;
             stats.duration = started.elapsed();
             stats
@@ -103,17 +105,24 @@ fn run_op(sheet: &Spreadsheet, op: &str) -> OpStats {
         "O7" => sheet.string_histogram("Origin").unwrap().1,
         "O8" => sheet.heavy_hitters_sampling("Carrier", 10).unwrap().1,
         "O9" => sheet.distinct_count("FlightNum").unwrap().1,
-        "O10" => sheet
-            .stacked_histogram_with_cdf("CRSDepTime", "Carrier")
-            .unwrap()
-            .2,
+        "O10" => {
+            sheet
+                .stacked_histogram_with_cdf("CRSDepTime", "Carrier")
+                .unwrap()
+                .2
+        }
         "O11" => sheet.heatmap("Distance", "AirTime").unwrap().1,
         other => panic!("unknown op {other}"),
     }
 }
 
 /// Run one operation's GP-engine (Spark-like) equivalent.
-fn run_gp_op(gp: &GpEngine, engine: &Arc<Engine>, ds: hillview_core::DatasetId, op: &str) -> (Duration, u64) {
+fn run_gp_op(
+    gp: &GpEngine,
+    engine: &Arc<Engine>,
+    ds: hillview_core::DatasetId,
+    op: &str,
+) -> (Duration, u64) {
     match op {
         "O1" => {
             let o = gp.sort_first_k(ds, &["DepDelay"], 20).unwrap();
@@ -279,7 +288,11 @@ fn micro() {
             })
             .collect();
         Table::builder()
-            .column("X", ColumnKind::Double, Column::Double(F64Column::from_options(vals)))
+            .column(
+                "X",
+                ColumnKind::Double,
+                Column::Double(F64Column::from_options(vals)),
+            )
             .build()
             .unwrap()
     };
@@ -330,10 +343,7 @@ fn sweep_cluster(workers: usize, threads: usize, leaves_per_worker: usize) -> Ar
     sources.register(Arc::new(FnSource::new("sweep", move |w, _n, _mp, _s| {
         let mut out = Vec::with_capacity(leaves_per_worker);
         for l in 0..leaves_per_worker {
-            let t = generate_flights(&FlightsConfig::new(
-                ROWS_PER_LEAF,
-                (w * 1000 + l) as u64,
-            ));
+            let t = generate_flights(&FlightsConfig::new(ROWS_PER_LEAF, (w * 1000 + l) as u64));
             out.push(t.project(&["DepDelay"]).unwrap());
         }
         Ok(out)
@@ -345,11 +355,7 @@ fn sweep_cluster(workers: usize, threads: usize, leaves_per_worker: usize) -> Ar
         batch_interval: Duration::from_millis(100),
         link: hillview_net::LinkConfig::instant(),
     };
-    Arc::new(Engine::new(Cluster::new(
-        cfg,
-        sources,
-        UdfRegistry::new(),
-    )))
+    Arc::new(Engine::new(Cluster::new(cfg, sources, UdfRegistry::new())))
 }
 
 fn histogram_latency(engine: &Arc<Engine>, ds: hillview_core::DatasetId, rate: f64) -> Duration {
@@ -547,7 +553,10 @@ fn questions() -> Vec<(&'static str, Question)> {
                 .iter()
                 .map(|(v, _, _)| {
                     let c = v.to_string();
-                    (c.clone(), mean_where(s, Predicate::equals("Carrier", c.as_str()), "DepDelay"))
+                    (
+                        c.clone(),
+                        mean_where(s, Predicate::equals("Carrier", c.as_str()), "DepDelay"),
+                    )
                 })
                 .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
                 .unwrap();
@@ -556,17 +565,21 @@ fn questions() -> Vec<(&'static str, Question)> {
         ("Q3 typical delay of AA flight 11", |s| {
             let f = s
                 .filtered(
-                    Predicate::equals("Carrier", "AA")
-                        .and(Predicate::equals("FlightNum", 11i64)),
+                    Predicate::equals("Carrier", "AA").and(Predicate::equals("FlightNum", 11i64)),
                 )
                 .unwrap();
             let (m, _) = f.moments("DepDelay", 2).unwrap();
-            (4, format!("mean {:.1} min over {} flights", m.mean().unwrap_or(0.0), m.present))
+            (
+                4,
+                format!(
+                    "mean {:.1} min over {} flights",
+                    m.mean().unwrap_or(0.0),
+                    m.present
+                ),
+            )
         }),
         ("Q4 flights leaving NY each day", |s| {
-            let f = s
-                .filtered(Predicate::equals("OriginState", "NY"))
-                .unwrap();
+            let f = s.filtered(Predicate::equals("OriginState", "NY")).unwrap();
             let (n, _) = f.row_count().unwrap();
             (5, format!("{:.0}/day", n as f64 / 730.0))
         }),
@@ -594,7 +607,13 @@ fn questions() -> Vec<(&'static str, Question)> {
                 .unwrap()
                 .distinct_count("Dest")
                 .unwrap();
-            (4, format!("~{:.0} (SFO) / ~{:.0} (SJC) destinations", from_sfo, from_sjc))
+            (
+                4,
+                format!(
+                    "~{:.0} (SFO) / ~{:.0} (SJC) destinations",
+                    from_sfo, from_sjc
+                ),
+            )
         }),
         ("Q7 best hour of day to fly", |s| {
             let (chart, _, _) = s.histogram_with_cdf("DepDelay", Some(24)).unwrap();
@@ -602,12 +621,24 @@ fn questions() -> Vec<(&'static str, Question)> {
             // Stacked histogram of delay by hour: find hour bucket with the
             // lowest mean delay via filters on three candidate windows.
             let morning = mean_where(s, Predicate::range("CRSDepTime", 500.0, 900.0), "DepDelay");
-            let midday = mean_where(s, Predicate::range("CRSDepTime", 1100.0, 1500.0), "DepDelay");
-            let evening = mean_where(s, Predicate::range("CRSDepTime", 1700.0, 2100.0), "DepDelay");
-            let best = [("morning", morning), ("midday", midday), ("evening", evening)]
-                .into_iter()
-                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-                .unwrap();
+            let midday = mean_where(
+                s,
+                Predicate::range("CRSDepTime", 1100.0, 1500.0),
+                "DepDelay",
+            );
+            let evening = mean_where(
+                s,
+                Predicate::range("CRSDepTime", 1700.0, 2100.0),
+                "DepDelay",
+            );
+            let best = [
+                ("morning", morning),
+                ("midday", midday),
+                ("evening", evening),
+            ]
+            .into_iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
             (2, format!("{} ({:.1} min)", best.0, best.1))
         }),
         ("Q8 state with worst dep delay", |s| {
@@ -698,7 +729,12 @@ fn questions() -> Vec<(&'static str, Question)> {
         ("Q15 Hawaii airport with best dep delays", |s| {
             let best = ["HNL", "OGG", "LIH", "KOA"]
                 .iter()
-                .map(|a| (*a, mean_where(s, Predicate::equals("Origin", *a), "DepDelay")))
+                .map(|a| {
+                    (
+                        *a,
+                        mean_where(s, Predicate::equals("Origin", *a), "DepDelay"),
+                    )
+                })
                 .filter(|(_, m)| m.is_finite())
                 .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
                 .map(|(a, m)| format!("{a} ({m:.1} min)"))
@@ -707,9 +743,7 @@ fn questions() -> Vec<(&'static str, Question)> {
         }),
         ("Q16 flights per day LAX-SFO", |s| {
             let f = s
-                .filtered(
-                    Predicate::equals("Origin", "LAX").and(Predicate::equals("Dest", "SFO")),
-                )
+                .filtered(Predicate::equals("Origin", "LAX").and(Predicate::equals("Dest", "SFO")))
                 .unwrap();
             let (n, _) = f.row_count().unwrap();
             (3, format!("{:.1}/day", n as f64 / 730.0))
@@ -744,7 +778,8 @@ fn questions() -> Vec<(&'static str, Question)> {
                 .enumerate()
                 .max_by_key(|(_, &h)| h)
                 .unwrap()
-                .0 + 1;
+                .0
+                + 1;
             let least = chart
                 .heights_px
                 .iter()
@@ -752,7 +787,8 @@ fn questions() -> Vec<(&'static str, Question)> {
                 .filter(|(_, &h)| h > 0)
                 .min_by_key(|(_, &h)| h)
                 .unwrap()
-                .0 + 1;
+                .0
+                + 1;
             (2, format!("most: day {most}, least: day {least}"))
         }),
         ("Q19 airlines that stopped flying", |s| {
@@ -775,7 +811,10 @@ fn questions() -> Vec<(&'static str, Question)> {
                 )
                 .unwrap();
             let (n, _) = f.row_count().unwrap();
-            (3, format!("{n} candidate rows — dataset lacks the information"))
+            (
+                3,
+                format!("{n} candidate rows — dataset lacks the information"),
+            )
         }),
     ]
 }
@@ -795,7 +834,9 @@ fn accuracy() {
     let range = RangeSketch::new("DepDelay").summarize(&view, 0).unwrap();
 
     // Exact references.
-    let hviz = HistogramViz::new("DepDelay", display).with_buckets(50).exact();
+    let hviz = HistogramViz::new("DepDelay", display)
+        .with_buckets(50)
+        .exact();
     let hsk = hviz.prepare_numeric(&range).unwrap();
     let exact_chart = hviz.render(&hsk, &hsk.summarize(&view, 0).unwrap());
     let cviz = CdfViz::new("DepDelay", display).exact();
@@ -820,7 +861,11 @@ fn accuracy() {
         format!("{worst_bar} px"),
         "~1 px".into(),
     ]);
-    t.row(&["CDF curve".into(), format!("{worst_cdf} px"), "~1 px".into()]);
+    t.row(&[
+        "CDF curve".into(),
+        format!("{worst_cdf} px"),
+        "~1 px".into(),
+    ]);
     t.row(&[
         format!("histogram sampling rate {:.4}", ssk.rate),
         format!("{} of 1M rows", (ssk.rate * 1e6) as u64),

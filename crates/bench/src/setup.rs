@@ -28,20 +28,20 @@ impl BenchCluster {
     /// * `flights-hvc` — same data read back from `.hvc` files on disk
     ///   (written lazily on first load), for the cold experiments.
     pub fn new(workers: usize, threads: usize, micropartition_rows: usize) -> Self {
-        let hvc_dir = std::env::temp_dir().join(format!(
-            "hillview-bench-{}-{}",
-            std::process::id(),
-            workers
-        ));
+        let hvc_dir =
+            std::env::temp_dir().join(format!("hillview-bench-{}-{}", std::process::id(), workers));
         std::fs::create_dir_all(&hvc_dir).expect("create hvc dir");
 
         let mut sources = SourceRegistry::new();
         let w_total = workers;
-        sources.register(Arc::new(FnSource::new("flights", move |w, _n, mp, scale| {
-            let rows = FLIGHTS_1X_ROWS * (scale.max(1) as usize) / w_total;
-            let t = generate_flights(&FlightsConfig::new(rows, 0xF11 ^ w as u64));
-            Ok(partition_table(&t, mp))
-        })));
+        sources.register(Arc::new(FnSource::new(
+            "flights",
+            move |w, _n, mp, scale| {
+                let rows = FLIGHTS_1X_ROWS * (scale.max(1) as usize) / w_total;
+                let t = generate_flights(&FlightsConfig::new(rows, 0xF11 ^ w as u64));
+                Ok(partition_table(&t, mp))
+            },
+        )));
 
         let dir = hvc_dir.clone();
         sources.register(Arc::new(FnSource::new(

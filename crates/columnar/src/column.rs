@@ -2,8 +2,17 @@
 //!
 //! Columns are immutable after construction (tables are snapshots, paper §2).
 //! Enum dispatch keeps hot scan loops monomorphic without trait objects.
+//!
+//! Integer values and dictionary codes live behind the [`crate::encoding`]
+//! layer: constructors analyze the data and pick a physical encoding
+//! (plain / frame-of-reference bit-packed / run-length), and the chunked
+//! scan drivers decode 64-row blocks on the fly. Kernels that need raw
+//! access go through [`I64Column::storage`] / [`DictColumn::codes`] (any
+//! [`crate::scan::ScanSource`]) or the per-row [`I64Column::get`] /
+//! [`DictColumn::code`] accessors.
 
 use crate::dictionary::{Dictionary, DictionaryBuilder};
+use crate::encoding::{CodeStorage, I64Storage};
 use crate::nullmask::NullMask;
 use crate::schema::ColumnKind;
 use crate::value::Value;
@@ -12,14 +21,33 @@ use std::sync::Arc;
 /// A column of 64-bit integers (also backs `Date` columns as epoch millis).
 #[derive(Debug, Clone, Default)]
 pub struct I64Column {
-    data: Vec<i64>,
+    storage: I64Storage,
     nulls: NullMask,
 }
 
 impl I64Column {
-    /// Build from values and an optional per-row null flag.
+    /// Build from values and an optional per-row null flag, choosing the
+    /// cheapest physical encoding automatically.
     pub fn new(data: Vec<i64>, nulls: NullMask) -> Self {
-        I64Column { data, nulls }
+        I64Column {
+            storage: I64Storage::encode(data),
+            nulls,
+        }
+    }
+
+    /// Build keeping the values uncompressed (benchmark baselines and
+    /// encoding-equivalence tests).
+    pub fn plain(data: Vec<i64>, nulls: NullMask) -> Self {
+        I64Column {
+            storage: I64Storage::plain_of(data),
+            nulls,
+        }
+    }
+
+    /// Build from an already-encoded storage (e.g. `hvc` decode, which
+    /// preserves the file's encoding instead of re-analyzing).
+    pub fn with_storage(storage: I64Storage, nulls: NullMask) -> Self {
+        I64Column { storage, nulls }
     }
 
     /// Build from options: `None` becomes a null.
@@ -28,23 +56,25 @@ impl I64Column {
         let len = vals.len();
         let nulls = NullMask::from_flags(vals.iter().map(|v| v.is_none()), len);
         let data = vals.into_iter().map(|v| v.unwrap_or(0)).collect();
-        I64Column { data, nulls }
+        Self::new(data, nulls)
     }
 
     /// Number of rows.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.storage.len()
     }
 
     /// True if the column has no rows.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.storage.is_empty()
     }
 
-    /// Raw data slice (null rows hold 0; check the mask).
+    /// The encoded value storage (null rows hold 0; check the mask).
+    /// Implements [`crate::scan::ScanSource`], so it plugs straight into
+    /// the chunked scan drivers.
     #[inline]
-    pub fn data(&self) -> &[i64] {
-        &self.data
+    pub fn storage(&self) -> &I64Storage {
+        &self.storage
     }
 
     /// Null mask.
@@ -59,7 +89,7 @@ impl I64Column {
         if self.nulls.is_null(i) {
             None
         } else {
-            Some(self.data[i])
+            Some(self.storage.get(i))
         }
     }
 }
@@ -87,10 +117,7 @@ impl F64Column {
     pub fn from_options(vals: impl IntoIterator<Item = Option<f64>>) -> Self {
         let vals: Vec<Option<f64>> = vals.into_iter().collect();
         let len = vals.len();
-        let nulls = NullMask::from_flags(
-            vals.iter().map(|v| v.is_none_or(f64::is_nan)),
-            len,
-        );
+        let nulls = NullMask::from_flags(vals.iter().map(|v| v.is_none_or(f64::is_nan)), len);
         let data = vals.into_iter().map(|v| v.unwrap_or(0.0)).collect();
         F64Column { data, nulls }
     }
@@ -131,14 +158,33 @@ impl F64Column {
 /// A dictionary-encoded column of strings or categoricals.
 #[derive(Debug, Clone, Default)]
 pub struct DictColumn {
-    codes: Vec<u32>,
+    codes: CodeStorage,
     dict: Arc<Dictionary>,
     nulls: NullMask,
 }
 
 impl DictColumn {
-    /// Build from pre-encoded codes and their dictionary.
+    /// Build from pre-encoded codes and their dictionary, choosing the
+    /// cheapest physical encoding for the code array automatically.
     pub fn new(codes: Vec<u32>, dict: Arc<Dictionary>, nulls: NullMask) -> Self {
+        DictColumn {
+            codes: CodeStorage::encode(codes),
+            dict,
+            nulls,
+        }
+    }
+
+    /// Build keeping the codes uncompressed.
+    pub fn plain(codes: Vec<u32>, dict: Arc<Dictionary>, nulls: NullMask) -> Self {
+        DictColumn {
+            codes: CodeStorage::plain_of(codes),
+            dict,
+            nulls,
+        }
+    }
+
+    /// Build from already-encoded code storage (e.g. `hvc` decode).
+    pub fn with_storage(codes: CodeStorage, dict: Arc<Dictionary>, nulls: NullMask) -> Self {
         DictColumn { codes, dict, nulls }
     }
 
@@ -161,11 +207,7 @@ impl DictColumn {
         for i in null_rows {
             nulls.set_null(i, len);
         }
-        DictColumn {
-            codes,
-            dict: Arc::new(builder.finish()),
-            nulls,
-        }
+        Self::new(codes, Arc::new(builder.finish()), nulls)
     }
 
     /// Number of rows.
@@ -178,10 +220,17 @@ impl DictColumn {
         self.codes.is_empty()
     }
 
-    /// Raw code slice (null rows hold code 0; check the mask).
+    /// The encoded code storage (null rows hold code 0; check the mask).
+    /// Implements [`crate::scan::ScanSource`] for the chunked drivers.
     #[inline]
-    pub fn codes(&self) -> &[u32] {
+    pub fn codes(&self) -> &CodeStorage {
         &self.codes
+    }
+
+    /// The dictionary code at row `i` (code 0 for null rows).
+    #[inline]
+    pub fn code(&self, i: usize) -> u32 {
+        self.codes.get(i)
     }
 
     /// The dictionary shared by this column.
@@ -202,7 +251,7 @@ impl DictColumn {
         if self.nulls.is_null(i) {
             None
         } else {
-            Some(self.dict.get(self.codes[i]))
+            Some(self.dict.get(self.codes.get(i)))
         }
     }
 }
@@ -286,9 +335,9 @@ impl Column {
             Column::Int(c) => c.get(i).map_or(Value::Missing, Value::Int),
             Column::Date(c) => c.get(i).map_or(Value::Missing, Value::Date),
             Column::Double(c) => c.get(i).map_or(Value::Missing, Value::Double),
-            Column::Str(c) | Column::Cat(c) => c
-                .get(i)
-                .map_or(Value::Missing, |s| Value::Str(s.clone())),
+            Column::Str(c) | Column::Cat(c) => {
+                c.get(i).map_or(Value::Missing, |s| Value::Str(s.clone()))
+            }
         }
     }
 
@@ -329,14 +378,13 @@ impl Column {
     }
 
     /// Approximate heap footprint in bytes (for the data-cache accounting of
-    /// paper §5.4).
+    /// paper §5.4 and the worker's per-dataset footprint reports). Reflects
+    /// the *encoded* payload, so compressed columns report their true size.
     pub fn heap_bytes(&self) -> usize {
         match self {
-            Column::Int(c) | Column::Date(c) => c.data().len() * 8,
+            Column::Int(c) | Column::Date(c) => c.storage().heap_bytes(),
             Column::Double(c) => c.data().len() * 8,
-            Column::Str(c) | Column::Cat(c) => {
-                c.codes().len() * 4 + c.dictionary().heap_bytes()
-            }
+            Column::Str(c) | Column::Cat(c) => c.codes().heap_bytes() + c.dictionary().heap_bytes(),
         }
     }
 }
@@ -344,6 +392,7 @@ impl Column {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::encoding::EncodingKind;
 
     #[test]
     fn i64_column_nulls() {
@@ -371,7 +420,7 @@ mod tests {
         assert_eq!(c.get(0).unwrap().as_ref(), "UA");
         assert_eq!(c.get(1).unwrap().as_ref(), "AA");
         assert!(c.get(2).is_none());
-        assert_eq!(c.codes()[0], c.codes()[3], "repeated strings share codes");
+        assert_eq!(c.code(0), c.code(3), "repeated strings share codes");
         assert_eq!(c.dictionary().len(), 2);
     }
 
@@ -408,8 +457,34 @@ mod tests {
 
     #[test]
     fn heap_bytes_scales_with_rows() {
-        let small = Column::Int(I64Column::from_options((0..10).map(Some)));
-        let big = Column::Int(I64Column::from_options((0..1000).map(Some)));
+        let small = Column::Int(I64Column::plain((0..10).collect(), NullMask::none()));
+        let big = Column::Int(I64Column::plain((0..1000).collect(), NullMask::none()));
         assert!(big.heap_bytes() > small.heap_bytes());
+    }
+
+    #[test]
+    fn ingest_compresses_compressible_columns() {
+        // Sorted, low-cardinality: run-length; small range: bit-packed.
+        let sorted = I64Column::new((0..4096).map(|i| i / 64).collect(), NullMask::none());
+        assert_eq!(sorted.storage().kind(), EncodingKind::RunLength);
+        let packed = I64Column::new(
+            (0..4096).map(|i| (i * 7919) % 1024).collect(),
+            NullMask::none(),
+        );
+        assert_eq!(packed.storage().kind(), EncodingKind::BitPacked);
+        let plain = I64Column::plain((0..4096).collect(), NullMask::none());
+        assert_eq!(plain.storage().kind(), EncodingKind::Plain);
+        // Values identical under every encoding.
+        for i in [0usize, 63, 64, 4095] {
+            assert_eq!(sorted.get(i), Some(i as i64 / 64));
+        }
+        assert!(sorted.storage().heap_bytes() * 4 <= 4096 * 8);
+    }
+
+    #[test]
+    fn dict_codes_compress() {
+        let c = DictColumn::from_strings((0..5000).map(|i| Some(["a", "b", "c"][i % 3])));
+        assert_ne!(c.codes().kind(), EncodingKind::Plain);
+        assert_eq!(c.code(3), c.code(0));
     }
 }

@@ -1,0 +1,546 @@
+//! Compressed integer column storage: the encoding layer under the chunked
+//! scan drivers.
+//!
+//! The paper's "trillion-cell" claim rests on workers holding far more cells
+//! than naive 8-bytes-per-value storage allows (§5: columnar in-memory
+//! storage sized to the cluster). This module provides the in-memory
+//! counterpart of `hvc`'s on-disk delta coding: an [`IntStorage`] enum that
+//! backs [`I64Column`](crate::column::I64Column) values and
+//! [`DictColumn`](crate::column::DictColumn) dictionary codes with one of
+//! three physical encodings:
+//!
+//! * [`IntStorage::Plain`] — the raw `Vec<T>`, for high-entropy data.
+//! * [`IntStorage::BitPacked`] — frame-of-reference + bit-packing: values
+//!   are stored as `value - base` deltas in `width` bits each, packed
+//!   little-endian into `u64` words. A column of small-range integers
+//!   (ports, bucket ids, year/month fields, dictionary codes) shrinks to
+//!   `width/64` of its plain size.
+//! * [`IntStorage::RunLength`] — run-length encoding for sorted or
+//!   low-cardinality data: `(value, end)` pairs where `ends` is the
+//!   cumulative (exclusive) end row of each run.
+//!
+//! ## Chunk-decoder contract
+//!
+//! Encodings stay opaque to kernels. The scan drivers in [`crate::scan`]
+//! consume any [`scan::ScanSource`](crate::scan::ScanSource): when the
+//! source is plain they run directly over the backing slice (the dense fast
+//! path is unchanged), otherwise they call [`IntStorage::decode_into`] to
+//! materialize at most 64 rows at a time into a stack scratch buffer and
+//! run the identical word-granular null logic over that buffer. Decoding is
+//! strictly in ascending row order, so chunked kernels observe exactly the
+//! same value sequence across every encoding — the scan-equivalence and
+//! encoding property tests pin this down bit-for-bit.
+//!
+//! ## Encoding selection
+//!
+//! [`IntStorage::encode`] analyzes min/max and the run count in one pass
+//! and picks the cheapest encoding, but only if it saves at least 25% over
+//! plain — marginal wins are not worth the decode work. Selection happens
+//! at ingest wherever columns are built (`I64Column::new`,
+//! `DictColumn::new`, and therefore CSV/JSONL/HVC readers and
+//! `partition_table` slices, which re-analyze each micropartition).
+
+/// The physical encoding of an [`IntStorage`], for tests, stats, and the
+/// `hvc` file format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EncodingKind {
+    /// Raw values.
+    Plain,
+    /// Frame-of-reference bit-packing.
+    BitPacked,
+    /// Run-length encoding.
+    RunLength,
+}
+
+impl std::fmt::Display for EncodingKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            EncodingKind::Plain => "plain",
+            EncodingKind::BitPacked => "bit-packed",
+            EncodingKind::RunLength => "run-length",
+        })
+    }
+}
+
+/// Integer types that can live in an [`IntStorage`]: they convert to and
+/// from unsigned deltas relative to a base value. Implemented for `i64`
+/// (column values) and `u32` (dictionary codes).
+pub trait PackedInt: Copy + Default + Ord + std::fmt::Debug + 'static {
+    /// Bytes one plain value occupies.
+    const BYTES: usize;
+    /// `self - base` as an unsigned delta (two's-complement exact).
+    fn offset_from(self, base: Self) -> u64;
+    /// `base + delta`, inverse of [`PackedInt::offset_from`].
+    fn add_offset(base: Self, delta: u64) -> Self;
+}
+
+impl PackedInt for i64 {
+    const BYTES: usize = 8;
+    #[inline]
+    fn offset_from(self, base: Self) -> u64 {
+        self.wrapping_sub(base) as u64
+    }
+    #[inline]
+    fn add_offset(base: Self, delta: u64) -> Self {
+        base.wrapping_add(delta as i64)
+    }
+}
+
+impl PackedInt for u32 {
+    const BYTES: usize = 4;
+    #[inline]
+    fn offset_from(self, base: Self) -> u64 {
+        self.wrapping_sub(base) as u64
+    }
+    #[inline]
+    fn add_offset(base: Self, delta: u64) -> Self {
+        base.wrapping_add(delta as u32)
+    }
+}
+
+/// Compressed (or plain) storage for a column of integers.
+///
+/// Immutable once built, like everything else in a [`Table`](crate::Table)
+/// snapshot. See the [module docs](self) for the encoding inventory and the
+/// chunk-decoder contract.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IntStorage<T> {
+    /// Raw values.
+    Plain(Vec<T>),
+    /// Frame-of-reference bit-packing: value `i` is
+    /// `base + bits[i*width .. (i+1)*width]`, packed little-endian across
+    /// `words`. `width` is at most 63 (a 64-bit range stays plain); width 0
+    /// means every row equals `base`.
+    BitPacked {
+        /// The minimum value (frame of reference).
+        base: T,
+        /// Bits per packed delta (0..=63).
+        width: u8,
+        /// Number of rows.
+        len: usize,
+        /// `ceil(len * width / 64)` packed words.
+        words: Vec<u64>,
+    },
+    /// Run-length encoding: row `i` holds `values[k]` for the unique `k`
+    /// with `ends[k-1] <= i < ends[k]` (`ends` is strictly increasing and
+    /// `ends[last] == len`). Rows must fit in `u32` (micropartitions do).
+    RunLength {
+        /// One value per run.
+        values: Vec<T>,
+        /// Exclusive cumulative end row of each run.
+        ends: Vec<u32>,
+    },
+}
+
+impl<T> Default for IntStorage<T> {
+    fn default() -> Self {
+        IntStorage::Plain(Vec::new())
+    }
+}
+
+/// Bits needed to represent `delta` (0 for 0).
+#[inline]
+fn bits_needed(delta: u64) -> usize {
+    (64 - delta.leading_zeros()) as usize
+}
+
+/// The low `width` bits set (`width` <= 63).
+#[inline]
+fn low_mask(width: usize) -> u64 {
+    debug_assert!(width < 64);
+    (1u64 << width) - 1
+}
+
+impl<T: PackedInt> IntStorage<T> {
+    /// Analyze `values` (min/max range, run structure) and store them under
+    /// the cheapest encoding, keeping them plain unless a packed form saves
+    /// at least 25% of the bytes.
+    pub fn encode(values: Vec<T>) -> Self {
+        let n = values.len();
+        if n == 0 {
+            return IntStorage::Plain(values);
+        }
+        let mut min = values[0];
+        let mut max = values[0];
+        let mut runs = 1usize;
+        for i in 1..n {
+            let v = values[i];
+            if v < min {
+                min = v;
+            }
+            if v > max {
+                max = v;
+            }
+            if v != values[i - 1] {
+                runs += 1;
+            }
+        }
+        let plain_cost = n * T::BYTES;
+        let width = bits_needed(max.offset_from(min));
+        let packed_cost = if width >= 64 {
+            usize::MAX
+        } else {
+            (n * width).div_ceil(64) * 8
+        };
+        let rl_cost = if n > u32::MAX as usize {
+            usize::MAX
+        } else {
+            runs * (T::BYTES + 4)
+        };
+        // Only leave plain when the saving is real (>= 25%).
+        let budget = plain_cost - plain_cost / 4;
+        if rl_cost <= packed_cost && rl_cost <= budget {
+            Self::run_length_from(&values)
+        } else if packed_cost <= budget {
+            Self::bit_packed_from(&values, min, width)
+        } else {
+            IntStorage::Plain(values)
+        }
+    }
+
+    /// Store `values` uncompressed regardless of their shape (benchmarks
+    /// and encoding-equivalence tests force specific variants).
+    pub fn plain_of(values: Vec<T>) -> Self {
+        IntStorage::Plain(values)
+    }
+
+    /// Force frame-of-reference bit-packing. `None` when the value range
+    /// needs all 64 bits (only possible for `i64` extremes).
+    pub fn bit_packed_of(values: &[T]) -> Option<Self> {
+        let Some(&first) = values.first() else {
+            return Some(IntStorage::BitPacked {
+                base: T::default(),
+                width: 0,
+                len: 0,
+                words: Vec::new(),
+            });
+        };
+        let min = values.iter().copied().fold(first, T::min);
+        let max = values.iter().copied().fold(first, T::max);
+        let width = bits_needed(max.offset_from(min));
+        (width < 64).then(|| Self::bit_packed_from(values, min, width))
+    }
+
+    /// Force run-length encoding. `None` when there are more rows than
+    /// `u32` can index.
+    pub fn run_length_of(values: &[T]) -> Option<Self> {
+        (values.len() <= u32::MAX as usize).then(|| Self::run_length_from(values))
+    }
+
+    fn bit_packed_from(values: &[T], base: T, width: usize) -> Self {
+        debug_assert!(width < 64);
+        let n = values.len();
+        let mut words = vec![0u64; (n * width).div_ceil(64)];
+        if width > 0 {
+            let mut bit = 0usize;
+            for &v in values {
+                let d = v.offset_from(base);
+                let w = bit >> 6;
+                let off = bit & 63;
+                words[w] |= d << off;
+                if off + width > 64 {
+                    words[w + 1] |= d >> (64 - off);
+                }
+                bit += width;
+            }
+        }
+        IntStorage::BitPacked {
+            base,
+            width: width as u8,
+            len: n,
+            words,
+        }
+    }
+
+    fn run_length_from(values: &[T]) -> Self {
+        let mut rvalues = Vec::new();
+        let mut ends = Vec::new();
+        for (i, &v) in values.iter().enumerate() {
+            if rvalues.last() != Some(&v) || ends.is_empty() {
+                rvalues.push(v);
+                ends.push(i as u32 + 1);
+            } else {
+                *ends.last_mut().expect("non-empty") = i as u32 + 1;
+            }
+        }
+        IntStorage::RunLength {
+            values: rvalues,
+            ends,
+        }
+    }
+
+    /// Rebuild a storage from its parts (used by `hvc` decode, which
+    /// preserves the encoded representation instead of re-analyzing).
+    /// Returns `None` if the parts are structurally inconsistent.
+    pub fn from_bit_packed(base: T, width: u8, len: usize, words: Vec<u64>) -> Option<Self> {
+        if width >= 64 || words.len() != (len * width as usize).div_ceil(64) {
+            return None;
+        }
+        Some(IntStorage::BitPacked {
+            base,
+            width,
+            len,
+            words,
+        })
+    }
+
+    /// Rebuild a run-length storage from its parts; `None` unless `ends`
+    /// is strictly increasing, matches `values` in length, and is non-empty
+    /// exactly when `values` is.
+    pub fn from_run_length(values: Vec<T>, ends: Vec<u32>) -> Option<Self> {
+        if values.len() != ends.len() || ends.windows(2).any(|w| w[0] >= w[1]) {
+            return None;
+        }
+        Some(IntStorage::RunLength { values, ends })
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            IntStorage::Plain(v) => v.len(),
+            IntStorage::BitPacked { len, .. } => *len,
+            IntStorage::RunLength { ends, .. } => ends.last().map_or(0, |&e| e as usize),
+        }
+    }
+
+    /// True if there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Which encoding this storage uses.
+    pub fn kind(&self) -> EncodingKind {
+        match self {
+            IntStorage::Plain(_) => EncodingKind::Plain,
+            IntStorage::BitPacked { .. } => EncodingKind::BitPacked,
+            IntStorage::RunLength { .. } => EncodingKind::RunLength,
+        }
+    }
+
+    /// The backing slice when the storage is plain (the scan drivers' fast
+    /// path).
+    #[inline]
+    pub fn as_plain(&self) -> Option<&[T]> {
+        match self {
+            IntStorage::Plain(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Value at row `i`. O(1) for plain and bit-packed storage,
+    /// O(log runs) for run-length.
+    #[inline]
+    pub fn get(&self, i: usize) -> T {
+        match self {
+            IntStorage::Plain(v) => v[i],
+            IntStorage::BitPacked {
+                base,
+                width,
+                len,
+                words,
+            } => {
+                assert!(i < *len, "row {i} out of range {len}");
+                let width = *width as usize;
+                if width == 0 {
+                    return *base;
+                }
+                let bit = i * width;
+                let w = bit >> 6;
+                let off = bit & 63;
+                let mut d = words[w] >> off;
+                if off + width > 64 {
+                    d |= words[w + 1] << (64 - off);
+                }
+                T::add_offset(*base, d & low_mask(width))
+            }
+            IntStorage::RunLength { values, ends } => {
+                values[ends.partition_point(|&e| e as usize <= i)]
+            }
+        }
+    }
+
+    /// Decode rows `start .. start + out.len()` into `out`, in row order.
+    /// This is the chunk-decoder entry point: the scan drivers call it with
+    /// a stack scratch buffer of at most 64 rows per 64-row block.
+    pub fn decode_into(&self, start: usize, out: &mut [T]) {
+        match self {
+            IntStorage::Plain(v) => out.copy_from_slice(&v[start..start + out.len()]),
+            IntStorage::BitPacked {
+                base, width, words, ..
+            } => {
+                let width = *width as usize;
+                if width == 0 {
+                    out.fill(*base);
+                    return;
+                }
+                let mask = low_mask(width);
+                let mut bit = start * width;
+                for o in out.iter_mut() {
+                    let w = bit >> 6;
+                    let off = bit & 63;
+                    let mut d = words[w] >> off;
+                    if off + width > 64 {
+                        d |= words[w + 1] << (64 - off);
+                    }
+                    *o = T::add_offset(*base, d & mask);
+                    bit += width;
+                }
+            }
+            IntStorage::RunLength { values, ends } => {
+                if out.is_empty() {
+                    return;
+                }
+                let mut run = ends.partition_point(|&e| e as usize <= start);
+                let mut i = start;
+                let end = start + out.len();
+                let mut o = 0usize;
+                while i < end {
+                    let run_end = (ends[run] as usize).min(end);
+                    let v = values[run];
+                    while i < run_end {
+                        out[o] = v;
+                        o += 1;
+                        i += 1;
+                    }
+                    run += 1;
+                }
+            }
+        }
+    }
+
+    /// Decode rows `start..end` into a fresh vector (partition slicing).
+    pub fn decode_range(&self, start: usize, end: usize) -> Vec<T> {
+        let mut out = vec![T::default(); end - start];
+        self.decode_into(start, &mut out);
+        out
+    }
+
+    /// Decode every row (tests, format conversions).
+    pub fn to_vec(&self) -> Vec<T> {
+        self.decode_range(0, self.len())
+    }
+
+    /// Approximate heap footprint in bytes of the encoded payload.
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            IntStorage::Plain(v) => v.len() * T::BYTES,
+            IntStorage::BitPacked { words, .. } => words.len() * 8,
+            IntStorage::RunLength { values, ends } => values.len() * T::BYTES + ends.len() * 4,
+        }
+    }
+}
+
+/// Storage for `i64` column values.
+pub type I64Storage = IntStorage<i64>;
+/// Storage for `u32` dictionary codes.
+pub type CodeStorage = IntStorage<u32>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(values: Vec<i64>) {
+        for s in [
+            IntStorage::plain_of(values.clone()),
+            IntStorage::encode(values.clone()),
+        ]
+        .into_iter()
+        .chain(IntStorage::bit_packed_of(&values))
+        .chain(IntStorage::run_length_of(&values))
+        {
+            assert_eq!(s.len(), values.len(), "{:?}", s.kind());
+            assert_eq!(s.to_vec(), values, "{:?}", s.kind());
+            for (i, &v) in values.iter().enumerate() {
+                assert_eq!(s.get(i), v, "{:?} row {i}", s.kind());
+            }
+        }
+    }
+
+    #[test]
+    fn all_encodings_round_trip() {
+        roundtrip(vec![]);
+        roundtrip(vec![42]);
+        roundtrip(vec![7; 1000]);
+        roundtrip((0..500).collect());
+        roundtrip((0..500).map(|i| i / 37).collect());
+        roundtrip((0..500).map(|i| (i * 7919) % 101 - 50).collect());
+        roundtrip(vec![i64::MIN, 0, i64::MAX, -1, 1]);
+    }
+
+    #[test]
+    fn extreme_range_cannot_bit_pack() {
+        assert!(IntStorage::bit_packed_of(&[i64::MIN, i64::MAX]).is_none());
+        // But encode falls back gracefully.
+        let s = IntStorage::encode(vec![i64::MIN, i64::MAX, 0, 17]);
+        assert_eq!(s.to_vec(), vec![i64::MIN, i64::MAX, 0, 17]);
+    }
+
+    #[test]
+    fn selection_prefers_run_length_on_sorted_low_cardinality() {
+        let values: Vec<i64> = (0..10_000).map(|i| i / 100).collect();
+        let s = IntStorage::encode(values.clone());
+        assert_eq!(s.kind(), EncodingKind::RunLength);
+        assert!(s.heap_bytes() * 4 <= values.len() * 8);
+    }
+
+    #[test]
+    fn selection_prefers_bit_packing_on_small_range() {
+        let values: Vec<i64> = (0..10_000).map(|i| (i * 7919) % 4096).collect();
+        let s = IntStorage::encode(values.clone());
+        assert_eq!(s.kind(), EncodingKind::BitPacked);
+        assert!(s.heap_bytes() * 4 <= values.len() * 8);
+        assert_eq!(s.to_vec(), values);
+    }
+
+    #[test]
+    fn selection_keeps_high_entropy_plain() {
+        // Values span nearly the full 64-bit range with no run structure.
+        let values: Vec<i64> = (0..1000)
+            .map(|i: i64| i.wrapping_mul(0x9E37_79B9_7F4A_7C15u64 as i64))
+            .collect();
+        let s = IntStorage::encode(values);
+        assert_eq!(s.kind(), EncodingKind::Plain);
+    }
+
+    #[test]
+    fn constant_column_packs_to_zero_width() {
+        let s = IntStorage::encode(vec![99i64; 4096]);
+        assert_eq!(s.heap_bytes(), 0, "width-0 packing stores no words");
+        assert_eq!(s.get(4095), 99);
+    }
+
+    #[test]
+    fn decode_into_arbitrary_offsets() {
+        let values: Vec<i64> = (0..300).map(|i| (i % 23) * 3 - 11).collect();
+        for s in [
+            IntStorage::bit_packed_of(&values).unwrap(),
+            IntStorage::run_length_of(&values).unwrap(),
+        ] {
+            let mut buf = [0i64; 64];
+            for start in [0usize, 1, 63, 64, 65, 170, 236] {
+                let n = 64.min(300 - start);
+                s.decode_into(start, &mut buf[..n]);
+                assert_eq!(&buf[..n], &values[start..start + n], "start {start}");
+            }
+        }
+    }
+
+    #[test]
+    fn code_storage_round_trips() {
+        let codes: Vec<u32> = (0..5000).map(|i| (i % 7) as u32).collect();
+        let s = CodeStorage::encode(codes.clone());
+        assert_eq!(s.kind(), EncodingKind::BitPacked);
+        assert_eq!(s.to_vec(), codes);
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        assert!(I64Storage::from_bit_packed(0, 64, 10, vec![]).is_none());
+        assert!(I64Storage::from_bit_packed(0, 3, 10, vec![0]).is_some());
+        assert!(I64Storage::from_bit_packed(0, 3, 100, vec![0]).is_none());
+        assert!(I64Storage::from_run_length(vec![1, 2], vec![5, 3]).is_none());
+        assert!(I64Storage::from_run_length(vec![1], vec![5, 9]).is_none());
+        let s = I64Storage::from_run_length(vec![1, 2], vec![3, 5]).unwrap();
+        assert_eq!(s.to_vec(), vec![1, 1, 1, 2, 2]);
+    }
+}

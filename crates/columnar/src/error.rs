@@ -46,7 +46,10 @@ impl fmt::Display for Error {
                 context,
                 expected,
                 actual,
-            } => write!(f, "type mismatch in {context}: expected {expected}, got {actual}"),
+            } => write!(
+                f,
+                "type mismatch in {context}: expected {expected}, got {actual}"
+            ),
             Error::LengthMismatch { expected, actual } => {
                 write!(f, "length mismatch: expected {expected} rows, got {actual}")
             }

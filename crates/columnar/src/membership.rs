@@ -339,13 +339,21 @@ mod tests {
         let dense = MembershipSet::from_mask(&mask);
         let s = dense.sample(0.2, 3);
         let expect = 0.2 * 50_000.0;
-        assert!((s.len() as f64 - expect).abs() < expect * 0.2, "{}", s.len());
+        assert!(
+            (s.len() as f64 - expect).abs() < expect * 0.2,
+            "{}",
+            s.len()
+        );
         assert!(s.iter().all(|r| r % 2 == 0), "samples only present rows");
 
         let sparse = MembershipSet::from_rows((0..100_000).step_by(17).collect(), 100_000);
         let n = sparse.len() as f64;
         let s = sparse.sample(0.3, 9);
-        assert!((s.len() as f64 - 0.3 * n).abs() < 0.3 * n * 0.25, "{}", s.len());
+        assert!(
+            (s.len() as f64 - 0.3 * n).abs() < 0.3 * n * 0.25,
+            "{}",
+            s.len()
+        );
         assert!(s.windows(2).all(|w| w[0] < w[1]));
     }
 

@@ -159,14 +159,12 @@ impl Predicate {
             Predicate::IsMissing { column } => CompiledPredicate::IsMissing {
                 col: table.schema().index_of(column)?,
             },
-            Predicate::And(a, b) => CompiledPredicate::And(
-                Box::new(a.compile(table)?),
-                Box::new(b.compile(table)?),
-            ),
-            Predicate::Or(a, b) => CompiledPredicate::Or(
-                Box::new(a.compile(table)?),
-                Box::new(b.compile(table)?),
-            ),
+            Predicate::And(a, b) => {
+                CompiledPredicate::And(Box::new(a.compile(table)?), Box::new(b.compile(table)?))
+            }
+            Predicate::Or(a, b) => {
+                CompiledPredicate::Or(Box::new(a.compile(table)?), Box::new(b.compile(table)?))
+            }
             Predicate::Not(p) => CompiledPredicate::Not(Box::new(p.compile(table)?)),
         })
     }
@@ -229,12 +227,10 @@ impl CompiledPredicate {
     pub fn eval(&self, table: &Table, row: usize) -> bool {
         match self {
             CompiledPredicate::True => true,
-            CompiledPredicate::Range { col, lo, hi } => {
-                match table.column(*col).as_f64(row) {
-                    Some(v) => v >= *lo && v < *hi,
-                    None => false,
-                }
-            }
+            CompiledPredicate::Range { col, lo, hi } => match table.column(*col).as_f64(row) {
+                Some(v) => v >= *lo && v < *hi,
+                None => false,
+            },
             CompiledPredicate::Equals { col, value } => table.column(*col).value(row) == *value,
             CompiledPredicate::Text {
                 col,
@@ -368,7 +364,12 @@ mod tests {
     #[test]
     fn regex_search() {
         let t = table();
-        let p = Predicate::str_match("Server", "^[Gg]andalf(-[0-9])?$", StrMatchKind::Regex, false);
+        let p = Predicate::str_match(
+            "Server",
+            "^[Gg]andalf(-[0-9])?$",
+            StrMatchKind::Regex,
+            false,
+        );
         // Note: our lite engine lacks groups; use an equivalent pattern.
         let p2 = Predicate::str_match("Server", "^[Gg]andalf", StrMatchKind::Regex, false);
         let _ = p;
@@ -385,13 +386,12 @@ mod tests {
     #[test]
     fn boolean_combinators() {
         let t = table();
-        let p = Predicate::range("Delay", 0.0, 100.0)
-            .and(Predicate::str_match(
-                "Server",
-                "gandalf",
-                StrMatchKind::Substring,
-                true,
-            ));
+        let p = Predicate::range("Delay", 0.0, 100.0).and(Predicate::str_match(
+            "Server",
+            "gandalf",
+            StrMatchKind::Substring,
+            true,
+        ));
         assert_eq!(rows_matching(&t, &p), vec![0, 1]);
         let p = Predicate::equals("Server", "Frodo").or(Predicate::equals("Server", "Gandalf"));
         assert_eq!(rows_matching(&t, &p), vec![0, 2]);

@@ -21,7 +21,10 @@ const STEP_LIMIT: usize = 1_000_000;
 enum Node {
     Literal(char),
     Any,
-    Class { negated: bool, ranges: Vec<(char, char)> },
+    Class {
+        negated: bool,
+        ranges: Vec<(char, char)>,
+    },
     Star(Box<Node>),
     Plus(Box<Node>),
     Opt(Box<Node>),

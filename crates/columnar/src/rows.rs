@@ -80,12 +80,7 @@ impl PartialOrd for RowKey {
 impl Ord for RowKey {
     fn cmp(&self, other: &Self) -> Ordering {
         debug_assert_eq!(self.values.len(), other.values.len());
-        for ((a, b), desc) in self
-            .values
-            .iter()
-            .zip(&other.values)
-            .zip(&self.descending)
-        {
+        for ((a, b), desc) in self.values.iter().zip(&other.values).zip(&self.descending) {
             let ord = a.cmp(b);
             let ord = if *desc { ord.reverse() } else { ord };
             if ord != Ordering::Equal {

@@ -27,7 +27,69 @@
 //! property tests in `hillview-sketch` rely on that.
 
 use crate::bitmap::Bitmap;
+use crate::encoding::{IntStorage, PackedInt};
 use crate::membership::MembershipSet;
+
+/// What a typed scan driver reads values from: either a plain slice (raw
+/// column data, hash tables, scratch vectors) or an encoded
+/// [`IntStorage`]. The drivers probe [`ScanSource::as_plain`] once — a
+/// `Some` keeps the original slice loops (including the dense fast path)
+/// with zero indirection, a `None` switches to the chunk-decoder path that
+/// materializes at most 64 rows at a time into a stack scratch buffer via
+/// [`ScanSource::decode_into`].
+pub trait ScanSource<T: Copy> {
+    /// The contiguous backing slice, when the storage is uncompressed.
+    fn as_plain(&self) -> Option<&[T]>;
+    /// Random access to row `i` (sparse row lists, sampled scans).
+    fn index(&self, i: usize) -> T;
+    /// Decode rows `start .. start + out.len()` into `out`, ascending.
+    fn decode_into(&self, start: usize, out: &mut [T]);
+}
+
+impl<T: Copy> ScanSource<T> for [T] {
+    #[inline]
+    fn as_plain(&self) -> Option<&[T]> {
+        Some(self)
+    }
+    #[inline]
+    fn index(&self, i: usize) -> T {
+        self[i]
+    }
+    #[inline]
+    fn decode_into(&self, start: usize, out: &mut [T]) {
+        out.copy_from_slice(&self[start..start + out.len()]);
+    }
+}
+
+impl<T: Copy> ScanSource<T> for Vec<T> {
+    #[inline]
+    fn as_plain(&self) -> Option<&[T]> {
+        Some(self)
+    }
+    #[inline]
+    fn index(&self, i: usize) -> T {
+        self[i]
+    }
+    #[inline]
+    fn decode_into(&self, start: usize, out: &mut [T]) {
+        out.copy_from_slice(&self[start..start + out.len()]);
+    }
+}
+
+impl<T: PackedInt> ScanSource<T> for IntStorage<T> {
+    #[inline]
+    fn as_plain(&self) -> Option<&[T]> {
+        IntStorage::as_plain(self)
+    }
+    #[inline]
+    fn index(&self, i: usize) -> T {
+        self.get(i)
+    }
+    #[inline]
+    fn decode_into(&self, start: usize, out: &mut [T]) {
+        IntStorage::decode_into(self, start, out);
+    }
+}
 
 /// A batch of selected rows, in ascending row order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -224,7 +286,20 @@ fn mask_span(lo: usize, hi: usize) -> u64 {
 /// word-granular: per 64-row block the driver fetches one null word, and
 /// when a dense chunk has no nulls the inner loop is a plain slice
 /// iteration the compiler can unroll/vectorize (the dense fast path).
-pub fn scan_values<T: Copy>(
+pub fn scan_values<T: Copy + Default, S: ScanSource<T> + ?Sized>(
+    sel: &Selection<'_>,
+    data: &S,
+    nulls: Option<&Bitmap>,
+    missing: &mut u64,
+    present: impl FnMut(T),
+) {
+    match data.as_plain() {
+        Some(slice) => scan_values_plain(sel, slice, nulls, missing, present),
+        None => scan_values_packed(sel, data, nulls, missing, present),
+    }
+}
+
+fn scan_values_plain<T: Copy>(
     sel: &Selection<'_>,
     data: &[T],
     nulls: Option<&Bitmap>,
@@ -297,6 +372,80 @@ pub fn scan_values<T: Copy>(
     }
 }
 
+/// The chunk-decoder path of [`scan_values`]: per 64-row block, decode the
+/// selected span into a stack scratch buffer, then run the identical
+/// word-granular null logic over the buffer. Rows are decoded in ascending
+/// order, so the value stream matches the plain path exactly.
+fn scan_values_packed<T: Copy + Default, S: ScanSource<T> + ?Sized>(
+    sel: &Selection<'_>,
+    data: &S,
+    nulls: Option<&Bitmap>,
+    missing: &mut u64,
+    mut present: impl FnMut(T),
+) {
+    let mut scratch = [T::default(); 64];
+    for chunk in sel.chunks() {
+        match chunk {
+            ScanChunk::Range { start, end } => {
+                let mut r = start;
+                while r < end {
+                    let w_idx = r / 64;
+                    let w_end = ((w_idx + 1) * 64).min(end);
+                    let buf = &mut scratch[..w_end - r];
+                    data.decode_into(r, buf);
+                    let nword = nulls.map_or(0, |nb| nb.word(w_idx));
+                    if nword == 0 {
+                        for &v in buf.iter() {
+                            present(v);
+                        }
+                    } else {
+                        let span = mask_span(r - w_idx * 64, w_end - w_idx * 64);
+                        *missing += (nword & span).count_ones() as u64;
+                        let mut live = span & !nword;
+                        while live != 0 {
+                            let b = live.trailing_zeros() as usize;
+                            live &= live - 1;
+                            present(buf[w_idx * 64 + b - r]);
+                        }
+                    }
+                    r = w_end;
+                }
+            }
+            ScanChunk::Mask { base, word } => {
+                // Decode only up to the highest selected bit, so the scratch
+                // never reads past the end of the column.
+                let hi = 64 - word.leading_zeros() as usize;
+                let buf = &mut scratch[..hi];
+                data.decode_into(base, buf);
+                let nword = nulls.map_or(0, |nb| nb.word(base / 64));
+                *missing += (word & nword).count_ones() as u64;
+                let mut live = word & !nword;
+                while live != 0 {
+                    let b = live.trailing_zeros() as usize;
+                    live &= live - 1;
+                    present(buf[b]);
+                }
+            }
+            ScanChunk::Rows(rows) => match nulls {
+                None => {
+                    for &r in rows {
+                        present(data.index(r as usize));
+                    }
+                }
+                Some(nb) => {
+                    for &r in rows {
+                        if nb.get(r as usize) {
+                            *missing += 1;
+                        } else {
+                            present(data.index(r as usize));
+                        }
+                    }
+                }
+            },
+        }
+    }
+}
+
 /// Receiver for [`scan_value_runs`]: dense null-free runs arrive as whole
 /// slices via [`RunSink::run`], everything else (masked words, null
 /// neighborhoods, sparse rows) value-at-a-time via [`RunSink::one`].
@@ -315,7 +464,20 @@ pub trait RunSink<T> {
 ///
 /// Every selected non-null value reaches exactly one of the sink's two
 /// methods, in ascending row order overall.
-pub fn scan_value_runs<T: Copy, S: RunSink<T>>(
+pub fn scan_value_runs<T: Copy + Default, D: ScanSource<T> + ?Sized, S: RunSink<T>>(
+    sel: &Selection<'_>,
+    data: &D,
+    nulls: Option<&Bitmap>,
+    missing: &mut u64,
+    sink: &mut S,
+) {
+    match data.as_plain() {
+        Some(slice) => scan_value_runs_plain(sel, slice, nulls, missing, sink),
+        None => scan_value_runs_packed(sel, data, nulls, missing, sink),
+    }
+}
+
+fn scan_value_runs_plain<T: Copy, S: RunSink<T>>(
     sel: &Selection<'_>,
     data: &[T],
     nulls: Option<&Bitmap>,
@@ -381,6 +543,76 @@ pub fn scan_value_runs<T: Copy, S: RunSink<T>>(
                             *missing += 1;
                         } else {
                             sink.one(data[r as usize]);
+                        }
+                    }
+                }
+            },
+        }
+    }
+}
+
+/// The chunk-decoder path of [`scan_value_runs`]: dense null-free 64-row
+/// blocks are decoded into a stack scratch buffer and handed to the sink as
+/// whole runs (at most 64 values each); everything else goes value-at-a-time
+/// through [`RunSink::one`]. Same value stream as the plain path, in order.
+fn scan_value_runs_packed<T: Copy + Default, D: ScanSource<T> + ?Sized, S: RunSink<T>>(
+    sel: &Selection<'_>,
+    data: &D,
+    nulls: Option<&Bitmap>,
+    missing: &mut u64,
+    sink: &mut S,
+) {
+    let mut scratch = [T::default(); 64];
+    for chunk in sel.chunks() {
+        match chunk {
+            ScanChunk::Range { start, end } => {
+                let mut r = start;
+                while r < end {
+                    let w_idx = r / 64;
+                    let w_end = ((w_idx + 1) * 64).min(end);
+                    let buf = &mut scratch[..w_end - r];
+                    data.decode_into(r, buf);
+                    let nword = nulls.map_or(0, |nb| nb.word(w_idx));
+                    if nword == 0 {
+                        sink.run(buf);
+                    } else {
+                        let span = mask_span(r - w_idx * 64, w_end - w_idx * 64);
+                        *missing += (nword & span).count_ones() as u64;
+                        let mut live = span & !nword;
+                        while live != 0 {
+                            let b = live.trailing_zeros() as usize;
+                            live &= live - 1;
+                            sink.one(buf[w_idx * 64 + b - r]);
+                        }
+                    }
+                    r = w_end;
+                }
+            }
+            ScanChunk::Mask { base, word } => {
+                let hi = 64 - word.leading_zeros() as usize;
+                let buf = &mut scratch[..hi];
+                data.decode_into(base, buf);
+                let nword = nulls.map_or(0, |nb| nb.word(base / 64));
+                *missing += (word & nword).count_ones() as u64;
+                let mut live = word & !nword;
+                while live != 0 {
+                    let b = live.trailing_zeros() as usize;
+                    live &= live - 1;
+                    sink.one(buf[b]);
+                }
+            }
+            ScanChunk::Rows(rows) => match nulls {
+                None => {
+                    for &r in rows {
+                        sink.one(data.index(r as usize));
+                    }
+                }
+                Some(nb) => {
+                    for &r in rows {
+                        if nb.get(r as usize) {
+                            *missing += 1;
+                        } else {
+                            sink.one(data.index(r as usize));
                         }
                     }
                 }

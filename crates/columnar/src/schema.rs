@@ -26,7 +26,10 @@ impl ColumnKind {
     /// (paper §4.3: numeric "or a value that can be readily converted to a
     /// real number, such as a date").
     pub fn is_numeric(self) -> bool {
-        matches!(self, ColumnKind::Int | ColumnKind::Double | ColumnKind::Date)
+        matches!(
+            self,
+            ColumnKind::Int | ColumnKind::Double | ColumnKind::Date
+        )
     }
 
     /// True for kinds backed by a dictionary of strings.
@@ -173,10 +176,7 @@ mod tests {
         let s = sample();
         assert_eq!(s.index_of("DepDelay").unwrap(), 1);
         assert_eq!(s.kind_of("Carrier").unwrap(), ColumnKind::Category);
-        assert!(matches!(
-            s.index_of("Nope"),
-            Err(Error::UnknownColumn(_))
-        ));
+        assert!(matches!(s.index_of("Nope"), Err(Error::UnknownColumn(_))));
     }
 
     #[test]

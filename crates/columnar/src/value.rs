@@ -180,11 +180,13 @@ mod tests {
 
     #[test]
     fn missing_sorts_first() {
-        let mut vs = [Value::Int(3),
+        let mut vs = [
+            Value::Int(3),
             Value::Missing,
             Value::str("abc"),
             Value::Double(-1.5),
-            Value::Date(100)];
+            Value::Date(100),
+        ];
         vs.sort();
         assert!(vs[0].is_missing());
         assert_eq!(vs[1], Value::Double(-1.5));

@@ -1,9 +1,130 @@
 //! Property-based tests for the columnar substrate's core invariants.
 
-use hillview_columnar::{Bitmap, MembershipSet, RowKey, Value};
+use hillview_columnar::scan::{scan_values, Selection};
+use hillview_columnar::{Bitmap, EncodingKind, I64Storage, MembershipSet, NullMask, RowKey, Value};
 use proptest::prelude::*;
 
+/// Every `IntStorage` variant that can represent `data`, forced plus the
+/// automatic choice.
+fn all_storages(data: &[i64]) -> Vec<I64Storage> {
+    let mut out = vec![
+        I64Storage::plain_of(data.to_vec()),
+        I64Storage::encode(data.to_vec()),
+    ];
+    out.extend(I64Storage::bit_packed_of(data));
+    out.extend(I64Storage::run_length_of(data));
+    out
+}
+
+/// A membership set of the requested shape over `n` rows, covering all
+/// chunk decompositions (full range / sparse rows / dense bitmap / empty).
+fn membership(kind: usize, raw: &[u32], n: usize) -> MembershipSet {
+    match kind {
+        0 => MembershipSet::full(n),
+        1 => MembershipSet::from_rows(Vec::new(), n),
+        2 => MembershipSet::from_rows(raw.iter().map(|r| r % n as u32).collect(), n),
+        _ => MembershipSet::from_rows(
+            (0..n as u32).filter(|r| r % 8 != 5 && r % 3 != 1).collect(),
+            n,
+        ),
+    }
+}
+
 proptest! {
+    /// Every encoding an `IntStorage` can choose is value-preserving: per
+    /// row, per decoded block, and over the whole column.
+    #[test]
+    fn encodings_are_value_preserving(
+        data in proptest::collection::vec(any::<i64>(), 0..400),
+        probe in any::<u64>(),
+    ) {
+        for s in all_storages(&data) {
+            prop_assert_eq!(s.len(), data.len(), "{} len", s.kind());
+            prop_assert_eq!(&s.to_vec(), &data, "{} to_vec", s.kind());
+            if !data.is_empty() {
+                let i = (probe % data.len() as u64) as usize;
+                prop_assert_eq!(s.get(i), data[i], "{} get({})", s.kind(), i);
+                let start = i.min(data.len().saturating_sub(7));
+                let n = 7.min(data.len() - start);
+                let mut buf = [0i64; 7];
+                s.decode_into(start, &mut buf[..n]);
+                prop_assert_eq!(&buf[..n], &data[start..start + n], "{} block", s.kind());
+            }
+        }
+    }
+
+    /// Automatic selection picks the expected variant on shaped data and
+    /// never loses information.
+    #[test]
+    fn selection_matches_data_shape(
+        card in 1usize..6,
+        run in 8usize..60,
+        n in 64usize..600,
+        spread in 1i64..1000,
+    ) {
+        // Sorted low-cardinality with wide values (so bit-packing cannot
+        // undercut the run encoding) → run-length.
+        let sorted: Vec<i64> = (0..n).map(|i| (i / run) as i64 * 1_234_567_890_123).collect();
+        let s = I64Storage::encode(sorted.clone());
+        prop_assert_eq!(s.kind(), EncodingKind::RunLength);
+        prop_assert_eq!(s.to_vec(), sorted);
+        // Small-range alternating values → bit-packed (no run structure).
+        let packed: Vec<i64> = (0..n).map(|i| ((i * 7919) % (card * 17)) as i64 * spread % 512).collect();
+        let s = I64Storage::encode(packed.clone());
+        if packed.windows(2).all(|w| w[0] != w[1]) {
+            prop_assert_eq!(s.kind(), EncodingKind::BitPacked);
+        }
+        prop_assert_eq!(s.to_vec(), packed);
+        // Full-range entropy → plain.
+        let noisy: Vec<i64> = (0..n as i64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15u64 as i64)).collect();
+        prop_assert_eq!(I64Storage::encode(noisy).kind(), EncodingKind::Plain);
+    }
+
+    /// `scan_values` yields the identical value stream and missing count
+    /// over every encoding × membership representation × null density.
+    #[test]
+    fn scans_bit_identical_across_encodings(
+        rows in proptest::collection::vec((0.0f64..1.0, -500i64..500), 1..300),
+        kind in 0usize..4,
+        raw in proptest::collection::vec(any::<u32>(), 0..150),
+        null_p in 0.0f64..0.5,
+    ) {
+        let n = rows.len();
+        let data: Vec<i64> = rows.iter().map(|r| r.1).collect();
+        let nulls = NullMask::from_flags(rows.iter().map(|r| r.0 < null_p), n);
+        let m = membership(kind, &raw, n);
+        let sel = Selection::Members(&m);
+        let mut reference: Option<(Vec<i64>, u64)> = None;
+        for s in all_storages(&data) {
+            let mut seen = Vec::new();
+            let mut missing = 0u64;
+            scan_values(&sel, &s, nulls.bitmap(), &mut missing, |v| seen.push(v));
+            match &reference {
+                None => reference = Some((seen, missing)),
+                Some((ref_seen, ref_missing)) => {
+                    prop_assert_eq!(&seen, ref_seen, "{} values", s.kind());
+                    prop_assert_eq!(missing, *ref_missing, "{} missing", s.kind());
+                }
+            }
+        }
+        // Sampled row lists exercise the random-access path.
+        let sample: Vec<u32> = (0..n as u32).step_by(3).collect();
+        let sel = Selection::Rows(&sample);
+        let mut reference: Option<(Vec<i64>, u64)> = None;
+        for s in all_storages(&data) {
+            let mut seen = Vec::new();
+            let mut missing = 0u64;
+            scan_values(&sel, &s, nulls.bitmap(), &mut missing, |v| seen.push(v));
+            match &reference {
+                None => reference = Some((seen, missing)),
+                Some((ref_seen, ref_missing)) => {
+                    prop_assert_eq!(&seen, ref_seen, "{} sampled values", s.kind());
+                    prop_assert_eq!(missing, *ref_missing, "{} sampled missing", s.kind());
+                }
+            }
+        }
+    }
+
     /// Bitmap set/get round-trips for arbitrary index sets.
     #[test]
     fn bitmap_roundtrip(mut idx in proptest::collection::vec(0usize..2000, 0..200)) {

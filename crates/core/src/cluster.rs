@@ -78,7 +78,11 @@ pub struct QueryOptions {
 
 impl std::fmt::Debug for QueryOptions {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "QueryOptions(seed={}, cache={:?})", self.seed, self.cache_key)
+        write!(
+            f,
+            "QueryOptions(seed={}, cache={:?})",
+            self.seed, self.cache_key
+        )
     }
 }
 
@@ -209,6 +213,15 @@ impl Cluster {
         self.workers.iter().map(|w| w.dataset_rows(dataset)).sum()
     }
 
+    /// Total encoded in-memory bytes of `dataset` across live workers
+    /// (compressed columns report their packed size).
+    pub fn dataset_heap_bytes(&self, dataset: DatasetId) -> usize {
+        self.workers
+            .iter()
+            .map(|w| w.dataset_heap_bytes(dataset))
+            .sum()
+    }
+
     /// Drop all cached data everywhere (cold-start experiments).
     pub fn evict_all(&self) {
         for w in &self.workers {
@@ -222,11 +235,7 @@ impl Cluster {
         f: impl Fn(&Arc<Worker>) -> EngineResult<()> + Send + Sync,
     ) -> EngineResult<()> {
         std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .workers
-                .iter()
-                .map(|w| scope.spawn(|| f(w)))
-                .collect();
+            let handles: Vec<_> = self.workers.iter().map(|w| scope.spawn(|| f(w))).collect();
             let mut result = Ok(());
             for h in handles {
                 let r = h.join().expect("worker op panicked");
@@ -354,8 +363,7 @@ impl Cluster {
                         // Workers that have not reported yet contribute an
                         // estimated leaf count (the mean of reporting
                         // workers) so early progress is not overstated.
-                        let reported: Vec<u32> =
-                            total.iter().copied().filter(|&t| t > 0).collect();
+                        let reported: Vec<u32> = total.iter().copied().filter(|&t| t > 0).collect();
                         let mean = (reported.iter().sum::<u32>() as f64
                             / reported.len().max(1) as f64)
                             .max(1.0);
@@ -861,7 +869,9 @@ mod tests {
             )
             .unwrap();
             let sk = HistogramSketch::streaming("X", BucketSpec::numeric(0.0, 100.0, 20));
-            let o = c.run_erased(ds, &erase(sk), &QueryOptions::default()).unwrap();
+            let o = c
+                .run_erased(ds, &erase(sk), &QueryOptions::default())
+                .unwrap();
             results.push(o.bytes);
         }
         assert_eq!(results[0], results[1]);

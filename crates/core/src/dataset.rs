@@ -218,10 +218,7 @@ mod tests {
         let mut reg = SourceRegistry::new();
         reg.register(Arc::new(tiny_source()));
         assert!(reg.get("tiny").is_ok());
-        assert!(matches!(
-            reg.get("nope"),
-            Err(EngineError::Unregistered(_))
-        ));
+        assert!(matches!(reg.get("nope"), Err(EngineError::Unregistered(_))));
     }
 
     #[test]

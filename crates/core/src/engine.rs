@@ -80,12 +80,7 @@ impl Engine {
     }
 
     /// Derive a mapped dataset with a UDF column; logged (§5.6).
-    pub fn map(
-        &self,
-        parent: DatasetId,
-        udf: &str,
-        new_column: &str,
-    ) -> EngineResult<DatasetId> {
+    pub fn map(&self, parent: DatasetId, udf: &str, new_column: &str) -> EngineResult<DatasetId> {
         let id = self.fresh_id();
         self.log.record(
             id,
@@ -192,8 +187,7 @@ impl Engine {
             match self.cluster.run_erased(dataset, sketch, &attempt_opts) {
                 Ok(mut outcome) => {
                     let replay_overhead = started.elapsed().saturating_sub(outcome.duration);
-                    outcome.first_partial =
-                        outcome.first_partial.map(|fp| fp + replay_overhead);
+                    outcome.first_partial = outcome.first_partial.map(|fp| fp + replay_overhead);
                     outcome.duration = started.elapsed();
                     return Ok(outcome);
                 }
@@ -207,7 +201,9 @@ impl Engine {
                 Err(e) => return Err(e),
             }
         }
-        Err(EngineError::Sketch("query recovery did not converge".into()))
+        Err(EngineError::Sketch(
+            "query recovery did not converge".into(),
+        ))
     }
 }
 
@@ -260,13 +256,15 @@ mod tests {
         let e = engine();
         let base = e.load("nums", 0).unwrap();
         assert_eq!(e.cluster().dataset_rows(base), 10_000);
-        let small = e
-            .filter(base, Predicate::range("X", 0.0, 10.0))
-            .unwrap();
+        let small = e.filter(base, Predicate::range("X", 0.0, 10.0)).unwrap();
         assert_eq!(e.cluster().dataset_rows(small), 1_000);
         let mapped = e.map(small, "XX", "Doubled").unwrap();
         let (sum, _) = e
-            .run(mapped, CountSketch::of_column("Doubled"), &QueryOptions::default())
+            .run(
+                mapped,
+                CountSketch::of_column("Doubled"),
+                &QueryOptions::default(),
+            )
             .unwrap();
         assert_eq!(sum.rows, 1_000);
         assert_eq!(e.redo_log().len(), 3);

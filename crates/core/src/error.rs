@@ -86,8 +86,7 @@ mod tests {
 
     #[test]
     fn conversions() {
-        let e: EngineError =
-            hillview_sketch::SketchError::BadConfig("x".into()).into();
+        let e: EngineError = hillview_sketch::SketchError::BadConfig("x".into()).into();
         assert!(matches!(e, EngineError::Sketch(_)));
         let e: EngineError = hillview_net::Error::BadUtf8.into();
         assert!(matches!(e, EngineError::Wire(_)));

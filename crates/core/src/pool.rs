@@ -108,9 +108,7 @@ mod tests {
             });
         }
         for _ in 0..4 {
-            assert!(rx
-                .recv_timeout(std::time::Duration::from_secs(5))
-                .is_ok());
+            assert!(rx.recv_timeout(std::time::Duration::from_secs(5)).is_ok());
         }
     }
 

@@ -199,11 +199,9 @@ impl Spreadsheet {
     ) -> EngineResult<(TablePage, OpStats)> {
         let viz = TableViewViz::new(SortOrder::ascending(columns), rows);
         let mut stats = OpStats::default();
-        let (summary, o): (NextKSummary, _) = self.engine.run(
-            self.dataset,
-            viz.page_after(start),
-            &self.opts(0, None),
-        )?;
+        let (summary, o): (NextKSummary, _) =
+            self.engine
+                .run(self.dataset, viz.page_after(start), &self.opts(0, None))?;
         stats.absorb(&o);
         Ok((viz.render(&summary), stats))
     }
@@ -246,12 +244,7 @@ impl Spreadsheet {
         order_columns: &[&str],
         after: Option<RowKey>,
     ) -> EngineResult<(FindSummary, OpStats)> {
-        let mut sketch = FindSketch::new(
-            column,
-            query,
-            kind,
-            SortOrder::ascending(order_columns),
-        );
+        let mut sketch = FindSketch::new(column, query, kind, SortOrder::ascending(order_columns));
         if case_insensitive {
             sketch = sketch.case_insensitive();
         }
@@ -259,9 +252,7 @@ impl Spreadsheet {
             sketch = sketch.after(k);
         }
         let mut stats = OpStats::default();
-        let (sum, o) = self
-            .engine
-            .run(self.dataset, sketch, &self.opts(0, None))?;
+        let (sum, o) = self.engine.run(self.dataset, sketch, &self.opts(0, None))?;
         stats.absorb(&o);
         Ok((sum, stats))
     }
@@ -297,11 +288,9 @@ impl Spreadsheet {
 
         let cdf_viz = CdfViz::new(column, self.display);
         let cdf_sketch = cdf_viz.prepare(&range)?;
-        let (cdf_summary, o2) = self.engine.run(
-            self.dataset,
-            cdf_sketch,
-            &self.opts(self.next_seed(), None),
-        )?;
+        let (cdf_summary, o2) =
+            self.engine
+                .run(self.dataset, cdf_sketch, &self.opts(self.next_seed(), None))?;
         stats.absorb(&o2);
         Ok((chart, cdf_viz.render(&cdf_summary), stats))
     }
@@ -343,21 +332,17 @@ impl Spreadsheet {
 
         let viz = StackedViz::new(col_x, col_y, self.display);
         let sketch = viz.prepare(&AxisInfo::Numeric(rx.clone()), &y_info, rx.present)?;
-        let (summary, o1) = self.engine.run(
-            self.dataset,
-            sketch,
-            &self.opts(self.next_seed(), None),
-        )?;
+        let (summary, o1) =
+            self.engine
+                .run(self.dataset, sketch, &self.opts(self.next_seed(), None))?;
         stats.absorb(&o1);
         let rendering = viz.render(&summary);
 
         let cdf_viz = CdfViz::new(col_x, self.display);
         let cdf_sketch = cdf_viz.prepare(&rx)?;
-        let (cdf_summary, o2) = self.engine.run(
-            self.dataset,
-            cdf_sketch,
-            &self.opts(self.next_seed(), None),
-        )?;
+        let (cdf_summary, o2) =
+            self.engine
+                .run(self.dataset, cdf_sketch, &self.opts(self.next_seed(), None))?;
         stats.absorb(&o2);
         Ok((rendering, cdf_viz.render(&cdf_summary), stats))
     }
@@ -380,11 +365,9 @@ impl Spreadsheet {
 
         let viz = HeatmapViz::new(col_x, col_y, self.display);
         let sketch = viz.prepare(&x_info, &y_info, count)?;
-        let (summary, o) = self.engine.run(
-            self.dataset,
-            sketch,
-            &self.opts(self.next_seed(), None),
-        )?;
+        let (summary, o) =
+            self.engine
+                .run(self.dataset, sketch, &self.opts(self.next_seed(), None))?;
         stats.absorb(&o);
         Ok((viz.render(&summary), stats))
     }
@@ -409,11 +392,9 @@ impl Spreadsheet {
         }
         let viz = TrellisViz::new(col_w, col_x, col_y, self.display, groups);
         let sketch = viz.prepare(&w_info, &x_info, &y_info, count)?;
-        let (summary, o) = self.engine.run(
-            self.dataset,
-            sketch,
-            &self.opts(self.next_seed(), None),
-        )?;
+        let (summary, o) =
+            self.engine
+                .run(self.dataset, sketch, &self.opts(self.next_seed(), None))?;
         stats.absorb(&o);
         Ok((viz.render(&summary), stats))
     }
@@ -450,11 +431,9 @@ impl Spreadsheet {
 
         let viz = HeavyHittersViz::sampling(column, k);
         let sketch = viz.prepare_sampling(count);
-        let (summary, o) = self.engine.run(
-            self.dataset,
-            sketch,
-            &self.opts(self.next_seed(), None),
-        )?;
+        let (summary, o) =
+            self.engine
+                .run(self.dataset, sketch, &self.opts(self.next_seed(), None))?;
         stats.absorb(&o);
         Ok((viz.render_sampling(&summary, count), stats))
     }
@@ -489,7 +468,11 @@ impl Spreadsheet {
     }
 
     /// Column summary: count, missing, min/max, mean, variance (App. B.3).
-    pub fn moments(&self, column: &str, k: usize) -> EngineResult<(hillview_sketch::moments::MomentsSummary, OpStats)> {
+    pub fn moments(
+        &self,
+        column: &str,
+        k: usize,
+    ) -> EngineResult<(hillview_sketch::moments::MomentsSummary, OpStats)> {
         let mut stats = OpStats::default();
         let (summary, o) = self.engine.run(
             self.dataset,
@@ -612,9 +595,7 @@ mod tests {
     #[test]
     fn o6_filter_then_histogram() {
         let s = sheet();
-        let ua = s
-            .filtered(Predicate::equals("Carrier", "UA"))
-            .unwrap();
+        let ua = s.filtered(Predicate::equals("Carrier", "UA")).unwrap();
         let (count, _) = ua.row_count().unwrap();
         let (all, _) = s.row_count().unwrap();
         assert!(count > 0 && count < all);
@@ -703,9 +684,7 @@ mod tests {
     #[test]
     fn pca_on_delay_columns() {
         let s = sheet();
-        let (p, _) = s
-            .pca(&["DepDelay", "ArrDelay", "Distance"], 1.0)
-            .unwrap();
+        let (p, _) = s.pca(&["DepDelay", "ArrDelay", "Distance"], 1.0).unwrap();
         let corr = p.correlation().unwrap();
         // Departure and arrival delay are strongly correlated by design.
         assert!(corr.get(0, 1) > 0.5, "corr {}", corr.get(0, 1));

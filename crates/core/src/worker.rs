@@ -33,6 +33,8 @@ pub struct Worker {
     udfs: UdfRegistry,
     /// Cumulative rows loaded from sources (diagnostics).
     rows_loaded: AtomicU64,
+    /// Cumulative encoded bytes of loaded datasets (footprint diagnostics).
+    bytes_loaded: AtomicU64,
     /// Computation-cache hit counter (diagnostics / tests).
     cache_hits: AtomicU64,
 }
@@ -58,6 +60,7 @@ impl Worker {
             sources,
             udfs,
             rows_loaded: AtomicU64::new(0),
+            bytes_loaded: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
         }
     }
@@ -117,9 +120,25 @@ impl Worker {
             .unwrap_or(0)
     }
 
+    /// Approximate in-memory footprint of this worker's partitions of `id`,
+    /// in bytes. Reflects the *encoded* column payloads (compressed columns
+    /// report their packed size), so tests and capacity planning can assert
+    /// the compression ratio a load achieved.
+    pub fn dataset_heap_bytes(&self, id: DatasetId) -> usize {
+        self.partitions(id)
+            .map(|p| p.iter().map(|v| v.table().heap_bytes()).sum())
+            .unwrap_or(0)
+    }
+
     /// Rows loaded from sources so far.
     pub fn rows_loaded(&self) -> u64 {
         self.rows_loaded.load(Ordering::Relaxed)
+    }
+
+    /// Encoded bytes of datasets loaded from sources so far (the in-memory
+    /// footprint counterpart of [`Worker::rows_loaded`]).
+    pub fn bytes_loaded(&self) -> u64 {
+        self.bytes_loaded.load(Ordering::Relaxed)
     }
 
     /// Computation-cache hits so far.
@@ -159,7 +178,9 @@ impl Worker {
             }
         }
         let rows: usize = views.iter().map(|v| v.len()).sum();
+        let bytes: usize = views.iter().map(|v| v.table().heap_bytes()).sum();
         self.rows_loaded.fetch_add(rows as u64, Ordering::Relaxed);
+        self.bytes_loaded.fetch_add(bytes as u64, Ordering::Relaxed);
         self.datasets.lock().insert(id, Arc::new(views));
         Ok(())
     }
@@ -173,12 +194,10 @@ impl Worker {
         predicate: &Predicate,
     ) -> EngineResult<()> {
         self.check_alive()?;
-        let parent_views = self
-            .partitions(parent)
-            .ok_or(EngineError::DatasetMissing {
-                worker: self.id,
-                dataset: parent,
-            })?;
+        let parent_views = self.partitions(parent).ok_or(EngineError::DatasetMissing {
+            worker: self.id,
+            dataset: parent,
+        })?;
         let n = parent_views.len();
         let (tx, rx) = crossbeam::channel::bounded(n.max(1));
         for (i, view) in parent_views.iter().enumerate() {
@@ -224,12 +243,10 @@ impl Worker {
         new_column: &str,
     ) -> EngineResult<()> {
         self.check_alive()?;
-        let parent_views = self
-            .partitions(parent)
-            .ok_or(EngineError::DatasetMissing {
-                worker: self.id,
-                dataset: parent,
-            })?;
+        let parent_views = self.partitions(parent).ok_or(EngineError::DatasetMissing {
+            worker: self.id,
+            dataset: parent,
+        })?;
         let n = parent_views.len();
         let (tx, rx) = crossbeam::channel::bounded(n.max(1));
         for (i, view) in parent_views.iter().enumerate() {
@@ -336,11 +353,59 @@ mod tests {
     }
 
     #[test]
+    fn load_reports_compressed_footprint() {
+        // A sorted low-cardinality column: the encoding layer must land the
+        // dataset at a fraction of the 8-bytes-per-value plain footprint.
+        let mut sources = SourceRegistry::new();
+        sources.register(Arc::new(FnSource::new("sorted", |_w, _n, _mp, _snap| {
+            let t = Table::builder()
+                .column(
+                    "Bucket",
+                    ColumnKind::Int,
+                    Column::Int(I64Column::from_options((0..40_000).map(|i| Some(i / 100)))),
+                )
+                .build()
+                .unwrap();
+            Ok(vec![t])
+        })));
+        let w = Arc::new(Worker::new(
+            0,
+            1,
+            1,
+            10_000,
+            sources,
+            UdfRegistry::with_builtins(),
+        ));
+        w.load(
+            DatasetId(1),
+            &SourceSpec {
+                source: Arc::from("sorted"),
+                snapshot: 0,
+            },
+        )
+        .unwrap();
+        let plain_bytes = 40_000 * 8;
+        let actual = w.dataset_heap_bytes(DatasetId(1));
+        assert!(actual > 0);
+        assert!(
+            actual * 4 <= plain_bytes,
+            "footprint {actual} not >=4x below plain {plain_bytes}"
+        );
+        assert_eq!(w.bytes_loaded(), actual as u64);
+        w.evict(DatasetId(1));
+        assert_eq!(w.dataset_heap_bytes(DatasetId(1)), 0);
+    }
+
+    #[test]
     fn filter_narrows_membership() {
         let w = test_worker();
         w.load(DatasetId(1), &spec()).unwrap();
-        w.filter(DatasetId(2), DatasetId(1), &Predicate::range("X", 0.0, 50.0))
-            .unwrap();
+        w.filter(
+            DatasetId(2),
+            DatasetId(1),
+            &Predicate::range("X", 0.0, 50.0),
+        )
+        .unwrap();
         assert_eq!(w.dataset_rows(DatasetId(2)), 50);
         // Parent untouched.
         assert_eq!(w.dataset_rows(DatasetId(1)), 100);
@@ -365,10 +430,18 @@ mod tests {
     fn filter_of_filter_composes() {
         let w = test_worker();
         w.load(DatasetId(1), &spec()).unwrap();
-        w.filter(DatasetId(2), DatasetId(1), &Predicate::range("X", 0.0, 50.0))
-            .unwrap();
-        w.filter(DatasetId(3), DatasetId(2), &Predicate::range("X", 25.0, 100.0))
-            .unwrap();
+        w.filter(
+            DatasetId(2),
+            DatasetId(1),
+            &Predicate::range("X", 0.0, 50.0),
+        )
+        .unwrap();
+        w.filter(
+            DatasetId(3),
+            DatasetId(2),
+            &Predicate::range("X", 25.0, 100.0),
+        )
+        .unwrap();
         assert_eq!(w.dataset_rows(DatasetId(3)), 25);
     }
 
@@ -378,7 +451,13 @@ mod tests {
         let e = w
             .filter(DatasetId(9), DatasetId(8), &Predicate::True)
             .unwrap_err();
-        assert!(matches!(e, EngineError::DatasetMissing { dataset: DatasetId(8), .. }));
+        assert!(matches!(
+            e,
+            EngineError::DatasetMissing {
+                dataset: DatasetId(8),
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -394,7 +473,10 @@ mod tests {
         ));
         w.restart();
         assert!(w.is_alive());
-        assert!(!w.has_dataset(DatasetId(1)), "restart does not restore data");
+        assert!(
+            !w.has_dataset(DatasetId(1)),
+            "restart does not restore data"
+        );
         w.load(DatasetId(1), &spec()).unwrap();
         assert_eq!(w.dataset_rows(DatasetId(1)), 100);
     }
@@ -419,7 +501,10 @@ mod tests {
         );
         assert_eq!(w.cache_hits(), 1);
         w.evict(DatasetId(1));
-        assert!(w.cache_get(DatasetId(1), 42).is_none(), "evict clears cache");
+        assert!(
+            w.cache_get(DatasetId(1), 42).is_none(),
+            "evict clears cache"
+        );
     }
 
     #[test]

@@ -15,18 +15,66 @@ use rand::{Rng, SeedableRng};
 /// Airports (code, state), ordered roughly by real-world traffic so a Zipf
 /// over ranks produces a realistic popularity skew.
 pub const AIRPORTS: &[(&str, &str)] = &[
-    ("ATL", "GA"), ("ORD", "IL"), ("DFW", "TX"), ("DEN", "CO"), ("LAX", "CA"),
-    ("SFO", "CA"), ("PHX", "AZ"), ("IAH", "TX"), ("LAS", "NV"), ("DTW", "MI"),
-    ("MSP", "MN"), ("SEA", "WA"), ("MCO", "FL"), ("EWR", "NJ"), ("CLT", "NC"),
-    ("JFK", "NY"), ("LGA", "NY"), ("BOS", "MA"), ("SLC", "UT"), ("BWI", "MD"),
-    ("MIA", "FL"), ("DCA", "VA"), ("MDW", "IL"), ("SAN", "CA"), ("TPA", "FL"),
-    ("PHL", "PA"), ("STL", "MO"), ("HOU", "TX"), ("PDX", "OR"), ("OAK", "CA"),
-    ("MCI", "MO"), ("SJC", "CA"), ("AUS", "TX"), ("SMF", "CA"), ("SNA", "CA"),
-    ("MSY", "LA"), ("RDU", "NC"), ("CLE", "OH"), ("SAT", "TX"), ("PIT", "PA"),
-    ("IND", "IN"), ("CMH", "OH"), ("MKE", "WI"), ("BNA", "TN"), ("ABQ", "NM"),
-    ("HNL", "HI"), ("OGG", "HI"), ("LIH", "HI"), ("KOA", "HI"), ("ANC", "AK"),
-    ("BUR", "CA"), ("ONT", "CA"), ("JAX", "FL"), ("BUF", "NY"), ("OMA", "NE"),
-    ("TUS", "AZ"), ("OKC", "OK"), ("MEM", "TN"), ("RIC", "VA"), ("BDL", "CT"),
+    ("ATL", "GA"),
+    ("ORD", "IL"),
+    ("DFW", "TX"),
+    ("DEN", "CO"),
+    ("LAX", "CA"),
+    ("SFO", "CA"),
+    ("PHX", "AZ"),
+    ("IAH", "TX"),
+    ("LAS", "NV"),
+    ("DTW", "MI"),
+    ("MSP", "MN"),
+    ("SEA", "WA"),
+    ("MCO", "FL"),
+    ("EWR", "NJ"),
+    ("CLT", "NC"),
+    ("JFK", "NY"),
+    ("LGA", "NY"),
+    ("BOS", "MA"),
+    ("SLC", "UT"),
+    ("BWI", "MD"),
+    ("MIA", "FL"),
+    ("DCA", "VA"),
+    ("MDW", "IL"),
+    ("SAN", "CA"),
+    ("TPA", "FL"),
+    ("PHL", "PA"),
+    ("STL", "MO"),
+    ("HOU", "TX"),
+    ("PDX", "OR"),
+    ("OAK", "CA"),
+    ("MCI", "MO"),
+    ("SJC", "CA"),
+    ("AUS", "TX"),
+    ("SMF", "CA"),
+    ("SNA", "CA"),
+    ("MSY", "LA"),
+    ("RDU", "NC"),
+    ("CLE", "OH"),
+    ("SAT", "TX"),
+    ("PIT", "PA"),
+    ("IND", "IN"),
+    ("CMH", "OH"),
+    ("MKE", "WI"),
+    ("BNA", "TN"),
+    ("ABQ", "NM"),
+    ("HNL", "HI"),
+    ("OGG", "HI"),
+    ("LIH", "HI"),
+    ("KOA", "HI"),
+    ("ANC", "AK"),
+    ("BUR", "CA"),
+    ("ONT", "CA"),
+    ("JAX", "FL"),
+    ("BUF", "NY"),
+    ("OMA", "NE"),
+    ("TUS", "AZ"),
+    ("OKC", "OK"),
+    ("MEM", "TN"),
+    ("RIC", "VA"),
+    ("BDL", "CT"),
 ];
 
 /// Carrier codes, ordered by rough market share.
@@ -259,13 +307,15 @@ pub fn generate_flights(cfg: &FlightsConfig) -> Table {
         let dep_time = (crs_dep + dep_delay as i64).rem_euclid(2400);
         let taxi_out = taxi_dist.sample(&mut rng).round();
         let taxi_in = (taxi_dist.sample(&mut rng) / 2.0).round().max(1.0);
-        let air_time = (distance as f64 / 7.5 + 20.0
+        let air_time = (distance as f64 / 7.5
+            + 20.0
             + TruncNormal::new(0.0, 8.0, -25.0, 25.0).sample(&mut rng))
         .round()
         .max(15.0);
         // Arrival delay regresses toward the departure delay with en-route
         // noise (pilots make up some time).
-        let arr_delay = (dep_delay * 0.9 + TruncNormal::new(-2.0, 10.0, -40.0, 40.0).sample(&mut rng)).round();
+        let arr_delay =
+            (dep_delay * 0.9 + TruncNormal::new(-2.0, 10.0, -40.0, 40.0).sample(&mut rng)).round();
         let arr_time = (crs_dep + air_time as i64 + arr_delay as i64).rem_euclid(2400);
 
         b.dep_time.push(Some(dep_time));
@@ -316,9 +366,21 @@ pub fn generate_flights(cfg: &FlightsConfig) -> Table {
     let mut t = Table::builder()
         .column("Year", ColumnKind::Int, Column::Int(int(b.year)))
         .column("Month", ColumnKind::Int, Column::Int(int(b.month)))
-        .column("DayOfMonth", ColumnKind::Int, Column::Int(int(b.day_of_month)))
-        .column("DayOfWeek", ColumnKind::Int, Column::Int(int(b.day_of_week)))
-        .column("FlightDate", ColumnKind::Date, Column::Date(int(b.flight_date)))
+        .column(
+            "DayOfMonth",
+            ColumnKind::Int,
+            Column::Int(int(b.day_of_month)),
+        )
+        .column(
+            "DayOfWeek",
+            ColumnKind::Int,
+            Column::Int(int(b.day_of_week)),
+        )
+        .column(
+            "FlightDate",
+            ColumnKind::Date,
+            Column::Date(int(b.flight_date)),
+        )
         .column(
             "Carrier",
             ColumnKind::Category,
@@ -334,20 +396,36 @@ pub fn generate_flights(cfg: &FlightsConfig) -> Table {
                 b.tail_num.iter().map(|v| v.as_deref()),
             )),
         )
-        .column("Origin", ColumnKind::Category, Column::Cat(airport_code(&b.origin)))
+        .column(
+            "Origin",
+            ColumnKind::Category,
+            Column::Cat(airport_code(&b.origin)),
+        )
         .column(
             "OriginState",
             ColumnKind::Category,
             Column::Cat(airport_state(&b.origin_state)),
         )
-        .column("Dest", ColumnKind::Category, Column::Cat(airport_code(&b.dest)))
+        .column(
+            "Dest",
+            ColumnKind::Category,
+            Column::Cat(airport_code(&b.dest)),
+        )
         .column(
             "DestState",
             ColumnKind::Category,
             Column::Cat(airport_state(&b.dest_state)),
         )
-        .column("CRSDepTime", ColumnKind::Int, Column::Int(int(b.crs_dep_time)))
-        .column("DepTime", ColumnKind::Int, Column::Int(I64Column::from_options(b.dep_time)))
+        .column(
+            "CRSDepTime",
+            ColumnKind::Int,
+            Column::Int(int(b.crs_dep_time)),
+        )
+        .column(
+            "DepTime",
+            ColumnKind::Int,
+            Column::Int(I64Column::from_options(b.dep_time)),
+        )
         .column(
             "DepDelay",
             ColumnKind::Double,
@@ -363,7 +441,11 @@ pub fn generate_flights(cfg: &FlightsConfig) -> Table {
             ColumnKind::Double,
             Column::Double(F64Column::from_options(b.taxi_in)),
         )
-        .column("ArrTime", ColumnKind::Int, Column::Int(I64Column::from_options(b.arr_time)))
+        .column(
+            "ArrTime",
+            ColumnKind::Int,
+            Column::Int(I64Column::from_options(b.arr_time)),
+        )
         .column(
             "ArrDelay",
             ColumnKind::Double,
@@ -373,9 +455,11 @@ pub fn generate_flights(cfg: &FlightsConfig) -> Table {
         .column(
             "CancellationCode",
             ColumnKind::Category,
-            Column::Cat(DictColumn::from_strings(b.cancellation_code.iter().map(
-                |v| v.map(|c| CANCELLATION_CODES[c as usize]),
-            ))),
+            Column::Cat(DictColumn::from_strings(
+                b.cancellation_code
+                    .iter()
+                    .map(|v| v.map(|c| CANCELLATION_CODES[c as usize])),
+            )),
         )
         .column("Diverted", ColumnKind::Int, Column::Int(int(b.diverted)))
         .column(
@@ -468,7 +552,9 @@ mod tests {
         let col = t.column_by_name("Carrier").unwrap().as_dict_col().unwrap();
         let mut counts = std::collections::HashMap::new();
         for i in 0..t.num_rows() {
-            *counts.entry(col.get(i).unwrap().to_string()).or_insert(0usize) += 1;
+            *counts
+                .entry(col.get(i).unwrap().to_string())
+                .or_insert(0usize) += 1;
         }
         let wn = counts.get("WN").copied().unwrap_or(0);
         let vx = counts.get("VX").copied().unwrap_or(0);
@@ -491,7 +577,10 @@ mod tests {
                 assert!(code.is_null(i), "non-cancelled flight has a code");
             }
         }
-        assert!(seen_cancelled > 100, "cancellation rate too low: {seen_cancelled}");
+        assert!(
+            seen_cancelled > 100,
+            "cancellation rate too low: {seen_cancelled}"
+        );
     }
 
     #[test]

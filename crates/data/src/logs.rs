@@ -14,9 +14,26 @@ use rand::{Rng, SeedableRng};
 
 /// Server host names: popularity follows a Zipf over this list.
 pub const SERVERS: &[&str] = &[
-    "gandalf", "frodo", "samwise", "aragorn", "legolas", "gimli", "boromir",
-    "merry", "pippin", "sauron", "saruman", "elrond", "galadriel", "bilbo",
-    "thorin", "smaug", "beorn", "treebeard", "eowyn", "faramir",
+    "gandalf",
+    "frodo",
+    "samwise",
+    "aragorn",
+    "legolas",
+    "gimli",
+    "boromir",
+    "merry",
+    "pippin",
+    "sauron",
+    "saruman",
+    "elrond",
+    "galadriel",
+    "bilbo",
+    "thorin",
+    "smaug",
+    "beorn",
+    "treebeard",
+    "eowyn",
+    "faramir",
 ];
 
 /// Log levels with fixed relative frequencies.
@@ -111,7 +128,11 @@ pub fn generate_logs(cfg: &LogsConfig) -> Table {
         let lv = weighted_pick(&mut rng, LEVELS);
         level.push(Some(lv));
         // Errors are slower: shift the latency distribution right.
-        let mult = if lv == "ERROR" || lv == "FATAL" { 4.0 } else { 1.0 };
+        let mult = if lv == "ERROR" || lv == "FATAL" {
+            4.0
+        } else {
+            1.0
+        };
         lat.push(Some(latency.sample(&mut rng) * mult));
         status.push(Some(if lv == "ERROR" || lv == "FATAL" {
             weighted_pick(&mut rng, &STATUS[3..])

@@ -160,10 +160,7 @@ mod tests {
     fn timeout_and_try_recv() {
         let (tx, rx) = link_pair(LinkConfig::instant());
         assert_eq!(rx.try_recv().unwrap(), None);
-        assert_eq!(
-            rx.recv_timeout(Duration::from_millis(5)).unwrap(),
-            None
-        );
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)).unwrap(), None);
         tx.send(Bytes::from_static(b"x")).unwrap();
         assert_eq!(rx.try_recv().unwrap(), Some(Bytes::from_static(b"x")));
     }

@@ -118,10 +118,7 @@ mod tests {
 
     #[test]
     fn rowkey_roundtrip_preserves_direction() {
-        let k = RowKey::new(
-            vec![Value::str("AA"), Value::Int(10)],
-            vec![false, true],
-        );
+        let k = RowKey::new(vec![Value::str("AA"), Value::Int(10)], vec![false, true]);
         let k2 = RowKey::from_bytes(k.to_bytes()).unwrap();
         assert_eq!(k2.descending(), &[false, true]);
         assert_eq!(k, k2);

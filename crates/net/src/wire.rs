@@ -61,6 +61,12 @@ impl WireWriter {
         self.buf.put_f64_le(v);
     }
 
+    /// Write a fixed 8-byte little-endian unsigned word (bit-packed column
+    /// payloads, where varints would inflate high-entropy words).
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.put_u64_le(v);
+    }
+
     /// Write one byte.
     pub fn put_u8(&mut self, v: u8) {
         self.buf.put_u8(v);
@@ -135,6 +141,14 @@ impl WireReader {
             return Err(Error::Truncated { context: "f64" });
         }
         Ok(self.buf.get_f64_le())
+    }
+
+    /// Read a fixed 8-byte little-endian unsigned word.
+    pub fn get_u64(&mut self) -> Result<u64> {
+        if self.buf.remaining() < 8 {
+            return Err(Error::Truncated { context: "u64" });
+        }
+        Ok(self.buf.get_u64_le())
     }
 
     /// Read one byte.
@@ -408,10 +422,7 @@ mod tests {
     fn truncated_input_errors() {
         let b = 123456789u64.to_bytes();
         let cut = b.slice(0..b.len() - 1);
-        assert!(matches!(
-            u64::from_bytes(cut),
-            Err(Error::Truncated { .. })
-        ));
+        assert!(matches!(u64::from_bytes(cut), Err(Error::Truncated { .. })));
     }
 
     #[test]

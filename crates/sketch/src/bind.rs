@@ -1,14 +1,16 @@
 //! Internal helper binding a column to a bucket spec for fast row→bucket
 //! lookup, shared by the heatmap and stacked-histogram kernels.
 //!
-//! Binding resolves the column to its raw storage once — value slice plus
-//! optional null bitmap — so the per-row `bucket()` probe costs a slice
-//! index and a bitmap bit test instead of a `Column` enum dispatch and an
-//! `Option` round-trip.
+//! Binding resolves the column to its raw storage once — float slice or
+//! encoded integer/code storage plus optional null bitmap — so the per-row
+//! `bucket()` probe costs a storage read and a bitmap bit test instead of a
+//! `Column` enum dispatch and an `Option` round-trip. Integer and code
+//! reads go through [`hillview_columnar::IntStorage::get`], which is O(1)
+//! for plain and bit-packed columns and O(log runs) for run-length ones.
 
 use crate::buckets::BucketSpec;
 use crate::traits::{SketchError, SketchResult};
-use hillview_columnar::{Bitmap, Column};
+use hillview_columnar::{Bitmap, CodeStorage, Column, I64Storage};
 
 /// Where a row's value landed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,12 +31,12 @@ pub(crate) enum BoundColumn<'a> {
         spec: &'a BucketSpec,
     },
     I64 {
-        data: &'a [i64],
+        data: &'a I64Storage,
         nulls: Option<&'a Bitmap>,
         spec: &'a BucketSpec,
     },
     Dict {
-        codes: &'a [u32],
+        codes: &'a CodeStorage,
         nulls: Option<&'a Bitmap>,
         /// Bucket of each dictionary code, precomputed once.
         code_bucket: Vec<Option<usize>>,
@@ -51,7 +53,7 @@ impl<'a> BoundColumn<'a> {
             }),
             (BucketSpec::Numeric { .. }, Column::Int(c) | Column::Date(c)) => {
                 Ok(BoundColumn::I64 {
-                    data: c.data(),
+                    data: c.storage(),
                     nulls: c.nulls().bitmap(),
                     spec,
                 })
@@ -93,7 +95,7 @@ impl<'a> BoundColumn<'a> {
                 if nulls.is_some_and(|nb| nb.get(row)) {
                     Cell::Missing
                 } else {
-                    match spec.index_of_f64(data[row] as f64) {
+                    match spec.index_of_f64(data.get(row) as f64) {
                         Some(b) => Cell::In(b),
                         None => Cell::Out,
                     }
@@ -107,7 +109,7 @@ impl<'a> BoundColumn<'a> {
                 if nulls.is_some_and(|nb| nb.get(row)) {
                     Cell::Missing
                 } else {
-                    match code_bucket[codes[row] as usize] {
+                    match code_bucket[codes.get(row) as usize] {
                         Some(b) => Cell::In(b),
                         None => Cell::Out,
                     }

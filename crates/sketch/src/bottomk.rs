@@ -208,7 +208,7 @@ impl BottomKSketch {
         for row in view.iter_rows() {
             if !dict.nulls().is_null(row) {
                 rows += 1;
-                seen[dict.codes()[row] as usize] = true;
+                seen[dict.code(row) as usize] = true;
             }
         }
         let mut map: BTreeMap<u64, String> = BTreeMap::new();
@@ -250,11 +250,7 @@ mod tests {
 
     #[test]
     fn small_domains_kept_exactly() {
-        let v = view(
-            (0..100)
-                .map(|i| format!("v{}", i % 7))
-                .collect(),
-        );
+        let v = view((0..100).map(|i| format!("v{}", i % 7)).collect());
         let s = BottomKSketch::new("S", 50).summarize(&v, 0).unwrap();
         assert_eq!(s.entries.len(), 7);
         assert_eq!(s.distinct_estimate(), 7.0);
@@ -313,7 +309,9 @@ mod tests {
     #[test]
     fn duplicates_do_not_inflate() {
         let many_dups = view((0..1000).map(|i| format!("v{}", i % 3)).collect());
-        let s = BottomKSketch::new("S", 10).summarize(&many_dups, 0).unwrap();
+        let s = BottomKSketch::new("S", 10)
+            .summarize(&many_dups, 0)
+            .unwrap();
         assert_eq!(s.entries.len(), 3);
         assert_eq!(s.rows, 1000);
     }

@@ -124,7 +124,13 @@ mod tests {
     fn row_only_count() {
         let s = CountSketch::rows();
         let sum = s.summarize(&view(), 0).unwrap();
-        assert_eq!(sum, CountSummary { rows: 5, missing: 0 });
+        assert_eq!(
+            sum,
+            CountSummary {
+                rows: 5,
+                missing: 0
+            }
+        );
     }
 
     #[test]
@@ -135,15 +141,33 @@ mod tests {
             Arc::new(MembershipSet::from_rows(vec![0, 1], 5)),
         );
         let sum = CountSketch::of_column("D").summarize(&v, 0).unwrap();
-        assert_eq!(sum, CountSummary { rows: 2, missing: 1 });
+        assert_eq!(
+            sum,
+            CountSummary {
+                rows: 2,
+                missing: 1
+            }
+        );
     }
 
     #[test]
     fn merge_adds_and_identity_is_unit() {
         let s = CountSketch::of_column("D");
-        let a = CountSummary { rows: 3, missing: 1 };
-        let b = CountSummary { rows: 2, missing: 1 };
-        assert_eq!(a.merge(&b), CountSummary { rows: 5, missing: 2 });
+        let a = CountSummary {
+            rows: 3,
+            missing: 1,
+        };
+        let b = CountSummary {
+            rows: 2,
+            missing: 1,
+        };
+        assert_eq!(
+            a.merge(&b),
+            CountSummary {
+                rows: 5,
+                missing: 2
+            }
+        );
         assert_eq!(a.merge(&s.identity()), a);
     }
 
@@ -154,7 +178,10 @@ mod tests {
 
     #[test]
     fn wire_roundtrip() {
-        let s = CountSummary { rows: 7, missing: 2 };
+        let s = CountSummary {
+            rows: 7,
+            missing: 2,
+        };
         assert_eq!(CountSummary::from_bytes(s.to_bytes()).unwrap(), s);
     }
 }

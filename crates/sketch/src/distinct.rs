@@ -7,6 +7,7 @@
 use crate::hashutil::hash_value;
 use crate::traits::{Sketch, SketchResult, Summary};
 use crate::view::TableView;
+use hillview_columnar::scan::{scan_rows, scan_values, Selection};
 use hillview_net::{Result as WireResult, Wire, WireReader, WireWriter};
 use std::sync::Arc;
 
@@ -69,11 +70,7 @@ impl DistinctSummary {
             64 => 0.709,
             _ => 0.7213 / (1.0 + 1.079 / m),
         };
-        let sum: f64 = self
-            .registers
-            .iter()
-            .map(|&r| 2f64.powi(-(r as i32)))
-            .sum();
+        let sum: f64 = self.registers.iter().map(|&r| 2f64.powi(-(r as i32))).sum();
         let raw = alpha * m * m / sum;
         if raw <= 2.5 * m {
             // Small-range correction: linear counting on empty registers.
@@ -149,9 +146,58 @@ impl Sketch for DistinctSketch {
         // Only the sketch-level seed feeds the hash: every partition must
         // hash values identically or registers would not merge.
         let seed = self.seed;
+        let sel = Selection::Members(view.members());
         if let Some(dict) = col.as_dict_col() {
             // Dictionary columns: hash each *code's* string once per
-            // partition, then observe per row via the code.
+            // partition, then observe per row via the chunked code scan
+            // (one null-word probe per 64 rows).
+            let hashes: Vec<u64> = dict
+                .dictionary()
+                .iter()
+                .map(|s| crate::hashutil::hash_str(s, seed))
+                .collect();
+            let mut missing = 0u64;
+            scan_values(
+                &sel,
+                dict.codes(),
+                dict.nulls().bitmap(),
+                &mut missing,
+                |code| out.observe(hashes[code as usize]),
+            );
+            out.missing = missing;
+        } else {
+            // Generic path: chunked row enumeration (registers are
+            // max-merged, so order is irrelevant, but chunks visit the same
+            // rows the per-row reference would).
+            scan_rows(&sel, |row| {
+                let v = col.value(row);
+                if v.is_missing() {
+                    out.missing += 1;
+                } else {
+                    out.observe(hash_value(&v, seed));
+                }
+            });
+        }
+        Ok(out)
+    }
+
+    fn identity(&self) -> DistinctSummary {
+        DistinctSummary::zero(self.p)
+    }
+}
+
+impl DistinctSketch {
+    /// Per-row reference implementation, kept for the scan-equivalence
+    /// property tests. Must remain bit-identical to [`Sketch::summarize`].
+    pub fn summarize_rowwise(
+        &self,
+        view: &TableView,
+        _partition_seed: u64,
+    ) -> SketchResult<DistinctSummary> {
+        let col = view.table().column_by_name(&self.column)?;
+        let mut out = DistinctSummary::zero(self.p);
+        let seed = self.seed;
+        if let Some(dict) = col.as_dict_col() {
             let hashes: Vec<u64> = dict
                 .dictionary()
                 .iter()
@@ -161,7 +207,7 @@ impl Sketch for DistinctSketch {
                 if dict.nulls().is_null(row) {
                     out.missing += 1;
                 } else {
-                    out.observe(hashes[dict.codes()[row] as usize]);
+                    out.observe(hashes[dict.code(row) as usize]);
                 }
             }
         } else {
@@ -175,10 +221,6 @@ impl Sketch for DistinctSketch {
             }
         }
         Ok(out)
-    }
-
-    fn identity(&self) -> DistinctSummary {
-        DistinctSummary::zero(self.p)
     }
 }
 
@@ -268,9 +310,13 @@ mod tests {
             .column(
                 "S",
                 ColumnKind::Category,
-                Column::Cat(DictColumn::from_strings(
-                    (0..500).map(|i| if i % 7 == 0 { None } else { Some(["a", "b", "c"][i % 3]) }),
-                )),
+                Column::Cat(DictColumn::from_strings((0..500).map(|i| {
+                    if i % 7 == 0 {
+                        None
+                    } else {
+                        Some(["a", "b", "c"][i % 3])
+                    }
+                }))),
             )
             .build()
             .unwrap();

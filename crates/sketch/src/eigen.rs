@@ -175,15 +175,12 @@ mod tests {
         let v0 = &e.vectors[0];
         assert_close(v0[0].abs(), 1.0 / 2f64.sqrt(), 1e-8);
         assert_close(v0[1].abs(), 1.0 / 2f64.sqrt(), 1e-8);
-        assert_close(v0[0] * v0[1], 0.5, 1e-8, );
+        assert_close(v0[0] * v0[1], 0.5, 1e-8);
     }
 
     #[test]
     fn eigenvectors_are_orthonormal() {
-        let m = SymMatrix::from_rows(
-            3,
-            vec![4.0, 1.0, 0.5, 1.0, 3.0, 0.2, 0.5, 0.2, 2.0],
-        );
+        let m = SymMatrix::from_rows(3, vec![4.0, 1.0, 0.5, 1.0, 3.0, 0.2, 0.5, 0.2, 2.0]);
         let e = jacobi_eigen(&m);
         for i in 0..3 {
             let norm: f64 = e.vectors[i].iter().map(|x| x * x).sum();

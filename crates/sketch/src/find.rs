@@ -9,6 +9,7 @@
 
 use crate::traits::{Sketch, SketchResult, Summary};
 use crate::view::TableView;
+use hillview_columnar::scan::{scan_rows, Selection};
 use hillview_columnar::{Predicate, Row, RowKey, SortOrder, StrMatchKind};
 use hillview_net::{Result as WireResult, Wire, WireReader, WireWriter};
 use std::sync::Arc;
@@ -136,6 +137,58 @@ impl Sketch for FindSketch {
             matches_after: 0,
             matches_total: 0,
         };
+        // Chunked row enumeration: the membership probe is amortized to
+        // chunk decoding; predicate and key evaluation stay per-row.
+        scan_rows(&Selection::Members(view.members()), |row| {
+            if !pred.eval(table, row) {
+                return;
+            }
+            out.matches_total += 1;
+            let key = resolved.key(table, row);
+            if let Some(start) = &self.start {
+                if key <= *start {
+                    return;
+                }
+            }
+            out.matches_after += 1;
+            let better = match &out.first {
+                None => true,
+                Some((best, _)) => key < *best,
+            };
+            if better {
+                out.first = Some((key, table.full_row(row)));
+            }
+        });
+        Ok(out)
+    }
+
+    fn identity(&self) -> FindSummary {
+        FindSummary {
+            first: None,
+            matches_after: 0,
+            matches_total: 0,
+        }
+    }
+}
+
+impl FindSketch {
+    /// Per-row reference implementation, kept for the scan-equivalence
+    /// property tests. Must remain bit-identical to [`Sketch::summarize`].
+    pub fn summarize_rowwise(&self, view: &TableView, _seed: u64) -> SketchResult<FindSummary> {
+        let table = view.table();
+        let resolved = self.order.resolve(table)?;
+        let pred = Predicate::str_match(
+            &self.column,
+            &self.query,
+            self.kind.clone(),
+            self.case_insensitive,
+        )
+        .compile(table)?;
+        let mut out = FindSummary {
+            first: None,
+            matches_after: 0,
+            matches_total: 0,
+        };
         for row in view.iter_rows() {
             if !pred.eval(table, row) {
                 continue;
@@ -157,14 +210,6 @@ impl Sketch for FindSketch {
             }
         }
         Ok(out)
-    }
-
-    fn identity(&self) -> FindSummary {
-        FindSummary {
-            first: None,
-            matches_after: 0,
-            matches_total: 0,
-        }
     }
 }
 
@@ -274,10 +319,7 @@ mod tests {
             .unwrap();
         let b = sk
             .summarize(
-                &TableView::with_members(
-                    t,
-                    Arc::new(MembershipSet::from_rows(vec![1, 2, 4], 5)),
-                ),
+                &TableView::with_members(t, Arc::new(MembershipSet::from_rows(vec![1, 2, 4], 5))),
                 0,
             )
             .unwrap();

@@ -69,10 +69,7 @@ mod tests {
     #[test]
     fn seed_changes_hash() {
         assert_ne!(hash_str("SFO", 1), hash_str("SFO", 2));
-        assert_ne!(
-            hash_value(&Value::Int(5), 1),
-            hash_value(&Value::Int(5), 2)
-        );
+        assert_ne!(hash_value(&Value::Int(5), 1), hash_value(&Value::Int(5), 2));
     }
 
     #[test]

@@ -41,13 +41,7 @@ impl HeatmapSketch {
     }
 
     /// Sampled heat map.
-    pub fn sampled(
-        col_x: &str,
-        col_y: &str,
-        bx: BucketSpec,
-        by: BucketSpec,
-        rate: f64,
-    ) -> Self {
+    pub fn sampled(col_x: &str, col_y: &str, bx: BucketSpec, by: BucketSpec, rate: f64) -> Self {
         HeatmapSketch {
             rate,
             ..Self::streaming(col_x, col_y, bx, by)
@@ -173,12 +167,10 @@ impl Sketch for HeatmapSketch {
         let mut out = HeatmapSummary::zero(self.buckets_x.count(), self.buckets_y.count());
         out.rows_inspected = sel.count() as u64;
         let width_y = out.by;
-        scan_rows(&sel, |row| {
-            match (bx.bucket(row), by.bucket(row)) {
-                (Cell::In(x), Cell::In(y)) => out.counts[x * width_y + y] += 1,
-                (Cell::Missing, _) | (_, Cell::Missing) => out.missing += 1,
-                _ => out.out_of_range += 1,
-            }
+        scan_rows(&sel, |row| match (bx.bucket(row), by.bucket(row)) {
+            (Cell::In(x), Cell::In(y)) => out.counts[x * width_y + y] += 1,
+            (Cell::Missing, _) | (_, Cell::Missing) => out.missing += 1,
+            _ => out.out_of_range += 1,
         });
         Ok(out)
     }
@@ -276,10 +268,7 @@ mod tests {
                 t.clone(),
                 Arc::new(MembershipSet::from_rows((0..5).collect(), 10)),
             ),
-            TableView::with_members(
-                t,
-                Arc::new(MembershipSet::from_rows((5..10).collect(), 10)),
-            ),
+            TableView::with_members(t, Arc::new(MembershipSet::from_rows((5..10).collect(), 10))),
         ];
         assert!(merge_law_holds(&sketch(), &v, &parts, 0));
     }

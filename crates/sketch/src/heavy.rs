@@ -86,7 +86,8 @@ impl Summary for MisraGriesSummary {
     fn merge(&self, other: &Self) -> Self {
         let k = self.k.max(other.k);
         // Combine counters additively.
-        let mut map: HashMap<Value, u64> = HashMap::with_capacity(self.counters.len() + other.counters.len());
+        let mut map: HashMap<Value, u64> =
+            HashMap::with_capacity(self.counters.len() + other.counters.len());
         for (v, c) in self.counters.iter().chain(&other.counters) {
             *map.entry(v.clone()).or_insert(0) += c;
         }

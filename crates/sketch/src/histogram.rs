@@ -171,7 +171,7 @@ impl Sketch for HistogramSketch {
             (BucketSpec::Numeric { lo, hi, count }, Column::Int(c) | Column::Date(c)) => {
                 scan_numeric_chunked(
                     &sel,
-                    c.data(),
+                    c.storage(),
                     c.nulls().bitmap(),
                     (*lo, *hi, *count),
                     &mut out,
@@ -186,12 +186,16 @@ impl Sketch for HistogramSketch {
                     .iter()
                     .map(|s| self.buckets.index_of_str(s))
                     .collect();
-                scan_values(&sel, c.codes(), c.nulls().bitmap(), &mut out.missing, |code| {
-                    match code_bucket[code as usize] {
+                scan_values(
+                    &sel,
+                    c.codes(),
+                    c.nulls().bitmap(),
+                    &mut out.missing,
+                    |code| match code_bucket[code as usize] {
                         Some(b) => out.buckets[b] += 1,
                         None => out.out_of_range += 1,
-                    }
-                });
+                    },
+                );
             }
             (spec, col) => {
                 return Err(SketchError::BadConfig(format!(
@@ -215,9 +219,9 @@ impl Sketch for HistogramSketch {
 /// out-of-range rows, so the per-value work is a single clamped index and
 /// an increment; the scratch is folded into `out` afterwards. Dense runs
 /// compute indexes for 64 values at a time before touching the counters.
-fn scan_numeric_chunked<T: Copy>(
+fn scan_numeric_chunked<T: Copy + Default, S: hillview_columnar::ScanSource<T> + ?Sized>(
     sel: &Selection<'_>,
-    data: &[T],
+    data: &S,
     nulls: Option<&hillview_columnar::Bitmap>,
     (lo, hi, cnt): (f64, f64, usize),
     out: &mut HistogramSummary,
@@ -318,7 +322,7 @@ impl HistogramSketch {
                         out.missing += 1;
                         return;
                     }
-                    match code_bucket[c.codes()[row] as usize] {
+                    match code_bucket[c.code(row) as usize] {
                         Some(b) => out.buckets[b] += 1,
                         None => out.out_of_range += 1,
                     }

@@ -37,10 +37,10 @@ mod bind;
 pub mod bottomk;
 pub mod buckets;
 pub mod count;
-pub mod hashutil;
 pub mod distinct;
 pub mod eigen;
 pub mod find;
+pub mod hashutil;
 pub mod heatmap;
 pub mod heavy;
 pub mod histogram;

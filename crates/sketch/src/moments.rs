@@ -151,7 +151,7 @@ impl Sketch for MomentsSketch {
                 }
                 Column::Int(c) | Column::Date(c) => scan_values(
                     &sel,
-                    c.data(),
+                    c.storage(),
                     c.nulls().bitmap(),
                     &mut out.missing,
                     |v| accum(v as f64),

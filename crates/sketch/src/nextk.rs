@@ -320,10 +320,7 @@ mod tests {
             .unwrap();
         let b = sk
             .summarize(
-                &TableView::with_members(
-                    t,
-                    Arc::new(MembershipSet::from_rows(vec![3, 4, 5], 6)),
-                ),
+                &TableView::with_members(t, Arc::new(MembershipSet::from_rows(vec![3, 4, 5], 6))),
                 0,
             )
             .unwrap();
@@ -348,10 +345,7 @@ mod tests {
         let sk = NextKSketch::first_page(order, 1).with_display(&["Carrier"]);
         let s = sk.summarize(&view(), 0).unwrap();
         // Row = sort key values + display values.
-        assert_eq!(
-            s.rows[0].1.values,
-            vec![Value::Int(2), Value::str("UA")]
-        );
+        assert_eq!(s.rows[0].1.values, vec![Value::Int(2), Value::str("UA")]);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use crate::eigen::{jacobi_eigen, Eigen, SymMatrix};
 use crate::traits::{Sketch, SketchError, SketchResult, Summary};
 use crate::view::TableView;
+use hillview_columnar::scan::{scan_rows, Selection};
 use hillview_net::{Result as WireResult, Wire, WireReader, WireWriter};
 use std::sync::Arc;
 
@@ -194,6 +195,65 @@ impl Sketch for PcaSketch {
                 }
             }
         };
+        // Chunked row enumeration, streaming or over a pre-drawn sample;
+        // sums accumulate in ascending row order either way, bit-identical
+        // to the per-row reference.
+        let sampled = (self.rate < 1.0).then(|| view.sample_rows(self.rate, seed));
+        let sel = match &sampled {
+            Some(rows) => Selection::Rows(rows),
+            None => Selection::Members(view.members()),
+        };
+        scan_rows(&sel, |row| tally(row, &mut out, &mut vals));
+        Ok(out)
+    }
+
+    fn identity(&self) -> PcaSummary {
+        PcaSummary::zero(self.columns.len())
+    }
+}
+
+impl PcaSketch {
+    /// Per-row reference implementation, kept for the scan-equivalence
+    /// property tests. Must remain bit-identical to [`Sketch::summarize`].
+    pub fn summarize_rowwise(&self, view: &TableView, seed: u64) -> SketchResult<PcaSummary> {
+        let table = view.table();
+        let m = self.columns.len();
+        if m == 0 {
+            return Err(SketchError::BadConfig("PCA over zero columns".into()));
+        }
+        let cols: Vec<&hillview_columnar::Column> = self
+            .columns
+            .iter()
+            .map(|c| table.column_by_name(c))
+            .collect::<Result<_, _>>()?;
+        for (name, c) in self.columns.iter().zip(&cols) {
+            if !c.kind().is_numeric() {
+                return Err(SketchError::BadConfig(format!(
+                    "PCA requires numeric columns; {} is {}",
+                    name,
+                    c.kind()
+                )));
+            }
+        }
+        let mut out = PcaSummary::zero(m);
+        let mut vals = vec![0.0f64; m];
+        let tally = |row: usize, out: &mut PcaSummary, vals: &mut [f64]| {
+            for (k, c) in cols.iter().enumerate() {
+                match c.as_f64(row) {
+                    Some(v) => vals[k] = v,
+                    None => return, // complete-case: skip the row
+                }
+            }
+            out.count += 1;
+            let mut t = 0;
+            for i in 0..m {
+                out.sums[i] += vals[i];
+                for j in i..m {
+                    out.prods[t] += vals[i] * vals[j];
+                    t += 1;
+                }
+            }
+        };
         if self.rate >= 1.0 {
             for row in view.iter_rows() {
                 tally(row, &mut out, &mut vals);
@@ -204,10 +264,6 @@ impl Sketch for PcaSketch {
             }
         }
         Ok(out)
-    }
-
-    fn identity(&self) -> PcaSummary {
-        PcaSummary::zero(self.columns.len())
     }
 }
 
@@ -232,9 +288,21 @@ mod tests {
             c.push(Some(rng.gen_range(-1.0..1.0)));
         }
         let t = Table::builder()
-            .column("A", ColumnKind::Double, Column::Double(F64Column::from_options(a)))
-            .column("B", ColumnKind::Double, Column::Double(F64Column::from_options(b)))
-            .column("C", ColumnKind::Double, Column::Double(F64Column::from_options(c)))
+            .column(
+                "A",
+                ColumnKind::Double,
+                Column::Double(F64Column::from_options(a)),
+            )
+            .column(
+                "B",
+                ColumnKind::Double,
+                Column::Double(F64Column::from_options(b)),
+            )
+            .column(
+                "C",
+                ColumnKind::Double,
+                Column::Double(F64Column::from_options(c)),
+            )
             .build()
             .unwrap();
         TableView::full(Arc::new(t))
@@ -312,10 +380,7 @@ mod tests {
         let cs = sampled.correlation().unwrap();
         for i in 0..3 {
             for j in 0..3 {
-                assert!(
-                    (ce.get(i, j) - cs.get(i, j)).abs() < 0.05,
-                    "corr[{i}][{j}]"
-                );
+                assert!((ce.get(i, j) - cs.get(i, j)).abs() < 0.05, "corr[{i}][{j}]");
             }
         }
     }

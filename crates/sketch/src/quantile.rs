@@ -78,10 +78,7 @@ impl Summary for QuantileSummary {
         if keys.len() > cap {
             // Deterministic uniform thinning: keep every stride-th element.
             let stride = keys.len().div_ceil(cap);
-            keys = keys
-                .into_iter()
-                .step_by(stride)
-                .collect();
+            keys = keys.into_iter().step_by(stride).collect();
         }
         QuantileSummary {
             keys,
@@ -177,10 +174,7 @@ mod tests {
         let sk = QuantileSketch::new(SortOrder::ascending(&["X"]), 0.2, 100_000);
         let s = sk.summarize(&view(100_000), 3).unwrap();
         let med = key_val(&s.quantile(0.5).unwrap());
-        assert!(
-            (45_000..55_000).contains(&med),
-            "median estimate {med}"
-        );
+        assert!((45_000..55_000).contains(&med), "median estimate {med}");
         let p10 = key_val(&s.quantile(0.1).unwrap());
         assert!((5_000..15_000).contains(&p10), "p10 {p10}");
     }

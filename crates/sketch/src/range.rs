@@ -51,12 +51,28 @@ impl Summary for RangeSummary {
             missing: self.missing + other.missing,
             min: merge_opt(self.min, other.min, f64::min),
             max: merge_opt(self.max, other.max, f64::max),
-            min_str: merge_opt_clone(&self.min_str, &other.min_str, |a, b| {
-                if a <= b { a } else { b }
-            }),
-            max_str: merge_opt_clone(&self.max_str, &other.max_str, |a, b| {
-                if a >= b { a } else { b }
-            }),
+            min_str: merge_opt_clone(
+                &self.min_str,
+                &other.min_str,
+                |a, b| {
+                    if a <= b {
+                        a
+                    } else {
+                        b
+                    }
+                },
+            ),
+            max_str: merge_opt_clone(
+                &self.max_str,
+                &other.max_str,
+                |a, b| {
+                    if a >= b {
+                        a
+                    } else {
+                        b
+                    }
+                },
+            ),
         }
     }
 }
@@ -68,11 +84,7 @@ fn merge_opt<T: Copy>(a: Option<T>, b: Option<T>, f: impl Fn(T, T) -> T) -> Opti
     }
 }
 
-fn merge_opt_clone<T: Clone>(
-    a: &Option<T>,
-    b: &Option<T>,
-    f: impl Fn(T, T) -> T,
-) -> Option<T> {
+fn merge_opt_clone<T: Clone>(a: &Option<T>, b: &Option<T>, f: impl Fn(T, T) -> T) -> Option<T> {
     match (a, b) {
         (Some(a), Some(b)) => Some(f(a.clone(), b.clone())),
         (x, None) => x.clone(),

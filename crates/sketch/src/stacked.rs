@@ -304,10 +304,7 @@ mod tests {
                 t.clone(),
                 Arc::new(MembershipSet::from_rows((0..3).collect(), 8)),
             ),
-            TableView::with_members(
-                t,
-                Arc::new(MembershipSet::from_rows((3..8).collect(), 8)),
-            ),
+            TableView::with_members(t, Arc::new(MembershipSet::from_rows((3..8).collect(), 8))),
         ];
         assert!(merge_law_holds(&sketch(), &v, &parts, 0));
     }

@@ -68,7 +68,12 @@ fn three_way_split(table: Arc<Table>, cut1: usize, cut2: usize) -> Vec<TableView
 
 /// Assert the full merge-law battery for an exact sketch, returning the
 /// error string on failure so proptest can shrink.
-fn check_exact_sketch<S>(sketch: &S, table: Arc<Table>, cut1: usize, cut2: usize) -> Result<(), TestCaseError>
+fn check_exact_sketch<S>(
+    sketch: &S,
+    table: Arc<Table>,
+    cut1: usize,
+    cut2: usize,
+) -> Result<(), TestCaseError>
 where
     S: Sketch,
     S::Summary: PartialEq + std::fmt::Debug,

@@ -6,15 +6,18 @@
 //! per-row path wholesale.
 
 use hillview_columnar::column::{Column, DictColumn, F64Column, I64Column};
-use hillview_columnar::{ColumnKind, MembershipSet, SortOrder, Table};
+use hillview_columnar::{ColumnKind, MembershipSet, SortOrder, StrMatchKind, Table};
 use hillview_sketch::bottomk::BottomKSketch;
 use hillview_sketch::buckets::BucketSpec;
 use hillview_sketch::count::CountSketch;
+use hillview_sketch::distinct::DistinctSketch;
+use hillview_sketch::find::FindSketch;
 use hillview_sketch::heatmap::HeatmapSketch;
 use hillview_sketch::heavy::{MisraGriesSketch, SampledHeavyHittersSketch};
 use hillview_sketch::histogram::HistogramSketch;
 use hillview_sketch::moments::MomentsSketch;
 use hillview_sketch::nextk::NextKSketch;
+use hillview_sketch::pca::PcaSketch;
 use hillview_sketch::quantile::QuantileSketch;
 use hillview_sketch::stacked::StackedHistogramSketch;
 use hillview_sketch::traits::Sketch;
@@ -59,8 +62,7 @@ fn table_strategy() -> impl Strategy<Value = Table> {
                     "C",
                     ColumnKind::Category,
                     Column::Cat(DictColumn::from_strings(
-                        rows.iter()
-                            .map(|r| (r.2 .0 >= 0.1).then(|| CATS[r.2 .1])),
+                        rows.iter().map(|r| (r.2 .0 >= 0.1).then(|| CATS[r.2 .1])),
                     )),
                 )
                 .build()
@@ -78,7 +80,9 @@ fn membership(kind: usize, raw: &[u32], cuts: (f64, f64), n: usize) -> Membershi
         2 => MembershipSet::from_rows(raw.iter().map(|r| r % n as u32).collect(), n),
         // Dense: ~70% of rows, which lands above the sparse threshold.
         3 => MembershipSet::from_rows(
-            (0..n as u32).filter(|r| r % 10 != 3 && r % 7 != 1).collect(),
+            (0..n as u32)
+                .filter(|r| r % 10 != 3 && r % 7 != 1)
+                .collect(),
             n,
         ),
         // Contiguous range: exercises all-ones word coalescing.
@@ -309,6 +313,119 @@ proptest! {
             let naive = v.iter_rows().filter(|&r| col.is_null(r)).count() as u64;
             prop_assert_eq!(s.missing, naive, "column {}", col_name);
             prop_assert_eq!(s.rows, v.len() as u64);
+        }
+    }
+
+    /// HLL registers: the chunked dictionary fast path and the chunked
+    /// generic path must build the identical register array.
+    #[test]
+    fn distinct_matches_reference(
+        t in table_strategy(),
+        kind in 0usize..5,
+        raw in proptest::collection::vec(any::<u32>(), 0..200),
+        cuts in (0.0f64..1.0, 0.0f64..1.0),
+    ) {
+        let n = t.num_rows();
+        let v = TableView::with_members(Arc::new(t), Arc::new(membership(kind, &raw, cuts, n)));
+        for col in ["X", "I", "C"] {
+            let sk = DistinctSketch::new(col);
+            prop_assert_eq!(
+                sk.summarize(&v, 0).unwrap(),
+                sk.summarize_rowwise(&v, 0).unwrap(),
+                "column {}", col
+            );
+        }
+    }
+
+    /// Find-text: chunked row enumeration preserves the scan order the
+    /// first-match and count logic depend on.
+    #[test]
+    fn find_matches_reference(
+        t in table_strategy(),
+        kind in 0usize..5,
+        raw in proptest::collection::vec(any::<u32>(), 0..200),
+        cuts in (0.0f64..1.0, 0.0f64..1.0),
+        query in "[a-f]{1,2}",
+    ) {
+        let n = t.num_rows();
+        let v = TableView::with_members(Arc::new(t), Arc::new(membership(kind, &raw, cuts, n)));
+        let sk = FindSketch::new(
+            "C",
+            &query,
+            StrMatchKind::Substring,
+            SortOrder::ascending(&["I", "X"]),
+        );
+        prop_assert_eq!(
+            sk.summarize(&v, 0).unwrap(),
+            sk.summarize_rowwise(&v, 0).unwrap()
+        );
+    }
+
+    /// PCA accumulates floating-point sums in row order, so the chunked
+    /// path must match *bit for bit*, streaming and sampled.
+    #[test]
+    fn pca_matches_reference_bitwise(
+        t in table_strategy(),
+        kind in 0usize..5,
+        raw in proptest::collection::vec(any::<u32>(), 0..200),
+        cuts in (0.0f64..1.0, 0.0f64..1.0),
+        rate in 0.3f64..1.2, // crosses the streaming/sampled boundary
+        seed in any::<u64>(),
+    ) {
+        let n = t.num_rows();
+        let v = TableView::with_members(Arc::new(t), Arc::new(membership(kind, &raw, cuts, n)));
+        let sk = PcaSketch::new(&["X", "I"], rate);
+        let chunked = sk.summarize(&v, seed).unwrap();
+        let rowwise = sk.summarize_rowwise(&v, seed).unwrap();
+        prop_assert_eq!(chunked.count, rowwise.count);
+        for (c, r) in chunked.sums.iter().zip(&rowwise.sums) {
+            prop_assert!(c.to_bits() == r.to_bits(), "sums differ bitwise: {} vs {}", c, r);
+        }
+        for (c, r) in chunked.prods.iter().zip(&rowwise.prods) {
+            prop_assert!(c.to_bits() == r.to_bits(), "prods differ bitwise: {} vs {}", c, r);
+        }
+    }
+
+    /// The same kernel over the same logical data must produce identical
+    /// results whichever physical encoding backs the integer column — the
+    /// chunk decoder is invisible to kernels.
+    #[test]
+    fn kernels_agree_across_encodings(
+        vals in proptest::collection::vec((0.0f64..1.0, -40i64..40), 1..300),
+        kind in 0usize..5,
+        raw in proptest::collection::vec(any::<u32>(), 0..200),
+        cuts in (0.0f64..1.0, 0.0f64..1.0),
+    ) {
+        use hillview_columnar::{I64Storage, NullMask};
+        let n = vals.len();
+        let data: Vec<i64> = vals.iter().map(|r| r.1).collect();
+        let nulls = NullMask::from_flags(vals.iter().map(|r| r.0 < 0.15), n);
+        let mut columns: Vec<I64Column> = vec![
+            I64Column::plain(data.clone(), nulls.clone()),
+        ];
+        if let Some(s) = I64Storage::bit_packed_of(&data) {
+            columns.push(I64Column::with_storage(s, nulls.clone()));
+        }
+        if let Some(s) = I64Storage::run_length_of(&data) {
+            columns.push(I64Column::with_storage(s, nulls.clone()));
+        }
+        let members = Arc::new(membership(kind, &raw, cuts, n));
+        let hist = HistogramSketch::streaming("V", num_spec());
+        let moments = MomentsSketch::new("V", 3);
+        let mut results = Vec::new();
+        for col in columns {
+            let t = Table::builder()
+                .column("V", ColumnKind::Int, Column::Int(col))
+                .build()
+                .unwrap();
+            let v = TableView::with_members(Arc::new(t), members.clone());
+            let h = hist.summarize(&v, 0).unwrap();
+            let m = moments.summarize(&v, 0).unwrap();
+            results.push((h, m.present, m.missing, m.min, m.max,
+                m.sums.iter().map(|s| s.to_bits()).collect::<Vec<_>>()));
+        }
+        for r in &results[1..] {
+            prop_assert_eq!(r, &results[0]);
         }
     }
 

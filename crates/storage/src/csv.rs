@@ -129,11 +129,7 @@ pub fn read_csv(reader: impl BufRead, options: &CsvOptions) -> Result<Table> {
             return Err(Error::Parse {
                 format: "csv",
                 at: line_no,
-                message: format!(
-                    "expected {} fields, found {}",
-                    names.len(),
-                    record.len()
-                ),
+                message: format!("expected {} fields, found {}", names.len(), record.len()),
             });
         }
         for (col, value) in cells.iter_mut().zip(record) {
@@ -171,9 +167,9 @@ pub fn read_csv(reader: impl BufRead, options: &CsvOptions) -> Result<Table> {
                 col.iter()
                     .map(|v| v.as_deref().and_then(|s| s.trim().parse().ok())),
             )),
-            Inferred::Text => Column::Str(DictColumn::from_strings(
-                col.iter().map(|v| v.as_deref()),
-            )),
+            Inferred::Text => {
+                Column::Str(DictColumn::from_strings(col.iter().map(|v| v.as_deref())))
+            }
         };
         builder = builder.column(name, column.kind(), column);
     }
@@ -188,7 +184,11 @@ pub fn write_csv(table: &Table, mut out: impl Write) -> Result<()> {
         .iter()
         .map(|d| d.name.as_ref())
         .collect();
-    writeln!(out, "{}", names.iter().map(|n| quote(n)).collect::<Vec<_>>().join(","))?;
+    writeln!(
+        out,
+        "{}",
+        names.iter().map(|n| quote(n)).collect::<Vec<_>>().join(",")
+    )?;
     for row in 0..table.num_rows() {
         let mut first = true;
         for c in 0..table.num_columns() {

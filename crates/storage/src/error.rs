@@ -20,6 +20,17 @@ pub enum Error {
     Column(hillview_columnar::Error),
     /// A schema mismatch between file and expectation.
     Schema(String),
+    /// A column section's decoded length disagrees with the file's declared
+    /// row count. Structured (rather than a generic parse error) so callers
+    /// can reject corrupt files before any data reaches the wire.
+    RowCountMismatch {
+        /// Column whose payload disagrees.
+        column: String,
+        /// Row count the file header declares.
+        declared: usize,
+        /// Rows the column section actually encodes.
+        actual: usize,
+    },
 }
 
 impl fmt::Display for Error {
@@ -33,6 +44,14 @@ impl fmt::Display for Error {
             } => write!(f, "{format} parse error at {at}: {message}"),
             Error::Column(e) => write!(f, "column error: {e}"),
             Error::Schema(m) => write!(f, "schema error: {m}"),
+            Error::RowCountMismatch {
+                column,
+                declared,
+                actual,
+            } => write!(
+                f,
+                "column {column:?} encodes {actual} rows but the file declares {declared}"
+            ),
         }
     }
 }

@@ -4,17 +4,33 @@
 //! worker "reads a column completely from the data repository taking
 //! advantage of fast sequential access and columnar access" (paper §5.4).
 //!
-//! Layout (all integers varint unless noted):
+//! Layout, version 2 (all integers varint unless noted):
 //!
 //! ```text
-//! magic "HVC1" | column_count | row_count
+//! magic "HVC2" | column_count | row_count
 //! per column:
 //!   name | kind byte | null_run_lengths | payload
 //! payload:
-//!   Int/Date: delta-zigzag varints
-//!   Double:   raw little-endian f64
-//!   Str/Cat:  dict_len, dict strings, codes as varints
+//!   Int/Date: enc byte, declared value count, then
+//!     0 (plain):      delta-zigzag varints
+//!     1 (bit-packed): base zigzag, width u8, word count, raw LE u64 words
+//!     2 (run-length): run count, then (value zigzag, run length) pairs
+//!   Double:   declared value count, raw little-endian f64
+//!   Str/Cat:  dict_len, dict strings, codes in the same three encodings
+//!             (code values as plain varints instead of zigzag)
 //! ```
+//!
+//! The encoding byte mirrors the column's *in-memory*
+//! [`IntStorage`](hillview_columnar::IntStorage) representation: a
+//! bit-packed or run-length column round-trips through a file (and across
+//! the wire — HVC bytes are also how partitions ship between nodes) without
+//! ever inflating to plain, and decode rebuilds the exact same variant via
+//! `with_storage` instead of re-analyzing.
+//!
+//! Every column section carries its own declared value count; a mismatch
+//! against the file's row count is rejected up front with the structured
+//! [`Error::RowCountMismatch`] instead of surfacing later as a truncated
+//! read or a wire error.
 //!
 //! Null masks are run-length encoded (alternating present/missing run
 //! lengths, starting with present), which collapses the common all-present
@@ -24,12 +40,17 @@ use crate::error::{Error, Result};
 use bytes::Bytes;
 use hillview_columnar::column::{Column, DictColumn, F64Column, I64Column};
 use hillview_columnar::dictionary::DictionaryBuilder;
+use hillview_columnar::encoding::{IntStorage, PackedInt};
 use hillview_columnar::{ColumnKind, NullMask, Table};
 use hillview_net::{WireReader, WireWriter};
 use std::io::{Read, Write};
 use std::path::Path;
 
-const MAGIC: &[u8; 4] = b"HVC1";
+const MAGIC: &[u8; 4] = b"HVC2";
+
+const ENC_PLAIN: u8 = 0;
+const ENC_BIT_PACKED: u8 = 1;
+const ENC_RUN_LENGTH: u8 = 2;
 
 fn kind_byte(kind: ColumnKind) -> u8 {
     match kind {
@@ -58,6 +79,150 @@ fn byte_kind(b: u8, at: usize) -> Result<ColumnKind> {
     })
 }
 
+fn parse_err(message: impl Into<String>) -> Error {
+    Error::Parse {
+        format: "hvc",
+        at: 0,
+        message: message.into(),
+    }
+}
+
+fn wire_err(e: hillview_net::Error) -> Error {
+    parse_err(e.to_string())
+}
+
+/// Write an integer storage payload, preserving its encoding. `put` writes
+/// one logical value (zigzag for `i64`, plain varint for codes).
+fn encode_int_storage<T: PackedInt>(
+    w: &mut WireWriter,
+    storage: &IntStorage<T>,
+    put: impl Fn(&mut WireWriter, T),
+) {
+    match storage {
+        IntStorage::Plain(values) => {
+            w.put_u8(ENC_PLAIN);
+            w.put_varint(values.len() as u64);
+            for &v in values {
+                put(w, v);
+            }
+        }
+        IntStorage::BitPacked {
+            base,
+            width,
+            len,
+            words,
+        } => {
+            w.put_u8(ENC_BIT_PACKED);
+            w.put_varint(*len as u64);
+            put(w, *base);
+            w.put_u8(*width);
+            w.put_varint(words.len() as u64);
+            for &word in words {
+                w.put_u64(word);
+            }
+        }
+        IntStorage::RunLength { values, ends } => {
+            w.put_u8(ENC_RUN_LENGTH);
+            w.put_varint(ends.last().copied().unwrap_or(0) as u64);
+            w.put_varint(values.len() as u64);
+            let mut prev = 0u32;
+            for (&v, &end) in values.iter().zip(ends) {
+                put(w, v);
+                w.put_varint((end - prev) as u64);
+                prev = end;
+            }
+        }
+    }
+}
+
+/// Read an integer storage payload written by [`encode_int_storage`],
+/// validating the declared value count against the file's row count and the
+/// structural invariants of each encoding.
+fn decode_int_storage<T: PackedInt>(
+    r: &mut WireReader,
+    rows: usize,
+    column: &str,
+    get: impl Fn(&mut WireReader) -> std::result::Result<T, hillview_net::Error>,
+) -> Result<IntStorage<T>> {
+    let enc = r.get_u8().map_err(wire_err)?;
+    decode_int_storage_body(r, enc, rows, column, get)
+}
+
+/// [`decode_int_storage`] with the encoding byte already consumed (the
+/// `i64` reader peels it off first to special-case delta-coded plain data).
+fn decode_int_storage_body<T: PackedInt>(
+    r: &mut WireReader,
+    enc: u8,
+    rows: usize,
+    column: &str,
+    get: impl Fn(&mut WireReader) -> std::result::Result<T, hillview_net::Error>,
+) -> Result<IntStorage<T>> {
+    let declared = r.get_len("values").map_err(wire_err)?;
+    if declared != rows {
+        return Err(Error::RowCountMismatch {
+            column: column.to_string(),
+            declared: rows,
+            actual: declared,
+        });
+    }
+    match enc {
+        ENC_PLAIN => {
+            let mut values = Vec::with_capacity(rows.min(1 << 20));
+            for _ in 0..rows {
+                values.push(get(r).map_err(wire_err)?);
+            }
+            Ok(IntStorage::Plain(values))
+        }
+        ENC_BIT_PACKED => {
+            let base = get(r).map_err(wire_err)?;
+            let width = r.get_u8().map_err(wire_err)?;
+            let nwords = r.get_len("packed words").map_err(wire_err)?;
+            let mut words = Vec::with_capacity(nwords.min(1 << 20));
+            for _ in 0..nwords {
+                words.push(r.get_u64().map_err(wire_err)?);
+            }
+            IntStorage::from_bit_packed(base, width, rows, words).ok_or_else(|| {
+                parse_err(format!(
+                    "column {column:?}: inconsistent bit-packed section (width {width}, {nwords} words for {rows} rows)"
+                ))
+            })
+        }
+        ENC_RUN_LENGTH => {
+            let nruns = r.get_len("runs").map_err(wire_err)?;
+            let mut values = Vec::with_capacity(nruns.min(1 << 20));
+            let mut ends = Vec::with_capacity(nruns.min(1 << 20));
+            let mut at = 0u64;
+            for _ in 0..nruns {
+                values.push(get(r).map_err(wire_err)?);
+                let run = r.get_varint().map_err(wire_err)?;
+                if run == 0 {
+                    return Err(parse_err(format!("column {column:?}: zero-length run")));
+                }
+                at += run;
+                if at > u32::MAX as u64 {
+                    return Err(parse_err(format!(
+                        "column {column:?}: run-length section overflows row index"
+                    )));
+                }
+                ends.push(at as u32);
+            }
+            if at as usize != rows {
+                return Err(Error::RowCountMismatch {
+                    column: column.to_string(),
+                    declared: rows,
+                    actual: at as usize,
+                });
+            }
+            IntStorage::from_run_length(values, ends).ok_or_else(|| {
+                parse_err(format!("column {column:?}: malformed run-length section"))
+            })
+        }
+        b => Err(parse_err(format!(
+            "column {column:?}: unknown encoding byte {b}"
+        ))),
+    }
+}
+
 /// Encode a table to HVC bytes.
 pub fn encode(table: &Table) -> Bytes {
     let mut w = WireWriter::new();
@@ -74,13 +239,24 @@ pub fn encode(table: &Table) -> Bytes {
         encode_null_runs(&mut w, col, table.num_rows());
         match col {
             Column::Int(ic) | Column::Date(ic) => {
-                let mut prev = 0i64;
-                for &v in ic.data() {
-                    w.put_i64(v.wrapping_sub(prev));
-                    prev = v;
+                // Plain integers stay delta-of-previous coded (the v1 trick
+                // that shrinks near-sequential dates); packed storages ship
+                // their words verbatim.
+                match ic.storage() {
+                    IntStorage::Plain(values) => {
+                        w.put_u8(ENC_PLAIN);
+                        w.put_varint(values.len() as u64);
+                        let mut prev = 0i64;
+                        for &v in values {
+                            w.put_i64(v.wrapping_sub(prev));
+                            prev = v;
+                        }
+                    }
+                    packed => encode_int_storage(&mut w, packed, |w, v| w.put_i64(v)),
                 }
             }
             Column::Double(fc) => {
+                w.put_varint(fc.data().len() as u64);
                 for &v in fc.data() {
                     w.put_f64(v);
                 }
@@ -90,9 +266,7 @@ pub fn encode(table: &Table) -> Bytes {
                 for s in dc.dictionary().iter() {
                     w.put_str(s);
                 }
-                for &code in dc.codes() {
-                    w.put_varint(code as u64);
-                }
+                encode_int_storage(&mut w, dc.codes(), |w, code| w.put_varint(code as u64));
             }
         }
     }
@@ -121,7 +295,7 @@ fn encode_null_runs(w: &mut WireWriter, col: &Column, rows: usize) {
     }
 }
 
-fn decode_null_runs(r: &mut WireReader, rows: usize) -> Result<NullMask> {
+fn decode_null_runs(r: &mut WireReader, rows: usize, column: &str) -> Result<NullMask> {
     let n = r.get_len("null runs").map_err(wire_err)?;
     let mut mask = NullMask::none();
     let mut idx = 0usize;
@@ -137,20 +311,58 @@ fn decode_null_runs(r: &mut WireReader, rows: usize) -> Result<NullMask> {
         is_null = !is_null;
     }
     if idx != rows {
-        return Err(Error::Parse {
-            format: "hvc",
-            at: 0,
-            message: format!("null runs cover {idx} rows, expected {rows}"),
+        return Err(Error::RowCountMismatch {
+            column: column.to_string(),
+            declared: rows,
+            actual: idx,
         });
     }
     Ok(mask)
 }
 
-fn wire_err(e: hillview_net::Error) -> Error {
-    Error::Parse {
-        format: "hvc",
-        at: 0,
-        message: e.to_string(),
+/// Verify every decoded dictionary code stays inside the dictionary,
+/// matching the per-value check v1 performed while reading plain codes.
+/// `null_count` guards the empty-dictionary case: a dictionary can only be
+/// empty when every row is null (present rows would dereference it).
+fn validate_codes(
+    codes: &IntStorage<u32>,
+    dict_len: usize,
+    null_count: usize,
+    column: &str,
+) -> Result<()> {
+    if dict_len == 0 {
+        if null_count < codes.len() {
+            return Err(parse_err(format!(
+                "column {column:?}: empty dictionary but {} non-null rows",
+                codes.len() - null_count
+            )));
+        }
+        return Ok(());
+    }
+    let check = |code: u32| -> Result<()> {
+        if code as usize >= dict_len {
+            Err(parse_err(format!(
+                "column {column:?}: code {code} out of dictionary range {dict_len}"
+            )))
+        } else {
+            Ok(())
+        }
+    };
+    match codes {
+        // Run-length: one check per run is exhaustive.
+        IntStorage::RunLength { values, .. } => values.iter().try_for_each(|&c| check(c)),
+        storage => {
+            let mut buf = [0u32; 64];
+            let len = storage.len();
+            let mut i = 0usize;
+            while i < len {
+                let n = 64.min(len - i);
+                storage.decode_into(i, &mut buf[..n]);
+                buf[..n].iter().try_for_each(|&c| check(c))?;
+                i += n;
+            }
+            Ok(())
+        }
     }
 }
 
@@ -160,11 +372,7 @@ pub fn decode(bytes: Bytes) -> Result<Table> {
     for expect in MAGIC {
         let b = r.get_u8().map_err(wire_err)?;
         if b != *expect {
-            return Err(Error::Parse {
-                format: "hvc",
-                at: 0,
-                message: "bad magic".into(),
-            });
+            return Err(parse_err("bad magic"));
         }
     }
     let cols = r.get_len("columns").map_err(wire_err)?;
@@ -173,16 +381,11 @@ pub fn decode(bytes: Bytes) -> Result<Table> {
     for _ in 0..cols {
         let name = r.get_str().map_err(wire_err)?;
         let kind = byte_kind(r.get_u8().map_err(wire_err)?, 0)?;
-        let nulls = decode_null_runs(&mut r, rows)?;
+        let nulls = decode_null_runs(&mut r, rows, &name)?;
         let column = match kind {
             ColumnKind::Int | ColumnKind::Date => {
-                let mut data = Vec::with_capacity(rows);
-                let mut prev = 0i64;
-                for _ in 0..rows {
-                    prev = prev.wrapping_add(r.get_i64().map_err(wire_err)?);
-                    data.push(prev);
-                }
-                let ic = I64Column::new(data, nulls);
+                let storage = decode_i64_storage(&mut r, rows, &name)?;
+                let ic = I64Column::with_storage(storage, nulls);
                 if kind == ColumnKind::Int {
                     Column::Int(ic)
                 } else {
@@ -190,7 +393,15 @@ pub fn decode(bytes: Bytes) -> Result<Table> {
                 }
             }
             ColumnKind::Double => {
-                let mut data = Vec::with_capacity(rows);
+                let declared = r.get_len("values").map_err(wire_err)?;
+                if declared != rows {
+                    return Err(Error::RowCountMismatch {
+                        column: name.clone(),
+                        declared: rows,
+                        actual: declared,
+                    });
+                }
+                let mut data = Vec::with_capacity(rows.min(1 << 20));
                 for _ in 0..rows {
                     data.push(r.get_f64().map_err(wire_err)?);
                 }
@@ -203,19 +414,17 @@ pub fn decode(bytes: Bytes) -> Result<Table> {
                     db.intern(&r.get_str().map_err(wire_err)?);
                 }
                 let dict = std::sync::Arc::new(db.finish());
-                let mut codes = Vec::with_capacity(rows);
-                for _ in 0..rows {
-                    let code = r.get_varint().map_err(wire_err)? as u32;
-                    if dict_len > 0 && code as usize >= dict_len {
-                        return Err(Error::Parse {
-                            format: "hvc",
-                            at: 0,
-                            message: format!("code {code} out of dictionary range {dict_len}"),
-                        });
-                    }
-                    codes.push(code);
-                }
-                let dc = DictColumn::new(codes, dict, nulls);
+                let codes = decode_int_storage(&mut r, rows, &name, |r| {
+                    let v = r.get_varint()?;
+                    // Reject oversized varints instead of silently wrapping
+                    // into a (possibly valid) smaller code.
+                    u32::try_from(v).map_err(|_| hillview_net::Error::BadLength {
+                        context: "dictionary code",
+                        len: v,
+                    })
+                })?;
+                validate_codes(&codes, dict_len, nulls.null_count(), &name)?;
+                let dc = DictColumn::with_storage(codes, dict, nulls);
                 if kind == ColumnKind::String {
                     Column::Str(dc)
                 } else {
@@ -226,6 +435,33 @@ pub fn decode(bytes: Bytes) -> Result<Table> {
         builder = builder.column(&name, kind, column);
     }
     Ok(builder.build()?)
+}
+
+/// Decode an `i64` payload: plain sections undo the delta-of-previous
+/// transform, packed sections go through the shared reader.
+fn decode_i64_storage(r: &mut WireReader, rows: usize, column: &str) -> Result<IntStorage<i64>> {
+    // Read the encoding byte first: plain i64 needs the delta transform,
+    // which the generic reader does not apply.
+    let enc = r.get_u8().map_err(wire_err)?;
+    if enc == ENC_PLAIN {
+        let declared = r.get_len("values").map_err(wire_err)?;
+        if declared != rows {
+            return Err(Error::RowCountMismatch {
+                column: column.to_string(),
+                declared: rows,
+                actual: declared,
+            });
+        }
+        let mut data = Vec::with_capacity(rows.min(1 << 20));
+        let mut prev = 0i64;
+        for _ in 0..rows {
+            prev = prev.wrapping_add(r.get_i64().map_err(wire_err)?);
+            data.push(prev);
+        }
+        Ok(IntStorage::Plain(data))
+    } else {
+        decode_int_storage_body(r, enc, rows, column, |r| r.get_i64())
+    }
 }
 
 /// Write a table to a file.
@@ -248,6 +484,7 @@ pub fn read_file(path: impl AsRef<Path>) -> Result<Table> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hillview_columnar::encoding::EncodingKind;
     use hillview_columnar::Value;
 
     fn sample_table() -> Table {
@@ -315,8 +552,73 @@ mod tests {
     }
 
     #[test]
+    fn round_trip_preserves_encoding_without_inflating() {
+        // Build columns under each forced in-memory encoding and check the
+        // decoded table carries the identical variant.
+        let sorted: Vec<i64> = (0..4000).map(|i| i / 100).collect();
+        let packed: Vec<i64> = (0..4000).map(|i| (i * 7919) % 512).collect();
+        let plain: Vec<i64> = (0..4000)
+            .map(|i: i64| i.wrapping_mul(0x5851_F42D_4C95_7F2D))
+            .collect();
+        let t = Table::builder()
+            .column(
+                "RL",
+                ColumnKind::Int,
+                Column::Int(I64Column::new(sorted, NullMask::none())),
+            )
+            .column(
+                "BP",
+                ColumnKind::Int,
+                Column::Int(I64Column::new(packed, NullMask::none())),
+            )
+            .column(
+                "PL",
+                ColumnKind::Int,
+                Column::Int(I64Column::plain(plain, NullMask::none())),
+            )
+            .build()
+            .unwrap();
+        let t2 = decode(encode(&t)).unwrap();
+        for (name, kind) in [
+            ("RL", EncodingKind::RunLength),
+            ("BP", EncodingKind::BitPacked),
+            ("PL", EncodingKind::Plain),
+        ] {
+            let c = t.column_by_name(name).unwrap().as_i64_col().unwrap();
+            let c2 = t2.column_by_name(name).unwrap().as_i64_col().unwrap();
+            assert_eq!(c.storage().kind(), kind, "in-memory {name}");
+            assert_eq!(c2.storage().kind(), kind, "decoded {name}");
+            assert_eq!(c2.storage(), c.storage(), "identical storage {name}");
+        }
+    }
+
+    #[test]
+    fn packed_columns_shrink_the_file() {
+        let n = 100_000usize;
+        let t = Table::builder()
+            .column(
+                "Bucketed",
+                ColumnKind::Int,
+                Column::Int(I64Column::new(
+                    (0..n as i64).map(|i| i / 50).collect(),
+                    NullMask::none(),
+                )),
+            )
+            .build()
+            .unwrap();
+        let bytes = encode(&t);
+        assert!(
+            bytes.len() < n, // < 1 byte/row; plain would be several
+            "{} bytes for {} run-length rows",
+            bytes.len(),
+            n
+        );
+    }
+
+    #[test]
     fn delta_encoding_compresses_sorted_ints() {
-        // Dates are near-sequential: delta coding should beat 8 bytes/value.
+        // Dates are near-sequential: whatever encoding ingest picks must
+        // still beat 3 bytes/value on disk.
         let n = 10_000usize;
         let t = Table::builder()
             .column(
@@ -364,6 +666,165 @@ mod tests {
         // panic or succeed silently.
         let r = decode(Bytes::from(corrupt));
         assert!(r.is_err() || r.is_ok()); // no panic is the contract
+    }
+
+    /// Helper building a single-int-column file whose payload we then
+    /// corrupt at specific positions.
+    fn packed_int_file(values: Vec<i64>) -> Vec<u8> {
+        let t = Table::builder()
+            .column(
+                "X",
+                ColumnKind::Int,
+                Column::Int(I64Column::new(values, NullMask::none())),
+            )
+            .build()
+            .unwrap();
+        encode(&t).to_vec()
+    }
+
+    #[test]
+    fn declared_row_count_mismatch_is_structured() {
+        // 200 sorted low-cardinality rows → run-length payload. Lie about
+        // the table's row count (byte right after the 4-byte magic + column
+        // count varint): 200 fits one varint byte.
+        let mut bytes = packed_int_file((0..200).map(|i| i / 20).collect());
+        // Layout: magic(4) | cols=1 (1 byte) | rows=200 (2-byte varint)...
+        // Patch rows to 199 (also 2 bytes: 0xC7 0x01).
+        assert_eq!(&bytes[5..7], &[0xC8, 0x01], "expected varint 200");
+        bytes[5] = 0xC7;
+        let err = decode(Bytes::from(bytes)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                Error::RowCountMismatch {
+                    declared: 199,
+                    actual: 200,
+                    ..
+                }
+            ),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn corrupt_packed_sections_rejected() {
+        // Bit-packed column: truncating the word stream must error, not
+        // panic or fabricate rows.
+        let bp = packed_int_file((0..1000).map(|i| (i * 37) % 256).collect());
+        for cut in [bp.len() - 1, bp.len() - 9, bp.len() / 2] {
+            assert!(
+                decode(Bytes::copy_from_slice(&bp[..cut])).is_err(),
+                "truncation at {cut} accepted"
+            );
+        }
+        // Run-length column: zero-length and over-long runs must error.
+        let rl = packed_int_file((0..1000).map(|i| i / 100).collect());
+        let decoded = decode(Bytes::copy_from_slice(&rl)).unwrap();
+        assert_eq!(decoded.num_rows(), 1000);
+        let mut broken = rl.clone();
+        // The last run length varint is the final byte (100 = 0x64).
+        let last = broken.len() - 1;
+        assert_eq!(broken[last], 100);
+        broken[last] = 0; // zero-length run
+        assert!(decode(Bytes::from(broken)).is_err());
+        let mut short = rl.clone();
+        let last = short.len() - 1;
+        short[last] = 99; // runs now sum to 999 ≠ 1000
+        let err = decode(Bytes::from(short)).unwrap_err();
+        assert!(
+            matches!(err, Error::RowCountMismatch { actual: 999, .. }),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn corrupt_packed_codes_stay_in_dictionary() {
+        // Five categories over many rows → bit-packed codes of width 3,
+        // whose packed words are the last bytes of the file. Setting them
+        // to all-ones decodes codes 7 > dictionary length 5; the decoder
+        // must reject, never index out of bounds.
+        let cats = ["a", "b", "c", "d", "e"];
+        let t = Table::builder()
+            .column(
+                "Tag",
+                ColumnKind::Category,
+                Column::Cat(DictColumn::from_strings(
+                    (0..640).map(|i| Some(cats[i % 5])),
+                )),
+            )
+            .build()
+            .unwrap();
+        let col = t.column_by_name("Tag").unwrap().as_dict_col().unwrap();
+        assert_eq!(col.codes().kind(), EncodingKind::BitPacked);
+        let mut bytes = encode(&t).to_vec();
+        let n = bytes.len();
+        assert!(decode(Bytes::copy_from_slice(&bytes)).is_ok());
+        for b in &mut bytes[n - 8..] {
+            *b = 0xFF;
+        }
+        let err = decode(Bytes::from(bytes)).unwrap_err();
+        assert!(
+            err.to_string().contains("out of dictionary range"),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn empty_dictionary_with_present_rows_rejected() {
+        // Hand-craft a file whose Str column declares both rows present but
+        // ships an empty dictionary: decoding must reject it up front, not
+        // panic later when a row dereferences the missing entry.
+        let mut w = hillview_net::WireWriter::new();
+        for b in MAGIC {
+            w.put_u8(*b);
+        }
+        w.put_varint(1); // columns
+        w.put_varint(2); // rows
+        w.put_str("S");
+        w.put_u8(kind_byte(ColumnKind::String));
+        w.put_varint(1); // one null run...
+        w.put_varint(2); // ...of 2 present rows
+        w.put_varint(0); // dict_len = 0
+        w.put_u8(ENC_PLAIN);
+        w.put_varint(2); // declared codes
+        w.put_varint(0);
+        w.put_varint(0);
+        let err = decode(w.finish()).unwrap_err();
+        assert!(err.to_string().contains("empty dictionary"), "got {err}");
+        // The legitimate shape — all rows null — still decodes.
+        let t = Table::builder()
+            .column(
+                "S",
+                ColumnKind::String,
+                Column::Str(DictColumn::from_strings([None::<&str>, None])),
+            )
+            .build()
+            .unwrap();
+        let t2 = decode(encode(&t)).unwrap();
+        assert!(t2.column(0).is_null(0) && t2.column(0).is_null(1));
+    }
+
+    #[test]
+    fn oversized_code_varints_rejected() {
+        // A plain code varint above u32::MAX must error instead of silently
+        // wrapping into a small (possibly in-range) code.
+        let mut w = hillview_net::WireWriter::new();
+        for b in MAGIC {
+            w.put_u8(*b);
+        }
+        w.put_varint(1); // columns
+        w.put_varint(1); // rows
+        w.put_str("S");
+        w.put_u8(kind_byte(ColumnKind::String));
+        w.put_varint(1); // one null run...
+        w.put_varint(1); // ...of 1 present row
+        w.put_varint(1); // dict_len = 1
+        w.put_str("a");
+        w.put_u8(ENC_PLAIN);
+        w.put_varint(1); // declared codes
+        w.put_varint(1u64 << 32); // truncates to code 0 if unchecked
+        let err = decode(w.finish()).unwrap_err();
+        assert!(err.to_string().contains("dictionary code"), "got {err}");
     }
 
     #[test]

@@ -127,8 +127,11 @@ fn parse_value(c: &[char], pos: &mut usize) -> std::result::Result<Json, String>
                             Some('b') => s.push('\u{8}'),
                             Some('f') => s.push('\u{c}'),
                             Some('u') => {
-                                let hex: String =
-                                    c.get(*pos + 1..*pos + 5).ok_or("bad \\u escape")?.iter().collect();
+                                let hex: String = c
+                                    .get(*pos + 1..*pos + 5)
+                                    .ok_or("bad \\u escape")?
+                                    .iter()
+                                    .collect();
                                 let code = u32::from_str_radix(&hex, 16)
                                     .map_err(|_| "bad \\u escape".to_string())?;
                                 s.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
@@ -150,9 +153,7 @@ fn parse_value(c: &[char], pos: &mut usize) -> std::result::Result<Json, String>
         Some('n') => expect_lit(c, pos, "null", Json::Null),
         Some(_) => {
             let start = *pos;
-            while *pos < c.len()
-                && matches!(c[*pos], '0'..='9' | '-' | '+' | '.' | 'e' | 'E')
-            {
+            while *pos < c.len() && matches!(c[*pos], '0'..='9' | '-' | '+' | '.' | 'e' | 'E') {
                 *pos += 1;
             }
             let text: String = c[start..*pos].iter().collect();
@@ -209,7 +210,10 @@ pub fn read_jsonl(reader: impl BufRead) -> Result<Table> {
         };
         // Backfill new columns and append this row.
         for (k, v) in map {
-            columns.entry(k).or_insert_with(|| vec![None; rows]).push(Some(v));
+            columns
+                .entry(k)
+                .or_insert_with(|| vec![None; rows])
+                .push(Some(v));
         }
         rows += 1;
         for col in columns.values_mut() {
@@ -221,10 +225,7 @@ pub fn read_jsonl(reader: impl BufRead) -> Result<Table> {
 
     let mut builder = Table::builder();
     for (name, vals) in &columns {
-        let all_int = vals
-            .iter()
-            .flatten()
-            .all(|v| matches!(v, Json::Int(_)));
+        let all_int = vals.iter().flatten().all(|v| matches!(v, Json::Int(_)));
         let all_num = vals
             .iter()
             .flatten()

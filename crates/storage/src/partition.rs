@@ -38,7 +38,7 @@ pub fn slice_table(table: &Table, start: usize, end: usize) -> Table {
         let rows = start..end;
         let sliced = match col {
             Column::Int(ic) | Column::Date(ic) => {
-                let data: Vec<i64> = ic.data()[start..end].to_vec();
+                let data: Vec<i64> = ic.storage().decode_range(start, end);
                 let mut nulls = NullMask::none();
                 for (j, i) in rows.clone().enumerate() {
                     if ic.nulls().is_null(i) {
@@ -63,8 +63,9 @@ pub fn slice_table(table: &Table, start: usize, end: usize) -> Table {
                 Column::Double(F64Column::new(data, nulls))
             }
             Column::Str(dc) | Column::Cat(dc) => {
-                // Share the dictionary; slice only the codes.
-                let codes: Vec<u32> = dc.codes()[start..end].to_vec();
+                // Share the dictionary; slice only the codes (decoded and
+                // re-encoded, so each micropartition re-analyzes its slice).
+                let codes: Vec<u32> = dc.codes().decode_range(start, end);
                 let mut nulls = NullMask::none();
                 for (j, i) in rows.clone().enumerate() {
                     if dc.nulls().is_null(i) {
@@ -104,9 +105,13 @@ mod tests {
             .column(
                 "X",
                 ColumnKind::Int,
-                Column::Int(I64Column::from_options(
-                    (0..n).map(|i| if i % 7 == 3 { None } else { Some(i as i64) }),
-                )),
+                Column::Int(I64Column::from_options((0..n).map(|i| {
+                    if i % 7 == 3 {
+                        None
+                    } else {
+                        Some(i as i64)
+                    }
+                }))),
             )
             .column(
                 "S",

@@ -40,7 +40,8 @@ impl<R: Read> Read for ThrottledReader<R> {
         self.bytes_read += n as u64;
         if self.bytes_per_sec > 0 {
             let started = *self.started.get_or_insert_with(Instant::now);
-            let target = Duration::from_secs_f64(self.bytes_read as f64 / self.bytes_per_sec as f64);
+            let target =
+                Duration::from_secs_f64(self.bytes_read as f64 / self.bytes_per_sec as f64);
             let elapsed = started.elapsed();
             if target > elapsed {
                 std::thread::sleep(target - elapsed);

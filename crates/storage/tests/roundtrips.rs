@@ -52,6 +52,39 @@ proptest! {
         }
     }
 
+    /// HVC preserves the in-memory encoding: whatever `IntStorage` variant
+    /// a column carries (every variant, forced), the decoded column carries
+    /// the identical storage — packed words ship without inflating.
+    #[test]
+    fn hvc_roundtrip_preserves_every_encoding(
+        data in proptest::collection::vec(-3000i64..3000, 1..200),
+    ) {
+        use hillview_columnar::{I64Storage, NullMask};
+        let storages = [
+            I64Storage::plain_of(data.clone()),
+            I64Storage::bit_packed_of(&data).unwrap(),
+            I64Storage::run_length_of(&data).unwrap(),
+        ];
+        for s in storages {
+            let kind = s.kind();
+            let t = Table::builder()
+                .column(
+                    "V",
+                    ColumnKind::Int,
+                    Column::Int(I64Column::with_storage(s, NullMask::none())),
+                )
+                .build()
+                .unwrap();
+            let decoded = hvc::decode(hvc::encode(&t)).unwrap();
+            let c = decoded.column_by_name("V").unwrap().as_i64_col().unwrap();
+            prop_assert_eq!(c.storage().kind(), kind);
+            prop_assert_eq!(
+                c.storage(),
+                t.column_by_name("V").unwrap().as_i64_col().unwrap().storage()
+            );
+        }
+    }
+
     /// CSV round-trips values it can represent. Empty strings decode as
     /// missing (CSV cannot distinguish them), so inputs avoid them.
     #[test]

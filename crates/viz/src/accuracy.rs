@@ -80,7 +80,11 @@ mod tests {
             })
             .collect();
         let t = Table::builder()
-            .column("X", ColumnKind::Double, Column::Double(F64Column::from_options(vals)))
+            .column(
+                "X",
+                ColumnKind::Double,
+                Column::Double(F64Column::from_options(vals)),
+            )
             .build()
             .unwrap();
         TableView::full(Arc::new(t))

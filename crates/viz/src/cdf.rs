@@ -67,7 +67,11 @@ impl CdfViz {
                 )))
             }
         };
-        let hi = if max > min { max + (max - min) * 1e-9 } else { min + 1.0 };
+        let hi = if max > min {
+            max + (max - min) * 1e-9
+        } else {
+            min + 1.0
+        };
         let spec = BucketSpec::numeric(min, hi, self.display.width_px);
         if self.exact {
             Ok(HistogramSketch::streaming(&self.column, spec))
@@ -80,8 +84,7 @@ impl CdfViz {
 
     /// Render the merged per-pixel histogram as a cumulative curve.
     pub fn render(&self, summary: &HistogramSummary) -> CdfRendering {
-        let total: u64 =
-            summary.total_in_buckets() + summary.out_of_range;
+        let total: u64 = summary.total_in_buckets() + summary.out_of_range;
         let v = self.display.height_px as f64;
         let mut heights = Vec::with_capacity(summary.buckets.len());
         let mut acc = 0u64;
@@ -154,13 +157,7 @@ mod tests {
         let range = RangeSketch::new("X").summarize(&v, 0).unwrap();
 
         let exact_viz = CdfViz::new("X", display).exact();
-        let exact = exact_viz.render(
-            &exact_viz
-                .prepare(&range)
-                .unwrap()
-                .summarize(&v, 0)
-                .unwrap(),
-        );
+        let exact = exact_viz.render(&exact_viz.prepare(&range).unwrap().summarize(&v, 0).unwrap());
 
         let viz = CdfViz::new("X", display);
         let sketch = viz.prepare(&range).unwrap();
@@ -184,7 +181,11 @@ mod tests {
             .map(|i| Some(if i % 10 < 9 { 0.05 } else { 0.95 }))
             .collect();
         let t = Table::builder()
-            .column("X", ColumnKind::Double, Column::Double(F64Column::from_options(vals)))
+            .column(
+                "X",
+                ColumnKind::Double,
+                Column::Double(F64Column::from_options(vals)),
+            )
             .build()
             .unwrap();
         let v = TableView::full(StdArc::new(t));

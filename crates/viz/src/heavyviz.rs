@@ -199,9 +199,16 @@ mod tests {
         let r = viz.render_sampling(&s, 10_000);
         assert_eq!(r.items[0].0, Value::str("UA"));
         // Extrapolated count within 20% of truth (5000).
-        assert!((r.items[0].1 as f64 - 5000.0).abs() < 1000.0, "{}", r.items[0].1);
+        assert!(
+            (r.items[0].1 as f64 - 5000.0).abs() < 1000.0,
+            "{}",
+            r.items[0].1
+        );
         // Rare values excluded.
-        assert!(r.items.iter().all(|(v, _, _)| !v.to_string().starts_with("rare")));
+        assert!(r
+            .items
+            .iter()
+            .all(|(v, _, _)| !v.to_string().starts_with("rare")));
     }
 
     #[test]

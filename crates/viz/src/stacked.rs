@@ -188,7 +188,11 @@ mod tests {
             .map(|i| Some(if (i % 10) < 5 { "alpha" } else { "beta" }))
             .collect();
         let t = Table::builder()
-            .column("Hour", ColumnKind::Int, Column::Int(I64Column::from_options(hours)))
+            .column(
+                "Hour",
+                ColumnKind::Int,
+                Column::Int(I64Column::from_options(hours)),
+            )
             .column(
                 "Kind",
                 ColumnKind::Category,
@@ -237,7 +241,11 @@ mod tests {
             .collect();
         let kinds: Vec<Option<&str>> = (0..n).map(|_| Some("alpha")).collect();
         let t = Table::builder()
-            .column("Hour", ColumnKind::Int, Column::Int(I64Column::from_options(hours)))
+            .column(
+                "Hour",
+                ColumnKind::Int,
+                Column::Int(I64Column::from_options(hours)),
+            )
             .column(
                 "Kind",
                 ColumnKind::Category,

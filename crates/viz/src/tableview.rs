@@ -84,18 +84,12 @@ impl TableViewViz {
 
     /// Render a merged next-K summary as a page.
     pub fn render(&self, summary: &NextKSummary) -> TablePage {
-        let mut headers: Vec<String> =
-            self.order.names().map(|n| n.to_string()).collect();
+        let mut headers: Vec<String> = self.order.names().map(|n| n.to_string()).collect();
         headers.extend(self.display_cols.iter().cloned());
         let rows = summary
             .rows
             .iter()
-            .map(|(_, row, count)| {
-                (
-                    row.values.iter().map(|v| v.to_string()).collect(),
-                    *count,
-                )
-            })
+            .map(|(_, row, count)| (row.values.iter().map(|v| v.to_string()).collect(), *count))
             .collect();
         TablePage {
             headers,
@@ -190,10 +184,7 @@ mod tests {
     fn scrollbar_quantile_then_page() {
         let viz = TableViewViz::new(SortOrder::ascending(&["Delay"]), 2);
         let v = view();
-        let q = viz
-            .scrollbar_quantile(6)
-            .summarize(&v, 0)
-            .unwrap();
+        let q = viz.scrollbar_quantile(6).summarize(&v, 0).unwrap();
         // Middle of the scroll bar → median-ish key.
         let key = q.quantile(viz.pixel_to_quantile(50)).unwrap();
         let page = viz.page_after(Some(key.clone())).summarize(&v, 0).unwrap();
@@ -203,8 +194,7 @@ mod tests {
 
     #[test]
     fn display_columns_render() {
-        let viz = TableViewViz::new(SortOrder::ascending(&["Delay"]), 2)
-            .with_display(&["Carrier"]);
+        let viz = TableViewViz::new(SortOrder::ascending(&["Delay"]), 2).with_display(&["Carrier"]);
         let s = viz.first_page().summarize(&view(), 0).unwrap();
         let page = viz.render(&s);
         assert_eq!(page.headers, vec!["Delay", "Carrier"]);

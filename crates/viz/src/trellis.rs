@@ -10,11 +10,11 @@ use crate::display::{DisplaySpec, COLOR_SHADES};
 use crate::heatmap::AxisInfo;
 use crate::render::ColorGrid;
 use crate::samples;
+use hillview_net::{Result as WireResult, Wire, WireReader, WireWriter};
 use hillview_sketch::buckets::BucketSpec;
 use hillview_sketch::heatmap::HeatmapSummary;
 use hillview_sketch::traits::{Sketch, SketchError, SketchResult, Summary};
 use hillview_sketch::TableView;
-use hillview_net::{Result as WireResult, Wire, WireReader, WireWriter};
 use std::sync::Arc;
 
 /// Trellis-of-heat-maps sketch: group column W, then X×Y per group.
@@ -155,7 +155,7 @@ fn bind_w<'a>(
                 if dict.nulls().is_null(row) {
                     None
                 } else {
-                    code_bucket[dict.codes()[row] as usize]
+                    code_bucket[dict.code(row) as usize]
                 }
             }))
         }
@@ -291,9 +291,21 @@ mod tests {
         let x: Vec<Option<f64>> = (0..n).map(|i| Some((i % 3) as f64 * 30.0 + 5.0)).collect();
         let y: Vec<Option<f64>> = (0..n).map(|i| Some((i % 50) as f64)).collect();
         let t = Table::builder()
-            .column("DC", ColumnKind::Category, Column::Cat(DictColumn::from_strings(w)))
-            .column("X", ColumnKind::Double, Column::Double(F64Column::from_options(x)))
-            .column("Y", ColumnKind::Double, Column::Double(F64Column::from_options(y)))
+            .column(
+                "DC",
+                ColumnKind::Category,
+                Column::Cat(DictColumn::from_strings(w)),
+            )
+            .column(
+                "X",
+                ColumnKind::Double,
+                Column::Double(F64Column::from_options(x)),
+            )
+            .column(
+                "Y",
+                ColumnKind::Double,
+                Column::Double(F64Column::from_options(y)),
+            )
             .build()
             .unwrap();
         TableView::full(StdArc::new(t))
@@ -321,11 +333,7 @@ mod tests {
         let (_viz, sketch) = prepared(&v);
         let s = sketch.summarize(&v, 0).unwrap();
         assert_eq!(s.groups.len(), 3);
-        let total: u64 = s
-            .groups
-            .iter()
-            .map(|g| g.rows_inspected)
-            .sum();
+        let total: u64 = s.groups.iter().map(|g| g.rows_inspected).sum();
         assert_eq!(total + s.dropped, 3000);
         // Each dc got 1000 rows.
         for g in &s.groups {
@@ -341,9 +349,7 @@ mod tests {
         let grids = viz.render(&s);
         assert_eq!(grids.len(), 3);
         // dc0's mass is in low-X cells; dc2's in high-X cells.
-        let mass_low: u64 = (0..grids[0].by)
-            .map(|y| grids[0].get(0, y) as u64)
-            .sum();
+        let mass_low: u64 = (0..grids[0].by).map(|y| grids[0].get(0, y) as u64).sum();
         assert!(mass_low > 0, "dc0 has low-X mass");
         let last_x = grids[2].bx - 1;
         let mass_high: u64 = (0..grids[2].by)

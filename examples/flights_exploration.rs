@@ -44,8 +44,7 @@ fn main() {
         udfs,
     );
     let engine = Arc::new(Engine::new(cluster));
-    let sheet =
-        Spreadsheet::open(engine, "flights", 0, DisplaySpec::new(60, 12)).expect("open");
+    let sheet = Spreadsheet::open(engine, "flights", 0, DisplaySpec::new(60, 12)).expect("open");
 
     println!("Q1: Who has more late flights, UA or AA?");
     for carrier in ["UA", "AA"] {

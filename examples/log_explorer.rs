@@ -52,9 +52,7 @@ fn main() {
     println!("{}", chart.to_ascii(10));
 
     println!("== Errors only: which hosts? ==");
-    let errors = sheet
-        .filtered(Predicate::equals("Level", "ERROR"))
-        .unwrap();
+    let errors = sheet.filtered(Predicate::equals("Level", "ERROR")).unwrap();
     let (err_rows, _) = errors.row_count().unwrap();
     let (hh, _) = errors.heavy_hitters_streaming("Server", 20).unwrap();
     println!("{err_rows} error rows; top sources:");

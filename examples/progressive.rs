@@ -43,12 +43,13 @@ fn main() {
         UdfRegistry::with_builtins(),
     );
     let engine = Arc::new(Engine::new(cluster));
-    let sheet =
-        Spreadsheet::open(engine, "flights", 0, DisplaySpec::new(48, 10)).expect("open");
+    let sheet = Spreadsheet::open(engine, "flights", 0, DisplaySpec::new(48, 10)).expect("open");
     // Chart the bulk of the distribution (zooming first keeps the demo
     // chart readable; the heavy delay tail would otherwise own the range).
     let mut sheet = sheet
-        .filtered(hillview_columnar::Predicate::range("DepDelay", -30.0, 120.0))
+        .filtered(hillview_columnar::Predicate::range(
+            "DepDelay", -30.0, 120.0,
+        ))
         .expect("zoom filter");
 
     // Stream partial histograms to the "browser": each update re-renders.

@@ -16,10 +16,13 @@ fn main() {
     // 1. Register a data source. Hillview never ingests or re-partitions:
     //    it reads whatever horizontal shards the storage layer provides.
     let mut sources = SourceRegistry::new();
-    sources.register(Arc::new(FnSource::new("flights", |worker, _n, mp, _snap| {
-        let table = generate_flights(&FlightsConfig::new(200_000, worker as u64));
-        Ok(partition_table(&table, mp))
-    })));
+    sources.register(Arc::new(FnSource::new(
+        "flights",
+        |worker, _n, mp, _snap| {
+            let table = generate_flights(&FlightsConfig::new(200_000, worker as u64));
+            Ok(partition_table(&table, mp))
+        },
+    )));
 
     // 2. Build a simulated cluster: 4 workers × 4 threads.
     let cluster = Cluster::new(
@@ -35,8 +38,8 @@ fn main() {
     let engine = Arc::new(Engine::new(cluster));
 
     // 3. Open a spreadsheet on the dataset.
-    let sheet = Spreadsheet::open(engine, "flights", 0, DisplaySpec::new(72, 16))
-        .expect("load flights");
+    let sheet =
+        Spreadsheet::open(engine, "flights", 0, DisplaySpec::new(72, 16)).expect("load flights");
 
     let (rows, _) = sheet.row_count().expect("count");
     println!("Loaded {rows} rows across 4 workers.\n");
@@ -45,7 +48,10 @@ fn main() {
     let (page, stats) = sheet
         .sort_view(&["DepDelay", "Carrier", "Origin"], 8)
         .expect("sort view");
-    println!("== First page by DepDelay ({} root bytes) ==", stats.root_bytes);
+    println!(
+        "== First page by DepDelay ({} root bytes) ==",
+        stats.root_bytes
+    );
     println!("{}", page.to_text());
 
     // 5. Chart: histogram of departure delays, rendered at 72×16 "pixels".

@@ -14,12 +14,15 @@ use std::sync::Arc;
 /// Build an engine over `workers` workers with flight and log sources.
 pub fn test_engine(workers: usize, rows_per_worker: usize) -> Arc<Engine> {
     let mut sources = SourceRegistry::new();
-    sources.register(Arc::new(FnSource::new("flights", move |w, _n, mp, snap| {
-        Ok(partition_table(
-            &generate_flights(&FlightsConfig::new(rows_per_worker, snap ^ w as u64)),
-            mp,
-        ))
-    })));
+    sources.register(Arc::new(FnSource::new(
+        "flights",
+        move |w, _n, mp, snap| {
+            Ok(partition_table(
+                &generate_flights(&FlightsConfig::new(rows_per_worker, snap ^ w as u64)),
+                mp,
+            ))
+        },
+    )));
     sources.register(Arc::new(FnSource::new("logs", move |w, _n, mp, snap| {
         Ok(partition_table(
             &generate_logs(&LogsConfig::new(rows_per_worker, snap ^ (w as u64) << 4)),
@@ -46,8 +49,8 @@ pub fn test_engine(workers: usize, rows_per_worker: usize) -> Arc<Engine> {
 /// Open a flights spreadsheet on a fresh test engine.
 pub fn flights_sheet(workers: usize, rows_per_worker: usize) -> Spreadsheet {
     let engine = test_engine(workers, rows_per_worker);
-    let sheet = Spreadsheet::open(engine, "flights", 0, DisplaySpec::new(120, 60))
-        .expect("load flights");
+    let sheet =
+        Spreadsheet::open(engine, "flights", 0, DisplaySpec::new(120, 60)).expect("load flights");
     sheet.set_seed(31337);
     sheet
 }

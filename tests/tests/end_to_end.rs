@@ -28,13 +28,23 @@ fn full_analyst_session() {
     let (hh, _) = sheet.heavy_hitters_streaming("Carrier", 14).unwrap();
     assert!(!hh.items.is_empty());
     let (distinct, _) = sheet.distinct_count("Origin").unwrap();
-    assert!((50.0..70.0).contains(&distinct), "60 airports, got {distinct}");
+    assert!(
+        (50.0..70.0).contains(&distinct),
+        "60 airports, got {distinct}"
+    );
     let (grid, _) = sheet.heatmap("Distance", "AirTime").unwrap();
     assert!(grid.max_count > 0);
 
     // Search.
     let (found, _) = sheet
-        .find_text("Origin", "SFO", StrMatchKind::Exact, false, &["FlightDate"], None)
+        .find_text(
+            "Origin",
+            "SFO",
+            StrMatchKind::Exact,
+            false,
+            &["FlightDate"],
+            None,
+        )
         .unwrap();
     assert!(found.first.is_some());
 }
@@ -95,13 +105,9 @@ fn scroll_bar_session() {
 #[test]
 fn multiple_sheets_share_one_engine() {
     let engine = test_engine(2, 8_000);
-    let flights = hillview_core::Spreadsheet::open(
-        engine.clone(),
-        "flights",
-        0,
-        DisplaySpec::new(100, 50),
-    )
-    .unwrap();
+    let flights =
+        hillview_core::Spreadsheet::open(engine.clone(), "flights", 0, DisplaySpec::new(100, 50))
+            .unwrap();
     let logs =
         hillview_core::Spreadsheet::open(engine.clone(), "logs", 0, DisplaySpec::new(100, 50))
             .unwrap();

@@ -20,14 +20,19 @@ fn crash_during_session_recovers_identically() {
     filtered.set_seed(7);
     let (after, _, _) = filtered.histogram_with_cdf("DepDelay", Some(25)).unwrap();
     assert_eq!(before.heights_px, after.heights_px);
-    assert!(sheet.engine().cluster().worker(0).is_alive(), "auto-restarted");
+    assert!(
+        sheet.engine().cluster().worker(0).is_alive(),
+        "auto-restarted"
+    );
 }
 
 #[test]
 fn deep_lineage_replays_in_order() {
     let sheet = flights_sheet(2, 10_000);
     // load → filter → filter → map → filter: five-deep lineage.
-    let a = sheet.filtered(Predicate::range("DepDelay", -60.0, 240.0)).unwrap();
+    let a = sheet
+        .filtered(Predicate::range("DepDelay", -60.0, 240.0))
+        .unwrap();
     let b = a.filtered(Predicate::equals("Cancelled", 0i64)).unwrap();
     let c = b.with_column("Speed", "Speed").unwrap();
     let d = c.filtered(Predicate::range("Speed", 1.0, 1e6)).unwrap();
@@ -47,11 +52,7 @@ fn deep_lineage_replays_in_order() {
 fn repeated_crashes_eventually_converge() {
     let sheet = flights_sheet(2, 8_000);
     for round in 0..4 {
-        sheet
-            .engine()
-            .cluster()
-            .worker(round % 2)
-            .kill();
+        sheet.engine().cluster().worker(round % 2).kill();
         let (rows, _) = sheet.row_count().unwrap();
         assert_eq!(rows, 16_000, "round {round}");
     }
@@ -60,18 +61,18 @@ fn repeated_crashes_eventually_converge() {
 #[test]
 fn computation_cache_survives_unrelated_evictions() {
     let engine = test_engine(2, 8_000);
-    let sheet = hillview_core::Spreadsheet::open(
-        engine.clone(),
-        "flights",
-        0,
-        DisplaySpec::new(100, 50),
-    )
-    .unwrap();
+    let sheet =
+        hillview_core::Spreadsheet::open(engine.clone(), "flights", 0, DisplaySpec::new(100, 50))
+            .unwrap();
     let (r1, _) = sheet.range_of("Distance").unwrap();
     // Cache hit on the second call.
-    let hits0: u64 = (0..2).map(|i| engine.cluster().worker(i).cache_hits()).sum();
+    let hits0: u64 = (0..2)
+        .map(|i| engine.cluster().worker(i).cache_hits())
+        .sum();
     let (r2, _) = sheet.range_of("Distance").unwrap();
-    let hits1: u64 = (0..2).map(|i| engine.cluster().worker(i).cache_hits()).sum();
+    let hits1: u64 = (0..2)
+        .map(|i| engine.cluster().worker(i).cache_hits())
+        .sum();
     assert_eq!(r1, r2);
     assert!(hits1 > hits0);
     // After eviction the cache is cold but the answer is unchanged.

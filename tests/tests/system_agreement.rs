@@ -3,11 +3,11 @@
 //! vizketches must land within their error bounds of those answers.
 
 use hillview_baseline::{GpEngine, RowDb};
-use hillview_integration::test_engine;
 use hillview_core::QueryOptions;
 use hillview_data::{generate_flights, FlightsConfig};
-use hillview_sketch::histogram::HistogramSketch;
+use hillview_integration::test_engine;
 use hillview_sketch::heavy::MisraGriesSketch;
+use hillview_sketch::histogram::HistogramSketch;
 use hillview_sketch::BucketSpec;
 
 #[test]
@@ -63,7 +63,10 @@ fn sampled_histogram_within_bounds_of_exact() {
         .run(
             ds,
             HistogramSketch::sampled("CRSDepTime", spec, 0.2),
-            &QueryOptions { seed: 5, ..Default::default() },
+            &QueryOptions {
+                seed: 5,
+                ..Default::default()
+            },
         )
         .unwrap();
     let total_exact: u64 = exact.buckets.iter().sum();

@@ -391,7 +391,11 @@ fn parse_pattern(pattern: &str) -> Vec<(Atom, u32, u32)> {
         // Optional {lo,hi} repetition.
         let (mut lo, mut hi) = (1u32, 1u32);
         if i < chars.len() && chars[i] == '{' {
-            let close = chars[i..].iter().position(|&c| c == '}').expect("unclosed repetition brace") + i;
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .expect("unclosed repetition brace")
+                + i;
             let body: String = chars[i + 1..close].iter().collect();
             if let Some((a, b)) = body.split_once(',') {
                 lo = a.trim().parse().expect("repetition lower bound");
@@ -650,7 +654,9 @@ macro_rules! prop_assert_ne {
         if *a == *b {
             return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
                 "assertion failed: {} != {}\n  both: {:?}",
-                stringify!($a), stringify!($b), a,
+                stringify!($a),
+                stringify!($b),
+                a,
             )));
         }
     }};
