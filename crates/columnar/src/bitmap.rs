@@ -4,6 +4,18 @@
 //! a [`MembershipSet`](crate::membership::MembershipSet) (paper §5.6: "Dense
 //! tables that contain most rows store a bitmap").
 
+/// The bits `[lo, hi)` of a 64-bit word, set (`hi <= 64`). Shared with the
+/// scan layer's word-granular null and bounds masking.
+#[inline]
+pub(crate) fn span_mask(lo: usize, hi: usize) -> u64 {
+    debug_assert!(lo <= hi && hi <= 64);
+    if hi - lo == 64 {
+        u64::MAX
+    } else {
+        ((1u64 << (hi - lo)) - 1) << lo
+    }
+}
+
 /// A fixed-length bitmap backed by 64-bit words.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Bitmap {
@@ -84,6 +96,26 @@ impl Bitmap {
     /// Number of set bits.
     pub fn count_ones(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Number of set bits with index in `lo..hi` (clamped to `len`).
+    /// Word-level popcounts with masked edge words — O(words in range).
+    pub fn count_range(&self, lo: usize, hi: usize) -> usize {
+        let hi = hi.min(self.len);
+        if lo >= hi {
+            return 0;
+        }
+        let (w_lo, w_hi) = (lo / 64, (hi - 1) / 64);
+        if w_lo == w_hi {
+            let mask = span_mask(lo % 64, hi - w_lo * 64);
+            return (self.words[w_lo] & mask).count_ones() as usize;
+        }
+        let mut count = (self.words[w_lo] & span_mask(lo % 64, 64)).count_ones() as usize;
+        for w in &self.words[w_lo + 1..w_hi] {
+            count += w.count_ones() as usize;
+        }
+        count += (self.words[w_hi] & span_mask(0, hi - w_hi * 64)).count_ones() as usize;
+        count
     }
 
     /// Bitwise AND with another bitmap of identical length.
@@ -263,6 +295,28 @@ mod tests {
         let b = Bitmap::new(65);
         let n = b.not();
         assert_eq!(n.count_ones(), 65);
+    }
+
+    #[test]
+    fn count_range_matches_filtered_iter() {
+        let mut b = Bitmap::new(300);
+        for i in (0..300).step_by(7) {
+            b.set(i);
+        }
+        for (lo, hi) in [
+            (0, 300),
+            (0, 0),
+            (5, 5),
+            (0, 1),
+            (63, 65),
+            (64, 128),
+            (10, 290),
+            (128, 140),
+            (250, 400),
+        ] {
+            let naive = b.iter_ones().filter(|&i| i >= lo && i < hi).count();
+            assert_eq!(b.count_range(lo, hi), naive, "range {lo}..{hi}");
+        }
     }
 
     #[test]

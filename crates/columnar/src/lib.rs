@@ -38,6 +38,12 @@
 //! `MembershipSet::iter` would, in the same order — which is what makes
 //! chunked and per-row kernel results bit-identical.
 //!
+//! For intra-partition parallelism, [`scan::SplittableSelection`] divides
+//! any membership set into balanced row-weighted sub-ranges without
+//! materializing row ids, and [`scan::Selection::members_in`] scans one
+//! such sub-range through the same drivers; adjacent sub-range scans
+//! concatenate to exactly the whole-partition row stream.
+//!
 //! ## Compressed columns
 //!
 //! Integer values and dictionary codes sit behind the [`encoding`] layer:
@@ -78,7 +84,7 @@ pub use membership::MembershipSet;
 pub use nullmask::NullMask;
 pub use predicate::{Predicate, StrMatchKind};
 pub use rows::{Row, RowKey};
-pub use scan::{ScanChunk, ScanSource, Selection};
+pub use scan::{rows_in_range, ScanChunk, ScanSource, Selection, SplittableSelection};
 pub use schema::{ColumnDesc, ColumnKind, Schema};
 pub use sort::{ResolvedSortOrder, SortColumn, SortOrder};
 pub use table::Table;

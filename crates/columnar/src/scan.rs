@@ -15,6 +15,13 @@
 //!   ranges.
 //! * [`Selection`] — unifies "scan the whole membership" and "scan these
 //!   sampled rows" so kernels have a single streaming/sampled code path.
+//!   [`Selection::members_in`] additionally bounds a membership set to a
+//!   row-index range, which is how split sub-ranges reuse the same drivers.
+//! * [`SplittableSelection`] — the chunk partitioner behind intra-partition
+//!   parallelism: it divides any membership representation into balanced,
+//!   row-weighted sub-ranges (halving recursively) *without materializing
+//!   row ids*, so a work-stealing executor can fan a single partition out
+//!   across cores and fold the partial summaries back in range order.
 //! * [`scan_values`] / [`scan_rows`] / [`count_missing`] — typed drivers
 //!   that fold null masks in at word granularity: one `u64` fetch per 64
 //!   rows, with a branch-free inner loop over the raw value slice whenever
@@ -24,7 +31,10 @@
 //! Chunks are always emitted in ascending row order and never overlap, so
 //! order-sensitive kernels (Misra-Gries, next-K) observe exactly the same
 //! row sequence as the per-row reference path — the scan-equivalence
-//! property tests in `hillview-sketch` rely on that.
+//! property tests in `hillview-sketch` rely on that. A bounded selection
+//! emits exactly the chunks of the unbounded one clipped to the range, so
+//! concatenating the value streams of adjacent sub-ranges reproduces the
+//! whole-partition stream verbatim.
 
 use crate::bitmap::Bitmap;
 use crate::encoding::{IntStorage, PackedInt};
@@ -42,6 +52,17 @@ pub trait ScanSource<T: Copy> {
     fn as_plain(&self) -> Option<&[T]>;
     /// Random access to row `i` (sparse row lists, sampled scans).
     fn index(&self, i: usize) -> T;
+    /// Random access tuned for *ascending* row sequences. `cursor` is
+    /// opaque scan-local state (initialize to 0 and reuse across calls of
+    /// one scan); run-length storage uses it to resume from the current run
+    /// instead of binary-searching per row, making sparse and sampled scans
+    /// O(1) amortized. Falling back to [`ScanSource::index`] is always
+    /// correct.
+    #[inline]
+    fn index_ascending(&self, cursor: &mut usize, i: usize) -> T {
+        let _ = cursor;
+        self.index(i)
+    }
     /// Decode rows `start .. start + out.len()` into `out`, ascending.
     fn decode_into(&self, start: usize, out: &mut [T]);
 }
@@ -86,6 +107,10 @@ impl<T: PackedInt> ScanSource<T> for IntStorage<T> {
         self.get(i)
     }
     #[inline]
+    fn index_ascending(&self, cursor: &mut usize, i: usize) -> T {
+        IntStorage::get_ascending(self, cursor, i)
+    }
+    #[inline]
     fn decode_into(&self, start: usize, out: &mut [T]) {
         IntStorage::decode_into(self, start, out);
     }
@@ -123,11 +148,12 @@ enum ChunksInner<'a> {
     Done,
     /// A single dense range, emitted once.
     Range(usize, usize),
-    /// Bitmap words still to decompose.
+    /// Bitmap words still to decompose, clipped to rows `lo..hi`.
     Words {
         words: &'a [u64],
-        len: usize,
         idx: usize,
+        lo: usize,
+        hi: usize,
     },
     /// A single explicit row list, emitted once.
     Rows(&'a [u32]),
@@ -155,25 +181,40 @@ impl<'a> ScanChunks<'a> {
     }
 
     fn bitmap(bitmap: &'a Bitmap) -> Self {
+        Self::bitmap_bounded(bitmap, 0, bitmap.len())
+    }
+
+    /// The chunks of `bitmap` clipped to rows `lo..hi`: exactly the
+    /// unbounded chunk stream with out-of-range rows removed.
+    fn bitmap_bounded(bitmap: &'a Bitmap, lo: usize, hi: usize) -> Self {
+        let hi = hi.min(bitmap.len());
         ScanChunks {
-            inner: ChunksInner::Words {
-                words: bitmap.words(),
-                len: bitmap.len(),
-                idx: 0,
+            inner: if lo >= hi {
+                ChunksInner::Done
+            } else {
+                ChunksInner::Words {
+                    words: bitmap.words(),
+                    idx: lo / 64,
+                    lo,
+                    hi,
+                }
             },
         }
     }
 }
 
-/// The all-ones pattern for word `idx` of a bitmap of `len` bits (the last
-/// word of a non-multiple-of-64 bitmap has a shorter tail).
+/// The selectable bits of word `idx` for rows clipped to `lo..hi`: the
+/// intersection of the word's 64-row span with the bounds. Zero only when
+/// the word lies entirely outside the bounds.
 #[inline]
-fn full_word(idx: usize, len: usize) -> u64 {
-    let remaining = len - idx * 64;
-    if remaining >= 64 {
-        u64::MAX
+fn word_span(idx: usize, lo: usize, hi: usize) -> u64 {
+    let base = idx * 64;
+    let s = lo.max(base).min(base + 64) - base;
+    let e = hi.max(base).min(base + 64) - base;
+    if s >= e {
+        0
     } else {
-        (1u64 << remaining) - 1
+        mask_span(s, e)
     }
 }
 
@@ -196,24 +237,33 @@ impl<'a> Iterator for ScanChunks<'a> {
                 self.inner = ChunksInner::Done;
                 Some(chunk)
             }
-            ChunksInner::Words { words, len, idx } => {
-                // Skip empty words.
-                while *idx < words.len() && words[*idx] == 0 {
+            ChunksInner::Words { words, idx, lo, hi } => {
+                // Skip words with no selected bits in bounds.
+                let mut w = 0u64;
+                while *idx * 64 < *hi {
+                    w = words.get(*idx).copied().unwrap_or(0) & word_span(*idx, *lo, *hi);
+                    if w != 0 {
+                        break;
+                    }
                     *idx += 1;
                 }
-                if *idx >= words.len() {
+                if *idx * 64 >= *hi {
                     self.inner = ChunksInner::Done;
                     return None;
                 }
-                let w = words[*idx];
-                if w == full_word(*idx, *len) {
-                    // Coalesce a run of all-ones words into one dense range.
-                    let start = *idx * 64;
+                if w == word_span(*idx, *lo, *hi) {
+                    // Coalesce a run of fully selected spans into one range.
+                    let start = (*idx * 64).max(*lo);
                     let mut j = *idx + 1;
-                    while j < words.len() && words[j] == full_word(j, *len) && words[j] != 0 {
-                        j += 1;
+                    while j * 64 < *hi {
+                        let span = word_span(j, *lo, *hi);
+                        if words.get(j).copied().unwrap_or(0) & span == span && span != 0 {
+                            j += 1;
+                        } else {
+                            break;
+                        }
                     }
-                    let end = (j * 64).min(*len);
+                    let end = (j * 64).min(*hi);
                     *idx = j;
                     Some(ScanChunk::Range { start, end })
                 } else {
@@ -239,22 +289,69 @@ impl MembershipSet {
     }
 }
 
-/// What a kernel scans: an entire membership set (streaming) or an explicit
-/// sampled row list. Gives kernels one code path for both.
+/// The sub-slice of a sorted row list whose rows lie in `lo..hi` — two
+/// binary searches, no copying. Used to clip pre-drawn samples (and sparse
+/// memberships) to a split sub-range.
+pub fn rows_in_range(rows: &[u32], lo: usize, hi: usize) -> &[u32] {
+    let a = rows.partition_point(|&r| (r as usize) < lo);
+    let b = rows.partition_point(|&r| (r as usize) < hi);
+    &rows[a..b]
+}
+
+/// What a kernel scans: an entire membership set (streaming), a row-bounded
+/// slice of one (split sub-ranges), or an explicit sampled row list. Gives
+/// kernels one code path for all three.
 #[derive(Debug, Clone, Copy)]
 pub enum Selection<'a> {
     /// Every row of the membership set.
     Members(&'a MembershipSet),
+    /// The rows of the membership set whose index lies in `start..end`.
+    /// Build through [`Selection::members_in`], which normalizes the cheap
+    /// cases (full bounds, sparse sets) to the other variants.
+    MemberRange {
+        /// The underlying membership set.
+        members: &'a MembershipSet,
+        /// First row index of the bounds.
+        start: usize,
+        /// One past the last row index of the bounds.
+        end: usize,
+    },
     /// A pre-drawn ascending row sample (e.g. from
     /// [`MembershipSet::sample`]).
     Rows(&'a [u32]),
 }
 
 impl<'a> Selection<'a> {
+    /// The rows of `members` with index in `lo..hi` (clamped to the
+    /// universe). Scanning `members_in` pieces over a partition of the
+    /// universe yields exactly the row stream of `Members`, in order —
+    /// that equivalence is what makes split execution safe.
+    pub fn members_in(members: &'a MembershipSet, lo: usize, hi: usize) -> Selection<'a> {
+        let hi = hi.min(members.universe());
+        let lo = lo.min(hi);
+        if lo == 0 && hi == members.universe() {
+            return Selection::Members(members);
+        }
+        match members {
+            // Sparse sets clip to a sub-slice of the row list for free.
+            MembershipSet::Sparse { rows, .. } => Selection::Rows(rows_in_range(rows, lo, hi)),
+            _ => Selection::MemberRange {
+                members,
+                start: lo,
+                end: hi,
+            },
+        }
+    }
+
     /// Number of selected rows.
     pub fn count(&self) -> usize {
         match self {
             Selection::Members(m) => m.len(),
+            Selection::MemberRange {
+                members,
+                start,
+                end,
+            } => members.count_range(*start, *end),
             Selection::Rows(r) => r.len(),
         }
     }
@@ -263,21 +360,163 @@ impl<'a> Selection<'a> {
     pub fn chunks(&self) -> ScanChunks<'a> {
         match self {
             Selection::Members(m) => m.chunks(),
+            Selection::MemberRange {
+                members,
+                start,
+                end,
+            } => match members {
+                MembershipSet::Full(n) => ScanChunks::range(*start, (*end).min(*n)),
+                MembershipSet::Dense(b) => ScanChunks::bitmap_bounded(b, *start, *end),
+                MembershipSet::Sparse { rows, .. } => {
+                    ScanChunks::rows(rows_in_range(rows, *start, *end))
+                }
+            },
             Selection::Rows(r) => ScanChunks::rows(r),
         }
     }
 }
 
-/// The bits `[lo, hi)` of a 64-bit word, set.
-#[inline]
-fn mask_span(lo: usize, hi: usize) -> u64 {
-    debug_assert!(lo <= hi && hi <= 64);
-    if hi - lo == 64 {
-        u64::MAX
-    } else {
-        ((1u64 << (hi - lo)) - 1) << lo
+/// A row-bounded view of a membership set that an executor can divide into
+/// balanced, row-weighted halves — the chunk partitioner for
+/// intra-partition parallelism.
+///
+/// Splitting never materializes row ids: full sets halve their range,
+/// dense sets cut at a popcount-balanced 64-row word boundary, and sparse
+/// sets halve their row slice by index. Weights are conserved exactly
+/// (`left.weight() + right.weight() == self.weight()`), so an executor can
+/// detect completion by summing reported weights, and the leaf set produced
+/// by recursive splitting is a pure function of (membership, grain) —
+/// independent of thread count or stealing order, which is what pins
+/// parallel results bit-identical to the serial split fold.
+#[derive(Debug, Clone, Copy)]
+pub struct SplittableSelection<'a> {
+    members: &'a MembershipSet,
+    start: usize,
+    end: usize,
+    weight: usize,
+}
+
+impl<'a> SplittableSelection<'a> {
+    /// The whole membership set as one splittable piece.
+    pub fn new(members: &'a MembershipSet) -> Self {
+        SplittableSelection {
+            members,
+            start: 0,
+            end: members.universe(),
+            weight: members.len(),
+        }
+    }
+
+    /// A bounded piece; the weight is computed (O(words) worst case).
+    pub fn with_bounds(members: &'a MembershipSet, start: usize, end: usize) -> Self {
+        let end = end.min(members.universe());
+        let start = start.min(end);
+        SplittableSelection {
+            members,
+            start,
+            end,
+            weight: members.count_range(start, end),
+        }
+    }
+
+    /// Rebuild a piece from bounds plus an already-known weight (executors
+    /// ship `(start, end, weight)` across task boundaries).
+    pub fn with_weight(
+        members: &'a MembershipSet,
+        start: usize,
+        end: usize,
+        weight: usize,
+    ) -> Self {
+        debug_assert_eq!(weight, members.count_range(start, end));
+        SplittableSelection {
+            members,
+            start,
+            end,
+            weight,
+        }
+    }
+
+    /// The universe row bounds `[start, end)` of this piece.
+    pub fn bounds(&self) -> (usize, usize) {
+        (self.start, self.end)
+    }
+
+    /// Selected rows within the bounds.
+    pub fn weight(&self) -> usize {
+        self.weight
+    }
+
+    /// The piece as a driver [`Selection`].
+    pub fn selection(&self) -> Selection<'a> {
+        Selection::members_in(self.members, self.start, self.end)
+    }
+
+    /// Split into two pieces of roughly equal weight. Returns `None` when
+    /// the piece cannot be split further (weight < 2, or — for dense sets —
+    /// all weight concentrated in a single 64-row word).
+    pub fn split(&self) -> Option<(Self, Self)> {
+        if self.weight < 2 {
+            return None;
+        }
+        let (mid, left_weight) = match self.members {
+            MembershipSet::Full(_) => {
+                let mid = self.start + (self.end - self.start) / 2;
+                (mid, mid - self.start)
+            }
+            MembershipSet::Sparse { rows, .. } => {
+                let a = rows.partition_point(|&r| (r as usize) < self.start);
+                let m = a + self.weight / 2;
+                (rows[m] as usize, self.weight / 2)
+            }
+            MembershipSet::Dense(b) => {
+                // Walk words accumulating popcount; cut at the first word
+                // boundary at or past half the weight that leaves both
+                // sides non-empty.
+                let target = (self.weight / 2).max(1);
+                let words = b.words();
+                let mut acc = 0usize;
+                let mut w = self.start / 64;
+                let mut cut = None;
+                while w * 64 < self.end {
+                    let span = word_span(w, self.start, self.end.min(b.len()));
+                    let prev = acc;
+                    acc += (words.get(w).copied().unwrap_or(0) & span).count_ones() as usize;
+                    if acc >= target {
+                        let after = ((w + 1) * 64).min(self.end);
+                        if after < self.end && acc < self.weight {
+                            cut = Some((after, acc));
+                        } else if prev > 0 && w * 64 > self.start {
+                            cut = Some((w * 64, prev));
+                        }
+                        break;
+                    }
+                    w += 1;
+                }
+                cut?
+            }
+        };
+        if left_weight == 0 || left_weight >= self.weight {
+            return None;
+        }
+        debug_assert!(self.start < mid && mid < self.end);
+        Some((
+            SplittableSelection {
+                members: self.members,
+                start: self.start,
+                end: mid,
+                weight: left_weight,
+            },
+            SplittableSelection {
+                members: self.members,
+                start: mid,
+                end: self.end,
+                weight: self.weight - left_weight,
+            },
+        ))
     }
 }
+
+use crate::bitmap::span_mask as mask_span;
 
 /// Stream the non-null values of `data` at the selected rows into
 /// `present`, adding the number of selected-but-null rows to `missing`.
@@ -384,6 +623,7 @@ fn scan_values_packed<T: Copy + Default, S: ScanSource<T> + ?Sized>(
     mut present: impl FnMut(T),
 ) {
     let mut scratch = [T::default(); 64];
+    let mut cursor = 0usize;
     for chunk in sel.chunks() {
         match chunk {
             ScanChunk::Range { start, end } => {
@@ -426,10 +666,12 @@ fn scan_values_packed<T: Copy + Default, S: ScanSource<T> + ?Sized>(
                     present(buf[b]);
                 }
             }
+            // Sparse rows arrive ascending, so the cursor makes run-length
+            // lookups O(1) amortized instead of per-row binary search.
             ScanChunk::Rows(rows) => match nulls {
                 None => {
                     for &r in rows {
-                        present(data.index(r as usize));
+                        present(data.index_ascending(&mut cursor, r as usize));
                     }
                 }
                 Some(nb) => {
@@ -437,7 +679,7 @@ fn scan_values_packed<T: Copy + Default, S: ScanSource<T> + ?Sized>(
                         if nb.get(r as usize) {
                             *missing += 1;
                         } else {
-                            present(data.index(r as usize));
+                            present(data.index_ascending(&mut cursor, r as usize));
                         }
                     }
                 }
@@ -563,6 +805,7 @@ fn scan_value_runs_packed<T: Copy + Default, D: ScanSource<T> + ?Sized, S: RunSi
     sink: &mut S,
 ) {
     let mut scratch = [T::default(); 64];
+    let mut cursor = 0usize;
     for chunk in sel.chunks() {
         match chunk {
             ScanChunk::Range { start, end } => {
@@ -601,10 +844,11 @@ fn scan_value_runs_packed<T: Copy + Default, D: ScanSource<T> + ?Sized, S: RunSi
                     sink.one(buf[b]);
                 }
             }
+            // Ascending sparse rows: cursor-based run-length access.
             ScanChunk::Rows(rows) => match nulls {
                 None => {
                     for &r in rows {
-                        sink.one(data.index(r as usize));
+                        sink.one(data.index_ascending(&mut cursor, r as usize));
                     }
                 }
                 Some(nb) => {
@@ -612,7 +856,7 @@ fn scan_value_runs_packed<T: Copy + Default, D: ScanSource<T> + ?Sized, S: RunSi
                         if nb.get(r as usize) {
                             *missing += 1;
                         } else {
-                            sink.one(data.index(r as usize));
+                            sink.one(data.index_ascending(&mut cursor, r as usize));
                         }
                     }
                 }
@@ -845,5 +1089,135 @@ mod tests {
         let m = MembershipSet::from_rows(vec![1, 5, 9], 10);
         assert_eq!(Selection::Members(&m).count(), 3);
         assert_eq!(Selection::Rows(&[1, 2]).count(), 2);
+    }
+
+    fn memberships() -> Vec<MembershipSet> {
+        vec![
+            MembershipSet::full(300),
+            MembershipSet::from_rows((0..300).step_by(29).collect(), 300),
+            MembershipSet::from_rows((0..300).filter(|r| r % 3 != 0).collect(), 300),
+            MembershipSet::from_rows((40..230).collect(), 300),
+            MembershipSet::from_rows(vec![], 300),
+            {
+                let mut bm = Bitmap::new(300);
+                for i in (64..256).filter(|i| i % 5 != 2) {
+                    bm.set(i);
+                }
+                MembershipSet::Dense(bm)
+            },
+        ]
+    }
+
+    #[test]
+    fn bounded_selection_rows_match_filtered_iter() {
+        for m in memberships() {
+            for (lo, hi) in [(0, 300), (0, 0), (13, 200), (64, 128), (63, 65), (100, 999)] {
+                let sel = Selection::members_in(&m, lo, hi);
+                let mut got = Vec::new();
+                scan_rows(&sel, |r| got.push(r));
+                let want: Vec<usize> = m.iter().filter(|&r| r >= lo && r < hi).collect();
+                assert_eq!(got, want, "{m:?} bounds {lo}..{hi}");
+                assert_eq!(sel.count(), want.len());
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_pieces_reassemble_the_full_scan() {
+        // Scanning members_in over consecutive bounds concatenates to the
+        // unbounded scan — the property split execution rests on.
+        for m in memberships() {
+            let mut pieces = Vec::new();
+            for (lo, hi) in [(0, 77), (77, 150), (150, 300)] {
+                scan_rows(&Selection::members_in(&m, lo, hi), |r| pieces.push(r));
+            }
+            let whole: Vec<usize> = m.iter().collect();
+            assert_eq!(pieces, whole, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn split_conserves_weight_and_orders_bounds() {
+        for m in memberships() {
+            let root = SplittableSelection::new(&m);
+            assert_eq!(root.weight(), m.len());
+            if let Some((l, r)) = root.split() {
+                assert_eq!(l.weight() + r.weight(), root.weight());
+                assert!(l.weight() > 0 && r.weight() > 0);
+                let (ls, le) = l.bounds();
+                let (rs, re) = r.bounds();
+                assert_eq!(ls, 0);
+                assert_eq!(le, rs);
+                assert_eq!(re, m.universe());
+                assert_eq!(l.weight(), m.count_range(ls, le));
+                assert_eq!(r.weight(), m.count_range(rs, re));
+            } else {
+                assert!(
+                    m.len() < 2 || matches!(m, MembershipSet::Dense(_)),
+                    "{m:?} should be splittable"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn recursive_split_partitions_every_membership() {
+        // Split to a tiny grain and check the leaf selections tile the
+        // original row stream exactly.
+        for m in memberships() {
+            let mut stack = vec![SplittableSelection::new(&m)];
+            let mut rows = Vec::new();
+            let mut leaves = 0;
+            while let Some(part) = stack.pop() {
+                if part.weight() > 16 {
+                    if let Some((l, r)) = part.split() {
+                        // Process left first to keep ascending order with a
+                        // LIFO stack.
+                        stack.push(r);
+                        stack.push(l);
+                        continue;
+                    }
+                }
+                leaves += 1;
+                scan_rows(&part.selection(), |r| rows.push(r));
+            }
+            let whole: Vec<usize> = m.iter().collect();
+            assert_eq!(rows, whole, "{m:?}");
+            if m.len() > 64 {
+                assert!(leaves > 1, "{m:?} produced a single leaf");
+            }
+        }
+    }
+
+    #[test]
+    fn splits_are_row_weighted_not_range_weighted() {
+        // All the weight sits in the back half of the range; a balanced
+        // split must cut inside that half, not at the naive midpoint.
+        let m = MembershipSet::from_rows((800..1000).collect(), 1000);
+        let root = SplittableSelection::new(&m);
+        let (l, r) = root.split().unwrap();
+        assert_eq!(l.weight(), 100);
+        assert_eq!(r.weight(), 100);
+        let (_, mid) = l.bounds();
+        assert!((850..=950).contains(&mid), "cut at {mid}");
+    }
+
+    #[test]
+    fn with_bounds_and_with_weight_agree() {
+        for m in memberships() {
+            let a = SplittableSelection::with_bounds(&m, 10, 200);
+            let b = SplittableSelection::with_weight(&m, 10, 200, m.count_range(10, 200));
+            assert_eq!(a.bounds(), b.bounds());
+            assert_eq!(a.weight(), b.weight());
+        }
+    }
+
+    #[test]
+    fn rows_in_range_clips_sorted_lists() {
+        let rows: Vec<u32> = vec![3, 17, 64, 65, 200];
+        assert_eq!(rows_in_range(&rows, 0, 1000), &rows[..]);
+        assert_eq!(rows_in_range(&rows, 17, 65), &[17, 64]);
+        assert_eq!(rows_in_range(&rows, 66, 200), &[] as &[u32]);
+        assert_eq!(rows_in_range(&rows, 201, 300), &[] as &[u32]);
     }
 }

@@ -1,6 +1,6 @@
 //! Property-based tests for the columnar substrate's core invariants.
 
-use hillview_columnar::scan::{scan_values, Selection};
+use hillview_columnar::scan::{scan_rows, scan_values, Selection, SplittableSelection};
 use hillview_columnar::{Bitmap, EncodingKind, I64Storage, MembershipSet, NullMask, RowKey, Value};
 use proptest::prelude::*;
 
@@ -218,6 +218,87 @@ proptest! {
         let desc_a = RowKey::new(vec![Value::Int(a)], vec![true]);
         let desc_b = RowKey::new(vec![Value::Int(b)], vec![true]);
         prop_assert_eq!(asc_a.cmp(&asc_b), desc_b.cmp(&desc_a));
+    }
+
+    /// Bounded selections are exactly the unbounded row stream clipped to
+    /// the bounds, for every membership representation.
+    #[test]
+    fn bounded_selection_equals_clipped_iteration(
+        kind in 0usize..4,
+        raw in proptest::collection::vec(any::<u32>(), 0..200),
+        n in 1usize..500,
+        cuts in (any::<u16>(), any::<u16>()),
+    ) {
+        let m = membership(kind, &raw, n);
+        let a = cuts.0 as usize % (n + 1);
+        let b = cuts.1 as usize % (n + 1);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let sel = Selection::members_in(&m, lo, hi);
+        let mut got = Vec::new();
+        scan_rows(&sel, |r| got.push(r));
+        let want: Vec<usize> = m.iter().filter(|&r| r >= lo && r < hi).collect();
+        prop_assert_eq!(&got, &want);
+        prop_assert_eq!(sel.count(), want.len());
+        prop_assert_eq!(m.count_range(lo, hi), want.len());
+    }
+
+    /// Recursive splitting at any grain tiles the membership exactly: the
+    /// concatenated leaf scans reproduce the full row stream, weights are
+    /// conserved, and the plan is deterministic.
+    #[test]
+    fn splittable_selection_tiles_exactly(
+        kind in 0usize..4,
+        raw in proptest::collection::vec(any::<u32>(), 0..200),
+        n in 1usize..500,
+        grain in 1usize..128,
+    ) {
+        fn leaves(part: SplittableSelection<'_>, grain: usize, out: &mut Vec<(usize, usize, usize)>) {
+            if part.weight() > grain {
+                if let Some((l, r)) = part.split() {
+                    leaves(l, grain, out);
+                    leaves(r, grain, out);
+                    return;
+                }
+            }
+            let (lo, hi) = part.bounds();
+            out.push((lo, hi, part.weight()));
+        }
+        let m = membership(kind, &raw, n);
+        let mut plan_a = Vec::new();
+        leaves(SplittableSelection::new(&m), grain, &mut plan_a);
+        let mut plan_b = Vec::new();
+        leaves(SplittableSelection::new(&m), grain, &mut plan_b);
+        prop_assert_eq!(&plan_a, &plan_b, "plan is deterministic");
+        let total: usize = plan_a.iter().map(|&(_, _, w)| w).sum();
+        prop_assert_eq!(total, m.len(), "weights conserved");
+        let mut rows = Vec::new();
+        for &(lo, hi, w) in &plan_a {
+            prop_assert_eq!(w, m.count_range(lo, hi));
+            scan_rows(&Selection::members_in(&m, lo, hi), |r| rows.push(r));
+        }
+        let whole: Vec<usize> = m.iter().collect();
+        prop_assert_eq!(rows, whole, "leaves tile the membership");
+    }
+
+    /// The ascending cursor agrees with plain `get` on arbitrary ascending
+    /// (and occasionally jumping) probe sequences, for every encoding.
+    #[test]
+    fn ascending_cursor_agrees_with_get(
+        data in proptest::collection::vec(-50i64..50, 1..400),
+        probes in proptest::collection::vec(any::<u32>(), 1..100),
+    ) {
+        for s in all_storages(&data) {
+            let mut sorted: Vec<usize> =
+                probes.iter().map(|&p| p as usize % data.len()).collect();
+            sorted.sort_unstable();
+            let mut cur = 0usize;
+            for &i in &sorted {
+                prop_assert_eq!(s.get_ascending(&mut cur, i), data[i], "{} asc", s.kind());
+            }
+            // A backward jump after the walk still answers correctly.
+            let back = sorted[0];
+            prop_assert_eq!(s.get_ascending(&mut cur, back), data[back], "{} back", s.kind());
+        }
     }
 
     /// Value ordering is transitive on random triples (sort consistency).

@@ -9,6 +9,24 @@
 //! §5.3). The root folds per-worker partials, streams progressive results
 //! to the client callback, and returns the final merge. Every edge message
 //! is wire-encoded and byte-counted.
+//!
+//! ## Intra-partition parallelism
+//!
+//! A leaf is no longer one task per micropartition: for splittable
+//! sketches, the initial per-partition task *recursively splits* its
+//! row range in balanced halves (`SplittableSelection`) until each piece
+//! holds at most [`ClusterConfig::leaf_grain_rows`] selected rows, pushing
+//! the peeled halves onto the pool's work-stealing deques. Idle pool
+//! threads steal the largest pending pieces, so one skewed micropartition
+//! saturates every core instead of serializing the query.
+//!
+//! Sub-task partials arrive in completion order and feed the progressive
+//! partial stream, but the *final* worker summary folds them sorted by
+//! `(partition, range start)`. Split boundaries depend only on the
+//! membership shape and the (fixed) grain, so the folded result is a pure
+//! function of `(data, sketch, seed, grain)` — bit-identical across thread
+//! counts, steal interleavings, and replay after failures (§5.8). Progress
+//! is reported in row-weighted work units per completed sub-task.
 
 use crate::dataset::{DatasetId, SourceRegistry, SourceSpec};
 use crate::erased::ErasedSketch;
@@ -35,6 +53,13 @@ pub struct ClusterConfig {
     pub batch_interval: Duration,
     /// Delay model for tree edges.
     pub link: LinkConfig,
+    /// Target selected rows per leaf sub-task: a splittable sketch's
+    /// partition is recursively halved until each piece holds at most this
+    /// many rows. Must be a pure config constant (never derived from load
+    /// or thread count) — the split plan determines the floating-point
+    /// fold structure, so it must be identical across runs and replays for
+    /// results to reproduce bit-for-bit (§5.8).
+    pub leaf_grain_rows: usize,
 }
 
 impl Default for ClusterConfig {
@@ -45,6 +70,7 @@ impl Default for ClusterConfig {
             micropartition_rows: 50_000,
             batch_interval: Duration::from_millis(100),
             link: LinkConfig::instant(),
+            leaf_grain_rows: 65_536,
         }
     }
 }
@@ -58,6 +84,7 @@ impl ClusterConfig {
             micropartition_rows: 1_000,
             batch_interval: Duration::from_millis(2),
             link: LinkConfig::instant(),
+            leaf_grain_rows: 65_536,
         }
     }
 }
@@ -103,11 +130,13 @@ pub struct QueryOutcome {
     pub partials: usize,
 }
 
-/// One message from a worker's aggregation node to the root.
+/// One message from a worker's aggregation node to the root. Progress is
+/// in row-weighted work units (selected rows + 1 per micropartition), so
+/// split sub-tasks advance the bar smoothly.
 struct WorkerMsg {
     worker: u32,
-    leaves_done: u32,
-    leaves_total: u32,
+    work_done: u64,
+    work_total: u64,
     is_final: bool,
     payload: MsgPayload,
 }
@@ -123,8 +152,8 @@ impl WorkerMsg {
     fn encode(&self) -> Bytes {
         let mut w = WireWriter::new();
         w.put_varint(self.worker as u64);
-        w.put_varint(self.leaves_done as u64);
-        w.put_varint(self.leaves_total as u64);
+        w.put_varint(self.work_done);
+        w.put_varint(self.work_total);
         w.put_u8(self.is_final as u8);
         match &self.payload {
             MsgPayload::Summary(b) => {
@@ -147,8 +176,8 @@ impl WorkerMsg {
     fn decode(bytes: Bytes) -> EngineResult<Self> {
         let mut r = WireReader::new(bytes);
         let worker = u32::decode(&mut r)?;
-        let leaves_done = u32::decode(&mut r)?;
-        let leaves_total = u32::decode(&mut r)?;
+        let work_done = r.get_varint()?;
+        let work_total = r.get_varint()?;
         let is_final = r.get_u8()? != 0;
         let payload = match r.get_u8()? {
             0 => MsgPayload::Summary(r.get_bytes()?),
@@ -161,8 +190,8 @@ impl WorkerMsg {
         };
         Ok(WorkerMsg {
             worker,
-            leaves_done,
-            leaves_total,
+            work_done,
+            work_total,
             is_final,
             payload,
         })
@@ -321,9 +350,10 @@ impl Cluster {
             let seed = opts.seed;
             let batch = self.cfg.batch_interval;
             let cache_key = opts.cache_key;
+            let grain = self.cfg.leaf_grain_rows;
             aggregators.push(std::thread::spawn(move || {
                 aggregate_worker(
-                    worker, sketch, dataset, seed, cancel, tree, tx, batch, cache_key,
+                    worker, sketch, dataset, seed, cancel, tree, tx, batch, cache_key, grain,
                 );
             }));
         }
@@ -332,8 +362,8 @@ impl Cluster {
         // Root merge loop.
         let n = self.workers.len();
         let mut latest: Vec<Option<Bytes>> = vec![None; n];
-        let mut done = vec![0u32; n];
-        let mut total = vec![0u32; n];
+        let mut done = vec![0u64; n];
+        let mut total = vec![0u64; n];
         let mut finals = 0usize;
         let mut first_partial = None;
         let mut partials = 0usize;
@@ -352,8 +382,8 @@ impl Cluster {
             match msg.payload {
                 MsgPayload::Summary(bytes) => {
                     latest[w] = Some(Bytes::from(bytes));
-                    done[w] = msg.leaves_done;
-                    total[w] = msg.leaves_total;
+                    done[w] = msg.work_done;
+                    total[w] = msg.work_total;
                     if msg.is_final {
                         finals += 1;
                     }
@@ -361,20 +391,20 @@ impl Cluster {
                     if let Some(cb) = &opts.on_partial {
                         let merged = self.fold(sketch, &latest)?;
                         // Workers that have not reported yet contribute an
-                        // estimated leaf count (the mean of reporting
+                        // estimated work total (the mean of reporting
                         // workers) so early progress is not overstated.
-                        let reported: Vec<u32> = total.iter().copied().filter(|&t| t > 0).collect();
-                        let mean = (reported.iter().sum::<u32>() as f64
+                        let reported: Vec<u64> = total.iter().copied().filter(|&t| t > 0).collect();
+                        let mean = (reported.iter().sum::<u64>() as f64
                             / reported.len().max(1) as f64)
                             .max(1.0);
-                        let total_leaves: f64 = total
+                        let total_work: f64 = total
                             .iter()
                             .map(|&t| if t == 0 { mean } else { t as f64 })
                             .sum();
-                        let fraction = if total_leaves == 0.0 {
+                        let fraction = if total_work == 0.0 {
                             0.0
                         } else {
-                            (done.iter().sum::<u32>() as f64 / total_leaves).min(1.0)
+                            (done.iter().sum::<u64>() as f64 / total_work).min(1.0)
                         };
                         if first_partial.is_none() {
                             first_partial = Some(started.elapsed());
@@ -382,6 +412,8 @@ impl Cluster {
                         partials += 1;
                         cb(&Partial {
                             fraction,
+                            work_done: done.iter().sum(),
+                            work_total: total.iter().sum(),
                             summary: merged,
                         });
                     } else if first_partial.is_none() {
@@ -445,8 +477,94 @@ impl std::fmt::Debug for Cluster {
     }
 }
 
-/// The aggregation-node body for one worker (paper Fig. 1): schedule leaf
-/// tasks, merge completions, ship batched partials to the root.
+/// One sub-task completion flowing from a pool thread to the aggregation
+/// node: which partition, where its range started (the fold key), how many
+/// work units it covered, and the summary bytes (or `None` if skipped by
+/// cancellation).
+struct LeafMsg {
+    partition: u32,
+    lo: usize,
+    work: u64,
+    result: EngineResult<Option<Bytes>>,
+}
+
+/// Execute one leaf sub-task. While the piece is larger than `grain`
+/// selected rows, peel off balanced right halves onto the pool — they land
+/// on this thread's deque, where idle siblings steal them — then summarize
+/// the remaining leftmost piece and report it keyed by range start.
+///
+/// `bonus` is 1 on the initial per-partition task (the extra work unit
+/// that makes empty partitions observable) and 0 on split-off halves;
+/// weights are conserved exactly across splits, so the aggregation node
+/// detects completion when reported work matches the precomputed total.
+#[allow(clippy::too_many_arguments)]
+fn run_leaf_task(
+    worker: Arc<Worker>,
+    view: hillview_sketch::TableView,
+    sketch: Arc<dyn ErasedSketch>,
+    partition: u32,
+    lo: usize,
+    hi: usize,
+    weight: usize,
+    bonus: u64,
+    grain: usize,
+    seed: u64,
+    cancel: CancellationToken,
+    tree: CancellationToken,
+    tx: crossbeam::channel::Sender<LeafMsg>,
+) {
+    use hillview_columnar::SplittableSelection;
+
+    worker.note_leaf_task();
+    // Cancellation skips pieces not yet started (§5.3) — including any
+    // splitting they would have done.
+    let cancelled = cancel.is_cancelled() || tree.is_cancelled();
+    let (mut lo, mut hi, mut weight) = (lo, hi, weight);
+    if !cancelled {
+        let mut part = SplittableSelection::with_weight(view.members(), lo, hi, weight);
+        while part.weight() > grain {
+            let Some((left, right)) = part.split() else {
+                break;
+            };
+            let (rlo, rhi) = right.bounds();
+            let rweight = right.weight();
+            let w2 = worker.clone();
+            let v2 = view.clone();
+            let s2 = sketch.clone();
+            let c2 = cancel.clone();
+            let t2 = tree.clone();
+            let tx2 = tx.clone();
+            worker.pool().submit(move || {
+                run_leaf_task(
+                    w2, v2, s2, partition, rlo, rhi, rweight, 0, grain, seed, c2, t2, tx2,
+                );
+            });
+            part = left;
+        }
+        (lo, hi) = part.bounds();
+        weight = part.weight();
+    }
+    let result = if cancelled {
+        Ok(None)
+    } else if lo == 0 && hi >= view.members().universe() {
+        // Unsplit partition: the plain summarize path, exactly as before.
+        sketch.summarize_to_bytes(&view, seed).map(Some)
+    } else {
+        sketch
+            .summarize_range_to_bytes(&view, lo, hi, seed)
+            .map(Some)
+    };
+    let _ = tx.send(LeafMsg {
+        partition,
+        lo,
+        work: weight as u64 + bonus,
+        result,
+    });
+}
+
+/// The aggregation-node body for one worker (paper Fig. 1): fan leaf tasks
+/// (splitting oversized partitions into sub-range tasks), merge
+/// completions, ship batched partials to the root.
 #[allow(clippy::too_many_arguments)]
 fn aggregate_worker(
     worker: Arc<Worker>,
@@ -458,6 +576,7 @@ fn aggregate_worker(
     tx: LinkSender,
     batch: Duration,
     cache_key: Option<u64>,
+    grain: usize,
 ) {
     let wid = worker.id as u32;
     let send = |msg: WorkerMsg| {
@@ -467,26 +586,12 @@ fn aggregate_worker(
     if !worker.is_alive() {
         send(WorkerMsg {
             worker: wid,
-            leaves_done: 0,
-            leaves_total: 0,
+            work_done: 0,
+            work_total: 0,
             is_final: true,
             payload: MsgPayload::WorkerDown,
         });
         return;
-    }
-
-    // Computation-cache fast path (paper §5.4).
-    if let Some(key) = cache_key {
-        if let Some(hit) = worker.cache_get(dataset, key) {
-            send(WorkerMsg {
-                worker: wid,
-                leaves_done: 1,
-                leaves_total: 1,
-                is_final: true,
-                payload: MsgPayload::Summary(hit.to_vec()),
-            });
-            return;
-        }
     }
 
     let views = match worker.partitions(dataset) {
@@ -494,8 +599,8 @@ fn aggregate_worker(
         None => {
             send(WorkerMsg {
                 worker: wid,
-                leaves_done: 0,
-                leaves_total: 0,
+                work_done: 0,
+                work_total: 0,
                 is_final: true,
                 payload: MsgPayload::DatasetMissing(dataset.0),
             });
@@ -503,94 +608,119 @@ fn aggregate_worker(
         }
     };
 
-    let total = views.len() as u32;
-    if total == 0 {
+    if views.is_empty() {
         send(WorkerMsg {
             worker: wid,
-            leaves_done: 0,
-            leaves_total: 0,
+            work_done: 0,
+            work_total: 0,
             is_final: true,
             payload: MsgPayload::Summary(sketch.identity_bytes().to_vec()),
         });
         return;
     }
 
-    // Fan leaf tasks onto the worker pool.
-    let (leaf_tx, leaf_rx) = crossbeam::channel::unbounded::<EngineResult<Option<Bytes>>>();
+    // Work units: selected rows plus one per partition (the +1 keeps empty
+    // partitions observable). Split halves conserve their weight exactly,
+    // so completion is "reported work == precomputed total".
+    let total_work: u64 = views.iter().map(|v| v.len() as u64 + 1).sum();
+
+    // Computation-cache fast path (paper §5.4). Reports the same
+    // row-weighted work total as the compute path would, so the root's
+    // progress fraction never mixes incomparable units across workers.
+    if let Some(key) = cache_key {
+        if let Some(hit) = worker.cache_get(dataset, key) {
+            send(WorkerMsg {
+                worker: wid,
+                work_done: total_work,
+                work_total: total_work,
+                is_final: true,
+                payload: MsgPayload::Summary(hit.to_vec()),
+            });
+            return;
+        }
+    }
+    // Non-splittable sketches run one task per partition, as before.
+    let grain = if sketch.splittable() {
+        grain.max(1)
+    } else {
+        usize::MAX
+    };
+
+    let (leaf_tx, leaf_rx) = crossbeam::channel::unbounded::<LeafMsg>();
     for (i, view) in views.iter().enumerate() {
-        let view = view.clone();
-        let sketch = sketch.clone();
-        let cancel = cancel.clone();
-        let tree = tree_cancel.clone();
-        let leaf_tx = leaf_tx.clone();
         // Leaf seed mixes the query seed with worker and partition indexes
-        // so samples are independent yet reproducible (§5.8).
+        // so samples are independent yet reproducible (§5.8). Sub-tasks of
+        // one partition share its seed: each draws the partition-wide
+        // sample and clips it to its range.
         let leaf_seed = seed
             ^ (worker.id as u64).wrapping_mul(0x9E3779B97F4A7C15)
             ^ (i as u64).wrapping_mul(0xC2B2AE3D27D4EB4F);
+        let universe = view.members().universe();
+        let w2 = worker.clone();
+        let v2 = view.clone();
+        let s2 = sketch.clone();
+        let c2 = cancel.clone();
+        let t2 = tree_cancel.clone();
+        let tx2 = leaf_tx.clone();
+        let weight = view.len();
         worker.pool().submit(move || {
-            // Cancellation skips micropartitions not yet started (§5.3).
-            let result = if cancel.is_cancelled() || tree.is_cancelled() {
-                Ok(None)
-            } else {
-                sketch.summarize_to_bytes(&view, leaf_seed).map(Some)
-            };
-            let _ = leaf_tx.send(result);
+            run_leaf_task(
+                w2, v2, s2, i as u32, 0, universe, weight, 1, grain, leaf_seed, c2, t2, tx2,
+            );
         });
     }
     drop(leaf_tx);
 
-    // Merge leaf results; propagate partials every `batch`.
+    // Merge completions; propagate partials every `batch`. The running
+    // `acc` merges in completion order and only feeds the transient
+    // partial stream; the final summary is folded deterministically below.
+    let mut pieces: Vec<(u32, usize, Bytes)> = Vec::new();
     let mut acc = sketch.identity_bytes();
-    let mut done = 0u32;
-    let mut skipped = 0u32;
+    let mut done_work = 0u64;
+    let mut skipped = 0u64;
     let mut dirty = false;
-    loop {
+    while done_work < total_work {
         match leaf_rx.recv_timeout(batch) {
-            Ok(Ok(Some(bytes))) => {
-                match sketch.merge_bytes(&acc, &bytes) {
-                    Ok(merged) => acc = merged,
+            Ok(msg) => {
+                match msg.result {
+                    Ok(Some(bytes)) => {
+                        match sketch.merge_bytes(&acc, &bytes) {
+                            Ok(merged) => acc = merged,
+                            Err(e) => {
+                                send(WorkerMsg {
+                                    worker: wid,
+                                    work_done: done_work,
+                                    work_total: total_work,
+                                    is_final: true,
+                                    payload: MsgPayload::Error(e.to_string()),
+                                });
+                                return;
+                            }
+                        }
+                        pieces.push((msg.partition, msg.lo, bytes));
+                        dirty = true;
+                    }
+                    // Cancelled piece: counts as completed-with-nothing.
+                    Ok(None) => skipped += 1,
                     Err(e) => {
                         send(WorkerMsg {
                             worker: wid,
-                            leaves_done: done,
-                            leaves_total: total,
+                            work_done: done_work,
+                            work_total: total_work,
                             is_final: true,
                             payload: MsgPayload::Error(e.to_string()),
                         });
                         return;
                     }
                 }
-                done += 1;
-                dirty = true;
-                if done == total {
-                    break;
-                }
-            }
-            Ok(Ok(None)) => {
-                // Cancelled leaf: counts as completed-with-nothing.
-                done += 1;
-                skipped += 1;
-                if done == total {
-                    break;
-                }
-            }
-            Ok(Err(e)) => {
-                send(WorkerMsg {
-                    worker: wid,
-                    leaves_done: done,
-                    leaves_total: total,
-                    is_final: true,
-                    payload: MsgPayload::Error(e.to_string()),
-                });
-                return;
+                done_work += msg.work;
             }
             Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
                 if dirty {
                     send(WorkerMsg {
                         worker: wid,
-                        leaves_done: done,
-                        leaves_total: total,
+                        work_done: done_work,
+                        work_total: total_work,
                         is_final: false,
                         payload: MsgPayload::Summary(acc.to_vec()),
                     });
@@ -601,21 +731,44 @@ fn aggregate_worker(
         }
     }
 
+    // Deterministic final fold: partials sorted by (partition, range
+    // start). The piece set is a pure function of (membership, grain), so
+    // this fold — unlike the completion-order `acc` — is bit-identical
+    // across thread counts, steal orders, and replays, even for
+    // order-sensitive merges (Misra-Gries) and floating-point sums.
+    pieces.sort_by_key(|&(p, lo, _)| (p, lo));
+    let mut final_acc = sketch.identity_bytes();
+    for (_, _, bytes) in &pieces {
+        match sketch.merge_bytes(&final_acc, bytes) {
+            Ok(merged) => final_acc = merged,
+            Err(e) => {
+                send(WorkerMsg {
+                    worker: wid,
+                    work_done: done_work,
+                    work_total: total_work,
+                    is_final: true,
+                    payload: MsgPayload::Error(e.to_string()),
+                });
+                return;
+            }
+        }
+    }
+
     // Cache only complete summaries: a tree cancelled mid-flight (user
-    // cancel or a sibling worker's failure) leaves `acc` partial, and
+    // cancel or a sibling worker's failure) leaves the fold partial, and
     // caching it would silently corrupt every later query (§5.4 caches
     // must hold deterministic, complete results).
     if let Some(key) = cache_key {
         if skipped == 0 && !cancel.is_cancelled() && !tree_cancel.is_cancelled() {
-            worker.cache_put(dataset, key, acc.clone());
+            worker.cache_put(dataset, key, final_acc.clone());
         }
     }
     send(WorkerMsg {
         worker: wid,
-        leaves_done: done,
-        leaves_total: total,
+        work_done: done_work,
+        work_total: total_work,
         is_final: true,
-        payload: MsgPayload::Summary(acc.to_vec()),
+        payload: MsgPayload::Summary(final_acc.to_vec()),
     });
 }
 
@@ -831,6 +984,145 @@ mod tests {
         let a = c.run_erased(ds, &erase(sk.clone()), &opts).unwrap();
         let b = c.run_erased(ds, &erase(sk), &opts).unwrap();
         assert_eq!(a.bytes, b.bytes, "same seed ⇒ identical summaries");
+    }
+
+    /// Cluster with an explicit thread count and leaf grain, holding one
+    /// worker with a 40k-row low-cardinality dataset (8 micropartitions).
+    fn split_cluster(threads: usize, grain: usize) -> Arc<Cluster> {
+        let mut sources = SourceRegistry::new();
+        sources.register(Arc::new(FnSource::new("skewed", |_w, _n, _mp, _snap| {
+            let t = Table::builder()
+                .column(
+                    "X",
+                    ColumnKind::Int,
+                    Column::Int(I64Column::from_options(
+                        (0..40_000).map(|i| Some((i * 7919) % 100)),
+                    )),
+                )
+                .build()
+                .unwrap();
+            Ok(vec![t])
+        })));
+        let cfg = ClusterConfig {
+            workers: 1,
+            threads_per_worker: threads,
+            micropartition_rows: 5_000,
+            batch_interval: Duration::from_millis(2),
+            link: LinkConfig::instant(),
+            leaf_grain_rows: grain,
+        };
+        Cluster::new(cfg, sources, UdfRegistry::with_builtins())
+    }
+
+    fn load_skewed(c: &Cluster) -> DatasetId {
+        let id = DatasetId(1);
+        c.load(
+            id,
+            &SourceSpec {
+                source: Arc::from("skewed"),
+                snapshot: 0,
+            },
+        )
+        .unwrap();
+        id
+    }
+
+    #[test]
+    fn split_execution_matches_unsplit_bytes_for_exact_sketches() {
+        // Tiny grain (forces ~8 sub-tasks per partition) vs huge grain (no
+        // splitting): integer-merge sketches must produce identical bytes.
+        use hillview_sketch::heavy::SampledHeavyHittersSketch;
+        let split = split_cluster(4, 512);
+        let unsplit = split_cluster(2, usize::MAX);
+        let (da, db) = (load_skewed(&split), load_skewed(&unsplit));
+        let sketches: Vec<Arc<dyn crate::erased::ErasedSketch>> = vec![
+            erase(HistogramSketch::streaming(
+                "X",
+                BucketSpec::numeric(0.0, 100.0, 10),
+            )),
+            erase(HistogramSketch::sampled(
+                "X",
+                BucketSpec::numeric(0.0, 100.0, 10),
+                0.25,
+            )),
+            erase(CountSketch::of_column("X")),
+            erase(SampledHeavyHittersSketch::new("X", 4, 0.5)),
+        ];
+        for sk in sketches {
+            let opts = QueryOptions {
+                seed: 99,
+                ..Default::default()
+            };
+            let a = split.run_erased(da, &sk, &opts).unwrap();
+            let b = unsplit.run_erased(db, &sk, &opts).unwrap();
+            assert_eq!(a.bytes, b.bytes, "sketch {}", sk.name());
+        }
+        // The split cluster really did split: more leaf tasks than the 8
+        // partitions per query.
+        assert!(
+            split.worker(0).leaf_tasks_executed() > 4 * 8,
+            "leaf tasks {} show no intra-partition splitting",
+            split.worker(0).leaf_tasks_executed()
+        );
+        assert_eq!(unsplit.worker(0).leaf_tasks_executed(), 4 * 8);
+    }
+
+    #[test]
+    fn split_results_independent_of_thread_count() {
+        // Order-sensitive (Misra-Gries) and floating-point (moments)
+        // sketches: the split plan and range-ordered fold are fixed, so
+        // 1-thread and 4-thread execution produce identical bytes.
+        use hillview_sketch::heavy::MisraGriesSketch;
+        use hillview_sketch::moments::MomentsSketch;
+        let one = split_cluster(1, 700);
+        let four = split_cluster(4, 700);
+        let (da, db) = (load_skewed(&one), load_skewed(&four));
+        let sketches: Vec<Arc<dyn crate::erased::ErasedSketch>> = vec![
+            erase(MisraGriesSketch::new("X", 5)),
+            erase(MomentsSketch::new("X", 4)),
+            erase(HistogramSketch::streaming(
+                "X",
+                BucketSpec::numeric(0.0, 100.0, 16),
+            )),
+        ];
+        for sk in sketches {
+            let opts = QueryOptions::default();
+            let a = one.run_erased(da, &sk, &opts).unwrap();
+            let b = four.run_erased(db, &sk, &opts).unwrap();
+            assert_eq!(a.bytes, b.bytes, "sketch {}", sk.name());
+            // Re-running on the same cluster is also stable.
+            let a2 = one.run_erased(da, &sk, &opts).unwrap();
+            assert_eq!(a.bytes, a2.bytes, "sketch {} re-run", sk.name());
+        }
+    }
+
+    #[test]
+    fn split_progress_reports_row_weighted_work() {
+        let c = split_cluster(2, 512);
+        let ds = load_skewed(&c);
+        let seen = Arc::new(parking_lot::Mutex::new(Vec::<(u64, u64)>::new()));
+        let seen2 = seen.clone();
+        let opts = QueryOptions {
+            on_partial: Some(Arc::new(move |p: &Partial| {
+                seen2.lock().push((p.work_done, p.work_total));
+            })),
+            ..Default::default()
+        };
+        let sk = erase(HistogramSketch::streaming(
+            "X",
+            BucketSpec::numeric(0.0, 100.0, 10),
+        ));
+        c.run_erased(ds, &sk, &opts).unwrap();
+        let partials = seen.lock().clone();
+        assert!(!partials.is_empty());
+        let (done, total) = *partials.last().unwrap();
+        // 40k rows + 8 partitions worth of work units.
+        assert_eq!(total, 40_000 + 8);
+        assert_eq!(done, total, "final partial reports complete work");
+        assert!(
+            partials.windows(2).all(|w| w[0].0 <= w[1].0),
+            "work progress is monotone: {partials:?}"
+        );
     }
 
     #[test]

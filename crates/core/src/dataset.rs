@@ -25,7 +25,7 @@ impl fmt::Display for DatasetId {
 
 /// Names a registered [`DataSource`] plus a snapshot tag. The tag makes the
 /// load operation replayable: re-loading must yield the identical snapshot
-/// (paper §5.7: "the storage layer [must] provide an API to read a
+/// (paper §5.7: "the storage layer \[must\] provide an API to read a
 /// particular snapshot of a dataset").
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SourceSpec {

@@ -4,7 +4,7 @@
 //! exactly what the real system does over gRPC — so internally it handles
 //! queries through the object-safe [`ErasedSketch`] interface. Vizketch
 //! authors never see this: they implement the typed
-//! [`Sketch`](hillview_sketch::Sketch) trait and the blanket adapter
+//! [`hillview_sketch::Sketch`] trait and the blanket adapter
 //! [`Erased`] does the rest (paper §5.5: developers "implement the
 //! summarize and merge functions ... the architecture handles all such
 //! issues in a uniform and transparent manner").
@@ -21,6 +21,19 @@ pub trait ErasedSketch: Send + Sync + 'static {
     fn name(&self) -> &'static str;
     /// Summarize one partition to wire bytes.
     fn summarize_to_bytes(&self, view: &TableView, seed: u64) -> EngineResult<Bytes>;
+    /// True when the sketch supports row-range splitting
+    /// ([`ErasedSketch::summarize_range_to_bytes`]); the leaf executor only
+    /// fans a partition into sub-range tasks for splittable sketches.
+    fn splittable(&self) -> bool;
+    /// Summarize the rows of one partition whose index lies in `lo..hi`,
+    /// to wire bytes (see `hillview_sketch::Sketch::summarize_range`).
+    fn summarize_range_to_bytes(
+        &self,
+        view: &TableView,
+        lo: usize,
+        hi: usize,
+        seed: u64,
+    ) -> EngineResult<Bytes>;
     /// Merge two wire-encoded summaries.
     fn merge_bytes(&self, a: &Bytes, b: &Bytes) -> EngineResult<Bytes>;
     /// The identity summary, wire-encoded.
@@ -37,6 +50,21 @@ impl<S: Sketch> ErasedSketch for Erased<S> {
 
     fn summarize_to_bytes(&self, view: &TableView, seed: u64) -> EngineResult<Bytes> {
         let summary = self.0.summarize(view, seed)?;
+        Ok(summary.to_bytes())
+    }
+
+    fn splittable(&self) -> bool {
+        self.0.splittable()
+    }
+
+    fn summarize_range_to_bytes(
+        &self,
+        view: &TableView,
+        lo: usize,
+        hi: usize,
+        seed: u64,
+    ) -> EngineResult<Bytes> {
+        let summary = self.0.summarize_range(view, lo, hi, seed)?;
         Ok(summary.to_bytes())
     }
 

@@ -35,10 +35,20 @@ impl CancellationToken {
 }
 
 /// A partial result streamed to the client while a query runs.
+///
+/// Progress is measured in *work units* — one unit per selected row plus
+/// one per micropartition — so a query over skewed partitions advances
+/// smoothly as split sub-tasks complete, instead of jumping per partition.
 #[derive(Debug, Clone)]
 pub struct Partial {
-    /// Fraction of leaves that have completed, in `[0, 1]`.
+    /// Fraction of work units completed, in `[0, 1]` (workers that have
+    /// not reported yet contribute an estimated total).
     pub fraction: f64,
+    /// Work units completed across reporting workers.
+    pub work_done: u64,
+    /// Work units total across reporting workers (0 until the first
+    /// report arrives).
+    pub work_total: u64,
     /// The partially merged summary, wire-encoded.
     pub summary: Bytes,
 }

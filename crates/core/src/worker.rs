@@ -25,7 +25,7 @@ pub struct Worker {
     pub id: usize,
     num_workers: usize,
     micropartition_rows: usize,
-    pool: ThreadPool,
+    pool: Arc<ThreadPool>,
     datasets: Mutex<HashMap<DatasetId, Arc<Vec<TableView>>>>,
     comp_cache: Mutex<HashMap<(DatasetId, u64), Bytes>>,
     alive: AtomicBool,
@@ -37,6 +37,9 @@ pub struct Worker {
     bytes_loaded: AtomicU64,
     /// Computation-cache hit counter (diagnostics / tests).
     cache_hits: AtomicU64,
+    /// Leaf sub-tasks executed on this worker's pool (diagnostics: a value
+    /// above the partition count proves intra-partition splitting ran).
+    leaf_tasks: AtomicU64,
 }
 
 impl Worker {
@@ -53,7 +56,7 @@ impl Worker {
             id,
             num_workers,
             micropartition_rows,
-            pool: ThreadPool::new(threads, &format!("worker{id}")),
+            pool: Arc::new(ThreadPool::new(threads, &format!("worker{id}"))),
             datasets: Mutex::new(HashMap::new()),
             comp_cache: Mutex::new(HashMap::new()),
             alive: AtomicBool::new(true),
@@ -62,12 +65,25 @@ impl Worker {
             rows_loaded: AtomicU64::new(0),
             bytes_loaded: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
+            leaf_tasks: AtomicU64::new(0),
         }
     }
 
     /// The worker's thread pool (used by the execution tree for leaves).
-    pub fn pool(&self) -> &ThreadPool {
+    /// Shared so leaf tasks can re-submit their split halves.
+    pub fn pool(&self) -> &Arc<ThreadPool> {
         &self.pool
+    }
+
+    /// Leaf sub-tasks executed so far (diagnostics; exceeds the partition
+    /// count of a query exactly when intra-partition splitting happened).
+    pub fn leaf_tasks_executed(&self) -> u64 {
+        self.leaf_tasks.load(Ordering::Relaxed)
+    }
+
+    /// Record one executed leaf sub-task.
+    pub(crate) fn note_leaf_task(&self) {
+        self.leaf_tasks.fetch_add(1, Ordering::Relaxed);
     }
 
     /// True while the worker is up.

@@ -10,7 +10,7 @@
 use crate::hashutil::hash_str;
 use crate::traits::{Sketch, SketchError, SketchResult, Summary};
 use crate::view::TableView;
-use hillview_columnar::scan::{scan_values, Selection};
+use hillview_columnar::scan::scan_values;
 use hillview_net::{Result as WireResult, Wire, WireReader, WireWriter};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -143,7 +143,39 @@ impl Sketch for BottomKSketch {
         "bottom-k"
     }
 
-    fn summarize(&self, view: &TableView, _partition_seed: u64) -> SketchResult<BottomKSummary> {
+    fn summarize(&self, view: &TableView, seed: u64) -> SketchResult<BottomKSummary> {
+        self.summarize_bounded(view, None, seed)
+    }
+
+    fn splittable(&self) -> bool {
+        true
+    }
+
+    fn summarize_range(
+        &self,
+        view: &TableView,
+        lo: usize,
+        hi: usize,
+        seed: u64,
+    ) -> SketchResult<BottomKSummary> {
+        self.summarize_bounded(view, Some((lo, hi)), seed)
+    }
+
+    fn identity(&self) -> BottomKSummary {
+        BottomKSummary::zero(self.k)
+    }
+}
+
+impl BottomKSketch {
+    /// The shared scan body; the k-smallest-hash entry set is a lattice
+    /// (deterministic union + truncation), so split partials fold back to
+    /// exactly the unsplit summary.
+    fn summarize_bounded(
+        &self,
+        view: &TableView,
+        bounds: Option<(usize, usize)>,
+        _seed: u64,
+    ) -> SketchResult<BottomKSummary> {
         let col = view.table().column_by_name(&self.column)?;
         let dict = col.as_dict_col().ok_or_else(|| {
             SketchError::BadConfig(format!(
@@ -156,7 +188,7 @@ impl Sketch for BottomKSketch {
         // one null-word probe per 64 rows instead of per-row `is_null`.
         let mut seen = vec![false; dict.dictionary().len()];
         let mut missing = 0u64;
-        let sel = Selection::Members(view.members());
+        let sel = crate::view::bounded_selection(view, &None, bounds);
         scan_values(
             &sel,
             dict.codes(),
@@ -181,12 +213,6 @@ impl Sketch for BottomKSketch {
         })
     }
 
-    fn identity(&self) -> BottomKSummary {
-        BottomKSummary::zero(self.k)
-    }
-}
-
-impl BottomKSketch {
     /// Per-row reference implementation, kept for the scan-equivalence
     /// property tests. Must remain bit-identical to [`Sketch::summarize`].
     pub fn summarize_rowwise(&self, view: &TableView, _seed: u64) -> SketchResult<BottomKSummary> {

@@ -6,7 +6,7 @@
 
 use crate::traits::{Sketch, SketchResult, Summary};
 use crate::view::TableView;
-use hillview_columnar::scan::{count_missing, Selection};
+use hillview_columnar::scan::count_missing;
 use hillview_net::{Result as WireResult, Wire, WireReader, WireWriter};
 use std::sync::Arc;
 
@@ -69,22 +69,48 @@ impl Sketch for CountSketch {
         "count"
     }
 
-    fn summarize(&self, view: &TableView, _seed: u64) -> SketchResult<CountSummary> {
-        let rows = view.len() as u64;
+    fn summarize(&self, view: &TableView, seed: u64) -> SketchResult<CountSummary> {
+        self.summarize_bounded(view, None, seed)
+    }
+
+    fn splittable(&self) -> bool {
+        true
+    }
+
+    fn summarize_range(
+        &self,
+        view: &TableView,
+        lo: usize,
+        hi: usize,
+        seed: u64,
+    ) -> SketchResult<CountSummary> {
+        self.summarize_bounded(view, Some((lo, hi)), seed)
+    }
+
+    fn identity(&self) -> CountSummary {
+        CountSummary::default()
+    }
+}
+
+impl CountSketch {
+    fn summarize_bounded(
+        &self,
+        view: &TableView,
+        bounds: Option<(usize, usize)>,
+        _seed: u64,
+    ) -> SketchResult<CountSummary> {
+        let sel = crate::view::bounded_selection(view, &None, bounds);
+        let rows = sel.count() as u64;
         let missing = match &self.column {
             None => 0,
             Some(name) => {
                 let col = view.table().column_by_name(name)?;
                 // Word-AND popcounts of membership × null mask: no column
                 // data is touched at all.
-                count_missing(&Selection::Members(view.members()), col.null_bitmap())
+                count_missing(&sel, col.null_bitmap())
             }
         };
         Ok(CountSummary { rows, missing })
-    }
-
-    fn identity(&self) -> CountSummary {
-        CountSummary::default()
     }
 }
 

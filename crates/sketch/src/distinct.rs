@@ -7,7 +7,7 @@
 use crate::hashutil::hash_value;
 use crate::traits::{Sketch, SketchResult, Summary};
 use crate::view::TableView;
-use hillview_columnar::scan::{scan_rows, scan_values, Selection};
+use hillview_columnar::scan::{scan_rows, scan_values};
 use hillview_net::{Result as WireResult, Wire, WireReader, WireWriter};
 use std::sync::Arc;
 
@@ -140,13 +140,44 @@ impl Sketch for DistinctSketch {
         "distinct-hll"
     }
 
-    fn summarize(&self, view: &TableView, _partition_seed: u64) -> SketchResult<DistinctSummary> {
+    fn summarize(&self, view: &TableView, seed: u64) -> SketchResult<DistinctSummary> {
+        self.summarize_bounded(view, None, seed)
+    }
+
+    fn splittable(&self) -> bool {
+        true
+    }
+
+    fn summarize_range(
+        &self,
+        view: &TableView,
+        lo: usize,
+        hi: usize,
+        seed: u64,
+    ) -> SketchResult<DistinctSummary> {
+        self.summarize_bounded(view, Some((lo, hi)), seed)
+    }
+
+    fn identity(&self) -> DistinctSummary {
+        DistinctSummary::zero(self.p)
+    }
+}
+
+impl DistinctSketch {
+    /// The shared scan body; HLL registers max-merge, so split partials
+    /// fold back to exactly the unsplit register array.
+    fn summarize_bounded(
+        &self,
+        view: &TableView,
+        bounds: Option<(usize, usize)>,
+        _partition_seed: u64,
+    ) -> SketchResult<DistinctSummary> {
         let col = view.table().column_by_name(&self.column)?;
         let mut out = DistinctSummary::zero(self.p);
         // Only the sketch-level seed feeds the hash: every partition must
         // hash values identically or registers would not merge.
         let seed = self.seed;
-        let sel = Selection::Members(view.members());
+        let sel = crate::view::bounded_selection(view, &None, bounds);
         if let Some(dict) = col.as_dict_col() {
             // Dictionary columns: hash each *code's* string once per
             // partition, then observe per row via the chunked code scan
@@ -181,12 +212,6 @@ impl Sketch for DistinctSketch {
         Ok(out)
     }
 
-    fn identity(&self) -> DistinctSummary {
-        DistinctSummary::zero(self.p)
-    }
-}
-
-impl DistinctSketch {
     /// Per-row reference implementation, kept for the scan-equivalence
     /// property tests. Must remain bit-identical to [`Sketch::summarize`].
     pub fn summarize_rowwise(

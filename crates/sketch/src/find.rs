@@ -9,7 +9,7 @@
 
 use crate::traits::{Sketch, SketchResult, Summary};
 use crate::view::TableView;
-use hillview_columnar::scan::{scan_rows, Selection};
+use hillview_columnar::scan::scan_rows;
 use hillview_columnar::{Predicate, Row, RowKey, SortOrder, StrMatchKind};
 use hillview_net::{Result as WireResult, Wire, WireReader, WireWriter};
 use std::sync::Arc;
@@ -122,7 +122,43 @@ impl Sketch for FindSketch {
         "find-text"
     }
 
-    fn summarize(&self, view: &TableView, _seed: u64) -> SketchResult<FindSummary> {
+    fn summarize(&self, view: &TableView, seed: u64) -> SketchResult<FindSummary> {
+        self.summarize_bounded(view, None, seed)
+    }
+
+    fn splittable(&self) -> bool {
+        true
+    }
+
+    fn summarize_range(
+        &self,
+        view: &TableView,
+        lo: usize,
+        hi: usize,
+        seed: u64,
+    ) -> SketchResult<FindSummary> {
+        self.summarize_bounded(view, Some((lo, hi)), seed)
+    }
+
+    fn identity(&self) -> FindSummary {
+        FindSummary {
+            first: None,
+            matches_after: 0,
+            matches_total: 0,
+        }
+    }
+}
+
+impl FindSketch {
+    /// The shared scan body; match counts add and the first-match key is a
+    /// minimum lattice, so split partials fold back to exactly the unsplit
+    /// summary.
+    fn summarize_bounded(
+        &self,
+        view: &TableView,
+        bounds: Option<(usize, usize)>,
+        _seed: u64,
+    ) -> SketchResult<FindSummary> {
         let table = view.table();
         let resolved = self.order.resolve(table)?;
         let pred = Predicate::str_match(
@@ -139,39 +175,32 @@ impl Sketch for FindSketch {
         };
         // Chunked row enumeration: the membership probe is amortized to
         // chunk decoding; predicate and key evaluation stay per-row.
-        scan_rows(&Selection::Members(view.members()), |row| {
-            if !pred.eval(table, row) {
-                return;
-            }
-            out.matches_total += 1;
-            let key = resolved.key(table, row);
-            if let Some(start) = &self.start {
-                if key <= *start {
+        scan_rows(
+            &crate::view::bounded_selection(view, &None, bounds),
+            |row| {
+                if !pred.eval(table, row) {
                     return;
                 }
-            }
-            out.matches_after += 1;
-            let better = match &out.first {
-                None => true,
-                Some((best, _)) => key < *best,
-            };
-            if better {
-                out.first = Some((key, table.full_row(row)));
-            }
-        });
+                out.matches_total += 1;
+                let key = resolved.key(table, row);
+                if let Some(start) = &self.start {
+                    if key <= *start {
+                        return;
+                    }
+                }
+                out.matches_after += 1;
+                let better = match &out.first {
+                    None => true,
+                    Some((best, _)) => key < *best,
+                };
+                if better {
+                    out.first = Some((key, table.full_row(row)));
+                }
+            },
+        );
         Ok(out)
     }
 
-    fn identity(&self) -> FindSummary {
-        FindSummary {
-            first: None,
-            matches_after: 0,
-            matches_total: 0,
-        }
-    }
-}
-
-impl FindSketch {
     /// Per-row reference implementation, kept for the scan-equivalence
     /// property tests. Must remain bit-identical to [`Sketch::summarize`].
     pub fn summarize_rowwise(&self, view: &TableView, _seed: u64) -> SketchResult<FindSummary> {

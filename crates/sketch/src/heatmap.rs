@@ -8,7 +8,7 @@ use crate::bind::{BoundColumn, Cell};
 use crate::buckets::BucketSpec;
 use crate::traits::{Sketch, SketchResult, Summary};
 use crate::view::TableView;
-use hillview_columnar::scan::{scan_rows, Selection};
+use hillview_columnar::scan::scan_rows;
 use hillview_net::{Result as WireResult, Wire, WireReader, WireWriter};
 use std::sync::Arc;
 
@@ -154,16 +154,44 @@ impl Sketch for HeatmapSketch {
     }
 
     fn summarize(&self, view: &TableView, seed: u64) -> SketchResult<HeatmapSummary> {
+        self.summarize_bounded(view, None, seed)
+    }
+
+    fn splittable(&self) -> bool {
+        true
+    }
+
+    fn summarize_range(
+        &self,
+        view: &TableView,
+        lo: usize,
+        hi: usize,
+        seed: u64,
+    ) -> SketchResult<HeatmapSummary> {
+        self.summarize_bounded(view, Some((lo, hi)), seed)
+    }
+
+    fn identity(&self) -> HeatmapSummary {
+        HeatmapSummary::zero(self.buckets_x.count(), self.buckets_y.count())
+    }
+}
+
+impl HeatmapSketch {
+    /// The shared scan body; matrix counts are integers, so split partials
+    /// fold back to exactly the unsplit summary.
+    fn summarize_bounded(
+        &self,
+        view: &TableView,
+        bounds: Option<(usize, usize)>,
+        seed: u64,
+    ) -> SketchResult<HeatmapSummary> {
         let cx = view.table().column_by_name(&self.col_x)?;
         let cy = view.table().column_by_name(&self.col_y)?;
         // Bind once: raw slices + null bitmaps, no per-row enum dispatch.
         let bx = BoundColumn::bind(cx, &self.buckets_x)?;
         let by = BoundColumn::bind(cy, &self.buckets_y)?;
         let sampled = (self.rate < 1.0).then(|| view.sample_rows(self.rate, seed));
-        let sel = match &sampled {
-            Some(rows) => Selection::Rows(rows),
-            None => Selection::Members(view.members()),
-        };
+        let sel = crate::view::bounded_selection(view, &sampled, bounds);
         let mut out = HeatmapSummary::zero(self.buckets_x.count(), self.buckets_y.count());
         out.rows_inspected = sel.count() as u64;
         let width_y = out.by;
@@ -173,10 +201,6 @@ impl Sketch for HeatmapSketch {
             _ => out.out_of_range += 1,
         });
         Ok(out)
-    }
-
-    fn identity(&self) -> HeatmapSummary {
-        HeatmapSummary::zero(self.buckets_x.count(), self.buckets_y.count())
     }
 }
 
@@ -203,7 +227,7 @@ impl HeatmapSketch {
                 tally(row);
             }
         } else {
-            for row in view.sample_rows(self.rate, seed) {
+            for &row in view.sample_rows(self.rate, seed).iter() {
                 tally(row as usize);
             }
         }

@@ -2,14 +2,14 @@
 //!
 //! Paper App. B.2 gives both algorithms. Misra-Gries keeps K counters and is
 //! exact up to an additive n/K undercount; the mergeable variant (Agarwal et
-//! al. [2]) combines counter sets and re-truncates. The sampling variant
+//! al. \[2\]) combines counter sets and re-truncates. The sampling variant
 //! draws `n = K² log(K/δ)` rows and reports items with sample frequency
 //! ≥ 3n/4K; Theorem 4 (App. C.3) shows this returns every item above 1/K and
 //! none below 1/4K with probability 1−δ.
 
 use crate::traits::{Sketch, SketchResult, Summary};
 use crate::view::TableView;
-use hillview_columnar::scan::{scan_rows, scan_values, Selection};
+use hillview_columnar::scan::{scan_rows, scan_values};
 use hillview_columnar::Value;
 use hillview_net::{Result as WireResult, Wire, WireReader, WireWriter};
 use std::collections::HashMap;
@@ -145,9 +145,44 @@ impl Sketch for MisraGriesSketch {
         "heavy-hitters-mg"
     }
 
-    fn summarize(&self, view: &TableView, _seed: u64) -> SketchResult<MisraGriesSummary> {
+    fn summarize(&self, view: &TableView, seed: u64) -> SketchResult<MisraGriesSummary> {
+        self.summarize_bounded(view, None, seed)
+    }
+
+    fn splittable(&self) -> bool {
+        true
+    }
+
+    fn summarize_range(
+        &self,
+        view: &TableView,
+        lo: usize,
+        hi: usize,
+        seed: u64,
+    ) -> SketchResult<MisraGriesSummary> {
+        self.summarize_bounded(view, Some((lo, hi)), seed)
+    }
+
+    fn identity(&self) -> MisraGriesSummary {
+        MisraGriesSummary::zero(self.k)
+    }
+}
+
+impl MisraGriesSketch {
+    /// The shared scan body over a whole partition or a split sub-range.
+    /// MG counters are order-sensitive, so a split execution (sub-range
+    /// counter sets folded with the mergeable-summaries merge) is a
+    /// *different but equally valid* MG summary than the unsplit pass —
+    /// same capacity, same `total/k` undercount bound. Determinism comes
+    /// from the fixed split plan and range-ordered fold.
+    fn summarize_bounded(
+        &self,
+        view: &TableView,
+        bounds: Option<(usize, usize)>,
+        _seed: u64,
+    ) -> SketchResult<MisraGriesSummary> {
         let col = view.table().column_by_name(&self.column)?;
-        let sel = Selection::Members(view.members());
+        let sel = crate::view::bounded_selection(view, &None, bounds);
         // Dictionary fast path: run the MG counter updates keyed by u32
         // code over the raw code slice (chunked, null-word aware) and only
         // materialize `Value`s for the ≤ k surviving counters. The counter
@@ -211,10 +246,6 @@ impl Sketch for MisraGriesSketch {
             counters,
             total,
         })
-    }
-
-    fn identity(&self) -> MisraGriesSummary {
-        MisraGriesSummary::zero(self.k)
     }
 }
 
@@ -361,15 +392,47 @@ impl Sketch for SampledHeavyHittersSketch {
     }
 
     fn summarize(&self, view: &TableView, seed: u64) -> SketchResult<SampledHeavyHittersSummary> {
+        self.summarize_bounded(view, None, seed)
+    }
+
+    fn splittable(&self) -> bool {
+        true
+    }
+
+    fn summarize_range(
+        &self,
+        view: &TableView,
+        lo: usize,
+        hi: usize,
+        seed: u64,
+    ) -> SketchResult<SampledHeavyHittersSummary> {
+        self.summarize_bounded(view, Some((lo, hi)), seed)
+    }
+
+    fn identity(&self) -> SampledHeavyHittersSummary {
+        SampledHeavyHittersSummary {
+            counts: Vec::new(),
+            sampled: 0,
+        }
+    }
+}
+
+impl SampledHeavyHittersSketch {
+    /// The shared scan body. Counts are exact over the (clipped) sample, so
+    /// split partials fold back to exactly the unsplit summary.
+    fn summarize_bounded(
+        &self,
+        view: &TableView,
+        bounds: Option<(usize, usize)>,
+        seed: u64,
+    ) -> SketchResult<SampledHeavyHittersSummary> {
         let col = view.table().column_by_name(&self.column)?;
         // rate >= 1.0 is exact: scan the membership chunks directly instead
         // of materializing every row index (sample_rows(1.0) returns all
-        // members ascending, so results are identical either way).
+        // members ascending, so results are identical either way). The
+        // sample is always drawn partition-wide and clipped to the bounds.
         let sampled = (self.rate < 1.0).then(|| view.sample_rows(self.rate, seed));
-        let sel = match &sampled {
-            Some(rows) => Selection::Rows(rows),
-            None => Selection::Members(view.members()),
-        };
+        let sel = crate::view::bounded_selection(view, &sampled, bounds);
         let mut counts: Vec<(Value, u64)>;
         let sampled;
         if let Some(dict) = col.as_dict_col() {
@@ -406,13 +469,6 @@ impl Sketch for SampledHeavyHittersSketch {
         counts.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         Ok(SampledHeavyHittersSummary { counts, sampled })
     }
-
-    fn identity(&self) -> SampledHeavyHittersSummary {
-        SampledHeavyHittersSummary {
-            counts: Vec::new(),
-            sampled: 0,
-        }
-    }
 }
 
 impl SampledHeavyHittersSketch {
@@ -426,7 +482,7 @@ impl SampledHeavyHittersSketch {
         let col = view.table().column_by_name(&self.column)?;
         let mut map: HashMap<Value, u64> = HashMap::new();
         let mut sampled = 0u64;
-        for row in view.sample_rows(self.rate.min(1.0), seed) {
+        for &row in view.sample_rows(self.rate.min(1.0), seed).iter() {
             let v = col.value(row as usize);
             if v.is_missing() {
                 continue;

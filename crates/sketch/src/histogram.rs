@@ -141,12 +141,41 @@ impl Sketch for HistogramSketch {
     }
 
     fn summarize(&self, view: &TableView, seed: u64) -> SketchResult<HistogramSummary> {
+        self.summarize_bounded(view, None, seed)
+    }
+
+    fn splittable(&self) -> bool {
+        true
+    }
+
+    fn summarize_range(
+        &self,
+        view: &TableView,
+        lo: usize,
+        hi: usize,
+        seed: u64,
+    ) -> SketchResult<HistogramSummary> {
+        self.summarize_bounded(view, Some((lo, hi)), seed)
+    }
+
+    fn identity(&self) -> HistogramSummary {
+        HistogramSummary::zero(self.buckets.count())
+    }
+}
+
+impl HistogramSketch {
+    /// The shared scan body: `bounds` of `None` is the whole partition,
+    /// `Some((lo, hi))` a split sub-range. Counters are integers, so the
+    /// range partials fold back to exactly the unsplit summary.
+    fn summarize_bounded(
+        &self,
+        view: &TableView,
+        bounds: Option<(usize, usize)>,
+        seed: u64,
+    ) -> SketchResult<HistogramSummary> {
         let col = view.table().column_by_name(&self.column)?;
         let sampled = (self.rate < 1.0).then(|| view.sample_rows(self.rate, seed));
-        let sel = match &sampled {
-            Some(rows) => Selection::Rows(rows),
-            None => Selection::Members(view.members()),
-        };
+        let sel = crate::view::bounded_selection(view, &sampled, bounds);
         let mut out = HistogramSummary::zero(self.buckets.count());
         out.rows_inspected = sel.count() as u64;
         match (&self.buckets, col) {
@@ -206,10 +235,6 @@ impl Sketch for HistogramSketch {
             }
         }
         Ok(out)
-    }
-
-    fn identity(&self) -> HistogramSummary {
-        HistogramSummary::zero(self.buckets.count())
     }
 }
 
@@ -332,7 +357,7 @@ impl HistogramSketch {
                         tally(row);
                     }
                 } else {
-                    for row in view.sample_rows(self.rate, seed) {
+                    for &row in view.sample_rows(self.rate, seed).iter() {
                         tally(row as usize);
                     }
                 }
@@ -370,7 +395,7 @@ impl HistogramSketch {
                 tally(row);
             }
         } else {
-            for row in view.sample_rows(self.rate, seed) {
+            for &row in view.sample_rows(self.rate, seed).iter() {
                 tally(row as usize);
             }
         }

@@ -7,7 +7,7 @@
 
 use crate::traits::{Sketch, SketchError, SketchResult, Summary};
 use crate::view::TableView;
-use hillview_columnar::scan::{scan_values, Selection};
+use hillview_columnar::scan::scan_values;
 use hillview_columnar::Column;
 use hillview_net::{Result as WireResult, Wire, WireReader, WireWriter};
 use std::sync::Arc;
@@ -123,10 +123,44 @@ impl Sketch for MomentsSketch {
         "moments"
     }
 
-    fn summarize(&self, view: &TableView, _seed: u64) -> SketchResult<MomentsSummary> {
+    fn summarize(&self, view: &TableView, seed: u64) -> SketchResult<MomentsSummary> {
+        self.summarize_bounded(view, None, seed)
+    }
+
+    fn splittable(&self) -> bool {
+        true
+    }
+
+    fn summarize_range(
+        &self,
+        view: &TableView,
+        lo: usize,
+        hi: usize,
+        seed: u64,
+    ) -> SketchResult<MomentsSummary> {
+        self.summarize_bounded(view, Some((lo, hi)), seed)
+    }
+
+    fn identity(&self) -> MomentsSummary {
+        MomentsSummary::zero(self.k)
+    }
+}
+
+impl MomentsSketch {
+    /// The shared scan body over a whole partition (`bounds: None`) or a
+    /// split sub-range. Counts and min/max fold back exactly; the
+    /// floating-point power sums fold deterministically in range order —
+    /// the split plan and fold order are fixed, so split execution is
+    /// reproducible even though f64 addition is not associative.
+    fn summarize_bounded(
+        &self,
+        view: &TableView,
+        bounds: Option<(usize, usize)>,
+        _seed: u64,
+    ) -> SketchResult<MomentsSummary> {
         let col = view.table().column_by_name(&self.column)?;
         let mut out = MomentsSummary::zero(self.k);
-        let sel = Selection::Members(view.members());
+        let sel = crate::view::bounded_selection(view, &None, bounds);
         // Chunked scan over the raw slice; accumulation visits rows in the
         // same ascending order as the per-row reference, so the
         // floating-point sums are bit-identical.
@@ -166,10 +200,6 @@ impl Sketch for MomentsSketch {
             }
         }
         Ok(out)
-    }
-
-    fn identity(&self) -> MomentsSummary {
-        MomentsSummary::zero(self.k)
     }
 }
 

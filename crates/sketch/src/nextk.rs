@@ -14,7 +14,7 @@
 
 use crate::traits::{Sketch, SketchResult, Summary};
 use crate::view::TableView;
-use hillview_columnar::scan::{scan_rows, Selection};
+use hillview_columnar::scan::scan_rows;
 use hillview_columnar::{Row, RowKey, SortOrder};
 use hillview_net::{Result as WireResult, Wire, WireReader, WireWriter};
 use std::collections::BTreeMap;
@@ -141,7 +141,39 @@ impl Sketch for NextKSketch {
         "next-items"
     }
 
-    fn summarize(&self, view: &TableView, _seed: u64) -> SketchResult<NextKSummary> {
+    fn summarize(&self, view: &TableView, seed: u64) -> SketchResult<NextKSummary> {
+        self.summarize_bounded(view, None, seed)
+    }
+
+    fn splittable(&self) -> bool {
+        true
+    }
+
+    fn summarize_range(
+        &self,
+        view: &TableView,
+        lo: usize,
+        hi: usize,
+        seed: u64,
+    ) -> SketchResult<NextKSummary> {
+        self.summarize_bounded(view, Some((lo, hi)), seed)
+    }
+
+    fn identity(&self) -> NextKSummary {
+        NextKSummary::zero(self.k)
+    }
+}
+
+impl NextKSketch {
+    /// The shared scan body; the k-smallest-keys map is a lattice with
+    /// exact duplicate-count addition, so split partials fold back to
+    /// exactly the unsplit summary.
+    fn summarize_bounded(
+        &self,
+        view: &TableView,
+        bounds: Option<(usize, usize)>,
+        _seed: u64,
+    ) -> SketchResult<NextKSummary> {
         let table = view.table();
         let resolved = self.order.resolve(table)?;
         let display_idx: Vec<usize> = self
@@ -156,35 +188,38 @@ impl Sketch for NextKSketch {
         // per-row membership probe disappears on dense views.
         let mut map: BTreeMap<RowKey, (Row, u64)> = BTreeMap::new();
         let mut matched = 0u64;
-        scan_rows(&Selection::Members(view.members()), |row| {
-            let key = resolved.key(table, row);
-            if let Some(start) = &self.start {
-                if key <= *start {
-                    return;
-                }
-            }
-            matched += 1;
-            // Skip rows beyond the current k-th smallest key, unless they
-            // duplicate an existing key.
-            if map.len() == self.k {
-                let largest = map.keys().next_back().expect("non-empty");
-                if key > *largest {
-                    return;
-                }
-            }
-            match map.get_mut(&key) {
-                Some((_, c)) => *c += 1,
-                None => {
-                    let mut values = key.values().to_vec();
-                    values.extend(display_idx.iter().map(|&c| table.column(c).value(row)));
-                    map.insert(key, (Row::new(values), 1));
-                    if map.len() > self.k {
-                        let largest = map.keys().next_back().expect("over capacity").clone();
-                        map.remove(&largest);
+        scan_rows(
+            &crate::view::bounded_selection(view, &None, bounds),
+            |row| {
+                let key = resolved.key(table, row);
+                if let Some(start) = &self.start {
+                    if key <= *start {
+                        return;
                     }
                 }
-            }
-        });
+                matched += 1;
+                // Skip rows beyond the current k-th smallest key, unless they
+                // duplicate an existing key.
+                if map.len() == self.k {
+                    let largest = map.keys().next_back().expect("non-empty");
+                    if key > *largest {
+                        return;
+                    }
+                }
+                match map.get_mut(&key) {
+                    Some((_, c)) => *c += 1,
+                    None => {
+                        let mut values = key.values().to_vec();
+                        values.extend(display_idx.iter().map(|&c| table.column(c).value(row)));
+                        map.insert(key, (Row::new(values), 1));
+                        if map.len() > self.k {
+                            let largest = map.keys().next_back().expect("over capacity").clone();
+                            map.remove(&largest);
+                        }
+                    }
+                }
+            },
+        );
         Ok(NextKSummary {
             k: self.k,
             rows: map
@@ -195,12 +230,6 @@ impl Sketch for NextKSketch {
         })
     }
 
-    fn identity(&self) -> NextKSummary {
-        NextKSummary::zero(self.k)
-    }
-}
-
-impl NextKSketch {
     /// Per-row reference implementation, kept for the scan-equivalence
     /// property tests. Must remain bit-identical to [`Sketch::summarize`].
     pub fn summarize_rowwise(&self, view: &TableView, _seed: u64) -> SketchResult<NextKSummary> {

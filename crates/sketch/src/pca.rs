@@ -10,7 +10,7 @@
 use crate::eigen::{jacobi_eigen, Eigen, SymMatrix};
 use crate::traits::{Sketch, SketchError, SketchResult, Summary};
 use crate::view::TableView;
-use hillview_columnar::scan::{scan_rows, Selection};
+use hillview_columnar::scan::scan_rows;
 use hillview_net::{Result as WireResult, Wire, WireReader, WireWriter};
 use std::sync::Arc;
 
@@ -157,6 +157,38 @@ impl Sketch for PcaSketch {
     }
 
     fn summarize(&self, view: &TableView, seed: u64) -> SketchResult<PcaSummary> {
+        self.summarize_bounded(view, None, seed)
+    }
+
+    fn splittable(&self) -> bool {
+        true
+    }
+
+    fn summarize_range(
+        &self,
+        view: &TableView,
+        lo: usize,
+        hi: usize,
+        seed: u64,
+    ) -> SketchResult<PcaSummary> {
+        self.summarize_bounded(view, Some((lo, hi)), seed)
+    }
+
+    fn identity(&self) -> PcaSummary {
+        PcaSummary::zero(self.columns.len())
+    }
+}
+
+impl PcaSketch {
+    /// The shared scan body; the complete-case count folds exactly and the
+    /// floating-point sums fold deterministically in range order (fixed
+    /// split plan, fixed fold order).
+    fn summarize_bounded(
+        &self,
+        view: &TableView,
+        bounds: Option<(usize, usize)>,
+        seed: u64,
+    ) -> SketchResult<PcaSummary> {
         let table = view.table();
         let m = self.columns.len();
         if m == 0 {
@@ -195,24 +227,15 @@ impl Sketch for PcaSketch {
                 }
             }
         };
-        // Chunked row enumeration, streaming or over a pre-drawn sample;
-        // sums accumulate in ascending row order either way, bit-identical
-        // to the per-row reference.
+        // Chunked row enumeration, streaming or over a pre-drawn sample
+        // clipped to the bounds; sums accumulate in ascending row order
+        // either way, bit-identical to the per-row reference.
         let sampled = (self.rate < 1.0).then(|| view.sample_rows(self.rate, seed));
-        let sel = match &sampled {
-            Some(rows) => Selection::Rows(rows),
-            None => Selection::Members(view.members()),
-        };
+        let sel = crate::view::bounded_selection(view, &sampled, bounds);
         scan_rows(&sel, |row| tally(row, &mut out, &mut vals));
         Ok(out)
     }
 
-    fn identity(&self) -> PcaSummary {
-        PcaSummary::zero(self.columns.len())
-    }
-}
-
-impl PcaSketch {
     /// Per-row reference implementation, kept for the scan-equivalence
     /// property tests. Must remain bit-identical to [`Sketch::summarize`].
     pub fn summarize_rowwise(&self, view: &TableView, seed: u64) -> SketchResult<PcaSummary> {
@@ -259,7 +282,7 @@ impl PcaSketch {
                 tally(row, &mut out, &mut vals);
             }
         } else {
-            for row in view.sample_rows(self.rate, seed) {
+            for &row in view.sample_rows(self.rate, seed).iter() {
                 tally(row as usize, &mut out, &mut vals);
             }
         }

@@ -12,7 +12,7 @@
 
 use crate::traits::{Sketch, SketchResult, Summary};
 use crate::view::TableView;
-use hillview_columnar::scan::{scan_rows, Selection};
+use hillview_columnar::scan::scan_rows;
 use hillview_columnar::{RowKey, SortOrder};
 use hillview_net::{Result as WireResult, Wire, WireReader, WireWriter};
 
@@ -111,13 +111,51 @@ impl Sketch for QuantileSketch {
     }
 
     fn summarize(&self, view: &TableView, seed: u64) -> SketchResult<QuantileSummary> {
+        self.summarize_bounded(view, None, seed)
+    }
+
+    fn splittable(&self) -> bool {
+        true
+    }
+
+    fn summarize_range(
+        &self,
+        view: &TableView,
+        lo: usize,
+        hi: usize,
+        seed: u64,
+    ) -> SketchResult<QuantileSummary> {
+        self.summarize_bounded(view, Some((lo, hi)), seed)
+    }
+
+    fn identity(&self) -> QuantileSummary {
+        QuantileSummary {
+            keys: Vec::new(),
+            population: 0,
+            cap: self.cap,
+        }
+    }
+}
+
+impl QuantileSketch {
+    /// The shared scan body. Sub-range populations count the membership
+    /// rows in the bounds (not the sample), so split partials sum to the
+    /// partition population exactly; merged keys stay a uniform sample.
+    fn summarize_bounded(
+        &self,
+        view: &TableView,
+        bounds: Option<(usize, usize)>,
+        seed: u64,
+    ) -> SketchResult<QuantileSummary> {
         let resolved = self.order.resolve(view.table())?;
         // Streaming (rate >= 1) walks membership chunks directly instead of
         // materializing every row index; sampling produces a Rows chunk.
+        // Samples are drawn partition-wide and clipped to the bounds.
         let sampled = (self.rate < 1.0).then(|| view.sample_rows(self.rate, seed));
-        let sel = match &sampled {
-            Some(rows) => Selection::Rows(rows),
-            None => Selection::Members(view.members()),
+        let sel = crate::view::bounded_selection(view, &sampled, bounds);
+        let population = match bounds {
+            None => view.len() as u64,
+            Some((lo, hi)) => view.members().count_range(lo, hi) as u64,
         };
         let mut keys = Vec::with_capacity(sel.count().min(2 * self.cap));
         scan_rows(&sel, |row| {
@@ -129,17 +167,9 @@ impl Sketch for QuantileSketch {
         }
         Ok(QuantileSummary {
             keys,
-            population: view.len() as u64,
+            population,
             cap: self.cap,
         })
-    }
-
-    fn identity(&self) -> QuantileSummary {
-        QuantileSummary {
-            keys: Vec::new(),
-            population: 0,
-            cap: self.cap,
-        }
     }
 }
 

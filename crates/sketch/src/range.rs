@@ -120,42 +120,67 @@ impl Sketch for RangeSketch {
         "range"
     }
 
-    fn summarize(&self, view: &TableView, _seed: u64) -> SketchResult<RangeSummary> {
-        let col = view.table().column_by_name(&self.column)?;
-        let mut out = RangeSummary::default();
-        if let Some(dict) = col.as_dict_col() {
-            for r in view.iter_rows() {
-                match dict.get(r) {
-                    None => out.missing += 1,
-                    Some(s) => {
-                        out.present += 1;
-                        let s = s.as_ref();
-                        if out.min_str.as_deref().is_none_or(|m| s < m) {
-                            out.min_str = Some(s.to_string());
-                        }
-                        if out.max_str.as_deref().is_none_or(|m| s > m) {
-                            out.max_str = Some(s.to_string());
-                        }
-                    }
-                }
-            }
-        } else {
-            for r in view.iter_rows() {
-                match col.as_f64(r) {
-                    None => out.missing += 1,
-                    Some(v) => {
-                        out.present += 1;
-                        out.min = Some(out.min.map_or(v, |m| m.min(v)));
-                        out.max = Some(out.max.map_or(v, |m| m.max(v)));
-                    }
-                }
-            }
-        }
-        Ok(out)
+    fn summarize(&self, view: &TableView, seed: u64) -> SketchResult<RangeSummary> {
+        self.summarize_bounded(view, None, seed)
+    }
+
+    fn splittable(&self) -> bool {
+        true
+    }
+
+    fn summarize_range(
+        &self,
+        view: &TableView,
+        lo: usize,
+        hi: usize,
+        seed: u64,
+    ) -> SketchResult<RangeSummary> {
+        self.summarize_bounded(view, Some((lo, hi)), seed)
     }
 
     fn identity(&self) -> RangeSummary {
         RangeSummary::default()
+    }
+}
+
+impl RangeSketch {
+    /// The shared scan body; counts add and min/max are lattices, so split
+    /// partials fold back to exactly the unsplit summary.
+    fn summarize_bounded(
+        &self,
+        view: &TableView,
+        bounds: Option<(usize, usize)>,
+        _seed: u64,
+    ) -> SketchResult<RangeSummary> {
+        use hillview_columnar::scan::scan_rows;
+        let col = view.table().column_by_name(&self.column)?;
+        let mut out = RangeSummary::default();
+        let sel = crate::view::bounded_selection(view, &None, bounds);
+        if let Some(dict) = col.as_dict_col() {
+            scan_rows(&sel, |r| match dict.get(r) {
+                None => out.missing += 1,
+                Some(s) => {
+                    out.present += 1;
+                    let s = s.as_ref();
+                    if out.min_str.as_deref().is_none_or(|m| s < m) {
+                        out.min_str = Some(s.to_string());
+                    }
+                    if out.max_str.as_deref().is_none_or(|m| s > m) {
+                        out.max_str = Some(s.to_string());
+                    }
+                }
+            });
+        } else {
+            scan_rows(&sel, |r| match col.as_f64(r) {
+                None => out.missing += 1,
+                Some(v) => {
+                    out.present += 1;
+                    out.min = Some(out.min.map_or(v, |m| m.min(v)));
+                    out.max = Some(out.max.map_or(v, |m| m.max(v)));
+                }
+            });
+        }
+        Ok(out)
     }
 }
 

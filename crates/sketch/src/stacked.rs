@@ -11,7 +11,7 @@ use crate::bind::{BoundColumn, Cell};
 use crate::buckets::BucketSpec;
 use crate::traits::{Sketch, SketchResult, Summary};
 use crate::view::TableView;
-use hillview_columnar::scan::{scan_rows, Selection};
+use hillview_columnar::scan::scan_rows;
 use hillview_net::{Result as WireResult, Wire, WireReader, WireWriter};
 use std::sync::Arc;
 
@@ -164,15 +164,43 @@ impl Sketch for StackedHistogramSketch {
     }
 
     fn summarize(&self, view: &TableView, seed: u64) -> SketchResult<StackedSummary> {
+        self.summarize_bounded(view, None, seed)
+    }
+
+    fn splittable(&self) -> bool {
+        true
+    }
+
+    fn summarize_range(
+        &self,
+        view: &TableView,
+        lo: usize,
+        hi: usize,
+        seed: u64,
+    ) -> SketchResult<StackedSummary> {
+        self.summarize_bounded(view, Some((lo, hi)), seed)
+    }
+
+    fn identity(&self) -> StackedSummary {
+        StackedSummary::zero(self.buckets_x.count(), self.buckets_y.count())
+    }
+}
+
+impl StackedHistogramSketch {
+    /// The shared scan body; bar and subdivision counts are integers, so
+    /// split partials fold back to exactly the unsplit summary.
+    fn summarize_bounded(
+        &self,
+        view: &TableView,
+        bounds: Option<(usize, usize)>,
+        seed: u64,
+    ) -> SketchResult<StackedSummary> {
         let cx = view.table().column_by_name(&self.col_x)?;
         let cy = view.table().column_by_name(&self.col_y)?;
         let bound_x = BoundColumn::bind(cx, &self.buckets_x)?;
         let bound_y = BoundColumn::bind(cy, &self.buckets_y)?;
         let sampled = (self.rate < 1.0).then(|| view.sample_rows(self.rate, seed));
-        let sel = match &sampled {
-            Some(rows) => Selection::Rows(rows),
-            None => Selection::Members(view.members()),
-        };
+        let sel = crate::view::bounded_selection(view, &sampled, bounds);
         let mut out = StackedSummary::zero(self.buckets_x.count(), self.buckets_y.count());
         out.rows_inspected = sel.count() as u64;
         let width_y = out.by;
@@ -192,10 +220,6 @@ impl Sketch for StackedHistogramSketch {
             }
         });
         Ok(out)
-    }
-
-    fn identity(&self) -> StackedSummary {
-        StackedSummary::zero(self.buckets_x.count(), self.buckets_y.count())
     }
 }
 
@@ -227,7 +251,7 @@ impl StackedHistogramSketch {
                 tally(row);
             }
         } else {
-            for row in view.sample_rows(self.rate, seed) {
+            for &row in view.sample_rows(self.rate, seed).iter() {
                 tally(row as usize);
             }
         }

@@ -60,6 +60,39 @@ pub trait Sketch: Send + Sync + 'static {
     /// Summarize one partition view.
     fn summarize(&self, view: &TableView, seed: u64) -> SketchResult<Self::Summary>;
 
+    /// True when this sketch supports [`Sketch::summarize_range`], letting
+    /// the executor split one partition into row-range sub-tasks and fold
+    /// the partials with [`Summary::merge`]. Defaults to `false`; the
+    /// engine never range-splits a sketch that does not opt in.
+    fn splittable(&self) -> bool {
+        false
+    }
+
+    /// Summarize only the rows of `view` whose partition row index lies in
+    /// `lo..hi` — the intra-partition parallelism entry point.
+    ///
+    /// Contract: the bounds tile the partition, so folding the summaries of
+    /// consecutive ranges (in ascending range order, starting from
+    /// [`Sketch::identity`]) must be a valid summary of the whole
+    /// partition, and sampled sketches must draw the *partition-wide*
+    /// sample from `seed` and clip it to the bounds — never re-sample the
+    /// sub-range — so that split execution stays deterministic and, for
+    /// sketches with exact merges, bit-identical to the unsplit
+    /// [`Sketch::summarize`].
+    fn summarize_range(
+        &self,
+        view: &TableView,
+        lo: usize,
+        hi: usize,
+        seed: u64,
+    ) -> SketchResult<Self::Summary> {
+        let _ = (view, lo, hi, seed);
+        Err(SketchError::BadConfig(format!(
+            "sketch {} does not support range splitting",
+            self.name()
+        )))
+    }
+
     /// The merge identity (summary of an empty partition).
     fn identity(&self) -> Self::Summary;
 }
@@ -84,6 +117,69 @@ where
         }
     }
     direct == merged
+}
+
+/// The split execution plan the engine runs in parallel, executed serially:
+/// recursively halve the partition's
+/// [`SplittableSelection`](hillview_columnar::SplittableSelection) until each
+/// piece holds at most `grain` selected rows, call
+/// [`Sketch::summarize_range`] on every piece, and fold the partials in
+/// ascending range order.
+///
+/// The leaf set is a pure function of `(membership, grain)` and the fold
+/// order is fixed, so this is the *reference* the work-stealing executor
+/// must reproduce bit-for-bit whatever the thread count or steal order —
+/// the parallel-equivalence property tests compare against it. For
+/// sketches whose merge is exact (integer counts, lattices) the result also
+/// equals the unsplit [`Sketch::summarize`] bit-for-bit.
+pub fn summarize_split<S: Sketch>(
+    sketch: &S,
+    view: &TableView,
+    grain: usize,
+    seed: u64,
+) -> SketchResult<S::Summary> {
+    use hillview_columnar::SplittableSelection;
+
+    fn collect<'a>(part: SplittableSelection<'a>, grain: usize, out: &mut Vec<(usize, usize)>) {
+        if part.weight() > grain {
+            if let Some((l, r)) = part.split() {
+                collect(l, grain, out);
+                collect(r, grain, out);
+                return;
+            }
+        }
+        let (lo, hi) = part.bounds();
+        out.push((lo, hi));
+    }
+
+    let grain = grain.max(1);
+    let mut ranges = Vec::new();
+    collect(SplittableSelection::new(view.members()), grain, &mut ranges);
+    let mut acc = sketch.identity();
+    for (lo, hi) in ranges {
+        acc = acc.merge(&sketch.summarize_range(view, lo, hi, seed)?);
+    }
+    Ok(acc)
+}
+
+/// Check that range-split execution reproduces the whole-partition summary
+/// exactly: `summarize_split` at `grain` must equal `summarize`. Holds for
+/// every sketch whose merge is exact (bucket counts, lattices, HLL
+/// registers); order-sensitive or floating-point-summing sketches
+/// (Misra-Gries, moments, PCA) are instead pinned by determinism of the
+/// split fold itself. Used by tests.
+pub fn split_law_holds<S>(sketch: &S, view: &TableView, grain: usize, seed: u64) -> bool
+where
+    S: Sketch,
+    S::Summary: PartialEq,
+{
+    match (
+        sketch.summarize(view, seed),
+        summarize_split(sketch, view, grain, seed),
+    ) {
+        (Ok(direct), Ok(split)) => direct == split,
+        _ => false,
+    }
 }
 
 #[cfg(test)]

@@ -5,14 +5,43 @@
 //! current (possibly filtered) dataset — the paper's §5.6 derived-table
 //! representation, where filtered tables share storage with their parents.
 
+use hillview_columnar::scan::{rows_in_range, Selection};
 use hillview_columnar::{MembershipSet, Table};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+
+/// The driver [`Selection`] for a possibly row-bounded kernel scan: a
+/// pre-drawn partition-wide sample clipped to the bounds, or the membership
+/// set clipped to the bounds. Centralizes the rule every splittable kernel
+/// follows — samples are drawn once per partition and *clipped*, never
+/// re-drawn per sub-range.
+pub(crate) fn bounded_selection<'a>(
+    view: &'a TableView,
+    sampled: &'a Option<Arc<Vec<u32>>>,
+    bounds: Option<(usize, usize)>,
+) -> Selection<'a> {
+    match (sampled, bounds) {
+        (Some(rows), None) => Selection::Rows(rows),
+        (Some(rows), Some((lo, hi))) => Selection::Rows(rows_in_range(rows, lo, hi)),
+        (None, None) => Selection::Members(view.members()),
+        (None, Some((lo, hi))) => Selection::members_in(view.members(), lo, hi),
+    }
+}
+
+/// A memoized sample draw: `((rate bits, seed), rows)`.
+type SampleMemo = Option<((u64, u64), Arc<Vec<u32>>)>;
 
 /// One partition's worth of (possibly filtered) data.
 #[derive(Debug, Clone)]
 pub struct TableView {
     table: Arc<Table>,
     members: Arc<MembershipSet>,
+    /// Memo for the most recent partition-wide sample, keyed by
+    /// `(rate bits, seed)` and shared across clones of this view. Split
+    /// sub-tasks all request the identical sample (the splitting contract
+    /// forbids re-drawing per range), so one draw serves every piece; a
+    /// single slot bounds memory on views that live across many queries in
+    /// the worker's dataset cache.
+    sample_memo: Arc<Mutex<SampleMemo>>,
 }
 
 impl TableView {
@@ -22,13 +51,18 @@ impl TableView {
         TableView {
             table,
             members: Arc::new(MembershipSet::full(n)),
+            sample_memo: Arc::new(Mutex::new(None)),
         }
     }
 
     /// View over a subset of rows.
     pub fn with_members(table: Arc<Table>, members: Arc<MembershipSet>) -> Self {
         debug_assert_eq!(members.universe(), table.num_rows());
-        TableView { table, members }
+        TableView {
+            table,
+            members,
+            sample_memo: Arc::new(Mutex::new(None)),
+        }
     }
 
     /// The underlying table.
@@ -57,8 +91,22 @@ impl TableView {
     }
 
     /// Uniform row sample at `rate`, deterministic in `seed` (§5.6).
-    pub fn sample_rows(&self, rate: f64, seed: u64) -> Vec<u32> {
-        self.members.sample(rate, seed)
+    ///
+    /// The draw is memoized: when split sub-tasks of one partition all ask
+    /// for the same `(rate, seed)` — which the splitting contract
+    /// guarantees — only the first actually walks the membership; the rest
+    /// share the `Arc`. Sampling is a pure function of
+    /// `(members, rate, seed)`, so a racing double-draw is harmless.
+    pub fn sample_rows(&self, rate: f64, seed: u64) -> Arc<Vec<u32>> {
+        let key = (rate.to_bits(), seed);
+        if let Some((k, sample)) = &*self.sample_memo.lock().unwrap() {
+            if *k == key {
+                return sample.clone();
+            }
+        }
+        let drawn = Arc::new(self.members.sample(rate, seed));
+        *self.sample_memo.lock().unwrap() = Some((key, drawn.clone()));
+        drawn
     }
 
     /// Derive a narrower view by intersecting membership.
@@ -66,6 +114,7 @@ impl TableView {
         TableView {
             table: self.table.clone(),
             members: Arc::new(self.members.intersect(members)),
+            sample_memo: Arc::new(Mutex::new(None)),
         }
     }
 }

@@ -98,6 +98,15 @@ where
     // Identity.
     let with_id = direct.merge(&sketch.identity());
     prop_assert_eq!(&with_id, &direct, "identity is unit");
+    // Split law: recursive range-split execution (the engine's parallel
+    // leaf plan, run serially) reproduces the whole-partition summary
+    // bit-for-bit for exact sketches.
+    let grain = (cut1 % 64) + 1;
+    prop_assert!(
+        hillview_sketch::traits::split_law_holds(sketch, &whole, grain, 7),
+        "split law at grain {}",
+        grain
+    );
     Ok(())
 }
 

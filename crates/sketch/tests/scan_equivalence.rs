@@ -429,6 +429,149 @@ proptest! {
         }
     }
 
+    /// Work-stealing split execution must be bit-identical to the serial
+    /// per-partition summary for every kernel with an exact merge:
+    /// recursively split at any grain, summarize each sub-range, fold in
+    /// range order — same bytes as one unsplit pass. Covers split grain ×
+    /// membership representations × null densities; sampled variants pin
+    /// that partition-wide samples are clipped (not re-drawn) per range.
+    #[test]
+    fn split_execution_bit_identical_for_exact_kernels(
+        t in table_strategy(),
+        kind in 0usize..5,
+        raw in proptest::collection::vec(any::<u32>(), 0..200),
+        cuts in (0.0f64..1.0, 0.0f64..1.0),
+        grain in 1usize..96,
+        rate in 0.2f64..1.2,
+        seed in any::<u64>(),
+    ) {
+        use hillview_sketch::traits::split_law_holds;
+        let n = t.num_rows();
+        let v = TableView::with_members(Arc::new(t), Arc::new(membership(kind, &raw, cuts, n)));
+        prop_assert!(split_law_holds(
+            &HistogramSketch::streaming("X", num_spec()), &v, grain, seed));
+        prop_assert!(split_law_holds(
+            &HistogramSketch::sampled("X", num_spec(), rate.min(0.95)), &v, grain, seed));
+        prop_assert!(split_law_holds(
+            &HistogramSketch::streaming("C", str_spec()), &v, grain, seed));
+        prop_assert!(split_law_holds(
+            &HeatmapSketch::sampled("X", "C", num_spec(), str_spec(), rate), &v, grain, seed));
+        prop_assert!(split_law_holds(
+            &StackedHistogramSketch::streaming("I", "C", num_spec(), str_spec()), &v, grain, seed));
+        prop_assert!(split_law_holds(&CountSketch::of_column("X"), &v, grain, seed));
+        prop_assert!(split_law_holds(&CountSketch::rows(), &v, grain, seed));
+        prop_assert!(split_law_holds(&BottomKSketch::new("C", 8), &v, grain, seed));
+        prop_assert!(split_law_holds(&DistinctSketch::new("I"), &v, grain, seed));
+        prop_assert!(split_law_holds(
+            &SampledHeavyHittersSketch::new("C", 4, rate), &v, grain, seed));
+        prop_assert!(split_law_holds(
+            &NextKSketch::first_page(SortOrder::ascending(&["C", "I"]), 5).with_display(&["X"]),
+            &v, grain, seed));
+        prop_assert!(split_law_holds(
+            &FindSketch::new("C", "a", StrMatchKind::Substring, SortOrder::ascending(&["I", "X"])),
+            &v, grain, seed));
+        prop_assert!(split_law_holds(
+            &hillview_sketch::range::RangeSketch::new("X"), &v, grain, seed));
+        // Quantile below its cap is a pure concatenation in range order.
+        prop_assert!(split_law_holds(
+            &QuantileSketch::new(SortOrder::ascending(&["I", "X"]), 1.0, 100_000),
+            &v, grain, seed));
+    }
+
+    /// Order-sensitive and floating-point kernels (Misra-Gries, moments,
+    /// PCA): split execution is a *deterministic* function of (data,
+    /// grain, seed) — the engine folds sub-ranges in range order — and at
+    /// grain >= partition size it degenerates to exactly the serial
+    /// summary. Aggregate invariants (totals, counts, min/max) match the
+    /// serial pass at every grain.
+    #[test]
+    fn split_execution_deterministic_for_order_sensitive_kernels(
+        t in table_strategy(),
+        kind in 0usize..5,
+        raw in proptest::collection::vec(any::<u32>(), 0..200),
+        cuts in (0.0f64..1.0, 0.0f64..1.0),
+        grain in 1usize..96,
+        k in 1usize..6,
+    ) {
+        use hillview_sketch::traits::summarize_split;
+        let n = t.num_rows();
+        let v = TableView::with_members(Arc::new(t), Arc::new(membership(kind, &raw, cuts, n)));
+
+        let mg = MisraGriesSketch::new("C", k);
+        let serial = mg.summarize(&v, 0).unwrap();
+        let split = summarize_split(&mg, &v, grain, 0).unwrap();
+        let split2 = summarize_split(&mg, &v, grain, 0).unwrap();
+        prop_assert_eq!(&split, &split2, "MG split fold is deterministic");
+        prop_assert_eq!(split.total, serial.total);
+        prop_assert!(split.counters.len() <= k);
+        // Whole-partition grain degenerates to the serial pass.
+        let whole = summarize_split(&mg, &v, n.max(1), 0).unwrap();
+        prop_assert_eq!(&whole, &serial);
+
+        let mo = MomentsSketch::new("X", 3);
+        let serial = mo.summarize(&v, 0).unwrap();
+        let split = summarize_split(&mo, &v, grain, 0).unwrap();
+        prop_assert_eq!(split.present, serial.present);
+        prop_assert_eq!(split.missing, serial.missing);
+        prop_assert_eq!(split.min, serial.min);
+        prop_assert_eq!(split.max, serial.max);
+        for (s, w) in split.sums.iter().zip(&serial.sums) {
+            let tol = 1e-9 * w.abs().max(1.0);
+            prop_assert!((s - w).abs() <= tol, "sum {s} vs {w}");
+        }
+        let whole = summarize_split(&mo, &v, n.max(1), 0).unwrap();
+        prop_assert_eq!(&whole, &serial);
+
+        let pca = PcaSketch::new(&["X", "I"], 1.0);
+        let serial = pca.summarize(&v, 0).unwrap();
+        let split = summarize_split(&pca, &v, grain, 0).unwrap();
+        prop_assert_eq!(split.count, serial.count);
+        let whole = summarize_split(&pca, &v, n.max(1), 0).unwrap();
+        prop_assert_eq!(&whole, &serial);
+    }
+
+    /// Split execution is invisible to the encoding layer: identical
+    /// summaries whichever physical storage backs the column, at any
+    /// grain — split boundaries land mid-word, mid-run, anywhere.
+    #[test]
+    fn split_agrees_across_encodings(
+        vals in proptest::collection::vec((0.0f64..1.0, -40i64..40), 1..300),
+        kind in 0usize..5,
+        raw in proptest::collection::vec(any::<u32>(), 0..200),
+        cuts in (0.0f64..1.0, 0.0f64..1.0),
+        grain in 1usize..96,
+    ) {
+        use hillview_columnar::{I64Storage, NullMask};
+        use hillview_sketch::traits::summarize_split;
+        let n = vals.len();
+        let data: Vec<i64> = vals.iter().map(|r| r.1).collect();
+        let nulls = NullMask::from_flags(vals.iter().map(|r| r.0 < 0.15), n);
+        let mut columns: Vec<I64Column> = vec![I64Column::plain(data.clone(), nulls.clone())];
+        if let Some(s) = I64Storage::bit_packed_of(&data) {
+            columns.push(I64Column::with_storage(s, nulls.clone()));
+        }
+        if let Some(s) = I64Storage::run_length_of(&data) {
+            columns.push(I64Column::with_storage(s, nulls.clone()));
+        }
+        let members = Arc::new(membership(kind, &raw, cuts, n));
+        let hist = HistogramSketch::streaming("V", num_spec());
+        let mg = MisraGriesSketch::new("V", 4);
+        let mut results = Vec::new();
+        for col in columns {
+            let t = Table::builder()
+                .column("V", ColumnKind::Int, Column::Int(col))
+                .build()
+                .unwrap();
+            let v = TableView::with_members(Arc::new(t), members.clone());
+            let h = summarize_split(&hist, &v, grain, 0).unwrap();
+            let m = summarize_split(&mg, &v, grain, 0).unwrap();
+            results.push((h, m));
+        }
+        for r in &results[1..] {
+            prop_assert_eq!(r, &results[0]);
+        }
+    }
+
     /// Quantile keys: chunked row enumeration vs a naive per-row walk with
     /// the same down-sampling.
     #[test]

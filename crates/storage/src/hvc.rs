@@ -21,7 +21,7 @@
 //! ```
 //!
 //! The encoding byte mirrors the column's *in-memory*
-//! [`IntStorage`](hillview_columnar::IntStorage) representation: a
+//! [`hillview_columnar::IntStorage`] representation: a
 //! bit-packed or run-length column round-trips through a file (and across
 //! the wire — HVC bytes are also how partitions ship between nodes) without
 //! ever inflating to plain, and decode rebuilds the exact same variant via

@@ -1,10 +1,228 @@
 //! Offline API shim for the `crossbeam` crate.
 //!
 //! Provides `crossbeam::channel` MPMC channels (`unbounded`/`bounded`,
-//! cloneable senders *and* receivers) over a `Mutex<VecDeque>` + condvars.
-//! Semantics match upstream where this workspace relies on them: receivers
-//! drain queued messages after all senders drop; sends fail once every
-//! receiver is gone; `bounded` blocks producers at capacity.
+//! cloneable senders *and* receivers) over a `Mutex<VecDeque>` + condvars,
+//! and `crossbeam::deque` work-stealing queues (`Injector`/`Worker`/
+//! `Stealer`). Semantics match upstream where this workspace relies on
+//! them: receivers drain queued messages after all senders drop; sends fail
+//! once every receiver is gone; `bounded` blocks producers at capacity;
+//! deque owners push/pop LIFO while stealers take FIFO from the other end.
+
+pub mod deque {
+    //! Work-stealing deques, API-compatible with `crossbeam-deque`.
+    //!
+    //! The shim trades the lock-free Chase-Lev algorithm for a plain
+    //! `Mutex<VecDeque>`; the *scheduling* semantics the thread pool relies
+    //! on are preserved exactly: the owning thread pushes and pops at the
+    //! back (LIFO, so a recursively split task keeps working on its own
+    //! freshest half), while [`Stealer`]s and the global [`Injector`] hand
+    //! out work from the front (FIFO, so thieves take the oldest — largest —
+    //! pending piece).
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Outcome of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// A race was lost; try again (the shim never returns this, but the
+        /// variant exists so callers are written against the upstream API).
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// The stolen task, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+
+        /// True if the steal succeeded.
+        pub fn is_success(&self) -> bool {
+            matches!(self, Steal::Success(_))
+        }
+
+        /// True if the queue was observed empty.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+    }
+
+    /// The owning half of a work-stealing deque: LIFO push/pop at the back.
+    #[derive(Debug)]
+    pub struct Worker<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// A new LIFO deque (the flavor work-stealing pools use).
+        pub fn new_lifo() -> Self {
+            Worker {
+                inner: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// Push a task onto the owner's end.
+        pub fn push(&self, task: T) {
+            self.inner.lock().unwrap().push_back(task);
+        }
+
+        /// Pop the most recently pushed task (LIFO).
+        pub fn pop(&self) -> Option<T> {
+            self.inner.lock().unwrap().pop_back()
+        }
+
+        /// A handle other threads use to steal from the front.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                inner: self.inner.clone(),
+            }
+        }
+
+        /// True when no tasks are queued.
+        pub fn is_empty(&self) -> bool {
+            self.inner.lock().unwrap().is_empty()
+        }
+
+        /// Number of queued tasks.
+        pub fn len(&self) -> usize {
+            self.inner.lock().unwrap().len()
+        }
+    }
+
+    /// A thief's handle onto another thread's deque: FIFO steal from the
+    /// front. Cloneable and shareable.
+    #[derive(Debug)]
+    pub struct Stealer<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steal the oldest queued task.
+        pub fn steal(&self) -> Steal<T> {
+            match self.inner.lock().unwrap().pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// True when no tasks are queued.
+        pub fn is_empty(&self) -> bool {
+            self.inner.lock().unwrap().is_empty()
+        }
+    }
+
+    /// A global FIFO injection queue feeding a pool of workers.
+    #[derive(Debug, Default)]
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Injector<T> {
+        /// An empty injector.
+        pub fn new() -> Self {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Enqueue a task at the back.
+        pub fn push(&self, task: T) {
+            self.queue.lock().unwrap().push_back(task);
+        }
+
+        /// Steal the oldest queued task.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().unwrap().pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// True when no tasks are queued.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().unwrap().is_empty()
+        }
+
+        /// Number of queued tasks.
+        pub fn len(&self) -> usize {
+            self.queue.lock().unwrap().len()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn owner_is_lifo_thief_is_fifo() {
+            let w = Worker::new_lifo();
+            let s = w.stealer();
+            w.push(1);
+            w.push(2);
+            w.push(3);
+            assert_eq!(w.pop(), Some(3), "owner pops newest");
+            assert_eq!(s.steal(), Steal::Success(1), "thief takes oldest");
+            assert_eq!(w.pop(), Some(2));
+            assert_eq!(w.pop(), None);
+            assert_eq!(s.steal(), Steal::Empty);
+        }
+
+        #[test]
+        fn injector_is_fifo() {
+            let inj = Injector::new();
+            inj.push("a");
+            inj.push("b");
+            assert_eq!(inj.len(), 2);
+            assert_eq!(inj.steal(), Steal::Success("a"));
+            assert_eq!(inj.steal(), Steal::Success("b"));
+            assert!(inj.steal().is_empty());
+        }
+
+        #[test]
+        fn stealers_work_across_threads() {
+            let w = Worker::new_lifo();
+            for i in 0..1000 {
+                w.push(i);
+            }
+            let thieves: Vec<_> = (0..4)
+                .map(|_| {
+                    let s = w.stealer();
+                    std::thread::spawn(move || {
+                        let mut got = 0usize;
+                        while s.steal().is_success() {
+                            got += 1;
+                        }
+                        got
+                    })
+                })
+                .collect();
+            let total: usize = thieves.into_iter().map(|t| t.join().unwrap()).sum();
+            assert_eq!(total + w.len(), 1000);
+        }
+
+        #[test]
+        fn steal_success_accessor() {
+            assert_eq!(Steal::Success(7).success(), Some(7));
+            assert_eq!(Steal::<i32>::Empty.success(), None);
+            assert!(!Steal::<i32>::Retry.is_success());
+        }
+    }
+}
 
 pub mod channel {
     use std::collections::VecDeque;
