@@ -1,17 +1,19 @@
-//! Compressed-column benchmarks: in-memory footprint and chunked-scan
+//! Compressed-column benchmarks: in-memory footprint and block-scan
 //! throughput of packed vs plain integer columns (the tentpole measurement
 //! for the encoding layer).
 //!
 //! Each case builds the same 1M-row logical column twice — once forced
-//! plain, once auto-encoded at ingest — and runs the identical chunked
-//! histogram kernel over both. Running `cargo bench --bench encoding`
-//! rewrites `BENCH_encoding.json` at the repository root with the footprint
-//! ratio (plain bytes / packed bytes) and the throughput ratio (packed ns /
-//! plain ns; the acceptance bar is <= 1.3).
+//! plain, once auto-encoded at ingest — and runs the identical block
+//! histogram kernel over both, under the active codegen *and* under the
+//! forced-scalar fallback (`set_force_scalar`), so the JSON records both
+//! the packed-vs-plain gap and the simd-vs-scalar speedup per side.
+//! Running `cargo bench --bench encoding` rewrites `BENCH_encoding.json`
+//! at the repository root with the footprint ratio (plain bytes / packed
+//! bytes) and the throughput ratio (packed ns / plain ns).
 
 use criterion::Criterion;
 use hillview_columnar::column::{Column, I64Column};
-use hillview_columnar::{ColumnKind, NullMask, Table};
+use hillview_columnar::{simd, ColumnKind, NullMask, Table};
 use hillview_sketch::buckets::BucketSpec;
 use hillview_sketch::histogram::HistogramSketch;
 use hillview_sketch::traits::Sketch;
@@ -27,6 +29,8 @@ struct Case {
     packed_bytes: usize,
     plain_ns: u128,
     packed_ns: u128,
+    plain_scalar_ns: u128,
+    packed_scalar_ns: u128,
 }
 
 /// Build plain and auto-encoded single-column tables over the same values.
@@ -76,6 +80,14 @@ fn run_case(
         hist.summarize(&vk, 0).unwrap(),
         "packed and plain histograms diverge in {name}"
     );
+    // The vector and scalar codegens must also agree exactly.
+    simd::set_force_scalar(true);
+    assert_eq!(
+        hist.summarize(&vp, 0).unwrap(),
+        hist.summarize(&vk, 0).unwrap(),
+        "scalar packed and plain histograms diverge in {name}"
+    );
+    simd::set_force_scalar(false);
     let mut g = c.benchmark_group(name);
     g.sample_size(10);
     g.bench_function("plain", |b| {
@@ -84,6 +96,14 @@ fn run_case(
     g.bench_function("packed", |b| {
         b.iter(|| hist.summarize(&vk, 0).unwrap());
     });
+    simd::set_force_scalar(true);
+    g.bench_function("plain_scalar", |b| {
+        b.iter(|| hist.summarize(&vp, 0).unwrap());
+    });
+    g.bench_function("packed_scalar", |b| {
+        b.iter(|| hist.summarize(&vk, 0).unwrap());
+    });
+    simd::set_force_scalar(false);
     g.finish();
     let ms = c.measurements();
     cases.push(Case {
@@ -91,8 +111,10 @@ fn run_case(
         encoding,
         plain_bytes,
         packed_bytes,
-        plain_ns: ms[ms.len() - 2].median.as_nanos(),
-        packed_ns: ms[ms.len() - 1].median.as_nanos(),
+        plain_ns: ms[ms.len() - 4].median.as_nanos(),
+        packed_ns: ms[ms.len() - 3].median.as_nanos(),
+        plain_scalar_ns: ms[ms.len() - 2].median.as_nanos(),
+        packed_scalar_ns: ms[ms.len() - 1].median.as_nanos(),
     });
 }
 
@@ -128,6 +150,19 @@ fn main() {
         BucketSpec::numeric(0.0, 4096.0, 100),
     );
 
+    // Sequential ids with jitter (timestamps, auto-increment keys): no run
+    // structure, ~31-bit value range, tiny adjacent deltas → per-block
+    // delta coding.
+    run_case(
+        &mut c,
+        &mut cases,
+        "sequential_ids_1M",
+        (0..ROWS as i64)
+            .map(|i| i * 1000 + (i * 7919) % 613)
+            .collect(),
+        BucketSpec::numeric(0.0, (ROWS as f64) * 1000.0, 100),
+    );
+
     write_json(&cases);
     println!(
         "\n{:<20} {:>12} {:>10} {:>10} {:>9} {:>11} {:>11}",
@@ -149,13 +184,16 @@ fn main() {
 
 fn write_json(cases: &[Case]) {
     let mut out = String::from(
-        "{\n  \"rows\": 1000000,\n  \"bench\": \"packed vs plain integer columns: heap bytes and chunked histogram median ns\",\n  \"cases\": [\n",
+        "{\n  \"rows\": 1000000,\n  \"bench\": \"packed vs plain integer columns: heap bytes and block histogram median ns (simd + forced-scalar)\",\n",
     );
+    out.push_str(&format!("  \"simd_available\": {},\n", simd::active()));
+    out.push_str("  \"cases\": [\n");
     for (i, case) in cases.iter().enumerate() {
         let footprint = case.plain_bytes as f64 / case.packed_bytes.max(1) as f64;
         let slowdown = case.packed_ns as f64 / case.plain_ns.max(1) as f64;
+        let packed_simd_speedup = case.packed_scalar_ns as f64 / case.packed_ns.max(1) as f64;
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"encoding\": \"{}\", \"plain_bytes\": {}, \"packed_bytes\": {}, \"footprint_ratio\": {:.2}, \"plain_ns\": {}, \"packed_ns\": {}, \"throughput_ratio\": {:.3}}}{}\n",
+            "    {{\"name\": \"{}\", \"encoding\": \"{}\", \"plain_bytes\": {}, \"packed_bytes\": {}, \"footprint_ratio\": {:.2}, \"plain_ns\": {}, \"packed_ns\": {}, \"throughput_ratio\": {:.3}, \"plain_scalar_ns\": {}, \"packed_scalar_ns\": {}, \"packed_simd_speedup\": {:.2}}}{}\n",
             case.name,
             case.encoding,
             case.plain_bytes,
@@ -164,6 +202,9 @@ fn write_json(cases: &[Case]) {
             case.plain_ns,
             case.packed_ns,
             slowdown,
+            case.plain_scalar_ns,
+            case.packed_scalar_ns,
+            packed_simd_speedup,
             if i + 1 < cases.len() { "," } else { "" }
         ));
     }

@@ -1,19 +1,25 @@
 //! Chunked vs. per-row scan benchmarks (the tentpole measurement for the
-//! chunked columnar scan layer).
+//! block scan pipeline), plus simd-on vs forced-scalar pairs.
 //!
 //! Each case runs the same vizketch kernel twice over identical data: once
-//! through the chunked scan path (`summarize`) and once through the per-row
+//! through the block scan path (`summarize`) and once through the per-row
 //! reference path (`summarize_rowwise`). Views cover the membership
 //! representations that matter: full, contiguous-range (coalesced bitmap
 //! words), alternating dense bitmap, sparse, and a null-heavy column.
+//!
+//! When built with `--features simd`, a second table of cases times each
+//! hot kernel under the vector codegen vs the forced-scalar fallback
+//! (`hillview_columnar::simd::set_force_scalar`) — same process, same
+//! data, byte-identical summaries, different codegen.
 //!
 //! Running `cargo bench --bench scan` rewrites `BENCH_scan.json` at the
 //! repository root with the measured medians and speedups.
 
 use criterion::Criterion;
 use hillview_columnar::column::{Column, DictColumn, F64Column};
-use hillview_columnar::{ColumnKind, MembershipSet, Table};
+use hillview_columnar::{simd, ColumnKind, MembershipSet, Table};
 use hillview_sketch::buckets::BucketSpec;
+use hillview_sketch::heatmap::HeatmapSketch;
 use hillview_sketch::heavy::MisraGriesSketch;
 use hillview_sketch::histogram::HistogramSketch;
 use hillview_sketch::moments::MomentsSketch;
@@ -87,6 +93,14 @@ struct Case {
     rowwise_ns: u128,
 }
 
+/// A simd-on vs forced-scalar timing of one kernel (same process, same
+/// data; summaries asserted byte-identical before timing).
+struct SimdCase {
+    name: &'static str,
+    simd_ns: u128,
+    scalar_ns: u128,
+}
+
 fn run_pair(
     c: &mut Criterion,
     cases: &mut Vec<Case>,
@@ -106,6 +120,28 @@ fn run_pair(
         name,
         chunked_ns,
         rowwise_ns,
+    });
+}
+
+fn run_simd_pair(
+    c: &mut Criterion,
+    cases: &mut Vec<SimdCase>,
+    name: &'static str,
+    mut kernel: impl FnMut(),
+) {
+    let mut g = c.benchmark_group(name);
+    g.sample_size(10);
+    simd::set_force_scalar(false);
+    g.bench_function("simd", |b| b.iter(&mut kernel));
+    simd::set_force_scalar(true);
+    g.bench_function("scalar", |b| b.iter(&mut kernel));
+    simd::set_force_scalar(false);
+    g.finish();
+    let ms = c.measurements();
+    cases.push(SimdCase {
+        name,
+        simd_ns: ms[ms.len() - 2].median.as_nanos(),
+        scalar_ns: ms[ms.len() - 1].median.as_nanos(),
     });
 }
 
@@ -242,7 +278,46 @@ fn main() {
         hist_nulls.summarize_rowwise(&full, 0).unwrap()
     );
 
-    write_json(&cases);
+    // Simd-on vs forced-scalar pairs over the hot kernels; summaries must
+    // be byte-identical before we time anything.
+    let mut simd_cases = Vec::new();
+    let heat = HeatmapSketch::streaming(
+        "X",
+        "C",
+        BucketSpec::numeric(0.0, 1000.0, 50),
+        BucketSpec::strings(vec!["cod".into(), "shark".into(), "tuna".into()]),
+    );
+    {
+        let a = hist.summarize(&full, 0).unwrap();
+        simd::set_force_scalar(true);
+        let b = hist.summarize(&full, 0).unwrap();
+        simd::set_force_scalar(false);
+        assert_eq!(a, b, "simd and scalar histograms diverge");
+        let a = moments.summarize(&full, 0).unwrap();
+        simd::set_force_scalar(true);
+        let b = moments.summarize(&full, 0).unwrap();
+        simd::set_force_scalar(false);
+        assert_eq!(a, b, "simd and scalar moments diverge");
+    }
+    run_simd_pair(&mut c, &mut simd_cases, "simd_histogram_1M_full", || {
+        hist.summarize(&full, 0).unwrap();
+    });
+    run_simd_pair(
+        &mut c,
+        &mut simd_cases,
+        "simd_histogram_1M_null30pct",
+        || {
+            hist_nulls.summarize(&full, 0).unwrap();
+        },
+    );
+    run_simd_pair(&mut c, &mut simd_cases, "simd_moments_1M_full", || {
+        moments.summarize(&full, 0).unwrap();
+    });
+    run_simd_pair(&mut c, &mut simd_cases, "simd_heatmap_1M_full", || {
+        heat.summarize(&full, 0).unwrap();
+    });
+
+    write_json(&cases, &simd_cases);
     println!(
         "\n{:<32} {:>12} {:>12} {:>8}",
         "case", "chunked", "rowwise", "speedup"
@@ -256,12 +331,31 @@ fn main() {
             case.rowwise_ns as f64 / case.chunked_ns.max(1) as f64
         );
     }
+    println!(
+        "\n{:<32} {:>12} {:>12} {:>8}  (simd_available: {})",
+        "case",
+        "simd",
+        "scalar",
+        "speedup",
+        simd::active()
+    );
+    for case in &simd_cases {
+        println!(
+            "{:<32} {:>10}ns {:>10}ns {:>7.2}x",
+            case.name,
+            case.simd_ns,
+            case.scalar_ns,
+            case.scalar_ns as f64 / case.simd_ns.max(1) as f64
+        );
+    }
 }
 
-fn write_json(cases: &[Case]) {
+fn write_json(cases: &[Case], simd_cases: &[SimdCase]) {
     let mut out = String::from(
-        "{\n  \"rows\": 1000000,\n  \"bench\": \"chunked vs per-row scan, median ns per summarize\",\n  \"cases\": [\n",
+        "{\n  \"rows\": 1000000,\n  \"bench\": \"chunked vs per-row scan, median ns per summarize\",\n",
     );
+    out.push_str(&format!("  \"simd_available\": {},\n", simd::active()));
+    out.push_str("  \"cases\": [\n");
     for (i, case) in cases.iter().enumerate() {
         let speedup = case.rowwise_ns as f64 / case.chunked_ns.max(1) as f64;
         out.push_str(&format!(
@@ -271,6 +365,18 @@ fn write_json(cases: &[Case]) {
             case.rowwise_ns,
             speedup,
             if i + 1 < cases.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"simd_cases\": [\n");
+    for (i, case) in simd_cases.iter().enumerate() {
+        let speedup = case.scalar_ns as f64 / case.simd_ns.max(1) as f64;
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"simd_ns\": {}, \"scalar_ns\": {}, \"simd_speedup\": {:.2}}}{}\n",
+            case.name,
+            case.simd_ns,
+            case.scalar_ns,
+            speedup,
+            if i + 1 < simd_cases.len() { "," } else { "" }
         ));
     }
     out.push_str("  ]\n}\n");

@@ -1,0 +1,296 @@
+//! The decoded-block ABI: the one frame format connecting the encoding
+//! layer, the scan drivers, and every kernel inner loop.
+//!
+//! A [`Block`] is a 64-row-aligned window of a column: decoded value lanes
+//! (borrowed zero-copy from plain storage, materialized by the block
+//! decoders otherwise), a *selection* word saying which rows of the frame
+//! the scan selects, and a *validity* word saying which rows are non-null.
+//! Kernels consume frames through [`BlockSink`], driven by [`scan_blocks`]
+//! — the single driver loop that replaced the per-variant scratch-buffer
+//! decode protocol. Sparse explicit row lists (samples, very selective
+//! filters) bypass frame decoding and arrive per value through
+//! [`BlockSink::one`], with run-length storage serving whole runs through
+//! one cursor probe.
+//!
+//! Frames tile a selection exactly: bases are 64-aligned and strictly
+//! ascending, selection words never overlap, and the union of selection
+//! bits (plus the sparse fallback rows) is precisely the scanned selection
+//! — the tiling laws the columnar proptests pin. Because lanes are decoded
+//! in ascending order and frames never repeat rows, a kernel folding block
+//! values observes exactly the per-row reference value stream.
+//!
+//! [`BlockCursor`] packages the scratch buffer + ascending decode state for
+//! kernels that pull frames from several columns in lockstep (heat maps,
+//! stacked histograms) rather than being driven by one source.
+
+use crate::bitmap::{span_mask, Bitmap};
+use crate::scan::{ScanChunk, ScanSource, Selection};
+
+/// Rows per block frame.
+pub const BLOCK_ROWS: usize = crate::encoding::BLOCK_ROWS;
+
+/// A decoded 64-row-aligned frame of one column.
+#[derive(Debug, Clone, Copy)]
+pub struct Block<'a, T> {
+    /// First row of the frame; always a multiple of 64.
+    pub base: usize,
+    /// Decoded value lanes for rows `base .. base + values.len()`. Covers
+    /// every selected row of the frame (null rows hold the storage's
+    /// placeholder value, like the raw column arrays).
+    pub values: &'a [T],
+    /// Bit `k` set ⇔ row `base + k` is selected by the scan. Bits at or
+    /// beyond `values.len()` are never set.
+    pub selection: u64,
+    /// Bit `k` set ⇔ row `base + k` is non-null. Bits beyond the column
+    /// are meaningless; always combine with `selection`.
+    pub validity: u64,
+}
+
+impl<T> Block<'_, T> {
+    /// Rows the kernel must process: selected and non-null.
+    #[inline]
+    pub fn live(&self) -> u64 {
+        self.selection & self.validity
+    }
+
+    /// Number of decoded lanes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the frame has no lanes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// True when every lane is selected and non-null — the dense fast path
+    /// where kernels may run branch-free over the whole value slice.
+    #[inline]
+    pub fn all_live(&self) -> bool {
+        self.live() == span_mask(0, self.values.len())
+    }
+}
+
+/// Receiver for [`scan_blocks`]: dense portions of the selection arrive as
+/// decoded [`Block`] frames, sparse row lists value-at-a-time.
+pub trait BlockSink<T> {
+    /// A decoded frame; process the rows of `block.live()`.
+    fn block(&mut self, block: &Block<'_, T>);
+    /// One selected, non-null value at `row` (sparse row-list path).
+    fn one(&mut self, row: usize, v: T);
+}
+
+/// Scratch + ascending decode state for pulling frames out of a
+/// [`ScanSource`] in lockstep with other columns.
+pub struct BlockCursor<'a, T, S: ?Sized> {
+    src: &'a S,
+    cursor: usize,
+    buf: [T; BLOCK_ROWS],
+}
+
+impl<'a, T: Copy + Default, S: ScanSource<T> + ?Sized> BlockCursor<'a, T, S> {
+    /// A cursor over `src`, starting before row 0.
+    pub fn new(src: &'a S) -> Self {
+        BlockCursor {
+            src,
+            cursor: 0,
+            buf: [T::default(); BLOCK_ROWS],
+        }
+    }
+
+    /// Decoded lanes of the frame `base .. base + len` (`base` 64-aligned,
+    /// `len <= 64`). Frames should be requested in ascending order.
+    #[inline]
+    pub fn lanes(&mut self, base: usize, len: usize) -> &[T] {
+        self.src
+            .decode_frame(&mut self.cursor, base, len, &mut self.buf)
+    }
+
+    /// Random access tuned for ascending rows (sparse fallback paths).
+    #[inline]
+    pub fn value(&mut self, row: usize) -> T {
+        self.src.index_ascending(&mut self.cursor, row)
+    }
+}
+
+/// One step of [`scan_frames`]: a dense 64-aligned frame of the selection,
+/// or a single sparse row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameEvent {
+    /// A dense frame (from `Range` and `Mask` chunks): rows at the set
+    /// bits of `word` within `base .. base + len` are selected. `len`
+    /// always covers the highest selected bit; decode `base .. base + len`.
+    Frame {
+        /// 64-aligned frame base.
+        base: usize,
+        /// Lanes to decode (`<= 64`).
+        len: usize,
+        /// Selection bits of the frame.
+        word: u64,
+    },
+    /// One explicitly listed row (sparse lists, samples).
+    Row(usize),
+}
+
+/// Enumerate the selection as 64-aligned frames plus sparse fallback rows.
+///
+/// This is the skeleton of [`scan_blocks`], exposed for kernels that scan
+/// several columns per row (heat maps, stacked histograms) and decode each
+/// column's lanes through its own [`BlockCursor`].
+pub fn scan_frames(sel: &Selection<'_>, mut f: impl FnMut(FrameEvent)) {
+    for chunk in sel.chunks() {
+        match chunk {
+            ScanChunk::Range { start, end } => {
+                let mut r = start;
+                while r < end {
+                    let base = r / 64 * 64;
+                    let fend = (base + 64).min(end);
+                    f(FrameEvent::Frame {
+                        base,
+                        len: fend - base,
+                        word: span_mask(r - base, fend - base),
+                    });
+                    r = fend;
+                }
+            }
+            ScanChunk::Mask { base, word } => {
+                f(FrameEvent::Frame {
+                    base,
+                    len: 64 - word.leading_zeros() as usize,
+                    word,
+                });
+            }
+            ScanChunk::Rows(rows) => {
+                for &r in rows {
+                    f(FrameEvent::Row(r as usize));
+                }
+            }
+        }
+    }
+}
+
+/// The single block driver loop: decode the selection's frames out of
+/// `data` (any [`ScanSource`] — plain slices are borrowed zero-copy) and
+/// hand them to `sink`, folding the null bitmap in at word granularity and
+/// adding the number of selected-but-null rows to `missing`. Sparse row
+/// lists skip frame decoding and stream through [`BlockSink::one`], with
+/// run-length runs served whole via [`ScanSource::index_run`].
+pub fn scan_blocks<T, S, K>(
+    sel: &Selection<'_>,
+    data: &S,
+    nulls: Option<&Bitmap>,
+    missing: &mut u64,
+    sink: &mut K,
+) where
+    T: Copy + Default,
+    S: ScanSource<T> + ?Sized,
+    K: BlockSink<T>,
+{
+    let mut buf = [T::default(); BLOCK_ROWS];
+    let mut cursor = 0usize;
+    for chunk in sel.chunks() {
+        match chunk {
+            ScanChunk::Range { start, end } => {
+                let mut r = start;
+                while r < end {
+                    let base = r / 64 * 64;
+                    let fend = (base + 64).min(end);
+                    let selection = span_mask(r - base, fend - base);
+                    let nword = nulls.map_or(0, |nb| nb.word(base / 64));
+                    *missing += (selection & nword).count_ones() as u64;
+                    let values = data.decode_frame(&mut cursor, base, fend - base, &mut buf);
+                    sink.block(&Block {
+                        base,
+                        values,
+                        selection,
+                        validity: !nword,
+                    });
+                    r = fend;
+                }
+            }
+            ScanChunk::Mask { base, word } => {
+                let len = 64 - word.leading_zeros() as usize;
+                let nword = nulls.map_or(0, |nb| nb.word(base / 64));
+                *missing += (word & nword).count_ones() as u64;
+                let values = data.decode_frame(&mut cursor, base, len, &mut buf);
+                sink.block(&Block {
+                    base,
+                    values,
+                    selection: word,
+                    validity: !nword,
+                });
+            }
+            ScanChunk::Rows(rows) => {
+                // Ascending sparse rows: one storage probe per run, not per
+                // row — a run covering many sampled rows serves them all.
+                let mut run_v = T::default();
+                let mut run_end = 0usize;
+                match nulls {
+                    None => {
+                        for &r in rows {
+                            let r = r as usize;
+                            if r >= run_end {
+                                (run_v, run_end) = data.index_run(&mut cursor, r);
+                            }
+                            sink.one(r, run_v);
+                        }
+                    }
+                    Some(nb) => {
+                        for &r in rows {
+                            let r = r as usize;
+                            if nb.get(r) {
+                                *missing += 1;
+                            } else {
+                                if r >= run_end {
+                                    (run_v, run_end) = data.index_run(&mut cursor, r);
+                                }
+                                sink.one(r, run_v);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::membership::MembershipSet;
+
+    #[test]
+    fn frames_tile_a_range_selection() {
+        let m = MembershipSet::full(200);
+        let sel = Selection::Members(&m);
+        let mut frames = Vec::new();
+        scan_frames(&sel, |ev| match ev {
+            FrameEvent::Frame { base, len, word } => frames.push((base, len, word)),
+            FrameEvent::Row(_) => panic!("no rows"),
+        });
+        assert_eq!(frames.len(), 4);
+        assert_eq!(frames[0], (0, 64, u64::MAX));
+        assert_eq!(frames[3], (192, 8, span_mask(0, 8)));
+    }
+
+    #[test]
+    fn block_live_and_all_live() {
+        let b = Block::<i64> {
+            base: 0,
+            values: &[1, 2, 3],
+            selection: 0b111,
+            validity: !0b010,
+        };
+        assert_eq!(b.live(), 0b101);
+        assert!(!b.all_live());
+        let b = Block::<i64> {
+            base: 0,
+            values: &[1, 2, 3],
+            selection: 0b111,
+            validity: !0,
+        };
+        assert!(b.all_live());
+    }
+}

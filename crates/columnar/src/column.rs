@@ -464,9 +464,15 @@ mod tests {
 
     #[test]
     fn ingest_compresses_compressible_columns() {
-        // Sorted, low-cardinality: run-length; small range: bit-packed.
-        let sorted = I64Column::new((0..4096).map(|i| i / 64).collect(), NullMask::none());
+        // Sorted, low-cardinality: run-length; small range: bit-packed;
+        // sequential unique: delta.
+        let sorted = I64Column::new((0..4096).map(|i| i / 100).collect(), NullMask::none());
         assert_eq!(sorted.storage().kind(), EncodingKind::RunLength);
+        let sequential = I64Column::new((0..4096).collect(), NullMask::none());
+        assert_eq!(sequential.storage().kind(), EncodingKind::Delta);
+        for i in [0usize, 63, 64, 4095] {
+            assert_eq!(sequential.get(i), Some(i as i64));
+        }
         let packed = I64Column::new(
             (0..4096).map(|i| (i * 7919) % 1024).collect(),
             NullMask::none(),
@@ -476,7 +482,7 @@ mod tests {
         assert_eq!(plain.storage().kind(), EncodingKind::Plain);
         // Values identical under every encoding.
         for i in [0usize, 63, 64, 4095] {
-            assert_eq!(sorted.get(i), Some(i as i64 / 64));
+            assert_eq!(sorted.get(i), Some(i as i64 / 100));
         }
         assert!(sorted.storage().heap_bytes() * 4 <= 4096 * 8);
     }

@@ -1,5 +1,5 @@
-//! Compressed integer column storage: the encoding layer under the chunked
-//! scan drivers.
+//! Compressed integer column storage: the encoding layer under the block
+//! scan pipeline.
 //!
 //! The paper's "trillion-cell" claim rests on workers holding far more cells
 //! than naive 8-bytes-per-value storage allows (§5: columnar in-memory
@@ -7,7 +7,7 @@
 //! counterpart of `hvc`'s on-disk delta coding: an [`IntStorage`] enum that
 //! backs [`I64Column`](crate::column::I64Column) values and
 //! [`DictColumn`](crate::column::DictColumn) dictionary codes with one of
-//! three physical encodings:
+//! four physical encodings:
 //!
 //! * [`IntStorage::Plain`] — the raw `Vec<T>`, for high-entropy data.
 //! * [`IntStorage::BitPacked`] — frame-of-reference + bit-packing: values
@@ -18,25 +18,40 @@
 //! * [`IntStorage::RunLength`] — run-length encoding for sorted or
 //!   low-cardinality data: `(value, end)` pairs where `ends` is the
 //!   cumulative (exclusive) end row of each run.
+//! * [`IntStorage::Delta`] — per-64-row-block frame-of-reference delta
+//!   coding for *sorted* (mostly-ascending) columns of mostly-unique values
+//!   — timestamps, sequential ids. Each 64-row block stores its first value
+//!   in `anchors`, and every row stores `value - previous value` bit-packed
+//!   at a global `width` (block-anchor rows pack a zero). A million
+//!   sequential timestamps shrink from 8 bytes to ~1 bit per row plus one
+//!   anchor per block, matching what `hvc` already achieves on disk.
 //!
-//! ## Chunk-decoder contract
+//! ## Block-decoder contract
 //!
 //! Encodings stay opaque to kernels. The scan drivers in [`crate::scan`]
-//! consume any [`scan::ScanSource`](crate::scan::ScanSource): when the
-//! source is plain they run directly over the backing slice (the dense fast
-//! path is unchanged), otherwise they call [`IntStorage::decode_into`] to
-//! materialize at most 64 rows at a time into a stack scratch buffer and
-//! run the identical word-granular null logic over that buffer. Decoding is
-//! strictly in ascending row order, so chunked kernels observe exactly the
-//! same value sequence across every encoding — the scan-equivalence and
-//! encoding property tests pin this down bit-for-bit.
+//! iterate [`crate::block::Block`] frames — 64-row-aligned windows — and
+//! obtain each frame's value lanes from
+//! [`ScanSource::decode_frame`](crate::scan::ScanSource::decode_frame):
+//! plain storage borrows the backing slice zero-copy, bit-packed and delta
+//! storage decode whole words through the const-generic unpackers (the
+//! 64-value body of every frame is word-aligned for *every* width, so the
+//! inner loop is fixed shifts with no straddle bookkeeping), and run-length
+//! storage splats whole runs via an ascending run cursor — a run covering
+//! the entire frame is a single `fill`, not 64 per-row steps. Decoding is
+//! strictly in ascending row order, so kernels observe exactly the same
+//! value sequence across every encoding — the scan-equivalence and encoding
+//! property tests pin this down bit-for-bit.
+//!
+//! With the `simd` cargo feature, the unpack bodies are additionally
+//! compiled under wider vector ISAs and dispatched at runtime (see
+//! [`crate::simd`]); the decoded values are bit-identical either way.
 //!
 //! ## Encoding selection
 //!
-//! [`IntStorage::encode`] analyzes min/max and the run count in one pass
-//! and picks the cheapest encoding, but only if it saves at least 25% over
-//! plain — marginal wins are not worth the decode work. Selection happens
-//! at ingest wherever columns are built (`I64Column::new`,
+//! [`IntStorage::encode`] analyzes min/max, run structure, and adjacent
+//! deltas in one pass and picks the cheapest encoding, but only if it saves
+//! at least 25% over plain — marginal wins are not worth the decode work.
+//! Selection happens at ingest wherever columns are built (`I64Column::new`,
 //! `DictColumn::new`, and therefore CSV/JSONL/HVC readers and
 //! `partition_table` slices, which re-analyze each micropartition).
 
@@ -50,6 +65,8 @@ pub enum EncodingKind {
     BitPacked,
     /// Run-length encoding.
     RunLength,
+    /// Per-block anchors + bit-packed adjacent deltas.
+    Delta,
 }
 
 impl std::fmt::Display for EncodingKind {
@@ -58,14 +75,24 @@ impl std::fmt::Display for EncodingKind {
             EncodingKind::Plain => "plain",
             EncodingKind::BitPacked => "bit-packed",
             EncodingKind::RunLength => "run-length",
+            EncodingKind::Delta => "delta",
         })
     }
 }
 
+mod sealed {
+    /// [`PackedInt`](super::PackedInt) is sealed: the vector decode paths
+    /// dispatch on `BYTES` and store raw lane bit patterns, which is only
+    /// sound for the two known implementors.
+    pub trait Sealed {}
+    impl Sealed for i64 {}
+    impl Sealed for u32 {}
+}
+
 /// Integer types that can live in an [`IntStorage`]: they convert to and
 /// from unsigned deltas relative to a base value. Implemented for `i64`
-/// (column values) and `u32` (dictionary codes).
-pub trait PackedInt: Copy + Default + Ord + std::fmt::Debug + 'static {
+/// (column values) and `u32` (dictionary codes); sealed.
+pub trait PackedInt: Copy + Default + Ord + std::fmt::Debug + sealed::Sealed + 'static {
     /// Bytes one plain value occupies.
     const BYTES: usize;
     /// `self - base` as an unsigned delta (two's-complement exact).
@@ -98,11 +125,14 @@ impl PackedInt for u32 {
     }
 }
 
+/// Rows per decoded block frame (the scan layer's 64-row granularity).
+pub const BLOCK_ROWS: usize = 64;
+
 /// Compressed (or plain) storage for a column of integers.
 ///
 /// Immutable once built, like everything else in a [`Table`](crate::Table)
 /// snapshot. See the [module docs](self) for the encoding inventory and the
-/// chunk-decoder contract.
+/// block-decoder contract.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum IntStorage<T> {
     /// Raw values.
@@ -130,6 +160,23 @@ pub enum IntStorage<T> {
         /// Exclusive cumulative end row of each run.
         ends: Vec<u32>,
     },
+    /// Per-block delta coding: row `i` is
+    /// `anchors[i/64] + Σ delta[j]` for `j` in `(i/64)*64 + 1 ..= i`, where
+    /// `delta[j] = value[j] - value[j-1]` is packed in `width` bits at the
+    /// same little-endian layout as [`IntStorage::BitPacked`]. Rows at
+    /// block starts (`j % 64 == 0`) pack a zero — their value is the
+    /// anchor. Only viable when every adjacent delta fits `width` bits as
+    /// an unsigned offset, i.e. for (near-)ascending data.
+    Delta {
+        /// Value of row `b * 64` for each block `b` (`ceil(len/64)` of them).
+        anchors: Vec<T>,
+        /// Bits per packed adjacent delta (0..=63).
+        width: u8,
+        /// Number of rows.
+        len: usize,
+        /// `ceil(len * width / 64)` packed words.
+        words: Vec<u64>,
+    },
 }
 
 impl<T> Default for IntStorage<T> {
@@ -151,10 +198,24 @@ fn low_mask(width: usize) -> u64 {
     (1u64 << width) - 1
 }
 
+/// Packed delta at row `i` for an arbitrary (non-constant) width: the
+/// per-value shift/mask reference every block unpacker must match.
+#[inline]
+fn packed_at(words: &[u64], width: usize, i: usize) -> u64 {
+    let bit = i * width;
+    let w = bit >> 6;
+    let off = bit & 63;
+    let mut d = words[w] >> off;
+    if off + width > 64 {
+        d |= words[w + 1] << (64 - off);
+    }
+    d & low_mask(width)
+}
+
 impl<T: PackedInt> IntStorage<T> {
-    /// Analyze `values` (min/max range, run structure) and store them under
-    /// the cheapest encoding, keeping them plain unless a packed form saves
-    /// at least 25% of the bytes.
+    /// Analyze `values` (min/max range, run structure, adjacent deltas) and
+    /// store them under the cheapest encoding, keeping them plain unless a
+    /// packed form saves at least 25% of the bytes.
     pub fn encode(values: Vec<T>) -> Self {
         let n = values.len();
         if n == 0 {
@@ -163,6 +224,9 @@ impl<T: PackedInt> IntStorage<T> {
         let mut min = values[0];
         let mut max = values[0];
         let mut runs = 1usize;
+        // Widest adjacent delta at non-anchor rows, as an unsigned offset;
+        // descending data produces a huge offset and rules delta out.
+        let mut delta_width = 0usize;
         for i in 1..n {
             let v = values[i];
             if v < min {
@@ -173,6 +237,9 @@ impl<T: PackedInt> IntStorage<T> {
             }
             if v != values[i - 1] {
                 runs += 1;
+            }
+            if !i.is_multiple_of(BLOCK_ROWS) {
+                delta_width = delta_width.max(bits_needed(v.offset_from(values[i - 1])));
             }
         }
         let plain_cost = n * T::BYTES;
@@ -187,10 +254,17 @@ impl<T: PackedInt> IntStorage<T> {
         } else {
             runs * (T::BYTES + 4)
         };
+        let delta_cost = if delta_width >= 64 {
+            usize::MAX
+        } else {
+            n.div_ceil(BLOCK_ROWS) * T::BYTES + (n * delta_width).div_ceil(64) * 8
+        };
         // Only leave plain when the saving is real (>= 25%).
         let budget = plain_cost - plain_cost / 4;
-        if rl_cost <= packed_cost && rl_cost <= budget {
+        if rl_cost <= packed_cost && rl_cost <= delta_cost && rl_cost <= budget {
             Self::run_length_from(&values)
+        } else if delta_cost < packed_cost && delta_cost <= budget {
+            Self::delta_from(&values, delta_width)
         } else if packed_cost <= budget {
             Self::bit_packed_from(&values, min, width)
         } else {
@@ -225,6 +299,18 @@ impl<T: PackedInt> IntStorage<T> {
     /// `u32` can index.
     pub fn run_length_of(values: &[T]) -> Option<Self> {
         (values.len() <= u32::MAX as usize).then(|| Self::run_length_from(values))
+    }
+
+    /// Force per-block delta coding. `None` when some adjacent delta does
+    /// not fit 63 bits as an unsigned offset (descending `i64` data).
+    pub fn delta_of(values: &[T]) -> Option<Self> {
+        let mut delta_width = 0usize;
+        for i in 1..values.len() {
+            if !i.is_multiple_of(BLOCK_ROWS) {
+                delta_width = delta_width.max(bits_needed(values[i].offset_from(values[i - 1])));
+            }
+        }
+        (delta_width < 64).then(|| Self::delta_from(values, delta_width))
     }
 
     fn bit_packed_from(values: &[T], base: T, width: usize) -> Self {
@@ -269,6 +355,38 @@ impl<T: PackedInt> IntStorage<T> {
         }
     }
 
+    fn delta_from(values: &[T], width: usize) -> Self {
+        debug_assert!(width < 64);
+        let n = values.len();
+        let mut anchors = Vec::with_capacity(n.div_ceil(BLOCK_ROWS));
+        let mut words = vec![0u64; (n * width).div_ceil(64)];
+        let mut bit = 0usize;
+        for (i, &v) in values.iter().enumerate() {
+            let d = if i.is_multiple_of(BLOCK_ROWS) {
+                anchors.push(v);
+                0
+            } else {
+                v.offset_from(values[i - 1])
+            };
+            if width > 0 {
+                debug_assert!(bits_needed(d) <= width);
+                let w = bit >> 6;
+                let off = bit & 63;
+                words[w] |= d << off;
+                if off + width > 64 {
+                    words[w + 1] |= d >> (64 - off);
+                }
+                bit += width;
+            }
+        }
+        IntStorage::Delta {
+            anchors,
+            width: width as u8,
+            len: n,
+            words,
+        }
+    }
+
     /// Rebuild a storage from its parts (used by `hvc` decode, which
     /// preserves the encoded representation instead of re-analyzing).
     /// Returns `None` if the parts are structurally inconsistent.
@@ -294,11 +412,28 @@ impl<T: PackedInt> IntStorage<T> {
         Some(IntStorage::RunLength { values, ends })
     }
 
+    /// Rebuild a delta storage from its parts (`hvc` decode); `None` if
+    /// the anchor or word counts are inconsistent with `len`/`width`.
+    pub fn from_delta(anchors: Vec<T>, width: u8, len: usize, words: Vec<u64>) -> Option<Self> {
+        if width >= 64
+            || anchors.len() != len.div_ceil(BLOCK_ROWS)
+            || words.len() != (len * width as usize).div_ceil(64)
+        {
+            return None;
+        }
+        Some(IntStorage::Delta {
+            anchors,
+            width,
+            len,
+            words,
+        })
+    }
+
     /// Number of rows.
     pub fn len(&self) -> usize {
         match self {
             IntStorage::Plain(v) => v.len(),
-            IntStorage::BitPacked { len, .. } => *len,
+            IntStorage::BitPacked { len, .. } | IntStorage::Delta { len, .. } => *len,
             IntStorage::RunLength { ends, .. } => ends.last().map_or(0, |&e| e as usize),
         }
     }
@@ -314,6 +449,7 @@ impl<T: PackedInt> IntStorage<T> {
             IntStorage::Plain(_) => EncodingKind::Plain,
             IntStorage::BitPacked { .. } => EncodingKind::BitPacked,
             IntStorage::RunLength { .. } => EncodingKind::RunLength,
+            IntStorage::Delta { .. } => EncodingKind::Delta,
         }
     }
 
@@ -328,7 +464,7 @@ impl<T: PackedInt> IntStorage<T> {
     }
 
     /// Value at row `i`. O(1) for plain and bit-packed storage,
-    /// O(log runs) for run-length.
+    /// O(log runs) for run-length, O(row-in-block) for delta.
     #[inline]
     pub fn get(&self, i: usize) -> T {
         match self {
@@ -344,17 +480,26 @@ impl<T: PackedInt> IntStorage<T> {
                 if width == 0 {
                     return *base;
                 }
-                let bit = i * width;
-                let w = bit >> 6;
-                let off = bit & 63;
-                let mut d = words[w] >> off;
-                if off + width > 64 {
-                    d |= words[w + 1] << (64 - off);
-                }
-                T::add_offset(*base, d & low_mask(width))
+                T::add_offset(*base, packed_at(words, width, i))
             }
             IntStorage::RunLength { values, ends } => {
                 values[ends.partition_point(|&e| e as usize <= i)]
+            }
+            IntStorage::Delta {
+                anchors,
+                width,
+                len,
+                words,
+            } => {
+                assert!(i < *len, "row {i} out of range {len}");
+                let width = *width as usize;
+                let mut v = anchors[i / BLOCK_ROWS];
+                if width > 0 {
+                    for j in (i / BLOCK_ROWS * BLOCK_ROWS + 1)..=i {
+                        v = T::add_offset(v, packed_at(words, width, j));
+                    }
+                }
+                v
             }
         }
     }
@@ -368,30 +513,44 @@ impl<T: PackedInt> IntStorage<T> {
     #[inline]
     pub fn get_ascending(&self, cursor: &mut usize, i: usize) -> T {
         match self {
-            IntStorage::RunLength { values, ends } => {
-                let mut run = *cursor;
-                if run >= ends.len() || (run > 0 && ends[run - 1] as usize > i) {
-                    run = ends.partition_point(|&e| e as usize <= i);
-                } else {
-                    while ends[run] as usize <= i {
-                        run += 1;
-                    }
-                }
-                *cursor = run;
-                values[run]
-            }
+            IntStorage::RunLength { .. } => self.run_at(cursor, i).0,
             _ => self.get(i),
         }
     }
 
+    /// Run-length lookup returning `(value, exclusive end of the run
+    /// containing row i)`; for every other encoding the "run" is the single
+    /// row `(value, i + 1)`. Ascending callers (sparse scans, samples) use
+    /// the returned end to serve *every remaining row of the run — and a
+    /// run covering a whole 64-row frame serves the whole frame — without
+    /// re-probing the storage.
+    #[inline]
+    pub fn run_at(&self, cursor: &mut usize, i: usize) -> (T, usize) {
+        match self {
+            IntStorage::RunLength { values, ends } => {
+                let mut run = *cursor;
+                if run >= ends.len() || (run > 0 && ends[run - 1] as usize > i) {
+                    run = ends.partition_point(|&e| e as usize <= i);
+                } else if ends[run] as usize <= i {
+                    // Ahead of the cursor: O(1) when the target sits in the
+                    // next run (the common ascending step), a binary
+                    // re-seek into the tail for longer jumps — a cold
+                    // cursor never walks the run list linearly.
+                    run += 1;
+                    if run < ends.len() && (ends[run] as usize) <= i {
+                        run += ends[run..].partition_point(|&e| e as usize <= i);
+                    }
+                }
+                *cursor = run;
+                (values[run], ends[run] as usize)
+            }
+            _ => (self.get(i), i + 1),
+        }
+    }
+
     /// Decode rows `start .. start + out.len()` into `out`, in row order.
-    /// This is the chunk-decoder entry point: the scan drivers call it with
-    /// a stack scratch buffer of at most 64 rows per 64-row block.
-    ///
-    /// Common packed widths (1/2/4/8/16, and the 12-bit straddling layout)
-    /// take unrolled per-width fast paths that extract whole words at a
-    /// time; every path produces bit-identical values to the generic
-    /// shift/mask decode.
+    /// Works at any offset; the aligned whole-frame entry point the scan
+    /// drivers use is [`IntStorage::decode_frame`].
     pub fn decode_into(&self, start: usize, out: &mut [T]) {
         match self {
             IntStorage::Plain(v) => out.copy_from_slice(&v[start..start + out.len()]),
@@ -399,35 +558,115 @@ impl<T: PackedInt> IntStorage<T> {
                 base, width, words, ..
             } => {
                 let width = *width as usize;
-                match width {
-                    0 => out.fill(*base),
-                    1 => unpack_div64::<T, 1>(words, *base, start, out),
-                    2 => unpack_div64::<T, 2>(words, *base, start, out),
-                    4 => unpack_div64::<T, 4>(words, *base, start, out),
-                    8 => unpack_div64::<T, 8>(words, *base, start, out),
-                    12 => unpack12(words, *base, start, out),
-                    16 => unpack_div64::<T, 16>(words, *base, start, out),
-                    _ => unpack_generic(words, *base, width, start, out),
+                if width == 0 {
+                    out.fill(*base);
+                } else {
+                    unpack_span(words, *base, width, start, out);
                 }
             }
-            IntStorage::RunLength { values, ends } => {
-                if out.is_empty() {
-                    return;
-                }
-                let mut run = ends.partition_point(|&e| e as usize <= start);
+            IntStorage::RunLength { .. } => {
+                let mut cursor = 0usize;
                 let mut i = start;
-                let end = start + out.len();
                 let mut o = 0usize;
-                while i < end {
-                    let run_end = (ends[run] as usize).min(end);
-                    let v = values[run];
-                    while i < run_end {
-                        out[o] = v;
-                        o += 1;
-                        i += 1;
-                    }
-                    run += 1;
+                while o < out.len() {
+                    let (v, run_end) = self.run_at(&mut cursor, i);
+                    let take = run_end.min(start + out.len()) - i;
+                    out[o..o + take].fill(v);
+                    i += take;
+                    o += take;
                 }
+            }
+            IntStorage::Delta { .. } => {
+                // Frame-wise: decode each overlapping 64-row block and copy
+                // the requested span.
+                let mut buf = [T::default(); BLOCK_ROWS];
+                let n = self.len();
+                let mut i = start;
+                let mut o = 0usize;
+                let mut cursor = 0usize;
+                while o < out.len() {
+                    let fb = i / BLOCK_ROWS * BLOCK_ROWS;
+                    let flen = BLOCK_ROWS.min(n - fb);
+                    let lanes = self.decode_frame(&mut cursor, fb, flen, &mut buf);
+                    let take = (fb + flen).min(start + out.len()) - i;
+                    out[o..o + take].copy_from_slice(&lanes[i - fb..i - fb + take]);
+                    i += take;
+                    o += take;
+                }
+            }
+        }
+    }
+
+    /// Decode the 64-row-aligned frame `base .. base + len` (`len <= 64`),
+    /// returning the decoded value lanes — borrowed zero-copy from plain
+    /// storage, materialized into `buf` otherwise. `cursor` is opaque
+    /// ascending scan state shared with [`IntStorage::run_at`] (run-length
+    /// storage resumes from the current run instead of re-seeking, so a run
+    /// covering the whole frame costs one `fill`).
+    ///
+    /// This is the block-decoder entry point of the scan pipeline: frames
+    /// are always word-aligned in the packed bit stream (64 values × any
+    /// width is a whole number of words), so bit-packed and delta decode
+    /// run the const-generic whole-word unpackers with no straddle head.
+    #[inline]
+    pub fn decode_frame<'a>(
+        &'a self,
+        cursor: &mut usize,
+        base: usize,
+        len: usize,
+        buf: &'a mut [T; BLOCK_ROWS],
+    ) -> &'a [T] {
+        debug_assert!(base.is_multiple_of(BLOCK_ROWS) && len <= BLOCK_ROWS);
+        match self {
+            IntStorage::Plain(v) => &v[base..base + len],
+            IntStorage::BitPacked {
+                base: b,
+                width,
+                words,
+                ..
+            } => {
+                let width = *width as usize;
+                let out = &mut buf[..len];
+                if width == 0 {
+                    out.fill(*b);
+                } else {
+                    unpack_span(words, *b, width, base, out);
+                }
+                &buf[..len]
+            }
+            IntStorage::RunLength { .. } => {
+                let mut i = base;
+                let mut o = 0usize;
+                while o < len {
+                    let (v, run_end) = self.run_at(cursor, i);
+                    let take = run_end.min(base + len) - i;
+                    buf[o..o + take].fill(v);
+                    i += take;
+                    o += take;
+                }
+                &buf[..len]
+            }
+            IntStorage::Delta {
+                anchors,
+                width,
+                words,
+                ..
+            } => {
+                let width = *width as usize;
+                let out = &mut buf[..len];
+                if width == 0 {
+                    out.fill(anchors[base / BLOCK_ROWS]);
+                } else {
+                    // Unpack the packed deltas of the frame (anchor rows
+                    // packed zero), then prefix-sum from the anchor.
+                    unpack_span(words, T::default(), width, base, out);
+                    let mut v = anchors[base / BLOCK_ROWS];
+                    for slot in out.iter_mut() {
+                        v = T::add_offset(v, slot.offset_from(T::default()));
+                        *slot = v;
+                    }
+                }
+                &buf[..len]
             }
         }
     }
@@ -450,113 +689,228 @@ impl<T: PackedInt> IntStorage<T> {
             IntStorage::Plain(v) => v.len() * T::BYTES,
             IntStorage::BitPacked { words, .. } => words.len() * 8,
             IntStorage::RunLength { values, ends } => values.len() * T::BYTES + ends.len() * 4,
+            IntStorage::Delta { anchors, words, .. } => anchors.len() * T::BYTES + words.len() * 8,
         }
     }
 }
 
-/// Generic bit-unpack: per-value shift/mask with a word-straddle branch.
-/// The reference all fast paths must match bit-for-bit.
-fn unpack_generic<T: PackedInt>(words: &[u64], base: T, width: usize, start: usize, out: &mut [T]) {
-    debug_assert!((1..64).contains(&width));
-    let mask = low_mask(width);
-    let mut bit = start * width;
-    for o in out.iter_mut() {
-        let w = bit >> 6;
-        let off = bit & 63;
-        let mut d = words[w] >> off;
-        if off + width > 64 {
-            d |= words[w + 1] << (64 - off);
-        }
-        *o = T::add_offset(base, d & mask);
-        bit += width;
-    }
-}
-
-/// Unrolled unpack for widths dividing 64 (1/2/4/8/16): values never
-/// straddle words, so aligned groups of `64 / W` values decode from a
-/// single word load with a compile-time-unrolled inner loop.
-fn unpack_div64<T: PackedInt, const W: usize>(words: &[u64], base: T, start: usize, out: &mut [T]) {
-    debug_assert_eq!(64 % W, 0);
-    let per = 64 / W;
+/// Unpack `out.len()` width-`W` values starting at value index `start`:
+/// the const-generic unpacker body, generalized to every width 1..=63.
+///
+/// Aligned 64-value groups span exactly `W` whole words, so the body loop
+/// reads a `W`-word window with compile-time-constant shifts (the straddle
+/// branch folds away for widths dividing 64). Produces bit-identical values
+/// to the per-value [`packed_at`] reference at every offset.
+#[inline(always)]
+fn unpack_span_body<T: PackedInt, const W: usize>(
+    words: &[u64],
+    base: T,
+    start: usize,
+    out: &mut [T],
+) {
+    debug_assert!((1..64).contains(&W));
     let mask = low_mask(W);
     let mut i = start;
     let mut o = 0usize;
-    // Head: finish a partially consumed word.
-    while o < out.len() && !i.is_multiple_of(per) {
-        out[o] = T::add_offset(base, (words[i / per] >> ((i % per) * W)) & mask);
+    // Head: reach a 64-value (W-word) group boundary.
+    while o < out.len() && !i.is_multiple_of(64) {
+        out[o] = T::add_offset(base, packed_at(words, W, i));
         i += 1;
         o += 1;
     }
-    // Body: whole words, `per` values each.
-    while o + per <= out.len() {
-        let w = words[i / per];
-        for k in 0..per {
-            out[o + k] = T::add_offset(base, (w >> (k * W)) & mask);
+    // Body: whole 64-value groups from W whole words, fixed shifts.
+    while o + 64 <= out.len() {
+        let grp = &words[i / 64 * W..i / 64 * W + W];
+        for k in 0..64 {
+            let bit = k * W;
+            let wi = bit >> 6;
+            let off = bit & 63;
+            let mut d = grp[wi] >> off;
+            if off + W > 64 {
+                d |= grp[wi + 1] << (64 - off);
+            }
+            out[o + k] = T::add_offset(base, d & mask);
         }
-        i += per;
-        o += per;
+        i += 64;
+        o += 64;
     }
     // Tail.
     while o < out.len() {
-        out[o] = T::add_offset(base, (words[i / per] >> ((i % per) * W)) & mask);
+        out[o] = T::add_offset(base, packed_at(words, W, i));
         i += 1;
         o += 1;
     }
 }
 
-/// Unrolled unpack for width 12: 16 values occupy exactly three words
-/// (192 bits), with values 5 and 10 straddling word boundaries. Aligned
-/// groups decode with three word loads and sixteen fixed shifts.
-fn unpack12<T: PackedInt>(words: &[u64], base: T, start: usize, out: &mut [T]) {
-    const W: usize = 12;
-    let mask = low_mask(W);
-    let mut i = start;
-    let mut o = 0usize;
-    let scalar = |i: usize| {
-        let bit = i * W;
-        let w = bit >> 6;
-        let off = bit & 63;
-        let mut d = words[w] >> off;
-        if off + W > 64 {
-            d |= words[w + 1] << (64 - off);
+/// The same unpack body compiled under wider vector ISAs for the
+/// runtime-dispatched `simd` fast path; bit-identical output by
+/// construction (same source, integer ops only).
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[target_feature(enable = "avx2")]
+fn unpack_span_avx2<T: PackedInt, const W: usize>(
+    words: &[u64],
+    base: T,
+    start: usize,
+    out: &mut [T],
+) {
+    unpack_span_body::<T, W>(words, base, start, out);
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[target_feature(enable = "avx512f,avx512dq,avx512vl,avx512bw")]
+fn unpack_span_avx512<T: PackedInt, const W: usize>(
+    words: &[u64],
+    base: T,
+    start: usize,
+    out: &mut [T],
+) {
+    unpack_span_body::<T, W>(words, base, start, out);
+}
+
+/// Byte-gather unpack for widths ≤ 25 on AVX-512 + VBMI: at 16-value
+/// granularity the packed stream is byte-exact (16·W bits = 2·W bytes), so
+/// one `vpermb` gathers each value's 4-byte window into a `u32` lane, a
+/// per-lane variable shift (`vpsrlvd`) drops the sub-byte offset, and a
+/// mask isolates the W value bits — 16 values in ~6 vector ops, for *any*
+/// width, straddling or not. The per-value windows never exceed 32 bits
+/// because `(j·W) % 8 + W ≤ 7 + 25 = 32`.
+///
+/// Bit-identical to [`unpack_span_body`] (pinned by the per-width tests
+/// and the simd equivalence proptests); loads near the end of the word
+/// stream are mask-suppressed, never out of bounds.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod vbmi {
+    use super::{low_mask, packed_at, PackedInt};
+    use std::arch::x86_64::*;
+
+    /// Per-16-value tables: value `j`'s window starts at byte `(j*W)/8`
+    /// (gathered as 4 consecutive bytes into lane `j`) with a residual
+    /// shift of `(j*W) % 8` bits.
+    const fn tables<const W: usize>() -> ([u8; 64], [u32; 16]) {
+        let mut idx = [0u8; 64];
+        let mut sh = [0u32; 16];
+        let mut j = 0;
+        while j < 16 {
+            let bit = j * W;
+            sh[j] = (bit % 8) as u32;
+            let mut b = 0;
+            while b < 4 {
+                idx[4 * j + b] = (bit / 8 + b) as u8;
+                b += 1;
+            }
+            j += 1;
         }
-        T::add_offset(base, d & mask)
-    };
-    // Head: reach a 16-value (3-word) alignment.
-    while o < out.len() && !i.is_multiple_of(16) {
-        out[o] = scalar(i);
-        i += 1;
-        o += 1;
+        (idx, sh)
     }
-    // Body: 16 values from three words.
-    while o + 16 <= out.len() {
-        let wi = i * W / 64;
-        let (w0, w1, w2) = (words[wi], words[wi + 1], words[wi + 2]);
-        out[o] = T::add_offset(base, w0 & mask);
-        out[o + 1] = T::add_offset(base, (w0 >> 12) & mask);
-        out[o + 2] = T::add_offset(base, (w0 >> 24) & mask);
-        out[o + 3] = T::add_offset(base, (w0 >> 36) & mask);
-        out[o + 4] = T::add_offset(base, (w0 >> 48) & mask);
-        out[o + 5] = T::add_offset(base, ((w0 >> 60) | (w1 << 4)) & mask);
-        out[o + 6] = T::add_offset(base, (w1 >> 8) & mask);
-        out[o + 7] = T::add_offset(base, (w1 >> 20) & mask);
-        out[o + 8] = T::add_offset(base, (w1 >> 32) & mask);
-        out[o + 9] = T::add_offset(base, (w1 >> 44) & mask);
-        out[o + 10] = T::add_offset(base, ((w1 >> 56) | (w2 << 8)) & mask);
-        out[o + 11] = T::add_offset(base, (w2 >> 4) & mask);
-        out[o + 12] = T::add_offset(base, (w2 >> 16) & mask);
-        out[o + 13] = T::add_offset(base, (w2 >> 28) & mask);
-        out[o + 14] = T::add_offset(base, (w2 >> 40) & mask);
-        out[o + 15] = T::add_offset(base, (w2 >> 52) & mask);
-        i += 16;
-        o += 16;
+
+    #[target_feature(enable = "avx512f,avx512bw,avx512vl,avx512vbmi")]
+    pub(super) fn unpack_span_vbmi<T: PackedInt, const W: usize>(
+        words: &[u64],
+        base: T,
+        start: usize,
+        out: &mut [T],
+    ) {
+        debug_assert!((1..=25).contains(&W));
+        let (idx, sh) = const { tables::<W>() };
+        // Safety: every intrinsic below is gated by this function's target
+        // features; loads are masked to the words slice.
+        unsafe {
+            let idxv = _mm512_loadu_si512(idx.as_ptr() as *const _);
+            let shv = _mm512_loadu_si512(sh.as_ptr() as *const _);
+            let maskv = _mm512_set1_epi32(low_mask(W) as i32);
+            let bytes = words.as_ptr() as *const u8;
+            let nbytes = words.len() * 8;
+            let mut i = start;
+            let mut o = 0usize;
+            // Head: reach 16-value (2·W-byte) alignment.
+            while o < out.len() && !i.is_multiple_of(16) {
+                out[o] = T::add_offset(base, packed_at(words, W, i));
+                i += 1;
+                o += 1;
+            }
+            while o + 16 <= out.len() {
+                let byte_off = i * W / 8;
+                let remain = nbytes - byte_off;
+                let window = if remain >= 64 {
+                    _mm512_loadu_si512(bytes.add(byte_off) as *const _)
+                } else {
+                    let m: u64 = (1u64 << remain) - 1;
+                    _mm512_maskz_loadu_epi8(m, bytes.add(byte_off) as *const _)
+                };
+                let gathered = _mm512_permutexvar_epi8(idxv, window);
+                let shifted = _mm512_srlv_epi32(gathered, shv);
+                let masked = _mm512_and_si512(shifted, maskv);
+                // Apply the frame of reference and store while still in
+                // registers. `PackedInt` is sealed, so `BYTES` identifies
+                // the lane type exactly; wrapping vector adds match
+                // `add_offset`'s wrapping semantics bit for bit.
+                let base_bits = base.offset_from(T::default());
+                if T::BYTES == 8 {
+                    let basev = _mm512_set1_epi64(base_bits as i64);
+                    let lo = _mm512_cvtepu32_epi64(_mm512_castsi512_si256(masked));
+                    let hi = _mm512_cvtepu32_epi64(_mm512_extracti64x4_epi64::<1>(masked));
+                    let p = out.as_mut_ptr().add(o) as *mut __m512i;
+                    _mm512_storeu_si512(p, _mm512_add_epi64(lo, basev));
+                    _mm512_storeu_si512(p.add(1), _mm512_add_epi64(hi, basev));
+                } else {
+                    let basev = _mm512_set1_epi32(base_bits as u32 as i32);
+                    _mm512_storeu_si512(
+                        out.as_mut_ptr().add(o) as *mut __m512i,
+                        _mm512_add_epi32(masked, basev),
+                    );
+                }
+                i += 16;
+                o += 16;
+            }
+            // Tail.
+            while o < out.len() {
+                out[o] = T::add_offset(base, packed_at(words, W, i));
+                i += 1;
+                o += 1;
+            }
+        }
     }
-    // Tail.
-    while o < out.len() {
-        out[o] = scalar(i);
-        i += 1;
-        o += 1;
+}
+
+#[inline]
+fn unpack_span_w<T: PackedInt, const W: usize>(
+    words: &[u64],
+    base: T,
+    start: usize,
+    out: &mut [T],
+) {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    // Safety: the tier is only reported after runtime detection.
+    match crate::simd::current_tier() {
+        crate::simd::Tier::Avx512 => {
+            if W <= 25 && crate::simd::vbmi_available() {
+                return unsafe { vbmi::unpack_span_vbmi::<T, W>(words, base, start, out) };
+            }
+            return unsafe { unpack_span_avx512::<T, W>(words, base, start, out) };
+        }
+        crate::simd::Tier::Avx2 => {
+            return unsafe { unpack_span_avx2::<T, W>(words, base, start, out) }
+        }
+        crate::simd::Tier::Scalar => {}
     }
+    unpack_span_body::<T, W>(words, base, start, out);
+}
+
+/// Width-dispatched unpack: monomorphizes [`unpack_span_body`] for every
+/// width so each instantiation sees compile-time shifts.
+fn unpack_span<T: PackedInt>(words: &[u64], base: T, width: usize, start: usize, out: &mut [T]) {
+    macro_rules! w {
+        ($($W:literal)*) => {
+            match width {
+                $($W => unpack_span_w::<T, $W>(words, base, start, out),)*
+                _ => unreachable!("width {width} out of range"),
+            }
+        };
+    }
+    w!(1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16
+       17 18 19 20 21 22 23 24 25 26 27 28 29 30 31 32
+       33 34 35 36 37 38 39 40 41 42 43 44 45 46 47 48
+       49 50 51 52 53 54 55 56 57 58 59 60 61 62 63)
 }
 
 /// Storage for `i64` column values.
@@ -576,6 +930,7 @@ mod tests {
         .into_iter()
         .chain(IntStorage::bit_packed_of(&values))
         .chain(IntStorage::run_length_of(&values))
+        .chain(IntStorage::delta_of(&values))
         {
             assert_eq!(s.len(), values.len(), "{:?}", s.kind());
             assert_eq!(s.to_vec(), values, "{:?}", s.kind());
@@ -622,6 +977,29 @@ mod tests {
     }
 
     #[test]
+    fn selection_prefers_delta_on_sorted_unique() {
+        // Sequential ids: runs don't help, the value range needs ~17 bits,
+        // but adjacent deltas are all 1 — delta wins by a wide margin.
+        let values: Vec<i64> = (0..100_000).collect();
+        let s = IntStorage::encode(values.clone());
+        assert_eq!(s.kind(), EncodingKind::Delta);
+        assert!(
+            s.heap_bytes() * 10 <= values.len() * 8,
+            "{} bytes for {} sequential rows",
+            s.heap_bytes(),
+            values.len()
+        );
+        assert_eq!(s.to_vec(), values);
+        // Timestamps with jitter still delta-code.
+        let stamps: Vec<i64> = (0..50_000)
+            .map(|i: i64| 1_700_000_000_000 + i * 250 + (i * 7919) % 137)
+            .collect();
+        let s = IntStorage::encode(stamps.clone());
+        assert_eq!(s.kind(), EncodingKind::Delta);
+        assert_eq!(s.to_vec(), stamps);
+    }
+
+    #[test]
     fn selection_keeps_high_entropy_plain() {
         // Values span nearly the full 64-bit range with no run structure.
         let values: Vec<i64> = (0..1000)
@@ -634,39 +1012,42 @@ mod tests {
     #[test]
     fn constant_column_packs_to_zero_width() {
         let s = IntStorage::encode(vec![99i64; 4096]);
-        assert_eq!(s.heap_bytes(), 0, "width-0 packing stores no words");
         assert_eq!(s.get(4095), 99);
+        assert!(s.heap_bytes() <= 64, "constant column stays tiny: {s:?}");
     }
 
     #[test]
     fn decode_into_arbitrary_offsets() {
         let values: Vec<i64> = (0..300).map(|i| (i % 23) * 3 - 11).collect();
+        let sorted: Vec<i64> = (0..300).map(|i| i * 7 + (i % 7)).collect();
         for s in [
             IntStorage::bit_packed_of(&values).unwrap(),
             IntStorage::run_length_of(&values).unwrap(),
+            IntStorage::delta_of(&sorted).unwrap(),
         ] {
+            let reference = s.to_vec();
             let mut buf = [0i64; 64];
             for start in [0usize, 1, 63, 64, 65, 170, 236] {
                 let n = 64.min(300 - start);
                 s.decode_into(start, &mut buf[..n]);
-                assert_eq!(&buf[..n], &values[start..start + n], "start {start}");
+                assert_eq!(&buf[..n], &reference[start..start + n], "start {start}");
             }
         }
     }
 
     #[test]
     fn per_width_fast_paths_match_generic_decode() {
-        // Exercise every specialized width (plus a straddling generic one)
-        // at many offsets and lengths; the fast paths must be bit-identical
-        // to the generic shift/mask reference.
-        for width in [1usize, 2, 4, 8, 12, 16, 13] {
+        // Exercise a spread of widths (dividing 64, straddling, prime) at
+        // many offsets and lengths; the unpackers must be bit-identical to
+        // the per-value shift/mask reference.
+        for width in [1usize, 2, 4, 5, 8, 12, 13, 16, 21, 31, 33, 47, 63] {
             let top = if width >= 63 {
                 i64::MAX
             } else {
                 (1i64 << width) - 1
             };
             let values: Vec<i64> = (0..700)
-                .map(|i: i64| (i.wrapping_mul(0x9E37_79B9) % (top + 1)).abs().min(top))
+                .map(|i: i64| ((i.wrapping_mul(0x9E37_79B9) as u64) % (top as u64 + 1)) as i64)
                 .collect();
             let s = IntStorage::bit_packed_of(&values).unwrap();
             if let IntStorage::BitPacked { width: w, .. } = &s {
@@ -677,7 +1058,7 @@ mod tests {
             }
             let mut buf = vec![0i64; 700];
             for start in [0usize, 1, 15, 16, 17, 63, 64, 65, 100, 321, 699] {
-                for len in [0usize, 1, 2, 15, 16, 17, 63, 64] {
+                for len in [0usize, 1, 2, 15, 16, 17, 63, 64, 128, 130] {
                     let len = len.min(700 - start);
                     s.decode_into(start, &mut buf[..len]);
                     assert_eq!(
@@ -692,9 +1073,9 @@ mod tests {
 
     #[test]
     fn forced_width_fast_paths_cover_all_specializations() {
-        // bit_packed_of derives width from the value range; pin the exact
-        // widths 1/2/4/8/12/16 by constructing ranges that need them.
-        for width in [1u32, 2, 4, 8, 12, 16] {
+        // bit_packed_of derives width from the value range; pin exact widths
+        // by constructing ranges that need them.
+        for width in [1u32, 2, 4, 8, 12, 16, 24, 33, 48] {
             let top = (1i64 << width) - 1;
             let values: Vec<i64> = (0..300).map(|i| [0, top, 1, top - 1][i % 4]).collect();
             let s = IntStorage::bit_packed_of(&values).unwrap();
@@ -704,6 +1085,50 @@ mod tests {
             }
             assert_eq!(s.to_vec(), values, "width {width}");
         }
+    }
+
+    #[test]
+    fn decode_frame_matches_decode_into() {
+        let sorted: Vec<i64> = (0..515).map(|i| i * 11 + (i % 11)).collect();
+        let mixed: Vec<i64> = (0..515).map(|i| (i * 7919) % 257 - 100).collect();
+        let mut all = vec![IntStorage::plain_of(mixed.clone())];
+        all.extend(IntStorage::bit_packed_of(&mixed));
+        all.extend(IntStorage::run_length_of(&mixed));
+        all.extend(IntStorage::delta_of(&sorted));
+        for s in all {
+            let reference = s.to_vec();
+            let n = s.len();
+            let mut buf = [0i64; 64];
+            let mut cursor = 0usize;
+            let mut base = 0usize;
+            while base < n {
+                let len = 64.min(n - base);
+                let lanes = s.decode_frame(&mut cursor, base, len, &mut buf);
+                assert_eq!(lanes, &reference[base..base + len], "{:?} {base}", s.kind());
+                base += 64;
+            }
+        }
+    }
+
+    #[test]
+    fn run_length_frame_decode_serves_whole_runs() {
+        // One run covering many whole frames: the cursor must not re-seek.
+        let values: Vec<i64> = std::iter::repeat_n(7i64, 1000)
+            .chain(std::iter::repeat_n(9i64, 1000))
+            .collect();
+        let s = IntStorage::run_length_of(&values).unwrap();
+        let mut buf = [0i64; 64];
+        let mut cursor = 0usize;
+        for base in (0..2000).step_by(64) {
+            let len = 64.min(2000 - base);
+            let lanes = s.decode_frame(&mut cursor, base, len, &mut buf);
+            let expect: Vec<i64> = (base..base + len)
+                .map(|i| if i < 1000 { 7 } else { 9 })
+                .collect();
+            assert_eq!(lanes, &expect[..], "frame at {base}");
+        }
+        // After a full pass the cursor sits on the final run.
+        assert_eq!(cursor, 1);
     }
 
     #[test]
@@ -727,6 +1152,21 @@ mod tests {
     }
 
     #[test]
+    fn run_at_reports_run_extents() {
+        let values: Vec<i64> = (0..300).map(|i| i / 100).collect();
+        let rl = IntStorage::run_length_of(&values).unwrap();
+        let mut cur = 0usize;
+        assert_eq!(rl.run_at(&mut cur, 0), (0, 100));
+        assert_eq!(rl.run_at(&mut cur, 99), (0, 100));
+        assert_eq!(rl.run_at(&mut cur, 100), (1, 200));
+        assert_eq!(rl.run_at(&mut cur, 250), (2, 300));
+        // Other encodings report single-row runs.
+        let bp = IntStorage::bit_packed_of(&values).unwrap();
+        let mut cur = 0usize;
+        assert_eq!(bp.run_at(&mut cur, 5), (0, 6));
+    }
+
+    #[test]
     fn code_storage_round_trips() {
         let codes: Vec<u32> = (0..5000).map(|i| (i % 7) as u32).collect();
         let s = CodeStorage::encode(codes.clone());
@@ -743,5 +1183,25 @@ mod tests {
         assert!(I64Storage::from_run_length(vec![1], vec![5, 9]).is_none());
         let s = I64Storage::from_run_length(vec![1, 2], vec![3, 5]).unwrap();
         assert_eq!(s.to_vec(), vec![1, 1, 1, 2, 2]);
+        // Delta parts: anchor count and word count must match len/width.
+        assert!(I64Storage::from_delta(vec![0], 64, 10, vec![]).is_none());
+        assert!(I64Storage::from_delta(vec![0], 1, 10, vec![0]).is_some());
+        assert!(I64Storage::from_delta(vec![0, 0], 1, 10, vec![0]).is_none());
+        assert!(I64Storage::from_delta(vec![0], 1, 100, vec![0]).is_none());
+        let s = I64Storage::from_delta(vec![5], 0, 3, vec![]).unwrap();
+        assert_eq!(s.to_vec(), vec![5, 5, 5]);
+    }
+
+    #[test]
+    fn delta_of_rejects_descending_i64() {
+        assert!(I64Storage::delta_of(&(0..200).rev().collect::<Vec<_>>()).is_none());
+        // Descent within the first row of a block is fine (anchored).
+        let mut v: Vec<i64> = (0..128).collect();
+        v[64] = -1_000_000; // block anchor, no packed delta
+        for (i, slot) in v.iter_mut().enumerate().skip(65) {
+            *slot = -1_000_000 + i as i64;
+        }
+        let s = I64Storage::delta_of(&v).unwrap();
+        assert_eq!(s.to_vec(), v);
     }
 }

@@ -44,21 +44,25 @@
 //! such sub-range through the same drivers; adjacent sub-range scans
 //! concatenate to exactly the whole-partition row stream.
 //!
-//! ## Compressed columns
+//! ## Compressed columns and the block ABI
 //!
 //! Integer values and dictionary codes sit behind the [`encoding`] layer:
-//! an [`IntStorage`] holds them plain, frame-of-reference bit-packed, or
-//! run-length encoded, chosen automatically at ingest by byte cost. The
-//! scan drivers accept any [`scan::ScanSource`] — plain slices run the
-//! original loops, packed storages are decoded 64 rows at a time into a
-//! stack scratch buffer — so every kernel works unchanged over every
-//! encoding, and the encoding property tests assert the results are
-//! bit-identical.
+//! an [`IntStorage`] holds them plain, frame-of-reference bit-packed,
+//! run-length encoded, or per-block delta coded, chosen automatically at
+//! ingest by byte cost. The scan drivers and kernels meet the storage at
+//! the [`block`] ABI: 64-row-aligned [`block::Block`] frames of decoded
+//! value lanes plus selection/validity words, produced zero-copy from
+//! plain storage and via whole-word block decoders otherwise — so every
+//! kernel works unchanged over every encoding, and the encoding property
+//! tests assert the results are bit-identical. The [`simd`] module holds
+//! the feature-gated lane-parallel fast paths kernels run over those
+//! frames, with mandatory bit-identical scalar fallbacks.
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod bitmap;
+pub mod block;
 pub mod column;
 pub mod dictionary;
 pub mod encoding;
@@ -70,12 +74,14 @@ pub mod regexlite;
 pub mod rows;
 pub mod scan;
 pub mod schema;
+pub mod simd;
 pub mod sort;
 pub mod table;
 pub mod udf;
 pub mod value;
 
 pub use bitmap::Bitmap;
+pub use block::{scan_blocks, scan_frames, Block, BlockCursor, BlockSink, FrameEvent, BLOCK_ROWS};
 pub use column::{Column, DictColumn, F64Column, I64Column};
 pub use dictionary::Dictionary;
 pub use encoding::{CodeStorage, EncodingKind, I64Storage, IntStorage, PackedInt};

@@ -22,11 +22,16 @@
 //!   row-weighted sub-ranges (halving recursively) *without materializing
 //!   row ids*, so a work-stealing executor can fan a single partition out
 //!   across cores and fold the partial summaries back in range order.
-//! * [`scan_values`] / [`scan_rows`] / [`count_missing`] — typed drivers
-//!   that fold null masks in at word granularity: one `u64` fetch per 64
-//!   rows, with a branch-free inner loop over the raw value slice whenever
-//!   a chunk is dense and the column has no nulls there (the *dense fast
-//!   path*).
+//! * [`scan_values`] / [`scan_value_runs`] / [`scan_rows`] /
+//!   [`count_missing`] — typed drivers built on **one block loop**
+//!   ([`crate::block::scan_blocks`]): every selection shape decodes into
+//!   64-row-aligned [`Block`] frames (value lanes +
+//!   selection word + validity word), with one null-word fetch per frame
+//!   and a branch-free inner loop whenever a frame is fully live (the
+//!   *dense fast path*). Plain storage borrows its lanes zero-copy; packed
+//!   storages decode whole frames through the encoding layer's block
+//!   decoders. There is no per-variant driver duplication — the `Block`
+//!   ABI is the only interface between storage and kernels.
 //!
 //! Chunks are always emitted in ascending row order and never overlap, so
 //! order-sensitive kernels (Misra-Gries, next-K) observe exactly the same
@@ -37,16 +42,16 @@
 //! whole-partition stream verbatim.
 
 use crate::bitmap::Bitmap;
+use crate::block::{scan_blocks, Block, BlockSink, BLOCK_ROWS};
 use crate::encoding::{IntStorage, PackedInt};
 use crate::membership::MembershipSet;
 
 /// What a typed scan driver reads values from: either a plain slice (raw
 /// column data, hash tables, scratch vectors) or an encoded
-/// [`IntStorage`]. The drivers probe [`ScanSource::as_plain`] once — a
-/// `Some` keeps the original slice loops (including the dense fast path)
-/// with zero indirection, a `None` switches to the chunk-decoder path that
-/// materializes at most 64 rows at a time into a stack scratch buffer via
-/// [`ScanSource::decode_into`].
+/// [`IntStorage`]. The block driver pulls 64-row-aligned frames through
+/// [`ScanSource::decode_frame`] — plain sources return a zero-copy
+/// sub-slice, packed sources decode into the caller's frame buffer — and
+/// serves sparse row lists through [`ScanSource::index_run`].
 pub trait ScanSource<T: Copy> {
     /// The contiguous backing slice, when the storage is uncompressed.
     fn as_plain(&self) -> Option<&[T]>;
@@ -63,8 +68,32 @@ pub trait ScanSource<T: Copy> {
         let _ = cursor;
         self.index(i)
     }
+    /// Ascending access returning `(value, exclusive end of the run of
+    /// rows sharing it)`. Run-length storage reports whole runs so sparse
+    /// scans probe once per run; other sources report single-row runs.
+    #[inline]
+    fn index_run(&self, cursor: &mut usize, i: usize) -> (T, usize) {
+        (self.index_ascending(cursor, i), i + 1)
+    }
     /// Decode rows `start .. start + out.len()` into `out`, ascending.
     fn decode_into(&self, start: usize, out: &mut [T]);
+    /// Decoded lanes of the 64-row-aligned frame `base .. base + len`
+    /// (`len <= 64`): zero-copy for plain sources, materialized into `buf`
+    /// otherwise. `cursor` is the same ascending state as
+    /// [`ScanSource::index_run`]. This is the block ABI's decode entry
+    /// point; frames must be requested in ascending order.
+    #[inline]
+    fn decode_frame<'a>(
+        &'a self,
+        cursor: &mut usize,
+        base: usize,
+        len: usize,
+        buf: &'a mut [T; BLOCK_ROWS],
+    ) -> &'a [T] {
+        let _ = cursor;
+        self.decode_into(base, &mut buf[..len]);
+        &buf[..len]
+    }
 }
 
 impl<T: Copy> ScanSource<T> for [T] {
@@ -80,6 +109,16 @@ impl<T: Copy> ScanSource<T> for [T] {
     fn decode_into(&self, start: usize, out: &mut [T]) {
         out.copy_from_slice(&self[start..start + out.len()]);
     }
+    #[inline]
+    fn decode_frame<'a>(
+        &'a self,
+        _cursor: &mut usize,
+        base: usize,
+        len: usize,
+        _buf: &'a mut [T; BLOCK_ROWS],
+    ) -> &'a [T] {
+        &self[base..base + len]
+    }
 }
 
 impl<T: Copy> ScanSource<T> for Vec<T> {
@@ -94,6 +133,16 @@ impl<T: Copy> ScanSource<T> for Vec<T> {
     #[inline]
     fn decode_into(&self, start: usize, out: &mut [T]) {
         out.copy_from_slice(&self[start..start + out.len()]);
+    }
+    #[inline]
+    fn decode_frame<'a>(
+        &'a self,
+        _cursor: &mut usize,
+        base: usize,
+        len: usize,
+        _buf: &'a mut [T; BLOCK_ROWS],
+    ) -> &'a [T] {
+        &self[base..base + len]
     }
 }
 
@@ -111,8 +160,22 @@ impl<T: PackedInt> ScanSource<T> for IntStorage<T> {
         IntStorage::get_ascending(self, cursor, i)
     }
     #[inline]
+    fn index_run(&self, cursor: &mut usize, i: usize) -> (T, usize) {
+        IntStorage::run_at(self, cursor, i)
+    }
+    #[inline]
     fn decode_into(&self, start: usize, out: &mut [T]) {
         IntStorage::decode_into(self, start, out);
+    }
+    #[inline]
+    fn decode_frame<'a>(
+        &'a self,
+        cursor: &mut usize,
+        base: usize,
+        len: usize,
+        buf: &'a mut [T; BLOCK_ROWS],
+    ) -> &'a [T] {
+        IntStorage::decode_frame(self, cursor, base, len, buf)
     }
 }
 
@@ -521,10 +584,10 @@ use crate::bitmap::span_mask as mask_span;
 /// Stream the non-null values of `data` at the selected rows into
 /// `present`, adding the number of selected-but-null rows to `missing`.
 ///
-/// This is the workhorse of every single-column kernel. Null handling is
-/// word-granular: per 64-row block the driver fetches one null word, and
-/// when a dense chunk has no nulls the inner loop is a plain slice
-/// iteration the compiler can unroll/vectorize (the dense fast path).
+/// This is the workhorse of every single-column kernel, a thin adapter
+/// over the block driver ([`crate::block::scan_blocks`]): fully-live
+/// frames stream their lanes branch-free (the dense fast path), partial
+/// frames iterate their live bits, sparse rows arrive per value.
 pub fn scan_values<T: Copy + Default, S: ScanSource<T> + ?Sized>(
     sel: &Selection<'_>,
     data: &S,
@@ -532,160 +595,36 @@ pub fn scan_values<T: Copy + Default, S: ScanSource<T> + ?Sized>(
     missing: &mut u64,
     present: impl FnMut(T),
 ) {
-    match data.as_plain() {
-        Some(slice) => scan_values_plain(sel, slice, nulls, missing, present),
-        None => scan_values_packed(sel, data, nulls, missing, present),
+    struct Values<T, F: FnMut(T)> {
+        f: F,
+        _t: std::marker::PhantomData<fn(T)>,
     }
-}
-
-fn scan_values_plain<T: Copy>(
-    sel: &Selection<'_>,
-    data: &[T],
-    nulls: Option<&Bitmap>,
-    missing: &mut u64,
-    mut present: impl FnMut(T),
-) {
-    for chunk in sel.chunks() {
-        match chunk {
-            ScanChunk::Range { start, end } => match nulls {
-                // Dense fast path: no filter, no nulls — pure slice loop.
-                None => {
-                    for &v in &data[start..end] {
-                        present(v);
-                    }
+    impl<T: Copy, F: FnMut(T)> BlockSink<T> for Values<T, F> {
+        #[inline]
+        fn block(&mut self, b: &Block<'_, T>) {
+            if b.all_live() {
+                for &v in b.values {
+                    (self.f)(v);
                 }
-                Some(nb) => {
-                    let mut r = start;
-                    while r < end {
-                        let w_idx = r / 64;
-                        let w_end = ((w_idx + 1) * 64).min(end);
-                        let nword = nb.word(w_idx);
-                        if nword == 0 {
-                            for &v in &data[r..w_end] {
-                                present(v);
-                            }
-                        } else {
-                            let span = mask_span(r - w_idx * 64, w_end - w_idx * 64);
-                            *missing += (nword & span).count_ones() as u64;
-                            let mut live = span & !nword;
-                            while live != 0 {
-                                let b = live.trailing_zeros() as usize;
-                                live &= live - 1;
-                                present(data[w_idx * 64 + b]);
-                            }
-                        }
-                        r = w_end;
-                    }
-                }
-            },
-            ScanChunk::Mask { base, word } => {
-                let nword = match nulls {
-                    None => 0,
-                    Some(nb) => nb.word(base / 64),
-                };
-                *missing += (word & nword).count_ones() as u64;
-                let mut live = word & !nword;
+            } else {
+                let mut live = b.live();
                 while live != 0 {
-                    let b = live.trailing_zeros() as usize;
+                    let k = live.trailing_zeros() as usize;
                     live &= live - 1;
-                    present(data[base + b]);
+                    (self.f)(b.values[k]);
                 }
             }
-            ScanChunk::Rows(rows) => match nulls {
-                None => {
-                    for &r in rows {
-                        present(data[r as usize]);
-                    }
-                }
-                Some(nb) => {
-                    for &r in rows {
-                        if nb.get(r as usize) {
-                            *missing += 1;
-                        } else {
-                            present(data[r as usize]);
-                        }
-                    }
-                }
-            },
+        }
+        #[inline]
+        fn one(&mut self, _row: usize, v: T) {
+            (self.f)(v);
         }
     }
-}
-
-/// The chunk-decoder path of [`scan_values`]: per 64-row block, decode the
-/// selected span into a stack scratch buffer, then run the identical
-/// word-granular null logic over the buffer. Rows are decoded in ascending
-/// order, so the value stream matches the plain path exactly.
-fn scan_values_packed<T: Copy + Default, S: ScanSource<T> + ?Sized>(
-    sel: &Selection<'_>,
-    data: &S,
-    nulls: Option<&Bitmap>,
-    missing: &mut u64,
-    mut present: impl FnMut(T),
-) {
-    let mut scratch = [T::default(); 64];
-    let mut cursor = 0usize;
-    for chunk in sel.chunks() {
-        match chunk {
-            ScanChunk::Range { start, end } => {
-                let mut r = start;
-                while r < end {
-                    let w_idx = r / 64;
-                    let w_end = ((w_idx + 1) * 64).min(end);
-                    let buf = &mut scratch[..w_end - r];
-                    data.decode_into(r, buf);
-                    let nword = nulls.map_or(0, |nb| nb.word(w_idx));
-                    if nword == 0 {
-                        for &v in buf.iter() {
-                            present(v);
-                        }
-                    } else {
-                        let span = mask_span(r - w_idx * 64, w_end - w_idx * 64);
-                        *missing += (nword & span).count_ones() as u64;
-                        let mut live = span & !nword;
-                        while live != 0 {
-                            let b = live.trailing_zeros() as usize;
-                            live &= live - 1;
-                            present(buf[w_idx * 64 + b - r]);
-                        }
-                    }
-                    r = w_end;
-                }
-            }
-            ScanChunk::Mask { base, word } => {
-                // Decode only up to the highest selected bit, so the scratch
-                // never reads past the end of the column.
-                let hi = 64 - word.leading_zeros() as usize;
-                let buf = &mut scratch[..hi];
-                data.decode_into(base, buf);
-                let nword = nulls.map_or(0, |nb| nb.word(base / 64));
-                *missing += (word & nword).count_ones() as u64;
-                let mut live = word & !nword;
-                while live != 0 {
-                    let b = live.trailing_zeros() as usize;
-                    live &= live - 1;
-                    present(buf[b]);
-                }
-            }
-            // Sparse rows arrive ascending, so the cursor makes run-length
-            // lookups O(1) amortized instead of per-row binary search.
-            ScanChunk::Rows(rows) => match nulls {
-                None => {
-                    for &r in rows {
-                        present(data.index_ascending(&mut cursor, r as usize));
-                    }
-                }
-                Some(nb) => {
-                    for &r in rows {
-                        if nb.get(r as usize) {
-                            *missing += 1;
-                        } else {
-                            present(data.index_ascending(&mut cursor, r as usize));
-                        }
-                    }
-                }
-            },
-        }
-    }
+    let mut sink = Values {
+        f: present,
+        _t: std::marker::PhantomData,
+    };
+    scan_blocks(sel, data, nulls, missing, &mut sink);
 }
 
 /// Receiver for [`scan_value_runs`]: dense null-free runs arrive as whole
@@ -698,11 +637,12 @@ pub trait RunSink<T> {
     fn one(&mut self, v: T);
 }
 
-/// Like [`scan_values`], but dense null-free runs are handed to the sink
-/// as whole slices instead of value-at-a-time. Kernels with heavy per-value
-/// arithmetic (histogram bucketing) process such runs in blocks, separating
-/// the arithmetic from their accumulator updates so the compiler can
-/// pipeline or vectorize it.
+/// Like [`scan_values`], but fully-live frames are handed to the sink as
+/// whole decoded slices (at most 64 values) instead of value-at-a-time —
+/// the slice-level face of the block pipeline for consumers that want
+/// blocked arithmetic without tracking words. The in-tree hot kernels
+/// (histogram, moments) implement [`BlockSink`] directly instead, which
+/// additionally exposes each frame's selection and validity words.
 ///
 /// Every selected non-null value reaches exactly one of the sink's two
 /// methods, in ascending row order overall.
@@ -713,156 +653,34 @@ pub fn scan_value_runs<T: Copy + Default, D: ScanSource<T> + ?Sized, S: RunSink<
     missing: &mut u64,
     sink: &mut S,
 ) {
-    match data.as_plain() {
-        Some(slice) => scan_value_runs_plain(sel, slice, nulls, missing, sink),
-        None => scan_value_runs_packed(sel, data, nulls, missing, sink),
+    struct Runs<'s, T, S: RunSink<T>> {
+        sink: &'s mut S,
+        _t: std::marker::PhantomData<fn(T)>,
     }
-}
-
-fn scan_value_runs_plain<T: Copy, S: RunSink<T>>(
-    sel: &Selection<'_>,
-    data: &[T],
-    nulls: Option<&Bitmap>,
-    missing: &mut u64,
-    sink: &mut S,
-) {
-    for chunk in sel.chunks() {
-        match chunk {
-            ScanChunk::Range { start, end } => match nulls {
-                None => sink.run(&data[start..end]),
-                Some(nb) => {
-                    let mut r = start;
-                    // Coalesce consecutive null-free words into one run.
-                    let mut run_start = None;
-                    while r < end {
-                        let w_idx = r / 64;
-                        let w_end = ((w_idx + 1) * 64).min(end);
-                        let nword = nb.word(w_idx);
-                        if nword == 0 {
-                            run_start.get_or_insert(r);
-                        } else {
-                            if let Some(s) = run_start.take() {
-                                sink.run(&data[s..r]);
-                            }
-                            let span = mask_span(r - w_idx * 64, w_end - w_idx * 64);
-                            *missing += (nword & span).count_ones() as u64;
-                            let mut live = span & !nword;
-                            while live != 0 {
-                                let b = live.trailing_zeros() as usize;
-                                live &= live - 1;
-                                sink.one(data[w_idx * 64 + b]);
-                            }
-                        }
-                        r = w_end;
-                    }
-                    if let Some(s) = run_start.take() {
-                        sink.run(&data[s..end]);
-                    }
-                }
-            },
-            ScanChunk::Mask { base, word } => {
-                let nword = match nulls {
-                    None => 0,
-                    Some(nb) => nb.word(base / 64),
-                };
-                *missing += (word & nword).count_ones() as u64;
-                let mut live = word & !nword;
+    impl<T: Copy, S: RunSink<T>> BlockSink<T> for Runs<'_, T, S> {
+        #[inline]
+        fn block(&mut self, b: &Block<'_, T>) {
+            if b.all_live() {
+                self.sink.run(b.values);
+            } else {
+                let mut live = b.live();
                 while live != 0 {
-                    let b = live.trailing_zeros() as usize;
+                    let k = live.trailing_zeros() as usize;
                     live &= live - 1;
-                    sink.one(data[base + b]);
+                    self.sink.one(b.values[k]);
                 }
             }
-            ScanChunk::Rows(rows) => match nulls {
-                None => {
-                    for &r in rows {
-                        sink.one(data[r as usize]);
-                    }
-                }
-                Some(nb) => {
-                    for &r in rows {
-                        if nb.get(r as usize) {
-                            *missing += 1;
-                        } else {
-                            sink.one(data[r as usize]);
-                        }
-                    }
-                }
-            },
+        }
+        #[inline]
+        fn one(&mut self, _row: usize, v: T) {
+            self.sink.one(v);
         }
     }
-}
-
-/// The chunk-decoder path of [`scan_value_runs`]: dense null-free 64-row
-/// blocks are decoded into a stack scratch buffer and handed to the sink as
-/// whole runs (at most 64 values each); everything else goes value-at-a-time
-/// through [`RunSink::one`]. Same value stream as the plain path, in order.
-fn scan_value_runs_packed<T: Copy + Default, D: ScanSource<T> + ?Sized, S: RunSink<T>>(
-    sel: &Selection<'_>,
-    data: &D,
-    nulls: Option<&Bitmap>,
-    missing: &mut u64,
-    sink: &mut S,
-) {
-    let mut scratch = [T::default(); 64];
-    let mut cursor = 0usize;
-    for chunk in sel.chunks() {
-        match chunk {
-            ScanChunk::Range { start, end } => {
-                let mut r = start;
-                while r < end {
-                    let w_idx = r / 64;
-                    let w_end = ((w_idx + 1) * 64).min(end);
-                    let buf = &mut scratch[..w_end - r];
-                    data.decode_into(r, buf);
-                    let nword = nulls.map_or(0, |nb| nb.word(w_idx));
-                    if nword == 0 {
-                        sink.run(buf);
-                    } else {
-                        let span = mask_span(r - w_idx * 64, w_end - w_idx * 64);
-                        *missing += (nword & span).count_ones() as u64;
-                        let mut live = span & !nword;
-                        while live != 0 {
-                            let b = live.trailing_zeros() as usize;
-                            live &= live - 1;
-                            sink.one(buf[w_idx * 64 + b - r]);
-                        }
-                    }
-                    r = w_end;
-                }
-            }
-            ScanChunk::Mask { base, word } => {
-                let hi = 64 - word.leading_zeros() as usize;
-                let buf = &mut scratch[..hi];
-                data.decode_into(base, buf);
-                let nword = nulls.map_or(0, |nb| nb.word(base / 64));
-                *missing += (word & nword).count_ones() as u64;
-                let mut live = word & !nword;
-                while live != 0 {
-                    let b = live.trailing_zeros() as usize;
-                    live &= live - 1;
-                    sink.one(buf[b]);
-                }
-            }
-            // Ascending sparse rows: cursor-based run-length access.
-            ScanChunk::Rows(rows) => match nulls {
-                None => {
-                    for &r in rows {
-                        sink.one(data.index_ascending(&mut cursor, r as usize));
-                    }
-                }
-                Some(nb) => {
-                    for &r in rows {
-                        if nb.get(r as usize) {
-                            *missing += 1;
-                        } else {
-                            sink.one(data.index_ascending(&mut cursor, r as usize));
-                        }
-                    }
-                }
-            },
-        }
-    }
+    let mut adapter = Runs {
+        sink,
+        _t: std::marker::PhantomData,
+    };
+    scan_blocks(sel, data, nulls, missing, &mut adapter);
 }
 
 /// Enumerate the selected row indexes, ascending. For kernels that must

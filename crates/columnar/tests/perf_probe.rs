@@ -1,0 +1,54 @@
+//! Ignored-by-default perf probe: whole-frame bit-unpack throughput per
+//! width, for tuning the block decoders (compare against the cycles/value
+//! notes in ROADMAP.md when touching `unpack_span`).
+//!
+//! Run with:
+//! `cargo test -p hillview-columnar --release --features simd --test perf_probe -- --ignored --nocapture`
+
+use hillview_columnar::{I64Storage, ScanSource, BLOCK_ROWS};
+use std::time::Instant;
+
+#[test]
+#[ignore]
+fn probe_unpack() {
+    const N: usize = 1_000_000;
+    let mut state = 0x5EEDu64;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    for width in [1usize, 4, 8, 12, 16, 20, 31] {
+        let vals: Vec<i64> = (0..N).map(|_| (next() % (1 << width)) as i64).collect();
+        let s = I64Storage::bit_packed_of(&vals).unwrap();
+        let mut buf = [0i64; BLOCK_ROWS];
+        let mut sum = 0i64;
+        // warmup
+        for _ in 0..2 {
+            let mut cursor = 0usize;
+            for base in (0..N).step_by(64) {
+                let lanes =
+                    ScanSource::decode_frame(&s, &mut cursor, base, 64.min(N - base), &mut buf);
+                sum = sum.wrapping_add(lanes[0]);
+            }
+        }
+        let t = Instant::now();
+        let reps = 10;
+        for _ in 0..reps {
+            let mut cursor = 0usize;
+            for base in (0..N).step_by(64) {
+                let lanes =
+                    ScanSource::decode_frame(&s, &mut cursor, base, 64.min(N - base), &mut buf);
+                sum = sum.wrapping_add(lanes[63.min(lanes.len() - 1)]);
+            }
+        }
+        let el = t.elapsed();
+        println!(
+            "width {width:>2}: {:>8.3} ms/pass  ({:.2} cycles/val @3.5GHz)  [{sum}]",
+            el.as_secs_f64() * 1000.0 / reps as f64,
+            el.as_secs_f64() * 3.5e9 / (reps * N) as f64
+        );
+    }
+}

@@ -1,11 +1,16 @@
 //! Property-based tests for the columnar substrate's core invariants.
 
-use hillview_columnar::scan::{scan_rows, scan_values, Selection, SplittableSelection};
-use hillview_columnar::{Bitmap, EncodingKind, I64Storage, MembershipSet, NullMask, RowKey, Value};
+use hillview_columnar::block::{scan_frames, FrameEvent};
+use hillview_columnar::scan::{scan_rows, scan_values, ScanSource, Selection, SplittableSelection};
+use hillview_columnar::{
+    Bitmap, EncodingKind, I64Storage, MembershipSet, NullMask, RowKey, Value, BLOCK_ROWS,
+};
 use proptest::prelude::*;
 
 /// Every `IntStorage` variant that can represent `data`, forced plus the
-/// automatic choice.
+/// automatic choice. (Delta only represents near-ascending data, so random
+/// vectors exercise it rarely; `delta_storages_agree_with_plain` covers it
+/// densely.)
 fn all_storages(data: &[i64]) -> Vec<I64Storage> {
     let mut out = vec![
         I64Storage::plain_of(data.to_vec()),
@@ -13,6 +18,7 @@ fn all_storages(data: &[i64]) -> Vec<I64Storage> {
     ];
     out.extend(I64Storage::bit_packed_of(data));
     out.extend(I64Storage::run_length_of(data));
+    out.extend(I64Storage::delta_of(data));
     out
 }
 
@@ -299,6 +305,165 @@ proptest! {
             let back = sorted[0];
             prop_assert_eq!(s.get_ascending(&mut cur, back), data[back], "{} back", s.kind());
         }
+    }
+
+    /// Delta storage is value-preserving on ascending data at every access
+    /// granularity: per row, ascending cursor, arbitrary-offset block
+    /// decode, and whole frames.
+    #[test]
+    fn delta_storages_agree_with_plain(
+        increments in proptest::collection::vec(0u32..10_000, 1..400),
+        start in any::<i32>(),
+        probe in any::<u64>(),
+    ) {
+        let mut v = start as i64;
+        let data: Vec<i64> = increments
+            .iter()
+            .map(|&d| {
+                v += d as i64;
+                v
+            })
+            .collect();
+        let s = I64Storage::delta_of(&data).expect("ascending data delta-codes");
+        prop_assert_eq!(s.kind(), EncodingKind::Delta);
+        prop_assert_eq!(&s.to_vec(), &data);
+        let i = (probe % data.len() as u64) as usize;
+        prop_assert_eq!(s.get(i), data[i]);
+        // Whole frames, in ascending cursor order.
+        let mut buf = [0i64; BLOCK_ROWS];
+        let mut cursor = 0usize;
+        let mut base = 0usize;
+        while base < data.len() {
+            let len = BLOCK_ROWS.min(data.len() - base);
+            let lanes = s.decode_frame(&mut cursor, base, len, &mut buf);
+            prop_assert_eq!(lanes, &data[base..base + len], "frame {}", base);
+            base += BLOCK_ROWS;
+        }
+        // Arbitrary offset decode.
+        let n = 17.min(data.len() - i);
+        let mut out = vec![0i64; n];
+        s.decode_into(i, &mut out);
+        prop_assert_eq!(&out[..], &data[i..i + n]);
+    }
+
+    /// Block-ABI tiling laws: the frames of any selection have 64-aligned,
+    /// strictly ascending bases; selection words stay within the frame
+    /// length; and frame bits plus sparse rows reproduce the selection's
+    /// row stream exactly, conserving the total weight.
+    #[test]
+    fn frames_tile_the_selection_exactly(
+        kind in 0usize..4,
+        raw in proptest::collection::vec(any::<u32>(), 0..200),
+        n in 1usize..500,
+        cuts in (any::<u16>(), any::<u16>()),
+    ) {
+        let m = membership(kind, &raw, n);
+        let a = cuts.0 as usize % (n + 1);
+        let b = cuts.1 as usize % (n + 1);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        for sel in [Selection::Members(&m), Selection::members_in(&m, lo, hi)] {
+            let mut rows: Vec<usize> = Vec::new();
+            let mut weight = 0usize;
+            let mut last_base: Option<usize> = None;
+            scan_frames(&sel, |ev| match ev {
+                FrameEvent::Frame { base, len, word } => {
+                    assert_eq!(base % BLOCK_ROWS, 0, "base 64-aligned");
+                    assert!(len <= BLOCK_ROWS);
+                    assert!(word != 0, "empty frames are never emitted");
+                    assert_eq!(word & !(u64::MAX >> (64 - len)), 0, "selection bits within len");
+                    if let Some(prev) = last_base {
+                        assert!(base > prev, "bases strictly ascending");
+                    }
+                    last_base = Some(base);
+                    weight += word.count_ones() as usize;
+                    let mut w = word;
+                    while w != 0 {
+                        let k = w.trailing_zeros() as usize;
+                        w &= w - 1;
+                        rows.push(base + k);
+                    }
+                }
+                FrameEvent::Row(r) => {
+                    weight += 1;
+                    rows.push(r);
+                }
+            });
+            let want: Vec<usize> = match sel {
+                Selection::Members(_) => m.iter().collect(),
+                _ => m.iter().filter(|&r| r >= lo && r < hi).collect(),
+            };
+            prop_assert_eq!(&rows, &want, "frames tile the selection");
+            prop_assert_eq!(weight, sel.count(), "weights conserved");
+        }
+    }
+
+    /// `decode_frame` agrees with `decode_into` (and the raw data) for
+    /// every storage at every frame of the column.
+    #[test]
+    fn decode_frame_matches_reference(
+        data in proptest::collection::vec(-300i64..300, 1..400),
+    ) {
+        for s in all_storages(&data) {
+            let mut buf = [0i64; BLOCK_ROWS];
+            let mut cursor = 0usize;
+            let mut base = 0usize;
+            while base < data.len() {
+                let len = BLOCK_ROWS.min(data.len() - base);
+                let lanes = ScanSource::decode_frame(&s, &mut cursor, base, len, &mut buf);
+                prop_assert_eq!(lanes, &data[base..base + len], "{} frame {}", s.kind(), base);
+                base += BLOCK_ROWS;
+            }
+        }
+    }
+
+    /// With the `simd` feature on, the vector codegen of every primitive
+    /// is byte-identical to its forced-scalar fallback on arbitrary
+    /// inputs — the dispatch only selects codegen, never semantics.
+    #[cfg(feature = "simd")]
+    #[test]
+    fn simd_primitives_match_scalar_fallbacks(
+        vals in proptest::collection::vec(-1.0e6f64..1.0e6, 1..65),
+        live in any::<u64>(),
+        word in any::<u64>(),
+        lohi in (-100.0f64..100.0, 1.0f64..500.0),
+        cnt in 1u32..200,
+        data in proptest::collection::vec(0i64..(1 << 20), 1..300),
+    ) {
+        use hillview_columnar::simd::{
+            bucket_indexes, expand_word, moments_frame, set_force_scalar, BucketParams,
+            MomentLanes,
+        };
+        let p = BucketParams {
+            lo: lohi.0,
+            hi: lohi.0 + lohi.1,
+            scale: cnt as f64 / lohi.1,
+            cnt,
+        };
+        let run = |scalar: bool| {
+            set_force_scalar(scalar);
+            let mut cells = [0u32; 64];
+            bucket_indexes(&vals, live, &p, cnt + 1, &mut cells);
+            let mut masks = [0u32; 64];
+            expand_word(word, &mut masks);
+            let mut acc = MomentLanes::new(3);
+            moments_frame(&vals, &mut acc);
+            let mut packed_out = Vec::new();
+            if let Some(s) = I64Storage::bit_packed_of(&data) {
+                packed_out = s.to_vec();
+            }
+            set_force_scalar(false);
+            (cells, masks, acc.collapse(), packed_out)
+        };
+        let fast = run(false);
+        let slow = run(true);
+        prop_assert_eq!(fast.0, slow.0, "bucket cells");
+        prop_assert_eq!(fast.1, slow.1, "expanded masks");
+        prop_assert_eq!(fast.2.0.to_bits(), slow.2.0.to_bits(), "min");
+        prop_assert_eq!(fast.2.1.to_bits(), slow.2.1.to_bits(), "max");
+        for (a, b) in fast.2.2.iter().zip(&slow.2.2) {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "power sums");
+        }
+        prop_assert_eq!(fast.3, slow.3, "bit-unpack");
     }
 
     /// Value ordering is transitive on random triples (sort consistency).

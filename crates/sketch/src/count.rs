@@ -3,6 +3,11 @@
 //! Used by the preparation phase of every visualization (paper §5.3: the
 //! first execution tree "computes data-wide parameters such as the size ...
 //! of the data set").
+//!
+//! Count is the degenerate consumer of the block ABI: it needs only the
+//! frames' selection and validity *words*, never the value lanes, so
+//! [`count_missing`] runs pure word-AND popcounts (one per 64 rows) and
+//! touches no column data at all.
 
 use crate::traits::{Sketch, SketchResult, Summary};
 use crate::view::TableView;

@@ -10,7 +10,7 @@
 use crate::traits::{Sketch, SketchResult, Summary};
 use crate::view::TableView;
 use hillview_columnar::scan::{scan_rows, scan_values};
-use hillview_columnar::Value;
+use hillview_columnar::{scan_blocks, Block, BlockSink, Value};
 use hillview_net::{Result as WireResult, Wire, WireReader, WireWriter};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -436,21 +436,49 @@ impl SampledHeavyHittersSketch {
         let mut counts: Vec<(Value, u64)>;
         let sampled;
         if let Some(dict) = col.as_dict_col() {
-            // Dictionary fast path: exact counts keyed by code; values are
-            // materialized once per distinct code, not once per row.
-            let mut by_code: HashMap<u32, u64> = HashMap::new();
+            // Dictionary fast path: exact counts into a dictionary-sized
+            // array, consumed frame-wise from the block pipeline — a
+            // fully-live frame is 64 unconditional array increments with
+            // no hashing, and values are materialized once per distinct
+            // code, not once per row. Increments commute, so the result is
+            // independent of frame shape.
+            struct CodeCounts(Vec<u64>);
+            impl BlockSink<u32> for CodeCounts {
+                fn block(&mut self, b: &Block<'_, u32>) {
+                    if b.all_live() {
+                        for &code in b.values {
+                            self.0[code as usize] += 1;
+                        }
+                    } else {
+                        let mut live = b.live();
+                        while live != 0 {
+                            let k = live.trailing_zeros() as usize;
+                            live &= live - 1;
+                            self.0[b.values[k] as usize] += 1;
+                        }
+                    }
+                }
+                #[inline]
+                fn one(&mut self, _row: usize, code: u32) {
+                    self.0[code as usize] += 1;
+                }
+            }
+            let mut by_code = CodeCounts(vec![0u64; dict.dictionary().len()]);
             let mut missing = 0u64;
-            scan_values(
+            scan_blocks(
                 &sel,
                 dict.codes(),
                 dict.nulls().bitmap(),
                 &mut missing,
-                |code| *by_code.entry(code).or_insert(0) += 1,
+                &mut by_code,
             );
             sampled = sel.count() as u64 - missing;
             counts = by_code
+                .0
                 .into_iter()
-                .map(|(code, c)| (Value::Str(dict.dictionary().get(code).clone()), c))
+                .enumerate()
+                .filter(|&(_, c)| c > 0)
+                .map(|(code, c)| (Value::Str(dict.dictionary().get(code as u32).clone()), c))
                 .collect();
         } else {
             let mut map: HashMap<Value, u64> = HashMap::new();

@@ -7,16 +7,21 @@
 //! resolution so the error stays under half a pixel (App. C.2). CDFs reuse
 //! this kernel with one bucket per horizontal pixel.
 //!
-//! The hot loop consumes [`hillview_columnar::scan`] chunks: raw value
-//! slices with one null-word check per 64 rows and a branch-free dense fast
-//! path. [`HistogramSketch::summarize_rowwise`] keeps the per-row scan as
-//! the reference implementation for the equivalence property tests.
+//! The hot loop consumes decoded [`hillview_columnar::block::Block`]
+//! frames: 64 value lanes, one selection word, one validity word. Bucket
+//! indexes for a whole frame are computed by the lane-parallel
+//! [`hillview_columnar::simd::bucket_indexes`] primitive (AVX2-dispatched
+//! under the `simd` feature, scalar otherwise — bit-identical either way,
+//! since counter increments commute and dead lanes land in a trash slot).
+//! [`HistogramSketch::summarize_rowwise`] keeps the per-row scan as the
+//! reference implementation for the equivalence property tests.
 
 use crate::buckets::BucketSpec;
 use crate::traits::{Sketch, SketchError, SketchResult, Summary};
 use crate::view::TableView;
-use hillview_columnar::scan::{scan_value_runs, scan_values, RunSink, Selection};
-use hillview_columnar::Column;
+use hillview_columnar::scan::{scan_values, Selection};
+use hillview_columnar::simd::{self, BucketParams, LaneValue};
+use hillview_columnar::{scan_blocks, Block, BlockSink, Column};
 use hillview_net::{Result as WireResult, Wire, WireReader, WireWriter};
 use std::sync::Arc;
 
@@ -179,32 +184,30 @@ impl HistogramSketch {
         let mut out = HistogramSummary::zero(self.buckets.count());
         out.rows_inspected = sel.count() as u64;
         match (&self.buckets, col) {
-            // Numeric buckets over numeric columns: chunked slice loops with
-            // one null-word check per 64 rows. Dense null-free runs are
-            // processed in 64-value blocks — bucket indexes are computed
-            // into a small buffer first (pipelinable arithmetic with no
-            // store dependencies), then folded into the counters. The
+            // Numeric buckets over numeric columns: block frames with one
+            // null-word check per 64 rows. Bucket indexes of a whole frame
+            // are computed by the lane-parallel primitive (dead lanes to a
+            // trash slot, branch-free), then folded into the counters. The
             // arithmetic is `index_of_f64` with the spec fields hoisted;
             // identical expression order, and counter additions commute, so
-            // the result is bit-identical to the reference path.
+            // the result is bit-identical to the reference path under
+            // either codegen.
             (BucketSpec::Numeric { lo, hi, count }, Column::Double(c)) => {
-                scan_numeric_chunked(
+                scan_numeric_blocks(
                     &sel,
                     c.data(),
                     c.nulls().bitmap(),
                     (*lo, *hi, *count),
                     &mut out,
-                    |v| v,
                 );
             }
             (BucketSpec::Numeric { lo, hi, count }, Column::Int(c) | Column::Date(c)) => {
-                scan_numeric_chunked(
+                scan_numeric_blocks(
                     &sel,
                     c.storage(),
                     c.nulls().bitmap(),
                     (*lo, *hi, *count),
                     &mut out,
-                    |v| v as f64,
                 );
             }
             // String buckets over dictionary columns: bucket the dictionary
@@ -238,86 +241,101 @@ impl HistogramSketch {
     }
 }
 
-/// Chunked numeric histogram loop shared by the Double and Int/Date arms.
+/// Block-based numeric histogram loop shared by the Double and Int/Date
+/// arms; any [`ScanSource`](hillview_columnar::ScanSource) whose lanes
+/// convert to `f64` works (plain float slices, every integer encoding).
 ///
-/// Counts land in a `cnt + 1`-slot scratch vector whose last slot collects
-/// out-of-range rows, so the per-value work is a single clamped index and
-/// an increment; the scratch is folded into `out` afterwards. Dense runs
-/// compute indexes for 64 values at a time before touching the counters.
-fn scan_numeric_chunked<T: Copy + Default, S: hillview_columnar::ScanSource<T> + ?Sized>(
+/// Counts land in a `cnt + 2`-slot scratch vector: slot `cnt` collects
+/// out-of-range rows and slot `cnt + 1` is the trash slot that dead lanes
+/// (unselected or null) of vectorized frames scatter into, so the lane
+/// loop is branch-free. The scratch is folded into `out` afterwards;
+/// counter additions commute, so the vector and scalar paths (and any
+/// split execution) produce bit-identical summaries.
+fn scan_numeric_blocks<T: LaneValue + Default, S: hillview_columnar::ScanSource<T> + ?Sized>(
     sel: &Selection<'_>,
     data: &S,
     nulls: Option<&hillview_columnar::Bitmap>,
     (lo, hi, cnt): (f64, f64, usize),
     out: &mut HistogramSummary,
-    to_f64: impl Fn(T) -> f64,
 ) {
-    struct Sink<F, T> {
-        lo: f64,
-        hi: f64,
-        cnt: usize,
-        /// `cnt / (hi - lo)`, hoisted; identical bits to the per-call value
-        /// `index_of_f64` computes.
-        scale: f64,
-        to_f64: F,
+    struct Sink {
+        params: BucketParams,
+        /// Four interleaved sub-histograms of `cnt + 2` slots each (slot
+        /// `cnt` = out-of-range, `cnt + 1` = dead-lane trash): lane `k`
+        /// scatters into sub-histogram `k % 4`, breaking the
+        /// store-to-load dependency chain when consecutive rows hit the
+        /// same bucket (sorted data). Integer adds commute, so the merged
+        /// counts are independent of the sub-histogram split.
         counts: Vec<u64>,
+        stride: usize,
         idxs: [u32; 64],
-        _marker: std::marker::PhantomData<fn(T)>,
     }
 
-    impl<F: Fn(T) -> f64, T: Copy> Sink<F, T> {
-        /// Bucket of a value, or `cnt` when out of range. Identical
-        /// arithmetic to `BucketSpec::index_of_f64`, written branch-free so
-        /// the blocked run loop can vectorize.
-        #[inline]
-        fn index(&self, raw: T) -> u32 {
-            let v = (self.to_f64)(raw);
-            let idx = (((v - self.lo) * self.scale) as u32).min(self.cnt as u32 - 1);
-            let out_of_range = (v < self.lo) | (v >= self.hi);
-            if out_of_range {
-                self.cnt as u32
+    impl<T: LaneValue> BlockSink<T> for Sink {
+        fn block(&mut self, b: &Block<'_, T>) {
+            let live = b.live();
+            if live == 0 {
+                return;
+            }
+            // Lane-parallel fast path: compute every lane's cell (dead
+            // lanes → trash), scatter unconditionally. Sparser frames fall
+            // back to per-bit scalar work — same cells, same counts — the
+            // lane path does 64 lanes of work regardless of liveness, so
+            // it only pays off when (nearly) the whole frame is live.
+            if simd::active() && live.count_ones() as usize * 8 >= b.len() * 7 {
+                let dead = self.params.cnt + 1;
+                simd::bucket_indexes(b.values, live, &self.params, dead, &mut self.idxs);
+                let s = self.stride;
+                for chunk in self.idxs[..b.len()].chunks_exact(4) {
+                    self.counts[chunk[0] as usize] += 1;
+                    self.counts[s + chunk[1] as usize] += 1;
+                    self.counts[2 * s + chunk[2] as usize] += 1;
+                    self.counts[3 * s + chunk[3] as usize] += 1;
+                }
+                for (j, &i) in self.idxs[..b.len()]
+                    .chunks_exact(4)
+                    .remainder()
+                    .iter()
+                    .enumerate()
+                {
+                    self.counts[j * s + i as usize] += 1;
+                }
             } else {
-                idx
-            }
-        }
-    }
-
-    impl<F: Fn(T) -> f64, T: Copy> RunSink<T> for Sink<F, T> {
-        fn run(&mut self, run: &[T]) {
-            // Two passes per 64-value block: compute indexes (pipelinable,
-            // vectorizable — no memory dependencies), then fold into the
-            // counters. Counter additions commute, so splitting changes
-            // nothing observable.
-            for block in run.chunks(64) {
-                for (i, &v) in block.iter().enumerate() {
-                    self.idxs[i] = self.index(v);
-                }
-                for &i in &self.idxs[..block.len()] {
-                    self.counts[i as usize] += 1;
+                let mut m = live;
+                while m != 0 {
+                    let k = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    let cell = self.params.cell_of(b.values[k].lane_f64());
+                    self.counts[(k % 4) * self.stride + cell as usize] += 1;
                 }
             }
         }
         #[inline]
-        fn one(&mut self, v: T) {
-            let i = self.index(v);
-            self.counts[i as usize] += 1;
+        fn one(&mut self, row: usize, v: T) {
+            let cell = self.params.cell_of(v.lane_f64());
+            self.counts[(row % 4) * self.stride + cell as usize] += 1;
         }
     }
 
+    let stride = cnt + 2;
     let mut sink = Sink {
-        lo,
-        hi,
-        cnt,
-        scale: cnt as f64 / (hi - lo),
-        to_f64,
-        counts: vec![0u64; cnt + 1],
+        params: BucketParams {
+            lo,
+            hi,
+            // Hoisted; identical bits to the per-call value `index_of_f64`
+            // computes.
+            scale: cnt as f64 / (hi - lo),
+            cnt: cnt as u32,
+        },
+        counts: vec![0u64; stride * 4],
+        stride,
         idxs: [0u32; 64],
-        _marker: std::marker::PhantomData,
     };
-    scan_value_runs(sel, data, nulls, &mut out.missing, &mut sink);
-    out.out_of_range += sink.counts[cnt];
-    for (b, c) in out.buckets.iter_mut().zip(&sink.counts) {
-        *b += c;
+    scan_blocks(sel, data, nulls, &mut out.missing, &mut sink);
+    let merged = |slot: usize| -> u64 { (0..4).map(|l| sink.counts[l * stride + slot]).sum() };
+    out.out_of_range += merged(cnt);
+    for (i, b) in out.buckets.iter_mut().enumerate() {
+        *b += merged(i);
     }
 }
 

@@ -4,11 +4,24 @@
 //! maximum values, number of rows, the number of missing values, and the
 //! statistical moments up to a specified value K (including mean and
 //! variance, the first two moments)."*
+//!
+//! ## Lane-structured accumulation
+//!
+//! The kernel's floating-point accumulation is *defined* over eight fixed
+//! lanes: the value at row `r` accumulates into lane `r % 8`, and the
+//! lanes combine as `((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7))` once at the
+//! end (see
+//! [`hillview_columnar::simd::MomentLanes`]). Row → lane assignment is a
+//! pure function of the data, so the block path (which processes
+//! fully-live frames with the lane-parallel
+//! [`hillview_columnar::simd::moments_frame`] primitive, AVX2-dispatched
+//! under the `simd` feature), the per-row reference, every encoding, and
+//! both codegens produce bit-identical power sums.
 
 use crate::traits::{Sketch, SketchError, SketchResult, Summary};
 use crate::view::TableView;
-use hillview_columnar::scan::scan_values;
-use hillview_columnar::Column;
+use hillview_columnar::simd::{self, LaneValue, MomentLanes};
+use hillview_columnar::{scan_blocks, Block, BlockSink, Column};
 use hillview_net::{Result as WireResult, Wire, WireReader, WireWriter};
 use std::sync::Arc;
 
@@ -158,47 +171,76 @@ impl MomentsSketch {
         bounds: Option<(usize, usize)>,
         _seed: u64,
     ) -> SketchResult<MomentsSummary> {
+        struct Sink {
+            acc: MomentLanes,
+            present: u64,
+        }
+        impl<T: LaneValue> BlockSink<T> for Sink {
+            fn block(&mut self, b: &Block<'_, T>) {
+                if b.all_live() {
+                    // Fully-live frame: lane-parallel accumulation. The
+                    // frame base is 64-aligned, so lane k holds row
+                    // `base + k` with `(base + k) % 8 == k % 8`.
+                    self.present += b.len() as u64;
+                    simd::moments_frame(b.values, &mut self.acc);
+                } else {
+                    let mut live = b.live();
+                    while live != 0 {
+                        let k = live.trailing_zeros() as usize;
+                        live &= live - 1;
+                        self.present += 1;
+                        simd::moments_one(
+                            b.values[k].lane_f64(),
+                            (b.base + k) % simd::MOMENT_LANES,
+                            &mut self.acc,
+                        );
+                    }
+                }
+            }
+            #[inline]
+            fn one(&mut self, row: usize, v: T) {
+                self.present += 1;
+                simd::moments_one(v.lane_f64(), row % simd::MOMENT_LANES, &mut self.acc);
+            }
+        }
+
         let col = view.table().column_by_name(&self.column)?;
         let mut out = MomentsSummary::zero(self.k);
         let sel = crate::view::bounded_selection(view, &None, bounds);
-        // Chunked scan over the raw slice; accumulation visits rows in the
-        // same ascending order as the per-row reference, so the
-        // floating-point sums are bit-identical.
-        {
-            let sums = &mut out.sums;
-            let min = &mut out.min;
-            let max = &mut out.max;
-            let present = &mut out.present;
-            let mut accum = |v: f64| {
-                *present += 1;
-                *min = Some(min.map_or(v, |m| m.min(v)));
-                *max = Some(max.map_or(v, |m| m.max(v)));
-                let mut p = 1.0;
-                for s in sums.iter_mut() {
-                    p *= v;
-                    *s += p;
-                }
-            };
-            match col {
-                Column::Double(c) => {
-                    scan_values(&sel, c.data(), c.nulls().bitmap(), &mut out.missing, accum)
-                }
-                Column::Int(c) | Column::Date(c) => scan_values(
-                    &sel,
-                    c.storage(),
-                    c.nulls().bitmap(),
-                    &mut out.missing,
-                    |v| accum(v as f64),
-                ),
-                _ => {
-                    return Err(SketchError::BadConfig(format!(
-                        "moments require a numeric column, {} is {}",
-                        self.column,
-                        col.kind()
-                    )))
-                }
+        let mut sink = Sink {
+            acc: MomentLanes::new(self.k),
+            present: 0,
+        };
+        match col {
+            Column::Double(c) => scan_blocks(
+                &sel,
+                c.data(),
+                c.nulls().bitmap(),
+                &mut out.missing,
+                &mut sink,
+            ),
+            Column::Int(c) | Column::Date(c) => scan_blocks(
+                &sel,
+                c.storage(),
+                c.nulls().bitmap(),
+                &mut out.missing,
+                &mut sink,
+            ),
+            _ => {
+                return Err(SketchError::BadConfig(format!(
+                    "moments require a numeric column, {} is {}",
+                    self.column,
+                    col.kind()
+                )))
             }
         }
+        out.present = sink.present;
+        let (min, max, sums) = sink.acc.collapse();
+        if out.present > 0 {
+            out.min = Some(min);
+            out.max = Some(max);
+        }
+        out.sums = sums;
         Ok(out)
     }
 }
@@ -206,7 +248,8 @@ impl MomentsSketch {
 impl MomentsSketch {
     /// Per-row reference implementation, kept for the scan-equivalence
     /// property tests and the chunked-vs-rowwise benchmark. Must remain
-    /// bit-identical to [`Sketch::summarize`].
+    /// bit-identical to [`Sketch::summarize`]: it accumulates into the
+    /// same eight `row % 8` lanes and collapses them in the same order.
     pub fn summarize_rowwise(&self, view: &TableView, _seed: u64) -> SketchResult<MomentsSummary> {
         let col = view.table().column_by_name(&self.column)?;
         if !col.kind().is_numeric() {
@@ -217,21 +260,22 @@ impl MomentsSketch {
             )));
         }
         let mut out = MomentsSummary::zero(self.k);
+        let mut acc = MomentLanes::new(self.k);
         for r in view.iter_rows() {
             match col.as_f64(r) {
                 None => out.missing += 1,
                 Some(v) => {
                     out.present += 1;
-                    out.min = Some(out.min.map_or(v, |m| m.min(v)));
-                    out.max = Some(out.max.map_or(v, |m| m.max(v)));
-                    let mut p = 1.0;
-                    for s in &mut out.sums {
-                        p *= v;
-                        *s += p;
-                    }
+                    simd::moments_one(v, r % simd::MOMENT_LANES, &mut acc);
                 }
             }
         }
+        let (min, max, sums) = acc.collapse();
+        if out.present > 0 {
+            out.min = Some(min);
+            out.max = Some(max);
+        }
+        out.sums = sums;
         Ok(out)
     }
 }

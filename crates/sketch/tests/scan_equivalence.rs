@@ -409,23 +409,34 @@ proptest! {
         if let Some(s) = I64Storage::run_length_of(&data) {
             columns.push(I64Column::with_storage(s, nulls.clone()));
         }
+        // Delta needs ascending data: a sorted copy of the same values,
+        // compared between plain and delta storage.
+        let mut ascending = data.clone();
+        ascending.sort_unstable();
+        let mut delta_columns: Vec<I64Column> =
+            vec![I64Column::plain(ascending.clone(), nulls.clone())];
+        if let Some(s) = I64Storage::delta_of(&ascending) {
+            delta_columns.push(I64Column::with_storage(s, nulls.clone()));
+        }
         let members = Arc::new(membership(kind, &raw, cuts, n));
         let hist = HistogramSketch::streaming("V", num_spec());
         let moments = MomentsSketch::new("V", 3);
-        let mut results = Vec::new();
-        for col in columns {
-            let t = Table::builder()
-                .column("V", ColumnKind::Int, Column::Int(col))
-                .build()
-                .unwrap();
-            let v = TableView::with_members(Arc::new(t), members.clone());
-            let h = hist.summarize(&v, 0).unwrap();
-            let m = moments.summarize(&v, 0).unwrap();
-            results.push((h, m.present, m.missing, m.min, m.max,
-                m.sums.iter().map(|s| s.to_bits()).collect::<Vec<_>>()));
-        }
-        for r in &results[1..] {
-            prop_assert_eq!(r, &results[0]);
+        for group in [columns, delta_columns] {
+            let mut results = Vec::new();
+            for col in group {
+                let t = Table::builder()
+                    .column("V", ColumnKind::Int, Column::Int(col))
+                    .build()
+                    .unwrap();
+                let v = TableView::with_members(Arc::new(t), members.clone());
+                let h = hist.summarize(&v, 0).unwrap();
+                let m = moments.summarize(&v, 0).unwrap();
+                results.push((h, m.present, m.missing, m.min, m.max,
+                    m.sums.iter().map(|s| s.to_bits()).collect::<Vec<_>>()));
+            }
+            for r in &results[1..] {
+                prop_assert_eq!(r, &results[0]);
+            }
         }
     }
 
@@ -553,23 +564,93 @@ proptest! {
         if let Some(s) = I64Storage::run_length_of(&data) {
             columns.push(I64Column::with_storage(s, nulls.clone()));
         }
+        // Split boundaries land mid-block for delta storage too: compare
+        // plain vs delta over a sorted copy of the same values.
+        let mut ascending = data.clone();
+        ascending.sort_unstable();
+        let mut delta_columns: Vec<I64Column> =
+            vec![I64Column::plain(ascending.clone(), nulls.clone())];
+        if let Some(s) = I64Storage::delta_of(&ascending) {
+            delta_columns.push(I64Column::with_storage(s, nulls.clone()));
+        }
         let members = Arc::new(membership(kind, &raw, cuts, n));
         let hist = HistogramSketch::streaming("V", num_spec());
         let mg = MisraGriesSketch::new("V", 4);
-        let mut results = Vec::new();
-        for col in columns {
-            let t = Table::builder()
-                .column("V", ColumnKind::Int, Column::Int(col))
-                .build()
-                .unwrap();
-            let v = TableView::with_members(Arc::new(t), members.clone());
-            let h = summarize_split(&hist, &v, grain, 0).unwrap();
-            let m = summarize_split(&mg, &v, grain, 0).unwrap();
-            results.push((h, m));
+        for group in [columns, delta_columns] {
+            let mut results = Vec::new();
+            for col in group {
+                let t = Table::builder()
+                    .column("V", ColumnKind::Int, Column::Int(col))
+                    .build()
+                    .unwrap();
+                let v = TableView::with_members(Arc::new(t), members.clone());
+                let h = summarize_split(&hist, &v, grain, 0).unwrap();
+                let m = summarize_split(&mg, &v, grain, 0).unwrap();
+                results.push((h, m));
+            }
+            for r in &results[1..] {
+                prop_assert_eq!(r, &results[0]);
+            }
         }
-        for r in &results[1..] {
-            prop_assert_eq!(r, &results[0]);
-        }
+    }
+
+    /// With the `simd` feature on, every kernel's summary is byte-identical
+    /// between the vector codegen and the forced-scalar fallback, across
+    /// encodings × membership representations × null densities × sampling.
+    /// (CI additionally runs the whole suite with the feature off; the
+    /// fallback is the same code either way, so the two builds agree.)
+    #[cfg(feature = "simd")]
+    #[test]
+    fn simd_on_off_summaries_byte_identical(
+        t in table_strategy(),
+        kind in 0usize..5,
+        raw in proptest::collection::vec(any::<u32>(), 0..200),
+        cuts in (0.0f64..1.0, 0.0f64..1.0),
+        rate in 0.3f64..1.2,
+        seed in any::<u64>(),
+    ) {
+        use hillview_columnar::simd::set_force_scalar;
+        let n = t.num_rows();
+        let v = TableView::with_members(Arc::new(t), Arc::new(membership(kind, &raw, cuts, n)));
+        let hist_x = HistogramSketch::streaming("X", num_spec());
+        let hist_i = HistogramSketch::streaming("I", num_spec());
+        let hist_s = HistogramSketch::sampled("X", num_spec(), rate.min(0.95));
+        let hist_c = HistogramSketch::streaming("C", str_spec());
+        let mom_x = MomentsSketch::new("X", 4);
+        let mom_i = MomentsSketch::new("I", 4);
+        let heat = HeatmapSketch::sampled("X", "C", num_spec(), str_spec(), rate);
+        let stack = StackedHistogramSketch::streaming("I", "C", num_spec(), str_spec());
+        let count = CountSketch::of_column("X");
+        let hh = SampledHeavyHittersSketch::new("C", 4, rate);
+        let run = |scalar: bool| {
+            set_force_scalar(scalar);
+            let mom_bits = |m: &hillview_sketch::moments::MomentsSummary| {
+                (
+                    m.present,
+                    m.missing,
+                    m.min.map(f64::to_bits),
+                    m.max.map(f64::to_bits),
+                    m.sums.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+                )
+            };
+            let out = (
+                hist_x.summarize(&v, seed).unwrap(),
+                hist_i.summarize(&v, seed).unwrap(),
+                hist_s.summarize(&v, seed).unwrap(),
+                hist_c.summarize(&v, seed).unwrap(),
+                mom_bits(&mom_x.summarize(&v, seed).unwrap()),
+                mom_bits(&mom_i.summarize(&v, seed).unwrap()),
+                heat.summarize(&v, seed).unwrap(),
+                stack.summarize(&v, seed).unwrap(),
+                count.summarize(&v, seed).unwrap(),
+                hh.summarize(&v, seed).unwrap(),
+            );
+            set_force_scalar(false);
+            out
+        };
+        let fast = run(false);
+        let slow = run(true);
+        prop_assert_eq!(fast, slow);
     }
 
     /// Quantile keys: chunked row enumeration vs a naive per-row walk with

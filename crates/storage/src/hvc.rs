@@ -15,17 +15,25 @@
 //!     0 (plain):      delta-zigzag varints
 //!     1 (bit-packed): base zigzag, width u8, word count, raw LE u64 words
 //!     2 (run-length): run count, then (value zigzag, run length) pairs
+//!     3 (delta):      anchor count, anchors zigzag, width u8, word count,
+//!                     raw LE u64 words of packed adjacent deltas
 //!   Double:   declared value count, raw little-endian f64
-//!   Str/Cat:  dict_len, dict strings, codes in the same three encodings
+//!   Str/Cat:  dict_len, dict strings, codes in the same four encodings
 //!             (code values as plain varints instead of zigzag)
 //! ```
 //!
 //! The encoding byte mirrors the column's *in-memory*
 //! [`hillview_columnar::IntStorage`] representation: a
-//! bit-packed or run-length column round-trips through a file (and across
-//! the wire — HVC bytes are also how partitions ship between nodes) without
-//! ever inflating to plain, and decode rebuilds the exact same variant via
-//! `with_storage` instead of re-analyzing.
+//! bit-packed, run-length, or delta column round-trips through a file (and
+//! across the wire — HVC bytes are also how partitions ship between nodes)
+//! without ever inflating to plain, and decode rebuilds the exact same
+//! variant via `with_storage` instead of re-analyzing.
+//!
+//! Encoding bytes are *additive* within the `HVC2` container: byte 3
+//! (delta) was added after the format shipped, so a reader predating it
+//! rejects files containing delta columns with a structured
+//! "unknown encoding byte 3" parse error naming the column — older files
+//! remain readable by every newer reader.
 //!
 //! Every column section carries its own declared value count; a mismatch
 //! against the file's row count is rejected up front with the structured
@@ -51,6 +59,7 @@ const MAGIC: &[u8; 4] = b"HVC2";
 const ENC_PLAIN: u8 = 0;
 const ENC_BIT_PACKED: u8 = 1;
 const ENC_RUN_LENGTH: u8 = 2;
+const ENC_DELTA: u8 = 3;
 
 fn kind_byte(kind: ColumnKind) -> u8 {
     match kind {
@@ -130,6 +139,24 @@ fn encode_int_storage<T: PackedInt>(
                 put(w, v);
                 w.put_varint((end - prev) as u64);
                 prev = end;
+            }
+        }
+        IntStorage::Delta {
+            anchors,
+            width,
+            len,
+            words,
+        } => {
+            w.put_u8(ENC_DELTA);
+            w.put_varint(*len as u64);
+            w.put_varint(anchors.len() as u64);
+            for &a in anchors {
+                put(w, a);
+            }
+            w.put_u8(*width);
+            w.put_varint(words.len() as u64);
+            for &word in words {
+                w.put_u64(word);
             }
         }
     }
@@ -215,6 +242,24 @@ fn decode_int_storage_body<T: PackedInt>(
             }
             IntStorage::from_run_length(values, ends).ok_or_else(|| {
                 parse_err(format!("column {column:?}: malformed run-length section"))
+            })
+        }
+        ENC_DELTA => {
+            let nanchors = r.get_len("delta anchors").map_err(wire_err)?;
+            let mut anchors = Vec::with_capacity(nanchors.min(1 << 20));
+            for _ in 0..nanchors {
+                anchors.push(get(r).map_err(wire_err)?);
+            }
+            let width = r.get_u8().map_err(wire_err)?;
+            let nwords = r.get_len("delta words").map_err(wire_err)?;
+            let mut words = Vec::with_capacity(nwords.min(1 << 20));
+            for _ in 0..nwords {
+                words.push(r.get_u64().map_err(wire_err)?);
+            }
+            IntStorage::from_delta(anchors, width, rows, words).ok_or_else(|| {
+                parse_err(format!(
+                    "column {column:?}: inconsistent delta section (width {width}, {nanchors} anchors, {nwords} words for {rows} rows)"
+                ))
             })
         }
         b => Err(parse_err(format!(
@@ -560,6 +605,7 @@ mod tests {
         let plain: Vec<i64> = (0..4000)
             .map(|i: i64| i.wrapping_mul(0x5851_F42D_4C95_7F2D))
             .collect();
+        let sequential: Vec<i64> = (0..4000).map(|i| 1_000_000 + i * 3).collect();
         let t = Table::builder()
             .column(
                 "RL",
@@ -576,6 +622,11 @@ mod tests {
                 ColumnKind::Int,
                 Column::Int(I64Column::plain(plain, NullMask::none())),
             )
+            .column(
+                "DL",
+                ColumnKind::Int,
+                Column::Int(I64Column::new(sequential, NullMask::none())),
+            )
             .build()
             .unwrap();
         let t2 = decode(encode(&t)).unwrap();
@@ -583,6 +634,7 @@ mod tests {
             ("RL", EncodingKind::RunLength),
             ("BP", EncodingKind::BitPacked),
             ("PL", EncodingKind::Plain),
+            ("DL", EncodingKind::Delta),
         ] {
             let c = t.column_by_name(name).unwrap().as_i64_col().unwrap();
             let c2 = t2.column_by_name(name).unwrap().as_i64_col().unwrap();
@@ -767,6 +819,29 @@ mod tests {
             err.to_string().contains("out of dictionary range"),
             "got {err}"
         );
+    }
+
+    #[test]
+    fn corrupt_delta_sections_rejected() {
+        // A delta-coded column (sequential values): truncating the word
+        // stream or the anchors must error, never panic or fabricate rows.
+        let dl = packed_int_file((0..1000).map(|i| 5_000_000 + i * 7).collect());
+        let t = decode(Bytes::copy_from_slice(&dl)).unwrap();
+        assert_eq!(
+            t.column_by_name("X")
+                .unwrap()
+                .as_i64_col()
+                .unwrap()
+                .storage()
+                .kind(),
+            EncodingKind::Delta
+        );
+        for cut in [dl.len() - 1, dl.len() - 9, dl.len() / 2, 12] {
+            assert!(
+                decode(Bytes::copy_from_slice(&dl[..cut])).is_err(),
+                "truncation at {cut} accepted"
+            );
+        }
     }
 
     #[test]

@@ -60,10 +60,13 @@ proptest! {
         data in proptest::collection::vec(-3000i64..3000, 1..200),
     ) {
         use hillview_columnar::{I64Storage, NullMask};
+        let mut ascending = data.clone();
+        ascending.sort_unstable();
         let storages = [
             I64Storage::plain_of(data.clone()),
             I64Storage::bit_packed_of(&data).unwrap(),
             I64Storage::run_length_of(&data).unwrap(),
+            I64Storage::delta_of(&ascending).unwrap(),
         ];
         for s in storages {
             let kind = s.kind();
