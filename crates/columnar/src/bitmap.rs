@@ -42,6 +42,17 @@ impl Bitmap {
         b
     }
 
+    /// Build a bitmap of `len` bits directly from backing words (bit `i` at
+    /// `words[i / 64] >> (i % 64)`), the word-granular surface the block
+    /// filter pipeline emits into. `words` is resized to the exact word
+    /// count and tail bits beyond `len` are cleared.
+    pub fn from_words(mut words: Vec<u64>, len: usize) -> Self {
+        words.resize(len.div_ceil(64), 0);
+        let mut b = Bitmap { words, len };
+        b.clear_tail();
+        b
+    }
+
     /// Zero any bits beyond `len` in the last word so popcounts stay exact.
     fn clear_tail(&mut self) {
         let tail = self.len % 64;

@@ -12,7 +12,7 @@
 //! [`DictColumn::code`] accessors.
 
 use crate::dictionary::{Dictionary, DictionaryBuilder};
-use crate::encoding::{CodeStorage, I64Storage};
+use crate::encoding::{CodeStorage, I64Storage, ZoneMap};
 use crate::nullmask::NullMask;
 use crate::schema::ColumnKind;
 use crate::value::Value;
@@ -23,31 +23,33 @@ use std::sync::Arc;
 pub struct I64Column {
     storage: I64Storage,
     nulls: NullMask,
+    /// Per-64-row-block min/max, recorded at ingest for block skipping
+    /// (shared by clones; derived state, not counted in footprints).
+    zones: Arc<ZoneMap<i64>>,
 }
 
 impl I64Column {
     /// Build from values and an optional per-row null flag, choosing the
     /// cheapest physical encoding automatically.
     pub fn new(data: Vec<i64>, nulls: NullMask) -> Self {
-        I64Column {
-            storage: I64Storage::encode(data),
-            nulls,
-        }
+        Self::with_storage(I64Storage::encode(data), nulls)
     }
 
     /// Build keeping the values uncompressed (benchmark baselines and
     /// encoding-equivalence tests).
     pub fn plain(data: Vec<i64>, nulls: NullMask) -> Self {
-        I64Column {
-            storage: I64Storage::plain_of(data),
-            nulls,
-        }
+        Self::with_storage(I64Storage::plain_of(data), nulls)
     }
 
     /// Build from an already-encoded storage (e.g. `hvc` decode, which
     /// preserves the file's encoding instead of re-analyzing).
     pub fn with_storage(storage: I64Storage, nulls: NullMask) -> Self {
-        I64Column { storage, nulls }
+        let zones = Arc::new(ZoneMap::build(&storage));
+        I64Column {
+            storage,
+            nulls,
+            zones,
+        }
     }
 
     /// Build from options: `None` becomes a null.
@@ -83,6 +85,13 @@ impl I64Column {
         &self.nulls
     }
 
+    /// Per-64-row-block min/max of the stored values (null rows contribute
+    /// their placeholder), recorded at ingest for block skipping.
+    #[inline]
+    pub fn zones(&self) -> &ZoneMap<i64> {
+        &self.zones
+    }
+
     /// Value at row `i`, or `None` if missing.
     #[inline]
     pub fn get(&self, i: usize) -> Option<i64> {
@@ -99,6 +108,9 @@ impl I64Column {
 pub struct F64Column {
     data: Vec<f64>,
     nulls: NullMask,
+    /// Per-64-row-block min/max (NaN-free folds), recorded at ingest for
+    /// block skipping.
+    zones: Arc<ZoneMap<f64>>,
 }
 
 impl F64Column {
@@ -110,7 +122,8 @@ impl F64Column {
                 nulls.set_null(i, len);
             }
         }
-        F64Column { data, nulls }
+        let zones = Arc::new(ZoneMap::from_f64(&data));
+        F64Column { data, nulls, zones }
     }
 
     /// Build from options: `None` (and NaN) become nulls.
@@ -118,8 +131,9 @@ impl F64Column {
         let vals: Vec<Option<f64>> = vals.into_iter().collect();
         let len = vals.len();
         let nulls = NullMask::from_flags(vals.iter().map(|v| v.is_none_or(f64::is_nan)), len);
-        let data = vals.into_iter().map(|v| v.unwrap_or(0.0)).collect();
-        F64Column { data, nulls }
+        let data: Vec<f64> = vals.into_iter().map(|v| v.unwrap_or(0.0)).collect();
+        let zones = Arc::new(ZoneMap::from_f64(&data));
+        F64Column { data, nulls, zones }
     }
 
     /// Number of rows.
@@ -136,6 +150,13 @@ impl F64Column {
     #[inline]
     pub fn data(&self) -> &[f64] {
         &self.data
+    }
+
+    /// Per-64-row-block min/max of the raw values (NaN-free folds),
+    /// recorded at ingest for block skipping.
+    #[inline]
+    pub fn zones(&self) -> &ZoneMap<f64> {
+        &self.zones
     }
 
     /// Null mask.

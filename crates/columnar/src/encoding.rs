@@ -92,7 +92,9 @@ mod sealed {
 /// Integer types that can live in an [`IntStorage`]: they convert to and
 /// from unsigned deltas relative to a base value. Implemented for `i64`
 /// (column values) and `u32` (dictionary codes); sealed.
-pub trait PackedInt: Copy + Default + Ord + std::fmt::Debug + sealed::Sealed + 'static {
+pub trait PackedInt:
+    Copy + Default + Ord + std::fmt::Debug + crate::simd::LaneOrd + sealed::Sealed + 'static
+{
     /// Bytes one plain value occupies.
     const BYTES: usize;
     /// `self - base` as an unsigned delta (two's-complement exact).
@@ -692,6 +694,207 @@ impl<T: PackedInt> IntStorage<T> {
             IntStorage::Delta { anchors, words, .. } => anchors.len() * T::BYTES + words.len() * 8,
         }
     }
+
+    /// Selection word of the inclusive range test `lo <= value <= hi` over
+    /// the 64-row-aligned frame `base .. base + len` (`len <= 64`): bit `k`
+    /// set iff row `base + k` passes. `cursor` is the same opaque ascending
+    /// scan state as [`IntStorage::decode_frame`].
+    ///
+    /// This is the block predicate's value compare, specialized per
+    /// encoding so the comparison happens in the cheapest domain:
+    ///
+    /// * **Plain** — lane compares on the backing slice, no copy.
+    /// * **Bit-packed** — the bounds are translated into the
+    ///   frame-of-reference delta domain once, then the *raw packed deltas*
+    ///   are unpacked and compared directly — no per-row reconstruction of
+    ///   the value (`base + delta`) at all.
+    /// * **Run-length** — one compare per run overlapping the frame; a run
+    ///   covering the whole frame costs a single compare.
+    /// * **Delta** — decodes the frame (the prefix sum is inherent) and
+    ///   compares lanes.
+    ///
+    /// Bit-identical to testing `lo <= self.get(base + k) <= hi` per row.
+    pub fn range_frame_word(
+        &self,
+        cursor: &mut usize,
+        base: usize,
+        len: usize,
+        lo: T,
+        hi: T,
+        buf: &mut [T; BLOCK_ROWS],
+    ) -> u64 {
+        debug_assert!(base.is_multiple_of(BLOCK_ROWS) && len <= BLOCK_ROWS);
+        if hi < lo || len == 0 {
+            return 0;
+        }
+        match self {
+            IntStorage::Plain(v) => crate::simd::range_word_incl(&v[base..base + len], lo, hi),
+            IntStorage::BitPacked {
+                base: b,
+                width,
+                words,
+                ..
+            } => {
+                let width = *width as usize;
+                if width == 0 {
+                    return if lo <= *b && *b <= hi {
+                        crate::bitmap::span_mask(0, len)
+                    } else {
+                        0
+                    };
+                }
+                if hi < *b {
+                    return 0;
+                }
+                // Translate the bounds into the packed-delta domain: value
+                // is `b + d` with `d < 2^width`, so `lo <= value <= hi`
+                // iff `dlo <= d <= dhi`.
+                let dlo = if lo <= *b { 0 } else { lo.offset_from(*b) };
+                let top = (1u64 << width) - 1;
+                if dlo > top {
+                    return 0;
+                }
+                let dhi = hi.offset_from(*b).min(top);
+                let out = &mut buf[..len];
+                unpack_span(words, T::default(), width, base, out);
+                crate::simd::range_word_incl(
+                    out,
+                    T::add_offset(T::default(), dlo),
+                    T::add_offset(T::default(), dhi),
+                )
+            }
+            IntStorage::RunLength { .. } => {
+                let mut w = 0u64;
+                let mut i = base;
+                let end = base + len;
+                while i < end {
+                    let (v, run_end) = self.run_at(cursor, i);
+                    let take_end = run_end.min(end);
+                    if v >= lo && v <= hi {
+                        w |= crate::bitmap::span_mask(i - base, take_end - base);
+                    }
+                    i = take_end;
+                }
+                w
+            }
+            IntStorage::Delta { .. } => {
+                let lanes = self.decode_frame(cursor, base, len, buf);
+                crate::simd::range_word_incl(lanes, lo, hi)
+            }
+        }
+    }
+}
+
+/// Per-64-row-block minimum and maximum of a column's stored values — the
+/// zone maps the block filter pipeline (and the range vizketch) consults to
+/// skip whole blocks without decoding them: when a block's extremes sit
+/// entirely inside a range predicate every row passes, and when they sit
+/// entirely outside none can.
+///
+/// Zone maps are recorded at ingest (column constructors build them right
+/// after encoding selection) and fold the *stored* value of every row,
+/// including the placeholder values of null rows — so a skip decision is
+/// conservative but always sound once combined with the validity word.
+/// They are derived acceleration state: excluded from heap-footprint
+/// accounting and never serialized.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ZoneMap<T> {
+    mins: Vec<T>,
+    maxs: Vec<T>,
+}
+
+impl<T: Copy> ZoneMap<T> {
+    /// Number of 64-row blocks covered.
+    pub fn len(&self) -> usize {
+        self.mins.len()
+    }
+
+    /// True when the map covers no blocks (empty column).
+    pub fn is_empty(&self) -> bool {
+        self.mins.is_empty()
+    }
+
+    /// `(min, max)` of block `b` (rows `b * 64 .. (b + 1) * 64`, clipped to
+    /// the column length).
+    #[inline]
+    pub fn block(&self, b: usize) -> (T, T) {
+        (self.mins[b], self.maxs[b])
+    }
+
+    /// Approximate heap footprint in bytes (diagnostics only; zone maps are
+    /// deliberately *not* part of column footprint accounting).
+    pub fn heap_bytes(&self) -> usize {
+        (self.mins.len() + self.maxs.len()) * std::mem::size_of::<T>()
+    }
+}
+
+impl<T: PackedInt> ZoneMap<T> {
+    /// Fold the per-block extremes of `storage` through the block decoders
+    /// (run-length storage folds once per run, not per row).
+    pub fn build(storage: &IntStorage<T>) -> Self {
+        let n = storage.len();
+        let blocks = n.div_ceil(BLOCK_ROWS);
+        let mut mins = Vec::with_capacity(blocks);
+        let mut maxs = Vec::with_capacity(blocks);
+        if let IntStorage::RunLength { .. } = storage {
+            let mut cursor = 0usize;
+            for b in 0..blocks {
+                let start = b * BLOCK_ROWS;
+                let end = (start + BLOCK_ROWS).min(n);
+                let (mut mn, run_end) = storage.run_at(&mut cursor, start);
+                let mut mx = mn;
+                let mut i = run_end;
+                while i < end {
+                    let (v, run_end) = storage.run_at(&mut cursor, i);
+                    mn = mn.min(v);
+                    mx = mx.max(v);
+                    i = run_end;
+                }
+                mins.push(mn);
+                maxs.push(mx);
+            }
+        } else {
+            let mut buf = [T::default(); BLOCK_ROWS];
+            let mut cursor = 0usize;
+            for b in 0..blocks {
+                let start = b * BLOCK_ROWS;
+                let len = (n - start).min(BLOCK_ROWS);
+                let lanes = storage.decode_frame(&mut cursor, start, len, &mut buf);
+                let mut mn = lanes[0];
+                let mut mx = lanes[0];
+                for &v in &lanes[1..] {
+                    mn = mn.min(v);
+                    mx = mx.max(v);
+                }
+                mins.push(mn);
+                maxs.push(mx);
+            }
+        }
+        ZoneMap { mins, maxs }
+    }
+}
+
+impl ZoneMap<f64> {
+    /// Per-block extremes of a float column. `NaN` values (null rows keep
+    /// their raw storage) are dropped by the `f64::min`/`f64::max` folds; a
+    /// block of only `NaN`s records the `(+inf, -inf)` identities, which no
+    /// range test matches — sound, because those rows are all null anyway.
+    pub fn from_f64(values: &[f64]) -> Self {
+        let blocks = values.len().div_ceil(BLOCK_ROWS);
+        let mut mins = Vec::with_capacity(blocks);
+        let mut maxs = Vec::with_capacity(blocks);
+        for chunk in values.chunks(BLOCK_ROWS) {
+            let mut mn = f64::INFINITY;
+            let mut mx = f64::NEG_INFINITY;
+            for &v in chunk {
+                mn = mn.min(v);
+                mx = mx.max(v);
+            }
+            mins.push(mn);
+            maxs.push(mx);
+        }
+        ZoneMap { mins, maxs }
+    }
 }
 
 /// Unpack `out.len()` width-`W` values starting at value index `start`:
@@ -1190,6 +1393,104 @@ mod tests {
         assert!(I64Storage::from_delta(vec![0], 1, 100, vec![0]).is_none());
         let s = I64Storage::from_delta(vec![5], 0, 3, vec![]).unwrap();
         assert_eq!(s.to_vec(), vec![5, 5, 5]);
+    }
+
+    #[test]
+    fn zone_maps_record_block_extremes() {
+        let mixed: Vec<i64> = (0..515).map(|i| (i * 7919) % 257 - 100).collect();
+        let sorted: Vec<i64> = (0..515).map(|i| i * 11 + (i % 11)).collect();
+        let mut all = vec![
+            IntStorage::plain_of(mixed.clone()),
+            IntStorage::encode(mixed.clone()),
+        ];
+        all.extend(IntStorage::bit_packed_of(&mixed));
+        all.extend(IntStorage::run_length_of(&mixed));
+        all.extend(IntStorage::delta_of(&sorted));
+        for s in all {
+            let values = s.to_vec();
+            let z = ZoneMap::build(&s);
+            assert_eq!(z.len(), values.len().div_ceil(BLOCK_ROWS), "{:?}", s.kind());
+            for (b, chunk) in values.chunks(BLOCK_ROWS).enumerate() {
+                let mn = *chunk.iter().min().unwrap();
+                let mx = *chunk.iter().max().unwrap();
+                assert_eq!(z.block(b), (mn, mx), "{:?} block {b}", s.kind());
+            }
+        }
+        assert!(ZoneMap::build(&I64Storage::plain_of(vec![])).is_empty());
+    }
+
+    #[test]
+    fn f64_zone_maps_ignore_nan() {
+        let mut vals: Vec<f64> = (0..130).map(|i| i as f64 * 0.5 - 10.0).collect();
+        vals[3] = f64::NAN;
+        vals[70] = f64::NAN;
+        let z = ZoneMap::from_f64(&vals);
+        assert_eq!(z.len(), 3);
+        assert_eq!(z.block(0), (-10.0, 21.5));
+        assert_eq!(z.block(1), (22.0, 53.5)); // NaN at 70 dropped
+        let all_nan = ZoneMap::from_f64(&[f64::NAN; 64]);
+        assert_eq!(all_nan.block(0), (f64::INFINITY, f64::NEG_INFINITY));
+    }
+
+    #[test]
+    fn range_frame_word_matches_per_row() {
+        let mixed: Vec<i64> = (0..515).map(|i| (i * 7919) % 257 - 100).collect();
+        let sorted: Vec<i64> = (0..515).map(|i| i * 3 + (i % 5)).collect();
+        for (values, storages) in [
+            (mixed.clone(), {
+                let mut v = vec![IntStorage::plain_of(mixed.clone())];
+                v.extend(IntStorage::bit_packed_of(&mixed));
+                v.extend(IntStorage::run_length_of(&mixed));
+                v
+            }),
+            (sorted.clone(), {
+                let mut v = vec![IntStorage::encode(sorted.clone())];
+                v.extend(IntStorage::delta_of(&sorted));
+                v
+            }),
+        ] {
+            let n = values.len();
+            for s in storages {
+                for (lo, hi) in [
+                    (-50i64, 50i64),
+                    (0, 0),
+                    (10, 5),
+                    (i64::MIN, i64::MAX),
+                    (-1000, -200),
+                    (1000, 5000),
+                    (-100, 156),
+                ] {
+                    let mut cursor = 0usize;
+                    let mut buf = [0i64; BLOCK_ROWS];
+                    let mut base = 0usize;
+                    while base < n {
+                        let len = BLOCK_ROWS.min(n - base);
+                        let w = s.range_frame_word(&mut cursor, base, len, lo, hi, &mut buf);
+                        for k in 0..len {
+                            let expect = values[base + k] >= lo && values[base + k] <= hi;
+                            assert_eq!(
+                                w >> k & 1 == 1,
+                                expect,
+                                "{:?} [{lo},{hi}] row {}",
+                                s.kind(),
+                                base + k
+                            );
+                        }
+                        assert!(len == 64 || w >> len == 0, "{:?} stray bits", s.kind());
+                        base += BLOCK_ROWS;
+                    }
+                }
+            }
+        }
+        // Width-0 bit-packing (constant column).
+        let s = IntStorage::bit_packed_of(&[7i64; 100]).unwrap();
+        let mut cursor = 0usize;
+        let mut buf = [0i64; BLOCK_ROWS];
+        assert_eq!(
+            s.range_frame_word(&mut cursor, 0, 64, 0, 10, &mut buf),
+            u64::MAX
+        );
+        assert_eq!(s.range_frame_word(&mut cursor, 0, 64, 8, 10, &mut buf), 0);
     }
 
     #[test]

@@ -18,7 +18,11 @@
 //! * [`SortOrder`]/[`RowKey`] — multi-column row ordering used by the tabular
 //!   view vizketches (next-items, quantile scrollbar, find).
 //! * [`Predicate`] — row selection expressions (comparisons, ranges, text
-//!   search including a small self-contained regex engine).
+//!   search including a small self-contained regex engine), compiled to a
+//!   per-row reference form and to the block-wise form the filter pipeline
+//!   runs ([`predicate::filter_members`]): 64-bit selection words per
+//!   decoded frame, dictionary match bitmaps, and zone-map block skipping
+//!   (see the [`predicate`] module docs).
 //! * [`udf`] — named user-defined map functions that derive new columns from
 //!   existing ones (paper §5.6 "user-defined maps"; Rust closures substitute
 //!   for the paper's JavaScript functions).
@@ -84,11 +88,14 @@ pub use bitmap::Bitmap;
 pub use block::{scan_blocks, scan_frames, Block, BlockCursor, BlockSink, FrameEvent, BLOCK_ROWS};
 pub use column::{Column, DictColumn, F64Column, I64Column};
 pub use dictionary::Dictionary;
-pub use encoding::{CodeStorage, EncodingKind, I64Storage, IntStorage, PackedInt};
+pub use encoding::{CodeStorage, EncodingKind, I64Storage, IntStorage, PackedInt, ZoneMap};
 pub use error::{Error, Result};
 pub use membership::MembershipSet;
 pub use nullmask::NullMask;
-pub use predicate::{Predicate, StrMatchKind};
+pub use predicate::{
+    filter_members, filter_members_rowwise, BlockPredicate, CompiledPredicate, Predicate,
+    StrMatchKind,
+};
 pub use rows::{Row, RowKey};
 pub use scan::{rows_in_range, ScanChunk, ScanSource, Selection, SplittableSelection};
 pub use schema::{ColumnDesc, ColumnKind, Schema};

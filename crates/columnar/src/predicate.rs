@@ -1,14 +1,87 @@
-//! Row-selection predicates.
+//! Row-selection predicates: the filter pipeline behind every derived
+//! table.
 //!
 //! Hillview derives new tables by filtering (paper §5.6 "Selection") — e.g.
 //! zooming into a chart region selects rows inside the zoom window, and the
-//! find-text vizketch filters rows by a search criterion (§3.3). Predicates
-//! evaluate against one row of a [`Table`] and are compiled once per scan.
+//! find-text vizketch filters rows by a search criterion (§3.3). A
+//! [`Predicate`] is the user-facing expression tree; it compiles into one
+//! of **two forms** bound to a concrete [`Table`]:
+//!
+//! * [`CompiledPredicate`] — the per-row *reference* form:
+//!   [`CompiledPredicate::eval`] answers "does row `r` match?" one row at a
+//!   time. It resolves column names to indexes, pre-compiles regexes, and
+//!   reuses a scratch buffer for display-text matching, but it still pays
+//!   a dispatch per row. The block form below is pinned bit-identical to
+//!   it by property tests.
+//! * [`BlockPredicate`] — the *block-wise* form the filter pipeline runs:
+//!   [`BlockPredicate::eval_frame`] turns the selection word of one
+//!   64-row-aligned frame into the word of matching rows. Numeric
+//!   `Range`/`Equals` leaves are lane comparisons over decoded frames
+//!   (SIMD-dispatched under the `simd` feature, with the mandatory
+//!   bit-identical scalar fallback), with range bounds pre-translated into
+//!   the column's integer domain — and further into the packed-delta
+//!   domain for bit-packed storage, so no frame-of-reference
+//!   reconstruction happens at all
+//!   ([`IntStorage::range_frame_word`](crate::encoding::IntStorage::range_frame_word)).
+//!   Text and regex matches on dictionary columns are evaluated **once per
+//!   dictionary entry** into a code-indexed match bitmap; the per-row test
+//!   is then a bitmap probe on the code lane. `And`/`Or`/`Not` are bitwise
+//!   word ops with short-circuiting.
+//!
+//! ## Zone-map skipping
+//!
+//! Numeric columns record per-64-row-block min/max zone maps at ingest
+//! ([`ZoneMap`]). A range/equality leaf consults
+//! the frame's zone entry before decoding: if the block's extremes sit
+//! entirely inside the bounds every valid row passes (the leaf returns the
+//! selection-and-validity word without touching the values), and if they
+//! sit entirely outside it returns `0`. On sorted data a selective range
+//! filter therefore decodes only the boundary blocks.
+//!
+//! ## Missing values and NaN
+//!
+//! The rules, which both compiled forms implement identically:
+//!
+//! * Missing rows never satisfy `Range`, a present-value `Equals`, or any
+//!   text/regex match. `IsMissing` and `Equals(Value::Missing)` match
+//!   exactly the missing rows.
+//! * **`Not` is the exact complement** over the scanned rows:
+//!   `Not(p)` matches every row `p` rejects — *including rows that are
+//!   missing in the columns `p` references*. `Not(Range{..})` therefore
+//!   selects rows outside the range *plus* the missing rows; conjoin
+//!   `.and(Predicate::IsMissing{..}.not())` to exclude them. This is the
+//!   spreadsheet complement rule, not SQL's three-valued logic.
+//! * `Equals` compares numerically across the numeric kinds (`Int`,
+//!   `Double`, `Date`): `Equals(Double(5.0))` matches an integer cell
+//!   holding 5 and a date cell at epoch-milli 5. When both the constant
+//!   and the column are integer-kinded the comparison is *exact* in the
+//!   i64 domain (ids beyond 2^53 don't merge under f64 rounding); as soon
+//!   as a `Double` is involved on either side, both sides normalize
+//!   through `as_f64`. A string constant matches only string-like
+//!   columns, and a numeric constant never matches a string column.
+//! * `Equals(Double(NaN))` matches nothing (NaN is unequal to
+//!   everything). Note that `Value::from(f64::NAN)` normalizes to
+//!   `Value::Missing` — an `Equals` built through that conversion matches
+//!   the missing rows instead. A `Range` with a NaN bound matches nothing.
+//!
+//! [`filter_members`] is the pipeline entry point: it streams a parent
+//! [`MembershipSet`] through the block form frame by frame, intersecting
+//! selection words in place (sparse parents are grouped into per-block
+//! words; row ids are never materialized) and emits the narrowed
+//! membership directly from the result bitmap words.
 
+use crate::bitmap::Bitmap;
+use crate::block::{scan_frames, FrameEvent, BLOCK_ROWS};
+use crate::column::Column;
+use crate::encoding::{CodeStorage, I64Storage, ZoneMap};
 use crate::error::Result;
+use crate::membership::MembershipSet;
 use crate::regexlite::Regex;
+use crate::scan::Selection;
+use crate::simd;
 use crate::table::Table;
 use crate::value::Value;
+use std::fmt::Write as _;
 use std::sync::Arc;
 
 /// How a text search matches a cell (paper §3.3: "exact match, substring,
@@ -38,14 +111,17 @@ pub enum Predicate {
         /// Exclusive upper bound.
         hi: f64,
     },
-    /// Equality with a constant value (missing == missing is true).
+    /// Equality with a constant value. Numeric constants compare
+    /// numerically across `Int`/`Double`/`Date` cells; `Value::Missing`
+    /// matches exactly the missing rows (see the module docs).
     Equals {
         /// Column name.
         column: Arc<str>,
         /// Value compared against.
         value: Value,
     },
-    /// Text search on a string-like column.
+    /// Text search on a string-like column (non-string columns are matched
+    /// against their display text, like searching a spreadsheet).
     StrMatch {
         /// Column name.
         column: Arc<str>,
@@ -65,7 +141,8 @@ pub enum Predicate {
     And(Box<Predicate>, Box<Predicate>),
     /// Logical OR.
     Or(Box<Predicate>, Box<Predicate>),
-    /// Logical NOT.
+    /// Logical NOT: the exact complement, *including* rows missing in the
+    /// referenced columns (module docs).
     Not(Box<Predicate>),
 }
 
@@ -118,8 +195,12 @@ impl Predicate {
         Predicate::Not(Box::new(self))
     }
 
-    /// Compile against a table, resolving column names to indexes and
-    /// pre-compiling regexes, so per-row evaluation is cheap.
+    /// Compile to the per-row reference form: column names resolved to
+    /// indexes, regexes pre-compiled, queries case-folded once, so per-row
+    /// evaluation is cheap. The filter pipeline itself runs the block form
+    /// ([`Predicate::compile_blockwise`]); this form is the semantic
+    /// reference the block form is property-tested against, and the
+    /// fallback for per-row consumers (the find vizketch).
     pub fn compile(&self, table: &Table) -> Result<CompiledPredicate> {
         Ok(match self {
             Predicate::True => CompiledPredicate::True,
@@ -128,34 +209,40 @@ impl Predicate {
                 lo: *lo,
                 hi: *hi,
             },
-            Predicate::Equals { column, value } => CompiledPredicate::Equals {
-                col: table.schema().index_of(column)?,
-                value: value.clone(),
-            },
+            Predicate::Equals { column, value } => {
+                let col = table.schema().index_of(column)?;
+                match value {
+                    Value::Missing => CompiledPredicate::EqualsMissing { col },
+                    Value::Str(s) => CompiledPredicate::EqualsStr {
+                        col,
+                        value: s.clone(),
+                    },
+                    v => {
+                        let int_col = matches!(table.column(col), Column::Int(_) | Column::Date(_));
+                        match (v.as_i64(), int_col) {
+                            // Integer constant against an integer column:
+                            // compare exactly in the i64 domain, so ids and
+                            // timestamps beyond 2^53 don't merge under f64
+                            // rounding.
+                            (Some(i), true) => CompiledPredicate::EqualsI64 { col, value: i },
+                            _ => CompiledPredicate::EqualsNum {
+                                col,
+                                value: v.as_f64().expect("numeric value"),
+                            },
+                        }
+                    }
+                }
+            }
             Predicate::StrMatch {
                 column,
                 query,
                 kind,
                 case_insensitive,
-            } => {
-                let col = table.schema().index_of(column)?;
-                match kind {
-                    StrMatchKind::Regex => CompiledPredicate::Regex {
-                        col,
-                        regex: Regex::compile(query, *case_insensitive)?,
-                    },
-                    _ => CompiledPredicate::Text {
-                        col,
-                        query: if *case_insensitive {
-                            query.to_ascii_lowercase()
-                        } else {
-                            query.to_string()
-                        },
-                        exact: *kind == StrMatchKind::Exact,
-                        case_insensitive: *case_insensitive,
-                    },
-                }
-            }
+            } => CompiledPredicate::Match {
+                col: table.schema().index_of(column)?,
+                matcher: Matcher::compile(query, kind, *case_insensitive)?,
+                scratch: String::new(),
+            },
             Predicate::IsMissing { column } => CompiledPredicate::IsMissing {
                 col: table.schema().index_of(column)?,
             },
@@ -168,9 +255,193 @@ impl Predicate {
             Predicate::Not(p) => CompiledPredicate::Not(Box::new(p.compile(table)?)),
         })
     }
+
+    /// Compile to the block-wise form bound to `table`'s columns: per
+    /// 64-row frame, [`BlockPredicate::eval_frame`] turns a selection word
+    /// into the word of matching rows. See the module docs for the leaf
+    /// strategies (lane compares, packed-domain bounds, dictionary match
+    /// bitmaps, zone-map skipping).
+    pub fn compile_blockwise<'a>(&self, table: &'a Table) -> Result<BlockPredicate<'a>> {
+        Ok(BlockPredicate {
+            node: self.block_node(table)?,
+        })
+    }
+
+    fn block_node<'a>(&self, table: &'a Table) -> Result<BNode<'a>> {
+        Ok(match self {
+            Predicate::True => BNode::Always(true),
+            Predicate::Range { column, lo, hi } => {
+                let col = table.column(table.schema().index_of(column)?);
+                match col {
+                    Column::Double(c) => {
+                        if *lo < *hi {
+                            BNode::RangeF64 {
+                                data: c.data(),
+                                nulls: c.nulls().bitmap(),
+                                zones: c.zones(),
+                                lo: *lo,
+                                hi: *hi,
+                            }
+                        } else {
+                            // Empty range, or a NaN bound: nothing matches.
+                            BNode::Always(false)
+                        }
+                    }
+                    Column::Int(c) | Column::Date(c) => {
+                        match (int_lower_bound(*lo), int_upper_bound_excl(*hi)) {
+                            (Some(ilo), Some(ihi)) if ilo <= ihi => BNode::RangeI64 {
+                                storage: c.storage(),
+                                nulls: c.nulls().bitmap(),
+                                zones: c.zones(),
+                                lo: ilo,
+                                hi: ihi,
+                                cursor: 0,
+                                buf: Box::new([0; BLOCK_ROWS]),
+                            },
+                            _ => BNode::Always(false),
+                        }
+                    }
+                    // Range on a string column: as_f64 is None per row.
+                    Column::Str(_) | Column::Cat(_) => BNode::Always(false),
+                }
+            }
+            Predicate::Equals { column, value } => {
+                let col = table.column(table.schema().index_of(column)?);
+                match value {
+                    Value::Missing => BNode::IsMissing {
+                        nulls: col.null_bitmap(),
+                    },
+                    Value::Str(s) => match col.as_dict_col() {
+                        Some(d) => match d.dictionary().code_of(s) {
+                            Some(code) => BNode::EqualsCode {
+                                codes: d.codes(),
+                                nulls: d.nulls().bitmap(),
+                                code,
+                                cursor: 0,
+                                buf: Box::new([0; BLOCK_ROWS]),
+                            },
+                            None => BNode::Always(false),
+                        },
+                        None => BNode::Always(false),
+                    },
+                    v => {
+                        // Integer constant on an integer column: exact
+                        // i64-domain equality (a degenerate range).
+                        if let (Some(i), Column::Int(c) | Column::Date(c)) = (v.as_i64(), col) {
+                            return Ok(BNode::RangeI64 {
+                                storage: c.storage(),
+                                nulls: c.nulls().bitmap(),
+                                zones: c.zones(),
+                                lo: i,
+                                hi: i,
+                                cursor: 0,
+                                buf: Box::new([0; BLOCK_ROWS]),
+                            });
+                        }
+                        let target = v.as_f64().expect("numeric value");
+                        match col {
+                            Column::Double(c) => {
+                                if target.is_nan() {
+                                    BNode::Always(false)
+                                } else {
+                                    BNode::EqualsF64 {
+                                        data: c.data(),
+                                        nulls: c.nulls().bitmap(),
+                                        zones: c.zones(),
+                                        value: target,
+                                    }
+                                }
+                            }
+                            Column::Int(c) | Column::Date(c) => {
+                                // (v as f64) == target ⇔ v in the integer
+                                // interval whose conversions land on target.
+                                match (
+                                    int_lower_bound(target),
+                                    int_upper_bound_excl(target.next_up()),
+                                ) {
+                                    (Some(ilo), Some(ihi)) if ilo <= ihi => BNode::RangeI64 {
+                                        storage: c.storage(),
+                                        nulls: c.nulls().bitmap(),
+                                        zones: c.zones(),
+                                        lo: ilo,
+                                        hi: ihi,
+                                        cursor: 0,
+                                        buf: Box::new([0; BLOCK_ROWS]),
+                                    },
+                                    _ => BNode::Always(false),
+                                }
+                            }
+                            Column::Str(_) | Column::Cat(_) => BNode::Always(false),
+                        }
+                    }
+                }
+            }
+            Predicate::StrMatch {
+                column,
+                query,
+                kind,
+                case_insensitive,
+            } => {
+                let col = table.column(table.schema().index_of(column)?);
+                let matcher = Matcher::compile(query, kind, *case_insensitive)?;
+                match col.as_dict_col() {
+                    Some(d) => {
+                        // Evaluate the matcher once per dictionary entry
+                        // into a code-indexed bitmap; the per-row test is a
+                        // probe on the code lane.
+                        let dict = d.dictionary();
+                        let mut bits = vec![0u64; dict.len().max(1).div_ceil(64)];
+                        let mut hits = 0usize;
+                        for (code, s) in dict.iter().enumerate() {
+                            if matcher.matches(s) {
+                                bits[code / 64] |= 1 << (code % 64);
+                                hits += 1;
+                            }
+                        }
+                        if hits == 0 {
+                            BNode::Always(false)
+                        } else if hits == dict.len() {
+                            // Every entry matches: the test degenerates to
+                            // "present".
+                            BNode::Present {
+                                nulls: d.nulls().bitmap(),
+                            }
+                        } else {
+                            BNode::MatchCodes {
+                                codes: d.codes(),
+                                nulls: d.nulls().bitmap(),
+                                bits,
+                                cursor: 0,
+                                buf: Box::new([0; BLOCK_ROWS]),
+                            }
+                        }
+                    }
+                    None => BNode::MatchDisplay {
+                        col,
+                        nulls: col.null_bitmap(),
+                        matcher,
+                        scratch: String::new(),
+                    },
+                }
+            }
+            Predicate::IsMissing { column } => BNode::IsMissing {
+                nulls: table.column(table.schema().index_of(column)?).null_bitmap(),
+            },
+            Predicate::And(a, b) => BNode::And(
+                Box::new(a.block_node(table)?),
+                Box::new(b.block_node(table)?),
+            ),
+            Predicate::Or(a, b) => BNode::Or(
+                Box::new(a.block_node(table)?),
+                Box::new(b.block_node(table)?),
+            ),
+            Predicate::Not(p) => BNode::Not(Box::new(p.block_node(table)?)),
+        })
+    }
 }
 
-/// A predicate bound to a specific table's column indexes.
+/// A predicate bound to a specific table's column indexes — the per-row
+/// reference form (see the module docs for the two compiled forms).
 #[derive(Debug)]
 pub enum CompiledPredicate {
     /// Always true.
@@ -184,30 +455,42 @@ pub enum CompiledPredicate {
         /// Exclusive upper bound.
         hi: f64,
     },
-    /// See [`Predicate::Equals`].
-    Equals {
+    /// Numeric equality through `as_f64` (matches `Int`/`Double`/`Date`
+    /// cells alike; a NaN target matches nothing).
+    EqualsNum {
         /// Resolved column index.
         col: usize,
-        /// Value compared against.
-        value: Value,
+        /// Target value.
+        value: f64,
     },
-    /// Exact or substring text match.
-    Text {
+    /// Exact i64-domain equality: an integer constant against an
+    /// integer/date column (no f64 rounding beyond 2^53).
+    EqualsI64 {
         /// Resolved column index.
         col: usize,
-        /// Case-folded query.
-        query: String,
-        /// Whole-cell equality instead of substring.
-        exact: bool,
-        /// Fold haystack case too.
-        case_insensitive: bool,
+        /// Target value.
+        value: i64,
     },
-    /// Regex text match.
-    Regex {
+    /// String equality on a dictionary column (never matches elsewhere).
+    EqualsStr {
         /// Resolved column index.
         col: usize,
-        /// Pre-compiled pattern.
-        regex: Regex,
+        /// Target string.
+        value: Arc<str>,
+    },
+    /// `Equals(Value::Missing)`: matches exactly the missing rows.
+    EqualsMissing {
+        /// Resolved column index.
+        col: usize,
+    },
+    /// Text or regex match (see [`Matcher`]).
+    Match {
+        /// Resolved column index.
+        col: usize,
+        /// The compiled matcher.
+        matcher: Matcher,
+        /// Reused display-format buffer for non-string columns.
+        scratch: String,
     },
     /// See [`Predicate::IsMissing`].
     IsMissing {
@@ -218,51 +501,51 @@ pub enum CompiledPredicate {
     And(Box<CompiledPredicate>, Box<CompiledPredicate>),
     /// Logical OR.
     Or(Box<CompiledPredicate>, Box<CompiledPredicate>),
-    /// Logical NOT.
+    /// Logical NOT (exact complement; see the module docs on missing rows).
     Not(Box<CompiledPredicate>),
 }
 
 impl CompiledPredicate {
-    /// Evaluate against row `row` of `table`.
-    pub fn eval(&self, table: &Table, row: usize) -> bool {
+    /// Evaluate against row `row` of `table`. Takes `&mut self` so text
+    /// matching on non-string columns can format into a reused scratch
+    /// buffer instead of allocating per row.
+    pub fn eval(&mut self, table: &Table, row: usize) -> bool {
         match self {
             CompiledPredicate::True => true,
             CompiledPredicate::Range { col, lo, hi } => match table.column(*col).as_f64(row) {
                 Some(v) => v >= *lo && v < *hi,
                 None => false,
             },
-            CompiledPredicate::Equals { col, value } => table.column(*col).value(row) == *value,
-            CompiledPredicate::Text {
+            CompiledPredicate::EqualsNum { col, value } => {
+                table.column(*col).as_f64(row) == Some(*value)
+            }
+            CompiledPredicate::EqualsI64 { col, value } => {
+                table.column(*col).as_i64_col().and_then(|c| c.get(row)) == Some(*value)
+            }
+            CompiledPredicate::EqualsStr { col, value } => table
+                .column(*col)
+                .as_dict_col()
+                .and_then(|d| d.get(row))
+                .is_some_and(|s| s.as_ref() == value.as_ref()),
+            CompiledPredicate::EqualsMissing { col } => table.column(*col).is_null(row),
+            CompiledPredicate::Match {
                 col,
-                query,
-                exact,
-                case_insensitive,
+                matcher,
+                scratch,
             } => {
                 let c = table.column(*col);
                 if c.is_null(row) {
                     return false;
                 }
                 match c.as_dict_col() {
-                    Some(d) => {
-                        let s = d.get(row).expect("checked non-null");
-                        text_match(s, query, *exact, *case_insensitive)
-                    }
+                    Some(d) => matcher.matches(d.get(row).expect("checked non-null")),
                     // Non-string columns are matched against their display
                     // text, like searching a spreadsheet.
                     None => {
-                        let s = c.value(row).to_string();
-                        text_match(&s, query, *exact, *case_insensitive)
+                        scratch.clear();
+                        let _ = write!(scratch, "{}", c.value(row));
+                        matcher.matches(scratch)
                     }
-                }
-            }
-            CompiledPredicate::Regex { col, regex } => {
-                let c = table.column(*col);
-                if c.is_null(row) {
-                    return false;
-                }
-                match c.as_dict_col() {
-                    Some(d) => regex.is_match(d.get(row).expect("checked non-null")),
-                    None => regex.is_match(&c.value(row).to_string()),
                 }
             }
             CompiledPredicate::IsMissing { col } => table.column(*col).is_null(row),
@@ -273,25 +556,434 @@ impl CompiledPredicate {
     }
 }
 
+/// Exact or substring match with optional ASCII case folding. `query` is
+/// pre-folded at compile; the haystack is folded byte-by-byte *during* the
+/// comparison, so case-insensitive matching allocates nothing.
 fn text_match(hay: &str, query: &str, exact: bool, case_insensitive: bool) -> bool {
-    if case_insensitive {
-        let hay = hay.to_ascii_lowercase();
-        if exact {
+    if !case_insensitive {
+        return if exact {
             hay == query
         } else {
             hay.contains(query)
-        }
-    } else if exact {
-        hay == query
-    } else {
-        hay.contains(query)
+        };
     }
+    let (h, q) = (hay.as_bytes(), query.as_bytes());
+    if exact {
+        h.len() == q.len() && folded_eq(h, q)
+    } else {
+        // UTF-8 substring containment is byte-substring containment, and
+        // ASCII folding is per-byte, so a folded byte-window scan matches
+        // exactly what `hay.to_ascii_lowercase().contains(query)` would.
+        q.is_empty()
+            || (h.len() >= q.len()
+                && (0..=h.len() - q.len()).any(|i| folded_eq(&h[i..i + q.len()], q)))
+    }
+}
+
+/// `a` equals `b` after folding `a` to ASCII lowercase (`b` pre-folded).
+#[inline]
+fn folded_eq(a: &[u8], b: &[u8]) -> bool {
+    a.iter().zip(b).all(|(&x, &y)| x.to_ascii_lowercase() == y)
+}
+
+/// Smallest `i64` whose `as f64` conversion is `>= lo`, or `None` when no
+/// i64 qualifies (NaN, or `lo` above the i64 range). `i64 → f64` is
+/// monotone, so for every i64 `v`: `(v as f64) >= lo ⇔ v >= bound` — this
+/// is what makes the integer-domain bounds exactly equivalent to the
+/// per-row f64 comparison.
+fn int_lower_bound(lo: f64) -> Option<i64> {
+    if lo.is_nan() {
+        return None;
+    }
+    if lo <= i64::MIN as f64 {
+        return Some(i64::MIN);
+    }
+    if lo > i64::MAX as f64 {
+        return None;
+    }
+    let g = lo.ceil();
+    let mut v = if g >= i64::MAX as f64 {
+        i64::MAX
+    } else {
+        g as i64
+    };
+    // Fix up rounding at magnitudes beyond 2^53: enforce minimality of
+    // (v as f64) >= lo. Both loops take at most one ulp's worth of steps.
+    while (v as f64) < lo {
+        v = v.checked_add(1)?;
+    }
+    while v > i64::MIN && ((v - 1) as f64) >= lo {
+        v -= 1;
+    }
+    Some(v)
+}
+
+/// Largest `i64` whose `as f64` conversion is `< hi`, or `None` when every
+/// conversion is at or above `hi` (or `hi` is NaN) — i.e. nothing passes.
+fn int_upper_bound_excl(hi: f64) -> Option<i64> {
+    if hi.is_nan() {
+        return None;
+    }
+    match int_lower_bound(hi) {
+        None => Some(i64::MAX),
+        Some(i64::MIN) => None,
+        Some(x) => Some(x - 1),
+    }
+}
+
+/// A compiled text matcher — exact/substring (query case-folded once at
+/// compile) or lite-regex — shared by the rowwise reference form, the
+/// dictionary-bitmap build, and the display-text block leaf, so all three
+/// apply the identical matching rules.
+#[derive(Debug)]
+pub enum Matcher {
+    /// Exact or substring text match.
+    Text {
+        /// Case-folded query.
+        query: String,
+        /// Whole-cell equality instead of substring.
+        exact: bool,
+        /// Fold the haystack's ASCII case too (without allocating).
+        case_insensitive: bool,
+    },
+    /// Pre-compiled lite-regex pattern.
+    Regex(Regex),
+}
+
+impl Matcher {
+    fn compile(query: &str, kind: &StrMatchKind, case_insensitive: bool) -> Result<Matcher> {
+        Ok(match kind {
+            StrMatchKind::Regex => Matcher::Regex(Regex::compile(query, case_insensitive)?),
+            _ => Matcher::Text {
+                query: if case_insensitive {
+                    query.to_ascii_lowercase()
+                } else {
+                    query.to_string()
+                },
+                exact: *kind == StrMatchKind::Exact,
+                case_insensitive,
+            },
+        })
+    }
+
+    fn matches(&self, s: &str) -> bool {
+        match self {
+            Matcher::Text {
+                query,
+                exact,
+                case_insensitive,
+            } => text_match(s, query, *exact, *case_insensitive),
+            Matcher::Regex(r) => r.is_match(s),
+        }
+    }
+}
+
+/// A predicate compiled to the block-wise form, bound to one table's
+/// columns (see the module docs for the two compiled forms). Frames must
+/// be requested in ascending base order within one scan; leaves keep
+/// ascending decode cursors, which tolerate skipped frames.
+#[derive(Debug)]
+pub struct BlockPredicate<'a> {
+    node: BNode<'a>,
+}
+
+impl BlockPredicate<'_> {
+    /// The matching rows of the 64-row-aligned frame `base .. base + len`:
+    /// given the word of rows the caller has selected (`sel`), returns the
+    /// subset whose rows satisfy the predicate. Bit-identical to testing
+    /// [`CompiledPredicate::eval`] on every set bit of `sel`.
+    pub fn eval_frame(&mut self, base: usize, len: usize, sel: u64) -> u64 {
+        eval_node(&mut self.node, base, len, sel)
+    }
+}
+
+#[derive(Debug)]
+enum BNode<'a> {
+    /// Constant result (degenerate compiles: empty ranges, NaN targets,
+    /// strings absent from the dictionary, type mismatches).
+    Always(bool),
+    /// Selected and non-null (an all-matching dictionary bitmap).
+    Present {
+        nulls: Option<&'a Bitmap>,
+    },
+    /// Selected and null.
+    IsMissing {
+        nulls: Option<&'a Bitmap>,
+    },
+    /// `lo <= v < hi` lane compare on a float column.
+    RangeF64 {
+        data: &'a [f64],
+        nulls: Option<&'a Bitmap>,
+        zones: &'a ZoneMap<f64>,
+        lo: f64,
+        hi: f64,
+    },
+    /// `v == value` lane compare on a float column.
+    EqualsF64 {
+        data: &'a [f64],
+        nulls: Option<&'a Bitmap>,
+        zones: &'a ZoneMap<f64>,
+        value: f64,
+    },
+    /// Inclusive integer-domain bounds on an integer/date column (range
+    /// *and* numeric equality both lower to this).
+    RangeI64 {
+        storage: &'a I64Storage,
+        nulls: Option<&'a Bitmap>,
+        zones: &'a ZoneMap<i64>,
+        lo: i64,
+        hi: i64,
+        cursor: usize,
+        buf: Box<[i64; BLOCK_ROWS]>,
+    },
+    /// Code equality on a dictionary column (string `Equals`).
+    EqualsCode {
+        codes: &'a CodeStorage,
+        nulls: Option<&'a Bitmap>,
+        code: u32,
+        cursor: usize,
+        buf: Box<[u32; BLOCK_ROWS]>,
+    },
+    /// Dictionary match bitmap probed by the code lane (text/regex on
+    /// string columns).
+    MatchCodes {
+        codes: &'a CodeStorage,
+        nulls: Option<&'a Bitmap>,
+        bits: Vec<u64>,
+        cursor: usize,
+        buf: Box<[u32; BLOCK_ROWS]>,
+    },
+    /// Display-text match on non-string columns (formats live lanes into a
+    /// reused scratch buffer).
+    MatchDisplay {
+        col: &'a Column,
+        nulls: Option<&'a Bitmap>,
+        matcher: Matcher,
+        scratch: String,
+    },
+    And(Box<BNode<'a>>, Box<BNode<'a>>),
+    Or(Box<BNode<'a>>, Box<BNode<'a>>),
+    Not(Box<BNode<'a>>),
+}
+
+/// `sel` restricted to non-null rows of the frame's 64-row block.
+#[inline]
+fn live_word(nulls: Option<&Bitmap>, base: usize, sel: u64) -> u64 {
+    sel & !nulls.map_or(0, |nb| nb.word(base / 64))
+}
+
+fn eval_node(node: &mut BNode<'_>, base: usize, len: usize, sel: u64) -> u64 {
+    if sel == 0 {
+        return 0;
+    }
+    match node {
+        BNode::Always(pass) => {
+            if *pass {
+                sel
+            } else {
+                0
+            }
+        }
+        BNode::Present { nulls } => live_word(*nulls, base, sel),
+        BNode::IsMissing { nulls } => sel & nulls.map_or(0, |nb| nb.word(base / 64)),
+        BNode::RangeF64 {
+            data,
+            nulls,
+            zones,
+            lo,
+            hi,
+        } => {
+            let live = live_word(*nulls, base, sel);
+            if live == 0 {
+                return 0;
+            }
+            let (zmin, zmax) = zones.block(base / 64);
+            if zmax < *lo || zmin >= *hi {
+                return 0; // zone map: no value in this block can pass
+            }
+            if zmin >= *lo && zmax < *hi {
+                return live; // zone map: every value passes
+            }
+            simd::range_word_half(&data[base..base + len], *lo, *hi) & live
+        }
+        BNode::EqualsF64 {
+            data,
+            nulls,
+            zones,
+            value,
+        } => {
+            let live = live_word(*nulls, base, sel);
+            if live == 0 {
+                return 0;
+            }
+            let (zmin, zmax) = zones.block(base / 64);
+            if *value < zmin || *value > zmax {
+                return 0;
+            }
+            if zmin == zmax && zmin == *value {
+                return live; // constant block equal to the target
+            }
+            simd::eq_word(&data[base..base + len], *value) & live
+        }
+        BNode::RangeI64 {
+            storage,
+            nulls,
+            zones,
+            lo,
+            hi,
+            cursor,
+            buf,
+        } => {
+            let live = live_word(*nulls, base, sel);
+            if live == 0 {
+                return 0;
+            }
+            let (zmin, zmax) = zones.block(base / 64);
+            if zmax < *lo || zmin > *hi {
+                return 0;
+            }
+            if zmin >= *lo && zmax <= *hi {
+                return live;
+            }
+            storage.range_frame_word(cursor, base, len, *lo, *hi, buf) & live
+        }
+        BNode::EqualsCode {
+            codes,
+            nulls,
+            code,
+            cursor,
+            buf,
+        } => {
+            let live = live_word(*nulls, base, sel);
+            if live == 0 {
+                return 0;
+            }
+            codes.range_frame_word(cursor, base, len, *code, *code, buf) & live
+        }
+        BNode::MatchCodes {
+            codes,
+            nulls,
+            bits,
+            cursor,
+            buf,
+        } => {
+            let live = live_word(*nulls, base, sel);
+            if live == 0 {
+                return 0;
+            }
+            let lanes = codes.decode_frame(cursor, base, len, buf);
+            simd::probe_word(lanes, bits) & live
+        }
+        BNode::MatchDisplay {
+            col,
+            nulls,
+            matcher,
+            scratch,
+        } => {
+            let mut live = live_word(*nulls, base, sel);
+            let mut w = 0u64;
+            while live != 0 {
+                let k = live.trailing_zeros() as usize;
+                live &= live - 1;
+                scratch.clear();
+                let _ = write!(scratch, "{}", col.value(base + k));
+                if matcher.matches(scratch) {
+                    w |= 1 << k;
+                }
+            }
+            w
+        }
+        BNode::And(a, b) => {
+            let l = eval_node(a, base, len, sel);
+            if l == 0 {
+                0
+            } else {
+                eval_node(b, base, len, l)
+            }
+        }
+        BNode::Or(a, b) => {
+            let l = eval_node(a, base, len, sel);
+            l | eval_node(b, base, len, sel & !l)
+        }
+        BNode::Not(a) => sel & !eval_node(a, base, len, sel),
+    }
+}
+
+/// Evaluate `predicate` over the rows of `parent`, returning the narrowed
+/// membership — the block filter pipeline behind `Worker::filter`.
+///
+/// The parent membership streams through [`BlockPredicate::eval_frame`] as
+/// 64-row selection words (sparse parents are grouped into per-block words
+/// first), each result word is OR-ed into a bitmap, and the membership is
+/// built from those words directly — no per-row id list is ever
+/// materialized by the evaluation loop. The final representation
+/// (full/dense/sparse) is chosen by the usual §5.6 selectivity rule.
+pub fn filter_members(
+    table: &Table,
+    predicate: &Predicate,
+    parent: &MembershipSet,
+) -> Result<MembershipSet> {
+    let n = table.num_rows();
+    debug_assert_eq!(parent.universe(), n, "membership universe mismatch");
+    let mut bp = predicate.compile_blockwise(table)?;
+    let mut words = vec![0u64; n.div_ceil(64)];
+    // Sparse parents arrive row by row; group consecutive rows of one
+    // block into a single selection word before evaluating.
+    let mut pending: Option<(usize, u64)> = None;
+    scan_frames(&Selection::Members(parent), |ev| match ev {
+        FrameEvent::Frame { base, len, word } => {
+            if let Some((b, w)) = pending.take() {
+                flush_word(&mut bp, &mut words, n, b, w);
+            }
+            words[base / 64] |= bp.eval_frame(base, len, word);
+        }
+        FrameEvent::Row(r) => {
+            let b = r / 64 * 64;
+            match &mut pending {
+                Some((pb, pw)) if *pb == b => *pw |= 1 << (r - b),
+                _ => {
+                    if let Some((pb, pw)) = pending.take() {
+                        flush_word(&mut bp, &mut words, n, pb, pw);
+                    }
+                    pending = Some((b, 1u64 << (r - b)));
+                }
+            }
+        }
+    });
+    if let Some((b, w)) = pending {
+        flush_word(&mut bp, &mut words, n, b, w);
+    }
+    Ok(MembershipSet::from_mask(&Bitmap::from_words(words, n)))
+}
+
+fn flush_word(bp: &mut BlockPredicate<'_>, words: &mut [u64], n: usize, base: usize, word: u64) {
+    let len = (64 - word.leading_zeros() as usize).min(n - base);
+    words[base / 64] |= bp.eval_frame(base, len, word);
+}
+
+/// Per-row reference of [`filter_members`]: iterate the parent membership
+/// and test [`CompiledPredicate::eval`] on every row. Kept for the
+/// block-vs-rowwise equivalence property tests and as the benchmark
+/// baseline (this is exactly the filter loop the worker ran before the
+/// block pipeline).
+pub fn filter_members_rowwise(
+    table: &Table,
+    predicate: &Predicate,
+    parent: &MembershipSet,
+) -> Result<MembershipSet> {
+    let mut compiled = predicate.compile(table)?;
+    let rows: Vec<u32> = parent
+        .iter()
+        .filter(|&r| compiled.eval(table, r))
+        .map(|r| r as u32)
+        .collect();
+    Ok(MembershipSet::from_rows(rows, table.num_rows()))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::column::{Column, DictColumn, F64Column};
+    use crate::column::{Column, DictColumn, F64Column, I64Column};
     use crate::schema::ColumnKind;
 
     fn table() -> Table {
@@ -316,13 +1008,26 @@ mod tests {
                     None,
                 ])),
             )
+            .column(
+                "Count",
+                ColumnKind::Int,
+                Column::Int(I64Column::from_options([Some(5), Some(15), None, Some(-3)])),
+            )
             .build()
             .unwrap()
     }
 
     fn rows_matching(t: &Table, p: &Predicate) -> Vec<usize> {
-        let c = p.compile(t).unwrap();
-        (0..t.num_rows()).filter(|&r| c.eval(t, r)).collect()
+        let mut c = p.compile(t).unwrap();
+        let rowwise: Vec<usize> = (0..t.num_rows()).filter(|&r| c.eval(t, r)).collect();
+        // Every rowwise answer is also checked against the block pipeline.
+        let m = filter_members(t, p, &MembershipSet::full(t.num_rows())).unwrap();
+        assert_eq!(
+            m.iter().collect::<Vec<_>>(),
+            rowwise,
+            "block and rowwise disagree for {p:?}"
+        );
+        rowwise
     }
 
     #[test]
@@ -332,6 +1037,14 @@ mod tests {
         assert_eq!(rows_matching(&t, &p), vec![0]);
         let p = Predicate::range("Delay", -10.0, 100.0);
         assert_eq!(rows_matching(&t, &p), vec![0, 1, 2]);
+        // Integer column through the same f64 bounds.
+        let p = Predicate::range("Count", 0.0, 15.0);
+        assert_eq!(rows_matching(&t, &p), vec![0]);
+        // NaN bounds match nothing.
+        let p = Predicate::range("Delay", f64::NAN, 100.0);
+        assert_eq!(rows_matching(&t, &p), Vec::<usize>::new());
+        let p = Predicate::range("Count", 0.0, f64::NAN);
+        assert_eq!(rows_matching(&t, &p), Vec::<usize>::new());
     }
 
     #[test]
@@ -341,6 +1054,85 @@ mod tests {
         assert_eq!(rows_matching(&t, &p), vec![2]);
         let p = Predicate::equals("Server", Value::Missing);
         assert_eq!(rows_matching(&t, &p), vec![3]);
+    }
+
+    #[test]
+    fn equals_double_matches_integer_column() {
+        // Regression: strict Value equality used to make Equals(Double(5.0))
+        // never match an I64 cell displaying 5; numeric comparison now
+        // normalizes through as_f64.
+        let t = table();
+        let p = Predicate::equals("Count", 5.0);
+        assert_eq!(rows_matching(&t, &p), vec![0]);
+        // And the converse: an Int constant against a Double column.
+        let p = Predicate::equals("Delay", 15i64);
+        assert_eq!(rows_matching(&t, &p), vec![1]);
+        // Date constants compare numerically too.
+        let p = Predicate::Equals {
+            column: Arc::from("Count"),
+            value: Value::Date(15),
+        };
+        assert_eq!(rows_matching(&t, &p), vec![1]);
+    }
+
+    #[test]
+    fn equals_int_is_exact_beyond_2_pow_53() {
+        // Regression (review finding): an integer constant against an
+        // integer column must compare in the i64 domain — adjacent ids
+        // beyond 2^53 round to the same f64 and must not merge.
+        let big = 1i64 << 53;
+        let t = Table::builder()
+            .column(
+                "Id",
+                ColumnKind::Int,
+                Column::Int(I64Column::from_options([Some(big), Some(big + 1), None])),
+            )
+            .build()
+            .unwrap();
+        let p = Predicate::equals("Id", Value::Int(big + 1));
+        assert_eq!(rows_matching(&t, &p), vec![1]);
+        let p = Predicate::equals("Id", Value::Int(big));
+        assert_eq!(rows_matching(&t, &p), vec![0]);
+        // A Double constant opts into f64 semantics: both cells round to
+        // the same double, so both match (documented).
+        let p = Predicate::equals("Id", big as f64);
+        assert_eq!(rows_matching(&t, &p), vec![0, 1]);
+    }
+
+    #[test]
+    fn equals_nan_matches_nothing() {
+        // Regression: Double(NaN) used to compare Equal to present doubles
+        // through the Ord-based PartialEq. The rule is now: NaN equals
+        // nothing (Value::from(f64::NAN) is Missing, which matches the
+        // missing rows instead — a different, documented constructor).
+        let t = table();
+        let p = Predicate::Equals {
+            column: Arc::from("Delay"),
+            value: Value::Double(f64::NAN),
+        };
+        assert_eq!(rows_matching(&t, &p), Vec::<usize>::new());
+        let p = Predicate::Equals {
+            column: Arc::from("Count"),
+            value: Value::Double(f64::NAN),
+        };
+        assert_eq!(rows_matching(&t, &p), Vec::<usize>::new());
+        // The From<f64> constructor normalizes NaN to Missing.
+        let p = Predicate::equals("Delay", f64::NAN);
+        assert_eq!(rows_matching(&t, &p), vec![3]);
+    }
+
+    #[test]
+    fn equals_type_mismatches_never_match() {
+        let t = table();
+        // String constant against a numeric column.
+        let p = Predicate::equals("Count", "5");
+        assert_eq!(rows_matching(&t, &p), Vec::<usize>::new());
+        // Numeric constant against a string column.
+        let p = Predicate::equals("Server", 5.0);
+        assert_eq!(rows_matching(&t, &p), Vec::<usize>::new());
+        // String absent from the dictionary.
+        let p = Predicate::equals("Server", "Sauron");
+        assert_eq!(rows_matching(&t, &p), Vec::<usize>::new());
     }
 
     #[test]
@@ -359,21 +1151,16 @@ mod tests {
         assert_eq!(rows_matching(&t, &p), vec![0, 1]);
         let p = Predicate::str_match("Server", "GANDALF", StrMatchKind::Exact, true);
         assert_eq!(rows_matching(&t, &p), vec![0]);
+        // Empty queries match every present cell.
+        let p = Predicate::str_match("Server", "", StrMatchKind::Substring, true);
+        assert_eq!(rows_matching(&t, &p), vec![0, 1, 2]);
     }
 
     #[test]
     fn regex_search() {
         let t = table();
-        let p = Predicate::str_match(
-            "Server",
-            "^[Gg]andalf(-[0-9])?$",
-            StrMatchKind::Regex,
-            false,
-        );
-        // Note: our lite engine lacks groups; use an equivalent pattern.
-        let p2 = Predicate::str_match("Server", "^[Gg]andalf", StrMatchKind::Regex, false);
-        let _ = p;
-        assert_eq!(rows_matching(&t, &p2), vec![0, 1]);
+        let p = Predicate::str_match("Server", "^[Gg]andalf", StrMatchKind::Regex, false);
+        assert_eq!(rows_matching(&t, &p), vec![0, 1]);
     }
 
     #[test]
@@ -381,6 +1168,33 @@ mod tests {
         let t = table();
         let p = Predicate::str_match("Delay", "15", StrMatchKind::Substring, false);
         assert_eq!(rows_matching(&t, &p), vec![1]);
+        // Integer columns too (scratch-buffer formatting path).
+        let p = Predicate::str_match("Count", "-3", StrMatchKind::Substring, false);
+        assert_eq!(rows_matching(&t, &p), vec![3]);
+        let p = Predicate::str_match("Count", "5", StrMatchKind::Exact, false);
+        assert_eq!(rows_matching(&t, &p), vec![0]);
+    }
+
+    #[test]
+    fn not_over_missing_includes_missing_rows() {
+        // Documented complement rule: Not(p) matches exactly the rows p
+        // rejects, *including* rows missing in p's column.
+        let t = table();
+        let p = Predicate::range("Delay", 0.0, 100.0).not();
+        assert_eq!(rows_matching(&t, &p), vec![2, 3], "row 3 is missing");
+        // Conjoining not-missing excludes them, per the documented recipe.
+        let p = Predicate::range("Delay", 0.0, 100.0).not().and(
+            Predicate::IsMissing {
+                column: Arc::from("Delay"),
+            }
+            .not(),
+        );
+        assert_eq!(rows_matching(&t, &p), vec![2]);
+        // Same rule through Equals and StrMatch.
+        let p = Predicate::equals("Server", "Frodo").not();
+        assert_eq!(rows_matching(&t, &p), vec![0, 1, 3]);
+        let p = Predicate::str_match("Server", "andal", StrMatchKind::Substring, false).not();
+        assert_eq!(rows_matching(&t, &p), vec![2, 3]);
     }
 
     #[test]
@@ -406,11 +1220,96 @@ mod tests {
     fn unknown_column_fails_compile() {
         let t = table();
         assert!(Predicate::range("Nope", 0.0, 1.0).compile(&t).is_err());
+        assert!(Predicate::range("Nope", 0.0, 1.0)
+            .compile_blockwise(&t)
+            .is_err());
+        assert!(filter_members(
+            &t,
+            &Predicate::range("Nope", 0.0, 1.0),
+            &MembershipSet::full(4)
+        )
+        .is_err());
     }
 
     #[test]
     fn true_predicate_matches_everything() {
         let t = table();
         assert_eq!(rows_matching(&t, &Predicate::True).len(), 4);
+    }
+
+    #[test]
+    fn int_bounds_are_exact_at_the_extremes() {
+        // int_lower_bound/int_upper_bound_excl must agree with the f64
+        // comparison for every i64, including magnitudes beyond 2^53 where
+        // the conversion rounds.
+        for lo in [
+            f64::NEG_INFINITY,
+            i64::MIN as f64,
+            -9.007199254740993e15,
+            -0.5,
+            0.0,
+            0.5,
+            9.007199254740993e15,
+            9.223372036854776e18, // 2^63
+            f64::INFINITY,
+        ] {
+            let b = int_lower_bound(lo);
+            for probe in [
+                i64::MIN,
+                i64::MIN + 1,
+                -(1 << 55),
+                -1,
+                0,
+                1,
+                1 << 55,
+                (1 << 55) + 1,
+                i64::MAX - 1,
+                i64::MAX,
+            ] {
+                let direct = (probe as f64) >= lo;
+                let via_bound = b.is_some_and(|x| probe >= x);
+                assert_eq!(direct, via_bound, "lo={lo} probe={probe} bound={b:?}");
+            }
+        }
+        assert_eq!(int_lower_bound(f64::NAN), None);
+        assert_eq!(int_upper_bound_excl(f64::NAN), None);
+        assert_eq!(int_upper_bound_excl(f64::INFINITY), Some(i64::MAX));
+        assert_eq!(int_upper_bound_excl(i64::MIN as f64), None);
+    }
+
+    #[test]
+    fn filter_members_respects_parent_membership() {
+        let t = table();
+        let parent = MembershipSet::from_rows(vec![1, 2, 3], 4);
+        let p = Predicate::range("Delay", -10.0, 100.0);
+        let m = filter_members(&t, &p, &parent).unwrap();
+        assert_eq!(m.iter().collect::<Vec<_>>(), vec![1, 2]);
+        let r = filter_members_rowwise(&t, &p, &parent).unwrap();
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn zone_maps_skip_blocks_on_sorted_data() {
+        // A sorted 1k-row integer column: a selective range touches only
+        // the boundary blocks, and the result matches the rowwise path.
+        let t = Table::builder()
+            .column(
+                "X",
+                ColumnKind::Int,
+                Column::Int(I64Column::from_options((0..1000).map(Some))),
+            )
+            .build()
+            .unwrap();
+        for (lo, hi) in [(250.0, 260.0), (0.0, 1.0), (999.0, 2000.0), (-5.0, 0.0)] {
+            let p = Predicate::range("X", lo, hi);
+            let parent = MembershipSet::full(1000);
+            let a = filter_members(&t, &p, &parent).unwrap();
+            let b = filter_members_rowwise(&t, &p, &parent).unwrap();
+            assert_eq!(
+                a.iter().collect::<Vec<_>>(),
+                b.iter().collect::<Vec<_>>(),
+                "{lo}..{hi}"
+            );
+        }
     }
 }

@@ -130,22 +130,22 @@ pub fn active() -> bool {
 /// ISA — bit-identical results by construction.
 macro_rules! tier_dispatch {
     ($body:ident => $avx2:ident, $avx512:ident;
-     $(#[$meta:meta])* fn $entry:ident $(<$($g:ident : $b:path),*>)? ($($arg:ident : $ty:ty),*)) => {
+     $(#[$meta:meta])* fn $entry:ident $(<$($g:ident : $b:path),*>)? ($($arg:ident : $ty:ty),*) $(-> $ret:ty)?) => {
         #[cfg(all(feature = "simd", target_arch = "x86_64"))]
         #[target_feature(enable = "avx2")]
-        fn $avx2 $(<$($g: $b),*>)? ($($arg: $ty),*) {
+        fn $avx2 $(<$($g: $b),*>)? ($($arg: $ty),*) $(-> $ret)? {
             $body($($arg),*)
         }
 
         #[cfg(all(feature = "simd", target_arch = "x86_64"))]
         #[target_feature(enable = "avx512f,avx512dq,avx512vl,avx512bw")]
-        fn $avx512 $(<$($g: $b),*>)? ($($arg: $ty),*) {
+        fn $avx512 $(<$($g: $b),*>)? ($($arg: $ty),*) $(-> $ret)? {
             $body($($arg),*)
         }
 
         $(#[$meta])*
         #[inline]
-        pub fn $entry $(<$($g: $b),*>)? ($($arg: $ty),*) {
+        pub fn $entry $(<$($g: $b),*>)? ($($arg: $ty),*) $(-> $ret)? {
             #[cfg(all(feature = "simd", target_arch = "x86_64"))]
             // Safety: the tier is only reported after runtime detection.
             match current_tier() {
@@ -196,6 +196,92 @@ tier_dispatch! {
     /// Expand a selection/null word to per-lane masks: `out[k]` is all-ones
     /// when bit `k` of `word` is set, zero otherwise.
     fn expand_word(word: u64, out: &mut [u32; 64])
+}
+
+// ---------------------------------------------------------------------------
+// Predicate word compares
+// ---------------------------------------------------------------------------
+
+/// Lane types the predicate word-compare primitives accept. The compares
+/// are plain `PartialOrd` lane ops, so any `NaN` lane compares false —
+/// exactly the per-row reference semantics (missing/NaN rows never satisfy
+/// a numeric comparison).
+pub trait LaneOrd: Copy + PartialOrd {}
+
+impl LaneOrd for i64 {}
+impl LaneOrd for u32 {}
+impl LaneOrd for f64 {}
+
+#[inline(always)]
+fn range_word_incl_body<T: LaneOrd>(vals: &[T], lo: T, hi: T) -> u64 {
+    let mut w = 0u64;
+    for (k, &v) in vals.iter().enumerate() {
+        w |= (((v >= lo) & (v <= hi)) as u64) << k;
+    }
+    w
+}
+
+tier_dispatch! {
+    range_word_incl_body => range_word_incl_avx2, range_word_incl_avx512;
+    /// Selection word of an *inclusive* range test: bit `k` set iff
+    /// `lo <= vals[k] <= hi`. This is the integer-domain compare the block
+    /// predicate leaves run after translating `f64` range bounds into the
+    /// column's value (or packed-delta) domain.
+    fn range_word_incl<T: LaneOrd>(vals: &[T], lo: T, hi: T) -> u64
+}
+
+#[inline(always)]
+fn range_word_half_body(vals: &[f64], lo: f64, hi: f64) -> u64 {
+    let mut w = 0u64;
+    for (k, &v) in vals.iter().enumerate() {
+        w |= (((v >= lo) & (v < hi)) as u64) << k;
+    }
+    w
+}
+
+tier_dispatch! {
+    range_word_half_body => range_word_half_avx2, range_word_half_avx512;
+    /// Selection word of the half-open `lo <= v < hi` test on `f64` lanes —
+    /// the exact comparison `Predicate::Range` defines. `NaN` lanes (null
+    /// placeholders) compare false.
+    fn range_word_half(vals: &[f64], lo: f64, hi: f64) -> u64
+}
+
+#[inline(always)]
+fn eq_word_body(vals: &[f64], target: f64) -> u64 {
+    let mut w = 0u64;
+    for (k, &v) in vals.iter().enumerate() {
+        w |= ((v == target) as u64) << k;
+    }
+    w
+}
+
+tier_dispatch! {
+    eq_word_body => eq_word_avx2, eq_word_avx512;
+    /// Selection word of `v == target` on `f64` lanes. A `NaN` target
+    /// matches nothing (callers normally fold that case away at compile).
+    fn eq_word(vals: &[f64], target: f64) -> u64
+}
+
+#[inline(always)]
+fn probe_word_body(codes: &[u32], bits: &[u64]) -> u64 {
+    let mut w = 0u64;
+    for (k, &c) in codes.iter().enumerate() {
+        let b = bits
+            .get((c >> 6) as usize)
+            .map_or(0, |word| (word >> (c & 63)) & 1);
+        w |= b << k;
+    }
+    w
+}
+
+tier_dispatch! {
+    probe_word_body => probe_word_avx2, probe_word_avx512;
+    /// Selection word of a dictionary-code bitmap probe: bit `k` set iff
+    /// bit `codes[k]` of `bits` is set. This is the per-row test of a text
+    /// or regex predicate once the matcher has been evaluated once per
+    /// dictionary entry; out-of-bitmap codes probe as unmatched.
+    fn probe_word(codes: &[u32], bits: &[u64]) -> u64
 }
 
 // ---------------------------------------------------------------------------

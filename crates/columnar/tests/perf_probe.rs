@@ -52,3 +52,75 @@ fn probe_unpack() {
         );
     }
 }
+
+/// Text-search throughput probe for the filter pipeline: the
+/// display-format path must reuse one scratch buffer (no per-row `String`)
+/// and case-insensitive matching must fold without allocating. Compare
+/// ns/row against the notes in ROADMAP.md when touching `text_match` or
+/// the `MatchDisplay`/`MatchCodes` predicate leaves.
+#[test]
+#[ignore]
+fn probe_text_filter() {
+    use hillview_columnar::column::{Column, DictColumn, I64Column};
+    use hillview_columnar::predicate::{filter_members, filter_members_rowwise};
+    use hillview_columnar::{ColumnKind, MembershipSet, NullMask, Predicate, StrMatchKind, Table};
+    use std::sync::Arc;
+
+    const N: usize = 1_000_000;
+    let t = Table::builder()
+        .column(
+            "Id",
+            ColumnKind::Int,
+            Column::Int(I64Column::new(
+                (0..N as i64).map(|i| i * 37 % 1_000_003).collect(),
+                NullMask::none(),
+            )),
+        )
+        .column(
+            "Carrier",
+            ColumnKind::Category,
+            Column::Cat(DictColumn::from_strings(
+                (0..N).map(|i| Some(["UA", "AA", "DL", "gandalf-airlines"][i % 4])),
+            )),
+        )
+        .build()
+        .unwrap();
+    let full = Arc::new(MembershipSet::full(N));
+    for (name, pred) in [
+        (
+            "substring on numeric (display path)",
+            Predicate::str_match("Id", "999", StrMatchKind::Substring, false),
+        ),
+        (
+            "ci substring on numeric",
+            Predicate::str_match("Id", "999", StrMatchKind::Substring, true),
+        ),
+        (
+            "ci substring on dictionary",
+            Predicate::str_match("Carrier", "GANDALF", StrMatchKind::Substring, true),
+        ),
+    ] {
+        for (path, f) in [
+            (
+                "rowwise",
+                &(|| filter_members_rowwise(&t, &pred, &full).unwrap().len()) as &dyn Fn() -> usize,
+            ),
+            (
+                "block",
+                &(|| filter_members(&t, &pred, &full).unwrap().len()),
+            ),
+        ] {
+            let matches = f(); // warmup
+            let reps = 3;
+            let start = Instant::now();
+            for _ in 0..reps {
+                assert_eq!(f(), matches);
+            }
+            let el = start.elapsed();
+            println!(
+                "{name:<38} {path:<8} {:>8.1} ns/row  ({matches} matches)",
+                el.as_secs_f64() * 1e9 / (reps * N) as f64
+            );
+        }
+    }
+}

@@ -11,8 +11,9 @@ use crate::dataset::{DatasetId, SourceRegistry, SourceSpec};
 use crate::error::{EngineError, EngineResult};
 use crate::pool::ThreadPool;
 use bytes::Bytes;
+use hillview_columnar::predicate::filter_members;
 use hillview_columnar::udf::UdfRegistry;
-use hillview_columnar::{MembershipSet, Predicate};
+use hillview_columnar::Predicate;
 use hillview_sketch::TableView;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -202,7 +203,11 @@ impl Worker {
     }
 
     /// Materialize a filtered dataset: same tables, narrowed membership
-    /// sets (paper §5.6). Partitions are filtered in parallel on the pool.
+    /// sets (paper §5.6). Partitions are filtered in parallel on the pool;
+    /// each partition runs the block-wise predicate pipeline
+    /// ([`hillview_columnar::predicate::filter_members`]) — frame-word
+    /// evaluation with zone-map block skipping, intersected word-wise with
+    /// the parent membership, no per-row id materialization.
     pub fn filter(
         self: &Arc<Self>,
         id: DatasetId,
@@ -222,13 +227,7 @@ impl Worker {
             let tx = tx.clone();
             self.pool.submit(move || {
                 let result = (|| -> EngineResult<TableView> {
-                    let compiled = predicate.compile(view.table())?;
-                    let rows: Vec<u32> = view
-                        .iter_rows()
-                        .filter(|&r| compiled.eval(view.table(), r))
-                        .map(|r| r as u32)
-                        .collect();
-                    let members = MembershipSet::from_rows(rows, view.table().num_rows());
+                    let members = filter_members(view.table(), &predicate, view.members())?;
                     Ok(TableView::with_members(
                         view.table().clone(),
                         Arc::new(members),

@@ -161,7 +161,7 @@ impl FindSketch {
     ) -> SketchResult<FindSummary> {
         let table = view.table();
         let resolved = self.order.resolve(table)?;
-        let pred = Predicate::str_match(
+        let mut pred = Predicate::str_match(
             &self.column,
             &self.query,
             self.kind.clone(),
@@ -206,7 +206,7 @@ impl FindSketch {
     pub fn summarize_rowwise(&self, view: &TableView, _seed: u64) -> SketchResult<FindSummary> {
         let table = view.table();
         let resolved = self.order.resolve(table)?;
-        let pred = Predicate::str_match(
+        let mut pred = Predicate::str_match(
             &self.column,
             &self.query,
             self.kind.clone(),

@@ -146,42 +146,133 @@ impl Sketch for RangeSketch {
 impl RangeSketch {
     /// The shared scan body; counts add and min/max are lattices, so split
     /// partials fold back to exactly the unsplit summary.
+    ///
+    /// Numeric columns run frame-wise and consult the per-64-row-block
+    /// zone maps recorded at ingest: a fully-selected, null-free frame
+    /// contributes its pre-computed block extremes without decoding a
+    /// single value, so the initial range query on an unfiltered dataset
+    /// reads only the zone arrays.
     fn summarize_bounded(
         &self,
         view: &TableView,
         bounds: Option<(usize, usize)>,
         _seed: u64,
     ) -> SketchResult<RangeSummary> {
+        use hillview_columnar::block::BlockCursor;
         use hillview_columnar::scan::scan_rows;
+        use hillview_columnar::Column;
         let col = view.table().column_by_name(&self.column)?;
         let mut out = RangeSummary::default();
         let sel = crate::view::bounded_selection(view, &None, bounds);
-        if let Some(dict) = col.as_dict_col() {
-            scan_rows(&sel, |r| match dict.get(r) {
-                None => out.missing += 1,
-                Some(s) => {
-                    out.present += 1;
-                    let s = s.as_ref();
-                    if out.min_str.as_deref().is_none_or(|m| s < m) {
-                        out.min_str = Some(s.to_string());
+        match col {
+            Column::Double(c) => {
+                let data = c.data();
+                let zones = c.zones();
+                scan_numeric(
+                    &sel,
+                    c.nulls(),
+                    c.len(),
+                    |b| zones.block(b),
+                    |r| data[r],
+                    &mut out,
+                );
+            }
+            Column::Int(c) | Column::Date(c) => {
+                let zones = c.zones();
+                let mut cur = BlockCursor::new(c.storage());
+                scan_numeric(
+                    &sel,
+                    c.nulls(),
+                    c.len(),
+                    // i64 → f64 is monotone, so the converted block
+                    // extremes are the extremes of the conversions.
+                    |b| {
+                        let (mn, mx) = zones.block(b);
+                        (mn as f64, mx as f64)
+                    },
+                    |r| cur.value(r) as f64,
+                    &mut out,
+                );
+            }
+            Column::Str(dict) | Column::Cat(dict) => {
+                scan_rows(&sel, |r| match dict.get(r) {
+                    None => out.missing += 1,
+                    Some(s) => {
+                        out.present += 1;
+                        let s = s.as_ref();
+                        if out.min_str.as_deref().is_none_or(|m| s < m) {
+                            out.min_str = Some(s.to_string());
+                        }
+                        if out.max_str.as_deref().is_none_or(|m| s > m) {
+                            out.max_str = Some(s.to_string());
+                        }
                     }
-                    if out.max_str.as_deref().is_none_or(|m| s > m) {
-                        out.max_str = Some(s.to_string());
-                    }
-                }
-            });
-        } else {
-            scan_rows(&sel, |r| match col.as_f64(r) {
-                None => out.missing += 1,
-                Some(v) => {
-                    out.present += 1;
-                    out.min = Some(out.min.map_or(v, |m| m.min(v)));
-                    out.max = Some(out.max.map_or(v, |m| m.max(v)));
-                }
-            });
+                });
+            }
         }
         Ok(out)
     }
+}
+
+/// The shared numeric frame walk of [`RangeSketch::summarize_bounded`]:
+/// count missing/present per frame word, take fully-live frames straight
+/// from `zone` (the per-block extremes recorded at ingest), and fold
+/// partial frames and sparse rows through `value` — an ascending per-row
+/// accessor (run-length storage serves it from its run cursor).
+fn scan_numeric(
+    sel: &hillview_columnar::Selection<'_>,
+    nulls: &hillview_columnar::NullMask,
+    n: usize,
+    zone: impl Fn(usize) -> (f64, f64),
+    mut value: impl FnMut(usize) -> f64,
+    out: &mut RangeSummary,
+) {
+    use hillview_columnar::block::{scan_frames, FrameEvent};
+    let fold = |out: &mut RangeSummary, mn: f64, mx: f64| {
+        out.min = Some(out.min.map_or(mn, |m| m.min(mn)));
+        out.max = Some(out.max.map_or(mx, |m| m.max(mx)));
+    };
+    scan_frames(sel, |ev| match ev {
+        FrameEvent::Frame { base, len: _, word } => {
+            let nword = nulls.word(base / 64);
+            out.missing += (word & nword).count_ones() as u64;
+            let mut live = word & !nword;
+            out.present += live.count_ones() as u64;
+            if live == 0 {
+                return;
+            }
+            let blk = 64.min(n - base);
+            let full = if blk == 64 {
+                u64::MAX
+            } else {
+                (1u64 << blk) - 1
+            };
+            if live == full {
+                let (mn, mx) = zone(base / 64);
+                fold(out, mn, mx);
+            } else {
+                let mut mn = f64::INFINITY;
+                let mut mx = f64::NEG_INFINITY;
+                while live != 0 {
+                    let k = live.trailing_zeros() as usize;
+                    live &= live - 1;
+                    let v = value(base + k);
+                    mn = mn.min(v);
+                    mx = mx.max(v);
+                }
+                fold(out, mn, mx);
+            }
+        }
+        FrameEvent::Row(r) => {
+            if nulls.is_null(r) {
+                out.missing += 1;
+            } else {
+                out.present += 1;
+                let v = value(r);
+                fold(out, v, v);
+            }
+        }
+    });
 }
 
 #[cfg(test)]

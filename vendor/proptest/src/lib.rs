@@ -316,6 +316,7 @@ tuple_strategy!(A, B);
 tuple_strategy!(A, B, C);
 tuple_strategy!(A, B, C, D);
 tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
 
 // ---------------------------------------------------------------------------
 // String pattern strategies
