@@ -104,6 +104,7 @@ fn cluster(threads: usize, packed: bool) -> (Arc<Cluster>, DatasetId) {
         micropartition_rows: ROWS,
         batch_interval: Duration::from_millis(100),
         link: hillview_net::LinkConfig::instant(),
+        worker_timeout: std::time::Duration::from_secs(30),
         leaf_grain_rows: GRAIN,
     };
     let c = Cluster::new(cfg, sources, UdfRegistry::new());

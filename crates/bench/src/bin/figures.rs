@@ -354,6 +354,7 @@ fn sweep_cluster(workers: usize, threads: usize, leaves_per_worker: usize) -> Ar
         micropartition_rows: ROWS_PER_LEAF,
         batch_interval: Duration::from_millis(100),
         link: hillview_net::LinkConfig::instant(),
+        worker_timeout: std::time::Duration::from_secs(30),
         leaf_grain_rows: 65_536,
     };
     Arc::new(Engine::new(Cluster::new(cfg, sources, UdfRegistry::new())))

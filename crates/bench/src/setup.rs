@@ -70,6 +70,7 @@ impl BenchCluster {
             micropartition_rows,
             batch_interval: std::time::Duration::from_millis(100),
             link: hillview_net::LinkConfig::instant(),
+            worker_timeout: std::time::Duration::from_secs(30),
             leaf_grain_rows: 65_536,
         };
         let cluster = Cluster::new(cfg, sources, udfs);

@@ -31,12 +31,15 @@
 use crate::dataset::{DatasetId, SourceRegistry, SourceSpec};
 use crate::erased::ErasedSketch;
 use crate::error::{EngineError, EngineResult};
+use crate::fault::{self, FaultAction, FaultPlan, FaultSite};
 use crate::progress::{CancellationToken, Partial, PartialCallback};
 use crate::worker::Worker;
 use bytes::Bytes;
 use hillview_columnar::udf::UdfRegistry;
 use hillview_columnar::Predicate;
-use hillview_net::{link_pair, LinkConfig, LinkSender, Wire as _, WireReader, WireWriter};
+use hillview_net::{
+    link_pair, FrameFault, LinkConfig, LinkSender, Wire as _, WireReader, WireWriter,
+};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -60,6 +63,13 @@ pub struct ClusterConfig {
     /// fold structure, so it must be identical across runs and replays for
     /// results to reproduce bit-for-bit (§5.8).
     pub leaf_grain_rows: usize,
+    /// Liveness bound: if the root hears nothing from a worker's
+    /// aggregation node for this long (summaries *or* heartbeats — nodes
+    /// heartbeat every [`ClusterConfig::batch_interval`] even when idle),
+    /// the worker is declared down. Must comfortably exceed the batch
+    /// interval plus worst-case link delay, or healthy-but-slow workers
+    /// get falsely convicted.
+    pub worker_timeout: Duration,
 }
 
 impl Default for ClusterConfig {
@@ -71,6 +81,7 @@ impl Default for ClusterConfig {
             batch_interval: Duration::from_millis(100),
             link: LinkConfig::instant(),
             leaf_grain_rows: 65_536,
+            worker_timeout: Duration::from_secs(2),
         }
     }
 }
@@ -85,6 +96,7 @@ impl ClusterConfig {
             batch_interval: Duration::from_millis(2),
             link: LinkConfig::instant(),
             leaf_grain_rows: 65_536,
+            worker_timeout: Duration::from_millis(500),
         }
     }
 }
@@ -101,6 +113,24 @@ pub struct QueryOptions {
     /// Computation-cache key; `Some` caches the per-worker merged summary
     /// (only sound for deterministic queries, §5.4).
     pub cache_key: Option<u64>,
+    /// Total wall-clock budget for the query; when exceeded the tree is
+    /// torn down and the query fails with
+    /// [`EngineError::DeadlineExceeded`]. `None` means unbounded (but the
+    /// per-worker [`ClusterConfig::worker_timeout`] still catches silent
+    /// workers).
+    pub deadline: Option<Duration>,
+    /// Graceful degradation (opt-in): when `true`, the
+    /// [`Engine`](crate::engine::Engine) may — after exhausting its retry budget —
+    /// return a summary folded from the surviving workers only, honestly
+    /// labelled with [`QueryOutcome::coverage`] `< 1` and the failed
+    /// worker set, instead of an error.
+    pub allow_degraded: bool,
+    /// Tolerate worker failures in this single tree: a failed worker is
+    /// excluded from the fold instead of failing the query. Set internally
+    /// by the engine's final degraded attempt; hidden because outcomes
+    /// bypass recovery/replay — use [`QueryOptions::allow_degraded`].
+    #[doc(hidden)]
+    pub tolerate_failures: bool,
 }
 
 impl std::fmt::Debug for QueryOptions {
@@ -128,6 +158,15 @@ pub struct QueryOutcome {
     pub first_partial: Option<Duration>,
     /// Number of partial updates delivered.
     pub partials: usize,
+    /// Fraction of the estimated total work represented in the final
+    /// summary. `1.0` for a complete result; `< 1.0` only for a degraded
+    /// result (failed workers excluded under
+    /// [`QueryOptions::allow_degraded`]), estimated with the same
+    /// machinery as the progressive-progress fraction.
+    pub coverage: f64,
+    /// Workers whose contribution is missing from a degraded result
+    /// (empty for complete results).
+    pub failed_workers: Vec<usize>,
 }
 
 /// One message from a worker's aggregation node to the root. Progress is
@@ -146,10 +185,39 @@ enum MsgPayload {
     DatasetMissing(u64),
     WorkerDown,
     Error(String),
+    /// Liveness beacon: sent on every batch tick with no new merge so the
+    /// root's `worker_timeout` sweep can tell "slow" from "dead".
+    Heartbeat,
+    /// A leaf task (or the aggregation node itself) panicked; carries the
+    /// panic message so the root rebuilds a structured
+    /// [`EngineError::LeafPanicked`].
+    LeafPanicked(String),
+}
+
+/// FNV-1a over a frame body. Root-link frames carry this checksum so a
+/// corrupted frame (fault injection or a real flaky transport) is
+/// *detected* and dropped instead of silently merging garbage — a single
+/// flipped bit inside summary bytes would otherwise decode fine and skew
+/// the result.
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut h = 0xCBF29CE484222325u64;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001B3);
+    }
+    h
 }
 
 impl WorkerMsg {
     fn encode(&self) -> Bytes {
+        let body = self.encode_body();
+        let mut framed = WireWriter::new();
+        framed.put_varint(fnv1a(&body));
+        framed.put_bytes(&body);
+        framed.finish()
+    }
+
+    fn encode_body(&self) -> Bytes {
         let mut w = WireWriter::new();
         w.put_varint(self.worker as u64);
         w.put_varint(self.work_done);
@@ -169,12 +237,23 @@ impl WorkerMsg {
                 w.put_u8(3);
                 w.put_str(e);
             }
+            MsgPayload::Heartbeat => w.put_u8(4),
+            MsgPayload::LeafPanicked(m) => {
+                w.put_u8(5);
+                w.put_str(m);
+            }
         }
         w.finish()
     }
 
     fn decode(bytes: Bytes) -> EngineResult<Self> {
         let mut r = WireReader::new(bytes);
+        let sum = r.get_varint()?;
+        let body = r.get_bytes()?;
+        if fnv1a(&body) != sum {
+            return Err(EngineError::Wire("WorkerMsg checksum mismatch".into()));
+        }
+        let mut r = WireReader::new(Bytes::from(body));
         let worker = u32::decode(&mut r)?;
         let work_done = r.get_varint()?;
         let work_total = r.get_varint()?;
@@ -184,6 +263,8 @@ impl WorkerMsg {
             1 => MsgPayload::DatasetMissing(r.get_varint()?),
             2 => MsgPayload::WorkerDown,
             3 => MsgPayload::Error(r.get_str()?),
+            4 => MsgPayload::Heartbeat,
+            5 => MsgPayload::LeafPanicked(r.get_str()?),
             tag => {
                 return Err(EngineError::Wire(format!("bad WorkerMsg tag {tag}")));
             }
@@ -202,6 +283,7 @@ impl WorkerMsg {
 pub struct Cluster {
     cfg: ClusterConfig,
     workers: Vec<Arc<Worker>>,
+    faults: parking_lot::Mutex<Option<Arc<FaultPlan>>>,
 }
 
 impl Cluster {
@@ -219,7 +301,37 @@ impl Cluster {
                 ))
             })
             .collect();
-        Arc::new(Cluster { cfg, workers })
+        Arc::new(Cluster {
+            cfg,
+            workers,
+            faults: parking_lot::Mutex::new(None),
+        })
+    }
+
+    /// Arm a deterministic fault plan on the whole tree: worker operation
+    /// boundaries, leaf tasks, and every aggregation-node→root link consult
+    /// it. The plan's epoch is bumped once per execution-tree launch so
+    /// random plans re-roll on retry (§5.8 determinism: the schedule is
+    /// still a pure function of the seed and the attempt sequence).
+    pub fn arm_faults(&self, plan: FaultPlan) {
+        let plan = Arc::new(plan);
+        *self.faults.lock() = Some(plan.clone());
+        for w in &self.workers {
+            w.arm_faults(plan.clone());
+        }
+    }
+
+    /// Remove any armed fault plan from the cluster and its workers.
+    pub fn disarm_faults(&self) {
+        *self.faults.lock() = None;
+        for w in &self.workers {
+            w.disarm_faults();
+        }
+    }
+
+    /// The armed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
+        self.faults.lock().clone()
     }
 
     /// The configuration.
@@ -266,8 +378,15 @@ impl Cluster {
         std::thread::scope(|scope| {
             let handles: Vec<_> = self.workers.iter().map(|w| scope.spawn(|| f(w))).collect();
             let mut result = Ok(());
-            for h in handles {
-                let r = h.join().expect("worker op panicked");
+            for (worker, h) in handles.into_iter().enumerate() {
+                // A panicking worker op must not take the root down with
+                // it: map the panic into a structured, retryable error.
+                let r = h.join().unwrap_or_else(|payload| {
+                    Err(EngineError::LeafPanicked {
+                        worker,
+                        message: fault::panic_message(payload),
+                    })
+                });
                 if result.is_ok() {
                     result = r;
                 }
@@ -339,12 +458,39 @@ impl Cluster {
         // recovery). Leaves observe both tokens.
         let tree_cancel = CancellationToken::new();
 
+        // One epoch per tree launch: a random fault plan re-rolls every
+        // site on retry (transient faults heal), while the schedule stays
+        // a pure function of (seed, attempt index) — §5.8 replayability.
+        let plan = self.fault_plan();
+        if let Some(p) = &plan {
+            p.bump_epoch();
+        }
+
         // Launch one aggregation node per worker.
         let mut aggregators = Vec::with_capacity(self.workers.len());
         for worker in &self.workers {
             let worker = worker.clone();
             let sketch = sketch.clone();
-            let tx = tx.clone();
+            // Each aggregator gets its own link clone; arming the
+            // frame-fault hook gives it a fresh sequence counter, so a
+            // `Frame { worker, index }` site names the index-th frame
+            // *this* node sends — deterministic under replay.
+            let tx = match &plan {
+                Some(p) => {
+                    let p = p.clone();
+                    let wid = worker.id;
+                    tx.clone().with_faults(Arc::new(move |index, _len| {
+                        match p.decide(FaultSite::Frame { worker: wid, index }) {
+                            Some(FaultAction::DropFrame) => FrameFault::Drop,
+                            Some(FaultAction::DuplicateFrame) => FrameFault::Duplicate,
+                            Some(FaultAction::CorruptFrame(seed)) => FrameFault::Corrupt { seed },
+                            Some(FaultAction::DelayFrame(d)) => FrameFault::Delay(d),
+                            _ => FrameFault::Deliver,
+                        }
+                    }))
+                }
+                None => tx.clone(),
+            };
             let cancel = opts.cancel.clone();
             let tree = tree_cancel.clone();
             let seed = opts.seed;
@@ -364,28 +510,125 @@ impl Cluster {
         let mut latest: Vec<Option<Bytes>> = vec![None; n];
         let mut done = vec![0u64; n];
         let mut total = vec![0u64; n];
-        let mut finals = 0usize;
+        // A worker is *resolved* once its contribution is settled: final
+        // summary received, or (tolerate mode) failure accepted and the
+        // worker excluded from the fold.
+        let mut resolved = vec![false; n];
+        let mut final_seen = vec![false; n];
+        let mut resolved_count = 0usize;
+        let mut failed_workers: Vec<usize> = Vec::new();
+        let mut last_heard: Vec<Instant> = vec![Instant::now(); n];
         let mut first_partial = None;
         let mut partials = 0usize;
         let mut error: Option<EngineError> = None;
+        let tolerate = opts.tolerate_failures;
 
-        while finals < n && error.is_none() {
+        // The single failure transition, shared by explicit failure
+        // frames, the liveness sweep, and channel disconnect. Free
+        // function (not a closure) so call sites can hold other borrows.
+        #[allow(clippy::too_many_arguments)]
+        fn fail_worker(
+            w: usize,
+            e: EngineError,
+            tolerate: bool,
+            resolved: &mut [bool],
+            latest: &mut [Option<Bytes>],
+            failed_workers: &mut Vec<usize>,
+            resolved_count: &mut usize,
+            error: &mut Option<EngineError>,
+        ) {
+            if tolerate {
+                if !resolved[w] {
+                    resolved[w] = true;
+                    latest[w] = None;
+                    failed_workers.push(w);
+                    *resolved_count += 1;
+                }
+            } else if error.is_none() {
+                *error = Some(e);
+            }
+        }
+
+        while resolved_count < n && error.is_none() {
             if opts.cancel.is_cancelled() {
                 break;
             }
-            let frame = match rx.recv_timeout(Duration::from_millis(50))? {
-                Some(f) => f,
-                None => continue,
+            if let Some(d) = opts.deadline {
+                if started.elapsed() > d {
+                    error = Some(EngineError::DeadlineExceeded {
+                        elapsed: started.elapsed(),
+                    });
+                    break;
+                }
+            }
+            // Liveness sweep on every iteration (heartbeats from healthy
+            // workers keep the channel busy, so a quiet-tick-only sweep
+            // could starve): a worker silent past `worker_timeout` —
+            // aggregation nodes heartbeat every batch tick even when no
+            // leaf has finished — is declared down.
+            for w in 0..n {
+                if !resolved[w] && last_heard[w].elapsed() > self.cfg.worker_timeout {
+                    fail_worker(
+                        w,
+                        EngineError::WorkerDown(w),
+                        tolerate,
+                        &mut resolved,
+                        &mut latest,
+                        &mut failed_workers,
+                        &mut resolved_count,
+                        &mut error,
+                    );
+                }
+            }
+            let frame = match rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(Some(f)) => f,
+                Ok(None) => continue,
+                Err(_) => {
+                    // Every aggregation node hung up. Any unresolved
+                    // worker died without shipping a final frame (its
+                    // thread panicked past all guards, or its finale was
+                    // lost) — this must break the loop, never hang.
+                    for w in 0..n {
+                        if !resolved[w] {
+                            fail_worker(
+                                w,
+                                EngineError::WorkerDown(w),
+                                tolerate,
+                                &mut resolved,
+                                &mut latest,
+                                &mut failed_workers,
+                                &mut resolved_count,
+                                &mut error,
+                            );
+                        }
+                    }
+                    break;
+                }
             };
-            let msg = WorkerMsg::decode(frame)?;
+            let msg = match WorkerMsg::decode(frame) {
+                Ok(m) if (m.worker as usize) < n => m,
+                // Corrupt frame (checksum mismatch, bad tag, truncated,
+                // or an out-of-range worker id): drop it. The sender is
+                // alive and its next batch tick re-ships the running
+                // summary; a lost *final* frame is converted to a worker
+                // failure by the liveness sweep. Never fatal at the root.
+                _ => continue,
+            };
             let w = msg.worker as usize;
+            last_heard[w] = Instant::now();
+            if resolved[w] {
+                // Duplicate final or frames racing a failure verdict.
+                continue;
+            }
             match msg.payload {
                 MsgPayload::Summary(bytes) => {
                     latest[w] = Some(Bytes::from(bytes));
                     done[w] = msg.work_done;
                     total[w] = msg.work_total;
                     if msg.is_final {
-                        finals += 1;
+                        final_seen[w] = true;
+                        resolved[w] = true;
+                        resolved_count += 1;
                     }
                     // Progressive delivery to the client.
                     if let Some(cb) = &opts.on_partial {
@@ -420,19 +663,61 @@ impl Cluster {
                         first_partial = Some(started.elapsed());
                     }
                 }
-                MsgPayload::DatasetMissing(d) => {
-                    error = Some(EngineError::DatasetMissing {
+                MsgPayload::Heartbeat => {
+                    done[w] = msg.work_done;
+                    total[w] = msg.work_total;
+                }
+                MsgPayload::DatasetMissing(d) => fail_worker(
+                    w,
+                    EngineError::DatasetMissing {
                         worker: w,
                         dataset: DatasetId(d),
-                    });
-                }
-                MsgPayload::WorkerDown => error = Some(EngineError::WorkerDown(w)),
-                MsgPayload::Error(e) => error = Some(EngineError::Sketch(e)),
+                    },
+                    tolerate,
+                    &mut resolved,
+                    &mut latest,
+                    &mut failed_workers,
+                    &mut resolved_count,
+                    &mut error,
+                ),
+                MsgPayload::WorkerDown => fail_worker(
+                    w,
+                    EngineError::WorkerDown(w),
+                    tolerate,
+                    &mut resolved,
+                    &mut latest,
+                    &mut failed_workers,
+                    &mut resolved_count,
+                    &mut error,
+                ),
+                MsgPayload::LeafPanicked(m) => fail_worker(
+                    w,
+                    EngineError::LeafPanicked {
+                        worker: w,
+                        message: m,
+                    },
+                    tolerate,
+                    &mut resolved,
+                    &mut latest,
+                    &mut failed_workers,
+                    &mut resolved_count,
+                    &mut error,
+                ),
+                MsgPayload::Error(e) => fail_worker(
+                    w,
+                    EngineError::Sketch(e),
+                    tolerate,
+                    &mut resolved,
+                    &mut latest,
+                    &mut failed_workers,
+                    &mut resolved_count,
+                    &mut error,
+                ),
             }
         }
 
         // Stop outstanding work, then release aggregator threads.
-        if error.is_some() || opts.cancel.is_cancelled() {
+        if error.is_some() || opts.cancel.is_cancelled() || !failed_workers.is_empty() {
             tree_cancel.cancel();
         }
         let root_bytes = rx.metrics().bytes();
@@ -445,6 +730,32 @@ impl Cluster {
             return Err(e);
         }
 
+        // Degraded-mode accounting. Zero survivors is not a result.
+        if !failed_workers.is_empty() && failed_workers.len() == n {
+            return Err(EngineError::WorkerDown(failed_workers[0]));
+        }
+        let coverage = if failed_workers.is_empty() {
+            1.0
+        } else {
+            // Same estimation the progress fraction uses: a worker that
+            // never reported a work total contributes the mean of those
+            // that did, so coverage is not overstated by silent failures.
+            let reported: Vec<u64> = total.iter().copied().filter(|&t| t > 0).collect();
+            let mean =
+                (reported.iter().sum::<u64>() as f64 / reported.len().max(1) as f64).max(1.0);
+            let est: Vec<f64> = total
+                .iter()
+                .map(|&t| if t == 0 { mean } else { t as f64 })
+                .collect();
+            let covered: f64 = (0..n).filter(|&w| final_seen[w]).map(|w| est[w]).sum();
+            let total_est: f64 = est.iter().sum();
+            if total_est == 0.0 {
+                0.0
+            } else {
+                (covered / total_est).clamp(0.0, 1.0)
+            }
+        };
+
         let merged = self.fold(sketch, &latest)?;
         Ok(QueryOutcome {
             bytes: merged,
@@ -453,6 +764,8 @@ impl Cluster {
             root_messages,
             first_partial,
             partials,
+            coverage,
+            failed_workers,
         })
     }
 
@@ -546,13 +859,36 @@ fn run_leaf_task(
     }
     let result = if cancelled {
         Ok(None)
-    } else if lo == 0 && hi >= view.members().universe() {
-        // Unsplit partition: the plain summarize path, exactly as before.
-        sketch.summarize_to_bytes(&view, seed).map(Some)
     } else {
-        sketch
-            .summarize_range_to_bytes(&view, lo, hi, seed)
-            .map(Some)
+        // Panic isolation: a panicking summarize (organic bug or injected
+        // fault) must surface as a structured, retryable error that still
+        // carries this piece's work weight — weight conservation is what
+        // lets the aggregation node distinguish "done" from "lost".
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            match worker.leaf_fault(partition, lo) {
+                Some(FaultAction::PanicLeaf) => panic!(
+                    "injected leaf panic (worker {}, partition {partition}, lo {lo})",
+                    worker.id
+                ),
+                Some(FaultAction::StallLeaf(d)) => std::thread::sleep(d),
+                _ => {}
+            }
+            if lo == 0 && hi >= view.members().universe() {
+                // Unsplit partition: the plain summarize path.
+                sketch.summarize_to_bytes(&view, seed).map(Some)
+            } else {
+                sketch
+                    .summarize_range_to_bytes(&view, lo, hi, seed)
+                    .map(Some)
+            }
+        }));
+        match run {
+            Ok(r) => r,
+            Err(payload) => Err(EngineError::LeafPanicked {
+                worker: worker.id,
+                message: fault::panic_message(payload),
+            }),
+        }
     };
     let _ = tx.send(LeafMsg {
         partition,
@@ -565,6 +901,11 @@ fn run_leaf_task(
 /// The aggregation-node body for one worker (paper Fig. 1): fan leaf tasks
 /// (splitting oversized partitions into sub-range tasks), merge
 /// completions, ship batched partials to the root.
+///
+/// This wrapper is the node's crash barrier: if the body itself panics the
+/// root still receives a final frame carrying the panic message, so the
+/// merge loop terminates with a structured error instead of waiting out
+/// the liveness timeout (or, before timeouts existed, hanging forever).
 #[allow(clippy::too_many_arguments)]
 fn aggregate_worker(
     worker: Arc<Worker>,
@@ -579,9 +920,52 @@ fn aggregate_worker(
     grain: usize,
 ) {
     let wid = worker.id as u32;
+    if let Err(payload) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        aggregate_worker_inner(
+            &worker,
+            sketch,
+            dataset,
+            seed,
+            cancel,
+            tree_cancel,
+            &tx,
+            batch,
+            cache_key,
+            grain,
+        );
+    })) {
+        let msg = WorkerMsg {
+            worker: wid,
+            work_done: 0,
+            work_total: 0,
+            is_final: true,
+            payload: MsgPayload::LeafPanicked(fault::panic_message(payload)),
+        };
+        let _ = tx.send(msg.encode());
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn aggregate_worker_inner(
+    worker: &Arc<Worker>,
+    sketch: Arc<dyn ErasedSketch>,
+    dataset: DatasetId,
+    seed: u64,
+    cancel: CancellationToken,
+    tree_cancel: CancellationToken,
+    tx: &LinkSender,
+    batch: Duration,
+    cache_key: Option<u64>,
+    grain: usize,
+) {
+    let wid = worker.id as u32;
     let send = |msg: WorkerMsg| {
         let _ = tx.send(msg.encode());
     };
+
+    // Fault-injection point for "the worker fails *mid-query*": a Kill or
+    // Evict decided here happens after the root committed to this tree.
+    worker.fault_op(Some(dataset));
 
     if !worker.is_alive() {
         send(WorkerMsg {
@@ -703,12 +1087,20 @@ fn aggregate_worker(
                     // Cancelled piece: counts as completed-with-nothing.
                     Ok(None) => skipped += 1,
                     Err(e) => {
+                        // Keep panics structured end-to-end: the root
+                        // rebuilds `LeafPanicked` from its own tag.
+                        let payload = match e {
+                            EngineError::LeafPanicked { message, .. } => {
+                                MsgPayload::LeafPanicked(message)
+                            }
+                            other => MsgPayload::Error(other.to_string()),
+                        };
                         send(WorkerMsg {
                             worker: wid,
                             work_done: done_work,
                             work_total: total_work,
                             is_final: true,
-                            payload: MsgPayload::Error(e.to_string()),
+                            payload,
                         });
                         return;
                     }
@@ -725,10 +1117,38 @@ fn aggregate_worker(
                         payload: MsgPayload::Summary(acc.to_vec()),
                     });
                     dirty = false;
+                } else {
+                    // Nothing new merged this tick: heartbeat so the
+                    // root's liveness sweep can tell slow from dead.
+                    send(WorkerMsg {
+                        worker: wid,
+                        work_done: done_work,
+                        work_total: total_work,
+                        is_final: false,
+                        payload: MsgPayload::Heartbeat,
+                    });
                 }
             }
             Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
         }
+    }
+
+    // The leaf channel can only disconnect short of the work total if
+    // completions were *lost* — a pool thread died past every in-task
+    // guard (the pool's own catch_unwind backstop swallows the panic but
+    // not the piece's weight). Folding the surviving pieces would
+    // silently drop rows; report the loss instead.
+    if done_work < total_work {
+        send(WorkerMsg {
+            worker: wid,
+            work_done: done_work,
+            work_total: total_work,
+            is_final: true,
+            payload: MsgPayload::LeafPanicked(format!(
+                "leaf completions lost on worker {wid}: {done_work}/{total_work} work units reported"
+            )),
+        });
+        return;
     }
 
     // Deterministic final fold: partials sorted by (partition, range
@@ -1010,6 +1430,7 @@ mod tests {
             batch_interval: Duration::from_millis(2),
             link: LinkConfig::instant(),
             leaf_grain_rows: grain,
+            ..ClusterConfig::test()
         };
         Cluster::new(cfg, sources, UdfRegistry::with_builtins())
     }
@@ -1167,5 +1588,237 @@ mod tests {
             results.push(o.bytes);
         }
         assert_eq!(results[0], results[1]);
+    }
+
+    #[test]
+    fn worker_msg_decode_rejects_corruption() {
+        // Satellite of the wire-corruption work: every mutation of an
+        // encoded root-link frame must yield a structured error (checksum
+        // or parse), never a panic — and single-bit flips must never
+        // decode into a different valid message.
+        let msg = WorkerMsg {
+            worker: 1,
+            work_done: 12_345,
+            work_total: 99_999,
+            is_final: true,
+            payload: MsgPayload::Summary(vec![7u8; 64]),
+        };
+        let good = msg.encode();
+        assert!(WorkerMsg::decode(good.clone()).is_ok());
+        // Truncations at every boundary.
+        for cut in 0..good.len() {
+            let t = Bytes::from(good[..cut].to_vec());
+            assert!(WorkerMsg::decode(t).is_err(), "truncated at {cut}");
+        }
+        // Every single-bit flip: must error, or — when the flip lands in
+        // varint overflow bits that don't change the decoded value —
+        // decode to the *identical* message. Never a different one.
+        let reference = msg.encode_body();
+        for byte in 0..good.len() {
+            for bit in 0..8 {
+                let mut m = good.to_vec();
+                m[byte] ^= 1 << bit;
+                if let Ok(decoded) = WorkerMsg::decode(Bytes::from(m)) {
+                    assert_eq!(
+                        decoded.encode_body(),
+                        reference,
+                        "bit flip at byte {byte} bit {bit} decoded to a different message"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn aggregator_death_without_final_frame_terminates_root_loop() {
+        // Regression for the root-merge-loop hang: a worker whose
+        // aggregation node dies without ever shipping a final frame (here:
+        // every frame it sends is dropped) must be detected by the
+        // liveness sweep — the query errors out instead of hanging.
+        let mut cfg = ClusterConfig::test();
+        cfg.worker_timeout = Duration::from_millis(200);
+        let c = {
+            let mut sources = SourceRegistry::new();
+            sources.register(Arc::new(FnSource::new("nums", |w, _n, _mp, _snap| {
+                let t = Table::builder()
+                    .column(
+                        "X",
+                        ColumnKind::Int,
+                        Column::Int(I64Column::from_options(
+                            (0..10_000).map(|i| Some((i + w as i64 * 10_000) % 100)),
+                        )),
+                    )
+                    .build()
+                    .unwrap();
+                Ok(vec![t])
+            })));
+            Cluster::new(cfg, sources, UdfRegistry::with_builtins())
+        };
+        let ds = load(&c);
+        // Drop every frame worker 1's node sends, finals included.
+        c.arm_faults(FaultPlan::scripted((0..64).map(|i| {
+            (
+                FaultSite::Frame {
+                    worker: 1,
+                    index: i,
+                },
+                FaultAction::DropFrame,
+            )
+        })));
+        let started = Instant::now();
+        let e = c
+            .run_erased(ds, &erase(CountSketch::rows()), &QueryOptions::default())
+            .unwrap_err();
+        assert_eq!(e, EngineError::WorkerDown(1));
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "liveness sweep bounded the wait"
+        );
+    }
+
+    #[test]
+    fn injected_leaf_panic_surfaces_structured() {
+        let c = cluster(2);
+        let ds = load(&c);
+        c.arm_faults(FaultPlan::scripted([(
+            FaultSite::Leaf {
+                worker: 0,
+                partition: 0,
+                lo: 0,
+            },
+            FaultAction::PanicLeaf,
+        )]));
+        let e = c
+            .run_erased(ds, &erase(CountSketch::rows()), &QueryOptions::default())
+            .unwrap_err();
+        match e {
+            EngineError::LeafPanicked { worker, message } => {
+                assert_eq!(worker, 0);
+                assert!(message.contains("injected leaf panic"), "{message}");
+            }
+            other => panic!("expected LeafPanicked, got {other:?}"),
+        }
+        // The panic was isolated: disarm and the same cluster still works.
+        c.disarm_faults();
+        let o = c
+            .run_erased(ds, &erase(CountSketch::rows()), &QueryOptions::default())
+            .unwrap();
+        let s = CountSummary::from_bytes(o.bytes).unwrap();
+        assert_eq!(s.rows, 20_000);
+    }
+
+    #[test]
+    fn duplicated_and_corrupted_frames_do_not_skew_results() {
+        // Duplicate every frame worker 0 sends (finals included — the
+        // duplicate-final guard is what keeps the count exact) and corrupt
+        // worker 1's first frame. A stalled leaf on worker 1 guarantees
+        // its frame 0 is a partial/heartbeat, not the final: the corrupt
+        // frame is dropped by the checksum and later frames carry the
+        // result through.
+        let c = cluster(2);
+        let ds = load(&c);
+        let mut rules: Vec<(FaultSite, FaultAction)> = Vec::new();
+        for i in 0..64 {
+            rules.push((
+                FaultSite::Frame {
+                    worker: 0,
+                    index: i,
+                },
+                FaultAction::DuplicateFrame,
+            ));
+        }
+        rules.push((
+            FaultSite::Frame {
+                worker: 1,
+                index: 0,
+            },
+            FaultAction::CorruptFrame(0xDEAD_BEEF),
+        ));
+        rules.push((
+            FaultSite::Leaf {
+                worker: 1,
+                partition: 0,
+                lo: 0,
+            },
+            FaultAction::StallLeaf(Duration::from_millis(50)),
+        ));
+        c.arm_faults(FaultPlan::scripted(rules));
+        let o = c
+            .run_erased(ds, &erase(CountSketch::rows()), &QueryOptions::default())
+            .unwrap();
+        let s = CountSummary::from_bytes(o.bytes).unwrap();
+        assert_eq!(s.rows, 20_000, "exact despite dup + corrupt frames");
+        assert_eq!(o.coverage, 1.0);
+        assert!(o.failed_workers.is_empty());
+    }
+
+    #[test]
+    fn tolerate_mode_folds_survivors_with_honest_coverage() {
+        let c = cluster(2);
+        let ds = load(&c);
+        c.worker(1).kill();
+        let opts = QueryOptions {
+            tolerate_failures: true,
+            ..Default::default()
+        };
+        let o = c
+            .run_erased(ds, &erase(CountSketch::rows()), &opts)
+            .unwrap();
+        let s = CountSummary::from_bytes(o.bytes).unwrap();
+        assert_eq!(s.rows, 10_000, "survivor's shard only");
+        assert_eq!(o.failed_workers, vec![1]);
+        assert!(
+            o.coverage > 0.0 && o.coverage < 1.0,
+            "coverage honestly strict: {}",
+            o.coverage
+        );
+    }
+
+    #[test]
+    fn tolerate_mode_with_no_survivors_errors() {
+        let c = cluster(2);
+        let ds = load(&c);
+        c.worker(0).kill();
+        c.worker(1).kill();
+        let opts = QueryOptions {
+            tolerate_failures: true,
+            ..Default::default()
+        };
+        let e = c
+            .run_erased(ds, &erase(CountSketch::rows()), &opts)
+            .unwrap_err();
+        assert!(matches!(e, EngineError::WorkerDown(_)));
+    }
+
+    #[test]
+    fn deadline_exceeded_is_structured_and_bounded() {
+        let c = cluster(2);
+        let ds = load(&c);
+        // Stall every initial leaf long enough to blow a tiny deadline.
+        let rules: Vec<(FaultSite, FaultAction)> = (0..2)
+            .flat_map(|w| {
+                (0..10u32).map(move |p| {
+                    (
+                        FaultSite::Leaf {
+                            worker: w,
+                            partition: p,
+                            lo: 0,
+                        },
+                        FaultAction::StallLeaf(Duration::from_millis(120)),
+                    )
+                })
+            })
+            .collect();
+        c.arm_faults(FaultPlan::scripted(rules));
+        let opts = QueryOptions {
+            deadline: Some(Duration::from_millis(40)),
+            ..Default::default()
+        };
+        let started = Instant::now();
+        let e = c
+            .run_erased(ds, &erase(CountSketch::rows()), &opts)
+            .unwrap_err();
+        assert!(matches!(e, EngineError::DeadlineExceeded { .. }), "{e}");
+        assert!(started.elapsed() < Duration::from_secs(5));
     }
 }

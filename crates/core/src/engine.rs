@@ -17,6 +17,52 @@ use hillview_net::Wire;
 use hillview_sketch::Sketch;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Bounded retry with exponential backoff, replacing the old ad-hoc
+/// fixed-count recovery loops. An attempt is retried only when its error
+/// [`EngineError::is_retryable`] — transient infrastructure faults — and
+/// the budget is hard: once exhausted the caller gets
+/// [`EngineError::RetriesExhausted`] wrapping the final failure (or, under
+/// [`QueryOptions::allow_degraded`], a coverage-labelled partial result).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum attempts, including the first. `1` means never retry.
+    pub attempts: u32,
+    /// Sleep before the first retry; doubles on each subsequent retry.
+    pub base_backoff: Duration,
+    /// Cap on the per-retry sleep.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 8,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(100),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (tests observing raw failures).
+    pub fn none() -> Self {
+        RetryPolicy {
+            attempts: 1,
+            ..Default::default()
+        }
+    }
+
+    /// Backoff before 1-based retry number `retry`:
+    /// `base_backoff * 2^(retry-1)`, capped at `max_backoff`.
+    pub fn backoff(&self, retry: u32) -> Duration {
+        let exp = retry.saturating_sub(1).min(20);
+        self.base_backoff
+            .saturating_mul(1u32 << exp)
+            .min(self.max_backoff)
+    }
+}
 
 /// The root node: cluster + redo log + recovery.
 pub struct Engine {
@@ -26,6 +72,9 @@ pub struct Engine {
     /// Restart dead workers automatically during queries (on by default;
     /// tests can disable it to observe raw failures).
     pub auto_recover: bool,
+    /// Retry budget applied to every recovery loop (queries and
+    /// dataset-producing operations).
+    pub retry: RetryPolicy,
 }
 
 impl Engine {
@@ -36,6 +85,7 @@ impl Engine {
             log: RedoLog::new(),
             next_id: AtomicU64::new(1),
             auto_recover: true,
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -94,21 +144,50 @@ impl Engine {
         Ok(id)
     }
 
-    /// Run a dataset-producing op, replaying lineage on misses.
+    /// Run a dataset-producing op, replaying lineage on misses, within the
+    /// [`RetryPolicy`] budget. Dataset ops are idempotent (a re-run
+    /// overwrites the same dataset id with identical contents), so
+    /// retrying any transient failure — including a replay that itself
+    /// hits a fault — is sound.
     fn with_replay_on_all(&self, f: impl Fn() -> EngineResult<()>) -> EngineResult<()> {
-        for _ in 0..8 {
-            match f() {
+        let attempts = self.retry.attempts.max(1);
+        let mut last: Option<EngineError> = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(self.retry.backoff(attempt));
+            }
+            let e = match f() {
                 Ok(()) => return Ok(()),
-                Err(EngineError::DatasetMissing { worker, dataset }) => {
-                    self.replay(worker, dataset)?;
+                Err(e) => e,
+            };
+            match &e {
+                EngineError::DatasetMissing { worker, dataset } => {
+                    let (worker, dataset) = (*worker, *dataset);
+                    last = Some(e);
+                    if let Err(re) = self.replay(worker, dataset) {
+                        if !re.is_retryable() {
+                            return Err(re);
+                        }
+                        last = Some(re);
+                    }
                 }
-                Err(EngineError::WorkerDown(w)) if self.auto_recover => {
-                    self.cluster.worker(w).restart();
+                EngineError::WorkerDown(w) if self.auto_recover => {
+                    self.cluster.worker(*w).restart();
+                    last = Some(e);
                 }
-                Err(e) => return Err(e),
+                // Without auto-restart a dead worker stays dead: the
+                // failure is deterministic, so surface it raw.
+                EngineError::WorkerDown(_) => return Err(e),
+                _ if e.is_retryable() => last = Some(e),
+                _ => return Err(e),
             }
         }
-        Err(EngineError::Sketch("replay did not converge".into()))
+        Err(EngineError::RetriesExhausted {
+            attempts,
+            last: Box::new(
+                last.unwrap_or_else(|| EngineError::Sketch("replay did not converge".into())),
+            ),
+        })
     }
 
     /// Reconstruct `dataset` on `worker` by replaying its lineage chain
@@ -164,6 +243,14 @@ impl Engine {
     /// Run an erased sketch with automatic recovery. The reported duration
     /// covers the whole user-visible wait, including any lineage replays
     /// (cold reads show up here, Figure 6).
+    ///
+    /// Attempts are bounded by [`RetryPolicy`]; only
+    /// [retryable](EngineError::is_retryable) failures are retried, and an
+    /// [`QueryOptions::deadline`] spans *all* attempts, not each one. When
+    /// the budget runs out, [`QueryOptions::allow_degraded`] permits one
+    /// final attempt that excludes failed workers and returns the
+    /// survivors' merge labelled with [`QueryOutcome::coverage`]` < 1`;
+    /// otherwise the caller gets [`EngineError::RetriesExhausted`].
     pub fn run_erased(
         &self,
         dataset: DatasetId,
@@ -171,39 +258,104 @@ impl Engine {
         opts: &QueryOptions,
     ) -> EngineResult<QueryOutcome> {
         let started = std::time::Instant::now();
-        for _ in 0..8 {
+        let attempts = self.retry.attempts.max(1);
+        let mut last: Option<EngineError> = None;
+        // Remaining deadline for the next attempt, or an error once spent.
+        let remaining = |started: std::time::Instant| -> EngineResult<Option<Duration>> {
+            match opts.deadline {
+                None => Ok(None),
+                Some(d) => d.checked_sub(started.elapsed()).map(Some).ok_or(
+                    EngineError::DeadlineExceeded {
+                        elapsed: started.elapsed(),
+                    },
+                ),
+            }
+        };
+        let finish = |mut outcome: QueryOutcome| {
+            let replay_overhead = started.elapsed().saturating_sub(outcome.duration);
+            outcome.first_partial = outcome.first_partial.map(|fp| fp + replay_overhead);
+            outcome.duration = started.elapsed();
+            outcome
+        };
+        for attempt in 0..attempts {
             // A recovery retry must not inherit a cancel flag set by the
             // failure path of the previous attempt.
+            if opts.cancel.is_cancelled() {
+                return Err(EngineError::Cancelled);
+            }
+            if attempt > 0 {
+                std::thread::sleep(self.retry.backoff(attempt));
+            }
             let attempt_opts = QueryOptions {
                 seed: opts.seed,
-                cancel: if opts.cancel.is_cancelled() {
-                    return Err(EngineError::Cancelled);
-                } else {
-                    opts.cancel.clone()
-                },
+                cancel: opts.cancel.clone(),
                 on_partial: opts.on_partial.clone(),
                 cache_key: opts.cache_key,
+                deadline: remaining(started)?,
+                allow_degraded: opts.allow_degraded,
+                tolerate_failures: false,
             };
-            match self.cluster.run_erased(dataset, sketch, &attempt_opts) {
-                Ok(mut outcome) => {
-                    let replay_overhead = started.elapsed().saturating_sub(outcome.duration);
-                    outcome.first_partial = outcome.first_partial.map(|fp| fp + replay_overhead);
-                    outcome.duration = started.elapsed();
-                    return Ok(outcome);
+            let e = match self.cluster.run_erased(dataset, sketch, &attempt_opts) {
+                Ok(outcome) => return Ok(finish(outcome)),
+                Err(e) => e,
+            };
+            match &e {
+                EngineError::DatasetMissing { worker, dataset: d } => {
+                    let (worker, d) = (*worker, *d);
+                    last = Some(e);
+                    // A replay can itself hit a fault (worker killed
+                    // mid-replay); transient replay failures consume an
+                    // attempt instead of escaping the retry loop raw.
+                    if let Err(re) = self.replay(worker, d) {
+                        if !re.is_retryable() {
+                            return Err(re);
+                        }
+                        last = Some(re);
+                    }
                 }
-                Err(EngineError::DatasetMissing { worker, dataset: d }) => {
-                    self.replay(worker, d)?;
-                }
-                Err(EngineError::WorkerDown(w)) if self.auto_recover => {
+                EngineError::WorkerDown(w) if self.auto_recover => {
+                    let w = *w;
+                    last = Some(e);
                     self.cluster.worker(w).restart();
-                    self.replay(w, dataset)?;
+                    if let Err(re) = self.replay(w, dataset) {
+                        if !re.is_retryable() {
+                            return Err(re);
+                        }
+                        last = Some(re);
+                    }
                 }
-                Err(e) => return Err(e),
+                // Without auto-restart a dead worker stays dead: the
+                // failure is deterministic, so surface it raw.
+                EngineError::WorkerDown(_) => return Err(e),
+                _ if e.is_retryable() => last = Some(e),
+                _ => return Err(e),
             }
         }
-        Err(EngineError::Sketch(
-            "query recovery did not converge".into(),
-        ))
+        let last =
+            last.unwrap_or_else(|| EngineError::Sketch("query recovery did not converge".into()));
+        // Opt-in graceful degradation: one last tree that tolerates
+        // worker failures and folds the survivors, honestly labelled.
+        if opts.allow_degraded {
+            let attempt_opts = QueryOptions {
+                seed: opts.seed,
+                cancel: opts.cancel.clone(),
+                on_partial: opts.on_partial.clone(),
+                // Never cache on the degraded path: per-worker shard
+                // summaries of *survivors* would be sound, but a shared
+                // cache key must only ever hold complete folds.
+                cache_key: None,
+                deadline: remaining(started)?,
+                allow_degraded: true,
+                tolerate_failures: true,
+            };
+            if let Ok(outcome) = self.cluster.run_erased(dataset, sketch, &attempt_opts) {
+                return Ok(finish(outcome));
+            }
+        }
+        Err(EngineError::RetriesExhausted {
+            attempts,
+            last: Box::new(last),
+        })
     }
 }
 
@@ -347,6 +499,88 @@ mod tests {
             .run(DatasetId(77), CountSketch::rows(), &QueryOptions::default())
             .unwrap_err();
         assert_eq!(err, EngineError::UnknownDataset(DatasetId(77)));
+    }
+
+    #[test]
+    fn bounded_retry_wraps_persistent_failure() {
+        use crate::fault::{FaultAction, FaultPlan, FaultSite};
+        let mut e = engine();
+        e.retry = RetryPolicy {
+            attempts: 3,
+            base_backoff: Duration::from_micros(100),
+            max_backoff: Duration::from_millis(1),
+        };
+        let base = e.load("nums", 0).unwrap();
+        // Kill worker 0 at every operation boundary, forever: recovery
+        // (restart + replay) re-dies each attempt, so the budget — not an
+        // unbounded loop — must end the query, with the cause preserved.
+        e.cluster()
+            .arm_faults(FaultPlan::scripted((0..10_000).map(|i| {
+                (
+                    FaultSite::WorkerOp {
+                        worker: 0,
+                        index: i,
+                    },
+                    FaultAction::Kill,
+                )
+            })));
+        let err = e
+            .run(base, CountSketch::rows(), &QueryOptions::default())
+            .unwrap_err();
+        match err {
+            EngineError::RetriesExhausted { attempts, last } => {
+                assert_eq!(attempts, 3);
+                assert!(last.is_retryable(), "wrapped cause was transient: {last}");
+            }
+            other => panic!("expected RetriesExhausted, got {other}"),
+        }
+        // Disarm and the same engine heals transparently.
+        e.cluster().disarm_faults();
+        let (sum, _) = e
+            .run(base, CountSketch::rows(), &QueryOptions::default())
+            .unwrap();
+        assert_eq!(sum.rows, 10_000);
+    }
+
+    #[test]
+    fn degraded_query_folds_survivors_with_honest_coverage() {
+        use crate::fault::{FaultAction, FaultPlan, FaultSite};
+        let mut e = engine();
+        e.retry = RetryPolicy {
+            attempts: 2,
+            base_backoff: Duration::from_micros(100),
+            max_backoff: Duration::from_millis(1),
+        };
+        let base = e.load("nums", 0).unwrap();
+        // Worker 1 dies at every operation boundary; worker 0 is healthy.
+        e.cluster()
+            .arm_faults(FaultPlan::scripted((0..10_000).map(|i| {
+                (
+                    FaultSite::WorkerOp {
+                        worker: 1,
+                        index: i,
+                    },
+                    FaultAction::Kill,
+                )
+            })));
+        let opts = QueryOptions {
+            allow_degraded: true,
+            ..Default::default()
+        };
+        let (sum, outcome) = e.run(base, CountSketch::rows(), &opts).unwrap();
+        assert_eq!(sum.rows, 5_000, "survivor's shard only");
+        assert_eq!(outcome.failed_workers, vec![1]);
+        assert!(
+            outcome.coverage > 0.0 && outcome.coverage < 1.0,
+            "degraded result labelled: coverage={}",
+            outcome.coverage
+        );
+        // Without the opt-in, the same schedule is an error, not a
+        // silently partial answer.
+        let err = e
+            .run(base, CountSketch::rows(), &QueryOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, EngineError::RetriesExhausted { .. }), "{err}");
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::dataset::DatasetId;
 use std::fmt;
+use std::time::Duration;
 
 /// Errors surfaced by the engine.
 #[derive(Debug, Clone, PartialEq)]
@@ -18,7 +19,7 @@ pub enum EngineError {
         /// The dataset it lacks.
         dataset: DatasetId,
     },
-    /// A worker is down (fault injection or crash).
+    /// A worker is down (fault injection, crash, or heartbeat loss).
     WorkerDown(usize),
     /// The query was cancelled by the user.
     Cancelled,
@@ -28,6 +29,31 @@ pub enum EngineError {
     UnknownDataset(DatasetId),
     /// A named data source or UDF is not registered.
     Unregistered(String),
+    /// A worker-side task (a leaf summarize or a dataset operation)
+    /// panicked. The panic is isolated to the task — the pool thread, the
+    /// worker, and the process all survive — and retrying is sound: leaf
+    /// execution has no side effects and dataset ops are idempotent.
+    LeafPanicked {
+        /// Worker whose task panicked.
+        worker: usize,
+        /// The panic message.
+        message: String,
+    },
+    /// The query exceeded its [`QueryOptions::deadline`](crate::cluster::QueryOptions::deadline)
+    /// (`crate::cluster::QueryOptions::deadline`): a worker went silent or
+    /// stragglers kept the tree from finishing in time.
+    DeadlineExceeded {
+        /// How long the query had run when the deadline fired.
+        elapsed: Duration,
+    },
+    /// The retry budget ([`RetryPolicy`](crate::engine::RetryPolicy)) was
+    /// exhausted without a successful attempt; carries the final failure.
+    RetriesExhausted {
+        /// Attempts made.
+        attempts: u32,
+        /// The last error observed.
+        last: Box<EngineError>,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -43,7 +69,32 @@ impl fmt::Display for EngineError {
             EngineError::Source(m) => write!(f, "data source error: {m}"),
             EngineError::UnknownDataset(d) => write!(f, "no redo-log entry for dataset {d:?}"),
             EngineError::Unregistered(n) => write!(f, "not registered: {n}"),
+            EngineError::LeafPanicked { worker, message } => {
+                write!(f, "task panicked on worker {worker}: {message}")
+            }
+            EngineError::DeadlineExceeded { elapsed } => {
+                write!(f, "query deadline exceeded after {elapsed:?}")
+            }
+            EngineError::RetriesExhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts; last error: {last}")
+            }
         }
+    }
+}
+
+impl EngineError {
+    /// True for failures that a bounded retry can plausibly heal:
+    /// transient worker/infrastructure faults, as opposed to deterministic
+    /// query errors (bad column, cancelled, unknown dataset) that would
+    /// fail identically on every attempt.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            EngineError::DatasetMissing { .. }
+                | EngineError::WorkerDown(_)
+                | EngineError::LeafPanicked { .. }
+                | EngineError::Wire(_)
+        )
     }
 }
 
@@ -90,5 +141,26 @@ mod tests {
         assert!(matches!(e, EngineError::Sketch(_)));
         let e: EngineError = hillview_net::Error::BadUtf8.into();
         assert!(matches!(e, EngineError::Wire(_)));
+    }
+
+    #[test]
+    fn retryability_split() {
+        assert!(EngineError::WorkerDown(0).is_retryable());
+        assert!(EngineError::LeafPanicked {
+            worker: 1,
+            message: "x".into()
+        }
+        .is_retryable());
+        assert!(EngineError::DatasetMissing {
+            worker: 0,
+            dataset: DatasetId(1)
+        }
+        .is_retryable());
+        assert!(!EngineError::Cancelled.is_retryable());
+        assert!(!EngineError::Sketch("bad column".into()).is_retryable());
+        assert!(!EngineError::DeadlineExceeded {
+            elapsed: Duration::from_secs(1)
+        }
+        .is_retryable());
     }
 }

@@ -28,6 +28,49 @@
 //!   views, scrolling, filtering, charts, heavy hitters, PCA — implemented
 //!   exclusively with vizketches (§7.3: sketches are "the sole way to
 //!   access data in the system").
+//! * **Fault injection** ([`fault`]): a seeded, deterministic adversary
+//!   for the whole tree — frame drops/duplicates/corruption/delays, leaf
+//!   panics and stalls, worker kills and evictions — every decision a
+//!   pure function of `(seed, epoch, site)` so failing chaos schedules
+//!   replay exactly (§5.8).
+//!
+//! ## Failure semantics
+//!
+//! Every query terminates in bounded time with exactly one of three
+//! outcomes — never a hang, a process abort, or a silently partial
+//! answer:
+//!
+//! 1. **A complete result**, bit-identical to a fault-free run
+//!    ([`QueryOutcome::coverage`]` == 1.0`). Transient faults (evictions,
+//!    worker crashes, lost or corrupted frames, leaf panics) are healed by
+//!    lineage replay and the engine's bounded [`RetryPolicy`]; §5.8
+//!    determinism — logged seeds, range-ordered folds — guarantees the
+//!    recovered bytes match.
+//! 2. **A structured error** ([`EngineError`]): the retry budget is
+//!    exhausted ([`EngineError::RetriesExhausted`] wraps the final
+//!    cause), the query's [`QueryOptions::deadline`] fires
+//!    ([`EngineError::DeadlineExceeded`]), or the failure is
+//!    deterministic (bad column, unknown dataset) and retrying would be
+//!    pointless.
+//! 3. **An honestly-labelled degraded result** (opt-in via
+//!    [`QueryOptions::allow_degraded`]): after the retry budget, one
+//!    final tree tolerates worker failures and folds the survivors,
+//!    reporting `coverage < 1.0` and the excluded
+//!    [`QueryOutcome::failed_workers`].
+//!
+//! The mechanisms behind this: panics are isolated at the pool thread,
+//! the leaf task, the aggregation node, and the root's fan-out join
+//! (surfacing as retryable [`EngineError::LeafPanicked`], with leaf work
+//! weights conserved so lost completions are detected); root-link frames
+//! carry checksums so corruption is dropped, duplicated finals are
+//! guarded, and re-sends come from the batching loop; aggregation nodes
+//! heartbeat every batch tick so the root's per-worker liveness sweep
+//! ([`ClusterConfig::worker_timeout`]) converts silence into
+//! [`EngineError::WorkerDown`] instead of waiting forever; and the
+//! computation cache only ever stores complete, uncancelled folds.
+//! The chaos suite (`crates/core/tests/chaos.rs`) drives seeded fault
+//! schedules across sketch × fault-class grids to enforce exactly this
+//! trichotomy.
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -37,15 +80,17 @@ pub mod dataset;
 pub mod engine;
 pub mod erased;
 pub mod error;
+pub mod fault;
 pub mod pool;
 pub mod progress;
 pub mod redo;
 pub mod spreadsheet;
 pub mod worker;
 
-pub use cluster::{Cluster, ClusterConfig, QueryOptions};
+pub use cluster::{Cluster, ClusterConfig, QueryOptions, QueryOutcome};
 pub use dataset::{DataSource, DatasetId, FnSource, Lineage, SourceSpec};
-pub use engine::Engine;
+pub use engine::{Engine, RetryPolicy};
 pub use error::{EngineError, EngineResult};
+pub use fault::{FaultAction, FaultPlan, FaultSite, FaultSpec};
 pub use progress::CancellationToken;
 pub use spreadsheet::{OpStats, Spreadsheet};

@@ -52,6 +52,8 @@ struct Shared {
     stealers: Vec<Stealer<Task>>,
     /// Tasks sitting in the injector or any deque (not ones executing).
     queued: AtomicUsize,
+    /// Tasks whose panic was caught by the executor (diagnostics).
+    panicked: AtomicUsize,
     shutdown: AtomicBool,
     sleep: Mutex<()>,
     wake: Condvar,
@@ -109,6 +111,7 @@ impl ThreadPool {
             injector: Injector::new(),
             stealers: deques.iter().map(|d| d.stealer()).collect(),
             queued: AtomicUsize::new(0),
+            panicked: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
             sleep: Mutex::new(()),
             wake: Condvar::new(),
@@ -159,12 +162,27 @@ impl ThreadPool {
     pub fn size(&self) -> usize {
         self.threads.len()
     }
+
+    /// Tasks whose panic the executor caught so far. Pool threads survive
+    /// panicking tasks; this counter is how tests and diagnostics observe
+    /// that isolation fired.
+    pub fn tasks_panicked(&self) -> usize {
+        self.shared.panicked.load(Ordering::SeqCst)
+    }
 }
 
 fn worker_loop(shared: &Shared, me: usize) {
     loop {
         if let Some(task) = shared.find_task(me) {
-            task();
+            // Panic isolation: a poisoned task must not take down its
+            // pool thread (which would strand the thread's deque and
+            // shrink the pool for the process lifetime). The task's owner
+            // observes the failure through its own channel going dead —
+            // the leaf executor additionally catches panics *inside* the
+            // task to report a structured error; this is the backstop.
+            if std::panic::catch_unwind(std::panic::AssertUnwindSafe(task)).is_err() {
+                shared.panicked.fetch_add(1, Ordering::SeqCst);
+            }
             continue;
         }
         if shared.shutdown.load(Ordering::SeqCst) {
@@ -311,6 +329,39 @@ mod tests {
             }
             assert_eq!(done.load(Ordering::Relaxed), 64, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn panicking_tasks_do_not_kill_pool_threads() {
+        // Every thread eats a panicking task; the pool must still run a
+        // full batch of follow-up tasks (impossible if panics killed the
+        // threads, since the pool never respawns them).
+        let pool = ThreadPool::new(2, "poison");
+        for _ in 0..8 {
+            pool.submit(|| panic!("injected task panic"));
+        }
+        let (tx, rx) = crossbeam::channel::unbounded();
+        for i in 0..32 {
+            let tx = tx.clone();
+            pool.submit(move || {
+                let _ = tx.send(i);
+            });
+        }
+        let mut got = 0;
+        while got < 32 {
+            assert!(
+                rx.recv_timeout(std::time::Duration::from_secs(10)).is_ok(),
+                "pool stopped executing after panics"
+            );
+            got += 1;
+        }
+        // The last panicking task may still be unwinding on the sibling
+        // thread when the follow-ups finish; give the counter a moment.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while pool.tasks_panicked() < 8 && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert_eq!(pool.tasks_panicked(), 8);
     }
 
     #[test]

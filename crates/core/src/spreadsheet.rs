@@ -132,6 +132,7 @@ impl Spreadsheet {
             cancel: self.cancel.clone(),
             on_partial: self.on_partial.clone(),
             cache_key,
+            ..Default::default()
         }
     }
 

@@ -9,6 +9,7 @@
 
 use crate::dataset::{DatasetId, SourceRegistry, SourceSpec};
 use crate::error::{EngineError, EngineResult};
+use crate::fault::{FaultAction, FaultPlan, FaultSite};
 use crate::pool::ThreadPool;
 use bytes::Bytes;
 use hillview_columnar::predicate::filter_members;
@@ -41,6 +42,11 @@ pub struct Worker {
     /// Leaf sub-tasks executed on this worker's pool (diagnostics: a value
     /// above the partition count proves intra-partition splitting ran).
     leaf_tasks: AtomicU64,
+    /// Armed fault plan, if any (chaos tests; `None` in production).
+    faults: Mutex<Option<Arc<FaultPlan>>>,
+    /// Engine-visible operations handled so far — the "Nth message"
+    /// counter fault plans key kill/evict decisions on.
+    ops: AtomicU64,
 }
 
 impl Worker {
@@ -67,6 +73,64 @@ impl Worker {
             bytes_loaded: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             leaf_tasks: AtomicU64::new(0),
+            faults: Mutex::new(None),
+            ops: AtomicU64::new(0),
+        }
+    }
+
+    /// Arm a fault plan on this worker (kill/evict at operation
+    /// boundaries, panic/stall at leaf tasks).
+    pub fn arm_faults(&self, plan: Arc<FaultPlan>) {
+        *self.faults.lock() = Some(plan);
+    }
+
+    /// Remove any armed fault plan.
+    pub fn disarm_faults(&self) {
+        *self.faults.lock() = None;
+    }
+
+    /// The armed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
+        self.faults.lock().clone()
+    }
+
+    /// Fault-injection point at an engine-visible operation boundary
+    /// (load / filter / map / query fan-out). Consults the armed plan with
+    /// this worker's next operation index; a `Kill` decision crashes the
+    /// worker, an `Evict` decision drops `dataset`'s soft state. Both then
+    /// surface through the ordinary failure paths (`WorkerDown`,
+    /// `DatasetMissing`) that recovery already handles.
+    pub(crate) fn fault_op(&self, dataset: Option<DatasetId>) {
+        let Some(plan) = self.fault_plan() else {
+            return;
+        };
+        let index = self.ops.fetch_add(1, Ordering::SeqCst);
+        match plan.decide(FaultSite::WorkerOp {
+            worker: self.id,
+            index,
+        }) {
+            Some(FaultAction::Kill) => self.kill(),
+            Some(FaultAction::Evict) => {
+                if let Some(ds) = dataset {
+                    self.evict(ds);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Fault-injection point at the head of a leaf sub-task; returns a
+    /// panic/stall decision for the leaf identified by its deterministic
+    /// split coordinates.
+    pub(crate) fn leaf_fault(&self, partition: u32, lo: usize) -> Option<FaultAction> {
+        let plan = self.fault_plan()?;
+        match plan.decide(FaultSite::Leaf {
+            worker: self.id,
+            partition,
+            lo: lo as u64,
+        }) {
+            a @ Some(FaultAction::PanicLeaf) | a @ Some(FaultAction::StallLeaf(_)) => a,
+            _ => None,
         }
     }
 
@@ -175,6 +239,7 @@ impl Worker {
     /// lineage chain; paper §5.7 "the recursion ends when data is read from
     /// disk").
     pub fn load(&self, id: DatasetId, spec: &SourceSpec) -> EngineResult<()> {
+        self.fault_op(Some(id));
         self.check_alive()?;
         let source = self.sources.get(&spec.source)?;
         let tables = source.load(
@@ -214,6 +279,7 @@ impl Worker {
         parent: DatasetId,
         predicate: &Predicate,
     ) -> EngineResult<()> {
+        self.fault_op(Some(parent));
         self.check_alive()?;
         let parent_views = self.partitions(parent).ok_or(EngineError::DatasetMissing {
             worker: self.id,
@@ -257,6 +323,7 @@ impl Worker {
         udf: &str,
         new_column: &str,
     ) -> EngineResult<()> {
+        self.fault_op(Some(parent));
         self.check_alive()?;
         let parent_views = self.partitions(parent).ok_or(EngineError::DatasetMissing {
             worker: self.id,
@@ -439,6 +506,45 @@ mod tests {
         let t = parts[0].table();
         assert_eq!(t.get(5, "Doubled").unwrap(), Value::Double(10.0));
         assert_eq!(t.num_columns(), 2);
+    }
+
+    #[test]
+    fn scripted_faults_evict_then_kill_surface_as_structured_errors() {
+        let w = test_worker();
+        w.load(DatasetId(1), &spec()).unwrap();
+        w.arm_faults(Arc::new(FaultPlan::scripted([
+            (
+                FaultSite::WorkerOp {
+                    worker: 0,
+                    index: 0,
+                },
+                FaultAction::Evict,
+            ),
+            (
+                FaultSite::WorkerOp {
+                    worker: 0,
+                    index: 1,
+                },
+                FaultAction::Kill,
+            ),
+        ])));
+        // Op 0: the parent is evicted right before the filter reads it.
+        let err = w
+            .filter(
+                DatasetId(2),
+                DatasetId(1),
+                &Predicate::range("X", 0.0, 50.0),
+            )
+            .unwrap_err();
+        assert!(matches!(err, EngineError::DatasetMissing { .. }), "{err}");
+        // Op 1: the worker is killed at the next boundary.
+        let err = w.load(DatasetId(1), &spec()).unwrap_err();
+        assert!(matches!(err, EngineError::WorkerDown(0)), "{err}");
+        // Disarmed + restarted, the worker heals completely.
+        w.disarm_faults();
+        w.restart();
+        w.load(DatasetId(1), &spec()).unwrap();
+        assert_eq!(w.dataset_rows(DatasetId(1)), 100);
     }
 
     #[test]

@@ -1,0 +1,295 @@
+//! Chaos suite: seeded fault schedules across a sketch × fault-class grid.
+//!
+//! This is the enforcement arm of the crate's failure-semantics contract
+//! (see `hillview_core` crate docs): under an armed [`FaultPlan`] every
+//! query must terminate in bounded time with exactly one of
+//!
+//! 1. a complete result, bit-identical to the fault-free baseline
+//!    (`coverage == 1.0`);
+//! 2. a structured [`EngineError`] — never a hang, a panic that escapes
+//!    the engine, or a process abort;
+//! 3. an honestly-labelled degraded result (`coverage < 1.0` with
+//!    non-empty `failed_workers`), and only when the caller opted in.
+//!
+//! Afterwards the *same* engine — faults disarmed — must heal completely:
+//! a re-run with the same cache key returns bytes bit-identical to the
+//! clean baseline, proving no partial summary polluted the computation
+//! cache.
+//!
+//! The schedule is a pure function of the plan seed (§5.8 determinism),
+//! so every assertion message carries the seed: re-run with
+//! `CHAOS_SEED_BASE=<seed> CHAOS_SEEDS=1` to replay a failure exactly.
+//! CI sets `CHAOS_SEEDS=64`; the local default keeps the suite quick.
+
+use hillview_columnar::column::{Column, I64Column};
+use hillview_columnar::udf::UdfRegistry;
+use hillview_columnar::{ColumnKind, Table};
+use hillview_core::cluster::ClusterConfig;
+use hillview_core::dataset::SourceRegistry;
+use hillview_core::erased::erase;
+use hillview_core::{
+    Cluster, Engine, EngineError, FaultPlan, FaultSpec, FnSource, QueryOptions, RetryPolicy,
+};
+use hillview_sketch::count::CountSketch;
+use hillview_sketch::heavy::MisraGriesSketch;
+use hillview_sketch::histogram::HistogramSketch;
+use hillview_sketch::moments::MomentsSketch;
+use hillview_sketch::BucketSpec;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const ROWS_PER_WORKER: i64 = 2_000;
+
+/// A fresh 2-worker engine over a deterministic integer shard per worker,
+/// with a tight retry budget so even pathological schedules stay fast.
+fn chaos_engine() -> Engine {
+    let mut sources = SourceRegistry::new();
+    sources.register(Arc::new(FnSource::new("chaos", |w, _n, _mp, snap| {
+        let t = Table::builder()
+            .column(
+                "X",
+                ColumnKind::Int,
+                Column::Int(I64Column::from_options(
+                    (0..ROWS_PER_WORKER).map(|i| Some((i * 7 + w as i64 * 13 + snap as i64) % 100)),
+                )),
+            )
+            .build()
+            .unwrap();
+        Ok(vec![t])
+    })));
+    let cluster = Cluster::new(ClusterConfig::test(), sources, UdfRegistry::with_builtins());
+    let mut engine = Engine::new(cluster);
+    engine.retry = RetryPolicy {
+        attempts: 4,
+        base_backoff: Duration::from_micros(200),
+        max_backoff: Duration::from_millis(5),
+    };
+    engine
+}
+
+/// The sketch grid: one representative per summary shape (scalar count,
+/// bucketed histogram, bounded-size heavy hitters, numeric moments).
+fn sketch_grid() -> Vec<(&'static str, Arc<dyn hillview_core::erased::ErasedSketch>)> {
+    vec![
+        ("count", erase(CountSketch::rows())),
+        (
+            "histogram",
+            erase(HistogramSketch::streaming(
+                "X",
+                BucketSpec::numeric(0.0, 100.0, 10),
+            )),
+        ),
+        ("misra-gries", erase(MisraGriesSketch::new("X", 8))),
+        ("moments", erase(MomentsSketch::new("X", 4))),
+    ]
+}
+
+fn seed_range() -> impl Iterator<Item = u64> {
+    let base: u64 = std::env::var("CHAOS_SEED_BASE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xC0FFEE);
+    let count: u64 = std::env::var("CHAOS_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12);
+    (0..count).map(move |i| base.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+}
+
+/// Every query under chaos terminates with a complete bit-identical
+/// result, a structured error, or an opted-in labelled degraded result —
+/// and the healed engine always reconverges to the clean baseline.
+#[test]
+fn seeded_chaos_grid_preserves_failure_semantics() {
+    // Hard per-query wall-clock bound: worker_timeout (500ms in the test
+    // config) × 4 attempts plus stalls and backoffs sits well under this.
+    const QUERY_BOUND: Duration = Duration::from_secs(30);
+    // Outcome tallies across the whole grid, printed for CI triage and
+    // used to assert the adversary is not a silent no-op.
+    let (mut complete, mut degraded, mut errored, mut healed_from_fault) = (0u32, 0u32, 0u32, 0u32);
+    for (nth, plan_seed) in seed_range().enumerate() {
+        let engine = chaos_engine();
+        let data = engine.load("chaos", plan_seed).unwrap();
+        // Clean baselines first, before any fault is armed.
+        let grid = sketch_grid();
+        let baselines: Vec<_> = grid
+            .iter()
+            .map(|(name, sk)| {
+                let opts = QueryOptions {
+                    seed: 42,
+                    ..Default::default()
+                };
+                let outcome = engine
+                    .run_erased(data, sk, &opts)
+                    .unwrap_or_else(|e| panic!("clean baseline {name} failed: {e}"));
+                outcome.bytes
+            })
+            .collect();
+
+        engine
+            .cluster()
+            .arm_faults(FaultPlan::seeded(plan_seed, FaultSpec::chaos()));
+        for (i, (name, sk)) in grid.iter().enumerate() {
+            // Alternate the degradation opt-in across the grid so both
+            // the strict and the tolerant contract get exercised.
+            let allow_degraded = (nth + i) % 2 == 0;
+            let cache_key = Some(plan_seed ^ (i as u64) << 32 | 0x5EED);
+            let opts = QueryOptions {
+                seed: 42,
+                cache_key,
+                deadline: Some(Duration::from_secs(20)),
+                allow_degraded,
+                ..Default::default()
+            };
+            let started = Instant::now();
+            let result = engine.run_erased(data, sk, &opts);
+            let elapsed = started.elapsed();
+            assert!(
+                elapsed < QUERY_BOUND,
+                "seed {plan_seed:#x} sketch {name}: query took {elapsed:?} — not bounded"
+            );
+            match result {
+                Ok(outcome) if outcome.coverage >= 1.0 => {
+                    complete += 1;
+                    assert_eq!(
+                        outcome.bytes, baselines[i],
+                        "seed {plan_seed:#x} sketch {name}: complete result diverged from \
+                         fault-free baseline"
+                    );
+                    assert!(
+                        outcome.failed_workers.is_empty(),
+                        "seed {plan_seed:#x} sketch {name}: full coverage but failed \
+                         workers {:?}",
+                        outcome.failed_workers
+                    );
+                }
+                Ok(outcome) => {
+                    degraded += 1;
+                    assert!(
+                        allow_degraded,
+                        "seed {plan_seed:#x} sketch {name}: degraded result \
+                         (coverage {}) without opt-in",
+                        outcome.coverage
+                    );
+                    assert!(
+                        !outcome.failed_workers.is_empty(),
+                        "seed {plan_seed:#x} sketch {name}: coverage {} < 1 but no \
+                         failed workers named",
+                        outcome.coverage
+                    );
+                    assert!(
+                        outcome.coverage > 0.0,
+                        "seed {plan_seed:#x} sketch {name}: zero-coverage result \
+                         should have been an error"
+                    );
+                }
+                // Any structured error is within contract; specific
+                // classes are pinned by unit tests. What must never
+                // happen — hangs, escaped panics, aborts — fails the
+                // bound above or the harness itself.
+                Err(_e) => errored += 1,
+            }
+        }
+        healed_from_fault += engine
+            .cluster()
+            .fault_plan()
+            .map_or(0, |p| u32::from(p.faults_fired() > 0));
+
+        // Heal: disarm and re-run the grid with the *same* cache keys.
+        // Whatever the chaos run did — succeeded (cache holds complete
+        // folds), failed (cache must hold nothing) — the healed engine
+        // must reconverge to the clean baseline bit-for-bit.
+        engine.cluster().disarm_faults();
+        for (i, (name, sk)) in grid.iter().enumerate() {
+            let opts = QueryOptions {
+                seed: 42,
+                cache_key: Some(plan_seed ^ (i as u64) << 32 | 0x5EED),
+                ..Default::default()
+            };
+            let outcome = engine.run_erased(data, sk, &opts).unwrap_or_else(|e| {
+                panic!("seed {plan_seed:#x} sketch {name}: healed engine failed: {e}")
+            });
+            assert_eq!(
+                outcome.bytes, baselines[i],
+                "seed {plan_seed:#x} sketch {name}: healed re-run diverged — \
+                 a faulted query polluted the computation cache"
+            );
+            assert!(
+                (outcome.coverage - 1.0).abs() < f64::EPSILON,
+                "seed {plan_seed:#x} sketch {name}: healed run not full coverage"
+            );
+        }
+    }
+    eprintln!(
+        "chaos grid: {complete} complete, {degraded} degraded, {errored} errored; \
+         faults fired in {healed_from_fault} seed(s)"
+    );
+    assert!(
+        healed_from_fault > 0,
+        "the seeded adversary never injected a single fault — the chaos \
+         suite is vacuous; check FaultSpec::chaos() rates and site wiring"
+    );
+}
+
+/// The scripted (epoch-blind) side of the plan: a persistent kill schedule
+/// exhausts the retry budget with a structured, cause-preserving error,
+/// and never caches anything under the failing key.
+#[test]
+fn scripted_persistent_kill_never_caches_partial_state() {
+    use hillview_core::{FaultAction, FaultSite};
+    let engine = chaos_engine();
+    let data = engine.load("chaos", 0).unwrap();
+    let sk = erase(CountSketch::rows());
+    let key = Some(0xDEAD_CACE);
+    let clean = engine
+        .run_erased(
+            data,
+            &sk,
+            &QueryOptions {
+                ..Default::default()
+            },
+        )
+        .unwrap();
+
+    engine
+        .cluster()
+        .arm_faults(FaultPlan::scripted((0..100_000).map(|i| {
+            (
+                FaultSite::WorkerOp {
+                    worker: 0,
+                    index: i,
+                },
+                FaultAction::Kill,
+            )
+        })));
+    let err = engine
+        .run_erased(
+            data,
+            &sk,
+            &QueryOptions {
+                cache_key: key,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+    assert!(
+        matches!(err, EngineError::RetriesExhausted { .. }),
+        "persistent kill should exhaust the budget, got {err}"
+    );
+
+    engine.cluster().disarm_faults();
+    let healed = engine
+        .run_erased(
+            data,
+            &sk,
+            &QueryOptions {
+                cache_key: key,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    assert_eq!(
+        healed.bytes, clean.bytes,
+        "failed query left partial state under its cache key"
+    );
+}

@@ -26,6 +26,6 @@ pub mod values;
 pub mod wire;
 
 pub use error::{Error, Result};
-pub use link::{link_pair, LinkConfig, LinkReceiver, LinkSender};
+pub use link::{link_pair, FrameFault, FrameFaultHook, LinkConfig, LinkReceiver, LinkSender};
 pub use metrics::NetMetrics;
 pub use wire::{Wire, WireReader, WireWriter};

@@ -5,11 +5,24 @@
 //! Frames carry opaque payloads produced by [`Wire`](crate::wire::Wire)
 //! encoders. Each send records traffic in the receiver-side [`NetMetrics`]
 //! and can stall to model link latency and bandwidth.
+//!
+//! ## Fault injection
+//!
+//! A sender can be armed with a [`FrameFaultHook`]: a pure decision
+//! function consulted once per outgoing frame with the frame's sequence
+//! number and length. The hook chooses a [`FrameFault`] — deliver, drop,
+//! duplicate, corrupt one bit, or delay — and the link applies it before
+//! (or instead of) the real send. Faults are invisible to the sending
+//! code: `send` still reports success for a dropped frame, exactly like a
+//! lossy network. Injected faults are counted in the link's [`NetMetrics`]
+//! so tests can assert a schedule actually fired.
 
 use crate::error::{Error, Result};
 use crate::metrics::NetMetrics;
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Delay model for a link.
@@ -44,12 +57,53 @@ impl LinkConfig {
     }
 }
 
+/// What a fault hook decides for one outgoing frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameFault {
+    /// Send the frame normally.
+    Deliver,
+    /// Silently discard the frame; the sender still observes success.
+    Drop,
+    /// Send the frame twice back to back.
+    Duplicate,
+    /// Flip one bit of the payload before sending. The bit index is
+    /// `seed % (len * 8)`, so the corruption site is a pure function of
+    /// the hook's decision and the frame length (replayable).
+    Corrupt {
+        /// Seed selecting which bit to flip.
+        seed: u64,
+    },
+    /// Stall the sending thread before delivering (a straggler frame).
+    Delay(Duration),
+}
+
+/// Per-frame fault decision function: `(frame sequence number, payload
+/// length) → fault`. Must be pure in its inputs so a failing schedule
+/// replays identically.
+pub type FrameFaultHook = Arc<dyn Fn(u64, usize) -> FrameFault + Send + Sync>;
+
 /// Sending half of a link.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct LinkSender {
     tx: Sender<Bytes>,
     cfg: LinkConfig,
     metrics: NetMetrics,
+    faults: Option<FrameFaultHook>,
+    /// Outgoing frame sequence number fed to the fault hook. Shared by
+    /// clones made *after* arming, so one logical endpoint numbers its
+    /// frames consecutively.
+    frame_seq: Arc<AtomicU64>,
+}
+
+impl std::fmt::Debug for LinkSender {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "LinkSender(faults={}, frames={})",
+            self.faults.is_some(),
+            self.frame_seq.load(Ordering::Relaxed)
+        )
+    }
 }
 
 /// Receiving half of a link.
@@ -69,14 +123,60 @@ pub fn link_pair(cfg: LinkConfig) -> (LinkSender, LinkReceiver) {
             tx,
             cfg,
             metrics: metrics.clone(),
+            faults: None,
+            frame_seq: Arc::new(AtomicU64::new(0)),
         },
         LinkReceiver { rx, metrics },
     )
 }
 
 impl LinkSender {
-    /// Send one frame; blocks for the modeled transmission delay.
+    /// Arm this sender with a fault hook and a fresh frame counter.
+    /// Clones made from the armed sender share the counter.
+    #[must_use]
+    pub fn with_faults(mut self, hook: FrameFaultHook) -> Self {
+        self.faults = Some(hook);
+        self.frame_seq = Arc::new(AtomicU64::new(0));
+        self
+    }
+
+    /// Send one frame; blocks for the modeled transmission delay, applying
+    /// any armed fault decision first.
     pub fn send(&self, payload: Bytes) -> Result<()> {
+        let fault = match &self.faults {
+            Some(hook) => hook(self.frame_seq.fetch_add(1, Ordering::SeqCst), payload.len()),
+            None => FrameFault::Deliver,
+        };
+        match fault {
+            FrameFault::Deliver => self.send_frame(payload),
+            FrameFault::Drop => {
+                // The frame vanishes on the wire; the sender cannot tell.
+                self.metrics.record_fault();
+                Ok(())
+            }
+            FrameFault::Duplicate => {
+                self.metrics.record_fault();
+                self.send_frame(payload.clone())?;
+                self.send_frame(payload)
+            }
+            FrameFault::Corrupt { seed } => {
+                self.metrics.record_fault();
+                let mut bytes = payload.to_vec();
+                if !bytes.is_empty() {
+                    let bit = (seed % (bytes.len() as u64 * 8)) as usize;
+                    bytes[bit / 8] ^= 1 << (bit % 8);
+                }
+                self.send_frame(Bytes::from(bytes))
+            }
+            FrameFault::Delay(d) => {
+                self.metrics.record_fault();
+                std::thread::sleep(d);
+                self.send_frame(payload)
+            }
+        }
+    }
+
+    fn send_frame(&self, payload: Bytes) -> Result<()> {
         let delay = self.cfg.delay_for(payload.len());
         if !delay.is_zero() {
             std::thread::sleep(delay);
@@ -188,6 +288,80 @@ mod tests {
         let start = Instant::now();
         tx.send(Bytes::from(vec![0u8; 50_000])).unwrap(); // 50 ms at 1 MB/s
         assert!(start.elapsed() >= Duration::from_millis(45));
+    }
+
+    #[test]
+    fn fault_drop_loses_frame_silently() {
+        let (tx, rx) = link_pair(LinkConfig::instant());
+        let tx = tx.with_faults(Arc::new(|seq, _len| {
+            if seq == 0 {
+                FrameFault::Drop
+            } else {
+                FrameFault::Deliver
+            }
+        }));
+        tx.send(Bytes::from_static(b"lost")).unwrap();
+        tx.send(Bytes::from_static(b"kept")).unwrap();
+        assert_eq!(rx.recv().unwrap(), Bytes::from_static(b"kept"));
+        assert_eq!(rx.metrics().messages(), 1, "dropped frame never recorded");
+        assert_eq!(rx.metrics().faults(), 1);
+    }
+
+    #[test]
+    fn fault_duplicate_delivers_twice() {
+        let (tx, rx) = link_pair(LinkConfig::instant());
+        let tx = tx.with_faults(Arc::new(|_, _| FrameFault::Duplicate));
+        tx.send(Bytes::from_static(b"x")).unwrap();
+        assert_eq!(rx.recv().unwrap(), Bytes::from_static(b"x"));
+        assert_eq!(rx.recv().unwrap(), Bytes::from_static(b"x"));
+        assert_eq!(rx.metrics().faults(), 1);
+    }
+
+    #[test]
+    fn fault_corrupt_flips_exactly_one_bit() {
+        let (tx, rx) = link_pair(LinkConfig::instant());
+        let tx = tx.with_faults(Arc::new(|_, _| FrameFault::Corrupt { seed: 11 }));
+        tx.send(Bytes::from_static(&[0u8; 4])).unwrap();
+        let got = rx.recv().unwrap();
+        let ones: u32 = got.iter().map(|b| b.count_ones()).sum();
+        assert_eq!(ones, 1, "exactly one bit flipped: {got:?}");
+        // Bit 11 = byte 1, bit 3.
+        assert_eq!(got[1], 1 << 3);
+    }
+
+    #[test]
+    fn fault_corrupt_empty_frame_is_safe() {
+        let (tx, rx) = link_pair(LinkConfig::instant());
+        let tx = tx.with_faults(Arc::new(|_, _| FrameFault::Corrupt { seed: 7 }));
+        tx.send(Bytes::new()).unwrap();
+        assert_eq!(rx.recv().unwrap(), Bytes::new());
+    }
+
+    #[test]
+    fn fault_delay_stalls_delivery() {
+        let (tx, rx) = link_pair(LinkConfig::instant());
+        let tx = tx.with_faults(Arc::new(|_, _| {
+            FrameFault::Delay(Duration::from_millis(20))
+        }));
+        let start = Instant::now();
+        tx.send(Bytes::from_static(b"slow")).unwrap();
+        rx.recv().unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn fault_hook_sees_consecutive_sequence_numbers() {
+        let seen = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let seen2 = seen.clone();
+        let (tx, _rx) = link_pair(LinkConfig::instant());
+        let tx = tx.with_faults(Arc::new(move |seq, len| {
+            seen2.lock().unwrap().push((seq, len));
+            FrameFault::Deliver
+        }));
+        for i in 0..4usize {
+            tx.send(Bytes::from(vec![0u8; i])).unwrap();
+        }
+        assert_eq!(*seen.lock().unwrap(), vec![(0, 0), (1, 1), (2, 2), (3, 3)]);
     }
 
     #[test]

@@ -17,6 +17,7 @@ pub struct NetMetrics {
 struct Counters {
     bytes: AtomicU64,
     messages: AtomicU64,
+    faults: AtomicU64,
 }
 
 impl NetMetrics {
@@ -41,10 +42,22 @@ impl NetMetrics {
         self.inner.messages.load(Ordering::Relaxed)
     }
 
+    /// Record one injected link fault (drop/duplicate/corrupt/delay).
+    pub fn record_fault(&self) {
+        self.inner.faults.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total link faults injected on this endpoint — lets tests assert a
+    /// fault schedule actually fired.
+    pub fn faults(&self) -> u64 {
+        self.inner.faults.load(Ordering::Relaxed)
+    }
+
     /// Reset to zero (between benchmark operations).
     pub fn reset(&self) {
         self.inner.bytes.store(0, Ordering::Relaxed);
         self.inner.messages.store(0, Ordering::Relaxed);
+        self.inner.faults.store(0, Ordering::Relaxed);
     }
 }
 

@@ -2,7 +2,7 @@
 //! frames never panic.
 
 use hillview_columnar::{Row, RowKey, Value};
-use hillview_net::Wire;
+use hillview_net::{Wire, WireReader, WireWriter};
 use proptest::prelude::*;
 
 fn value_strategy() -> impl Strategy<Value = Value> {
@@ -85,6 +85,88 @@ proptest! {
                 prop_assert_eq!(decoded, v, "truncated decode produced a different value");
                 prop_assert_eq!(cut, full.len());
             }
+        }
+    }
+
+    /// Truncating a row encoding anywhere must also fail cleanly — rows
+    /// carry a leading arity, so a clean prefix must not parse as a
+    /// shorter row.
+    #[test]
+    fn row_truncation_never_roundtrips(
+        vals in proptest::collection::vec(value_strategy(), 1..8),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let row = Row::new(vals);
+        let full = row.to_bytes();
+        let cut = ((full.len() - 1) as f64 * cut_frac) as usize;
+        if let Ok(decoded) = Row::from_bytes(full.slice(0..cut)) {
+            prop_assert_eq!(decoded, row, "truncated decode produced a different row");
+            prop_assert_eq!(cut, full.len());
+        }
+    }
+
+    /// Flipping any single bit of a valid encoding must either fail with a
+    /// structured [`hillview_net::Error`] or decode to a self-consistent
+    /// value (one that re-encodes canonically) — never panic, and never
+    /// decode to something that cannot survive its own round trip.
+    #[test]
+    fn single_bit_flips_decode_structurally(
+        vals in proptest::collection::vec(value_strategy(), 0..6),
+        flip in any::<usize>(),
+    ) {
+        let row = Row::new(vals);
+        let full = row.to_bytes();
+        if !full.is_empty() {
+            let mut mutated = full.to_vec();
+            let bit = flip % (mutated.len() * 8);
+            mutated[bit / 8] ^= 1 << (bit % 8);
+            if let Ok(decoded) = Row::from_bytes(bytes::Bytes::from(mutated)) {
+                let reencoded = decoded.to_bytes();
+                prop_assert_eq!(
+                    Row::from_bytes(reencoded).unwrap(),
+                    decoded,
+                    "bit-flipped decode is not round-trip stable"
+                );
+            }
+        }
+    }
+
+    /// Inflating a length prefix far beyond the actual payload must fail
+    /// with a structured error — no panic, hang, or absurd allocation.
+    /// [`WireReader::get_len`] bounds every length by the bytes remaining.
+    #[test]
+    fn inflated_length_fields_fail_cleanly(
+        payload in proptest::collection::vec(any::<u8>(), 0..32),
+        excess in 1u64..u64::MAX / 2,
+    ) {
+        let mut w = WireWriter::new();
+        w.put_varint(payload.len() as u64 + excess);
+        for &b in &payload {
+            w.put_u8(b);
+        }
+        let frame = w.finish();
+        let mut r = WireReader::new(frame.clone());
+        prop_assert!(r.get_bytes().is_err(), "oversized byte-length accepted");
+        let mut r = WireReader::new(frame.clone());
+        prop_assert!(r.get_str().is_err(), "oversized string-length accepted");
+        prop_assert!(String::from_bytes(frame.clone()).is_err());
+        prop_assert!(Vec::<u64>::from_bytes(frame).is_err());
+    }
+
+    /// Varint decoding tolerates any byte soup: it either yields a value
+    /// consuming at most 10 bytes or errors — never panics or reads past
+    /// the buffer.
+    #[test]
+    fn varint_decoding_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..16)) {
+        let len = bytes.len();
+        let mut r = WireReader::new(bytes::Bytes::from(bytes));
+        if let Ok(v) = r.get_varint() {
+            let consumed = len - r.remaining();
+            prop_assert!(consumed <= 10, "varint consumed {consumed} bytes");
+            // Canonical re-encoding is never longer than what was read.
+            let mut w = WireWriter::new();
+            w.put_varint(v);
+            prop_assert!(w.len() <= consumed);
         }
     }
 }
