@@ -182,31 +182,33 @@ pub struct DictColumn {
     codes: CodeStorage,
     dict: Arc<Dictionary>,
     nulls: NullMask,
+    /// Per-64-row-block min/max *code*, recorded at ingest so categorical
+    /// `Equals`/text matches can skip whole blocks (null rows contribute
+    /// their code-0 placeholder).
+    zones: Arc<ZoneMap<u32>>,
 }
 
 impl DictColumn {
     /// Build from pre-encoded codes and their dictionary, choosing the
     /// cheapest physical encoding for the code array automatically.
     pub fn new(codes: Vec<u32>, dict: Arc<Dictionary>, nulls: NullMask) -> Self {
-        DictColumn {
-            codes: CodeStorage::encode(codes),
-            dict,
-            nulls,
-        }
+        Self::with_storage(CodeStorage::encode(codes), dict, nulls)
     }
 
     /// Build keeping the codes uncompressed.
     pub fn plain(codes: Vec<u32>, dict: Arc<Dictionary>, nulls: NullMask) -> Self {
-        DictColumn {
-            codes: CodeStorage::plain_of(codes),
-            dict,
-            nulls,
-        }
+        Self::with_storage(CodeStorage::plain_of(codes), dict, nulls)
     }
 
     /// Build from already-encoded code storage (e.g. `hvc` decode).
     pub fn with_storage(codes: CodeStorage, dict: Arc<Dictionary>, nulls: NullMask) -> Self {
-        DictColumn { codes, dict, nulls }
+        let zones = Arc::new(ZoneMap::build(&codes));
+        DictColumn {
+            codes,
+            dict,
+            nulls,
+            zones,
+        }
     }
 
     /// Build by interning an iterator of optional strings.
@@ -258,6 +260,13 @@ impl DictColumn {
     #[inline]
     pub fn dictionary(&self) -> &Arc<Dictionary> {
         &self.dict
+    }
+
+    /// Per-64-row-block min/max code (null rows contribute code 0),
+    /// recorded at ingest for categorical block skipping.
+    #[inline]
+    pub fn zones(&self) -> &ZoneMap<u32> {
+        &self.zones
     }
 
     /// Null mask.

@@ -662,11 +662,7 @@ impl<T: PackedInt> IntStorage<T> {
                     // Unpack the packed deltas of the frame (anchor rows
                     // packed zero), then prefix-sum from the anchor.
                     unpack_span(words, T::default(), width, base, out);
-                    let mut v = anchors[base / BLOCK_ROWS];
-                    for slot in out.iter_mut() {
-                        v = T::add_offset(v, slot.offset_from(T::default()));
-                        *slot = v;
-                    }
+                    prefix_frame(anchors[base / BLOCK_ROWS], out);
                 }
                 &buf[..len]
             }
@@ -1073,6 +1069,74 @@ mod vbmi {
             }
         }
     }
+}
+
+/// Turn one frame of unpacked deltas into values: `out[k] = anchor +
+/// out[0] + .. + out[k]` in the wrapping offset domain. The scalar
+/// reference body; the lane-parallel variant below must stay bit-identical
+/// (wrapping integer adds are associative, so regrouping is exact).
+#[inline]
+fn prefix_frame_body<T: PackedInt>(anchor: T, out: &mut [T]) {
+    let mut v = anchor;
+    for slot in out.iter_mut() {
+        v = T::add_offset(v, slot.offset_from(T::default()));
+        *slot = v;
+    }
+}
+
+/// 4-lane Hillis–Steele prefix sum with a running carry for 64-bit lanes
+/// (the sorted/id `I64Storage::Delta` hot path); 32-bit code lanes fall
+/// back to the scalar body, whose dependency chain is short enough at
+/// width 4.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[target_feature(enable = "avx2")]
+fn prefix_frame_avx2<T: PackedInt>(anchor: T, out: &mut [T]) {
+    use std::arch::x86_64::*;
+    if T::BYTES != 8 {
+        prefix_frame_body(anchor, out);
+        return;
+    }
+    // Lanes already hold the raw delta bit patterns (`add_offset` from
+    // default is the identity embedding), so the whole computation runs on
+    // u64 bits; wrapping vector adds match `add_offset` bit for bit.
+    // Safety: intrinsics gated by this function's target features; loads
+    // and stores stay inside `out`.
+    unsafe {
+        let mut carry = _mm256_set1_epi64x(anchor.offset_from(T::default()) as i64);
+        let n = out.len();
+        let mut o = 0usize;
+        while o + 4 <= n {
+            let ptr = out.as_mut_ptr().add(o) as *mut __m256i;
+            let mut x = _mm256_loadu_si256(ptr);
+            // In-vector prefix: within each 128-bit half, then carry the
+            // low half's total into the high half.
+            x = _mm256_add_epi64(x, _mm256_slli_si256::<8>(x));
+            let lo_sum = _mm256_permute4x64_epi64::<0b01_01_01_01>(x);
+            let cross = _mm256_blend_epi32::<0b1111_0000>(_mm256_setzero_si256(), lo_sum);
+            x = _mm256_add_epi64(x, cross);
+            x = _mm256_add_epi64(x, carry);
+            carry = _mm256_permute4x64_epi64::<0b11_11_11_11>(x);
+            _mm256_storeu_si256(ptr, x);
+            o += 4;
+        }
+        if o < n {
+            let v = T::add_offset(T::default(), _mm256_extract_epi64::<0>(carry) as u64);
+            prefix_frame_body(v, &mut out[o..]);
+        }
+    }
+}
+
+#[inline]
+fn prefix_frame<T: PackedInt>(anchor: T, out: &mut [T]) {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    // Safety: the tier is only reported after runtime detection.
+    match crate::simd::current_tier() {
+        crate::simd::Tier::Avx2 | crate::simd::Tier::Avx512 => {
+            return unsafe { prefix_frame_avx2(anchor, out) };
+        }
+        crate::simd::Tier::Scalar => {}
+    }
+    prefix_frame_body(anchor, out);
 }
 
 #[inline]
@@ -1491,6 +1555,26 @@ mod tests {
             u64::MAX
         );
         assert_eq!(s.range_frame_word(&mut cursor, 0, 64, 8, 10, &mut buf), 0);
+    }
+
+    #[test]
+    fn delta_prefix_sum_simd_matches_scalar() {
+        // The vectorized prefix-sum must reproduce the scalar fold bit for
+        // bit, across frame lengths (full 64-row frames and ragged tails)
+        // and extreme step values.
+        let mut vals: Vec<i64> = Vec::new();
+        let mut v: i64 = -1_000_000;
+        for i in 0..517 {
+            v += (i % 13) * 7 + 1;
+            vals.push(v);
+        }
+        let s = IntStorage::delta_of(&vals).expect("ascending: delta encodes");
+        let fast = s.to_vec();
+        crate::simd::set_force_scalar(true);
+        let slow = s.to_vec();
+        crate::simd::set_force_scalar(false);
+        assert_eq!(fast, slow);
+        assert_eq!(fast, vals);
     }
 
     #[test]

@@ -61,6 +61,37 @@
 //! tests assert the results are bit-identical. The [`simd`] module holds
 //! the feature-gated lane-parallel fast paths kernels run over those
 //! frames, with mandatory bit-identical scalar fallbacks.
+//!
+//! ## Query execution pipeline
+//!
+//! A filtered query — the paper's interactive zoom/search (§3.3) — is
+//! **fused** into a single memory pass over each 64-row frame:
+//!
+//! 1. the compiled [`BlockPredicate`] evaluates the frame into a 64-bit
+//!    *match word* (consulting zone maps first, so a block whose min/max
+//!    — value or dictionary code — sits outside the predicate's bounds
+//!    produces its word without decoding a single lane);
+//! 2. the match word is ANDed into the parent *selection word* inside
+//!    [`scan::Selection::Filtered`] (wrapping a [`FrameFilter`]), and
+//!    zero words are dropped on the spot;
+//! 3. surviving words flow straight into the block kernel, whose cursor
+//!    decodes each surviving frame exactly once for both stages.
+//!
+//! No intermediate [`MembershipSet`] is materialized and no second decode
+//! happens — predicate word → selection word → kernel, one pass. Derived
+//! columns take the same path: block-compilable UDFs ([`udf::BlockUdf`])
+//! materialize frame-at-a-time through the encodings' block decoders
+//! instead of a per-row closure.
+//!
+//! The two-pass execution ([`filter_members`] into a membership set, then
+//! a second scan) remains, deliberately: the engine's planner uses it when
+//! a filtered table is queried repeatedly (the membership set is computed
+//! once and cached — fusion would re-evaluate the predicate per query),
+//! and sampled kernels fall back to it so samples draw from the filtered
+//! membership. The fused and two-pass pipelines are property-tested
+//! bit-identical across encodings × membership representations × null
+//! densities × simd modes, so the planner's choice is invisible in
+//! results.
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -93,8 +124,8 @@ pub use error::{Error, Result};
 pub use membership::MembershipSet;
 pub use nullmask::NullMask;
 pub use predicate::{
-    filter_members, filter_members_rowwise, BlockPredicate, CompiledPredicate, Predicate,
-    StrMatchKind,
+    filter_members, filter_members_rowwise, BlockPredicate, CompiledPredicate, FrameFilter,
+    Predicate, StrMatchKind,
 };
 pub use rows::{Row, RowKey};
 pub use scan::{rows_in_range, ScanChunk, ScanSource, Selection, SplittableSelection};

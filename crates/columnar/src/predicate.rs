@@ -316,6 +316,7 @@ impl Predicate {
                             Some(code) => BNode::EqualsCode {
                                 codes: d.codes(),
                                 nulls: d.nulls().bitmap(),
+                                zones: d.zones(),
                                 code,
                                 cursor: 0,
                                 buf: Box::new([0; BLOCK_ROWS]),
@@ -410,6 +411,7 @@ impl Predicate {
                             BNode::MatchCodes {
                                 codes: d.codes(),
                                 nulls: d.nulls().bitmap(),
+                                zones: d.zones(),
                                 bits,
                                 cursor: 0,
                                 buf: Box::new([0; BLOCK_ROWS]),
@@ -740,6 +742,7 @@ enum BNode<'a> {
     EqualsCode {
         codes: &'a CodeStorage,
         nulls: Option<&'a Bitmap>,
+        zones: &'a ZoneMap<u32>,
         code: u32,
         cursor: usize,
         buf: Box<[u32; BLOCK_ROWS]>,
@@ -749,6 +752,7 @@ enum BNode<'a> {
     MatchCodes {
         codes: &'a CodeStorage,
         nulls: Option<&'a Bitmap>,
+        zones: &'a ZoneMap<u32>,
         bits: Vec<u64>,
         cursor: usize,
         buf: Box<[u32; BLOCK_ROWS]>,
@@ -850,6 +854,7 @@ fn eval_node(node: &mut BNode<'_>, base: usize, len: usize, sel: u64) -> u64 {
         BNode::EqualsCode {
             codes,
             nulls,
+            zones,
             code,
             cursor,
             buf,
@@ -858,11 +863,19 @@ fn eval_node(node: &mut BNode<'_>, base: usize, len: usize, sel: u64) -> u64 {
             if live == 0 {
                 return 0;
             }
+            let (zmin, zmax) = zones.block(base / 64);
+            if *code < zmin || *code > zmax {
+                return 0; // zone map: the target code never occurs here
+            }
+            if zmin == zmax {
+                return live; // constant block equal to the target
+            }
             codes.range_frame_word(cursor, base, len, *code, *code, buf) & live
         }
         BNode::MatchCodes {
             codes,
             nulls,
+            zones,
             bits,
             cursor,
             buf,
@@ -870,6 +883,27 @@ fn eval_node(node: &mut BNode<'_>, base: usize, len: usize, sel: u64) -> u64 {
             let live = live_word(*nulls, base, sel);
             if live == 0 {
                 return 0;
+            }
+            // Zone check over the block's code interval: sorted or
+            // low-cardinality categorical data has narrow per-block code
+            // ranges, so a cheap bitmap sweep decides whole blocks. Wide
+            // intervals skip the sweep rather than pay O(interval) per
+            // block.
+            let (zmin, zmax) = zones.block(base / 64);
+            if zmax - zmin < 256 {
+                let mut any = false;
+                let mut all = true;
+                for c in zmin..=zmax {
+                    let hit = bits[c as usize / 64] >> (c % 64) & 1 == 1;
+                    any |= hit;
+                    all &= hit;
+                }
+                if !any {
+                    return 0; // no code of this block matches
+                }
+                if all {
+                    return live; // every code of this block matches
+                }
             }
             let lanes = codes.decode_frame(cursor, base, len, buf);
             simd::probe_word(lanes, bits) & live
@@ -959,6 +993,78 @@ pub fn filter_members(
 fn flush_word(bp: &mut BlockPredicate<'_>, words: &mut [u64], n: usize, base: usize, word: u64) {
     let len = (64 - word.leading_zeros() as usize).min(n - base);
     words[base / 64] |= bp.eval_frame(base, len, word);
+}
+
+/// A compiled predicate packaged for **fused** scans: the filter stage of a
+/// one-pass `(predicate, sketch)` query.
+///
+/// Where [`filter_members`] materializes a narrowed [`MembershipSet`] that a
+/// kernel then re-walks (two memory passes), a `FrameFilter` is handed to
+/// [`Selection::Filtered`](crate::scan::Selection) and evaluated *inside*
+/// the kernel's chunk iterator: each parent selection word is turned into
+/// its match word on the fly, zero words are dropped before any column
+/// decode happens, and the surviving words flow straight into the block
+/// kernel. Zone maps therefore prune for both stages at once — a block the
+/// predicate skips is never decoded for the kernel either.
+///
+/// The filter counts matching rows as a side effect ([`FrameFilter::matched`]
+/// replaces the pre-scan `Selection::count()` kernels use on materialized
+/// memberships) and is strictly **single-pass**: the underlying
+/// [`BlockPredicate`] decode cursors only move forward, so a second
+/// `chunks()` or a `count()` on the filtered selection panics instead of
+/// silently returning garbage.
+pub struct FrameFilter<'a> {
+    pred: BlockPredicate<'a>,
+    universe: usize,
+    matched: u64,
+    started: bool,
+}
+
+impl std::fmt::Debug for FrameFilter<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FrameFilter")
+            .field("universe", &self.universe)
+            .field("matched", &self.matched)
+            .field("started", &self.started)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> FrameFilter<'a> {
+    /// Compile `predicate` against `table` for fused evaluation.
+    pub fn compile(predicate: &Predicate, table: &'a Table) -> Result<Self> {
+        Ok(FrameFilter {
+            pred: predicate.compile_blockwise(table)?,
+            universe: table.num_rows(),
+            matched: 0,
+            started: false,
+        })
+    }
+
+    /// Rows that passed the predicate so far; after a scan drains the
+    /// filtered selection this is the filtered row count.
+    pub fn matched(&self) -> u64 {
+        self.matched
+    }
+
+    /// Marks the start of the (single permitted) pass.
+    pub(crate) fn begin(&mut self) {
+        assert!(
+            !self.started,
+            "FrameFilter is single-pass: a filtered selection can only be scanned once \
+             (compile a fresh filter, or materialize with filter_members for reuse)"
+        );
+        self.started = true;
+    }
+
+    /// Evaluate the parent selection `word` of the 64-row block at `base`
+    /// (64-aligned, `word != 0`) and return the word of matching rows.
+    pub(crate) fn eval_word(&mut self, base: usize, word: u64) -> u64 {
+        let len = (64 - word.leading_zeros() as usize).min(self.universe - base);
+        let m = self.pred.eval_frame(base, len, word);
+        self.matched += u64::from(m.count_ones());
+        m
+    }
 }
 
 /// Per-row reference of [`filter_members`]: iterate the parent membership
@@ -1311,5 +1417,219 @@ mod tests {
                 "{lo}..{hi}"
             );
         }
+    }
+
+    #[test]
+    fn dict_zone_maps_skip_blocks_on_sorted_categories() {
+        // 640 rows of sorted categories: every per-block code interval is
+        // narrow, so Equals and text matches block-skip; results must stay
+        // identical to the rowwise reference (and missing rows excluded).
+        let cats = ["alpha", "beta", "gamma", "delta", "epsilon"];
+        let vals: Vec<Option<&str>> = (0..640)
+            .map(|i| {
+                if i % 97 == 0 {
+                    None
+                } else {
+                    Some(cats[i / 128])
+                }
+            })
+            .collect();
+        let t = Table::builder()
+            .column(
+                "Cat",
+                ColumnKind::Category,
+                Column::Cat(DictColumn::from_strings(vals)),
+            )
+            .build()
+            .unwrap();
+        for p in [
+            Predicate::equals("Cat", "gamma"),
+            Predicate::equals("Cat", "alpha"),
+            Predicate::str_match("Cat", "a", StrMatchKind::Substring, false),
+            Predicate::str_match("Cat", "delta", StrMatchKind::Exact, false),
+            Predicate::equals("Cat", "gamma").not(),
+        ] {
+            rows_matching(&t, &p); // asserts block ≡ rowwise internally
+        }
+    }
+
+    fn fused_rows(t: &Table, p: &Predicate, parent: &MembershipSet) -> Vec<usize> {
+        use crate::scan::ScanChunk;
+        use core::cell::RefCell;
+        let base = Selection::Members(parent);
+        let filter = RefCell::new(FrameFilter::compile(p, t).unwrap());
+        let sel = Selection::Filtered {
+            base: &base,
+            filter: &filter,
+        };
+        let mut rows = Vec::new();
+        for chunk in sel.chunks() {
+            match chunk {
+                ScanChunk::Mask { base, word } => {
+                    assert_ne!(word, 0, "filtered selections drop zero words");
+                    let mut w = word;
+                    while w != 0 {
+                        let k = w.trailing_zeros() as usize;
+                        w &= w - 1;
+                        rows.push(base + k);
+                    }
+                }
+                other => panic!("filtered selections yield only mask chunks, got {other:?}"),
+            }
+        }
+        assert_eq!(
+            filter.borrow().matched() as usize,
+            rows.len(),
+            "matched() must equal the yielded row count"
+        );
+        rows
+    }
+
+    #[test]
+    fn fused_selection_matches_filter_members() {
+        // One fused pass must yield exactly the rows the two-pass pipeline
+        // (filter_members then re-scan) yields, for every parent
+        // representation (full / dense / sparse).
+        let n = 517;
+        let vals: Vec<Option<i64>> = (0..n as i64).map(|i| Some(i * 7919 % 100)).collect();
+        let t = Table::builder()
+            .column(
+                "X",
+                ColumnKind::Int,
+                Column::Int(I64Column::from_options(vals)),
+            )
+            .build()
+            .unwrap();
+        let full = MembershipSet::full(n);
+        let dense = {
+            let mut b = Bitmap::new(n);
+            for r in (0..n).filter(|r| r % 3 != 1) {
+                b.set(r);
+            }
+            MembershipSet::Dense(b)
+        };
+        let sparse = MembershipSet::from_rows((0..n as u32).step_by(17).collect(), n);
+        for p in [
+            Predicate::range("X", 10.0, 35.0),
+            Predicate::equals("X", 42i64),
+            Predicate::range("X", 10.0, 35.0).not(),
+        ] {
+            for parent in [&full, &dense, &sparse] {
+                let two_pass = filter_members(&t, &p, parent).unwrap();
+                assert_eq!(
+                    fused_rows(&t, &p, parent),
+                    two_pass.iter().collect::<Vec<_>>(),
+                    "fused vs two-pass for {p:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn not_over_udf_derived_missing_agrees_on_every_path() {
+        // A block-compiled ratio column derives Missing three ways: null
+        // inputs, zero denominators, and inf/inf lanes whose raw data slot
+        // keeps the computed NaN (F64Column only marks it null). `Not` is
+        // the exact complement rule, so all of those rows must be selected
+        // by `Not(Range)` — and the rowwise, blockwise, and fused filter
+        // paths must agree lane for lane despite the NaN placeholders.
+        use crate::udf::UdfRegistry;
+        let n = 200usize;
+        let num = (0..n).map(|i| match i {
+            17 | 81 => Some(f64::INFINITY),
+            i if i % 13 == 4 => None,
+            i => Some(i as f64),
+        });
+        let den = (0..n).map(|i| match i {
+            17 | 81 => Some(f64::INFINITY), // inf/inf -> NaN lane, null row
+            i if i % 7 == 2 => Some(0.0),   // division by zero -> Missing
+            i if i % 11 == 6 => None,       // missing denominator
+            i => Some((i % 9) as f64 - 4.0),
+        });
+        let t = Table::builder()
+            .column(
+                "A",
+                ColumnKind::Double,
+                Column::Double(F64Column::from_options(num)),
+            )
+            .column(
+                "B",
+                ColumnKind::Double,
+                Column::Double(F64Column::from_options(den)),
+            )
+            .build()
+            .unwrap();
+        let mut reg = UdfRegistry::new();
+        reg.register_ratio("R", "A", "B");
+        let col = reg.materialize("R", &t).unwrap();
+        let missing: Vec<usize> = (0..n).filter(|&r| col.value(r) == Value::Missing).collect();
+        assert!(missing.contains(&17), "inf/inf must derive Missing");
+        let t = t.with_column("R", col).unwrap();
+
+        let parent = MembershipSet::full(n);
+        let inside = Predicate::range("R", -2.0, 3.0);
+        let complement = inside.clone().not();
+        let missing_only = Predicate::IsMissing {
+            column: Arc::from("R"),
+        };
+        for p in [&inside, &complement, &missing_only] {
+            let block = filter_members(&t, p, &parent).unwrap();
+            let row = filter_members_rowwise(&t, p, &parent).unwrap();
+            assert_eq!(
+                block.iter().collect::<Vec<_>>(),
+                row.iter().collect::<Vec<_>>(),
+                "block vs rowwise for {p:?}"
+            );
+            assert_eq!(
+                fused_rows(&t, p, &parent),
+                row.iter().collect::<Vec<_>>(),
+                "fused vs rowwise for {p:?}"
+            );
+        }
+        let matched_in = filter_members(&t, &inside, &parent).unwrap();
+        let matched_not = filter_members(&t, &complement, &parent).unwrap();
+        for &r in &missing {
+            assert!(
+                !matched_in.contains(r),
+                "missing row {r} must never satisfy Range"
+            );
+            assert!(
+                matched_not.contains(r),
+                "Not(Range) is the exact complement: must select missing row {r}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "single-pass")]
+    fn fused_selection_rejects_second_pass() {
+        let t = table();
+        let parent = MembershipSet::full(4);
+        let base = Selection::Members(&parent);
+        let filter = core::cell::RefCell::new(
+            FrameFilter::compile(&Predicate::range("Delay", 0.0, 100.0), &t).unwrap(),
+        );
+        let sel = Selection::Filtered {
+            base: &base,
+            filter: &filter,
+        };
+        for _ in sel.chunks() {}
+        let _ = sel.chunks(); // must panic: decode cursors cannot rewind
+    }
+
+    #[test]
+    #[should_panic(expected = "single-pass")]
+    fn fused_selection_rejects_count() {
+        let t = table();
+        let parent = MembershipSet::full(4);
+        let base = Selection::Members(&parent);
+        let filter = core::cell::RefCell::new(
+            FrameFilter::compile(&Predicate::range("Delay", 0.0, 100.0), &t).unwrap(),
+        );
+        let sel = Selection::Filtered {
+            base: &base,
+            filter: &filter,
+        };
+        let _ = sel.count();
     }
 }

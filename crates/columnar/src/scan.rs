@@ -45,6 +45,7 @@ use crate::bitmap::Bitmap;
 use crate::block::{scan_blocks, Block, BlockSink, BLOCK_ROWS};
 use crate::encoding::{IntStorage, PackedInt};
 use crate::membership::MembershipSet;
+use crate::predicate::FrameFilter;
 
 /// What a typed scan driver reads values from: either a plain slice (raw
 /// column data, hash tables, scratch vectors) or an encoded
@@ -220,6 +221,23 @@ enum ChunksInner<'a> {
     },
     /// A single explicit row list, emitted once.
     Rows(&'a [u32]),
+    /// Fused filtering: parent chunks are decomposed into 64-row selection
+    /// words, each word is run through the [`FrameFilter`], and only
+    /// non-zero match words are yielded as [`ScanChunk::Mask`].
+    Filtered {
+        inner: Box<ScanChunks<'a>>,
+        filter: &'a core::cell::RefCell<FrameFilter<'a>>,
+        pending: FilteredPending<'a>,
+    },
+}
+
+/// The partially consumed parent chunk of a filtered iterator.
+enum FilteredPending<'a> {
+    None,
+    /// Remaining rows `.0 .. .1` of a parent range chunk.
+    Range(usize, usize),
+    /// Remaining rows of a parent sparse chunk.
+    Rows(&'a [u32]),
 }
 
 impl<'a> ScanChunks<'a> {
@@ -335,6 +353,67 @@ impl<'a> Iterator for ScanChunks<'a> {
                     Some(ScanChunk::Mask { base, word: w })
                 }
             }
+            ChunksInner::Filtered {
+                inner,
+                filter,
+                pending,
+            } => {
+                let mut f = filter.borrow_mut();
+                loop {
+                    // Produce the next 64-row (base, selection word) pair of
+                    // the parent selection.
+                    let (base, word) = match pending {
+                        FilteredPending::Range(s, e) => {
+                            let base = *s & !63;
+                            let end = (*e).min(base + 64);
+                            let w = mask_span(*s - base, end - base);
+                            if end < *e {
+                                *s = end;
+                            } else {
+                                *pending = FilteredPending::None;
+                            }
+                            (base, w)
+                        }
+                        FilteredPending::Rows(rows) => {
+                            let base = rows[0] as usize & !63;
+                            let mut k = 0;
+                            let mut w = 0u64;
+                            while k < rows.len() && (rows[k] as usize) < base + 64 {
+                                w |= 1u64 << (rows[k] as usize - base);
+                                k += 1;
+                            }
+                            if k < rows.len() {
+                                *rows = &rows[k..];
+                            } else {
+                                *pending = FilteredPending::None;
+                            }
+                            (base, w)
+                        }
+                        FilteredPending::None => match inner.next() {
+                            None => return None,
+                            Some(ScanChunk::Range { start, end }) => {
+                                *pending = FilteredPending::Range(start, end);
+                                continue;
+                            }
+                            Some(ScanChunk::Rows(rows)) => {
+                                if rows.is_empty() {
+                                    continue;
+                                }
+                                *pending = FilteredPending::Rows(rows);
+                                continue;
+                            }
+                            Some(ScanChunk::Mask { base, word }) => (base, word),
+                        },
+                    };
+                    // Words the predicate zeroes out (zone-map skips,
+                    // no-match blocks) are dropped here: the kernel never
+                    // sees — and never decodes — those blocks.
+                    let m = f.eval_word(base, word);
+                    if m != 0 {
+                        return Some(ScanChunk::Mask { base, word: m });
+                    }
+                }
+            }
         }
     }
 }
@@ -382,6 +461,26 @@ pub enum Selection<'a> {
     /// A pre-drawn ascending row sample (e.g. from
     /// [`MembershipSet::sample`]).
     Rows(&'a [u32]),
+    /// A **fused** selection: the rows of `base` that additionally pass a
+    /// compiled predicate, evaluated lazily inside the chunk iterator.
+    ///
+    /// Each parent chunk is decomposed into 64-row selection words, the
+    /// [`FrameFilter`] turns every word into its match word, and only
+    /// non-zero match words are yielded (as [`ScanChunk::Mask`]) — so a
+    /// block the predicate rejects (e.g. by zone map) is never decoded by
+    /// the consuming kernel at all. This is what compiles a
+    /// `(predicate, sketch)` pair into a single memory pass: no
+    /// intermediate membership set, no second decode.
+    ///
+    /// Single-pass: `chunks()` may be called once; `count()` panics — read
+    /// [`FrameFilter::matched`] after the scan instead.
+    Filtered {
+        /// The parent selection being filtered.
+        base: &'a Selection<'a>,
+        /// The compiled filter (shared mutable state: decode cursors and
+        /// the matched-row counter advance as the scan proceeds).
+        filter: &'a core::cell::RefCell<FrameFilter<'a>>,
+    },
 }
 
 impl<'a> Selection<'a> {
@@ -407,6 +506,9 @@ impl<'a> Selection<'a> {
     }
 
     /// Number of selected rows.
+    ///
+    /// Panics on [`Selection::Filtered`]: the filtered row count only
+    /// exists after the (single) scan — read [`FrameFilter::matched`] then.
     pub fn count(&self) -> usize {
         match self {
             Selection::Members(m) => m.len(),
@@ -416,6 +518,10 @@ impl<'a> Selection<'a> {
                 end,
             } => members.count_range(*start, *end),
             Selection::Rows(r) => r.len(),
+            Selection::Filtered { .. } => panic!(
+                "Selection::Filtered is single-pass: its row count is only known after \
+                 the scan — read FrameFilter::matched() instead of count()"
+            ),
         }
     }
 
@@ -435,6 +541,16 @@ impl<'a> Selection<'a> {
                 }
             },
             Selection::Rows(r) => ScanChunks::rows(r),
+            Selection::Filtered { base, filter } => {
+                filter.borrow_mut().begin();
+                ScanChunks {
+                    inner: ChunksInner::Filtered {
+                        inner: Box::new(base.chunks()),
+                        filter,
+                        pending: FilteredPending::None,
+                    },
+                }
+            }
         }
     }
 }

@@ -451,6 +451,23 @@ impl Cluster {
         sketch: &Arc<dyn ErasedSketch>,
         opts: &QueryOptions,
     ) -> EngineResult<QueryOutcome> {
+        self.run_erased_filtered(dataset, None, sketch, opts)
+    }
+
+    /// Run an erased sketch over `dataset`, optionally narrowed by a fused
+    /// predicate: instead of materializing a filtered membership first,
+    /// every leaf compiles `filter` into the sketch's own block pass — the
+    /// predicate evaluates per 64-row frame, its match word ANDs into the
+    /// selection word, and surviving lanes feed the kernel directly (one
+    /// decode per frame, zone maps pruning for both stages).
+    pub fn run_erased_filtered(
+        &self,
+        dataset: DatasetId,
+        filter: Option<&Predicate>,
+        sketch: &Arc<dyn ErasedSketch>,
+        opts: &QueryOptions,
+    ) -> EngineResult<QueryOutcome> {
+        let filter: Option<Arc<Predicate>> = filter.map(|p| Arc::new(p.clone()));
         let started = Instant::now();
         let (tx, rx) = link_pair(self.cfg.link);
         // Internal token: stops this tree's outstanding work on errors
@@ -497,9 +514,10 @@ impl Cluster {
             let batch = self.cfg.batch_interval;
             let cache_key = opts.cache_key;
             let grain = self.cfg.leaf_grain_rows;
+            let flt = filter.clone();
             aggregators.push(std::thread::spawn(move || {
                 aggregate_worker(
-                    worker, sketch, dataset, seed, cancel, tree, tx, batch, cache_key, grain,
+                    worker, sketch, dataset, flt, seed, cancel, tree, tx, batch, cache_key, grain,
                 );
             }));
         }
@@ -806,6 +824,13 @@ struct LeafMsg {
 /// on this thread's deque, where idle siblings steal them — then summarize
 /// the remaining leftmost piece and report it keyed by range start.
 ///
+/// With a fused `filter`, the leaf calls the sketch's filtered entry
+/// points: the predicate is compiled once per leaf and evaluated inside
+/// the block scan, so no filtered membership ever exists. Split bounds and
+/// work weights stay those of the *unfiltered* membership — filtering
+/// narrows rows, never renumbers them — so the split plan (and therefore
+/// the deterministic fold order) is identical with and without a filter.
+///
 /// `bonus` is 1 on the initial per-partition task (the extra work unit
 /// that makes empty partitions observable) and 0 on split-off halves;
 /// weights are conserved exactly across splits, so the aggregation node
@@ -815,6 +840,7 @@ fn run_leaf_task(
     worker: Arc<Worker>,
     view: hillview_sketch::TableView,
     sketch: Arc<dyn ErasedSketch>,
+    filter: Option<Arc<Predicate>>,
     partition: u32,
     lo: usize,
     hi: usize,
@@ -844,12 +870,13 @@ fn run_leaf_task(
             let w2 = worker.clone();
             let v2 = view.clone();
             let s2 = sketch.clone();
+            let f2 = filter.clone();
             let c2 = cancel.clone();
             let t2 = tree.clone();
             let tx2 = tx.clone();
             worker.pool().submit(move || {
                 run_leaf_task(
-                    w2, v2, s2, partition, rlo, rhi, rweight, 0, grain, seed, c2, t2, tx2,
+                    w2, v2, s2, f2, partition, rlo, rhi, rweight, 0, grain, seed, c2, t2, tx2,
                 );
             });
             part = left;
@@ -873,13 +900,26 @@ fn run_leaf_task(
                 Some(FaultAction::StallLeaf(d)) => std::thread::sleep(d),
                 _ => {}
             }
-            if lo == 0 && hi >= view.members().universe() {
-                // Unsplit partition: the plain summarize path.
-                sketch.summarize_to_bytes(&view, seed).map(Some)
-            } else {
-                sketch
+            match &filter {
+                // Fused filter + sketch: one block pass, no membership.
+                Some(pred) => {
+                    if lo == 0 && hi >= view.members().universe() {
+                        sketch
+                            .summarize_filtered_to_bytes(&view, pred, seed)
+                            .map(Some)
+                    } else {
+                        sketch
+                            .summarize_filtered_range_to_bytes(&view, pred, lo, hi, seed)
+                            .map(Some)
+                    }
+                }
+                None if lo == 0 && hi >= view.members().universe() => {
+                    // Unsplit partition: the plain summarize path.
+                    sketch.summarize_to_bytes(&view, seed).map(Some)
+                }
+                None => sketch
                     .summarize_range_to_bytes(&view, lo, hi, seed)
-                    .map(Some)
+                    .map(Some),
             }
         }));
         match run {
@@ -911,6 +951,7 @@ fn aggregate_worker(
     worker: Arc<Worker>,
     sketch: Arc<dyn ErasedSketch>,
     dataset: DatasetId,
+    filter: Option<Arc<Predicate>>,
     seed: u64,
     cancel: CancellationToken,
     tree_cancel: CancellationToken,
@@ -925,6 +966,7 @@ fn aggregate_worker(
             &worker,
             sketch,
             dataset,
+            filter,
             seed,
             cancel,
             tree_cancel,
@@ -950,6 +992,7 @@ fn aggregate_worker_inner(
     worker: &Arc<Worker>,
     sketch: Arc<dyn ErasedSketch>,
     dataset: DatasetId,
+    filter: Option<Arc<Predicate>>,
     seed: u64,
     cancel: CancellationToken,
     tree_cancel: CancellationToken,
@@ -959,6 +1002,10 @@ fn aggregate_worker_inner(
     grain: usize,
 ) {
     let wid = worker.id as u32;
+    // The computation cache is keyed (dataset, key) only — a fused
+    // predicate is not part of the key's identity, so filtered trees
+    // neither read nor write it.
+    let cache_key = if filter.is_some() { None } else { cache_key };
     let send = |msg: WorkerMsg| {
         let _ = tx.send(msg.encode());
     };
@@ -1043,13 +1090,14 @@ fn aggregate_worker_inner(
         let w2 = worker.clone();
         let v2 = view.clone();
         let s2 = sketch.clone();
+        let f2 = filter.clone();
         let c2 = cancel.clone();
         let t2 = tree_cancel.clone();
         let tx2 = leaf_tx.clone();
         let weight = view.len();
         worker.pool().submit(move || {
             run_leaf_task(
-                w2, v2, s2, i as u32, 0, universe, weight, 1, grain, leaf_seed, c2, t2, tx2,
+                w2, v2, s2, f2, i as u32, 0, universe, weight, 1, grain, leaf_seed, c2, t2, tx2,
             );
         });
     }
@@ -1588,6 +1636,94 @@ mod tests {
             results.push(o.bytes);
         }
         assert_eq!(results[0], results[1]);
+    }
+
+    #[test]
+    fn fused_tree_matches_materialized_filter_for_exact_sketches() {
+        // Integer-merge sketches: a fused tree over the parent must equal
+        // a plain tree over the materialized filtered dataset byte-for-
+        // byte, even though the two trees split along different plans
+        // (fused splits the unfiltered membership, two-pass the narrowed
+        // one — both folds are exact sums, so the bytes agree).
+        use hillview_sketch::distinct::DistinctSketch;
+        let c = split_cluster(4, 512);
+        let ds = load_skewed(&c);
+        let pred = Predicate::range("X", 10.0, 60.0);
+        let filtered = DatasetId(2);
+        c.filter(filtered, ds, &pred).unwrap();
+        let sketches: Vec<Arc<dyn crate::erased::ErasedSketch>> = vec![
+            erase(CountSketch::rows()),
+            erase(HistogramSketch::streaming(
+                "X",
+                BucketSpec::numeric(0.0, 100.0, 10),
+            )),
+            erase(DistinctSketch::new("X")),
+        ];
+        for sk in sketches {
+            let opts = QueryOptions {
+                seed: 7,
+                ..Default::default()
+            };
+            let fused = c.run_erased_filtered(ds, Some(&pred), &sk, &opts).unwrap();
+            let two_pass = c.run_erased(filtered, &sk, &opts).unwrap();
+            assert_eq!(fused.bytes, two_pass.bytes, "sketch {}", sk.name());
+        }
+    }
+
+    #[test]
+    fn fused_tree_deterministic_across_thread_counts() {
+        // The fused split plan derives from the *unfiltered* membership and
+        // the grain — both fixed — so order-sensitive (Misra-Gries) and
+        // floating-point (moments) sketches produce identical bytes on 1
+        // and 4 threads, exactly like the unfiltered trees do.
+        use hillview_sketch::heavy::MisraGriesSketch;
+        use hillview_sketch::moments::MomentsSketch;
+        let one = split_cluster(1, 700);
+        let four = split_cluster(4, 700);
+        let (da, db) = (load_skewed(&one), load_skewed(&four));
+        let pred = Predicate::range("X", 5.0, 95.0);
+        let sketches: Vec<Arc<dyn crate::erased::ErasedSketch>> = vec![
+            erase(MisraGriesSketch::new("X", 5)),
+            erase(MomentsSketch::new("X", 4)),
+            erase(HistogramSketch::streaming(
+                "X",
+                BucketSpec::numeric(0.0, 100.0, 16),
+            )),
+        ];
+        for sk in sketches {
+            let opts = QueryOptions::default();
+            let a = one
+                .run_erased_filtered(da, Some(&pred), &sk, &opts)
+                .unwrap();
+            let b = four
+                .run_erased_filtered(db, Some(&pred), &sk, &opts)
+                .unwrap();
+            assert_eq!(a.bytes, b.bytes, "sketch {}", sk.name());
+            let a2 = one
+                .run_erased_filtered(da, Some(&pred), &sk, &opts)
+                .unwrap();
+            assert_eq!(a.bytes, a2.bytes, "sketch {} re-run", sk.name());
+        }
+    }
+
+    #[test]
+    fn fused_tree_never_touches_computation_cache() {
+        let c = cluster(2);
+        let ds = load(&c);
+        let opts = QueryOptions {
+            cache_key: Some(41),
+            ..Default::default()
+        };
+        let pred = Predicate::range("X", 0.0, 50.0);
+        let sk = erase(CountSketch::rows());
+        let narrowed = c.run_erased_filtered(ds, Some(&pred), &sk, &opts).unwrap();
+        let s = CountSummary::from_bytes(narrowed.bytes).unwrap();
+        assert_eq!(s.rows, 10_000);
+        // The fused tree did not poison (dataset, 41): the unfiltered query
+        // under the same key computes fresh and gets the full count.
+        let full = c.run_erased(ds, &sk, &opts).unwrap();
+        let s = CountSummary::from_bytes(full.bytes).unwrap();
+        assert_eq!(s.rows, 20_000);
     }
 
     #[test]

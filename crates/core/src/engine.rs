@@ -15,6 +15,7 @@ use crate::redo::RedoLog;
 use hillview_columnar::Predicate;
 use hillview_net::Wire;
 use hillview_sketch::Sketch;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -64,11 +65,24 @@ impl RetryPolicy {
     }
 }
 
+/// A filter derivation whose membership has not been materialized: queries
+/// against it compile the predicate into the sketch's own block pass.
+struct PendingFilter {
+    parent: DatasetId,
+    predicate: Predicate,
+    /// Fused queries served so far; the second query promotes the chain
+    /// to materialized membership (cached two-pass reuse).
+    queries: u32,
+}
+
 /// The root node: cluster + redo log + recovery.
 pub struct Engine {
     cluster: Arc<Cluster>,
     log: RedoLog,
     next_id: AtomicU64,
+    /// Lazily-derived filtered datasets ([`Engine::filter_lazy`]): the id
+    /// exists only in the redo log and this table until promoted.
+    pending_filters: parking_lot::Mutex<HashMap<DatasetId, PendingFilter>>,
     /// Restart dead workers automatically during queries (on by default;
     /// tests can disable it to observe raw failures).
     pub auto_recover: bool,
@@ -84,6 +98,7 @@ impl Engine {
             cluster,
             log: RedoLog::new(),
             next_id: AtomicU64::new(1),
+            pending_filters: parking_lot::Mutex::new(HashMap::new()),
             auto_recover: true,
             retry: RetryPolicy::default(),
         }
@@ -115,8 +130,13 @@ impl Engine {
         Ok(id)
     }
 
-    /// Derive a filtered dataset; logged (paper §5.6 "Selection").
+    /// Derive a filtered dataset; logged (paper §5.6 "Selection"). The
+    /// narrowed membership is materialized on every worker immediately, so
+    /// repeat queries reuse it through the two-pass path. For a filter that
+    /// will likely be queried once (brushing a chart region), prefer
+    /// [`Engine::filter_lazy`] or [`Engine::run_filtered`].
     pub fn filter(&self, parent: DatasetId, predicate: Predicate) -> EngineResult<DatasetId> {
+        self.ensure_materialized(parent)?;
         let id = self.fresh_id();
         self.log.record(
             id,
@@ -129,8 +149,37 @@ impl Engine {
         Ok(id)
     }
 
+    /// Derive a filtered dataset *lazily*: nothing is materialized now.
+    /// The first query against the returned id runs fused — the predicate
+    /// chain down to the nearest materialized ancestor is compiled into
+    /// the sketch's block pass, one decode per frame, no membership set.
+    /// A second query promotes the chain to materialized membership, so
+    /// sustained interaction gets the cached two-pass path.
+    pub fn filter_lazy(&self, parent: DatasetId, predicate: Predicate) -> DatasetId {
+        let id = self.fresh_id();
+        // Logged like an eager filter: lineage replay materializes the
+        // chain identically if a worker ever needs it reconstructed.
+        self.log.record(
+            id,
+            Lineage::Filtered {
+                parent,
+                predicate: predicate.clone(),
+            },
+        );
+        self.pending_filters.lock().insert(
+            id,
+            PendingFilter {
+                parent,
+                predicate,
+                queries: 0,
+            },
+        );
+        id
+    }
+
     /// Derive a mapped dataset with a UDF column; logged (§5.6).
     pub fn map(&self, parent: DatasetId, udf: &str, new_column: &str) -> EngineResult<DatasetId> {
+        self.ensure_materialized(parent)?;
         let id = self.fresh_id();
         self.log.record(
             id,
@@ -142,6 +191,66 @@ impl Engine {
         );
         self.with_replay_on_all(|| self.cluster.map(id, parent, udf, new_column))?;
         Ok(id)
+    }
+
+    /// Materialize the pending-filter chain ending at `dataset` (ancestors
+    /// first — each link's parent must exist before the link itself),
+    /// switching the ids to the cached-membership two-pass path. No-op for
+    /// datasets that were never lazily derived.
+    fn ensure_materialized(&self, dataset: DatasetId) -> EngineResult<()> {
+        // Snapshot the chain under the lock, run cluster ops outside it
+        // (they replay and retry, and can take arbitrarily long).
+        let chain: Vec<(DatasetId, DatasetId, Predicate)> = {
+            let pending = self.pending_filters.lock();
+            let mut chain = Vec::new();
+            let mut cur = dataset;
+            while let Some(pf) = pending.get(&cur) {
+                chain.push((cur, pf.parent, pf.predicate.clone()));
+                cur = pf.parent;
+            }
+            chain
+        };
+        for (id, parent, pred) in chain.into_iter().rev() {
+            self.with_replay_on_all(|| self.cluster.filter(id, parent, &pred))?;
+            self.pending_filters.lock().remove(&id);
+        }
+        Ok(())
+    }
+
+    /// Resolve `dataset` into an execution plan: the dataset to run the
+    /// tree against plus an optional fused predicate. A pending lazy
+    /// filter composes its predicate chain (ancestor-first AND) down to
+    /// the nearest materialized dataset; its second query instead promotes
+    /// the chain and returns the plain plan.
+    fn plan_query(&self, dataset: DatasetId) -> EngineResult<(DatasetId, Option<Predicate>)> {
+        let promote = {
+            let mut pending = self.pending_filters.lock();
+            match pending.get_mut(&dataset) {
+                None => return Ok((dataset, None)),
+                Some(pf) => {
+                    pf.queries += 1;
+                    pf.queries >= 2
+                }
+            }
+        };
+        if promote {
+            self.ensure_materialized(dataset)?;
+            return Ok((dataset, None));
+        }
+        let pending = self.pending_filters.lock();
+        let mut preds = Vec::new();
+        let mut cur = dataset;
+        while let Some(pf) = pending.get(&cur) {
+            preds.push(pf.predicate.clone());
+            cur = pf.parent;
+        }
+        // Ancestor-first AND: the coarse (usually more selective in
+        // sequence) parent predicate short-circuits before child terms.
+        // Empty only if another thread promoted the chain between locks.
+        match preds.into_iter().rev().reduce(|a, b| a.and(b)) {
+            Some(p) => Ok((cur, Some(p))),
+            None => Ok((dataset, None)),
+        }
     }
 
     /// Run a dataset-producing op, replaying lineage on misses, within the
@@ -240,6 +349,41 @@ impl Engine {
         Ok((summary, outcome))
     }
 
+    /// Run a typed sketch over `dataset` narrowed by `predicate`, without
+    /// deriving a dataset: the one-shot "filter + sketch" query. The
+    /// predicate compiles into the sketch's block pass at every leaf (one
+    /// decode per frame, zone maps pruning both stages); no membership is
+    /// materialized and no dataset id is allocated.
+    pub fn run_filtered<S: Sketch>(
+        &self,
+        dataset: DatasetId,
+        predicate: Predicate,
+        sketch: S,
+        opts: &QueryOptions,
+    ) -> EngineResult<(S::Summary, QueryOutcome)> {
+        let erased = erase(sketch);
+        let outcome = self.run_filtered_erased(dataset, predicate, &erased, opts)?;
+        let summary = S::Summary::from_bytes(outcome.bytes.clone())?;
+        Ok((summary, outcome))
+    }
+
+    /// Erased form of [`Engine::run_filtered`]. If `dataset` is itself a
+    /// pending lazy filter, its chain composes under the ad-hoc predicate.
+    pub fn run_filtered_erased(
+        &self,
+        dataset: DatasetId,
+        predicate: Predicate,
+        sketch: &Arc<dyn ErasedSketch>,
+        opts: &QueryOptions,
+    ) -> EngineResult<QueryOutcome> {
+        let (root, base) = self.plan_query(dataset)?;
+        let fused = match base {
+            Some(b) => b.and(predicate),
+            None => predicate,
+        };
+        self.run_planned(root, Some(fused), sketch, opts)
+    }
+
     /// Run an erased sketch with automatic recovery. The reported duration
     /// covers the whole user-visible wait, including any lineage replays
     /// (cold reads show up here, Figure 6).
@@ -254,6 +398,21 @@ impl Engine {
     pub fn run_erased(
         &self,
         dataset: DatasetId,
+        sketch: &Arc<dyn ErasedSketch>,
+        opts: &QueryOptions,
+    ) -> EngineResult<QueryOutcome> {
+        let (root, fused) = self.plan_query(dataset)?;
+        self.run_planned(root, fused, sketch, opts)
+    }
+
+    /// The retry/recovery loop shared by every query shape: run `sketch`
+    /// over `root` (a materialized dataset), optionally narrowed by a
+    /// fused predicate, replaying lineage and restarting workers per the
+    /// [`RetryPolicy`].
+    fn run_planned(
+        &self,
+        root: DatasetId,
+        fused: Option<Predicate>,
         sketch: &Arc<dyn ErasedSketch>,
         opts: &QueryOptions,
     ) -> EngineResult<QueryOutcome> {
@@ -290,15 +449,25 @@ impl Engine {
                 seed: opts.seed,
                 cancel: opts.cancel.clone(),
                 on_partial: opts.on_partial.clone(),
-                cache_key: opts.cache_key,
+                // The worker cache is keyed (dataset, key) with no notion
+                // of predicate identity, so fused attempts never cache.
+                cache_key: if fused.is_some() {
+                    None
+                } else {
+                    opts.cache_key
+                },
                 deadline: remaining(started)?,
                 allow_degraded: opts.allow_degraded,
                 tolerate_failures: false,
             };
-            let e = match self.cluster.run_erased(dataset, sketch, &attempt_opts) {
-                Ok(outcome) => return Ok(finish(outcome)),
-                Err(e) => e,
-            };
+            let e =
+                match self
+                    .cluster
+                    .run_erased_filtered(root, fused.as_ref(), sketch, &attempt_opts)
+                {
+                    Ok(outcome) => return Ok(finish(outcome)),
+                    Err(e) => e,
+                };
             match &e {
                 EngineError::DatasetMissing { worker, dataset: d } => {
                     let (worker, d) = (*worker, *d);
@@ -317,7 +486,7 @@ impl Engine {
                     let w = *w;
                     last = Some(e);
                     self.cluster.worker(w).restart();
-                    if let Err(re) = self.replay(w, dataset) {
+                    if let Err(re) = self.replay(w, root) {
                         if !re.is_retryable() {
                             return Err(re);
                         }
@@ -348,7 +517,10 @@ impl Engine {
                 allow_degraded: true,
                 tolerate_failures: true,
             };
-            if let Ok(outcome) = self.cluster.run_erased(dataset, sketch, &attempt_opts) {
+            if let Ok(outcome) =
+                self.cluster
+                    .run_erased_filtered(root, fused.as_ref(), sketch, &attempt_opts)
+            {
                 return Ok(finish(outcome));
             }
         }
@@ -581,6 +753,113 @@ mod tests {
             .run(base, CountSketch::rows(), &QueryOptions::default())
             .unwrap_err();
         assert!(matches!(err, EngineError::RetriesExhausted { .. }), "{err}");
+    }
+
+    #[test]
+    fn lazy_filter_fuses_first_query_then_promotes() {
+        let e = engine();
+        let base = e.load("nums", 0).unwrap();
+        let lazy = e.filter_lazy(base, Predicate::range("X", 0.0, 10.0));
+        // Nothing materialized: the id lives only in the redo log and the
+        // pending table.
+        assert!(!e.cluster().worker(0).has_dataset(lazy));
+        assert_eq!(e.cluster().dataset_rows(lazy), 0);
+        // First query runs fused against the parent — still no membership.
+        let (sum, _) = e
+            .run(lazy, CountSketch::rows(), &QueryOptions::default())
+            .unwrap();
+        assert_eq!(sum.rows, 1_000);
+        assert!(
+            !e.cluster().worker(0).has_dataset(lazy),
+            "one-shot query stayed fused"
+        );
+        // The second query promotes the chain to materialized membership
+        // (cached two-pass reuse), with the identical result.
+        let (sum2, _) = e
+            .run(lazy, CountSketch::rows(), &QueryOptions::default())
+            .unwrap();
+        assert_eq!(sum2.rows, 1_000);
+        assert!(
+            e.cluster().worker(0).has_dataset(lazy),
+            "repeat interaction materialized the membership"
+        );
+        assert_eq!(e.cluster().dataset_rows(lazy), 1_000);
+    }
+
+    #[test]
+    fn lazy_filter_chain_composes_down_to_materialized_ancestor() {
+        let e = engine();
+        let base = e.load("nums", 0).unwrap();
+        let a = e.filter_lazy(base, Predicate::range("X", 0.0, 50.0));
+        let b = e.filter_lazy(a, Predicate::range("X", 25.0, 100.0));
+        let (sum, _) = e
+            .run(b, CountSketch::rows(), &QueryOptions::default())
+            .unwrap();
+        assert_eq!(sum.rows, 2_500, "AND of both links: X in [25,50)");
+        assert!(!e.cluster().worker(0).has_dataset(a));
+        assert!(!e.cluster().worker(0).has_dataset(b));
+        // Promotion materializes the whole chain, ancestors first.
+        let (sum2, _) = e
+            .run(b, CountSketch::rows(), &QueryOptions::default())
+            .unwrap();
+        assert_eq!(sum2.rows, 2_500);
+        assert!(e.cluster().worker(0).has_dataset(a));
+        assert!(e.cluster().worker(0).has_dataset(b));
+    }
+
+    #[test]
+    fn one_shot_filtered_query_matches_materialized_path() {
+        let e = engine();
+        let base = e.load("nums", 0).unwrap();
+        let pred = Predicate::range("X", 20.0, 40.0);
+        let sk = HistogramSketch::streaming("X", BucketSpec::numeric(0.0, 100.0, 10));
+        let ops_before = e.redo_log().len();
+        let (fused, _) = e
+            .run_filtered(base, pred.clone(), sk.clone(), &QueryOptions::default())
+            .unwrap();
+        assert_eq!(e.redo_log().len(), ops_before, "no dataset derived");
+        let materialized = e.filter(base, pred).unwrap();
+        let (two_pass, _) = e.run(materialized, sk, &QueryOptions::default()).unwrap();
+        assert_eq!(fused, two_pass);
+    }
+
+    #[test]
+    fn fused_queries_bypass_computation_cache() {
+        let e = engine();
+        let base = e.load("nums", 0).unwrap();
+        let opts = QueryOptions {
+            cache_key: Some(9),
+            ..Default::default()
+        };
+        // Prime the unfiltered cache under key 9.
+        let (all, _) = e.run(base, CountSketch::rows(), &opts).unwrap();
+        assert_eq!(all.rows, 10_000);
+        // A fused query carrying the same key must not read that entry —
+        // the cache has no notion of predicate identity...
+        let (sum, _) = e
+            .run_filtered(
+                base,
+                Predicate::range("X", 0.0, 10.0),
+                CountSketch::rows(),
+                &opts,
+            )
+            .unwrap();
+        assert_eq!(sum.rows, 1_000);
+        // ...nor write one: the unfiltered query still sees the full count.
+        let (again, _) = e.run(base, CountSketch::rows(), &opts).unwrap();
+        assert_eq!(again.rows, 10_000);
+    }
+
+    #[test]
+    fn fused_query_survives_worker_crash() {
+        let e = engine();
+        let base = e.load("nums", 0).unwrap();
+        let lazy = e.filter_lazy(base, Predicate::range("X", 0.0, 10.0));
+        e.cluster().worker(1).kill();
+        let (sum, _) = e
+            .run(lazy, CountSketch::rows(), &QueryOptions::default())
+            .unwrap();
+        assert_eq!(sum.rows, 1_000, "restart + replay of the fused root");
     }
 
     #[test]

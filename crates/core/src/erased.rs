@@ -38,6 +38,26 @@ pub trait ErasedSketch: Send + Sync + 'static {
     fn merge_bytes(&self, a: &Bytes, b: &Bytes) -> EngineResult<Bytes>;
     /// The identity summary, wire-encoded.
     fn identity_bytes(&self) -> Bytes;
+    /// Fused filter + summarize: one block pass that evaluates `predicate`
+    /// per 64-row frame and feeds surviving lanes straight into the sketch
+    /// kernel, never materializing the filtered membership.
+    fn summarize_filtered_to_bytes(
+        &self,
+        view: &TableView,
+        predicate: &hillview_columnar::Predicate,
+        seed: u64,
+    ) -> EngineResult<Bytes>;
+    /// Fused filter + summarize over the rows of one partition whose index
+    /// lies in `lo..hi` of the *unfiltered* membership (filtering narrows
+    /// the rows, never renumbers them, so the parent's split plan is valid).
+    fn summarize_filtered_range_to_bytes(
+        &self,
+        view: &TableView,
+        predicate: &hillview_columnar::Predicate,
+        lo: usize,
+        hi: usize,
+        seed: u64,
+    ) -> EngineResult<Bytes>;
 }
 
 /// Adapter from a typed [`Sketch`] to [`ErasedSketch`].
@@ -77,6 +97,30 @@ impl<S: Sketch> ErasedSketch for Erased<S> {
 
     fn identity_bytes(&self) -> Bytes {
         self.0.identity().to_bytes()
+    }
+
+    fn summarize_filtered_to_bytes(
+        &self,
+        view: &TableView,
+        predicate: &hillview_columnar::Predicate,
+        seed: u64,
+    ) -> EngineResult<Bytes> {
+        let summary = self.0.summarize_filtered(view, predicate, seed)?;
+        Ok(summary.to_bytes())
+    }
+
+    fn summarize_filtered_range_to_bytes(
+        &self,
+        view: &TableView,
+        predicate: &hillview_columnar::Predicate,
+        lo: usize,
+        hi: usize,
+        seed: u64,
+    ) -> EngineResult<Bytes> {
+        let summary = self
+            .0
+            .summarize_filtered_range(view, predicate, lo, hi, seed)?;
+        Ok(summary.to_bytes())
     }
 }
 

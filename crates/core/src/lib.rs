@@ -71,6 +71,24 @@
 //! The chaos suite (`crates/core/tests/chaos.rs`) drives seeded fault
 //! schedules across sketch × fault-class grids to enforce exactly this
 //! trichotomy.
+//!
+//! ## Fused filtered-query planning
+//!
+//! [`Engine::filter_lazy`] records a filter's lineage without touching
+//! the cluster; the first query against the lazy dataset ships the
+//! AND-composed predicate chain down the execution tree and every leaf
+//! runs the sketch's *fused* entry point — predicate evaluation and
+//! kernel in one block pass, no membership set materialized (see the
+//! `hillview-columnar` crate docs, "Query execution pipeline"). A second
+//! query against the same dataset *promotes* it: the chain materializes
+//! ancestors-first into cached membership sets and subsequent queries
+//! take the classic two-pass path, amortizing the predicate across
+//! repeat visits. [`Engine::run_filtered`] exposes the one-shot form
+//! directly. Split plans and fold order under fusion are those of the
+//! *unfiltered* membership — filtering narrows rows, never renumbers
+//! them — so fused execution is deterministic across thread counts, and
+//! fused queries bypass the computation cache (its key carries no
+//! predicate identity).
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]

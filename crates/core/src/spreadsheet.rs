@@ -501,8 +501,11 @@ impl Spreadsheet {
     // -----------------------------------------------------------------
 
     /// Derive a filtered sheet (zooming a chart region, O6's first step).
+    /// Lazy: the first chart rendered on the new sheet runs fused (the
+    /// predicate rides inside the sketch's block pass); sustained
+    /// interaction materializes the membership for cached two-pass reuse.
     pub fn filtered(&self, predicate: Predicate) -> EngineResult<Spreadsheet> {
-        let ds = self.engine.filter(self.dataset, predicate)?;
+        let ds = self.engine.filter_lazy(self.dataset, predicate);
         let sheet = Spreadsheet::new(self.engine.clone(), ds, self.display);
         Ok(sheet)
     }

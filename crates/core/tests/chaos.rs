@@ -231,6 +231,111 @@ fn seeded_chaos_grid_preserves_failure_semantics() {
     );
 }
 
+/// The outcome trichotomy holds on the **fused** filtered-query path too:
+/// under an armed plan every one-shot `(predicate, sketch)` query — which
+/// runs `summarize_filtered` at the leaves and bypasses the computation
+/// cache — completes bit-identical to the fault-free fused baseline,
+/// errors structurally, or degrades only with opt-in; and the healed
+/// engine reconverges.
+#[test]
+fn seeded_chaos_fused_queries_preserve_failure_semantics() {
+    use hillview_columnar::Predicate;
+    const QUERY_BOUND: Duration = Duration::from_secs(30);
+    let (mut complete, mut degraded, mut errored, mut fired) = (0u32, 0u32, 0u32, 0u32);
+    for (nth, plan_seed) in seed_range().enumerate() {
+        let engine = chaos_engine();
+        let data = engine.load("chaos", plan_seed).unwrap();
+        let grid = sketch_grid();
+        let pred = || Predicate::range("X", 20.0, 70.0);
+        let baselines: Vec<_> = grid
+            .iter()
+            .map(|(name, sk)| {
+                let opts = QueryOptions {
+                    seed: 42,
+                    ..Default::default()
+                };
+                engine
+                    .run_filtered_erased(data, pred(), sk, &opts)
+                    .unwrap_or_else(|e| panic!("clean fused baseline {name} failed: {e}"))
+                    .bytes
+            })
+            .collect();
+
+        engine
+            .cluster()
+            .arm_faults(FaultPlan::seeded(plan_seed, FaultSpec::chaos()));
+        for (i, (name, sk)) in grid.iter().enumerate() {
+            let allow_degraded = (nth + i) % 2 == 0;
+            let opts = QueryOptions {
+                seed: 42,
+                deadline: Some(Duration::from_secs(20)),
+                allow_degraded,
+                ..Default::default()
+            };
+            let started = Instant::now();
+            let result = engine.run_filtered_erased(data, pred(), sk, &opts);
+            let elapsed = started.elapsed();
+            assert!(
+                elapsed < QUERY_BOUND,
+                "seed {plan_seed:#x} fused {name}: query took {elapsed:?} — not bounded"
+            );
+            match result {
+                Ok(outcome) if outcome.coverage >= 1.0 => {
+                    complete += 1;
+                    assert_eq!(
+                        outcome.bytes, baselines[i],
+                        "seed {plan_seed:#x} fused {name}: complete result diverged \
+                         from fault-free fused baseline"
+                    );
+                }
+                Ok(outcome) => {
+                    degraded += 1;
+                    assert!(
+                        allow_degraded,
+                        "seed {plan_seed:#x} fused {name}: degraded result without opt-in"
+                    );
+                    assert!(
+                        !outcome.failed_workers.is_empty(),
+                        "seed {plan_seed:#x} fused {name}: coverage {} < 1 but no \
+                         failed workers named",
+                        outcome.coverage
+                    );
+                }
+                Err(_e) => errored += 1,
+            }
+        }
+        fired += engine
+            .cluster()
+            .fault_plan()
+            .map_or(0, |p| u32::from(p.faults_fired() > 0));
+
+        engine.cluster().disarm_faults();
+        for (i, (name, sk)) in grid.iter().enumerate() {
+            let opts = QueryOptions {
+                seed: 42,
+                ..Default::default()
+            };
+            let outcome = engine
+                .run_filtered_erased(data, pred(), sk, &opts)
+                .unwrap_or_else(|e| {
+                    panic!("seed {plan_seed:#x} fused {name}: healed engine failed: {e}")
+                });
+            assert_eq!(
+                outcome.bytes, baselines[i],
+                "seed {plan_seed:#x} fused {name}: healed fused re-run diverged"
+            );
+        }
+    }
+    eprintln!(
+        "fused chaos grid: {complete} complete, {degraded} degraded, {errored} errored; \
+         faults fired in {fired} seed(s)"
+    );
+    assert!(
+        fired > 0,
+        "the seeded adversary never injected a fault into a fused query run"
+    );
+}
+
 /// The scripted (epoch-blind) side of the plan: a persistent kill schedule
 /// exhausts the retry budget with a structured, cause-preserving error,
 /// and never caches anything under the failing key.

@@ -10,8 +10,10 @@
 use crate::hashutil::hash_str;
 use crate::traits::{Sketch, SketchError, SketchResult, Summary};
 use crate::view::TableView;
-use hillview_columnar::scan::scan_values;
+use hillview_columnar::scan::{scan_values, Selection};
+use hillview_columnar::{FrameFilter, Predicate};
 use hillview_net::{Result as WireResult, Wire, WireReader, WireWriter};
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -144,7 +146,7 @@ impl Sketch for BottomKSketch {
     }
 
     fn summarize(&self, view: &TableView, seed: u64) -> SketchResult<BottomKSummary> {
-        self.summarize_bounded(view, None, seed)
+        self.summarize_bounded(view, None, None, seed)
     }
 
     fn splittable(&self) -> bool {
@@ -158,7 +160,27 @@ impl Sketch for BottomKSketch {
         hi: usize,
         seed: u64,
     ) -> SketchResult<BottomKSummary> {
-        self.summarize_bounded(view, Some((lo, hi)), seed)
+        self.summarize_bounded(view, Some((lo, hi)), None, seed)
+    }
+
+    fn summarize_filtered(
+        &self,
+        view: &TableView,
+        predicate: &Predicate,
+        seed: u64,
+    ) -> SketchResult<BottomKSummary> {
+        self.summarize_bounded(view, None, Some(predicate), seed)
+    }
+
+    fn summarize_filtered_range(
+        &self,
+        view: &TableView,
+        predicate: &Predicate,
+        lo: usize,
+        hi: usize,
+        seed: u64,
+    ) -> SketchResult<BottomKSummary> {
+        self.summarize_bounded(view, Some((lo, hi)), Some(predicate), seed)
     }
 
     fn identity(&self) -> BottomKSummary {
@@ -174,6 +196,7 @@ impl BottomKSketch {
         &self,
         view: &TableView,
         bounds: Option<(usize, usize)>,
+        filter: Option<&Predicate>,
         _seed: u64,
     ) -> SketchResult<BottomKSummary> {
         let col = view.table().column_by_name(&self.column)?;
@@ -188,7 +211,18 @@ impl BottomKSketch {
         // one null-word probe per 64 rows instead of per-row `is_null`.
         let mut seen = vec![false; dict.dictionary().len()];
         let mut missing = 0u64;
-        let sel = crate::view::bounded_selection(view, &None, bounds);
+        let base = crate::view::bounded_selection(view, &None, bounds);
+        let ff = match filter {
+            Some(pred) => Some(RefCell::new(FrameFilter::compile(pred, view.table())?)),
+            None => None,
+        };
+        let sel = match &ff {
+            Some(f) => Selection::Filtered {
+                base: &base,
+                filter: f,
+            },
+            None => base,
+        };
         scan_values(
             &sel,
             dict.codes(),
@@ -196,7 +230,12 @@ impl BottomKSketch {
             &mut missing,
             |code| seen[code as usize] = true,
         );
-        let rows = sel.count() as u64 - missing;
+        // Under fusion the filtered selection is single-pass; the
+        // surviving-row count comes from the filter's popcounts.
+        let rows = match &ff {
+            Some(f) => f.borrow().matched() - missing,
+            None => sel.count() as u64 - missing,
+        };
         // Hash each distinct dictionary entry once — O(dict), not O(rows).
         let mut map: BTreeMap<u64, String> = BTreeMap::new();
         for (code, &s) in seen.iter().enumerate() {

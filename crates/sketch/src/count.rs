@@ -11,8 +11,10 @@
 
 use crate::traits::{Sketch, SketchResult, Summary};
 use crate::view::TableView;
-use hillview_columnar::scan::count_missing;
+use hillview_columnar::scan::{count_missing, Selection};
+use hillview_columnar::{FrameFilter, Predicate};
 use hillview_net::{Result as WireResult, Wire, WireReader, WireWriter};
+use std::cell::RefCell;
 use std::sync::Arc;
 
 /// Counts present and missing rows, optionally of one column.
@@ -75,7 +77,7 @@ impl Sketch for CountSketch {
     }
 
     fn summarize(&self, view: &TableView, seed: u64) -> SketchResult<CountSummary> {
-        self.summarize_bounded(view, None, seed)
+        self.summarize_bounded(view, None, None, seed)
     }
 
     fn splittable(&self) -> bool {
@@ -89,7 +91,27 @@ impl Sketch for CountSketch {
         hi: usize,
         seed: u64,
     ) -> SketchResult<CountSummary> {
-        self.summarize_bounded(view, Some((lo, hi)), seed)
+        self.summarize_bounded(view, Some((lo, hi)), None, seed)
+    }
+
+    fn summarize_filtered(
+        &self,
+        view: &TableView,
+        predicate: &Predicate,
+        seed: u64,
+    ) -> SketchResult<CountSummary> {
+        self.summarize_bounded(view, None, Some(predicate), seed)
+    }
+
+    fn summarize_filtered_range(
+        &self,
+        view: &TableView,
+        predicate: &Predicate,
+        lo: usize,
+        hi: usize,
+        seed: u64,
+    ) -> SketchResult<CountSummary> {
+        self.summarize_bounded(view, Some((lo, hi)), Some(predicate), seed)
     }
 
     fn identity(&self) -> CountSummary {
@@ -102,20 +124,50 @@ impl CountSketch {
         &self,
         view: &TableView,
         bounds: Option<(usize, usize)>,
+        filter: Option<&Predicate>,
         _seed: u64,
     ) -> SketchResult<CountSummary> {
-        let sel = crate::view::bounded_selection(view, &None, bounds);
-        let rows = sel.count() as u64;
-        let missing = match &self.column {
-            None => 0,
-            Some(name) => {
-                let col = view.table().column_by_name(name)?;
-                // Word-AND popcounts of membership × null mask: no column
-                // data is touched at all.
-                count_missing(&sel, col.null_bitmap())
+        let base = crate::view::bounded_selection(view, &None, bounds);
+        match filter {
+            None => {
+                let rows = base.count() as u64;
+                let missing = match &self.column {
+                    None => 0,
+                    Some(name) => {
+                        let col = view.table().column_by_name(name)?;
+                        // Word-AND popcounts of membership × null mask: no
+                        // column data is touched at all.
+                        count_missing(&base, col.null_bitmap())
+                    }
+                };
+                Ok(CountSummary { rows, missing })
             }
-        };
-        Ok(CountSummary { rows, missing })
+            Some(pred) => {
+                // Fused: the predicate evaluates per 64-row frame while the
+                // selection streams — one pass, no membership materialized.
+                // The filter is single-pass, so the row count is read back
+                // from it *after* the scan instead of a pre-scan count().
+                let ff = RefCell::new(FrameFilter::compile(pred, view.table())?);
+                let sel = Selection::Filtered {
+                    base: &base,
+                    filter: &ff,
+                };
+                let mut missing = 0;
+                let nulls = match &self.column {
+                    None => None,
+                    Some(name) => view.table().column_by_name(name)?.null_bitmap(),
+                };
+                match nulls {
+                    Some(_) => missing = count_missing(&sel, nulls),
+                    // `count_missing` short-circuits on a null-free column
+                    // without consuming the chunks, so drain explicitly to
+                    // drive the predicate over every frame.
+                    None => sel.chunks().for_each(drop),
+                }
+                let rows = ff.borrow().matched();
+                Ok(CountSummary { rows, missing })
+            }
+        }
     }
 }
 

@@ -7,8 +7,10 @@
 use crate::hashutil::hash_value;
 use crate::traits::{Sketch, SketchResult, Summary};
 use crate::view::TableView;
-use hillview_columnar::scan::{scan_rows, scan_values};
+use hillview_columnar::scan::{scan_rows, scan_values, Selection};
+use hillview_columnar::{FrameFilter, Predicate};
 use hillview_net::{Result as WireResult, Wire, WireReader, WireWriter};
+use std::cell::RefCell;
 use std::sync::Arc;
 
 /// HLL sketch of one column's distinct value count.
@@ -141,7 +143,7 @@ impl Sketch for DistinctSketch {
     }
 
     fn summarize(&self, view: &TableView, seed: u64) -> SketchResult<DistinctSummary> {
-        self.summarize_bounded(view, None, seed)
+        self.summarize_bounded(view, None, None, seed)
     }
 
     fn splittable(&self) -> bool {
@@ -155,7 +157,27 @@ impl Sketch for DistinctSketch {
         hi: usize,
         seed: u64,
     ) -> SketchResult<DistinctSummary> {
-        self.summarize_bounded(view, Some((lo, hi)), seed)
+        self.summarize_bounded(view, Some((lo, hi)), None, seed)
+    }
+
+    fn summarize_filtered(
+        &self,
+        view: &TableView,
+        predicate: &Predicate,
+        seed: u64,
+    ) -> SketchResult<DistinctSummary> {
+        self.summarize_bounded(view, None, Some(predicate), seed)
+    }
+
+    fn summarize_filtered_range(
+        &self,
+        view: &TableView,
+        predicate: &Predicate,
+        lo: usize,
+        hi: usize,
+        seed: u64,
+    ) -> SketchResult<DistinctSummary> {
+        self.summarize_bounded(view, Some((lo, hi)), Some(predicate), seed)
     }
 
     fn identity(&self) -> DistinctSummary {
@@ -170,6 +192,7 @@ impl DistinctSketch {
         &self,
         view: &TableView,
         bounds: Option<(usize, usize)>,
+        filter: Option<&Predicate>,
         _partition_seed: u64,
     ) -> SketchResult<DistinctSummary> {
         let col = view.table().column_by_name(&self.column)?;
@@ -177,7 +200,18 @@ impl DistinctSketch {
         // Only the sketch-level seed feeds the hash: every partition must
         // hash values identically or registers would not merge.
         let seed = self.seed;
-        let sel = crate::view::bounded_selection(view, &None, bounds);
+        let base = crate::view::bounded_selection(view, &None, bounds);
+        let ff = match filter {
+            Some(pred) => Some(RefCell::new(FrameFilter::compile(pred, view.table())?)),
+            None => None,
+        };
+        let sel = match &ff {
+            Some(f) => Selection::Filtered {
+                base: &base,
+                filter: f,
+            },
+            None => base,
+        };
         if let Some(dict) = col.as_dict_col() {
             // Dictionary columns: hash each *code's* string once per
             // partition, then observe per row via the chunked code scan

@@ -9,9 +9,10 @@
 
 use crate::traits::{Sketch, SketchResult, Summary};
 use crate::view::TableView;
-use hillview_columnar::scan::scan_rows;
-use hillview_columnar::{Predicate, Row, RowKey, SortOrder, StrMatchKind};
+use hillview_columnar::scan::{scan_rows, Selection};
+use hillview_columnar::{FrameFilter, Predicate, Row, RowKey, SortOrder, StrMatchKind};
 use hillview_net::{Result as WireResult, Wire, WireReader, WireWriter};
+use std::cell::RefCell;
 use std::sync::Arc;
 
 /// Find-text sketch.
@@ -123,7 +124,7 @@ impl Sketch for FindSketch {
     }
 
     fn summarize(&self, view: &TableView, seed: u64) -> SketchResult<FindSummary> {
-        self.summarize_bounded(view, None, seed)
+        self.summarize_bounded(view, None, None, seed)
     }
 
     fn splittable(&self) -> bool {
@@ -137,7 +138,27 @@ impl Sketch for FindSketch {
         hi: usize,
         seed: u64,
     ) -> SketchResult<FindSummary> {
-        self.summarize_bounded(view, Some((lo, hi)), seed)
+        self.summarize_bounded(view, Some((lo, hi)), None, seed)
+    }
+
+    fn summarize_filtered(
+        &self,
+        view: &TableView,
+        predicate: &Predicate,
+        seed: u64,
+    ) -> SketchResult<FindSummary> {
+        self.summarize_bounded(view, None, Some(predicate), seed)
+    }
+
+    fn summarize_filtered_range(
+        &self,
+        view: &TableView,
+        predicate: &Predicate,
+        lo: usize,
+        hi: usize,
+        seed: u64,
+    ) -> SketchResult<FindSummary> {
+        self.summarize_bounded(view, Some((lo, hi)), Some(predicate), seed)
     }
 
     fn identity(&self) -> FindSummary {
@@ -153,51 +174,62 @@ impl FindSketch {
     /// The shared scan body; match counts add and the first-match key is a
     /// minimum lattice, so split partials fold back to exactly the unsplit
     /// summary.
+    ///
+    /// The search criteria compile into the block-wise predicate engine: on
+    /// dictionary columns the query is matched once per distinct entry into
+    /// a code bitmap, and the frame scan probes 64-row match words — rows
+    /// that fail the search (or the fused filter) never reach the key
+    /// builder. Any extra `filter` is AND-composed into the same compiled
+    /// pass.
     fn summarize_bounded(
         &self,
         view: &TableView,
         bounds: Option<(usize, usize)>,
+        filter: Option<&Predicate>,
         _seed: u64,
     ) -> SketchResult<FindSummary> {
         let table = view.table();
         let resolved = self.order.resolve(table)?;
-        let mut pred = Predicate::str_match(
+        let match_pred = Predicate::str_match(
             &self.column,
             &self.query,
             self.kind.clone(),
             self.case_insensitive,
-        )
-        .compile(table)?;
+        );
+        let pred = match filter {
+            Some(f) => f.clone().and(match_pred),
+            None => match_pred,
+        };
+        let base = crate::view::bounded_selection(view, &None, bounds);
+        let ff = RefCell::new(FrameFilter::compile(&pred, table)?);
+        let sel = Selection::Filtered {
+            base: &base,
+            filter: &ff,
+        };
         let mut out = FindSummary {
             first: None,
             matches_after: 0,
             matches_total: 0,
         };
-        // Chunked row enumeration: the membership probe is amortized to
-        // chunk decoding; predicate and key evaluation stay per-row.
-        scan_rows(
-            &crate::view::bounded_selection(view, &None, bounds),
-            |row| {
-                if !pred.eval(table, row) {
+        // Every surviving row already matches the criteria, so the scan
+        // body only builds keys and maintains the minimum lattice.
+        scan_rows(&sel, |row| {
+            out.matches_total += 1;
+            let key = resolved.key(table, row);
+            if let Some(start) = &self.start {
+                if key <= *start {
                     return;
                 }
-                out.matches_total += 1;
-                let key = resolved.key(table, row);
-                if let Some(start) = &self.start {
-                    if key <= *start {
-                        return;
-                    }
-                }
-                out.matches_after += 1;
-                let better = match &out.first {
-                    None => true,
-                    Some((best, _)) => key < *best,
-                };
-                if better {
-                    out.first = Some((key, table.full_row(row)));
-                }
-            },
-        );
+            }
+            out.matches_after += 1;
+            let better = match &out.first {
+                None => true,
+                Some((best, _)) => key < *best,
+            };
+            if better {
+                out.first = Some((key, table.full_row(row)));
+            }
+        });
         Ok(out)
     }
 

@@ -8,8 +8,9 @@ use crate::bind::{BoundColumn, Cell, FrameCells};
 use crate::buckets::BucketSpec;
 use crate::traits::{Sketch, SketchResult, Summary};
 use crate::view::TableView;
-use hillview_columnar::{scan_frames, FrameEvent, BLOCK_ROWS};
+use hillview_columnar::{scan_frames, FrameEvent, FrameFilter, Predicate, Selection, BLOCK_ROWS};
 use hillview_net::{Result as WireResult, Wire, WireReader, WireWriter};
+use std::cell::RefCell;
 use std::sync::Arc;
 
 /// Heat map sketch over two columns.
@@ -154,7 +155,7 @@ impl Sketch for HeatmapSketch {
     }
 
     fn summarize(&self, view: &TableView, seed: u64) -> SketchResult<HeatmapSummary> {
-        self.summarize_bounded(view, None, seed)
+        self.summarize_bounded(view, None, None, seed)
     }
 
     fn splittable(&self) -> bool {
@@ -168,7 +169,27 @@ impl Sketch for HeatmapSketch {
         hi: usize,
         seed: u64,
     ) -> SketchResult<HeatmapSummary> {
-        self.summarize_bounded(view, Some((lo, hi)), seed)
+        self.summarize_bounded(view, Some((lo, hi)), None, seed)
+    }
+
+    fn summarize_filtered(
+        &self,
+        view: &TableView,
+        predicate: &Predicate,
+        seed: u64,
+    ) -> SketchResult<HeatmapSummary> {
+        self.summarize_bounded(view, None, Some(predicate), seed)
+    }
+
+    fn summarize_filtered_range(
+        &self,
+        view: &TableView,
+        predicate: &Predicate,
+        lo: usize,
+        hi: usize,
+        seed: u64,
+    ) -> SketchResult<HeatmapSummary> {
+        self.summarize_bounded(view, Some((lo, hi)), Some(predicate), seed)
     }
 
     fn identity(&self) -> HeatmapSummary {
@@ -189,17 +210,40 @@ impl HeatmapSketch {
         &self,
         view: &TableView,
         bounds: Option<(usize, usize)>,
+        filter: Option<&Predicate>,
         seed: u64,
     ) -> SketchResult<HeatmapSummary> {
+        if let Some(pred) = filter {
+            // Sampled sketches draw from the *filtered* membership, so they
+            // take the two-pass path; exact ones fuse the predicate into the
+            // frame stream below.
+            if self.rate < 1.0 {
+                let narrowed = crate::view::filtered_view(view, pred)?;
+                return self.summarize_bounded(&narrowed, bounds, None, seed);
+            }
+        }
         let cx = view.table().column_by_name(&self.col_x)?;
         let cy = view.table().column_by_name(&self.col_y)?;
         // Bind once: raw storage + null bitmaps, no per-row enum dispatch.
         let bx = BoundColumn::bind(cx, &self.buckets_x)?;
         let by = BoundColumn::bind(cy, &self.buckets_y)?;
         let sampled = (self.rate < 1.0).then(|| view.sample_rows(self.rate, seed));
-        let sel = crate::view::bounded_selection(view, &sampled, bounds);
+        let base = crate::view::bounded_selection(view, &sampled, bounds);
+        let ff = match filter {
+            Some(pred) => Some(RefCell::new(FrameFilter::compile(pred, view.table())?)),
+            None => None,
+        };
+        let sel = match &ff {
+            Some(f) => Selection::Filtered {
+                base: &base,
+                filter: f,
+            },
+            None => base,
+        };
         let mut out = HeatmapSummary::zero(self.buckets_x.count(), self.buckets_y.count());
-        out.rows_inspected = sel.count() as u64;
+        if ff.is_none() {
+            out.rows_inspected = base.count() as u64;
+        }
         let width_y = out.by;
         let mut fx = FrameCells::new(&bx, out.bx);
         let mut fy = FrameCells::new(&by, out.by);
@@ -245,6 +289,9 @@ impl HeatmapSketch {
             }
             FrameEvent::Row(row) => tally_row(&mut out, row),
         });
+        if let Some(f) = &ff {
+            out.rows_inspected = f.borrow().matched();
+        }
         Ok(out)
     }
 }

@@ -9,9 +9,10 @@
 
 use crate::traits::{Sketch, SketchResult, Summary};
 use crate::view::TableView;
-use hillview_columnar::scan::{scan_rows, scan_values};
-use hillview_columnar::{scan_blocks, Block, BlockSink, Value};
+use hillview_columnar::scan::{scan_rows, scan_values, Selection};
+use hillview_columnar::{scan_blocks, Block, BlockSink, FrameFilter, Predicate, Value};
 use hillview_net::{Result as WireResult, Wire, WireReader, WireWriter};
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -146,7 +147,7 @@ impl Sketch for MisraGriesSketch {
     }
 
     fn summarize(&self, view: &TableView, seed: u64) -> SketchResult<MisraGriesSummary> {
-        self.summarize_bounded(view, None, seed)
+        self.summarize_bounded(view, None, None, seed)
     }
 
     fn splittable(&self) -> bool {
@@ -160,7 +161,27 @@ impl Sketch for MisraGriesSketch {
         hi: usize,
         seed: u64,
     ) -> SketchResult<MisraGriesSummary> {
-        self.summarize_bounded(view, Some((lo, hi)), seed)
+        self.summarize_bounded(view, Some((lo, hi)), None, seed)
+    }
+
+    fn summarize_filtered(
+        &self,
+        view: &TableView,
+        predicate: &Predicate,
+        seed: u64,
+    ) -> SketchResult<MisraGriesSummary> {
+        self.summarize_bounded(view, None, Some(predicate), seed)
+    }
+
+    fn summarize_filtered_range(
+        &self,
+        view: &TableView,
+        predicate: &Predicate,
+        lo: usize,
+        hi: usize,
+        seed: u64,
+    ) -> SketchResult<MisraGriesSummary> {
+        self.summarize_bounded(view, Some((lo, hi)), Some(predicate), seed)
     }
 
     fn identity(&self) -> MisraGriesSummary {
@@ -179,10 +200,22 @@ impl MisraGriesSketch {
         &self,
         view: &TableView,
         bounds: Option<(usize, usize)>,
+        filter: Option<&Predicate>,
         _seed: u64,
     ) -> SketchResult<MisraGriesSummary> {
         let col = view.table().column_by_name(&self.column)?;
-        let sel = crate::view::bounded_selection(view, &None, bounds);
+        let base = crate::view::bounded_selection(view, &None, bounds);
+        let ff = match filter {
+            Some(pred) => Some(RefCell::new(FrameFilter::compile(pred, view.table())?)),
+            None => None,
+        };
+        let sel = match &ff {
+            Some(f) => Selection::Filtered {
+                base: &base,
+                filter: f,
+            },
+            None => base,
+        };
         // Dictionary fast path: run the MG counter updates keyed by u32
         // code over the raw code slice (chunked, null-word aware) and only
         // materialize `Value`s for the ≤ k surviving counters. The counter
@@ -211,7 +244,12 @@ impl MisraGriesSketch {
                     }
                 },
             );
-            total = sel.count() as u64 - missing;
+            // Under fusion the filtered selection is single-pass; the
+            // surviving-row count comes from the filter's popcounts.
+            total = match &ff {
+                Some(f) => f.borrow().matched() - missing,
+                None => sel.count() as u64 - missing,
+            };
             counters = code_counters
                 .into_iter()
                 .map(|(code, c)| (Value::Str(dict.dictionary().get(code).clone()), c))
@@ -392,7 +430,7 @@ impl Sketch for SampledHeavyHittersSketch {
     }
 
     fn summarize(&self, view: &TableView, seed: u64) -> SketchResult<SampledHeavyHittersSummary> {
-        self.summarize_bounded(view, None, seed)
+        self.summarize_bounded(view, None, None, seed)
     }
 
     fn splittable(&self) -> bool {
@@ -406,7 +444,27 @@ impl Sketch for SampledHeavyHittersSketch {
         hi: usize,
         seed: u64,
     ) -> SketchResult<SampledHeavyHittersSummary> {
-        self.summarize_bounded(view, Some((lo, hi)), seed)
+        self.summarize_bounded(view, Some((lo, hi)), None, seed)
+    }
+
+    fn summarize_filtered(
+        &self,
+        view: &TableView,
+        predicate: &Predicate,
+        seed: u64,
+    ) -> SketchResult<SampledHeavyHittersSummary> {
+        self.summarize_bounded(view, None, Some(predicate), seed)
+    }
+
+    fn summarize_filtered_range(
+        &self,
+        view: &TableView,
+        predicate: &Predicate,
+        lo: usize,
+        hi: usize,
+        seed: u64,
+    ) -> SketchResult<SampledHeavyHittersSummary> {
+        self.summarize_bounded(view, Some((lo, hi)), Some(predicate), seed)
     }
 
     fn identity(&self) -> SampledHeavyHittersSummary {
@@ -424,15 +482,36 @@ impl SampledHeavyHittersSketch {
         &self,
         view: &TableView,
         bounds: Option<(usize, usize)>,
+        filter: Option<&Predicate>,
         seed: u64,
     ) -> SketchResult<SampledHeavyHittersSummary> {
         let col = view.table().column_by_name(&self.column)?;
+        // Sampled + filtered: the sample must be drawn from the *filtered*
+        // membership to match two-pass execution, so fall back to the
+        // materialized path.
+        if self.rate < 1.0 {
+            if let Some(pred) = filter {
+                let narrowed = crate::view::filtered_view(view, pred)?;
+                return self.summarize_bounded(&narrowed, bounds, None, seed);
+            }
+        }
         // rate >= 1.0 is exact: scan the membership chunks directly instead
         // of materializing every row index (sample_rows(1.0) returns all
         // members ascending, so results are identical either way). The
         // sample is always drawn partition-wide and clipped to the bounds.
         let sampled = (self.rate < 1.0).then(|| view.sample_rows(self.rate, seed));
         let sel = crate::view::bounded_selection(view, &sampled, bounds);
+        let ff = match filter {
+            Some(pred) => Some(RefCell::new(FrameFilter::compile(pred, view.table())?)),
+            None => None,
+        };
+        let sel = match &ff {
+            Some(f) => Selection::Filtered {
+                base: &sel,
+                filter: f,
+            },
+            None => sel,
+        };
         let mut counts: Vec<(Value, u64)>;
         let sampled;
         if let Some(dict) = col.as_dict_col() {
@@ -472,7 +551,12 @@ impl SampledHeavyHittersSketch {
                 &mut missing,
                 &mut by_code,
             );
-            sampled = sel.count() as u64 - missing;
+            // Under fusion the filtered selection is single-pass; the
+            // surviving-row count comes from the filter's popcounts.
+            sampled = match &ff {
+                Some(f) => f.borrow().matched() - missing,
+                None => sel.count() as u64 - missing,
+            };
             counts = by_code
                 .0
                 .into_iter()

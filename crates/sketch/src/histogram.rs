@@ -21,8 +21,9 @@ use crate::traits::{Sketch, SketchError, SketchResult, Summary};
 use crate::view::TableView;
 use hillview_columnar::scan::{scan_values, Selection};
 use hillview_columnar::simd::{self, BucketParams, LaneValue};
-use hillview_columnar::{scan_blocks, Block, BlockSink, Column};
+use hillview_columnar::{scan_blocks, Block, BlockSink, Column, FrameFilter, Predicate};
 use hillview_net::{Result as WireResult, Wire, WireReader, WireWriter};
+use std::cell::RefCell;
 use std::sync::Arc;
 
 /// Histogram sketch over one column.
@@ -146,7 +147,7 @@ impl Sketch for HistogramSketch {
     }
 
     fn summarize(&self, view: &TableView, seed: u64) -> SketchResult<HistogramSummary> {
-        self.summarize_bounded(view, None, seed)
+        self.summarize_bounded(view, None, None, seed)
     }
 
     fn splittable(&self) -> bool {
@@ -160,7 +161,27 @@ impl Sketch for HistogramSketch {
         hi: usize,
         seed: u64,
     ) -> SketchResult<HistogramSummary> {
-        self.summarize_bounded(view, Some((lo, hi)), seed)
+        self.summarize_bounded(view, Some((lo, hi)), None, seed)
+    }
+
+    fn summarize_filtered(
+        &self,
+        view: &TableView,
+        predicate: &Predicate,
+        seed: u64,
+    ) -> SketchResult<HistogramSummary> {
+        self.summarize_bounded(view, None, Some(predicate), seed)
+    }
+
+    fn summarize_filtered_range(
+        &self,
+        view: &TableView,
+        predicate: &Predicate,
+        lo: usize,
+        hi: usize,
+        seed: u64,
+    ) -> SketchResult<HistogramSummary> {
+        self.summarize_bounded(view, Some((lo, hi)), Some(predicate), seed)
     }
 
     fn identity(&self) -> HistogramSummary {
@@ -172,17 +193,46 @@ impl HistogramSketch {
     /// The shared scan body: `bounds` of `None` is the whole partition,
     /// `Some((lo, hi))` a split sub-range. Counters are integers, so the
     /// range partials fold back to exactly the unsplit summary.
+    ///
+    /// With `filter` present the predicate is fused into the scan: it
+    /// evaluates per 64-row frame inside the selection stream and only
+    /// surviving lanes reach the bucket kernel — no membership set is
+    /// materialized and the column is decoded once. Sampled histograms
+    /// fall back to the two-pass path, because the sample must be drawn
+    /// from the *filtered* membership to stay bit-identical to it.
     fn summarize_bounded(
         &self,
         view: &TableView,
         bounds: Option<(usize, usize)>,
+        filter: Option<&Predicate>,
         seed: u64,
     ) -> SketchResult<HistogramSummary> {
+        if let Some(pred) = filter {
+            if self.rate < 1.0 {
+                let narrowed = crate::view::filtered_view(view, pred)?;
+                return self.summarize_bounded(&narrowed, bounds, None, seed);
+            }
+        }
         let col = view.table().column_by_name(&self.column)?;
         let sampled = (self.rate < 1.0).then(|| view.sample_rows(self.rate, seed));
-        let sel = crate::view::bounded_selection(view, &sampled, bounds);
+        let base = crate::view::bounded_selection(view, &sampled, bounds);
+        let ff = match filter {
+            Some(pred) => Some(RefCell::new(FrameFilter::compile(pred, view.table())?)),
+            None => None,
+        };
+        let sel = match &ff {
+            Some(f) => Selection::Filtered {
+                base: &base,
+                filter: f,
+            },
+            None => base,
+        };
         let mut out = HistogramSummary::zero(self.buckets.count());
-        out.rows_inspected = sel.count() as u64;
+        // The fused filter is single-pass, so its row count is read back
+        // after the scan; the unfiltered count is position-independent.
+        if ff.is_none() {
+            out.rows_inspected = base.count() as u64;
+        }
         match (&self.buckets, col) {
             // Numeric buckets over numeric columns: block frames with one
             // null-word check per 64 rows. Bucket indexes of a whole frame
@@ -236,6 +286,9 @@ impl HistogramSketch {
                     col.kind()
                 )))
             }
+        }
+        if let Some(f) = &ff {
+            out.rows_inspected = f.borrow().matched();
         }
         Ok(out)
     }

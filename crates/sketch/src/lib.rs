@@ -55,4 +55,4 @@ pub mod view;
 
 pub use buckets::BucketSpec;
 pub use traits::{Sketch, SketchError, SketchResult, Summary};
-pub use view::TableView;
+pub use view::{filtered_view, TableView};

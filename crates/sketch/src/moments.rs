@@ -21,8 +21,9 @@
 use crate::traits::{Sketch, SketchError, SketchResult, Summary};
 use crate::view::TableView;
 use hillview_columnar::simd::{self, LaneValue, MomentLanes};
-use hillview_columnar::{scan_blocks, Block, BlockSink, Column};
+use hillview_columnar::{scan_blocks, Block, BlockSink, Column, FrameFilter, Predicate, Selection};
 use hillview_net::{Result as WireResult, Wire, WireReader, WireWriter};
+use std::cell::RefCell;
 use std::sync::Arc;
 
 /// Computes min/max/counts and power sums up to order `k` of one column.
@@ -137,7 +138,7 @@ impl Sketch for MomentsSketch {
     }
 
     fn summarize(&self, view: &TableView, seed: u64) -> SketchResult<MomentsSummary> {
-        self.summarize_bounded(view, None, seed)
+        self.summarize_bounded(view, None, None, seed)
     }
 
     fn splittable(&self) -> bool {
@@ -151,7 +152,27 @@ impl Sketch for MomentsSketch {
         hi: usize,
         seed: u64,
     ) -> SketchResult<MomentsSummary> {
-        self.summarize_bounded(view, Some((lo, hi)), seed)
+        self.summarize_bounded(view, Some((lo, hi)), None, seed)
+    }
+
+    fn summarize_filtered(
+        &self,
+        view: &TableView,
+        predicate: &Predicate,
+        seed: u64,
+    ) -> SketchResult<MomentsSummary> {
+        self.summarize_bounded(view, None, Some(predicate), seed)
+    }
+
+    fn summarize_filtered_range(
+        &self,
+        view: &TableView,
+        predicate: &Predicate,
+        lo: usize,
+        hi: usize,
+        seed: u64,
+    ) -> SketchResult<MomentsSummary> {
+        self.summarize_bounded(view, Some((lo, hi)), Some(predicate), seed)
     }
 
     fn identity(&self) -> MomentsSummary {
@@ -169,6 +190,7 @@ impl MomentsSketch {
         &self,
         view: &TableView,
         bounds: Option<(usize, usize)>,
+        filter: Option<&Predicate>,
         _seed: u64,
     ) -> SketchResult<MomentsSummary> {
         struct Sink {
@@ -206,7 +228,21 @@ impl MomentsSketch {
 
         let col = view.table().column_by_name(&self.column)?;
         let mut out = MomentsSummary::zero(self.k);
-        let sel = crate::view::bounded_selection(view, &None, bounds);
+        let base = crate::view::bounded_selection(view, &None, bounds);
+        // Fused filtering keeps absolute row indexes, so the `row % 8` lane
+        // assignment — and therefore the power sums — stay bit-identical to
+        // the two-pass execution.
+        let ff = match filter {
+            Some(pred) => Some(RefCell::new(FrameFilter::compile(pred, view.table())?)),
+            None => None,
+        };
+        let sel = match &ff {
+            Some(f) => Selection::Filtered {
+                base: &base,
+                filter: f,
+            },
+            None => base,
+        };
         let mut sink = Sink {
             acc: MomentLanes::new(self.k),
             present: 0,

@@ -10,8 +10,10 @@
 use crate::eigen::{jacobi_eigen, Eigen, SymMatrix};
 use crate::traits::{Sketch, SketchError, SketchResult, Summary};
 use crate::view::TableView;
-use hillview_columnar::scan::scan_rows;
+use hillview_columnar::scan::{scan_rows, Selection};
+use hillview_columnar::{FrameFilter, Predicate};
 use hillview_net::{Result as WireResult, Wire, WireReader, WireWriter};
+use std::cell::RefCell;
 use std::sync::Arc;
 
 /// Correlation-matrix sketch over M numeric columns.
@@ -157,7 +159,7 @@ impl Sketch for PcaSketch {
     }
 
     fn summarize(&self, view: &TableView, seed: u64) -> SketchResult<PcaSummary> {
-        self.summarize_bounded(view, None, seed)
+        self.summarize_bounded(view, None, None, seed)
     }
 
     fn splittable(&self) -> bool {
@@ -171,7 +173,27 @@ impl Sketch for PcaSketch {
         hi: usize,
         seed: u64,
     ) -> SketchResult<PcaSummary> {
-        self.summarize_bounded(view, Some((lo, hi)), seed)
+        self.summarize_bounded(view, Some((lo, hi)), None, seed)
+    }
+
+    fn summarize_filtered(
+        &self,
+        view: &TableView,
+        predicate: &Predicate,
+        seed: u64,
+    ) -> SketchResult<PcaSummary> {
+        self.summarize_bounded(view, None, Some(predicate), seed)
+    }
+
+    fn summarize_filtered_range(
+        &self,
+        view: &TableView,
+        predicate: &Predicate,
+        lo: usize,
+        hi: usize,
+        seed: u64,
+    ) -> SketchResult<PcaSummary> {
+        self.summarize_bounded(view, Some((lo, hi)), Some(predicate), seed)
     }
 
     fn identity(&self) -> PcaSummary {
@@ -187,8 +209,18 @@ impl PcaSketch {
         &self,
         view: &TableView,
         bounds: Option<(usize, usize)>,
+        filter: Option<&Predicate>,
         seed: u64,
     ) -> SketchResult<PcaSummary> {
+        // Sampled + filtered: the sample must be drawn from the *filtered*
+        // membership to match two-pass execution, so fall back to the
+        // materialized path.
+        if self.rate < 1.0 {
+            if let Some(pred) = filter {
+                let narrowed = crate::view::filtered_view(view, pred)?;
+                return self.summarize_bounded(&narrowed, bounds, None, seed);
+            }
+        }
         let table = view.table();
         let m = self.columns.len();
         if m == 0 {
@@ -231,7 +263,18 @@ impl PcaSketch {
         // clipped to the bounds; sums accumulate in ascending row order
         // either way, bit-identical to the per-row reference.
         let sampled = (self.rate < 1.0).then(|| view.sample_rows(self.rate, seed));
-        let sel = crate::view::bounded_selection(view, &sampled, bounds);
+        let base = crate::view::bounded_selection(view, &sampled, bounds);
+        let ff = match filter {
+            Some(pred) => Some(RefCell::new(FrameFilter::compile(pred, view.table())?)),
+            None => None,
+        };
+        let sel = match &ff {
+            Some(f) => Selection::Filtered {
+                base: &base,
+                filter: f,
+            },
+            None => base,
+        };
         scan_rows(&sel, |row| tally(row, &mut out, &mut vals));
         Ok(out)
     }

@@ -12,9 +12,10 @@
 
 use crate::traits::{Sketch, SketchResult, Summary};
 use crate::view::TableView;
-use hillview_columnar::scan::scan_rows;
-use hillview_columnar::{RowKey, SortOrder};
+use hillview_columnar::scan::{scan_rows, Selection};
+use hillview_columnar::{FrameFilter, Predicate, RowKey, SortOrder};
 use hillview_net::{Result as WireResult, Wire, WireReader, WireWriter};
+use std::cell::RefCell;
 
 /// Sampled quantile sketch over a sort order.
 #[derive(Debug, Clone)]
@@ -111,7 +112,7 @@ impl Sketch for QuantileSketch {
     }
 
     fn summarize(&self, view: &TableView, seed: u64) -> SketchResult<QuantileSummary> {
-        self.summarize_bounded(view, None, seed)
+        self.summarize_bounded(view, None, None, seed)
     }
 
     fn splittable(&self) -> bool {
@@ -125,7 +126,27 @@ impl Sketch for QuantileSketch {
         hi: usize,
         seed: u64,
     ) -> SketchResult<QuantileSummary> {
-        self.summarize_bounded(view, Some((lo, hi)), seed)
+        self.summarize_bounded(view, Some((lo, hi)), None, seed)
+    }
+
+    fn summarize_filtered(
+        &self,
+        view: &TableView,
+        predicate: &Predicate,
+        seed: u64,
+    ) -> SketchResult<QuantileSummary> {
+        self.summarize_bounded(view, None, Some(predicate), seed)
+    }
+
+    fn summarize_filtered_range(
+        &self,
+        view: &TableView,
+        predicate: &Predicate,
+        lo: usize,
+        hi: usize,
+        seed: u64,
+    ) -> SketchResult<QuantileSummary> {
+        self.summarize_bounded(view, Some((lo, hi)), Some(predicate), seed)
     }
 
     fn identity(&self) -> QuantileSummary {
@@ -145,22 +166,48 @@ impl QuantileSketch {
         &self,
         view: &TableView,
         bounds: Option<(usize, usize)>,
+        filter: Option<&Predicate>,
         seed: u64,
     ) -> SketchResult<QuantileSummary> {
         let resolved = self.order.resolve(view.table())?;
+        // Sampled + filtered: the sample must be drawn from the *filtered*
+        // membership to match two-pass execution, so fall back to the
+        // materialized path.
+        if self.rate < 1.0 {
+            if let Some(pred) = filter {
+                let narrowed = crate::view::filtered_view(view, pred)?;
+                return self.summarize_bounded(&narrowed, bounds, None, seed);
+            }
+        }
         // Streaming (rate >= 1) walks membership chunks directly instead of
         // materializing every row index; sampling produces a Rows chunk.
         // Samples are drawn partition-wide and clipped to the bounds.
         let sampled = (self.rate < 1.0).then(|| view.sample_rows(self.rate, seed));
-        let sel = crate::view::bounded_selection(view, &sampled, bounds);
-        let population = match bounds {
-            None => view.len() as u64,
-            Some((lo, hi)) => view.members().count_range(lo, hi) as u64,
+        let base = crate::view::bounded_selection(view, &sampled, bounds);
+        let ff = match filter {
+            Some(pred) => Some(RefCell::new(FrameFilter::compile(pred, view.table())?)),
+            None => None,
         };
-        let mut keys = Vec::with_capacity(sel.count().min(2 * self.cap));
+        let sel = match &ff {
+            Some(f) => Selection::Filtered {
+                base: &base,
+                filter: f,
+            },
+            None => base,
+        };
+        let mut keys = Vec::with_capacity(base.count().min(2 * self.cap));
         scan_rows(&sel, |row| {
             keys.push(resolved.key(view.table(), row));
         });
+        // The population is the rows the summary speaks for: the filtered
+        // membership under fusion, the bounded membership otherwise.
+        let population = match &ff {
+            Some(f) => f.borrow().matched(),
+            None => match bounds {
+                None => view.len() as u64,
+                Some((lo, hi)) => view.members().count_range(lo, hi) as u64,
+            },
+        };
         if keys.len() > self.cap {
             let stride = keys.len().div_ceil(self.cap);
             keys = keys.into_iter().step_by(stride).collect();

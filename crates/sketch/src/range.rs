@@ -8,7 +8,9 @@
 
 use crate::traits::{Sketch, SketchResult, Summary};
 use crate::view::TableView;
+use hillview_columnar::{FrameFilter, Predicate};
 use hillview_net::{Result as WireResult, Wire, WireReader, WireWriter};
+use std::cell::RefCell;
 use std::sync::Arc;
 
 /// Computes the range of one column.
@@ -121,7 +123,7 @@ impl Sketch for RangeSketch {
     }
 
     fn summarize(&self, view: &TableView, seed: u64) -> SketchResult<RangeSummary> {
-        self.summarize_bounded(view, None, seed)
+        self.summarize_bounded(view, None, None, seed)
     }
 
     fn splittable(&self) -> bool {
@@ -135,7 +137,27 @@ impl Sketch for RangeSketch {
         hi: usize,
         seed: u64,
     ) -> SketchResult<RangeSummary> {
-        self.summarize_bounded(view, Some((lo, hi)), seed)
+        self.summarize_bounded(view, Some((lo, hi)), None, seed)
+    }
+
+    fn summarize_filtered(
+        &self,
+        view: &TableView,
+        predicate: &Predicate,
+        seed: u64,
+    ) -> SketchResult<RangeSummary> {
+        self.summarize_bounded(view, None, Some(predicate), seed)
+    }
+
+    fn summarize_filtered_range(
+        &self,
+        view: &TableView,
+        predicate: &Predicate,
+        lo: usize,
+        hi: usize,
+        seed: u64,
+    ) -> SketchResult<RangeSummary> {
+        self.summarize_bounded(view, Some((lo, hi)), Some(predicate), seed)
     }
 
     fn identity(&self) -> RangeSummary {
@@ -156,14 +178,26 @@ impl RangeSketch {
         &self,
         view: &TableView,
         bounds: Option<(usize, usize)>,
+        filter: Option<&Predicate>,
         _seed: u64,
     ) -> SketchResult<RangeSummary> {
         use hillview_columnar::block::BlockCursor;
         use hillview_columnar::scan::scan_rows;
-        use hillview_columnar::Column;
+        use hillview_columnar::{Column, Selection};
         let col = view.table().column_by_name(&self.column)?;
         let mut out = RangeSummary::default();
-        let sel = crate::view::bounded_selection(view, &None, bounds);
+        let base = crate::view::bounded_selection(view, &None, bounds);
+        let ff = match filter {
+            Some(pred) => Some(RefCell::new(FrameFilter::compile(pred, view.table())?)),
+            None => None,
+        };
+        let sel = match &ff {
+            Some(f) => Selection::Filtered {
+                base: &base,
+                filter: f,
+            },
+            None => base,
+        };
         match col {
             Column::Double(c) => {
                 let data = c.data();

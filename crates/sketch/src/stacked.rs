@@ -11,8 +11,9 @@ use crate::bind::{BoundColumn, Cell, FrameCells};
 use crate::buckets::BucketSpec;
 use crate::traits::{Sketch, SketchResult, Summary};
 use crate::view::TableView;
-use hillview_columnar::{scan_frames, FrameEvent, BLOCK_ROWS};
+use hillview_columnar::{scan_frames, FrameEvent, FrameFilter, Predicate, Selection, BLOCK_ROWS};
 use hillview_net::{Result as WireResult, Wire, WireReader, WireWriter};
+use std::cell::RefCell;
 use std::sync::Arc;
 
 /// Stacked histogram sketch over an X column subdivided by a Y column.
@@ -164,7 +165,7 @@ impl Sketch for StackedHistogramSketch {
     }
 
     fn summarize(&self, view: &TableView, seed: u64) -> SketchResult<StackedSummary> {
-        self.summarize_bounded(view, None, seed)
+        self.summarize_bounded(view, None, None, seed)
     }
 
     fn splittable(&self) -> bool {
@@ -178,7 +179,27 @@ impl Sketch for StackedHistogramSketch {
         hi: usize,
         seed: u64,
     ) -> SketchResult<StackedSummary> {
-        self.summarize_bounded(view, Some((lo, hi)), seed)
+        self.summarize_bounded(view, Some((lo, hi)), None, seed)
+    }
+
+    fn summarize_filtered(
+        &self,
+        view: &TableView,
+        predicate: &Predicate,
+        seed: u64,
+    ) -> SketchResult<StackedSummary> {
+        self.summarize_bounded(view, None, Some(predicate), seed)
+    }
+
+    fn summarize_filtered_range(
+        &self,
+        view: &TableView,
+        predicate: &Predicate,
+        lo: usize,
+        hi: usize,
+        seed: u64,
+    ) -> SketchResult<StackedSummary> {
+        self.summarize_bounded(view, Some((lo, hi)), Some(predicate), seed)
     }
 
     fn identity(&self) -> StackedSummary {
@@ -193,16 +214,39 @@ impl StackedHistogramSketch {
         &self,
         view: &TableView,
         bounds: Option<(usize, usize)>,
+        filter: Option<&Predicate>,
         seed: u64,
     ) -> SketchResult<StackedSummary> {
+        if let Some(pred) = filter {
+            // Sampled sketches draw from the *filtered* membership, so they
+            // take the two-pass path; exact ones fuse the predicate into the
+            // frame stream below.
+            if self.rate < 1.0 {
+                let narrowed = crate::view::filtered_view(view, pred)?;
+                return self.summarize_bounded(&narrowed, bounds, None, seed);
+            }
+        }
         let cx = view.table().column_by_name(&self.col_x)?;
         let cy = view.table().column_by_name(&self.col_y)?;
         let bound_x = BoundColumn::bind(cx, &self.buckets_x)?;
         let bound_y = BoundColumn::bind(cy, &self.buckets_y)?;
         let sampled = (self.rate < 1.0).then(|| view.sample_rows(self.rate, seed));
-        let sel = crate::view::bounded_selection(view, &sampled, bounds);
+        let base = crate::view::bounded_selection(view, &sampled, bounds);
+        let ff = match filter {
+            Some(pred) => Some(RefCell::new(FrameFilter::compile(pred, view.table())?)),
+            None => None,
+        };
+        let sel = match &ff {
+            Some(f) => Selection::Filtered {
+                base: &base,
+                filter: f,
+            },
+            None => base,
+        };
         let mut out = StackedSummary::zero(self.buckets_x.count(), self.buckets_y.count());
-        out.rows_inspected = sel.count() as u64;
+        if ff.is_none() {
+            out.rows_inspected = base.count() as u64;
+        }
         let width_y = out.by;
         // Dense selections stream as 64-row block frames of precomputed
         // bucket cells (see the heat-map kernel); sparse rows keep the
@@ -261,6 +305,9 @@ impl StackedHistogramSketch {
             }
             FrameEvent::Row(row) => tally_row(&mut out, row),
         });
+        if let Some(f) = &ff {
+            out.rows_inspected = f.borrow().matched();
+        }
         Ok(out)
     }
 }

@@ -93,6 +93,46 @@ pub trait Sketch: Send + Sync + 'static {
         )))
     }
 
+    /// Summarize the rows of `view` that satisfy `predicate` — the
+    /// **fused** filtered-query entry point.
+    ///
+    /// Contract: the result must be bit-identical to the two-pass execution
+    /// `summarize(filtered_view(view, predicate), seed)` — materialize the
+    /// filter into a membership set, then sketch it — which is exactly what
+    /// this default does. Kernels override it to compile the predicate into
+    /// a [`FrameFilter`](hillview_columnar::FrameFilter) and evaluate both
+    /// stages in one block pass (no intermediate membership set, no second
+    /// decode); the equivalence proptests pin every override against this
+    /// default.
+    fn summarize_filtered(
+        &self,
+        view: &TableView,
+        predicate: &hillview_columnar::Predicate,
+        seed: u64,
+    ) -> SketchResult<Self::Summary> {
+        self.summarize(&crate::view::filtered_view(view, predicate)?, seed)
+    }
+
+    /// Range-bounded companion of [`Sketch::summarize_filtered`]: summarize
+    /// the rows in `lo..hi` (absolute partition row indexes) that satisfy
+    /// `predicate`. Same tiling/fold contract as [`Sketch::summarize_range`];
+    /// must be bit-identical to
+    /// `summarize_range(filtered_view(view, predicate), lo, hi, seed)`.
+    ///
+    /// Note the bounds are *absolute* row indexes into the partition —
+    /// filtering narrows the membership but never renumbers rows — so split
+    /// plans computed from the parent membership remain valid under fusion.
+    fn summarize_filtered_range(
+        &self,
+        view: &TableView,
+        predicate: &hillview_columnar::Predicate,
+        lo: usize,
+        hi: usize,
+        seed: u64,
+    ) -> SketchResult<Self::Summary> {
+        self.summarize_range(&crate::view::filtered_view(view, predicate)?, lo, hi, seed)
+    }
+
     /// The merge identity (summary of an empty partition).
     fn identity(&self) -> Self::Summary;
 }
@@ -180,6 +220,112 @@ where
         (Ok(direct), Ok(split)) => direct == split,
         _ => false,
     }
+}
+
+/// Split-execution reference for a **fused** filtered query: compute the
+/// leaf ranges from the *parent* membership (filtering never renumbers rows,
+/// and the engine plans splits before the filter has been materialized),
+/// run [`Sketch::summarize_filtered_range`] on every leaf, and fold
+/// ascending from [`Sketch::identity`]. The work-stealing executor must
+/// reproduce this bit-for-bit under the fused path, whatever the thread
+/// count. Used by tests.
+pub fn summarize_filtered_split<S: Sketch>(
+    sketch: &S,
+    view: &TableView,
+    predicate: &hillview_columnar::Predicate,
+    grain: usize,
+    seed: u64,
+) -> SketchResult<S::Summary> {
+    use hillview_columnar::SplittableSelection;
+
+    fn collect<'a>(part: SplittableSelection<'a>, grain: usize, out: &mut Vec<(usize, usize)>) {
+        if part.weight() > grain {
+            if let Some((l, r)) = part.split() {
+                collect(l, grain, out);
+                collect(r, grain, out);
+                return;
+            }
+        }
+        let (lo, hi) = part.bounds();
+        out.push((lo, hi));
+    }
+
+    let grain = grain.max(1);
+    let mut ranges = Vec::new();
+    collect(SplittableSelection::new(view.members()), grain, &mut ranges);
+    let mut acc = sketch.identity();
+    for (lo, hi) in ranges {
+        acc = acc.merge(&sketch.summarize_filtered_range(view, predicate, lo, hi, seed)?);
+    }
+    Ok(acc)
+}
+
+/// Check the fusion law on concrete data: the fused filtered entry points
+/// must reproduce the two-pass execution (filter to a membership set, then
+/// sketch) bit-for-bit — both whole-partition and range-split from the
+/// parent membership. Used by tests.
+pub fn fused_law_holds<S>(
+    sketch: &S,
+    view: &TableView,
+    predicate: &hillview_columnar::Predicate,
+    grain: usize,
+    seed: u64,
+) -> bool
+where
+    S: Sketch,
+    S::Summary: PartialEq,
+{
+    let narrowed = match crate::view::filtered_view(view, predicate) {
+        Ok(v) => v,
+        Err(_) => return false,
+    };
+    let two_pass = match sketch.summarize(&narrowed, seed) {
+        Ok(s) => s,
+        Err(_) => return false,
+    };
+    let fused = match sketch.summarize_filtered(view, predicate, seed) {
+        Ok(s) => s,
+        Err(_) => return false,
+    };
+    if fused != two_pass {
+        return false;
+    }
+    if sketch.splittable() {
+        // Compare leaf-by-leaf over the *same* parent-derived ranges: the
+        // fused executor plans splits from the parent membership (the filter
+        // is never materialized), and per leaf the fused range summary must
+        // equal the two-pass range summary bit-for-bit — each visits
+        // identical rows in identical order, so this holds even for
+        // floating-point-summing kernels.
+        use hillview_columnar::SplittableSelection;
+        fn collect<'a>(part: SplittableSelection<'a>, grain: usize, out: &mut Vec<(usize, usize)>) {
+            if part.weight() > grain {
+                if let Some((l, r)) = part.split() {
+                    collect(l, grain, out);
+                    collect(r, grain, out);
+                    return;
+                }
+            }
+            let (lo, hi) = part.bounds();
+            out.push((lo, hi));
+        }
+        let mut ranges = Vec::new();
+        collect(
+            SplittableSelection::new(view.members()),
+            grain.max(1),
+            &mut ranges,
+        );
+        for (lo, hi) in ranges {
+            match (
+                sketch.summarize_filtered_range(view, predicate, lo, hi, seed),
+                sketch.summarize_range(&narrowed, lo, hi, seed),
+            ) {
+                (Ok(f), Ok(t)) if f == t => {}
+                _ => return false,
+            }
+        }
+    }
+    true
 }
 
 #[cfg(test)]

@@ -5,8 +5,9 @@
 //! current (possibly filtered) dataset — the paper's §5.6 derived-table
 //! representation, where filtered tables share storage with their parents.
 
+use crate::traits::SketchResult;
 use hillview_columnar::scan::{rows_in_range, Selection};
-use hillview_columnar::{MembershipSet, Table};
+use hillview_columnar::{filter_members, MembershipSet, Predicate, Table};
 use std::sync::{Arc, Mutex};
 
 /// The driver [`Selection`] for a possibly row-bounded kernel scan: a
@@ -25,6 +26,20 @@ pub(crate) fn bounded_selection<'a>(
         (None, None) => Selection::Members(view.members()),
         (None, Some((lo, hi))) => Selection::members_in(view.members(), lo, hi),
     }
+}
+
+/// Materialize `predicate` over `view` into a narrowed view — the
+/// **two-pass** execution of a filtered query (filter to a membership set,
+/// then sketch it). This is the reference the fused one-pass path is pinned
+/// against, and the fallback kernels use whenever fusion can't apply (e.g.
+/// sampled sketches, whose sample must be drawn from the *filtered*
+/// membership).
+pub fn filtered_view(view: &TableView, predicate: &Predicate) -> SketchResult<TableView> {
+    let members = filter_members(view.table(), predicate, view.members())?;
+    Ok(TableView::with_members(
+        view.table().clone(),
+        Arc::new(members),
+    ))
 }
 
 /// A memoized sample draw: `((rate bits, seed), rows)`.
