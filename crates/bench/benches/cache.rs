@@ -1,0 +1,328 @@
+//! Sketch-result cache benchmarks over a live cluster: cold fused
+//! execution vs. a warm per-worker cache hit on the drill-down shape
+//! (`packed_selective`, the same sorted-jitter column and range the fused
+//! bench accepts on), single-flight coalescing under concurrent identical
+//! queries, and the cost-based fuse-vs-materialize planner against both
+//! static strategies on a repeated-query sequence.
+//!
+//! Running `cargo bench --bench cache` rewrites `BENCH_cache.json` at the
+//! repository root. The acceptance cases: the warm hit must beat the cold
+//! miss by ≥ 10x on `packed_selective`, and on every planner scenario the
+//! cost-based plan must land within 1.3x of the better static strategy.
+
+use criterion::Criterion;
+use hillview_columnar::column::{Column, I64Column};
+use hillview_columnar::udf::UdfRegistry;
+use hillview_columnar::{ColumnKind, NullMask, Predicate, Table};
+use hillview_core::dataset::SourceRegistry;
+use hillview_core::erased::{erase, ErasedSketch};
+use hillview_core::{Cluster, ClusterConfig, Engine, FnSource, QueryOptions};
+use hillview_sketch::histogram::HistogramSketch;
+use hillview_sketch::BucketSpec;
+use hillview_storage::partition_table;
+use std::sync::Arc;
+use std::time::Instant;
+
+const ROWS: usize = 1_000_000;
+const WORKERS: usize = 2;
+
+fn mix(i: u64) -> u64 {
+    let mut z = i.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The engine under test: 2 workers × 4 threads over two 1M-row integer
+/// columns sharded by global row index, so the cluster-wide data matches
+/// the single-table fused bench exactly.
+///
+/// * `packed` — sorted with jitter (`i/244 + mix(i)%4`): bit-packed
+///   storage, tight per-block zone windows. A drill-down range engages
+///   zone-map skipping, so the fused scan only decodes the ~20% band.
+/// * `shuffled` — `mix(i) % 4096`: no zone skips, every block decodes.
+///   A selective range here is the regime where materializing the
+///   membership once beats re-running the full-scan predicate per query.
+fn bench_engine() -> Arc<Engine> {
+    let mut sources = SourceRegistry::new();
+    let shard = |w: usize, value: fn(u64) -> i64| -> Vec<i64> {
+        let per = ROWS / WORKERS;
+        (w * per..(w + 1) * per).map(|i| value(i as u64)).collect()
+    };
+    let table = |values: Vec<i64>, mp: usize| {
+        let t = Table::builder()
+            .column(
+                "X",
+                ColumnKind::Int,
+                Column::Int(I64Column::new(values, NullMask::none())),
+            )
+            .build()
+            .unwrap();
+        Ok(partition_table(&t, mp))
+    };
+    sources.register(Arc::new(FnSource::new(
+        "packed",
+        move |w, _n, mp, _snap| table(shard(w, |i| (i / 244) as i64 + (mix(i) % 4) as i64), mp),
+    )));
+    sources.register(Arc::new(FnSource::new(
+        "shuffled",
+        move |w, _n, mp, _snap| table(shard(w, |i| (mix(i) % 4096) as i64), mp),
+    )));
+    let cfg = ClusterConfig {
+        workers: WORKERS,
+        threads_per_worker: 4,
+        micropartition_rows: 125_000,
+        batch_interval: std::time::Duration::from_millis(100),
+        link: hillview_net::LinkConfig::instant(),
+        worker_timeout: std::time::Duration::from_secs(30),
+        leaf_grain_rows: 65_536,
+        cache_budget_bytes: 32 << 20,
+    };
+    Arc::new(Engine::new(Cluster::new(
+        cfg,
+        sources,
+        UdfRegistry::with_builtins(),
+    )))
+}
+
+fn histogram() -> Arc<dyn ErasedSketch> {
+    erase(HistogramSketch::streaming(
+        "X",
+        BucketSpec::numeric(0.0, 4096.0, 32),
+    ))
+}
+
+fn uncached() -> QueryOptions {
+    QueryOptions {
+        cache: false,
+        ..Default::default()
+    }
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    let engine = bench_engine();
+    let cluster = engine.cluster().clone();
+    let packed = engine.load("packed", 0).unwrap();
+    let shuffled = engine.load("shuffled", 0).unwrap();
+    let sk = histogram();
+    let drill = || Predicate::range("X", 1000.0, 1820.0);
+
+    // ------------------------------------------------------------------
+    // Cold vs. warm: the same fused filtered-histogram drill-down, timed
+    // as a pure computation (`cache: false`), as a cache miss (caches
+    // cleared inside the measured iteration), and as a warm hit.
+    // ------------------------------------------------------------------
+    let mut g = c.benchmark_group("packed_selective");
+    g.sample_size(20);
+    g.bench_function("uncached", |b| {
+        b.iter(|| {
+            engine
+                .run_filtered_erased(packed, drill(), &sk, &uncached())
+                .unwrap()
+        });
+    });
+    g.bench_function("cold_miss", |b| {
+        b.iter(|| {
+            for w in 0..cluster.num_workers() {
+                cluster.worker(w).cache().clear();
+            }
+            engine
+                .run_filtered_erased(packed, drill(), &sk, &QueryOptions::default())
+                .unwrap()
+        });
+    });
+    // Prime once, then every iteration is served from the worker caches.
+    engine
+        .run_filtered_erased(packed, drill(), &sk, &QueryOptions::default())
+        .unwrap();
+    g.bench_function("warm_hit", |b| {
+        b.iter(|| {
+            engine
+                .run_filtered_erased(packed, drill(), &sk, &QueryOptions::default())
+                .unwrap()
+        });
+    });
+    g.finish();
+    let ms = c.measurements();
+    let uncached_ns = ms[ms.len() - 3].median.as_nanos();
+    let cold_ns = ms[ms.len() - 2].median.as_nanos();
+    let warm_ns = ms[ms.len() - 1].median.as_nanos();
+
+    // Sanity outside the timers: the warm path actually hits.
+    let before = cluster.cache_stats();
+    engine
+        .run_filtered_erased(packed, drill(), &sk, &QueryOptions::default())
+        .unwrap();
+    let after = cluster.cache_stats();
+    assert_eq!(
+        after.hits - before.hits,
+        cluster.num_workers() as u64,
+        "warm drill-down was not served from every worker's cache"
+    );
+
+    // ------------------------------------------------------------------
+    // Single-flight coalescing: N threads fire the identical cold query;
+    // one flight per worker computes, everyone else waits on it. Counters
+    // prove the dedup; the wall clock shows N queries for ~1 cold price.
+    // ------------------------------------------------------------------
+    const THREADS: usize = 8;
+    for w in 0..cluster.num_workers() {
+        cluster.worker(w).cache().clear();
+    }
+    let base = cluster.cache_stats();
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let engine = &engine;
+            let sk = &sk;
+            scope.spawn(move || {
+                engine
+                    .run_filtered_erased(packed, drill(), sk, &QueryOptions::default())
+                    .unwrap()
+            });
+        }
+    });
+    let coalesce_ns = started.elapsed().as_nanos();
+    let delta = {
+        let now = cluster.cache_stats();
+        (
+            now.misses - base.misses,
+            now.hits - base.hits,
+            now.coalesced - base.coalesced,
+            now.insertions - base.insertions,
+        )
+    };
+    assert_eq!(
+        delta.0 + delta.1,
+        (THREADS * cluster.num_workers()) as u64,
+        "coalescing run lost queries (misses {} + hits {})",
+        delta.0,
+        delta.1
+    );
+
+    // ------------------------------------------------------------------
+    // Planner regret: a burst of identical filtered queries (result cache
+    // off, so every query really executes) under the cost-based plan vs.
+    // both static strategies. `packed_selective` is the zone-skip regime
+    // where staying fused wins; `shuffled_selective` (full decode, ~5%
+    // selectivity) is the regime where materializing once wins.
+    // ------------------------------------------------------------------
+    const BURST: usize = 6;
+    let scenarios = [
+        ("planner_packed_selective", packed, drill()),
+        (
+            "planner_shuffled_selective",
+            shuffled,
+            Predicate::range("X", 100.0, 304.0),
+        ),
+    ];
+    let mut planner_cases = Vec::new();
+    for (name, data, pred) in scenarios {
+        let mut g = c.benchmark_group(name);
+        g.sample_size(10);
+        g.bench_function("fused_always", |b| {
+            b.iter(|| {
+                for _ in 0..BURST {
+                    engine
+                        .run_filtered_erased(data, pred.clone(), &sk, &uncached())
+                        .unwrap();
+                }
+            });
+        });
+        g.bench_function("materialize_always", |b| {
+            b.iter(|| {
+                let id = engine.filter(data, pred.clone()).unwrap();
+                for _ in 0..BURST {
+                    engine.run_erased(id, &sk, &uncached()).unwrap();
+                }
+            });
+        });
+        g.bench_function("planner", |b| {
+            b.iter(|| {
+                let id = engine.filter_lazy(data, pred.clone());
+                for _ in 0..BURST {
+                    engine.run_erased(id, &sk, &uncached()).unwrap();
+                }
+            });
+        });
+        g.finish();
+        let ms = c.measurements();
+        let fused_ns = ms[ms.len() - 3].median.as_nanos();
+        let mat_ns = ms[ms.len() - 2].median.as_nanos();
+        let planner_ns = ms[ms.len() - 1].median.as_nanos();
+        planner_cases.push((name, fused_ns, mat_ns, planner_ns));
+    }
+
+    write_json(
+        uncached_ns,
+        cold_ns,
+        warm_ns,
+        THREADS,
+        coalesce_ns,
+        delta,
+        &planner_cases,
+    );
+
+    println!(
+        "\npacked_selective: uncached {uncached_ns} ns, cold_miss {cold_ns} ns, warm_hit \
+         {warm_ns} ns ({:.1}x warm-over-cold)",
+        cold_ns as f64 / warm_ns.max(1) as f64
+    );
+    println!(
+        "coalesce {THREADS} threads: {coalesce_ns} ns total, {} misses / {} hits / {} \
+         coalesced waits / {} insertions",
+        delta.0, delta.1, delta.2, delta.3
+    );
+    for (name, fused_ns, mat_ns, planner_ns) in &planner_cases {
+        let best = (*fused_ns).min(*mat_ns);
+        println!(
+            "{name}: fused_always {fused_ns} ns, materialize_always {mat_ns} ns, planner \
+             {planner_ns} ns (regret {:.2}x)",
+            *planner_ns as f64 / best.max(1) as f64
+        );
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_json(
+    uncached_ns: u128,
+    cold_ns: u128,
+    warm_ns: u128,
+    threads: usize,
+    coalesce_ns: u128,
+    (misses, hits, coalesced, insertions): (u64, u64, u64, u64),
+    planner: &[(&str, u128, u128, u128)],
+) {
+    let mut out = String::from("{\n  \"rows\": 1000000,\n");
+    out.push_str(
+        "  \"bench\": \"sketch-result cache: cold fused drill-down vs warm per-worker hit, \
+         single-flight coalescing, and cost-based fuse-vs-materialize planner regret vs both \
+         static strategies (median ns)\",\n",
+    );
+    out.push_str(&format!(
+        "  \"packed_selective\": {{\"uncached_ns\": {uncached_ns}, \"cold_miss_ns\": {cold_ns}, \
+         \"warm_hit_ns\": {warm_ns}, \"warm_over_cold\": {:.2}}},\n",
+        cold_ns as f64 / warm_ns.max(1) as f64
+    ));
+    out.push_str(&format!(
+        "  \"coalesce\": {{\"threads\": {threads}, \"total_ns\": {coalesce_ns}, \
+         \"cold_miss_ns\": {cold_ns}, \"misses\": {misses}, \"hits\": {hits}, \
+         \"coalesced_waits\": {coalesced}, \"insertions\": {insertions}}},\n",
+    ));
+    out.push_str("  \"planner\": [\n");
+    for (i, (name, fused_ns, mat_ns, planner_ns)) in planner.iter().enumerate() {
+        let best = (*fused_ns).min(*mat_ns);
+        out.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"queries\": 6, \"fused_always_ns\": {fused_ns}, \
+             \"materialize_always_ns\": {mat_ns}, \"planner_ns\": {planner_ns}, \
+             \"regret_vs_best_static\": {:.3}}}{}\n",
+            *planner_ns as f64 / best.max(1) as f64,
+            if i + 1 < planner.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_cache.json");
+    std::fs::write(path, out).expect("write BENCH_cache.json");
+    println!("wrote {path}");
+}

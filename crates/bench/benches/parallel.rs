@@ -106,6 +106,7 @@ fn cluster(threads: usize, packed: bool) -> (Arc<Cluster>, DatasetId) {
         link: hillview_net::LinkConfig::instant(),
         worker_timeout: std::time::Duration::from_secs(30),
         leaf_grain_rows: GRAIN,
+        cache_budget_bytes: 32 << 20,
     };
     let c = Cluster::new(cfg, sources, UdfRegistry::new());
     let ds = DatasetId(1);

@@ -72,6 +72,7 @@ impl BenchCluster {
             link: hillview_net::LinkConfig::instant(),
             worker_timeout: std::time::Duration::from_secs(30),
             leaf_grain_rows: 65_536,
+            cache_budget_bytes: 32 << 20,
         };
         let cluster = Cluster::new(cfg, sources, udfs);
         BenchCluster {

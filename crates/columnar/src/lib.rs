@@ -83,15 +83,30 @@
 //! materialize frame-at-a-time through the encodings' block decoders
 //! instead of a per-row closure.
 //!
-//! The two-pass execution ([`filter_members`] into a membership set, then
-//! a second scan) remains, deliberately: the engine's planner uses it when
-//! a filtered table is queried repeatedly (the membership set is computed
-//! once and cached — fusion would re-evaluate the predicate per query),
-//! and sampled kernels fall back to it so samples draw from the filtered
-//! membership. The fused and two-pass pipelines are property-tested
-//! bit-identical across encodings × membership representations × null
-//! densities × simd modes, so the planner's choice is invisible in
-//! results.
+//! Sampled kernels run fused too: the selection word is thinned by the
+//! deterministic per-row hash *before* the kernel sees it, so a sampled
+//! filtered query samples the filtered rows in one pass. The two-pass
+//! execution ([`filter_members`] into a membership set, then a second
+//! scan) remains, deliberately — it is what materializing a derived table
+//! runs, when the engine's cost-based planner decides a filter will be
+//! queried often enough to pay for the membership set once. The fused and
+//! two-pass pipelines are property-tested bit-identical across encodings
+//! × membership representations × null densities × simd modes, so the
+//! planner's choice is invisible in results.
+//!
+//! Two predicate-layer services feed that planner. Every [`Predicate`]
+//! reduces to a **canonical form** ([`Predicate::canonical_bytes`]):
+//! negation-normal form, flattened and
+//! sorted commutative operands, idempotence/absorption collapsed, numeric
+//! bounds snapped to the column's integer domain — so any two respellings
+//! of the same selection (operand order, double negation, De Morgan
+//! variants) yield byte-identical encodings. Those bytes are the
+//! *predicate identity* the engine hashes into structural cache keys: a
+//! canonically-equal query hits the sketch-result cache no matter how the
+//! caller spelled it. And [`estimate_selectivity`] probes a bounded prefix
+//! of each column's zone maps to report, without a full scan, both the
+//! fraction of rows a predicate keeps and the fraction of blocks it can
+//! skip — the two costs the fuse-vs-materialize decision weighs.
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -121,11 +136,11 @@ pub use column::{Column, DictColumn, F64Column, I64Column};
 pub use dictionary::Dictionary;
 pub use encoding::{CodeStorage, EncodingKind, I64Storage, IntStorage, PackedInt, ZoneMap};
 pub use error::{Error, Result};
-pub use membership::MembershipSet;
+pub use membership::{row_sampled, MembershipSet};
 pub use nullmask::NullMask;
 pub use predicate::{
-    filter_members, filter_members_rowwise, BlockPredicate, CompiledPredicate, FrameFilter,
-    Predicate, StrMatchKind,
+    estimate_selectivity, filter_members, filter_members_rowwise, fnv1a, BlockPredicate,
+    CompiledPredicate, FrameFilter, Predicate, SelectivityEstimate, StrMatchKind, FNV_OFFSET,
 };
 pub use rows::{Row, RowKey};
 pub use scan::{rows_in_range, ScanChunk, ScanSource, Selection, SplittableSelection};

@@ -227,6 +227,23 @@ fn geometric_skip(rng: &mut SmallRng, p: f64) -> usize {
     }
 }
 
+/// Stateless per-row sampling decision: true when `row` belongs to the
+/// deterministic hash-order sample at `rate` under `seed` — the same test
+/// [`MembershipSet::sample`] applies to sparse sets. Because the decision
+/// is a pure function of `(row, rate, seed)`, it can be applied to a
+/// streaming row source (the fused filter pipeline) without materializing
+/// a membership set first, and any tiling of the row space selects exactly
+/// the same rows.
+pub fn row_sampled(row: u64, rate: f64, seed: u64) -> bool {
+    if rate >= 1.0 {
+        return true;
+    }
+    if rate <= 0.0 {
+        return false;
+    }
+    splitmix64(row ^ seed) <= (rate * u64::MAX as f64) as u64
+}
+
 /// A fast 64-bit mix used for hash-order sampling of sparse sets.
 fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E3779B97F4A7C15);

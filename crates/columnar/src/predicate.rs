@@ -1086,10 +1086,507 @@ pub fn filter_members_rowwise(
     Ok(MembershipSet::from_rows(rows, table.num_rows()))
 }
 
+// ---------------------------------------------------------------------
+// Canonicalization + identity hashing (paper §5.4: the computation cache
+// needs query *identity*, and a predicate's identity must survive the
+// syntactic noise of how the UI assembled it).
+// ---------------------------------------------------------------------
+
+/// The canonical structural form a predicate normalizes into for identity
+/// hashing. **Never executed** — execution always runs the original tree —
+/// this form only decides when two predicates are the *same query*:
+///
+/// * negation-normal form: `Not` is pushed through `And`/`Or` by De Morgan
+///   and double negations cancel, so `Not(Not(p))` ≡ `p` and
+///   `Not(a.or(b))` ≡ `a.not().and(b.not())`;
+/// * `And`/`Or` chains flatten into sorted, deduplicated operand lists, so
+///   `a.and(b)` ≡ `b.and(a)` and `a.and(a)` ≡ `a`;
+/// * numeric bounds on integer-kinded columns normalize through the same
+///   [`int_lower_bound`]/[`int_upper_bound_excl`] translation the block
+///   compiler uses, so `Range(10.2, 19.7)` ≡ `Range(11.0, 20.0)` on an
+///   `Int` column, and an integer `Equals` lowers to the same inclusive
+///   interval leaf as the equivalent one-value `Range`;
+/// * statically-empty leaves (NaN bounds, `lo >= hi`, empty snapped
+///   intervals) collapse to `False`, and constants propagate through the
+///   connectives (`And` with `False` is `False`, `Or` with `True` is
+///   `True`, ...).
+#[derive(Debug, Clone, PartialEq)]
+enum Canon {
+    True,
+    False,
+    /// `lo <= x < hi` on a float-kinded (or unresolved) column.
+    RangeF(Arc<str>, u64, u64),
+    /// Inclusive integer-domain interval on an `Int`/`Date` column.
+    RangeI(Arc<str>, i64, i64),
+    /// Numeric equality through `as_f64` (bit pattern of the target).
+    EqualsF(Arc<str>, u64),
+    /// String equality on a column.
+    EqualsStr(Arc<str>, Arc<str>),
+    /// Text/regex match; the query is case-folded when insensitive, so the
+    /// two spellings of a case-insensitive search hash equal.
+    Match(Arc<str>, String, u8),
+    /// The row is missing in the column (`IsMissing` and
+    /// `Equals(Value::Missing)` both land here — they match identical rows).
+    Missing(Arc<str>),
+    And(Vec<Canon>),
+    Or(Vec<Canon>),
+    /// Negated leaf (NNF keeps `Not` only directly above leaves).
+    Not(Box<Canon>),
+}
+
+impl Canon {
+    /// Deterministic structural encoding: tag byte, then length-prefixed
+    /// operands. Operand lists are already sorted by their encodings.
+    fn encode(&self, out: &mut Vec<u8>) {
+        fn put_str(out: &mut Vec<u8>, s: &str) {
+            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        match self {
+            Canon::True => out.push(0),
+            Canon::False => out.push(1),
+            Canon::RangeF(c, lo, hi) => {
+                out.push(2);
+                put_str(out, c);
+                out.extend_from_slice(&lo.to_le_bytes());
+                out.extend_from_slice(&hi.to_le_bytes());
+            }
+            Canon::RangeI(c, lo, hi) => {
+                out.push(3);
+                put_str(out, c);
+                out.extend_from_slice(&lo.to_le_bytes());
+                out.extend_from_slice(&hi.to_le_bytes());
+            }
+            Canon::EqualsF(c, bits) => {
+                out.push(4);
+                put_str(out, c);
+                out.extend_from_slice(&bits.to_le_bytes());
+            }
+            Canon::EqualsStr(c, s) => {
+                out.push(5);
+                put_str(out, c);
+                put_str(out, s);
+            }
+            Canon::Match(c, q, mode) => {
+                out.push(6);
+                put_str(out, c);
+                put_str(out, q);
+                out.push(*mode);
+            }
+            Canon::Missing(c) => {
+                out.push(7);
+                put_str(out, c);
+            }
+            Canon::And(ops) | Canon::Or(ops) => {
+                out.push(if matches!(self, Canon::And(_)) { 8 } else { 9 });
+                out.extend_from_slice(&(ops.len() as u32).to_le_bytes());
+                for op in ops {
+                    op.encode(out);
+                }
+            }
+            Canon::Not(p) => {
+                out.push(10);
+                p.encode(out);
+            }
+        }
+    }
+}
+
+/// Normalize an f64 for canonical encoding: `-0.0` compares equal to
+/// `0.0` in every predicate, so both encode as `0.0`. NaN never reaches
+/// this point (NaN leaves collapse to `False` first).
+fn canon_f64_bits(v: f64) -> u64 {
+    if v == 0.0 {
+        0.0f64.to_bits()
+    } else {
+        v.to_bits()
+    }
+}
+
+/// True when the named column exists in `table` and is integer-kinded
+/// (`Int`/`Date`), i.e. the block compiler would translate range bounds
+/// into the i64 domain for it.
+fn int_kinded(table: Option<&Table>, column: &str) -> bool {
+    table
+        .and_then(|t| t.schema().index_of(column).ok().map(|i| t.column(i)))
+        .is_some_and(|c| matches!(c, Column::Int(_) | Column::Date(_)))
+}
+
+fn canon_node(p: &Predicate, neg: bool, table: Option<&Table>) -> Canon {
+    match p {
+        Predicate::Not(inner) => canon_node(inner, !neg, table),
+        Predicate::And(a, b) | Predicate::Or(a, b) => {
+            // De Morgan: a negated And is an Or of negations (and vice
+            // versa), so NNF needs only the negation flag.
+            let is_and = matches!(p, Predicate::And(..)) != neg;
+            let mut ops = Vec::new();
+            for side in [a, b] {
+                match canon_node(side, neg, table) {
+                    // Flatten same-connective children into one list.
+                    Canon::And(inner) if is_and => ops.extend(inner),
+                    Canon::Or(inner) if !is_and => ops.extend(inner),
+                    // Identity elements vanish; absorbing elements decide.
+                    Canon::True if is_and => {}
+                    Canon::False if !is_and => {}
+                    Canon::True => return Canon::True,
+                    Canon::False => return Canon::False,
+                    other => ops.push(other),
+                }
+            }
+            // Sort operands by their structural encodings and drop
+            // duplicates (idempotence: `a AND a` ≡ `a`).
+            let mut keyed: Vec<(Vec<u8>, Canon)> = ops
+                .into_iter()
+                .map(|c| {
+                    let mut k = Vec::new();
+                    c.encode(&mut k);
+                    (k, c)
+                })
+                .collect();
+            keyed.sort_by(|x, y| x.0.cmp(&y.0));
+            keyed.dedup_by(|x, y| x.0 == y.0);
+            let ops: Vec<Canon> = keyed.into_iter().map(|(_, c)| c).collect();
+            match (ops.len(), is_and) {
+                (0, true) => Canon::True,
+                (0, false) => Canon::False,
+                (1, _) => ops.into_iter().next().unwrap(),
+                (_, true) => Canon::And(ops),
+                (_, false) => Canon::Or(ops),
+            }
+        }
+        leaf => {
+            let c = canon_leaf(leaf, table);
+            if neg {
+                match c {
+                    Canon::True => Canon::False,
+                    Canon::False => Canon::True,
+                    other => Canon::Not(Box::new(other)),
+                }
+            } else {
+                c
+            }
+        }
+    }
+}
+
+fn canon_leaf(p: &Predicate, table: Option<&Table>) -> Canon {
+    match p {
+        Predicate::True => Canon::True,
+        Predicate::Range { column, lo, hi } => {
+            if lo.is_nan() || hi.is_nan() || lo >= hi {
+                return Canon::False;
+            }
+            if int_kinded(table, column) {
+                // The same translation the block compiler applies: the
+                // smallest/largest i64 whose f64 image satisfies the bound.
+                match (int_lower_bound(*lo), int_upper_bound_excl(*hi)) {
+                    (Some(l), Some(u)) if l <= u => Canon::RangeI(column.clone(), l, u),
+                    _ => Canon::False,
+                }
+            } else {
+                Canon::RangeF(column.clone(), canon_f64_bits(*lo), canon_f64_bits(*hi))
+            }
+        }
+        Predicate::Equals { column, value } => match value {
+            Value::Missing => Canon::Missing(column.clone()),
+            Value::Str(s) => Canon::EqualsStr(column.clone(), s.clone()),
+            v => match (v.as_i64(), int_kinded(table, column)) {
+                // Same lowering as the compiler: exact i64 equality on an
+                // integer column is the one-value inclusive interval.
+                (Some(i), true) => Canon::RangeI(column.clone(), i, i),
+                _ => {
+                    let f = v.as_f64().expect("numeric value");
+                    if f.is_nan() {
+                        Canon::False
+                    } else {
+                        Canon::EqualsF(column.clone(), canon_f64_bits(f))
+                    }
+                }
+            },
+        },
+        Predicate::StrMatch {
+            column,
+            query,
+            kind,
+            case_insensitive,
+        } => {
+            let q = if *case_insensitive && *kind != StrMatchKind::Regex {
+                query.to_ascii_lowercase()
+            } else {
+                query.to_string()
+            };
+            let mode = match kind {
+                StrMatchKind::Exact => 0u8,
+                StrMatchKind::Substring => 1,
+                StrMatchKind::Regex => 2,
+            } | (u8::from(*case_insensitive) << 4);
+            Canon::Match(column.clone(), q, mode)
+        }
+        Predicate::IsMissing { column } => Canon::Missing(column.clone()),
+        Predicate::And(..) | Predicate::Or(..) | Predicate::Not(..) => {
+            unreachable!("handled by canon_node")
+        }
+    }
+}
+
+/// FNV-1a over a byte slice, continuing from `state` — the same hash the
+/// engine uses for wire checksums; collisions only cost a cache miss here
+/// because the full key is compared on lookup.
+pub fn fnv1a(state: u64, bytes: &[u8]) -> u64 {
+    let mut h = state;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// FNV-1a offset basis (the conventional starting state for [`fnv1a`]).
+pub const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+
+impl Predicate {
+    /// The canonical structural encoding of this predicate, optionally
+    /// schema-aware: when `table` is given, numeric bounds on its
+    /// integer-kinded columns normalize through the block compiler's
+    /// integer-domain translation (see `Canon`). Two predicates with
+    /// equal canonical bytes select identical rows on every table
+    /// consistent with the schema used; the encoding is the basis of the
+    /// engine's predicate-identity cache keys.
+    pub fn canonical_bytes(&self, table: Option<&Table>) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        canon_node(self, false, table).encode(&mut out);
+        out
+    }
+
+    /// 64-bit identity hash of [`Predicate::canonical_bytes`].
+    pub fn identity_hash(&self, table: Option<&Table>) -> u64 {
+        fnv1a(FNV_OFFSET, &self.canonical_bytes(table))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Zone-map selectivity estimation (the planner's cost input).
+// ---------------------------------------------------------------------
+
+/// Block-classification counts for a predicate over one table, the cost
+/// signal behind the engine's fuse-vs-materialize choice: `all_fail`
+/// blocks are skipped without decoding by both the fused pass and the
+/// filter pipeline, `all_pass` blocks pass every present row without a
+/// value test, and `mixed` blocks pay a decode. A deterministic probe of
+/// evenly-spaced mixed blocks refines the row-level selectivity estimate.
+/// Estimates from different partitions/workers sum with
+/// [`SelectivityEstimate::merge`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SelectivityEstimate {
+    /// Rows examined (the table sizes summed).
+    pub rows: u64,
+    /// 64-row blocks examined.
+    pub blocks: u64,
+    /// Blocks the zone maps prove fully passing (modulo nulls).
+    pub all_pass: u64,
+    /// Blocks the zone maps prove fully failing.
+    pub all_fail: u64,
+    /// Blocks needing a value test.
+    pub mixed: u64,
+    /// Rows evaluated by the mixed-block probe.
+    pub probed_rows: u64,
+    /// Probed rows that passed the predicate.
+    pub probed_hits: u64,
+}
+
+impl SelectivityEstimate {
+    /// Combine estimates of disjoint data (summing every counter).
+    pub fn merge(&self, other: &Self) -> Self {
+        SelectivityEstimate {
+            rows: self.rows + other.rows,
+            blocks: self.blocks + other.blocks,
+            all_pass: self.all_pass + other.all_pass,
+            all_fail: self.all_fail + other.all_fail,
+            mixed: self.mixed + other.mixed,
+            probed_rows: self.probed_rows + other.probed_rows,
+            probed_hits: self.probed_hits + other.probed_hits,
+        }
+    }
+
+    /// Fraction of blocks the zone maps prove fully failing — work *both*
+    /// execution strategies skip without decoding.
+    pub fn skip_fraction(&self) -> f64 {
+        if self.blocks == 0 {
+            0.0
+        } else {
+            self.all_fail as f64 / self.blocks as f64
+        }
+    }
+
+    /// Estimated fraction of rows selected: all-pass blocks contribute
+    /// fully, mixed blocks at the probed hit rate (0.5 when unprobed).
+    pub fn selectivity(&self) -> f64 {
+        if self.blocks == 0 {
+            return 1.0;
+        }
+        let mixed_rate = if self.probed_rows > 0 {
+            self.probed_hits as f64 / self.probed_rows as f64
+        } else {
+            0.5
+        };
+        let frac = (self.all_pass as f64 + mixed_rate * self.mixed as f64) / self.blocks as f64;
+        frac.clamp(0.0, 1.0)
+    }
+}
+
+/// How a block classifies against the zone maps.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Tri {
+    AllPass,
+    AllFail,
+    Mixed,
+}
+
+/// Classify one 64-row block using only zone maps and null words — the
+/// decision mirrors the short-circuit tests in `eval_node`, conservatively
+/// answering `Mixed` wherever that function would decode. Null rows are
+/// ignored (they affect which rows pass, not whether a decode happens),
+/// so `AllPass` means "every *present* row passes".
+fn classify_node(node: &BNode<'_>, block: usize) -> Tri {
+    match node {
+        BNode::Always(true) => Tri::AllPass,
+        BNode::Always(false) => Tri::AllFail,
+        BNode::Present { .. } => Tri::AllPass,
+        BNode::IsMissing { nulls } => match nulls.map_or(0, |nb| nb.word(block)) {
+            0 => Tri::AllFail,
+            _ => Tri::Mixed,
+        },
+        BNode::RangeF64 { zones, lo, hi, .. } => {
+            let (zmin, zmax) = zones.block(block);
+            if zmax < *lo || zmin >= *hi {
+                Tri::AllFail
+            } else if zmin >= *lo && zmax < *hi {
+                Tri::AllPass
+            } else {
+                Tri::Mixed
+            }
+        }
+        BNode::EqualsF64 { zones, value, .. } => {
+            let (zmin, zmax) = zones.block(block);
+            if *value < zmin || *value > zmax {
+                Tri::AllFail
+            } else if zmin == zmax && zmin == *value {
+                Tri::AllPass
+            } else {
+                Tri::Mixed
+            }
+        }
+        BNode::RangeI64 { zones, lo, hi, .. } => {
+            let (zmin, zmax) = zones.block(block);
+            if zmax < *lo || zmin > *hi {
+                Tri::AllFail
+            } else if zmin >= *lo && zmax <= *hi {
+                Tri::AllPass
+            } else {
+                Tri::Mixed
+            }
+        }
+        BNode::EqualsCode { zones, code, .. } => {
+            let (zmin, zmax) = zones.block(block);
+            if *code < zmin || *code > zmax {
+                Tri::AllFail
+            } else if zmin == zmax {
+                Tri::AllPass
+            } else {
+                Tri::Mixed
+            }
+        }
+        BNode::MatchCodes { zones, bits, .. } => {
+            let (zmin, zmax) = zones.block(block);
+            if zmax - zmin >= 256 {
+                return Tri::Mixed;
+            }
+            let mut any = false;
+            let mut all = true;
+            for c in zmin..=zmax {
+                let hit = bits[c as usize / 64] >> (c % 64) & 1 == 1;
+                any |= hit;
+                all &= hit;
+            }
+            if !any {
+                Tri::AllFail
+            } else if all {
+                Tri::AllPass
+            } else {
+                Tri::Mixed
+            }
+        }
+        BNode::MatchDisplay { .. } => Tri::Mixed,
+        BNode::And(a, b) => match (classify_node(a, block), classify_node(b, block)) {
+            (Tri::AllFail, _) | (_, Tri::AllFail) => Tri::AllFail,
+            (Tri::AllPass, Tri::AllPass) => Tri::AllPass,
+            _ => Tri::Mixed,
+        },
+        BNode::Or(a, b) => match (classify_node(a, block), classify_node(b, block)) {
+            (Tri::AllPass, _) | (_, Tri::AllPass) => Tri::AllPass,
+            (Tri::AllFail, Tri::AllFail) => Tri::AllFail,
+            _ => Tri::Mixed,
+        },
+        BNode::Not(a) => match classify_node(a, block) {
+            Tri::AllPass => Tri::AllFail,
+            Tri::AllFail => Tri::AllPass,
+            Tri::Mixed => Tri::Mixed,
+        },
+    }
+}
+
+/// Estimate the selectivity of `predicate` over `table` from zone maps:
+/// classify every 64-row block as all-pass / all-fail / mixed without
+/// decoding anything, then evaluate the predicate for real on up to
+/// `probe_blocks` evenly-spaced mixed blocks to estimate the pass rate
+/// inside mixed blocks. Deterministic — the probe set is a pure function
+/// of the block classification — and cheap: classification touches only
+/// zone-map entries and null-mask words.
+pub fn estimate_selectivity(
+    table: &Table,
+    predicate: &Predicate,
+    probe_blocks: usize,
+) -> Result<SelectivityEstimate> {
+    let n = table.num_rows();
+    let blocks = n.div_ceil(64);
+    let mut bp = predicate.compile_blockwise(table)?;
+    let mut est = SelectivityEstimate {
+        rows: n as u64,
+        blocks: blocks as u64,
+        ..Default::default()
+    };
+    let mut mixed_blocks: Vec<usize> = Vec::new();
+    for b in 0..blocks {
+        match classify_node(&bp.node, b) {
+            Tri::AllPass => est.all_pass += 1,
+            Tri::AllFail => est.all_fail += 1,
+            Tri::Mixed => {
+                est.mixed += 1;
+                mixed_blocks.push(b);
+            }
+        }
+    }
+    if !mixed_blocks.is_empty() && probe_blocks > 0 {
+        // Evenly-spaced ascending probe blocks: ascending order keeps the
+        // forward-only decode cursors valid.
+        let stride = mixed_blocks.len().div_ceil(probe_blocks).max(1);
+        for &b in mixed_blocks.iter().step_by(stride) {
+            let base = b * 64;
+            let len = (n - base).min(64);
+            let sel = crate::bitmap::span_mask(0, len);
+            let hits = bp.eval_frame(base, len, sel);
+            est.probed_rows += len as u64;
+            est.probed_hits += u64::from(hits.count_ones());
+        }
+    }
+    Ok(est)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::column::{Column, DictColumn, F64Column, I64Column};
+    use crate::nullmask::NullMask;
     use crate::schema::ColumnKind;
 
     fn table() -> Table {
@@ -1631,5 +2128,208 @@ mod tests {
             filter: &filter,
         };
         let _ = sel.count();
+    }
+
+    // --- canonicalization + identity hashing ---
+
+    fn hash_of(p: &Predicate, t: Option<&Table>) -> u64 {
+        p.identity_hash(t)
+    }
+
+    #[test]
+    fn canonical_hash_ignores_operand_order_and_double_negation() {
+        let t = table();
+        let a = Predicate::range("Delay", 0.0, 10.0);
+        let b = Predicate::equals("Server", "Frodo");
+        let c = Predicate::str_match("Server", "gan", StrMatchKind::Substring, true);
+        let left = a.clone().and(b.clone()).and(c.clone());
+        let right = c.clone().and(a.clone()).and(b.clone());
+        assert_eq!(hash_of(&left, Some(&t)), hash_of(&right, Some(&t)));
+        let double_neg = a.clone().not().not();
+        assert_eq!(hash_of(&double_neg, Some(&t)), hash_of(&a, Some(&t)));
+        // De Morgan: !(a | b) ≡ !a & !b.
+        let dm1 = a.clone().or(b.clone()).not();
+        let dm2 = a.clone().not().and(b.clone().not());
+        assert_eq!(hash_of(&dm1, Some(&t)), hash_of(&dm2, Some(&t)));
+        // Idempotence: a & a ≡ a.
+        assert_eq!(
+            hash_of(&a.clone().and(a.clone()), Some(&t)),
+            hash_of(&a, Some(&t))
+        );
+    }
+
+    #[test]
+    fn canonical_hash_distinguishes_semantically_distinct_predicates() {
+        let t = table();
+        let shapes = [
+            Predicate::range("Delay", 0.0, 10.0),
+            Predicate::range("Delay", 0.0, 11.0),
+            Predicate::range("Count", 0.0, 10.0),
+            Predicate::equals("Server", "Frodo"),
+            Predicate::equals("Server", "Gandalf"),
+            Predicate::IsMissing {
+                column: Arc::from("Delay"),
+            },
+            Predicate::range("Delay", 0.0, 10.0).not(),
+            Predicate::range("Delay", 0.0, 10.0).and(Predicate::equals("Server", "Frodo")),
+            Predicate::range("Delay", 0.0, 10.0).or(Predicate::equals("Server", "Frodo")),
+            Predicate::True,
+        ];
+        let hashes: Vec<u64> = shapes.iter().map(|p| hash_of(p, Some(&t))).collect();
+        for i in 0..hashes.len() {
+            for j in i + 1..hashes.len() {
+                assert_ne!(
+                    hashes[i], hashes[j],
+                    "distinct predicates collide: {:?} vs {:?}",
+                    shapes[i], shapes[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_hash_snaps_int_bounds_like_the_compiler() {
+        let t = table();
+        // On the Int column, fractional bounds snap to the integer domain:
+        // 10 <= x < 20 whichever way it's spelled.
+        let frac = Predicate::range("Count", 9.2, 19.7);
+        let snapped = Predicate::range("Count", 10.0, 20.0);
+        assert_eq!(hash_of(&frac, Some(&t)), hash_of(&snapped, Some(&t)));
+        // ... but NOT on the Double column, where 9.2 and 10.0 differ.
+        let frac_d = Predicate::range("Delay", 9.2, 19.7);
+        let snapped_d = Predicate::range("Delay", 10.0, 20.0);
+        assert_ne!(hash_of(&frac_d, Some(&t)), hash_of(&snapped_d, Some(&t)));
+        // Integer equality is the one-value range.
+        let eq = Predicate::equals("Count", 5i64);
+        let range = Predicate::range("Count", 5.0, 6.0);
+        assert_eq!(hash_of(&eq, Some(&t)), hash_of(&range, Some(&t)));
+        // Equals(Missing) and IsMissing match exactly the same rows.
+        assert_eq!(
+            hash_of(&Predicate::equals("Count", Value::Missing), Some(&t)),
+            hash_of(
+                &Predicate::IsMissing {
+                    column: Arc::from("Count"),
+                },
+                Some(&t)
+            )
+        );
+        // Degenerate leaves collapse: NaN bound ≡ empty range ≡ !True.
+        let nan = Predicate::range("Delay", f64::NAN, 1.0);
+        let empty = Predicate::range("Delay", 5.0, 5.0);
+        let untrue = Predicate::True.not();
+        assert_eq!(hash_of(&nan, Some(&t)), hash_of(&empty, Some(&t)));
+        assert_eq!(hash_of(&nan, Some(&t)), hash_of(&untrue, Some(&t)));
+        // -0.0 and 0.0 bound the same half-open interval.
+        assert_eq!(
+            hash_of(&Predicate::range("Delay", -0.0, 1.0), Some(&t)),
+            hash_of(&Predicate::range("Delay", 0.0, 1.0), Some(&t))
+        );
+    }
+
+    #[test]
+    fn canonical_equal_predicates_select_identical_rows() {
+        // Hash-equal pairs from the tests above must agree row-for-row.
+        let t = table();
+        let pairs = [
+            (
+                Predicate::range("Count", 9.2, 19.7),
+                Predicate::range("Count", 10.0, 20.0),
+            ),
+            (
+                Predicate::equals("Count", 5i64),
+                Predicate::range("Count", 5.0, 6.0),
+            ),
+            (
+                Predicate::equals("Count", Value::Missing),
+                Predicate::IsMissing {
+                    column: Arc::from("Count"),
+                },
+            ),
+            (
+                Predicate::range("Delay", 0.0, 10.0)
+                    .or(Predicate::equals("Server", "Frodo"))
+                    .not(),
+                Predicate::range("Delay", 0.0, 10.0)
+                    .not()
+                    .and(Predicate::equals("Server", "Frodo").not()),
+            ),
+        ];
+        for (p, q) in &pairs {
+            assert_eq!(hash_of(p, Some(&t)), hash_of(q, Some(&t)));
+            assert_eq!(
+                rows_matching(&t, p),
+                rows_matching(&t, q),
+                "hash-equal predicates disagree: {p:?} vs {q:?}"
+            );
+        }
+    }
+
+    // --- zone-map selectivity estimation ---
+
+    fn sorted_int_table(n: usize) -> Table {
+        Table::builder()
+            .column(
+                "X",
+                ColumnKind::Int,
+                Column::Int(I64Column::new((0..n as i64).collect(), NullMask::none())),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn estimator_classifies_sorted_range_blocks() {
+        let t = sorted_int_table(64 * 10);
+        // Covers blocks 2..6 fully, straddles nothing (block-aligned).
+        let p = Predicate::range("X", 128.0, 384.0);
+        let est = estimate_selectivity(&t, &p, 4).unwrap();
+        assert_eq!(est.blocks, 10);
+        assert_eq!(est.all_pass, 4);
+        assert_eq!(est.all_fail, 6);
+        assert_eq!(est.mixed, 0);
+        assert!((est.selectivity() - 0.4).abs() < 1e-9);
+        assert!((est.skip_fraction() - 0.6).abs() < 1e-9);
+        // Unaligned bounds leave exactly the straddling blocks mixed, and
+        // the probe resolves the true rates inside them.
+        let p = Predicate::range("X", 100.0, 400.0);
+        let est = estimate_selectivity(&t, &p, 4).unwrap();
+        assert_eq!(est.mixed, 2);
+        assert_eq!(est.probed_rows, 128);
+        assert_eq!(est.probed_hits, (128 - 100) + (400 - 384));
+        let exact = 300.0 / 640.0;
+        assert!((est.selectivity() - exact).abs() < 0.05);
+    }
+
+    #[test]
+    fn estimator_merge_sums_partitions() {
+        let t1 = sorted_int_table(64 * 4);
+        let t2 = sorted_int_table(64 * 4);
+        let p = Predicate::range("X", 0.0, 128.0);
+        let e1 = estimate_selectivity(&t1, &p, 2).unwrap();
+        let e2 = estimate_selectivity(&t2, &p, 2).unwrap();
+        let m = e1.merge(&e2);
+        assert_eq!(m.blocks, 8);
+        assert_eq!(m.all_pass, 4);
+        assert_eq!(m.rows, 512);
+        assert!((m.selectivity() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn estimator_handles_degenerate_and_tail_blocks() {
+        // 70 rows: the tail block has 6 rows; True passes everything.
+        let t = sorted_int_table(70);
+        let est = estimate_selectivity(&t, &Predicate::True, 2).unwrap();
+        assert_eq!(est.blocks, 2);
+        assert_eq!(est.all_pass, 2);
+        assert!((est.selectivity() - 1.0).abs() < 1e-9);
+        // A statically-false predicate fails every block without probing.
+        let est = estimate_selectivity(&t, &Predicate::range("X", 5.0, 5.0), 2).unwrap();
+        assert_eq!(est.all_fail, 2);
+        assert_eq!(est.probed_rows, 0);
+        assert!((est.selectivity()).abs() < 1e-9);
+        // Empty table.
+        let t = sorted_int_table(0);
+        let est = estimate_selectivity(&t, &Predicate::True, 2).unwrap();
+        assert_eq!(est.blocks, 0);
     }
 }

@@ -245,3 +245,132 @@ proptest! {
         }
     }
 }
+
+/// Draw the next structure byte, defaulting to 0 past the end.
+fn next_byte(bytes: &[u8], pos: &mut usize) -> u8 {
+    let b = bytes.get(*pos).copied().unwrap_or(0);
+    *pos += 1;
+    b
+}
+
+/// A random predicate tree over columns `I` and `F`, shaped by a byte
+/// stream: small depths, every leaf kind the canonicalizer normalizes.
+fn build_tree(bytes: &[u8], pos: &mut usize, depth: usize, lo: f64, hi: f64, eq: f64) -> Predicate {
+    let b = next_byte(bytes, pos);
+    if depth == 0 || b % 8 < 4 {
+        match b % 4 {
+            0 => Predicate::range("I", lo, hi),
+            1 => Predicate::range("F", lo, hi),
+            2 => Predicate::equals("I", eq),
+            _ => Predicate::IsMissing {
+                column: Arc::from("F"),
+            },
+        }
+    } else {
+        let d = depth - 1;
+        match b % 8 {
+            4 => build_tree(bytes, pos, d, lo, hi, eq).and(build_tree(bytes, pos, d, lo, hi, eq)),
+            5 => build_tree(bytes, pos, d, lo, hi, eq).or(build_tree(bytes, pos, d, lo, hi, eq)),
+            6 => build_tree(bytes, pos, d, lo, hi, eq).not(),
+            _ => Predicate::True.and(build_tree(bytes, pos, d, lo, hi, eq)),
+        }
+    }
+}
+
+/// A semantics-preserving respelling of `p`, shaped by its own byte
+/// stream: operand swaps, De Morgan rewrites, double negation, neutral
+/// (`AND true` / `OR false`) and idempotent (`p OP p`) padding — exactly
+/// the equivalences [`Predicate::canonical_bytes`] claims to normalize.
+fn respell(p: &Predicate, bytes: &[u8], pos: &mut usize) -> Predicate {
+    let b = next_byte(bytes, pos);
+    let core = match p {
+        Predicate::And(x, y) => {
+            let (rx, ry) = (respell(x, bytes, pos), respell(y, bytes, pos));
+            match b % 3 {
+                0 => rx.and(ry),
+                1 => ry.and(rx),
+                _ => rx.not().or(ry.not()).not(), // De Morgan
+            }
+        }
+        Predicate::Or(x, y) => {
+            let (rx, ry) = (respell(x, bytes, pos), respell(y, bytes, pos));
+            match b % 3 {
+                0 => rx.or(ry),
+                1 => ry.or(rx),
+                _ => rx.not().and(ry.not()).not(), // De Morgan
+            }
+        }
+        Predicate::Not(x) => respell(x, bytes, pos).not(),
+        leaf => leaf.clone(),
+    };
+    match (b >> 2) % 5 {
+        0 => core.not().not(),
+        1 => core.and(Predicate::True),
+        2 => core.clone().and(core),
+        3 => core.clone().or(core),
+        _ => core,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Canonicalization soundness: a random semantics-preserving
+    /// respelling of a random predicate tree has byte-identical canonical
+    /// form (so the predicate-identity cache treats them as one query),
+    /// and — the soundness half — the two spellings select the identical
+    /// row set on a real table.
+    #[test]
+    fn canonical_form_is_respelling_invariant_and_sound(
+        rows in proptest::collection::vec((-80i64..80, -40.0f64..40.0, 0.0f64..1.0), 1..200),
+        structure in proptest::collection::vec(any::<u8>(), 32),
+        rewrites in proptest::collection::vec(any::<u8>(), 64),
+        null_p in 0.0f64..0.4,
+        lo in -50.0f64..50.0,
+        span in 0.0f64..60.0,
+        probe in any::<u64>(),
+    ) {
+        let n = rows.len();
+        let ints: Vec<Option<i64>> =
+            rows.iter().map(|r| (r.2 >= null_p).then_some(r.0)).collect();
+        let floats: Vec<Option<f64>> =
+            rows.iter().map(|r| (r.2 >= null_p / 2.0).then_some(r.1)).collect();
+        let t = Table::builder()
+            .column(
+                "I",
+                ColumnKind::Int,
+                Column::Int(I64Column::from_options(ints.iter().copied())),
+            )
+            .column(
+                "F",
+                ColumnKind::Double,
+                Column::Double(F64Column::from_options(floats.iter().copied())),
+            )
+            .build()
+            .unwrap();
+        let eq = rows[(probe % n as u64) as usize].0 as f64;
+        let p = build_tree(&structure, &mut 0, 3, lo, lo + span, eq);
+        let r = respell(&p, &rewrites, &mut 0);
+
+        // Identity: both spellings collapse to one canonical encoding,
+        // schema-aware and schema-less alike.
+        prop_assert_eq!(
+            p.canonical_bytes(Some(&t)),
+            r.canonical_bytes(Some(&t)),
+            "respelling changed the schema-aware canonical form of {:?}",
+            p
+        );
+        prop_assert_eq!(
+            p.canonical_bytes(None),
+            r.canonical_bytes(None),
+            "respelling changed the schema-less canonical form of {:?}",
+            p
+        );
+
+        // Soundness: canonical equality must imply identical selection.
+        let members = MembershipSet::full(n);
+        let want: Vec<usize> = filter_members(&t, &p, &members).unwrap().iter().collect();
+        let got: Vec<usize> = filter_members(&t, &r, &members).unwrap().iter().collect();
+        prop_assert_eq!(want, got, "canonically-equal spellings selected different rows: {:?}", p);
+    }
+}

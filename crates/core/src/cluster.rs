@@ -28,6 +28,7 @@
 //! counts, steal interleavings, and replay after failures (§5.8). Progress
 //! is reported in row-weighted work units per completed sub-task.
 
+use crate::cache::{CacheKey, CacheStats, Lookup};
 use crate::dataset::{DatasetId, SourceRegistry, SourceSpec};
 use crate::erased::ErasedSketch;
 use crate::error::{EngineError, EngineResult};
@@ -36,7 +37,9 @@ use crate::progress::{CancellationToken, Partial, PartialCallback};
 use crate::worker::Worker;
 use bytes::Bytes;
 use hillview_columnar::udf::UdfRegistry;
-use hillview_columnar::Predicate;
+use hillview_columnar::{
+    estimate_selectivity, fnv1a as fnv_mix, Predicate, SelectivityEstimate, FNV_OFFSET,
+};
 use hillview_net::{
     link_pair, FrameFault, LinkConfig, LinkSender, Wire as _, WireReader, WireWriter,
 };
@@ -70,6 +73,9 @@ pub struct ClusterConfig {
     /// interval plus worst-case link delay, or healthy-but-slow workers
     /// get falsely convicted.
     pub worker_timeout: Duration,
+    /// Byte budget of each worker's sketch-result cache (§5.4): merged
+    /// worker-level summaries, LRU-evicted past this bound.
+    pub cache_budget_bytes: usize,
 }
 
 impl Default for ClusterConfig {
@@ -82,6 +88,7 @@ impl Default for ClusterConfig {
             link: LinkConfig::instant(),
             leaf_grain_rows: 65_536,
             worker_timeout: Duration::from_secs(2),
+            cache_budget_bytes: 32 << 20,
         }
     }
 }
@@ -97,12 +104,13 @@ impl ClusterConfig {
             link: LinkConfig::instant(),
             leaf_grain_rows: 65_536,
             worker_timeout: Duration::from_millis(500),
+            cache_budget_bytes: 32 << 20,
         }
     }
 }
 
 /// Per-query options.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct QueryOptions {
     /// Seed for randomized sketches (logged for replay determinism, §5.8).
     pub seed: u64,
@@ -110,9 +118,15 @@ pub struct QueryOptions {
     pub cancel: CancellationToken,
     /// Client callback for progressive results.
     pub on_partial: Option<PartialCallback>,
-    /// Computation-cache key; `Some` caches the per-worker merged summary
-    /// (only sound for deterministic queries, §5.4).
-    pub cache_key: Option<u64>,
+    /// Use the per-worker sketch-result cache (on by default). The key is
+    /// *structural* — dataset lineage version (canonical predicate bytes
+    /// folded in for fused trees) × 128-bit sketch identity — so this is
+    /// purely an off-switch for measurements and degraded attempts, never
+    /// a correctness knob. Sketches without a
+    /// [cache identity](crate::erased::ErasedSketch::cache_identity)
+    /// (seed-dependent sampling, positional kernels) never cache
+    /// regardless (§5.4: only deterministic summaries are sound).
+    pub cache: bool,
     /// Total wall-clock budget for the query; when exceeded the tree is
     /// torn down and the query fails with
     /// [`EngineError::DeadlineExceeded`]. `None` means unbounded (but the
@@ -133,13 +147,23 @@ pub struct QueryOptions {
     pub tolerate_failures: bool,
 }
 
+impl Default for QueryOptions {
+    fn default() -> Self {
+        QueryOptions {
+            seed: 0,
+            cancel: CancellationToken::default(),
+            on_partial: None,
+            cache: true,
+            deadline: None,
+            allow_degraded: false,
+            tolerate_failures: false,
+        }
+    }
+}
+
 impl std::fmt::Debug for QueryOptions {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "QueryOptions(seed={}, cache={:?})",
-            self.seed, self.cache_key
-        )
+        write!(f, "QueryOptions(seed={}, cache={})", self.seed, self.cache)
     }
 }
 
@@ -296,6 +320,7 @@ impl Cluster {
                     cfg.workers,
                     cfg.threads_per_worker,
                     cfg.micropartition_rows,
+                    cfg.cache_budget_bytes,
                     sources.clone(),
                     udfs.clone(),
                 ))
@@ -368,6 +393,45 @@ impl Cluster {
         for w in &self.workers {
             w.evict_all();
         }
+    }
+
+    /// Aggregate sketch-result cache counters across all workers
+    /// (hits/misses/insertions/evictions/coalesced flights, resident
+    /// entries and bytes). Budgets sum, so `bytes <= budget` still holds
+    /// cluster-wide.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.workers
+            .iter()
+            .map(|w| w.cache_stats())
+            .fold(CacheStats::default(), CacheStats::merge)
+    }
+
+    /// Estimate the selectivity of `predicate` over `dataset` from zone
+    /// maps plus a bounded per-partition block probe — no full scan, no
+    /// execution tree. Dead workers and missing partitions contribute
+    /// nothing (a conservative estimate is fine: the planner only uses
+    /// this to rank fuse vs. materialize, and `blocks == 0` degrades to
+    /// "never promote").
+    pub fn estimate_filter(
+        &self,
+        dataset: DatasetId,
+        predicate: &Predicate,
+    ) -> SelectivityEstimate {
+        let mut est = SelectivityEstimate::default();
+        for w in &self.workers {
+            if !w.is_alive() {
+                continue;
+            }
+            let Some(views) = w.partitions(dataset) else {
+                continue;
+            };
+            for v in views.iter() {
+                if let Ok(e) = estimate_selectivity(v.table(), predicate, 2) {
+                    est = est.merge(&e);
+                }
+            }
+        }
+        est
     }
 
     /// Execute a dataset-producing operation on every worker in parallel.
@@ -483,6 +547,17 @@ impl Cluster {
             p.bump_epoch();
         }
 
+        // Structural query identity: half of the sketch-result cache key.
+        // `None` (caller opted out, or the sketch has no deterministic
+        // identity) disables caching for this tree on every worker.
+        let query: Option<[u64; 2]> = if opts.cache {
+            sketch
+                .cache_identity()
+                .map(|ident| query_hash(sketch.name(), &ident))
+        } else {
+            None
+        };
+
         // Launch one aggregation node per worker.
         let mut aggregators = Vec::with_capacity(self.workers.len());
         for worker in &self.workers {
@@ -512,12 +587,11 @@ impl Cluster {
             let tree = tree_cancel.clone();
             let seed = opts.seed;
             let batch = self.cfg.batch_interval;
-            let cache_key = opts.cache_key;
             let grain = self.cfg.leaf_grain_rows;
             let flt = filter.clone();
             aggregators.push(std::thread::spawn(move || {
                 aggregate_worker(
-                    worker, sketch, dataset, flt, seed, cancel, tree, tx, batch, cache_key, grain,
+                    worker, sketch, dataset, flt, seed, cancel, tree, tx, batch, query, grain,
                 );
             }));
         }
@@ -942,6 +1016,21 @@ fn run_leaf_task(
 /// (splitting oversized partitions into sub-range tasks), merge
 /// completions, ship batched partials to the root.
 ///
+/// 128-bit query identity for the sketch-result cache: two independent
+/// FNV-1a streams over (stream tag, sketch name, 0, cache-identity bytes).
+/// Two streams because 64 bits of FNV over arbitrary parameter encodings
+/// is too collidable for a cache whose hits silently replace computation.
+fn query_hash(name: &str, identity: &[u8]) -> [u64; 2] {
+    let mut out = [FNV_OFFSET, FNV_OFFSET ^ 0x9E37_79B9_7F4A_7C15];
+    for (i, h) in out.iter_mut().enumerate() {
+        let mut state = fnv_mix(*h, &[i as u8]);
+        state = fnv_mix(state, name.as_bytes());
+        state = fnv_mix(state, &[0]);
+        *h = fnv_mix(state, identity);
+    }
+    out
+}
+
 /// This wrapper is the node's crash barrier: if the body itself panics the
 /// root still receives a final frame carrying the panic message, so the
 /// merge loop terminates with a structured error instead of waiting out
@@ -957,7 +1046,7 @@ fn aggregate_worker(
     tree_cancel: CancellationToken,
     tx: LinkSender,
     batch: Duration,
-    cache_key: Option<u64>,
+    query: Option<[u64; 2]>,
     grain: usize,
 ) {
     let wid = worker.id as u32;
@@ -972,7 +1061,7 @@ fn aggregate_worker(
             tree_cancel,
             &tx,
             batch,
-            cache_key,
+            query,
             grain,
         );
     })) {
@@ -998,14 +1087,10 @@ fn aggregate_worker_inner(
     tree_cancel: CancellationToken,
     tx: &LinkSender,
     batch: Duration,
-    cache_key: Option<u64>,
+    query: Option<[u64; 2]>,
     grain: usize,
 ) {
     let wid = worker.id as u32;
-    // The computation cache is keyed (dataset, key) only — a fused
-    // predicate is not part of the key's identity, so filtered trees
-    // neither read nor write it.
-    let cache_key = if filter.is_some() { None } else { cache_key };
     let send = |msg: WorkerMsg| {
         let _ = tx.send(msg.encode());
     };
@@ -1055,19 +1140,69 @@ fn aggregate_worker_inner(
     // so completion is "reported work == precomputed total".
     let total_work: u64 = views.iter().map(|v| v.len() as u64 + 1).sum();
 
-    // Computation-cache fast path (paper §5.4). Reports the same
-    // row-weighted work total as the compute path would, so the root's
-    // progress fraction never mixes incomparable units across workers.
+    // Sketch-result cache (paper §5.4), keyed structurally: the dataset's
+    // lineage version — with the fused predicate's *canonical* bytes
+    // folded in exactly as materializing it would — crossed with the
+    // sketch's 128-bit query identity. A fused tree therefore shares
+    // entries with any canonically-equal respelling of itself, but never
+    // with the materialized two-pass plan (different fold boundaries may
+    // legally differ in float ulps; cross-plan sharing would make results
+    // cache-state-dependent). A hit reports the same row-weighted work
+    // total as the compute path would, so the root's progress fraction
+    // never mixes incomparable units across workers.
+    let cache_key: Option<CacheKey> = query.and_then(|q| {
+        let version = match &filter {
+            Some(p) => worker.filtered_version(dataset, p),
+            None => worker.dataset_version(dataset),
+        }?;
+        Some(CacheKey {
+            dataset,
+            version,
+            query: q,
+        })
+    });
+    let cache = worker.cache();
+    let mut flight = None;
     if let Some(key) = cache_key {
-        if let Some(hit) = worker.cache_get(dataset, key) {
-            send(WorkerMsg {
-                worker: wid,
-                work_done: total_work,
-                work_total: total_work,
-                is_final: true,
-                payload: MsgPayload::Summary(hit.to_vec()),
-            });
-            return;
+        // Single-flight: if another tree is already computing this exact
+        // key, wait for it in `batch`-sized slices — heartbeating between
+        // slices so the root's liveness sweep sees us — instead of
+        // duplicating the scan.
+        let mut waited = false;
+        loop {
+            match cache.lookup(key) {
+                Lookup::Hit(hit) => {
+                    if waited {
+                        cache.note_coalesced();
+                    }
+                    send(WorkerMsg {
+                        worker: wid,
+                        work_done: total_work,
+                        work_total: total_work,
+                        is_final: true,
+                        payload: MsgPayload::Summary(hit.to_vec()),
+                    });
+                    return;
+                }
+                Lookup::Miss(guard) => {
+                    flight = Some(guard);
+                    break;
+                }
+                Lookup::InFlight => {
+                    if cancel.is_cancelled() || tree_cancel.is_cancelled() {
+                        break;
+                    }
+                    waited = true;
+                    send(WorkerMsg {
+                        worker: wid,
+                        work_done: 0,
+                        work_total: total_work,
+                        is_final: false,
+                        payload: MsgPayload::Heartbeat,
+                    });
+                    cache.wait(&key, batch);
+                }
+            }
         }
     }
     // Non-splittable sketches run one task per partition, as before.
@@ -1225,10 +1360,12 @@ fn aggregate_worker_inner(
     // Cache only complete summaries: a tree cancelled mid-flight (user
     // cancel or a sibling worker's failure) leaves the fold partial, and
     // caching it would silently corrupt every later query (§5.4 caches
-    // must hold deterministic, complete results).
-    if let Some(key) = cache_key {
+    // must hold deterministic, complete results). Every early return
+    // above drops the flight guard un-completed, which abandons the
+    // in-flight slot and wakes coalesced waiters to take over.
+    if let Some(guard) = flight {
         if skipped == 0 && !cancel.is_cancelled() && !tree_cancel.is_cancelled() {
-            worker.cache_put(dataset, key, final_acc.clone());
+            guard.complete(final_acc.clone());
         }
     }
     send(WorkerMsg {
@@ -1377,20 +1514,18 @@ mod tests {
     fn computation_cache_serves_second_query() {
         let c = cluster(2);
         let ds = load(&c);
-        let opts = QueryOptions {
-            cache_key: Some(77),
-            ..Default::default()
-        };
+        let opts = QueryOptions::default();
         let a = c
             .run_erased(ds, &erase(CountSketch::rows()), &opts)
             .unwrap();
-        let hits_before: u64 = (0..2).map(|i| c.worker(i).cache_hits()).sum();
+        let hits_before = c.cache_stats().hits;
         let b = c
             .run_erased(ds, &erase(CountSketch::rows()), &opts)
             .unwrap();
-        let hits_after: u64 = (0..2).map(|i| c.worker(i).cache_hits()).sum();
+        let stats = c.cache_stats();
         assert_eq!(a.bytes, b.bytes);
-        assert_eq!(hits_after - hits_before, 2, "both workers hit their cache");
+        assert_eq!(stats.hits - hits_before, 2, "both workers hit their cache");
+        assert!(stats.bytes > 0 && stats.entries >= 2);
     }
 
     #[test]
@@ -1400,10 +1535,7 @@ mod tests {
         let c = cluster(2);
         let ds = load(&c);
         c.worker(0).kill();
-        let opts = QueryOptions {
-            cache_key: Some(123),
-            ..Default::default()
-        };
+        let opts = QueryOptions::default();
         let _ = c.run_erased(ds, &erase(CountSketch::rows()), &opts);
         c.worker(0).restart();
         c.worker(0)
@@ -1707,23 +1839,76 @@ mod tests {
     }
 
     #[test]
-    fn fused_tree_never_touches_computation_cache() {
+    fn fused_and_unfiltered_queries_cache_without_collision() {
+        // The structural key folds the fused predicate's canonical bytes
+        // into the dataset version, so the fused and unfiltered entries
+        // for the same sketch coexist — and canonically-equal respellings
+        // of the predicate share the fused entry.
         let c = cluster(2);
         let ds = load(&c);
-        let opts = QueryOptions {
-            cache_key: Some(41),
-            ..Default::default()
-        };
+        let opts = QueryOptions::default();
         let pred = Predicate::range("X", 0.0, 50.0);
         let sk = erase(CountSketch::rows());
         let narrowed = c.run_erased_filtered(ds, Some(&pred), &sk, &opts).unwrap();
-        let s = CountSummary::from_bytes(narrowed.bytes).unwrap();
-        assert_eq!(s.rows, 10_000);
-        // The fused tree did not poison (dataset, 41): the unfiltered query
-        // under the same key computes fresh and gets the full count.
+        assert_eq!(
+            CountSummary::from_bytes(narrowed.bytes).unwrap().rows,
+            10_000
+        );
         let full = c.run_erased(ds, &sk, &opts).unwrap();
-        let s = CountSummary::from_bytes(full.bytes).unwrap();
-        assert_eq!(s.rows, 20_000);
+        assert_eq!(CountSummary::from_bytes(full.bytes).unwrap().rows, 20_000);
+
+        // Repeats of both shapes are pure cache hits.
+        let hits_before = c.cache_stats().hits;
+        let narrowed2 = c.run_erased_filtered(ds, Some(&pred), &sk, &opts).unwrap();
+        let full2 = c.run_erased(ds, &sk, &opts).unwrap();
+        assert_eq!(
+            CountSummary::from_bytes(narrowed2.bytes).unwrap().rows,
+            10_000
+        );
+        assert_eq!(CountSummary::from_bytes(full2.bytes).unwrap().rows, 20_000);
+        assert_eq!(c.cache_stats().hits - hits_before, 4);
+
+        // A canonically-equal respelling (`p AND true` canonicalizes to
+        // `p`) hits the same fused entry instead of recomputing.
+        let respelled = pred.clone().and(Predicate::True);
+        let hits_before = c.cache_stats().hits;
+        let narrowed3 = c
+            .run_erased_filtered(ds, Some(&respelled), &sk, &opts)
+            .unwrap();
+        assert_eq!(
+            CountSummary::from_bytes(narrowed3.bytes).unwrap().rows,
+            10_000
+        );
+        assert_eq!(c.cache_stats().hits - hits_before, 2);
+    }
+
+    #[test]
+    fn concurrent_identical_queries_coalesce_onto_one_flight() {
+        let c = cluster(2);
+        let ds = load(&c);
+        let sk = erase(CountSketch::rows());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let (c, sk) = (&c, &sk);
+                    scope.spawn(move || {
+                        c.run_erased(ds, sk, &QueryOptions::default())
+                            .unwrap()
+                            .bytes
+                    })
+                })
+                .collect();
+            let results: Vec<Bytes> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            for r in &results {
+                assert_eq!(r, &results[0]);
+            }
+        });
+        let stats = c.cache_stats();
+        // Exactly one scan per worker; the other three trees either hit
+        // the finished entry or coalesced onto the in-flight scan.
+        assert_eq!(stats.insertions, 2, "{stats:?}");
+        assert_eq!(stats.misses, 2, "{stats:?}");
+        assert_eq!(stats.hits, 6, "{stats:?}");
     }
 
     #[test]

@@ -12,7 +12,7 @@ use crate::dataset::{DatasetId, Lineage, SourceSpec};
 use crate::erased::{erase, ErasedSketch};
 use crate::error::{EngineError, EngineResult};
 use crate::redo::RedoLog;
-use hillview_columnar::Predicate;
+use hillview_columnar::{Predicate, SelectivityEstimate};
 use hillview_net::Wire;
 use hillview_sketch::Sketch;
 use std::collections::HashMap;
@@ -70,9 +70,14 @@ impl RetryPolicy {
 struct PendingFilter {
     parent: DatasetId,
     predicate: Predicate,
-    /// Fused queries served so far; the second query promotes the chain
-    /// to materialized membership (cached two-pass reuse).
+    /// Queries served so far; from the second query on, the planner
+    /// weighs fused per-query cost against one-time materialization
+    /// ([`Engine::plan_query`]).
     queries: u32,
+    /// Zone-map + probe selectivity estimate for the *composed* chain,
+    /// computed once on the second query and reused for every later
+    /// promotion decision.
+    estimate: Option<SelectivityEstimate>,
 }
 
 /// The root node: cluster + redo log + recovery.
@@ -153,8 +158,13 @@ impl Engine {
     /// The first query against the returned id runs fused — the predicate
     /// chain down to the nearest materialized ancestor is compiled into
     /// the sketch's block pass, one decode per frame, no membership set.
-    /// A second query promotes the chain to materialized membership, so
-    /// sustained interaction gets the cached two-pass path.
+    /// From the second query on, a cost model built from zone maps and a
+    /// bounded probe ([`Cluster::estimate_filter`]) decides when to
+    /// promote the chain to materialized membership: promotion happens
+    /// once the projected fused overhead across the queries seen so far
+    /// exceeds the one-time materialization pass, so selective predicates
+    /// under sustained interaction get the cached two-pass path while
+    /// non-selective ones keep fusing forever.
     pub fn filter_lazy(&self, parent: DatasetId, predicate: Predicate) -> DatasetId {
         let id = self.fresh_id();
         // Logged like an eager filter: lineage replay materializes the
@@ -172,6 +182,7 @@ impl Engine {
                 parent,
                 predicate,
                 queries: 0,
+                estimate: None,
             },
         );
         id
@@ -220,37 +231,79 @@ impl Engine {
     /// Resolve `dataset` into an execution plan: the dataset to run the
     /// tree against plus an optional fused predicate. A pending lazy
     /// filter composes its predicate chain (ancestor-first AND) down to
-    /// the nearest materialized dataset; its second query instead promotes
-    /// the chain and returns the plain plan.
+    /// the nearest materialized dataset — cached-membership reuse: an
+    /// already-promoted ancestor anchors the chain, only the lazy suffix
+    /// fuses. From the second query on, a cost model decides whether to
+    /// keep fusing or promote the chain to materialized membership.
+    ///
+    /// The model, in units of one full scan of the parent: a fused query
+    /// reads every block the predicate cannot prove all-false, so it
+    /// costs `f = 1 − skip_fraction` *per query*. Materializing costs one
+    /// full pass *once*, after which each query touches only selected
+    /// rows: `s = selectivity` per query. With `q` queries so far, fusing
+    /// has spent `q·f` while the materialized plan would have spent
+    /// `f + q·s` (the first query always fuses); promote when the gap
+    /// `q·(f − s)` exceeds the materialization pass `f`. Non-selective
+    /// predicates (`f ≈ s`) never promote — materializing them buys
+    /// nothing per query — and an empty estimate (`blocks == 0`, e.g. all
+    /// workers dead) conservatively keeps fusing.
     fn plan_query(&self, dataset: DatasetId) -> EngineResult<(DatasetId, Option<Predicate>)> {
-        let promote = {
+        let queries = {
             let mut pending = self.pending_filters.lock();
             match pending.get_mut(&dataset) {
                 None => return Ok((dataset, None)),
                 Some(pf) => {
                     pf.queries += 1;
-                    pf.queries >= 2
+                    pf.queries
                 }
             }
         };
-        if promote {
-            self.ensure_materialized(dataset)?;
-            return Ok((dataset, None));
+        let (root, composed) = {
+            let pending = self.pending_filters.lock();
+            let mut preds = Vec::new();
+            let mut cur = dataset;
+            while let Some(pf) = pending.get(&cur) {
+                preds.push(pf.predicate.clone());
+                cur = pf.parent;
+            }
+            // Ancestor-first AND: the coarse (usually more selective in
+            // sequence) parent predicate short-circuits before child
+            // terms. Empty only if another thread promoted the chain
+            // between locks.
+            match preds.into_iter().rev().reduce(|a, b| a.and(b)) {
+                Some(p) => (cur, p),
+                None => return Ok((dataset, None)),
+            }
+        };
+        if queries >= 2 {
+            // Bind the cached estimate before matching: a guard temporary
+            // in the scrutinee would outlive the re-lock in the None arm.
+            let cached = self
+                .pending_filters
+                .lock()
+                .get(&dataset)
+                .and_then(|pf| pf.estimate);
+            let est = match cached {
+                Some(e) => e,
+                None => {
+                    // Estimate outside the lock (it probes real blocks),
+                    // then store it back; a racing query at worst
+                    // re-estimates the same chain.
+                    let e = self.cluster.estimate_filter(root, &composed);
+                    if let Some(pf) = self.pending_filters.lock().get_mut(&dataset) {
+                        pf.estimate = Some(e);
+                    }
+                    e
+                }
+            };
+            let fused_cost = 1.0 - est.skip_fraction();
+            let per_query = est.selectivity();
+            if (queries as f64) * (fused_cost - per_query) > fused_cost {
+                self.ensure_materialized(dataset)?;
+                return Ok((dataset, None));
+            }
         }
-        let pending = self.pending_filters.lock();
-        let mut preds = Vec::new();
-        let mut cur = dataset;
-        while let Some(pf) = pending.get(&cur) {
-            preds.push(pf.predicate.clone());
-            cur = pf.parent;
-        }
-        // Ancestor-first AND: the coarse (usually more selective in
-        // sequence) parent predicate short-circuits before child terms.
-        // Empty only if another thread promoted the chain between locks.
-        match preds.into_iter().rev().reduce(|a, b| a.and(b)) {
-            Some(p) => Ok((cur, Some(p))),
-            None => Ok((dataset, None)),
-        }
+        Ok((root, Some(composed)))
     }
 
     /// Run a dataset-producing op, replaying lineage on misses, within the
@@ -449,13 +502,7 @@ impl Engine {
                 seed: opts.seed,
                 cancel: opts.cancel.clone(),
                 on_partial: opts.on_partial.clone(),
-                // The worker cache is keyed (dataset, key) with no notion
-                // of predicate identity, so fused attempts never cache.
-                cache_key: if fused.is_some() {
-                    None
-                } else {
-                    opts.cache_key
-                },
+                cache: opts.cache,
                 deadline: remaining(started)?,
                 allow_degraded: opts.allow_degraded,
                 tolerate_failures: false,
@@ -512,7 +559,7 @@ impl Engine {
                 // Never cache on the degraded path: per-worker shard
                 // summaries of *survivors* would be sound, but a shared
                 // cache key must only ever hold complete folds.
-                cache_key: None,
+                cache: false,
                 deadline: remaining(started)?,
                 allow_degraded: true,
                 tolerate_failures: true,
@@ -824,30 +871,58 @@ mod tests {
     }
 
     #[test]
-    fn fused_queries_bypass_computation_cache() {
+    fn fused_queries_cache_under_predicate_identity() {
         let e = engine();
         let base = e.load("nums", 0).unwrap();
-        let opts = QueryOptions {
-            cache_key: Some(9),
-            ..Default::default()
-        };
-        // Prime the unfiltered cache under key 9.
+        let opts = QueryOptions::default();
+        // Unfiltered and fused queries over the same sketch coexist in
+        // the cache — the fused key folds the predicate's canonical
+        // bytes into the dataset version, so neither poisons the other.
         let (all, _) = e.run(base, CountSketch::rows(), &opts).unwrap();
         assert_eq!(all.rows, 10_000);
-        // A fused query carrying the same key must not read that entry —
-        // the cache has no notion of predicate identity...
+        let pred = Predicate::range("X", 0.0, 10.0);
         let (sum, _) = e
-            .run_filtered(
-                base,
-                Predicate::range("X", 0.0, 10.0),
-                CountSketch::rows(),
-                &opts,
-            )
+            .run_filtered(base, pred.clone(), CountSketch::rows(), &opts)
             .unwrap();
         assert_eq!(sum.rows, 1_000);
-        // ...nor write one: the unfiltered query still sees the full count.
         let (again, _) = e.run(base, CountSketch::rows(), &opts).unwrap();
         assert_eq!(again.rows, 10_000);
+        // Repeating the fused query — and a canonically-equal respelling
+        // of it (double negation cancels) — serves pure cache hits.
+        let hits_before = e.cluster().cache_stats().hits;
+        let (sum2, _) = e
+            .run_filtered(base, pred.clone(), CountSketch::rows(), &opts)
+            .unwrap();
+        assert_eq!(sum2.rows, 1_000);
+        let (sum3, _) = e
+            .run_filtered(base, pred.not().not(), CountSketch::rows(), &opts)
+            .unwrap();
+        assert_eq!(sum3.rows, 1_000);
+        assert_eq!(
+            e.cluster().cache_stats().hits - hits_before,
+            4,
+            "two fused repeats x two workers hit the predicate-keyed entry"
+        );
+    }
+
+    #[test]
+    fn nonselective_lazy_filter_never_promotes() {
+        // X in [0,100) passes every row: fusing costs the same full pass
+        // a materialized membership would, so the planner keeps fusing no
+        // matter how often the dataset is queried.
+        let e = engine();
+        let base = e.load("nums", 0).unwrap();
+        let lazy = e.filter_lazy(base, Predicate::range("X", 0.0, 100.0));
+        for _ in 0..5 {
+            let (sum, _) = e
+                .run(lazy, CountSketch::rows(), &QueryOptions::default())
+                .unwrap();
+            assert_eq!(sum.rows, 10_000);
+        }
+        assert!(
+            !e.cluster().worker(0).has_dataset(lazy),
+            "materializing a pass-everything predicate buys nothing"
+        );
     }
 
     #[test]

@@ -58,6 +58,12 @@ pub trait ErasedSketch: Send + Sync + 'static {
         hi: usize,
         seed: u64,
     ) -> EngineResult<Bytes>;
+    /// The sketch's cacheable parameter identity
+    /// ([`hillview_sketch::Sketch::cache_identity`]): `Some(bytes)` when
+    /// the summary is a pure, seed-independent function of the data and
+    /// the bytes encode every result-shaping parameter; `None` disables
+    /// the sketch-result cache for this query.
+    fn cache_identity(&self) -> Option<Vec<u8>>;
 }
 
 /// Adapter from a typed [`Sketch`] to [`ErasedSketch`].
@@ -121,6 +127,10 @@ impl<S: Sketch> ErasedSketch for Erased<S> {
             .0
             .summarize_filtered_range(view, predicate, lo, hi, seed)?;
         Ok(summary.to_bytes())
+    }
+
+    fn cache_identity(&self) -> Option<Vec<u8>> {
+        self.0.cache_identity()
     }
 }
 

@@ -17,9 +17,10 @@
 //!   keyed by [`DatasetId`] and can vanish at any time.
 //! * **Storage independence** ([`dataset`]): data enters via [`DataSource`]
 //!   implementations with arbitrary horizontal partitioning (§2).
-//! * **Caches** ([`worker`]): an in-memory column/data cache in front of
-//!   the repository and a computation cache for deterministic summaries
-//!   (§5.4).
+//! * **Caches** ([`worker`], [`cache`]): an in-memory column/data cache
+//!   in front of the repository, plus a bounded per-worker LRU
+//!   sketch-result cache for deterministic summaries (§5.4), keyed by
+//!   structural query identity with single-flight coalescing.
 //! * **Fault tolerance** ([`redo`], [`engine`]): the root logs every
 //!   dataset-producing operation (with seeds); when a worker reports a
 //!   missing dataset — eviction or restart — the root lazily replays the
@@ -72,27 +73,56 @@
 //! schedules across sketch × fault-class grids to enforce exactly this
 //! trichotomy.
 //!
-//! ## Fused filtered-query planning
+//! ## Fused filtered-query planning and the sketch-result cache
 //!
 //! [`Engine::filter_lazy`] records a filter's lineage without touching
-//! the cluster; the first query against the lazy dataset ships the
-//! AND-composed predicate chain down the execution tree and every leaf
-//! runs the sketch's *fused* entry point — predicate evaluation and
-//! kernel in one block pass, no membership set materialized (see the
-//! `hillview-columnar` crate docs, "Query execution pipeline"). A second
-//! query against the same dataset *promotes* it: the chain materializes
-//! ancestors-first into cached membership sets and subsequent queries
-//! take the classic two-pass path, amortizing the predicate across
-//! repeat visits. [`Engine::run_filtered`] exposes the one-shot form
+//! the cluster; each query against the lazy dataset makes a three-way,
+//! cost-based choice:
+//!
+//! 1. **Fused** — ship the AND-composed predicate chain down the tree;
+//!    every leaf runs the sketch's fused entry point (predicate and
+//!    kernel in one block pass, no membership set materialized — see the
+//!    `hillview-columnar` crate docs, "Query execution pipeline"). The
+//!    first query always fuses: it pays at most one full pass and
+//!    materializing could not beat that.
+//! 2. **Materialize, then reuse** — from the second query on, the engine
+//!    estimates the predicate's per-block cost from zone maps plus a
+//!    bounded probe ([`Cluster::estimate_filter`]): fusing costs
+//!    `1 − skip_fraction` of a pass per query, while a materialized
+//!    membership costs one pass once and `selectivity` per query after.
+//!    When the projected fused overhead across the queries seen so far
+//!    exceeds the one-time materialization cost, the chain promotes
+//!    ancestors-first into cached membership sets and the classic
+//!    two-pass path takes over. Non-selective predicates (fused cost ≈
+//!    per-query materialized cost) never promote.
+//! 3. **Cached membership reuse** — once an ancestor is materialized,
+//!    later lazy chains compose only the unmaterialized suffix on top of
+//!    it.
+//!
+//! [`Engine::run_filtered`] exposes the one-shot (always-fused) form
 //! directly. Split plans and fold order under fusion are those of the
 //! *unfiltered* membership — filtering narrows rows, never renumbers
-//! them — so fused execution is deterministic across thread counts, and
-//! fused queries bypass the computation cache (its key carries no
-//! predicate identity).
+//! them — so fused execution is deterministic across thread counts.
+//!
+//! Deterministic summaries land in a per-worker, byte-bounded LRU
+//! [`SketchCache`] (§5.4) under a *structural* key: the dataset's
+//! lineage-derived content version — for fused trees, the parent version
+//! with the predicate's canonical bytes folded in, exactly as
+//! materializing the filter would — crossed with the sketch's 128-bit
+//! parameter identity. Canonically-equal predicate respellings
+//! (AND-operand order, double negation) therefore share entries, while
+//! fused and two-pass plans for the same logical query never do (their
+//! fold boundaries may legally differ in float ulps, so sharing would
+//! make results cache-state-dependent). Identical in-flight queries
+//! coalesce onto one scan (single-flight); degraded, cancelled, or
+//! failed trees abandon their flight without writing, so the cache only
+//! ever stores complete, uncancelled folds. Counters are surfaced via
+//! [`Cluster::cache_stats`].
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cache;
 pub mod cluster;
 pub mod dataset;
 pub mod engine;
@@ -105,6 +135,7 @@ pub mod redo;
 pub mod spreadsheet;
 pub mod worker;
 
+pub use cache::{CacheKey, CacheStats, SketchCache};
 pub use cluster::{Cluster, ClusterConfig, QueryOptions, QueryOutcome};
 pub use dataset::{DataSource, DatasetId, FnSource, Lineage, SourceSpec};
 pub use engine::{Engine, RetryPolicy};

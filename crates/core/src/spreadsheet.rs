@@ -32,8 +32,6 @@ use hillview_viz::render::{BarChart, ColorGrid};
 use hillview_viz::stacked::{StackedRendering, StackedViz};
 use hillview_viz::tableview::{TablePage, TableViewViz};
 use hillview_viz::trellis::TrellisViz;
-use std::collections::hash_map::DefaultHasher;
-use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -126,20 +124,17 @@ impl Spreadsheet {
         self.seed.fetch_add(0x9E37_79B9, Ordering::SeqCst)
     }
 
-    fn opts(&self, seed: u64, cache_key: Option<u64>) -> QueryOptions {
+    // Caching needs no per-call-site keys anymore: the worker cache keys
+    // every query structurally (dataset version × sketch identity), so
+    // deterministic preparation sketches cache automatically and
+    // seed-dependent ones are excluded by their own `cache_identity`.
+    fn opts(&self, seed: u64) -> QueryOptions {
         QueryOptions {
             seed,
             cancel: self.cancel.clone(),
             on_partial: self.on_partial.clone(),
-            cache_key,
             ..Default::default()
         }
-    }
-
-    fn cache_key(op: &str, detail: &str) -> u64 {
-        let mut h = DefaultHasher::new();
-        (op, detail).hash(&mut h);
-        h.finish()
     }
 
     // -----------------------------------------------------------------
@@ -149,11 +144,9 @@ impl Spreadsheet {
     /// Total rows (cached).
     pub fn row_count(&self) -> EngineResult<(u64, OpStats)> {
         let mut stats = OpStats::default();
-        let (sum, o) = self.engine.run(
-            self.dataset,
-            CountSketch::rows(),
-            &self.opts(0, Some(Self::cache_key("count", ""))),
-        )?;
+        let (sum, o) = self
+            .engine
+            .run(self.dataset, CountSketch::rows(), &self.opts(0))?;
         stats.absorb(&o);
         Ok((sum.rows, stats))
     }
@@ -161,11 +154,9 @@ impl Spreadsheet {
     /// Numeric range of a column (cached).
     pub fn range_of(&self, column: &str) -> EngineResult<(RangeSummary, OpStats)> {
         let mut stats = OpStats::default();
-        let (sum, o) = self.engine.run(
-            self.dataset,
-            RangeSketch::new(column),
-            &self.opts(0, Some(Self::cache_key("range", column))),
-        )?;
+        let (sum, o) = self
+            .engine
+            .run(self.dataset, RangeSketch::new(column), &self.opts(0))?;
         stats.absorb(&o);
         Ok((sum, stats))
     }
@@ -173,11 +164,9 @@ impl Spreadsheet {
     /// Bottom-k distinct-string quantiles of a column (cached).
     pub fn string_quantiles(&self, column: &str) -> EngineResult<(BottomKSummary, OpStats)> {
         let mut stats = OpStats::default();
-        let (sum, o) = self.engine.run(
-            self.dataset,
-            BottomKSketch::new(column, 512),
-            &self.opts(0, Some(Self::cache_key("bottomk", column))),
-        )?;
+        let (sum, o) =
+            self.engine
+                .run(self.dataset, BottomKSketch::new(column, 512), &self.opts(0))?;
         stats.absorb(&o);
         Ok((sum, stats))
     }
@@ -202,7 +191,7 @@ impl Spreadsheet {
         let mut stats = OpStats::default();
         let (summary, o): (NextKSummary, _) =
             self.engine
-                .run(self.dataset, viz.page_after(start), &self.opts(0, None))?;
+                .run(self.dataset, viz.page_after(start), &self.opts(0))?;
         stats.absorb(&o);
         Ok((viz.render(&summary), stats))
     }
@@ -224,13 +213,13 @@ impl Spreadsheet {
         let (q, o1) = self.engine.run(
             self.dataset,
             viz.scrollbar_quantile(count),
-            &self.opts(self.next_seed(), None),
+            &self.opts(self.next_seed()),
         )?;
         stats.absorb(&o1);
         let start = q.quantile(viz.pixel_to_quantile(scrollbar_pixel));
         let (summary, o2): (NextKSummary, _) =
             self.engine
-                .run(self.dataset, viz.page_after(start), &self.opts(0, None))?;
+                .run(self.dataset, viz.page_after(start), &self.opts(0))?;
         stats.absorb(&o2);
         Ok((viz.render(&summary), stats))
     }
@@ -253,7 +242,7 @@ impl Spreadsheet {
             sketch = sketch.after(k);
         }
         let mut stats = OpStats::default();
-        let (sum, o) = self.engine.run(self.dataset, sketch, &self.opts(0, None))?;
+        let (sum, o) = self.engine.run(self.dataset, sketch, &self.opts(0))?;
         stats.absorb(&o);
         Ok((sum, stats))
     }
@@ -279,11 +268,9 @@ impl Spreadsheet {
             viz = viz.with_buckets(b);
         }
         let sketch = viz.prepare_numeric(&range)?;
-        let (summary, o1) = self.engine.run(
-            self.dataset,
-            sketch.clone(),
-            &self.opts(self.next_seed(), None),
-        )?;
+        let (summary, o1) =
+            self.engine
+                .run(self.dataset, sketch.clone(), &self.opts(self.next_seed()))?;
         stats.absorb(&o1);
         let chart = viz.render(&sketch, &summary);
 
@@ -291,7 +278,7 @@ impl Spreadsheet {
         let cdf_sketch = cdf_viz.prepare(&range)?;
         let (cdf_summary, o2) =
             self.engine
-                .run(self.dataset, cdf_sketch, &self.opts(self.next_seed(), None))?;
+                .run(self.dataset, cdf_sketch, &self.opts(self.next_seed()))?;
         stats.absorb(&o2);
         Ok((chart, cdf_viz.render(&cdf_summary), stats))
     }
@@ -306,11 +293,9 @@ impl Spreadsheet {
 
         let viz = HistogramViz::new(column, self.display).exact();
         let sketch = viz.prepare_strings(&bk)?;
-        let (summary, o) = self.engine.run(
-            self.dataset,
-            sketch.clone(),
-            &self.opts(self.next_seed(), None),
-        )?;
+        let (summary, o) =
+            self.engine
+                .run(self.dataset, sketch.clone(), &self.opts(self.next_seed()))?;
         stats.absorb(&o);
         Ok((viz.render(&sketch, &summary), stats))
     }
@@ -333,9 +318,9 @@ impl Spreadsheet {
 
         let viz = StackedViz::new(col_x, col_y, self.display);
         let sketch = viz.prepare(&AxisInfo::Numeric(rx.clone()), &y_info, rx.present)?;
-        let (summary, o1) =
-            self.engine
-                .run(self.dataset, sketch, &self.opts(self.next_seed(), None))?;
+        let (summary, o1) = self
+            .engine
+            .run(self.dataset, sketch, &self.opts(self.next_seed()))?;
         stats.absorb(&o1);
         let rendering = viz.render(&summary);
 
@@ -343,7 +328,7 @@ impl Spreadsheet {
         let cdf_sketch = cdf_viz.prepare(&rx)?;
         let (cdf_summary, o2) =
             self.engine
-                .run(self.dataset, cdf_sketch, &self.opts(self.next_seed(), None))?;
+                .run(self.dataset, cdf_sketch, &self.opts(self.next_seed()))?;
         stats.absorb(&o2);
         Ok((rendering, cdf_viz.render(&cdf_summary), stats))
     }
@@ -366,9 +351,9 @@ impl Spreadsheet {
 
         let viz = HeatmapViz::new(col_x, col_y, self.display);
         let sketch = viz.prepare(&x_info, &y_info, count)?;
-        let (summary, o) =
-            self.engine
-                .run(self.dataset, sketch, &self.opts(self.next_seed(), None))?;
+        let (summary, o) = self
+            .engine
+            .run(self.dataset, sketch, &self.opts(self.next_seed()))?;
         stats.absorb(&o);
         Ok((viz.render(&summary), stats))
     }
@@ -393,9 +378,9 @@ impl Spreadsheet {
         }
         let viz = TrellisViz::new(col_w, col_x, col_y, self.display, groups);
         let sketch = viz.prepare(&w_info, &x_info, &y_info, count)?;
-        let (summary, o) =
-            self.engine
-                .run(self.dataset, sketch, &self.opts(self.next_seed(), None))?;
+        let (summary, o) = self
+            .engine
+            .run(self.dataset, sketch, &self.opts(self.next_seed()))?;
         stats.absorb(&o);
         Ok((viz.render(&summary), stats))
     }
@@ -432,9 +417,9 @@ impl Spreadsheet {
 
         let viz = HeavyHittersViz::sampling(column, k);
         let sketch = viz.prepare_sampling(count);
-        let (summary, o) =
-            self.engine
-                .run(self.dataset, sketch, &self.opts(self.next_seed(), None))?;
+        let (summary, o) = self
+            .engine
+            .run(self.dataset, sketch, &self.opts(self.next_seed()))?;
         stats.absorb(&o);
         Ok((viz.render_sampling(&summary, count), stats))
     }
@@ -450,7 +435,7 @@ impl Spreadsheet {
         let (summary, o) = self.engine.run(
             self.dataset,
             MisraGriesSketch::new(column, k),
-            &self.opts(0, None),
+            &self.opts(0),
         )?;
         stats.absorb(&o);
         Ok((viz.render_streaming(&summary), stats))
@@ -459,11 +444,9 @@ impl Spreadsheet {
     /// O9: approximate distinct count (HyperLogLog).
     pub fn distinct_count(&self, column: &str) -> EngineResult<(f64, OpStats)> {
         let mut stats = OpStats::default();
-        let (summary, o) = self.engine.run(
-            self.dataset,
-            DistinctSketch::new(column),
-            &self.opts(0, Some(Self::cache_key("distinct", column))),
-        )?;
+        let (summary, o) =
+            self.engine
+                .run(self.dataset, DistinctSketch::new(column), &self.opts(0))?;
         stats.absorb(&o);
         Ok((summary.estimate(), stats))
     }
@@ -475,11 +458,9 @@ impl Spreadsheet {
         k: usize,
     ) -> EngineResult<(hillview_sketch::moments::MomentsSummary, OpStats)> {
         let mut stats = OpStats::default();
-        let (summary, o) = self.engine.run(
-            self.dataset,
-            MomentsSketch::new(column, k),
-            &self.opts(0, Some(Self::cache_key("moments", column))),
-        )?;
+        let (summary, o) =
+            self.engine
+                .run(self.dataset, MomentsSketch::new(column, k), &self.opts(0))?;
         stats.absorb(&o);
         Ok((summary, stats))
     }
@@ -490,7 +471,7 @@ impl Spreadsheet {
         let (summary, o) = self.engine.run(
             self.dataset,
             PcaSketch::new(columns, rate),
-            &self.opts(self.next_seed(), None),
+            &self.opts(self.next_seed()),
         )?;
         stats.absorb(&o);
         Ok((summary, stats))

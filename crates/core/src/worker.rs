@@ -3,23 +3,60 @@
 //! A worker models one server of the paper's testbed: it owns a slice of
 //! every dataset (as micropartition [`TableView`]s), a thread pool that
 //! executes leaf `summarize` calls, an in-memory data cache, and a
-//! computation cache for deterministic summaries (§5.4). All of it is soft
-//! state (§5.7): `evict_all`/`kill` erase it, and the root reconstructs it
-//! by replaying lineage.
+//! bounded sketch-result cache for deterministic summaries (§5.4,
+//! [`SketchCache`]). All of it is soft state (§5.7): `evict_all`/`kill`
+//! erase it, and the root reconstructs it by replaying lineage.
+//!
+//! Every materialized dataset carries a lineage-derived content *version*:
+//! loads hash the source spec, filters fold the parent version with the
+//! predicate's canonical bytes, maps fold the UDF and column names. The
+//! version is what makes cache keys structural — two queries share an
+//! entry exactly when their lineage proves identical contents.
 
+use crate::cache::{CacheStats, SketchCache};
 use crate::dataset::{DatasetId, SourceRegistry, SourceSpec};
 use crate::error::{EngineError, EngineResult};
 use crate::fault::{FaultAction, FaultPlan, FaultSite};
 use crate::pool::ThreadPool;
-use bytes::Bytes;
 use hillview_columnar::predicate::filter_members;
 use hillview_columnar::udf::UdfRegistry;
-use hillview_columnar::Predicate;
+use hillview_columnar::{fnv1a, Predicate, Table, FNV_OFFSET};
 use hillview_sketch::TableView;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// One materialized dataset on a worker: its partitions plus the
+/// lineage-derived content version the sketch cache keys on.
+struct DatasetEntry {
+    views: Arc<Vec<TableView>>,
+    version: u64,
+}
+
+/// Content version of a loaded dataset: a pure function of the source
+/// spec, so a reload after eviction revalidates old cache entries.
+fn load_version(spec: &SourceSpec) -> u64 {
+    let h = fnv1a(FNV_OFFSET, b"load\0");
+    let h = fnv1a(h, spec.source.as_bytes());
+    fnv1a(h, &spec.snapshot.to_le_bytes())
+}
+
+/// Content version of a filtered dataset: the parent version chained with
+/// the predicate's *canonical* bytes — And/Or order, double negation, and
+/// compiler-equivalent numeric bounds all collapse to one identity.
+fn filter_version(parent: u64, canonical_predicate: &[u8]) -> u64 {
+    let h = fnv1a(parent, b"filter\0");
+    fnv1a(h, canonical_predicate)
+}
+
+/// Content version of a mapped dataset.
+fn map_version(parent: u64, udf: &str, new_column: &str) -> u64 {
+    let h = fnv1a(parent, b"map\0");
+    let h = fnv1a(h, udf.as_bytes());
+    let h = fnv1a(h, &[0]);
+    fnv1a(h, new_column.as_bytes())
+}
 
 /// One simulated server.
 pub struct Worker {
@@ -28,8 +65,8 @@ pub struct Worker {
     num_workers: usize,
     micropartition_rows: usize,
     pool: Arc<ThreadPool>,
-    datasets: Mutex<HashMap<DatasetId, Arc<Vec<TableView>>>>,
-    comp_cache: Mutex<HashMap<(DatasetId, u64), Bytes>>,
+    datasets: Mutex<HashMap<DatasetId, DatasetEntry>>,
+    comp_cache: SketchCache,
     alive: AtomicBool,
     sources: SourceRegistry,
     udfs: UdfRegistry,
@@ -37,8 +74,6 @@ pub struct Worker {
     rows_loaded: AtomicU64,
     /// Cumulative encoded bytes of loaded datasets (footprint diagnostics).
     bytes_loaded: AtomicU64,
-    /// Computation-cache hit counter (diagnostics / tests).
-    cache_hits: AtomicU64,
     /// Leaf sub-tasks executed on this worker's pool (diagnostics: a value
     /// above the partition count proves intra-partition splitting ran).
     leaf_tasks: AtomicU64,
@@ -50,12 +85,14 @@ pub struct Worker {
 }
 
 impl Worker {
-    /// Create a worker with `threads` pool threads.
+    /// Create a worker with `threads` pool threads and a sketch-result
+    /// cache bounded at `cache_budget` bytes.
     pub fn new(
         id: usize,
         num_workers: usize,
         threads: usize,
         micropartition_rows: usize,
+        cache_budget: usize,
         sources: SourceRegistry,
         udfs: UdfRegistry,
     ) -> Self {
@@ -65,13 +102,12 @@ impl Worker {
             micropartition_rows,
             pool: Arc::new(ThreadPool::new(threads, &format!("worker{id}"))),
             datasets: Mutex::new(HashMap::new()),
-            comp_cache: Mutex::new(HashMap::new()),
+            comp_cache: SketchCache::new(cache_budget),
             alive: AtomicBool::new(true),
             sources,
             udfs,
             rows_loaded: AtomicU64::new(0),
             bytes_loaded: AtomicU64::new(0),
-            cache_hits: AtomicU64::new(0),
             leaf_tasks: AtomicU64::new(0),
             faults: Mutex::new(None),
             ops: AtomicU64::new(0),
@@ -161,7 +197,7 @@ impl Worker {
     pub fn kill(&self) {
         self.alive.store(false, Ordering::SeqCst);
         self.datasets.lock().clear();
-        self.comp_cache.lock().clear();
+        self.comp_cache.clear();
     }
 
     /// Bring a crashed worker back, empty ("Worker nodes are stateless, so
@@ -175,13 +211,13 @@ impl Worker {
     /// memory pressure; the next query triggers lazy reconstruction.
     pub fn evict_all(&self) {
         self.datasets.lock().clear();
-        self.comp_cache.lock().clear();
+        self.comp_cache.clear();
     }
 
-    /// Drop one dataset.
+    /// Drop one dataset and its cached summaries.
     pub fn evict(&self, id: DatasetId) {
         self.datasets.lock().remove(&id);
-        self.comp_cache.lock().retain(|(d, _), _| *d != id);
+        self.comp_cache.evict_dataset(id);
     }
 
     /// Whether the worker currently materializes `id`.
@@ -191,7 +227,28 @@ impl Worker {
 
     /// This worker's partitions of `id`, if materialized.
     pub fn partitions(&self, id: DatasetId) -> Option<Arc<Vec<TableView>>> {
-        self.datasets.lock().get(&id).cloned()
+        self.datasets.lock().get(&id).map(|e| e.views.clone())
+    }
+
+    /// The lineage-derived content version of `id`, if materialized.
+    pub fn dataset_version(&self, id: DatasetId) -> Option<u64> {
+        self.datasets.lock().get(&id).map(|e| e.version)
+    }
+
+    /// The content version a filter of `parent` by `predicate` would
+    /// carry — the exact version [`Worker::filter`] assigns, computed
+    /// without materializing anything. Fused queries key their cache
+    /// entries on it, so a canonically-equal predicate hits the same
+    /// entry whether or not the membership was ever materialized under a
+    /// different textual spelling.
+    pub fn filtered_version(&self, parent: DatasetId, predicate: &Predicate) -> Option<u64> {
+        let (views, version) = {
+            let d = self.datasets.lock();
+            let e = d.get(&parent)?;
+            (e.views.clone(), e.version)
+        };
+        let table: Option<&Table> = views.first().map(|v| v.table().as_ref());
+        Some(filter_version(version, &predicate.canonical_bytes(table)))
     }
 
     /// Total rows across this worker's partitions of `id`.
@@ -222,9 +279,19 @@ impl Worker {
         self.bytes_loaded.load(Ordering::Relaxed)
     }
 
-    /// Computation-cache hits so far.
+    /// Sketch-result cache hits so far.
     pub fn cache_hits(&self) -> u64 {
-        self.cache_hits.load(Ordering::Relaxed)
+        self.comp_cache.stats().hits
+    }
+
+    /// The worker's sketch-result cache (execution tree, tests).
+    pub fn cache(&self) -> &SketchCache {
+        &self.comp_cache
+    }
+
+    /// Counter snapshot of the sketch-result cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.comp_cache.stats()
     }
 
     fn check_alive(&self) -> EngineResult<()> {
@@ -263,7 +330,13 @@ impl Worker {
         let bytes: usize = views.iter().map(|v| v.table().heap_bytes()).sum();
         self.rows_loaded.fetch_add(rows as u64, Ordering::Relaxed);
         self.bytes_loaded.fetch_add(bytes as u64, Ordering::Relaxed);
-        self.datasets.lock().insert(id, Arc::new(views));
+        self.datasets.lock().insert(
+            id,
+            DatasetEntry {
+                views: Arc::new(views),
+                version: load_version(spec),
+            },
+        );
         Ok(())
     }
 
@@ -281,6 +354,12 @@ impl Worker {
     ) -> EngineResult<()> {
         self.fault_op(Some(parent));
         self.check_alive()?;
+        let version =
+            self.filtered_version(parent, predicate)
+                .ok_or(EngineError::DatasetMissing {
+                    worker: self.id,
+                    dataset: parent,
+                })?;
         let parent_views = self.partitions(parent).ok_or(EngineError::DatasetMissing {
             worker: self.id,
             dataset: parent,
@@ -309,7 +388,13 @@ impl Worker {
             out[i] = Some(r?);
         }
         let views: Vec<TableView> = out.into_iter().map(|v| v.expect("all filled")).collect();
-        self.datasets.lock().insert(id, Arc::new(views));
+        self.datasets.lock().insert(
+            id,
+            DatasetEntry {
+                views: Arc::new(views),
+                version,
+            },
+        );
         Ok(())
     }
 
@@ -325,10 +410,14 @@ impl Worker {
     ) -> EngineResult<()> {
         self.fault_op(Some(parent));
         self.check_alive()?;
-        let parent_views = self.partitions(parent).ok_or(EngineError::DatasetMissing {
-            worker: self.id,
-            dataset: parent,
-        })?;
+        let (parent_views, parent_version) = {
+            let d = self.datasets.lock();
+            let e = d.get(&parent).ok_or(EngineError::DatasetMissing {
+                worker: self.id,
+                dataset: parent,
+            })?;
+            (e.views.clone(), e.version)
+        };
         let n = parent_views.len();
         let (tx, rx) = crossbeam::channel::bounded(n.max(1));
         for (i, view) in parent_views.iter().enumerate() {
@@ -358,23 +447,14 @@ impl Worker {
             out[i] = Some(r?);
         }
         let views: Vec<TableView> = out.into_iter().map(|v| v.expect("all filled")).collect();
-        self.datasets.lock().insert(id, Arc::new(views));
+        self.datasets.lock().insert(
+            id,
+            DatasetEntry {
+                views: Arc::new(views),
+                version: map_version(parent_version, udf, new_column),
+            },
+        );
         Ok(())
-    }
-
-    /// Computation-cache lookup (paper §5.4: "indexed by what mergeable
-    /// summary was used and what dataset was operated on").
-    pub fn cache_get(&self, dataset: DatasetId, key: u64) -> Option<Bytes> {
-        let hit = self.comp_cache.lock().get(&(dataset, key)).cloned();
-        if hit.is_some() {
-            self.cache_hits.fetch_add(1, Ordering::Relaxed);
-        }
-        hit
-    }
-
-    /// Store a merged worker-level summary in the computation cache.
-    pub fn cache_put(&self, dataset: DatasetId, key: u64, value: Bytes) {
-        self.comp_cache.lock().insert((dataset, key), value);
     }
 }
 
@@ -414,7 +494,7 @@ mod tests {
         })));
         let mut udfs = UdfRegistry::with_builtins();
         udfs.register_sum("X2", "X", "X");
-        Arc::new(Worker::new(0, 2, 2, 30, sources, udfs))
+        Arc::new(Worker::new(0, 2, 2, 30, 1 << 20, sources, udfs))
     }
 
     fn spec() -> SourceSpec {
@@ -455,6 +535,7 @@ mod tests {
             1,
             1,
             10_000,
+            1 << 20,
             sources,
             UdfRegistry::with_builtins(),
         ));
@@ -612,20 +693,67 @@ mod tests {
     }
 
     #[test]
-    fn computation_cache_round_trip() {
+    fn sketch_cache_round_trip_and_eviction() {
+        use crate::cache::{CacheKey, Lookup};
+        use bytes::Bytes;
         let w = test_worker();
-        assert!(w.cache_get(DatasetId(1), 42).is_none());
-        w.cache_put(DatasetId(1), 42, Bytes::from_static(b"summary"));
-        assert_eq!(
-            w.cache_get(DatasetId(1), 42).unwrap(),
-            Bytes::from_static(b"summary")
-        );
+        let key = CacheKey {
+            dataset: DatasetId(1),
+            version: 42,
+            query: [7, 8],
+        };
+        match w.cache().lookup(key) {
+            Lookup::Miss(g) => g.complete(Bytes::from_static(b"summary")),
+            _ => panic!("fresh cache must miss"),
+        }
+        match w.cache().lookup(key) {
+            Lookup::Hit(b) => assert_eq!(b, Bytes::from_static(b"summary")),
+            _ => panic!("stored entry must hit"),
+        }
         assert_eq!(w.cache_hits(), 1);
         w.evict(DatasetId(1));
         assert!(
-            w.cache_get(DatasetId(1), 42).is_none(),
-            "evict clears cache"
+            matches!(w.cache().lookup(key), Lookup::Miss(_)),
+            "evicting the dataset drops its cache entries"
         );
+    }
+
+    #[test]
+    fn dataset_versions_chain_through_lineage() {
+        let w = test_worker();
+        w.load(DatasetId(1), &spec()).unwrap();
+        let base = w.dataset_version(DatasetId(1)).unwrap();
+        // Reload after eviction: same spec, same version.
+        w.evict(DatasetId(1));
+        w.load(DatasetId(1), &spec()).unwrap();
+        assert_eq!(w.dataset_version(DatasetId(1)).unwrap(), base);
+        // A different snapshot is different content.
+        w.load(
+            DatasetId(5),
+            &SourceSpec {
+                source: Arc::from("nums"),
+                snapshot: 1,
+            },
+        )
+        .unwrap();
+        assert_ne!(w.dataset_version(DatasetId(5)).unwrap(), base);
+        // Canonically-equal predicates derive the same filtered version;
+        // semantically distinct ones never do.
+        let a = Predicate::range("X", 0.0, 50.0).and(Predicate::range("X", 10.0, 100.0));
+        let b = Predicate::range("X", 10.0, 100.0).and(Predicate::range("X", 0.0, 50.0));
+        let c = Predicate::range("X", 0.0, 49.0);
+        let va = w.filtered_version(DatasetId(1), &a).unwrap();
+        assert_eq!(va, w.filtered_version(DatasetId(1), &b).unwrap());
+        assert_ne!(va, w.filtered_version(DatasetId(1), &c).unwrap());
+        // Materializing the filter assigns exactly the predicted version.
+        w.filter(DatasetId(2), DatasetId(1), &a).unwrap();
+        assert_eq!(w.dataset_version(DatasetId(2)).unwrap(), va);
+        // Mapped datasets fold the UDF identity in.
+        w.map(DatasetId(3), DatasetId(1), "X2", "Doubled").unwrap();
+        let vm = w.dataset_version(DatasetId(3)).unwrap();
+        assert_ne!(vm, base);
+        w.map(DatasetId(4), DatasetId(1), "X2", "Tripled").unwrap();
+        assert_ne!(w.dataset_version(DatasetId(4)).unwrap(), vm);
     }
 
     #[test]

@@ -43,6 +43,12 @@ const ROWS_PER_WORKER: i64 = 2_000;
 /// A fresh 2-worker engine over a deterministic integer shard per worker,
 /// with a tight retry budget so even pathological schedules stay fast.
 fn chaos_engine() -> Engine {
+    chaos_engine_with_cache_budget(ClusterConfig::test().cache_budget_bytes)
+}
+
+/// Same fixture with an explicit sketch-cache budget, for churn tests that
+/// need evictions to actually happen.
+fn chaos_engine_with_cache_budget(cache_budget_bytes: usize) -> Engine {
     let mut sources = SourceRegistry::new();
     sources.register(Arc::new(FnSource::new("chaos", |w, _n, _mp, snap| {
         let t = Table::builder()
@@ -57,7 +63,9 @@ fn chaos_engine() -> Engine {
             .unwrap();
         Ok(vec![t])
     })));
-    let cluster = Cluster::new(ClusterConfig::test(), sources, UdfRegistry::with_builtins());
+    let mut cfg = ClusterConfig::test();
+    cfg.cache_budget_bytes = cache_budget_bytes;
+    let cluster = Cluster::new(cfg, sources, UdfRegistry::with_builtins());
     let mut engine = Engine::new(cluster);
     engine.retry = RetryPolicy {
         attempts: 4,
@@ -133,10 +141,8 @@ fn seeded_chaos_grid_preserves_failure_semantics() {
             // Alternate the degradation opt-in across the grid so both
             // the strict and the tolerant contract get exercised.
             let allow_degraded = (nth + i) % 2 == 0;
-            let cache_key = Some(plan_seed ^ (i as u64) << 32 | 0x5EED);
             let opts = QueryOptions {
                 seed: 42,
-                cache_key,
                 deadline: Some(Duration::from_secs(20)),
                 allow_degraded,
                 ..Default::default()
@@ -195,15 +201,16 @@ fn seeded_chaos_grid_preserves_failure_semantics() {
             .fault_plan()
             .map_or(0, |p| u32::from(p.faults_fired() > 0));
 
-        // Heal: disarm and re-run the grid with the *same* cache keys.
-        // Whatever the chaos run did — succeeded (cache holds complete
-        // folds), failed (cache must hold nothing) — the healed engine
-        // must reconverge to the clean baseline bit-for-bit.
+        // Heal: disarm and re-run the grid. The cache keys every query
+        // structurally, so the healed re-runs address the very entries
+        // the chaos runs would have written. Whatever the chaos run did —
+        // succeeded (cache holds complete folds), failed (cache must hold
+        // nothing) — the healed engine must reconverge to the clean
+        // baseline bit-for-bit.
         engine.cluster().disarm_faults();
         for (i, (name, sk)) in grid.iter().enumerate() {
             let opts = QueryOptions {
                 seed: 42,
-                cache_key: Some(plan_seed ^ (i as u64) << 32 | 0x5EED),
                 ..Default::default()
             };
             let outcome = engine.run_erased(data, sk, &opts).unwrap_or_else(|e| {
@@ -345,16 +352,14 @@ fn scripted_persistent_kill_never_caches_partial_state() {
     let engine = chaos_engine();
     let data = engine.load("chaos", 0).unwrap();
     let sk = erase(CountSketch::rows());
-    let key = Some(0xDEAD_CACE);
     let clean = engine
-        .run_erased(
-            data,
-            &sk,
-            &QueryOptions {
-                ..Default::default()
-            },
-        )
+        .run_erased(data, &sk, &QueryOptions::default())
         .unwrap();
+    // Forget the clean run's cache entries (and datasets — lineage replay
+    // restores them) so the faulted queries below actually execute, and
+    // would write the very structural key the healed re-run reads if they
+    // ever — wrongly — cached a partial fold.
+    engine.cluster().evict_all();
 
     engine
         .cluster()
@@ -368,14 +373,7 @@ fn scripted_persistent_kill_never_caches_partial_state() {
             )
         })));
     let err = engine
-        .run_erased(
-            data,
-            &sk,
-            &QueryOptions {
-                cache_key: key,
-                ..Default::default()
-            },
-        )
+        .run_erased(data, &sk, &QueryOptions::default())
         .unwrap_err();
     assert!(
         matches!(err, EngineError::RetriesExhausted { .. }),
@@ -384,17 +382,167 @@ fn scripted_persistent_kill_never_caches_partial_state() {
 
     engine.cluster().disarm_faults();
     let healed = engine
-        .run_erased(
-            data,
-            &sk,
-            &QueryOptions {
-                cache_key: key,
-                ..Default::default()
-            },
-        )
+        .run_erased(data, &sk, &QueryOptions::default())
         .unwrap();
     assert_eq!(
         healed.bytes, clean.bytes,
         "failed query left partial state under its cache key"
     );
+}
+
+/// A degraded or failed tree must never populate a predicate-keyed cache
+/// entry on the worker it abandoned. A persistently-killed worker 0 ends
+/// the fused query in either an honestly-labelled degraded result or a
+/// structured error (both are within the trichotomy; which one is a race
+/// between the liveness sweep and the tolerant final attempt) — either
+/// way the killed worker's cache must record zero insertions for the
+/// whole episode, and the healed engine — reading the *same* structural
+/// key — must reconverge to the complete fused baseline.
+#[test]
+fn degraded_fused_tree_never_populates_predicate_keyed_entries() {
+    use hillview_columnar::Predicate;
+    use hillview_core::{FaultAction, FaultSite};
+    let engine = chaos_engine();
+    let data = engine.load("chaos", 7).unwrap();
+    let sk = erase(HistogramSketch::streaming(
+        "X",
+        BucketSpec::numeric(0.0, 100.0, 10),
+    ));
+    let pred = || Predicate::range("X", 15.0, 85.0);
+    let clean = engine
+        .run_filtered_erased(data, pred(), &sk, &QueryOptions::default())
+        .unwrap();
+    // Forget the clean run's entries so the degraded episode below starts
+    // cold: any insertion from here on is attributable to a faulted tree.
+    engine.cluster().evict_all();
+    let w0_insertions = engine.cluster().worker(0).cache_stats().insertions;
+
+    engine
+        .cluster()
+        .arm_faults(FaultPlan::scripted((0..100_000).map(|i| {
+            (
+                FaultSite::WorkerOp {
+                    worker: 0,
+                    index: i,
+                },
+                FaultAction::Kill,
+            )
+        })));
+    let opts = QueryOptions {
+        allow_degraded: true,
+        deadline: Some(Duration::from_secs(20)),
+        ..Default::default()
+    };
+    match engine.run_filtered_erased(data, pred(), &sk, &opts) {
+        Ok(degraded) => assert!(
+            degraded.coverage < 1.0 && degraded.failed_workers.contains(&0),
+            "persistent kill of worker 0 should degrade the fused query \
+             (coverage {}, failed {:?})",
+            degraded.coverage,
+            degraded.failed_workers
+        ),
+        Err(e) => assert!(
+            e.is_retryable() || matches!(e, EngineError::RetriesExhausted { .. }),
+            "persistent kill should surface a structured retryable/exhausted \
+             error, got {e}"
+        ),
+    }
+    assert_eq!(
+        engine.cluster().worker(0).cache_stats().insertions,
+        w0_insertions,
+        "the killed worker cached state under the query's predicate key \
+         while its tree was dying"
+    );
+
+    engine.cluster().disarm_faults();
+    let healed = engine
+        .run_filtered_erased(data, pred(), &sk, &QueryOptions::default())
+        .unwrap();
+    assert!(
+        (healed.coverage - 1.0).abs() < f64::EPSILON,
+        "healed fused run not full coverage"
+    );
+    assert_eq!(
+        healed.bytes, clean.bytes,
+        "healed fused re-run diverged — the degraded tree polluted a \
+         predicate-keyed cache entry"
+    );
+}
+
+/// Churn a deliberately tiny sketch cache with many distinct predicate
+/// identities, across seeds. Evictions must actually fire, warm repeats
+/// must actually hit, and every answer — fresh fold, cached entry, or
+/// re-fold after eviction — must stay bit-identical to an uncached
+/// reference of the same query.
+#[test]
+fn seeded_cache_churn_evicts_without_corrupting_results() {
+    use hillview_columnar::Predicate;
+    for plan_seed in seed_range().take(4) {
+        // ~2 KB per worker: a handful of histogram/moments entries at
+        // most, so 16 distinct predicates cycle the LRU several times.
+        let engine = chaos_engine_with_cache_budget(2048);
+        let data = engine.load("chaos", plan_seed).unwrap();
+        let sketches = [
+            erase(HistogramSketch::streaming(
+                "X",
+                BucketSpec::numeric(0.0, 100.0, 10),
+            )),
+            erase(MomentsSketch::new("X", 4)),
+        ];
+        let uncached = QueryOptions {
+            cache: false,
+            ..Default::default()
+        };
+        let mut state = plan_seed | 1;
+        for _ in 0..16 {
+            // Splitmix-style step: the predicate sequence is a pure
+            // function of the seed, so failures replay exactly.
+            state = state
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .rotate_left(27)
+                .wrapping_add(0x243F_6A88_85A3_08D3);
+            let lo = (state % 60) as f64;
+            let hi = lo + 10.0 + (state >> 8 & 0x1F) as f64;
+            let pred = Predicate::range("X", lo, hi);
+            for sk in &sketches {
+                let reference = engine
+                    .run_filtered_erased(data, pred.clone(), sk, &uncached)
+                    .unwrap();
+                let cold = engine
+                    .run_filtered_erased(data, pred.clone(), sk, &QueryOptions::default())
+                    .unwrap();
+                let warm = engine
+                    .run_filtered_erased(data, pred.clone(), sk, &QueryOptions::default())
+                    .unwrap();
+                assert_eq!(
+                    reference.bytes, cold.bytes,
+                    "seed {plan_seed:#x} pred [{lo}, {hi}): cached fold diverged \
+                     from uncached reference under churn"
+                );
+                assert_eq!(
+                    cold.bytes, warm.bytes,
+                    "seed {plan_seed:#x} pred [{lo}, {hi}): warm repeat diverged \
+                     from the entry its own miss stored"
+                );
+            }
+        }
+        let stats = engine.cluster().cache_stats();
+        assert!(
+            stats.evictions > 0,
+            "seed {plan_seed:#x}: churn over a {}-byte budget never evicted \
+             (insertions {}, bytes {}) — the budget is not being enforced",
+            2048,
+            stats.insertions,
+            stats.bytes
+        );
+        assert!(
+            stats.hits > 0,
+            "seed {plan_seed:#x}: warm repeats never hit the cache"
+        );
+        assert!(
+            stats.bytes <= 2048 * engine.cluster().num_workers() as u64,
+            "seed {plan_seed:#x}: cache grew past its budget ({} bytes)",
+            stats.bytes
+        );
+    }
 }

@@ -186,6 +186,12 @@ impl Sketch for BottomKSketch {
     fn identity(&self) -> BottomKSummary {
         BottomKSummary::zero(self.k)
     }
+
+    fn cache_identity(&self) -> Option<Vec<u8>> {
+        // The hash seed is a sketch *parameter* (identical across
+        // partitions), not per-run state, so it joins the identity bytes.
+        Some(format!("{}|{}|{}", self.column, self.k, self.seed).into_bytes())
+    }
 }
 
 impl BottomKSketch {

@@ -117,6 +117,11 @@ impl Sketch for CountSketch {
     fn identity(&self) -> CountSummary {
         CountSummary::default()
     }
+
+    fn cache_identity(&self) -> Option<Vec<u8>> {
+        // Exact counts: pure function of data + membership.
+        Some(format!("{:?}", self.column).into_bytes())
+    }
 }
 
 impl CountSketch {

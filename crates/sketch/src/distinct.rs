@@ -183,6 +183,10 @@ impl Sketch for DistinctSketch {
     fn identity(&self) -> DistinctSummary {
         DistinctSummary::zero(self.p)
     }
+
+    fn cache_identity(&self) -> Option<Vec<u8>> {
+        Some(format!("{}|{}|{}", self.column, self.p, self.seed).into_bytes())
+    }
 }
 
 impl DistinctSketch {

@@ -195,6 +195,16 @@ impl Sketch for HeatmapSketch {
     fn identity(&self) -> HeatmapSummary {
         HeatmapSummary::zero(self.buckets_x.count(), self.buckets_y.count())
     }
+
+    fn cache_identity(&self) -> Option<Vec<u8>> {
+        (self.rate >= 1.0).then(|| {
+            format!(
+                "{}|{}|{:?}|{:?}",
+                self.col_x, self.col_y, self.buckets_x, self.buckets_y
+            )
+            .into_bytes()
+        })
+    }
 }
 
 impl HeatmapSketch {

@@ -10,7 +10,9 @@
 use crate::traits::{Sketch, SketchResult, Summary};
 use crate::view::TableView;
 use hillview_columnar::scan::{scan_rows, scan_values, Selection};
-use hillview_columnar::{scan_blocks, Block, BlockSink, FrameFilter, Predicate, Value};
+use hillview_columnar::{
+    row_sampled, scan_blocks, Block, BlockSink, FrameFilter, Predicate, Value,
+};
 use hillview_net::{Result as WireResult, Wire, WireReader, WireWriter};
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -186,6 +188,10 @@ impl Sketch for MisraGriesSketch {
 
     fn identity(&self) -> MisraGriesSummary {
         MisraGriesSummary::zero(self.k)
+    }
+
+    fn cache_identity(&self) -> Option<Vec<u8>> {
+        Some(format!("{}|{}", self.column, self.k).into_bytes())
     }
 }
 
@@ -473,6 +479,12 @@ impl Sketch for SampledHeavyHittersSketch {
             sampled: 0,
         }
     }
+
+    fn cache_identity(&self) -> Option<Vec<u8>> {
+        // At rate >= 1 the "sample" is every row, so the counts are exact
+        // and seed-independent.
+        (self.rate >= 1.0).then(|| format!("{}|{}", self.column, self.k).into_bytes())
+    }
 }
 
 impl SampledHeavyHittersSketch {
@@ -486,21 +498,19 @@ impl SampledHeavyHittersSketch {
         seed: u64,
     ) -> SketchResult<SampledHeavyHittersSummary> {
         let col = view.table().column_by_name(&self.column)?;
-        // Sampled + filtered: the sample must be drawn from the *filtered*
-        // membership to match two-pass execution, so fall back to the
-        // materialized path.
-        if self.rate < 1.0 {
-            if let Some(pred) = filter {
-                let narrowed = crate::view::filtered_view(view, pred)?;
-                return self.summarize_bounded(&narrowed, bounds, None, seed);
-            }
-        }
         // rate >= 1.0 is exact: scan the membership chunks directly instead
         // of materializing every row index (sample_rows(1.0) returns all
         // members ascending, so results are identical either way). The
-        // sample is always drawn partition-wide and clipped to the bounds.
-        let sampled = (self.rate < 1.0).then(|| view.sample_rows(self.rate, seed));
-        let sel = crate::view::bounded_selection(view, &sampled, bounds);
+        // unfiltered sample is always drawn partition-wide and clipped to
+        // the bounds; under fusion the sample must come from the *filtered*
+        // stream, so each surviving row is instead tested with the
+        // stateless hash-threshold decision [`row_sampled`] in the same
+        // single pass — no materialized membership, and tiling stays exact
+        // because the decision is a pure function of the row index.
+        let hash_sample = self.rate < 1.0 && filter.is_some();
+        let presampled =
+            (self.rate < 1.0 && filter.is_none()).then(|| view.sample_rows(self.rate, seed));
+        let sel = crate::view::bounded_selection(view, &presampled, bounds);
         let ff = match filter {
             Some(pred) => Some(RefCell::new(FrameFilter::compile(pred, view.table())?)),
             None => None,
@@ -514,7 +524,25 @@ impl SampledHeavyHittersSketch {
         };
         let mut counts: Vec<(Value, u64)>;
         let sampled;
-        if let Some(dict) = col.as_dict_col() {
+        if hash_sample {
+            // The dictionary fast path consumes whole frames without row
+            // identities, so the fused *sampled* scan counts per row.
+            let mut map: HashMap<Value, u64> = HashMap::new();
+            let mut present = 0u64;
+            scan_rows(&sel, |row| {
+                if !row_sampled(row as u64, self.rate, seed) {
+                    return;
+                }
+                let v = col.value(row);
+                if v.is_missing() {
+                    return;
+                }
+                present += 1;
+                *map.entry(v).or_insert(0) += 1;
+            });
+            sampled = present;
+            counts = map.into_iter().collect();
+        } else if let Some(dict) = col.as_dict_col() {
             // Dictionary fast path: exact counts into a dictionary-sized
             // array, consumed frame-wise from the block pipeline — a
             // fully-live frame is 64 unconditional array increments with
@@ -761,5 +789,48 @@ mod tests {
             SampledHeavyHittersSummary::from_bytes(s.to_bytes()).unwrap(),
             s
         );
+    }
+
+    #[test]
+    fn fused_sampling_rate_is_calibrated() {
+        // 200k rows, half passing the filter, rate 0.3: the fused
+        // hash-threshold sample fraction concentrates around the rate
+        // (binomial std err ~0.0014 at n=100k; 3 sigma is well under the
+        // 0.015 tolerance), and the draw is seed-deterministic.
+        use hillview_columnar::column::I64Column;
+        use hillview_columnar::Predicate;
+        let n = 200_000usize;
+        let names = ["alpha", "beta", "gamma", "delta"];
+        let t = Table::builder()
+            .column(
+                "S",
+                ColumnKind::String,
+                Column::Str(DictColumn::from_strings((0..n).map(|i| Some(names[i % 4])))),
+            )
+            .column(
+                "X",
+                ColumnKind::Int,
+                Column::Int(I64Column::from_options(
+                    (0..n).map(|i| Some(i as i64 % 100)),
+                )),
+            )
+            .build()
+            .unwrap();
+        let v = TableView::full(Arc::new(t));
+        let p = Predicate::range("X", 0.0, 50.0);
+        let rate = 0.3f64;
+        let sk = SampledHeavyHittersSketch::new("S", 4, rate);
+        let s1 = sk.summarize_filtered(&v, &p, 42).unwrap();
+        let frac = s1.sampled as f64 / 100_000.0;
+        assert!((frac - rate).abs() < 0.015, "sample fraction {frac}");
+        // Each value appears in 1/4 of the filtered rows; the sampled
+        // counts stay proportional.
+        for (_, c) in &s1.counts {
+            let share = *c as f64 / s1.sampled as f64;
+            assert!((share - 0.25).abs() < 0.02, "value share {share}");
+        }
+        // Deterministic per seed, different across seeds.
+        assert_eq!(s1, sk.summarize_filtered(&v, &p, 42).unwrap());
+        assert_ne!(s1, sk.summarize_filtered(&v, &p, 43).unwrap());
     }
 }

@@ -187,6 +187,11 @@ impl Sketch for HistogramSketch {
     fn identity(&self) -> HistogramSummary {
         HistogramSummary::zero(self.buckets.count())
     }
+
+    fn cache_identity(&self) -> Option<Vec<u8>> {
+        // Only the exact (streaming) histogram is seed-independent.
+        (self.rate >= 1.0).then(|| format!("{}|{:?}", self.column, self.buckets).into_bytes())
+    }
 }
 
 impl HistogramSketch {

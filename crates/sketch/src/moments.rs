@@ -178,6 +178,10 @@ impl Sketch for MomentsSketch {
     fn identity(&self) -> MomentsSummary {
         MomentsSummary::zero(self.k)
     }
+
+    fn cache_identity(&self) -> Option<Vec<u8>> {
+        Some(format!("{}|{}", self.column, self.k).into_bytes())
+    }
 }
 
 impl MomentsSketch {

@@ -13,7 +13,7 @@
 use crate::traits::{Sketch, SketchResult, Summary};
 use crate::view::TableView;
 use hillview_columnar::scan::{scan_rows, Selection};
-use hillview_columnar::{FrameFilter, Predicate, RowKey, SortOrder};
+use hillview_columnar::{row_sampled, FrameFilter, Predicate, RowKey, SortOrder};
 use hillview_net::{Result as WireResult, Wire, WireReader, WireWriter};
 use std::cell::RefCell;
 
@@ -156,6 +156,12 @@ impl Sketch for QuantileSketch {
             cap: self.cap,
         }
     }
+
+    fn cache_identity(&self) -> Option<Vec<u8>> {
+        // At rate >= 1 every key is taken and cap-thinning is
+        // deterministic, so the summary is seed-independent.
+        (self.rate >= 1.0).then(|| format!("{:?}|{}", self.order, self.cap).into_bytes())
+    }
 }
 
 impl QuantileSketch {
@@ -170,19 +176,16 @@ impl QuantileSketch {
         seed: u64,
     ) -> SketchResult<QuantileSummary> {
         let resolved = self.order.resolve(view.table())?;
-        // Sampled + filtered: the sample must be drawn from the *filtered*
-        // membership to match two-pass execution, so fall back to the
-        // materialized path.
-        if self.rate < 1.0 {
-            if let Some(pred) = filter {
-                let narrowed = crate::view::filtered_view(view, pred)?;
-                return self.summarize_bounded(&narrowed, bounds, None, seed);
-            }
-        }
-        // Streaming (rate >= 1) walks membership chunks directly instead of
-        // materializing every row index; sampling produces a Rows chunk.
-        // Samples are drawn partition-wide and clipped to the bounds.
-        let sampled = (self.rate < 1.0).then(|| view.sample_rows(self.rate, seed));
+        // Unfiltered sampling pre-draws a partition-wide sample
+        // (representation-dependent walk, clipped to the bounds). Under
+        // fusion the sample must come from the *filtered* stream, so each
+        // surviving row is instead tested with the stateless hash-threshold
+        // decision [`row_sampled`] — a pure function of `(row, rate, seed)`,
+        // which keeps split tiling exact and the one-pass structure intact
+        // (no materialized membership, no second decode).
+        let hash_sample = self.rate < 1.0 && filter.is_some();
+        let sampled =
+            (self.rate < 1.0 && filter.is_none()).then(|| view.sample_rows(self.rate, seed));
         let base = crate::view::bounded_selection(view, &sampled, bounds);
         let ff = match filter {
             Some(pred) => Some(RefCell::new(FrameFilter::compile(pred, view.table())?)),
@@ -197,7 +200,9 @@ impl QuantileSketch {
         };
         let mut keys = Vec::with_capacity(base.count().min(2 * self.cap));
         scan_rows(&sel, |row| {
-            keys.push(resolved.key(view.table(), row));
+            if !hash_sample || row_sampled(row as u64, self.rate, seed) {
+                keys.push(resolved.key(view.table(), row));
+            }
         });
         // The population is the rows the summary speaks for: the filtered
         // membership under fusion, the bounded membership otherwise.

@@ -163,6 +163,10 @@ impl Sketch for RangeSketch {
     fn identity(&self) -> RangeSummary {
         RangeSummary::default()
     }
+
+    fn cache_identity(&self) -> Option<Vec<u8>> {
+        Some(self.column.as_bytes().to_vec())
+    }
 }
 
 impl RangeSketch {

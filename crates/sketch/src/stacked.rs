@@ -205,6 +205,16 @@ impl Sketch for StackedHistogramSketch {
     fn identity(&self) -> StackedSummary {
         StackedSummary::zero(self.buckets_x.count(), self.buckets_y.count())
     }
+
+    fn cache_identity(&self) -> Option<Vec<u8>> {
+        (self.rate >= 1.0).then(|| {
+            format!(
+                "{}|{}|{:?}|{:?}",
+                self.col_x, self.col_y, self.buckets_x, self.buckets_y
+            )
+            .into_bytes()
+        })
+    }
 }
 
 impl StackedHistogramSketch {

@@ -135,6 +135,23 @@ pub trait Sketch: Send + Sync + 'static {
 
     /// The merge identity (summary of an empty partition).
     fn identity(&self) -> Self::Summary;
+
+    /// Cacheability declaration: `Some(bytes)` when this sketch's summary
+    /// is a pure function of `(data, membership, predicate)` — independent
+    /// of the seed and of any per-run state — so the engine may serve a
+    /// stored result for a repeated identical query. The bytes encode the
+    /// sketch's **parameters** (column names, bucket boundaries, k, ...)
+    /// and feed the engine's structural query key alongside the canonical
+    /// predicate and the dataset version; two sketches with equal names and
+    /// equal identity bytes must produce bit-identical summaries on
+    /// identical inputs.
+    ///
+    /// Defaults to `None` (never cached): correct for seed-dependent
+    /// kernels (sampling rate < 1), kernels with per-call state, and any
+    /// sketch that doesn't opt in.
+    fn cache_identity(&self) -> Option<Vec<u8>> {
+        None
+    }
 }
 
 /// Check the mergeability law on concrete data: summarizing the union must

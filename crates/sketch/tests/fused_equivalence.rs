@@ -176,9 +176,11 @@ proptest! {
         law!(QuantileSketch::new(SortOrder::ascending(&["I", "X"]), 1.0, 100_000));
     }
 
-    /// Sampled kernels (rate < 1) fuse by falling back to the two-pass
-    /// filtered view — samples must draw from the *filtered* membership —
-    /// so the law still holds bit-for-bit at every rate.
+    /// Sampled kernels that fuse by falling back to the two-pass filtered
+    /// view — samples must draw from the *filtered* membership — keep the
+    /// law bit-for-bit at every rate. (Quantile and sampled heavy hitters
+    /// now sample the filtered stream directly; their contract is pinned by
+    /// `fused_sampling_matches_hash_threshold_reference` below instead.)
     #[test]
     fn fused_law_sampled_kernels(
         t in table_strategy(),
@@ -200,9 +202,88 @@ proptest! {
         prop_assert!(fused_law_holds(
             &HeatmapSketch::sampled("X", "C", num_spec(), str_spec(), rate), &v, &p, grain, seed));
         prop_assert!(fused_law_holds(
-            &SampledHeavyHittersSketch::new("C", 4, rate), &v, &p, grain, seed));
-        prop_assert!(fused_law_holds(
             &PcaSketch::new(&["X", "I"], rate), &v, &p, grain, seed));
+    }
+
+    /// The fused-sampling distribution contract: under a fused plan,
+    /// quantile and sampled heavy hitters draw the sample from the filtered
+    /// stream with the stateless hash-threshold test
+    /// [`hillview_columnar::row_sampled`]. The sampled row *set* is pinned
+    /// exactly — it must equal the rowwise-filtered membership intersected
+    /// with `row_sampled` — which both fixes the per-row inclusion
+    /// probability (uniform at `rate`, independent across rows) and makes
+    /// the sample a pure function of `(membership, predicate, rate, seed)`.
+    /// Tiling is pinned too: leaf ranges fold to the unsplit summary.
+    #[test]
+    fn fused_sampling_matches_hash_threshold_reference(
+        t in table_strategy(),
+        kind in 0usize..5,
+        raw in proptest::collection::vec(any::<u32>(), 0..200),
+        cuts in (0.0f64..1.0, 0.0f64..1.0),
+        pick in 0usize..6,
+        bounds in (-60.0f64..160.0, -60.0f64..160.0),
+        cat in 0usize..6,
+        grain in 1usize..96,
+        rate in 0.05f64..0.95,
+        seed in any::<u64>(),
+    ) {
+        use hillview_columnar::predicate::filter_members_rowwise;
+        use hillview_columnar::row_sampled;
+        use hillview_sketch::traits::summarize_filtered_split;
+
+        let n = t.num_rows();
+        let table = Arc::new(t);
+        let v = TableView::with_members(
+            table.clone(), Arc::new(membership(kind, &raw, cuts, n)));
+        let p = predicate(pick, bounds, cat);
+
+        // Reference sample: rowwise-filtered membership ∩ hash test.
+        let filtered = filter_members_rowwise(&table, &p, v.members()).unwrap();
+        let sample: Vec<usize> = filtered
+            .iter()
+            .filter(|&r| row_sampled(r as u64, rate, seed))
+            .collect();
+
+        // Sampled heavy hitters: counts over the reference sample, exactly.
+        let hh = SampledHeavyHittersSketch::new("C", 4, rate);
+        let fused = hh.summarize_filtered(&v, &p, seed).unwrap();
+        let col = table.column_by_name("C").unwrap();
+        let mut want: std::collections::HashMap<hillview_columnar::Value, u64> =
+            std::collections::HashMap::new();
+        let mut present = 0u64;
+        for &r in &sample {
+            let val = col.value(r);
+            if !val.is_missing() {
+                present += 1;
+                *want.entry(val).or_insert(0) += 1;
+            }
+        }
+        prop_assert_eq!(fused.sampled, present);
+        let mut got: Vec<_> = fused.counts.clone();
+        got.sort();
+        let mut want: Vec<_> = want.into_iter().collect();
+        want.sort();
+        prop_assert_eq!(got, want);
+        // Tiling: parent-planned leaves fold to the unsplit fused summary.
+        prop_assert_eq!(
+            summarize_filtered_split(&hh, &v, &p, grain, seed).unwrap(),
+            fused
+        );
+
+        // Quantile: keys of the reference sample (cap chosen above any
+        // plausible sample size, so no thinning confounds the comparison),
+        // population = the full filtered membership.
+        let order = SortOrder::ascending(&["I", "X"]);
+        let qs = QuantileSketch::new(order.clone(), rate, 100_000);
+        let fused = qs.summarize_filtered(&v, &p, seed).unwrap();
+        prop_assert_eq!(fused.population, filtered.len() as u64);
+        let resolved = order.resolve(&table).unwrap();
+        let want_keys: Vec<_> = sample.iter().map(|&r| resolved.key(&table, r)).collect();
+        prop_assert_eq!(&fused.keys, &want_keys);
+        prop_assert_eq!(
+            summarize_filtered_split(&qs, &v, &p, grain, seed).unwrap().keys,
+            want_keys
+        );
     }
 
     /// Chain the law to the per-row reference: the fused pass must equal

@@ -1,7 +1,9 @@
 //! Offline API shim for `parking_lot`: a `Mutex` whose `lock()` returns the
-//! guard directly (no poisoning), implemented over `std::sync::Mutex`.
+//! guard directly (no poisoning) and a matching `Condvar`, implemented over
+//! `std::sync`.
 
-use std::sync::{Mutex as StdMutex, MutexGuard as StdGuard};
+use std::sync::{Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdGuard};
+use std::time::Duration;
 
 /// A mutual-exclusion lock with non-poisoning `lock()`.
 #[derive(Debug, Default)]
@@ -43,6 +45,70 @@ impl<T: ?Sized> Mutex<T> {
     }
 }
 
+/// Result of a timed wait: reports whether the wait timed out.
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// True when the wait returned because the timeout elapsed (not a
+    /// notification).
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// Condition variable paired with [`Mutex`], parking_lot-style: `wait_for`
+/// updates the guard in place instead of consuming it.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: StdCondvar,
+}
+
+impl Condvar {
+    /// Create a new condition variable.
+    pub fn new() -> Self {
+        Condvar {
+            inner: StdCondvar::new(),
+        }
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wake all waiters.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+
+    /// Park on the condvar for at most `timeout`, releasing `guard`'s lock
+    /// while parked and re-acquiring it before returning.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        // std's `wait_timeout` consumes the guard and returns a fresh one;
+        // parking_lot's signature updates it in place. Move the guard out
+        // and write the returned one back: every non-panicking path below
+        // restores it exactly once, and poisoning (the only error) is
+        // unwrapped into the carried guard.
+        unsafe {
+            let moved = std::ptr::read(guard);
+            let (restored, timed_out) = match self.inner.wait_timeout(moved, timeout) {
+                Ok((g, r)) => (g, r.timed_out()),
+                Err(poisoned) => {
+                    let (g, r) = poisoned.into_inner();
+                    (g, r.timed_out())
+                }
+            };
+            std::ptr::write(guard, restored);
+            WaitTimeoutResult(timed_out)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -61,5 +127,33 @@ mod tests {
         assert!(m.try_lock().is_none());
         drop(g);
         assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn condvar_times_out_without_notification() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let r = cv.wait_for(&mut g, Duration::from_millis(5));
+        assert!(r.timed_out());
+    }
+
+    #[test]
+    fn condvar_wakes_on_notify_all() {
+        use std::sync::Arc;
+        let m = Arc::new(Mutex::new(false));
+        let cv = Arc::new(Condvar::new());
+        let (m2, cv2) = (m.clone(), cv.clone());
+        let h = std::thread::spawn(move || {
+            let mut g = m2.lock();
+            while !*g {
+                let r = cv2.wait_for(&mut g, Duration::from_secs(5));
+                assert!(!r.timed_out());
+            }
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        *m.lock() = true;
+        cv.notify_all();
+        h.join().unwrap();
     }
 }
