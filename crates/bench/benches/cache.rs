@@ -77,6 +77,7 @@ fn bench_engine() -> Arc<Engine> {
         worker_timeout: std::time::Duration::from_secs(30),
         leaf_grain_rows: 65_536,
         cache_budget_bytes: 32 << 20,
+        block_cache_bytes: 256 << 20,
     };
     Arc::new(Engine::new(Cluster::new(
         cfg,

@@ -107,6 +107,7 @@ fn cluster(threads: usize, packed: bool) -> (Arc<Cluster>, DatasetId) {
         worker_timeout: std::time::Duration::from_secs(30),
         leaf_grain_rows: GRAIN,
         cache_budget_bytes: 32 << 20,
+        block_cache_bytes: 256 << 20,
     };
     let c = Cluster::new(cfg, sources, UdfRegistry::new());
     let ds = DatasetId(1);

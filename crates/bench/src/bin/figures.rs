@@ -357,6 +357,7 @@ fn sweep_cluster(workers: usize, threads: usize, leaves_per_worker: usize) -> Ar
         worker_timeout: std::time::Duration::from_secs(30),
         leaf_grain_rows: 65_536,
         cache_budget_bytes: 32 << 20,
+        block_cache_bytes: 256 << 20,
     };
     Arc::new(Engine::new(Cluster::new(cfg, sources, UdfRegistry::new())))
 }

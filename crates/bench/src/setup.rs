@@ -73,6 +73,7 @@ impl BenchCluster {
             worker_timeout: std::time::Duration::from_secs(30),
             leaf_grain_rows: 65_536,
             cache_budget_bytes: 32 << 20,
+            block_cache_bytes: 256 << 20,
         };
         let cluster = Cluster::new(cfg, sources, udfs);
         BenchCluster {

@@ -52,6 +52,22 @@ impl I64Column {
         }
     }
 
+    /// Build from an already-encoded storage *and* its persisted zone map —
+    /// the mapped-file (`hvc` v3) open path, where rebuilding the zones
+    /// would fault in the very payload they exist to skip. The caller
+    /// asserts the zones describe `storage` exactly.
+    pub fn with_storage_and_zones(
+        storage: I64Storage,
+        nulls: NullMask,
+        zones: ZoneMap<i64>,
+    ) -> Self {
+        I64Column {
+            storage,
+            nulls,
+            zones: Arc::new(zones),
+        }
+    }
+
     /// Build from options: `None` becomes a null.
     pub fn from_options(vals: impl IntoIterator<Item = Option<i64>>) -> Self {
         let vals: Vec<Option<i64>> = vals.into_iter().collect();
@@ -104,9 +120,15 @@ impl I64Column {
 }
 
 /// A column of 64-bit floats. NaNs are normalized to nulls at build time.
+///
+/// The payload is a [`crate::residency::ValueBuf`], so a mapped (`hvc` v3)
+/// double column is file-backed at *column* granularity: the scan binder
+/// takes the whole slice once via [`F64Column::data`], which touches every
+/// chunk — lazy residency for doubles saves I/O across unqueried columns,
+/// not within one.
 #[derive(Debug, Clone, Default)]
 pub struct F64Column {
-    data: Vec<f64>,
+    data: crate::residency::ValueBuf<f64>,
     nulls: NullMask,
     /// Per-64-row-block min/max (NaN-free folds), recorded at ingest for
     /// block skipping.
@@ -123,7 +145,11 @@ impl F64Column {
             }
         }
         let zones = Arc::new(ZoneMap::from_f64(&data));
-        F64Column { data, nulls, zones }
+        F64Column {
+            data: data.into(),
+            nulls,
+            zones,
+        }
     }
 
     /// Build from options: `None` (and NaN) become nulls.
@@ -133,7 +159,28 @@ impl F64Column {
         let nulls = NullMask::from_flags(vals.iter().map(|v| v.is_none_or(f64::is_nan)), len);
         let data: Vec<f64> = vals.into_iter().map(|v| v.unwrap_or(0.0)).collect();
         let zones = Arc::new(ZoneMap::from_f64(&data));
-        F64Column { data, nulls, zones }
+        F64Column {
+            data: data.into(),
+            nulls,
+            zones,
+        }
+    }
+
+    /// Build from an already-normalized payload and its persisted zone map
+    /// — the mapped-file (`hvc` v3) open path. The caller asserts the
+    /// invariant `new` establishes at ingest: every NaN row is already
+    /// marked null (the writer stored the normalized payload), and the
+    /// zones describe `data` exactly.
+    pub fn from_parts(
+        data: crate::residency::ValueBuf<f64>,
+        nulls: NullMask,
+        zones: ZoneMap<f64>,
+    ) -> Self {
+        F64Column {
+            data,
+            nulls,
+            zones: Arc::new(zones),
+        }
     }
 
     /// Number of rows.
@@ -146,10 +193,21 @@ impl F64Column {
         self.data.is_empty()
     }
 
-    /// Raw data slice (null rows hold 0.0; check the mask).
+    /// Raw data slice (null rows hold 0.0; check the mask). For a mapped
+    /// column this touches the whole payload into residency.
     #[inline]
     pub fn data(&self) -> &[f64] {
-        &self.data
+        self.data.slice()
+    }
+
+    /// Heap bytes of the payload (zero when file-backed).
+    pub fn heap_bytes(&self) -> usize {
+        self.data.heap_bytes()
+    }
+
+    /// File-backed payload bytes (zero when owned).
+    pub fn mapped_bytes(&self) -> usize {
+        self.data.mapped_bytes()
     }
 
     /// Per-64-row-block min/max of the raw values (NaN-free folds),
@@ -171,7 +229,7 @@ impl F64Column {
         if self.nulls.is_null(i) {
             None
         } else {
-            Some(self.data[i])
+            Some(self.data.hot(i..i + 1)[i])
         }
     }
 }
@@ -208,6 +266,23 @@ impl DictColumn {
             dict,
             nulls,
             zones,
+        }
+    }
+
+    /// Build from already-encoded code storage *and* its persisted zone map
+    /// — the mapped-file (`hvc` v3) open path (see
+    /// [`I64Column::with_storage_and_zones`]).
+    pub fn with_storage_and_zones(
+        codes: CodeStorage,
+        dict: Arc<Dictionary>,
+        nulls: NullMask,
+        zones: ZoneMap<u32>,
+    ) -> Self {
+        DictColumn {
+            codes,
+            dict,
+            nulls,
+            zones: Arc::new(zones),
         }
     }
 
@@ -410,11 +485,25 @@ impl Column {
     /// Approximate heap footprint in bytes (for the data-cache accounting of
     /// paper §5.4 and the worker's per-dataset footprint reports). Reflects
     /// the *encoded* payload, so compressed columns report their true size.
+    /// File-backed (mapped) payloads count zero here — see
+    /// [`Column::mapped_bytes`] — and are never touched by the accounting.
     pub fn heap_bytes(&self) -> usize {
         match self {
             Column::Int(c) | Column::Date(c) => c.storage().heap_bytes(),
-            Column::Double(c) => c.data().len() * 8,
+            Column::Double(c) => c.heap_bytes(),
             Column::Str(c) | Column::Cat(c) => c.codes().heap_bytes() + c.dictionary().heap_bytes(),
+        }
+    }
+
+    /// Bytes of the payload addressed through a lazily-resident mapped
+    /// segment (zero for fully owned columns): the out-of-core capacity
+    /// this column reaches without heap cost. Resident-chunk accounting
+    /// lives in the block cache, not per column.
+    pub fn mapped_bytes(&self) -> usize {
+        match self {
+            Column::Int(c) | Column::Date(c) => c.storage().mapped_bytes(),
+            Column::Double(c) => c.mapped_bytes(),
+            Column::Str(c) | Column::Cat(c) => c.codes().mapped_bytes(),
         }
     }
 }

@@ -135,10 +135,20 @@ pub const BLOCK_ROWS: usize = 64;
 /// Immutable once built, like everything else in a [`Table`](crate::Table)
 /// snapshot. See the [module docs](self) for the encoding inventory and the
 /// block-decoder contract.
+///
+/// The bulk payloads — plain values and packed words — live in a
+/// [`ValueBuf`](crate::residency::ValueBuf), so they are either owned heap
+/// vectors (ingest, v2 files, the wire) or zero-copy windows into a mapped
+/// `hvc` v3 [`Segment`](crate::residency::Segment) with lazy, chunk-granular
+/// residency. The small side structures (run values/ends, delta anchors) are
+/// always owned: they are consulted by every block decision, so keeping
+/// them resident is the point. Decode paths touch only the words of the
+/// frames they decode, which is what turns zone-map block skipping into
+/// skipped *I/O*.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum IntStorage<T> {
     /// Raw values.
-    Plain(Vec<T>),
+    Plain(crate::residency::ValueBuf<T>),
     /// Frame-of-reference bit-packing: value `i` is
     /// `base + bits[i*width .. (i+1)*width]`, packed little-endian across
     /// `words`. `width` is at most 63 (a 64-bit range stays plain); width 0
@@ -151,7 +161,7 @@ pub enum IntStorage<T> {
         /// Number of rows.
         len: usize,
         /// `ceil(len * width / 64)` packed words.
-        words: Vec<u64>,
+        words: crate::residency::ValueBuf<u64>,
     },
     /// Run-length encoding: row `i` holds `values[k]` for the unique `k`
     /// with `ends[k-1] <= i < ends[k]` (`ends` is strictly increasing and
@@ -177,13 +187,13 @@ pub enum IntStorage<T> {
         /// Number of rows.
         len: usize,
         /// `ceil(len * width / 64)` packed words.
-        words: Vec<u64>,
+        words: crate::residency::ValueBuf<u64>,
     },
 }
 
 impl<T> Default for IntStorage<T> {
     fn default() -> Self {
-        IntStorage::Plain(Vec::new())
+        IntStorage::Plain(crate::residency::ValueBuf::default())
     }
 }
 
@@ -198,6 +208,15 @@ fn bits_needed(delta: u64) -> usize {
 fn low_mask(width: usize) -> u64 {
     debug_assert!(width < 64);
     (1u64 << width) - 1
+}
+
+/// The packed-word index range covering packed values `start..end` at
+/// `width` bits each — the residency footprint of a decode, handed to
+/// [`ValueBuf::hot`](crate::residency::ValueBuf::hot) so lazily mapped
+/// storage faults in only the words a frame actually reads.
+#[inline]
+fn word_range(width: usize, start: usize, end: usize) -> std::ops::Range<usize> {
+    (start * width) / 64..(end * width).div_ceil(64)
 }
 
 /// Packed delta at row `i` for an arbitrary (non-constant) width: the
@@ -221,7 +240,7 @@ impl<T: PackedInt> IntStorage<T> {
     pub fn encode(values: Vec<T>) -> Self {
         let n = values.len();
         if n == 0 {
-            return IntStorage::Plain(values);
+            return IntStorage::Plain(values.into());
         }
         let mut min = values[0];
         let mut max = values[0];
@@ -270,14 +289,14 @@ impl<T: PackedInt> IntStorage<T> {
         } else if packed_cost <= budget {
             Self::bit_packed_from(&values, min, width)
         } else {
-            IntStorage::Plain(values)
+            IntStorage::Plain(values.into())
         }
     }
 
     /// Store `values` uncompressed regardless of their shape (benchmarks
     /// and encoding-equivalence tests force specific variants).
     pub fn plain_of(values: Vec<T>) -> Self {
-        IntStorage::Plain(values)
+        IntStorage::Plain(values.into())
     }
 
     /// Force frame-of-reference bit-packing. `None` when the value range
@@ -288,7 +307,7 @@ impl<T: PackedInt> IntStorage<T> {
                 base: T::default(),
                 width: 0,
                 len: 0,
-                words: Vec::new(),
+                words: crate::residency::ValueBuf::default(),
             });
         };
         let min = values.iter().copied().fold(first, T::min);
@@ -336,7 +355,7 @@ impl<T: PackedInt> IntStorage<T> {
             base,
             width: width as u8,
             len: n,
-            words,
+            words: words.into(),
         }
     }
 
@@ -385,7 +404,7 @@ impl<T: PackedInt> IntStorage<T> {
             anchors,
             width: width as u8,
             len: n,
-            words,
+            words: words.into(),
         }
     }
 
@@ -393,6 +412,18 @@ impl<T: PackedInt> IntStorage<T> {
     /// preserves the encoded representation instead of re-analyzing).
     /// Returns `None` if the parts are structurally inconsistent.
     pub fn from_bit_packed(base: T, width: u8, len: usize, words: Vec<u64>) -> Option<Self> {
+        Self::from_bit_packed_buf(base, width, len, words.into())
+    }
+
+    /// [`IntStorage::from_bit_packed`] over an arbitrary word buffer —
+    /// the mapped-file (`hvc` v3) construction path. Validation never
+    /// touches the buffer's bytes, only its length.
+    pub fn from_bit_packed_buf(
+        base: T,
+        width: u8,
+        len: usize,
+        words: crate::residency::ValueBuf<u64>,
+    ) -> Option<Self> {
         if width >= 64 || words.len() != (len * width as usize).div_ceil(64) {
             return None;
         }
@@ -417,6 +448,18 @@ impl<T: PackedInt> IntStorage<T> {
     /// Rebuild a delta storage from its parts (`hvc` decode); `None` if
     /// the anchor or word counts are inconsistent with `len`/`width`.
     pub fn from_delta(anchors: Vec<T>, width: u8, len: usize, words: Vec<u64>) -> Option<Self> {
+        Self::from_delta_buf(anchors, width, len, words.into())
+    }
+
+    /// [`IntStorage::from_delta`] over an arbitrary word buffer — the
+    /// mapped-file (`hvc` v3) construction path. Anchors stay owned: every
+    /// frame decode starts from one, so they are resident by design.
+    pub fn from_delta_buf(
+        anchors: Vec<T>,
+        width: u8,
+        len: usize,
+        words: crate::residency::ValueBuf<u64>,
+    ) -> Option<Self> {
         if width >= 64
             || anchors.len() != len.div_ceil(BLOCK_ROWS)
             || words.len() != (len * width as usize).div_ceil(64)
@@ -455,12 +498,15 @@ impl<T: PackedInt> IntStorage<T> {
         }
     }
 
-    /// The backing slice when the storage is plain (the scan drivers' fast
-    /// path).
+    /// The backing slice when the storage is plain *and owned* (the scan
+    /// drivers' fully-resident fast path). Mapped plain storage returns
+    /// `None` on purpose: that routes scans through the frame-granular
+    /// decoders, whose [`ValueBuf::hot`](crate::residency::ValueBuf::hot)
+    /// touches are what keep zone-skipped blocks from faulting in.
     #[inline]
     pub fn as_plain(&self) -> Option<&[T]> {
         match self {
-            IntStorage::Plain(v) => Some(v),
+            IntStorage::Plain(v) => v.as_owned_slice(),
             _ => None,
         }
     }
@@ -470,7 +516,7 @@ impl<T: PackedInt> IntStorage<T> {
     #[inline]
     pub fn get(&self, i: usize) -> T {
         match self {
-            IntStorage::Plain(v) => v[i],
+            IntStorage::Plain(v) => v.hot(i..i + 1)[i],
             IntStorage::BitPacked {
                 base,
                 width,
@@ -482,6 +528,7 @@ impl<T: PackedInt> IntStorage<T> {
                 if width == 0 {
                     return *base;
                 }
+                let words = words.hot(word_range(width, i, i + 1));
                 T::add_offset(*base, packed_at(words, width, i))
             }
             IntStorage::RunLength { values, ends } => {
@@ -497,7 +544,9 @@ impl<T: PackedInt> IntStorage<T> {
                 let width = *width as usize;
                 let mut v = anchors[i / BLOCK_ROWS];
                 if width > 0 {
-                    for j in (i / BLOCK_ROWS * BLOCK_ROWS + 1)..=i {
+                    let start = i / BLOCK_ROWS * BLOCK_ROWS;
+                    let words = words.hot(word_range(width, start, i + 1));
+                    for j in (start + 1)..=i {
                         v = T::add_offset(v, packed_at(words, width, j));
                     }
                 }
@@ -555,7 +604,10 @@ impl<T: PackedInt> IntStorage<T> {
     /// drivers use is [`IntStorage::decode_frame`].
     pub fn decode_into(&self, start: usize, out: &mut [T]) {
         match self {
-            IntStorage::Plain(v) => out.copy_from_slice(&v[start..start + out.len()]),
+            IntStorage::Plain(v) => {
+                let end = start + out.len();
+                out.copy_from_slice(&v.hot(start..end)[start..end]);
+            }
             IntStorage::BitPacked {
                 base, width, words, ..
             } => {
@@ -563,7 +615,8 @@ impl<T: PackedInt> IntStorage<T> {
                 if width == 0 {
                     out.fill(*base);
                 } else {
-                    unpack_span(words, *base, width, start, out);
+                    let ws = words.hot(word_range(width, start, start + out.len()));
+                    unpack_span(ws, *base, width, start, out);
                 }
             }
             IntStorage::RunLength { .. } => {
@@ -620,7 +673,7 @@ impl<T: PackedInt> IntStorage<T> {
     ) -> &'a [T] {
         debug_assert!(base.is_multiple_of(BLOCK_ROWS) && len <= BLOCK_ROWS);
         match self {
-            IntStorage::Plain(v) => &v[base..base + len],
+            IntStorage::Plain(v) => &v.hot(base..base + len)[base..base + len],
             IntStorage::BitPacked {
                 base: b,
                 width,
@@ -632,7 +685,8 @@ impl<T: PackedInt> IntStorage<T> {
                 if width == 0 {
                     out.fill(*b);
                 } else {
-                    unpack_span(words, *b, width, base, out);
+                    let ws = words.hot(word_range(width, base, base + len));
+                    unpack_span(ws, *b, width, base, out);
                 }
                 &buf[..len]
             }
@@ -661,7 +715,8 @@ impl<T: PackedInt> IntStorage<T> {
                 } else {
                     // Unpack the packed deltas of the frame (anchor rows
                     // packed zero), then prefix-sum from the anchor.
-                    unpack_span(words, T::default(), width, base, out);
+                    let ws = words.hot(word_range(width, base, base + len));
+                    unpack_span(ws, T::default(), width, base, out);
                     prefix_frame(anchors[base / BLOCK_ROWS], out);
                 }
                 &buf[..len]
@@ -681,13 +736,30 @@ impl<T: PackedInt> IntStorage<T> {
         self.decode_range(0, self.len())
     }
 
-    /// Approximate heap footprint in bytes of the encoded payload.
+    /// Approximate heap footprint in bytes of the encoded payload. Mapped
+    /// (file-backed) payloads count zero here — see
+    /// [`IntStorage::mapped_bytes`].
     pub fn heap_bytes(&self) -> usize {
         match self {
-            IntStorage::Plain(v) => v.len() * T::BYTES,
-            IntStorage::BitPacked { words, .. } => words.len() * 8,
+            IntStorage::Plain(v) => v.heap_bytes(),
+            IntStorage::BitPacked { words, .. } => words.heap_bytes(),
             IntStorage::RunLength { values, ends } => values.len() * T::BYTES + ends.len() * 4,
-            IntStorage::Delta { anchors, words, .. } => anchors.len() * T::BYTES + words.len() * 8,
+            IntStorage::Delta { anchors, words, .. } => {
+                anchors.len() * T::BYTES + words.heap_bytes()
+            }
+        }
+    }
+
+    /// Bytes of the payload addressed through a lazily-resident mapped
+    /// segment (zero for fully owned storage) — the file-backed capacity a
+    /// column can reach without holding it on the heap.
+    pub fn mapped_bytes(&self) -> usize {
+        match self {
+            IntStorage::Plain(v) => v.mapped_bytes(),
+            IntStorage::BitPacked { words, .. } | IntStorage::Delta { words, .. } => {
+                words.mapped_bytes()
+            }
+            IntStorage::RunLength { .. } => 0,
         }
     }
 
@@ -724,7 +796,9 @@ impl<T: PackedInt> IntStorage<T> {
             return 0;
         }
         match self {
-            IntStorage::Plain(v) => crate::simd::range_word_incl(&v[base..base + len], lo, hi),
+            IntStorage::Plain(v) => {
+                crate::simd::range_word_incl(&v.hot(base..base + len)[base..base + len], lo, hi)
+            }
             IntStorage::BitPacked {
                 base: b,
                 width,
@@ -752,7 +826,8 @@ impl<T: PackedInt> IntStorage<T> {
                 }
                 let dhi = hi.offset_from(*b).min(top);
                 let out = &mut buf[..len];
-                unpack_span(words, T::default(), width, base, out);
+                let ws = words.hot(word_range(width, base, base + len));
+                unpack_span(ws, T::default(), width, base, out);
                 crate::simd::range_word_incl(
                     out,
                     T::add_offset(T::default(), dlo),
@@ -800,6 +875,23 @@ pub struct ZoneMap<T> {
 }
 
 impl<T: Copy> ZoneMap<T> {
+    /// Rebuild a zone map from persisted per-block extremes (`hvc` v3
+    /// stores them in the header so a mapped open never has to decode the
+    /// payload it exists to skip). `None` when the vectors disagree.
+    pub fn from_parts(mins: Vec<T>, maxs: Vec<T>) -> Option<Self> {
+        (mins.len() == maxs.len()).then_some(ZoneMap { mins, maxs })
+    }
+
+    /// Per-block minima (persistence; index with [`ZoneMap::block`]).
+    pub fn mins(&self) -> &[T] {
+        &self.mins
+    }
+
+    /// Per-block maxima (persistence; index with [`ZoneMap::block`]).
+    pub fn maxs(&self) -> &[T] {
+        &self.maxs
+    }
+
     /// Number of 64-row blocks covered.
     pub fn len(&self) -> usize {
         self.mins.len()

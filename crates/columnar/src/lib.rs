@@ -62,6 +62,17 @@
 //! the feature-gated lane-parallel fast paths kernels run over those
 //! frames, with mandatory bit-identical scalar fallbacks.
 //!
+//! ## Lazy residency (out-of-core)
+//!
+//! The [`residency`] module adds a third dimension under the encodings: a
+//! column payload ([`ValueBuf`]) is either an owned heap vector or a
+//! zero-copy window into a mapped `hvc` v3 file ([`Segment`]), faulted in
+//! chunk-at-a-time through a per-worker byte-accounted [`BlockCache`].
+//! Because the fused filter pipeline consults zone maps *before* decoding,
+//! a block the predicate rejects is never decoded — and for mapped storage
+//! "never decoded" means its file bytes are never read at all, so the
+//! 190–483x block-skip ratios become I/O-skip ratios on out-of-core data.
+//!
 //! ## Query execution pipeline
 //!
 //! A filtered query — the paper's interactive zoom/search (§3.3) — is
@@ -121,6 +132,7 @@ pub mod membership;
 pub mod nullmask;
 pub mod predicate;
 pub mod regexlite;
+pub mod residency;
 pub mod rows;
 pub mod scan;
 pub mod schema;
@@ -142,6 +154,7 @@ pub use predicate::{
     estimate_selectivity, filter_members, filter_members_rowwise, fnv1a, BlockPredicate,
     CompiledPredicate, FrameFilter, Predicate, SelectivityEstimate, StrMatchKind, FNV_OFFSET,
 };
+pub use residency::{BlockCache, BlockCacheStats, Segment, SegmentMode, ValueBuf};
 pub use rows::{Row, RowKey};
 pub use scan::{rows_in_range, ScanChunk, ScanSource, Selection, SplittableSelection};
 pub use schema::{ColumnDesc, ColumnKind, Schema};

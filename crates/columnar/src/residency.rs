@@ -1,0 +1,966 @@
+//! Lazy block residency: file-backed column buffers and the block cache.
+//!
+//! This is the out-of-core tier under the scan pipeline. A [`Segment`] is
+//! one immutable column file (an `hvc` v3 file) whose bytes become
+//! addressable without being read up front; a [`ValueBuf`] is a typed
+//! column buffer that is either owned heap data (`Vec<T>`, the classic
+//! fully-resident tier) or a zero-copy window into a segment; and the
+//! [`BlockCache`] is the per-worker, byte-accounted bounded-LRU that
+//! decides which 64 KiB file chunks stay physically resident.
+//!
+//! # Residency tiers
+//!
+//! A segment opens in one of three backings, best first:
+//!
+//! * **Mmap** (`ooc` feature, unix): the file is mapped read-only and
+//!   column buffers borrow file bytes directly — zero copies, zero heap.
+//!   Chunks are *evictable*: eviction is `madvise(MADV_DONTNEED)`, which
+//!   drops the physical pages; the kernel refaults identical bytes from the
+//!   file on the next access, so eviction is always safe even under
+//!   outstanding borrows.
+//! * **Pread** (unix, no feature needed): a lazily-committed anonymous
+//!   buffer the size of the file, filled chunk-at-a-time with
+//!   `pread(2)`-style `read_at` on first touch. Chunks fault lazily but are
+//!   *pinned* once resident (overwriting them under outstanding borrows
+//!   would race), so the cache budget is best-effort for this tier.
+//! * **Heap**: the whole file is read at open. Fully resident, no faulting,
+//!   no cache participation — the fallback for non-unix targets and
+//!   `SegmentMode::Heap` callers.
+//!
+//! # Touch-for-accounting
+//!
+//! Every read of mapped bytes goes through [`ValueBuf::slice`] /
+//! [`ValueBuf::hot`], which *touch* the covered chunks first. For the mmap
+//! backing a touch is pure bookkeeping (the OS demand-pages regardless);
+//! for the pread backing it is load-bearing (it performs the read). Either
+//! way the touch stream is what gives the cache its fault/hit/eviction
+//! counters and its recency order — and what makes zone-map block skipping
+//! an *I/O* optimization: a block the predicate rejects is never decoded,
+//! so its chunks are never touched, so they are never faulted in.
+//!
+//! Accounting is deliberately approximate at the margins: the resident-byte
+//! gauge is maintained under the cache lock, but recency stamps race
+//! benignly with eviction (a chunk evicted just after a reader revalidated
+//! it simply refaults), and the OS may drop or keep pages on its own.
+//!
+//! A failed fault (I/O error under a scan that cannot return `Result`)
+//! panics with a descriptive message; the worker's leaf-task panic
+//! isolation (PR 6) turns that into a structured query error.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fs::File;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+/// Residency/fault granularity in bytes. A multiple of every common page
+/// size so chunk boundaries are always `madvise`-alignable.
+pub const CHUNK_BYTES: usize = 64 * 1024;
+
+/// How [`Segment::open`] should back the file. `Auto` picks the best tier
+/// available (mmap under the `ooc` feature, else pread, else heap).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SegmentMode {
+    /// Best available backing.
+    #[default]
+    Auto,
+    /// Require zero-copy mapping; falls back to pread when the `ooc`
+    /// feature is off (or mapping fails), to heap off-unix.
+    Mmap,
+    /// Lazily-faulted pread buffer (heap off-unix).
+    Pread,
+    /// Read the whole file eagerly; no lazy residency.
+    Heap,
+}
+
+/// An aligned, lazily-committed raw allocation (pread and heap backings).
+/// 64-byte aligned so typed windows at the format's 64-byte section offsets
+/// are always well-aligned.
+struct RawBuf {
+    ptr: *mut u8,
+    len: usize,
+}
+
+unsafe impl Send for RawBuf {}
+unsafe impl Sync for RawBuf {}
+
+impl RawBuf {
+    fn zeroed(len: usize) -> RawBuf {
+        if len == 0 {
+            return RawBuf {
+                ptr: std::ptr::NonNull::<u8>::dangling().as_ptr(),
+                len: 0,
+            };
+        }
+        let layout = std::alloc::Layout::from_size_align(len, 64).expect("segment layout");
+        // Zeroed allocation: large requests are served as untouched
+        // (lazily-committed) pages, so allocating a file-sized buffer does
+        // not commit file-sized physical memory.
+        let ptr = unsafe { std::alloc::alloc_zeroed(layout) };
+        if ptr.is_null() {
+            std::alloc::handle_alloc_error(layout);
+        }
+        RawBuf { ptr, len }
+    }
+}
+
+impl Drop for RawBuf {
+    fn drop(&mut self) {
+        if self.len > 0 {
+            let layout = std::alloc::Layout::from_size_align(self.len, 64).expect("segment layout");
+            unsafe { std::alloc::dealloc(self.ptr, layout) };
+        }
+    }
+}
+
+enum Backing {
+    /// Zero-copy read-only file mapping (evictable chunks).
+    #[cfg(all(feature = "ooc", unix))]
+    Mmap(memmap2::Mmap),
+    /// Anonymous buffer filled by `read_at` on first touch (pinned chunks).
+    #[cfg(unix)]
+    Pread { file: File, buf: RawBuf },
+    /// Whole file read at open (no cache participation).
+    Heap(RawBuf),
+}
+
+/// One immutable column file with chunk-granular residency state. Open via
+/// [`Segment::open`]; read through [`ValueBuf`] windows.
+pub struct Segment {
+    id: u64,
+    len: usize,
+    backing: Backing,
+    /// Per-chunk state word: `(recency tick << 1) | resident`.
+    chunks: Vec<AtomicU64>,
+    cache: Arc<BlockCache>,
+    path: PathBuf,
+}
+
+impl Segment {
+    /// Open `path` under `mode`, attaching its residency to `cache`.
+    pub fn open(
+        path: impl AsRef<Path>,
+        mode: SegmentMode,
+        cache: &Arc<BlockCache>,
+    ) -> io::Result<Arc<Segment>> {
+        let path = path.as_ref();
+        let file = File::open(path)?;
+        let len = usize::try_from(file.metadata()?.len())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "file too large"))?;
+        let backing = Self::pick_backing(file, len, mode)?;
+        let lazy = !matches!(backing, Backing::Heap(_));
+        let nchunks = len.div_ceil(CHUNK_BYTES);
+        let seg = Arc::new(Segment {
+            id: cache.next_id.fetch_add(1, Ordering::Relaxed),
+            len,
+            backing,
+            chunks: (0..nchunks).map(|_| AtomicU64::new(0)).collect(),
+            cache: Arc::clone(cache),
+            path: path.to_path_buf(),
+        });
+        if lazy {
+            cache
+                .inner
+                .lock()
+                .segments
+                .insert(seg.id, Arc::downgrade(&seg));
+        }
+        Ok(seg)
+    }
+
+    #[allow(unused_mut, unused_variables)]
+    fn pick_backing(file: File, len: usize, mode: SegmentMode) -> io::Result<Backing> {
+        if matches!(mode, SegmentMode::Heap) {
+            return Self::heap_backing(file, len);
+        }
+        #[cfg(all(feature = "ooc", unix))]
+        if matches!(mode, SegmentMode::Auto | SegmentMode::Mmap) {
+            // On failure fall through to the pread tier.
+            if let Ok(map) = unsafe { memmap2::Mmap::map(&file) } {
+                return Ok(Backing::Mmap(map));
+            }
+        }
+        #[cfg(unix)]
+        {
+            Ok(Backing::Pread {
+                file,
+                buf: RawBuf::zeroed(len),
+            })
+        }
+        #[cfg(not(unix))]
+        {
+            Self::heap_backing(file, len)
+        }
+    }
+
+    fn heap_backing(mut file: File, len: usize) -> io::Result<Backing> {
+        use std::io::Read;
+        let buf = RawBuf::zeroed(len);
+        let mut read = 0usize;
+        while read < len {
+            let dst = unsafe { std::slice::from_raw_parts_mut(buf.ptr.add(read), len - read) };
+            let n = file.read(dst)?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "segment file shrank while reading",
+                ));
+            }
+            read += n;
+        }
+        Ok(Backing::Heap(buf))
+    }
+
+    /// File length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True for an empty file.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The file this segment was opened from.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// True when the backing is fully heap-resident (no lazy residency).
+    pub fn is_heap(&self) -> bool {
+        matches!(self.backing, Backing::Heap(_))
+    }
+
+    /// True when chunks of this segment can be evicted and refaulted
+    /// (mmap backing only).
+    fn evictable(&self) -> bool {
+        #[cfg(all(feature = "ooc", unix))]
+        {
+            matches!(self.backing, Backing::Mmap(_))
+        }
+        #[cfg(not(all(feature = "ooc", unix)))]
+        {
+            false
+        }
+    }
+
+    /// True when the backing borrows file bytes zero-copy (mmap).
+    pub fn is_mapped(&self) -> bool {
+        self.evictable()
+    }
+
+    fn base_ptr(&self) -> *const u8 {
+        match &self.backing {
+            #[cfg(all(feature = "ooc", unix))]
+            Backing::Mmap(m) => m.as_ptr(),
+            #[cfg(unix)]
+            Backing::Pread { buf, .. } => buf.ptr,
+            Backing::Heap(buf) => buf.ptr,
+        }
+    }
+
+    fn chunk_len(&self, c: usize) -> usize {
+        CHUNK_BYTES.min(self.len - c * CHUNK_BYTES)
+    }
+
+    /// Bytes of this segment currently marked resident.
+    pub fn resident_bytes(&self) -> usize {
+        if self.is_heap() {
+            return self.len;
+        }
+        self.chunks
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.load(Ordering::Relaxed) & 1 == 1)
+            .map(|(c, _)| self.chunk_len(c))
+            .sum()
+    }
+
+    /// Ensure the chunks covering byte range `start..end` are resident,
+    /// recording hits/faults in the cache. The hot path (all chunks already
+    /// resident) is lock-free.
+    fn touch(&self, start: usize, end: usize) {
+        if start >= end || self.is_heap() {
+            return;
+        }
+        debug_assert!(end <= self.len);
+        let c0 = start / CHUNK_BYTES;
+        let c1 = (end - 1) / CHUNK_BYTES;
+        let mut all_resident = true;
+        for c in c0..=c1 {
+            if self.chunks[c].load(Ordering::Acquire) & 1 == 0 {
+                all_resident = false;
+                break;
+            }
+        }
+        if all_resident {
+            let tick = self.cache.tick.fetch_add(1, Ordering::Relaxed);
+            for c in c0..=c1 {
+                self.chunks[c].store(tick << 1 | 1, Ordering::Relaxed);
+            }
+            self.cache.hits.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        self.cache.fault(self, c0, c1);
+    }
+
+    /// Read chunk `c` into the pread buffer (no-op for mmap: the OS faults
+    /// the pages on first access; we only account).
+    fn populate(&self, c: usize) {
+        match &self.backing {
+            #[cfg(all(feature = "ooc", unix))]
+            Backing::Mmap(_) => {}
+            #[cfg(unix)]
+            Backing::Pread { file, buf } => {
+                use std::os::unix::fs::FileExt;
+                let off = c * CHUNK_BYTES;
+                let n = self.chunk_len(c);
+                let dst = unsafe { std::slice::from_raw_parts_mut(buf.ptr.add(off), n) };
+                file.read_exact_at(dst, off as u64).unwrap_or_else(|e| {
+                    panic!(
+                        "block fault failed reading {:?} at {off}..{}: {e}",
+                        self.path,
+                        off + n
+                    )
+                });
+            }
+            Backing::Heap(_) => unreachable!("heap segments never fault"),
+        }
+    }
+
+    /// Drop the physical pages of chunk `c`. Only called for evictable
+    /// (mmap) backings; returns false if the kernel refused.
+    #[cfg_attr(not(all(feature = "ooc", unix)), allow(unused_variables))]
+    fn evict_chunk(&self, c: usize) -> bool {
+        match &self.backing {
+            #[cfg(all(feature = "ooc", unix))]
+            Backing::Mmap(m) => m
+                .advise_dontneed(c * CHUNK_BYTES, self.chunk_len(c))
+                .is_ok(),
+            #[allow(unreachable_patterns)]
+            _ => false,
+        }
+    }
+}
+
+impl std::fmt::Debug for Segment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Segment")
+            .field("path", &self.path)
+            .field("len", &self.len)
+            .field("heap", &self.is_heap())
+            .field("mapped", &self.is_mapped())
+            .finish()
+    }
+}
+
+impl Drop for Segment {
+    fn drop(&mut self) {
+        if self.is_heap() {
+            return;
+        }
+        // Return this segment's resident bytes to the cache gauge and
+        // deregister.
+        let resident: usize = self
+            .chunks
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.load(Ordering::Relaxed) & 1 == 1)
+            .map(|(c, _)| self.chunk_len(c))
+            .sum();
+        let mut inner = self.cache.inner.lock();
+        inner.segments.remove(&self.id);
+        inner.resident = inner.resident.saturating_sub(resident);
+    }
+}
+
+/// Counters and gauges of a [`BlockCache`], mergeable across workers the
+/// same way `SketchCache` stats are.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BlockCacheStats {
+    /// Byte budget (summed capacity after a merge).
+    pub budget: u64,
+    /// Bytes currently marked resident.
+    pub resident_bytes: u64,
+    /// Chunk faults (first touches) since creation.
+    pub faults: u64,
+    /// Bytes faulted in since creation (cumulative; eviction + refault
+    /// counts again — this is the I/O-volume counter the out-of-core bench
+    /// reports against total file bytes).
+    pub bytes_faulted: u64,
+    /// Touches fully served by resident chunks.
+    pub hits: u64,
+    /// Chunks evicted to stay within budget.
+    pub evictions: u64,
+}
+
+impl BlockCacheStats {
+    /// Fold another worker's stats into this one (sums everything;
+    /// `budget`/`resident_bytes` become cluster-wide capacity and usage).
+    pub fn merge(&mut self, other: &BlockCacheStats) {
+        self.budget += other.budget;
+        self.resident_bytes += other.resident_bytes;
+        self.faults += other.faults;
+        self.bytes_faulted += other.bytes_faulted;
+        self.hits += other.hits;
+        self.evictions += other.evictions;
+    }
+}
+
+struct CacheInner {
+    segments: HashMap<u64, Weak<Segment>>,
+    resident: usize,
+    faults: u64,
+    bytes_faulted: u64,
+    evictions: u64,
+}
+
+/// Byte-accounted bounded-LRU over the chunks of every lazy [`Segment`] a
+/// worker has open. Eviction (mmap chunks only) picks the least-recently
+/// touched resident chunk; pread chunks count against the budget but pin.
+pub struct BlockCache {
+    budget: usize,
+    tick: AtomicU64,
+    hits: AtomicU64,
+    next_id: AtomicU64,
+    inner: Mutex<CacheInner>,
+}
+
+impl BlockCache {
+    /// A cache evicting down to `budget` bytes of resident chunks.
+    pub fn new(budget: usize) -> Arc<BlockCache> {
+        Arc::new(BlockCache {
+            budget,
+            tick: AtomicU64::new(1),
+            hits: AtomicU64::new(0),
+            next_id: AtomicU64::new(1),
+            inner: Mutex::new(CacheInner {
+                segments: HashMap::new(),
+                resident: 0,
+                faults: 0,
+                bytes_faulted: 0,
+                evictions: 0,
+            }),
+        })
+    }
+
+    /// A cache that never evicts.
+    pub fn unbounded() -> Arc<BlockCache> {
+        Self::new(usize::MAX)
+    }
+
+    /// The configured byte budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> BlockCacheStats {
+        let inner = self.inner.lock();
+        BlockCacheStats {
+            budget: if self.budget == usize::MAX {
+                0
+            } else {
+                self.budget as u64
+            },
+            resident_bytes: inner.resident as u64,
+            faults: inner.faults,
+            bytes_faulted: inner.bytes_faulted,
+            hits: self.hits.load(Ordering::Relaxed),
+            evictions: inner.evictions,
+        }
+    }
+
+    /// Fault in chunks `c0..=c1` of `seg`, then evict least-recently-used
+    /// evictable chunks until the gauge is back under budget.
+    fn fault(&self, seg: &Segment, c0: usize, c1: usize) {
+        let mut inner = self.inner.lock();
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+        for c in c0..=c1 {
+            if seg.chunks[c].load(Ordering::Acquire) & 1 == 1 {
+                seg.chunks[c].store(tick << 1 | 1, Ordering::Release);
+                continue;
+            }
+            seg.populate(c);
+            seg.chunks[c].store(tick << 1 | 1, Ordering::Release);
+            let bytes = seg.chunk_len(c);
+            inner.resident += bytes;
+            inner.faults += 1;
+            inner.bytes_faulted += bytes as u64;
+        }
+        while inner.resident > self.budget {
+            // Least-recently-touched resident evictable chunk, skipping the
+            // chunks just faulted (they carry the freshest tick anyway, but
+            // a tiny budget must never evict its own working set mid-touch).
+            let mut victim: Option<(Arc<Segment>, usize, u64)> = None;
+            let mut dead: Vec<u64> = Vec::new();
+            for (&sid, weak) in inner.segments.iter() {
+                let Some(s) = weak.upgrade() else {
+                    dead.push(sid);
+                    continue;
+                };
+                if !s.evictable() {
+                    continue;
+                }
+                for c in 0..s.chunks.len() {
+                    if sid == seg.id && (c0..=c1).contains(&c) {
+                        continue;
+                    }
+                    let state = s.chunks[c].load(Ordering::Relaxed);
+                    if state & 1 == 0 {
+                        continue;
+                    }
+                    let t = state >> 1;
+                    if victim.as_ref().is_none_or(|(_, _, vt)| t < *vt) {
+                        victim = Some((Arc::clone(&s), c, t));
+                    }
+                }
+            }
+            for sid in dead {
+                inner.segments.remove(&sid);
+            }
+            let Some((vseg, vc, _)) = victim else {
+                break; // nothing evictable (pread-only residency, tiny budget)
+            };
+            if !vseg.evict_chunk(vc) {
+                break;
+            }
+            vseg.chunks[vc].store(0, Ordering::Release);
+            inner.resident = inner.resident.saturating_sub(vseg.chunk_len(vc));
+            inner.evictions += 1;
+        }
+    }
+}
+
+impl std::fmt::Debug for BlockCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BlockCache")
+            .field("budget", &self.budget)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for i64 {}
+    impl Sealed for u32 {}
+    impl Sealed for u64 {}
+    impl Sealed for f64 {}
+}
+
+/// Plain-old-data element types a [`ValueBuf`] can window over file bytes.
+/// Sealed: exactly the lane types of the column storages (`i64` values,
+/// `u32` dictionary codes, `u64` packed words, `f64` doubles).
+pub trait Pod:
+    sealed::Sealed + Copy + Default + Send + Sync + PartialEq + std::fmt::Debug + 'static
+{
+    /// Size of one element in bytes.
+    const BYTES: usize;
+    /// Decode one element from little-endian bytes (heap-tier file reads).
+    fn read_le(b: &[u8]) -> Self;
+    /// Append one element as little-endian bytes (file writes).
+    fn write_le(self, out: &mut Vec<u8>);
+}
+
+macro_rules! pod {
+    ($t:ty) => {
+        impl Pod for $t {
+            const BYTES: usize = std::mem::size_of::<$t>();
+            #[inline]
+            fn read_le(b: &[u8]) -> Self {
+                <$t>::from_le_bytes(b.try_into().expect("pod width"))
+            }
+            #[inline]
+            fn write_le(self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+        }
+    };
+}
+pod!(i64);
+pod!(u32);
+pod!(u64);
+pod!(f64);
+
+enum Repr<T> {
+    Owned(Vec<T>),
+    Mapped {
+        seg: Arc<Segment>,
+        /// Byte offset of element 0 within the segment.
+        off: usize,
+        /// Element count.
+        len: usize,
+    },
+}
+
+/// A typed column buffer: owned heap values, or a zero-copy window into a
+/// [`Segment`]. All reads go through [`ValueBuf::slice`] (touch
+/// everything) or [`ValueBuf::hot`] (touch a sub-range at chunk
+/// granularity) so residency accounting — and, for the pread tier, the
+/// reads themselves — always happen before bytes are dereferenced.
+///
+/// Mapped windows can only be constructed for [`Pod`] element types (file
+/// bytes are reinterpreted in place); the owned representation works for
+/// any `T`, which keeps the storage enums' derives unconstrained.
+pub struct ValueBuf<T> {
+    repr: Repr<T>,
+}
+
+impl<T: Pod> ValueBuf<T> {
+    /// A window of `len` elements starting `off` bytes into `seg`.
+    /// Validates bounds and element alignment (segment bases are 64-byte
+    /// aligned, so `off` must be a multiple of the element size).
+    pub fn mapped(seg: Arc<Segment>, off: usize, len: usize) -> Result<ValueBuf<T>, String> {
+        let bytes = len
+            .checked_mul(std::mem::size_of::<T>())
+            .ok_or_else(|| "mapped window overflows".to_string())?;
+        let end = off
+            .checked_add(bytes)
+            .ok_or_else(|| "mapped window overflows".to_string())?;
+        if end > seg.len() {
+            return Err(format!(
+                "mapped window {off}..{end} exceeds segment length {}",
+                seg.len()
+            ));
+        }
+        if !off.is_multiple_of(std::mem::align_of::<T>()) {
+            return Err(format!("mapped window offset {off} misaligned"));
+        }
+        Ok(ValueBuf {
+            repr: Repr::Mapped { seg, off, len },
+        })
+    }
+}
+
+impl<T> ValueBuf<T> {
+    /// Number of elements. Never touches.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match &self.repr {
+            Repr::Owned(v) => v.len(),
+            Repr::Mapped { len, .. } => *len,
+        }
+    }
+
+    /// True when there are no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    #[inline]
+    fn raw_slice(&self) -> &[T] {
+        match &self.repr {
+            Repr::Owned(v) => v,
+            Repr::Mapped { seg, off, len } => unsafe {
+                std::slice::from_raw_parts(seg.base_ptr().add(*off) as *const T, *len)
+            },
+        }
+    }
+
+    /// The full element slice, touching every covered chunk.
+    #[inline]
+    pub fn slice(&self) -> &[T] {
+        if let Repr::Mapped { seg, off, len } = &self.repr {
+            seg.touch(*off, *off + *len * std::mem::size_of::<T>());
+        }
+        self.raw_slice()
+    }
+
+    /// The full element slice after touching only the chunks covering
+    /// elements `r` — the lazy-residency fast path of the block decoders:
+    /// callers index absolutely into the returned slice but must stay
+    /// within `r`. For owned buffers this is free.
+    #[inline]
+    pub fn hot(&self, r: std::ops::Range<usize>) -> &[T] {
+        if let Repr::Mapped { seg, off, .. } = &self.repr {
+            let sz = std::mem::size_of::<T>();
+            seg.touch(*off + r.start * sz, *off + r.end * sz);
+        }
+        self.raw_slice()
+    }
+
+    /// The backing slice when the buffer is owned (fully resident); `None`
+    /// for mapped windows, which forces callers onto the frame-granular
+    /// (lazy) path.
+    #[inline]
+    pub fn as_owned_slice(&self) -> Option<&[T]> {
+        match &self.repr {
+            Repr::Owned(v) => Some(v),
+            Repr::Mapped { .. } => None,
+        }
+    }
+
+    /// Copy out every element (touches everything).
+    pub fn to_vec(&self) -> Vec<T>
+    where
+        T: Clone,
+    {
+        self.slice().to_vec()
+    }
+
+    /// Heap bytes owned by this buffer (mapped windows into heap-backed
+    /// segments count here: the segment holds the bytes on the heap).
+    pub fn heap_bytes(&self) -> usize {
+        match &self.repr {
+            Repr::Owned(v) => v.len() * std::mem::size_of::<T>(),
+            Repr::Mapped { seg, len, .. } => {
+                if seg.is_heap() {
+                    *len * std::mem::size_of::<T>()
+                } else {
+                    0
+                }
+            }
+        }
+    }
+
+    /// Bytes this buffer addresses through a lazy (mmap or pread) segment
+    /// — file-backed capacity, not heap footprint.
+    pub fn mapped_bytes(&self) -> usize {
+        match &self.repr {
+            Repr::Owned(_) => 0,
+            Repr::Mapped { seg, len, .. } => {
+                if seg.is_heap() {
+                    0
+                } else {
+                    *len * std::mem::size_of::<T>()
+                }
+            }
+        }
+    }
+
+    /// True when backed by a segment (any backing) rather than owned heap.
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.repr, Repr::Mapped { .. })
+    }
+}
+
+impl<T> From<Vec<T>> for ValueBuf<T> {
+    fn from(v: Vec<T>) -> Self {
+        ValueBuf {
+            repr: Repr::Owned(v),
+        }
+    }
+}
+
+impl<T> Default for ValueBuf<T> {
+    fn default() -> Self {
+        ValueBuf {
+            repr: Repr::Owned(Vec::new()),
+        }
+    }
+}
+
+impl<T: Clone> Clone for ValueBuf<T> {
+    fn clone(&self) -> Self {
+        ValueBuf {
+            repr: match &self.repr {
+                Repr::Owned(v) => Repr::Owned(v.clone()),
+                Repr::Mapped { seg, off, len } => Repr::Mapped {
+                    seg: Arc::clone(seg),
+                    off: *off,
+                    len: *len,
+                },
+            },
+        }
+    }
+}
+
+impl<T: PartialEq> PartialEq for ValueBuf<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.slice() == other.slice()
+    }
+}
+
+impl<T: Eq> Eq for ValueBuf<T> {}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for ValueBuf<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.repr {
+            Repr::Owned(v) => f.debug_tuple("Owned").field(v).finish(),
+            Repr::Mapped { seg, off, len } => f
+                .debug_struct("Mapped")
+                .field("seg", seg)
+                .field("off", off)
+                .field("len", len)
+                .finish(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn write_tmp(name: &str, bytes: &[u8]) -> PathBuf {
+        let dir = std::env::temp_dir().join("hillview-residency-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(bytes)
+            .unwrap();
+        path
+    }
+
+    fn le_bytes(vals: &[i64]) -> Vec<u8> {
+        vals.iter().flat_map(|v| v.to_le_bytes()).collect()
+    }
+
+    #[test]
+    fn mapped_buf_reads_file_values_in_every_mode() {
+        let vals: Vec<i64> = (0..50_000).map(|i| i * 3 - 7).collect();
+        let path = write_tmp("modes.bin", &le_bytes(&vals));
+        for mode in [
+            SegmentMode::Auto,
+            SegmentMode::Mmap,
+            SegmentMode::Pread,
+            SegmentMode::Heap,
+        ] {
+            let cache = BlockCache::unbounded();
+            let seg = Segment::open(&path, mode, &cache).unwrap();
+            let buf = ValueBuf::<i64>::mapped(seg, 0, vals.len()).unwrap();
+            assert_eq!(buf.slice(), &vals[..], "{mode:?}");
+            assert_eq!(buf.hot(100..164)[100..164], vals[100..164], "{mode:?}");
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn untouched_chunks_never_fault() {
+        let vals: Vec<i64> = (0..100_000).collect(); // 800 KB ≈ 13 chunks
+        let path = write_tmp("lazy.bin", &le_bytes(&vals));
+        let cache = BlockCache::unbounded();
+        let seg = Segment::open(&path, SegmentMode::Auto, &cache).unwrap();
+        let buf = ValueBuf::<i64>::mapped(Arc::clone(&seg), 0, vals.len()).unwrap();
+        // Touch one 64-row frame: at most 2 chunks fault.
+        assert_eq!(buf.hot(0..64)[0..64], vals[0..64]);
+        let s = cache.stats();
+        assert!(s.faults <= 2, "faulted {} chunks for one frame", s.faults);
+        assert!(
+            (s.bytes_faulted as usize) < seg.len() / 4,
+            "one frame faulted {} of {} file bytes",
+            s.bytes_faulted,
+            seg.len()
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn repeated_touches_hit_not_fault() {
+        let vals: Vec<i64> = (0..20_000).collect();
+        let path = write_tmp("hits.bin", &le_bytes(&vals));
+        let cache = BlockCache::unbounded();
+        let seg = Segment::open(&path, SegmentMode::Auto, &cache).unwrap();
+        let buf = ValueBuf::<i64>::mapped(seg, 0, vals.len()).unwrap();
+        buf.slice();
+        let faults_once = cache.stats().faults;
+        buf.slice();
+        buf.hot(5..500);
+        let s = cache.stats();
+        assert_eq!(s.faults, faults_once, "re-touch refaulted");
+        assert!(s.hits >= 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[cfg(feature = "ooc")]
+    #[test]
+    fn tiny_budget_evicts_and_rereads_correctly() {
+        let vals: Vec<i64> = (0..200_000i64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9))
+            .collect();
+        let path = write_tmp("evict.bin", &le_bytes(&vals));
+        // 1.6 MB file, 128 KiB budget (2 chunks): heavy churn.
+        let cache = BlockCache::new(2 * CHUNK_BYTES);
+        let seg = Segment::open(&path, SegmentMode::Mmap, &cache).unwrap();
+        assert!(seg.is_mapped(), "mmap backing expected under ooc");
+        let buf = ValueBuf::<i64>::mapped(Arc::clone(&seg), 0, vals.len()).unwrap();
+        for round in 0..3 {
+            let mut i = 0;
+            while i < vals.len() {
+                let end = (i + 64).min(vals.len());
+                assert_eq!(
+                    buf.hot(i..end)[i..end],
+                    vals[i..end],
+                    "round {round} at {i}"
+                );
+                i = end;
+            }
+        }
+        let s = cache.stats();
+        assert!(s.evictions > 0, "no evictions under 2-chunk budget");
+        assert!(
+            s.resident_bytes <= (2 * CHUNK_BYTES) as u64,
+            "resident {} over budget",
+            s.resident_bytes
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn dropping_a_segment_releases_its_residency() {
+        let vals: Vec<i64> = (0..50_000).collect();
+        let path = write_tmp("drop.bin", &le_bytes(&vals));
+        let cache = BlockCache::unbounded();
+        {
+            let seg = Segment::open(&path, SegmentMode::Auto, &cache).unwrap();
+            let buf = ValueBuf::<i64>::mapped(seg, 0, vals.len()).unwrap();
+            buf.slice();
+            assert!(cache.stats().resident_bytes > 0);
+        }
+        assert_eq!(cache.stats().resident_bytes, 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mapped_window_validation() {
+        let path = write_tmp("valid.bin", &le_bytes(&[1, 2, 3, 4]));
+        let cache = BlockCache::unbounded();
+        let seg = Segment::open(&path, SegmentMode::Auto, &cache).unwrap();
+        assert!(ValueBuf::<i64>::mapped(Arc::clone(&seg), 0, 4).is_ok());
+        assert!(ValueBuf::<i64>::mapped(Arc::clone(&seg), 0, 5).is_err());
+        assert!(ValueBuf::<i64>::mapped(Arc::clone(&seg), 3, 1).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn owned_and_mapped_bufs_compare_equal() {
+        let vals: Vec<i64> = (0..5_000).map(|i| i * i).collect();
+        let path = write_tmp("eq.bin", &le_bytes(&vals));
+        let cache = BlockCache::unbounded();
+        let seg = Segment::open(&path, SegmentMode::Auto, &cache).unwrap();
+        let mapped = ValueBuf::<i64>::mapped(seg, 0, vals.len()).unwrap();
+        let owned: ValueBuf<i64> = vals.into();
+        assert_eq!(owned, mapped);
+        assert_eq!(owned.heap_bytes(), 5_000 * 8);
+        #[cfg(unix)]
+        {
+            assert_eq!(mapped.heap_bytes(), 0);
+            assert_eq!(mapped.mapped_bytes(), 5_000 * 8);
+        }
+        std::fs::remove_file(std::env::temp_dir().join("hillview-residency-test/eq.bin")).unwrap();
+    }
+
+    #[test]
+    fn stats_merge_sums() {
+        let mut a = BlockCacheStats {
+            budget: 10,
+            resident_bytes: 5,
+            faults: 2,
+            bytes_faulted: 100,
+            hits: 7,
+            evictions: 1,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.budget, 20);
+        assert_eq!(a.faults, 4);
+        assert_eq!(a.bytes_faulted, 200);
+        assert_eq!(a.hits, 14);
+        assert_eq!(a.evictions, 2);
+    }
+}

@@ -53,8 +53,18 @@ use crate::predicate::FrameFilter;
 /// [`ScanSource::decode_frame`] — plain sources return a zero-copy
 /// sub-slice, packed sources decode into the caller's frame buffer — and
 /// serves sparse row lists through [`ScanSource::index_run`].
+///
+/// `decode_frame` doubles as the pipeline's *residency hook*: a mapped
+/// (`hvc` v3) storage touches only the file chunks covering the requested
+/// frame (see [`crate::residency`]), and [`ScanSource::as_plain`] returns
+/// `None` for it so no caller binds the whole payload. Since the fused
+/// filter path evaluates zone maps and drops all-fail selection words
+/// *before* asking for a frame, a zone-skipped block of a mapped column is
+/// never faulted in at all.
 pub trait ScanSource<T: Copy> {
-    /// The contiguous backing slice, when the storage is uncompressed.
+    /// The contiguous backing slice, when the storage is uncompressed and
+    /// fully resident (mapped storage declines, keeping scans
+    /// frame-granular so lazy residency is preserved).
     fn as_plain(&self) -> Option<&[T]>;
     /// Random access to row `i` (sparse row lists, sampled scans).
     fn index(&self, i: usize) -> T;

@@ -131,8 +131,16 @@ impl Table {
     }
 
     /// Approximate heap footprint of all columns, for cache accounting.
+    /// Mapped (file-backed) payloads are excluded — see
+    /// [`Table::mapped_bytes`].
     pub fn heap_bytes(&self) -> usize {
         self.columns.iter().map(|c| c.heap_bytes()).sum()
+    }
+
+    /// Bytes of column payload addressed through lazily-resident mapped
+    /// segments (zero for fully heap-resident tables).
+    pub fn mapped_bytes(&self) -> usize {
+        self.columns.iter().map(|c| c.mapped_bytes()).sum()
     }
 }
 

@@ -76,6 +76,14 @@ pub struct ClusterConfig {
     /// Byte budget of each worker's sketch-result cache (§5.4): merged
     /// worker-level summaries, LRU-evicted past this bound.
     pub cache_budget_bytes: usize,
+    /// Byte budget of each worker's block-residency cache: chunks of
+    /// mapped (out-of-core) columns faulted in by scans are charged here,
+    /// and — under the `ooc` feature — evicted LRU past this bound so a
+    /// worker can browse datasets far larger than its memory. `0` means
+    /// unbounded. Overridable at cluster construction with the
+    /// `HILLVIEW_BLOCK_CACHE_BYTES` environment variable (CI shrinks it to
+    /// force eviction churn without rebuilding configs).
+    pub block_cache_bytes: usize,
 }
 
 impl Default for ClusterConfig {
@@ -89,6 +97,7 @@ impl Default for ClusterConfig {
             leaf_grain_rows: 65_536,
             worker_timeout: Duration::from_secs(2),
             cache_budget_bytes: 32 << 20,
+            block_cache_bytes: 256 << 20,
         }
     }
 }
@@ -105,7 +114,18 @@ impl ClusterConfig {
             leaf_grain_rows: 65_536,
             worker_timeout: Duration::from_millis(500),
             cache_budget_bytes: 32 << 20,
+            block_cache_bytes: 256 << 20,
         }
+    }
+
+    /// The effective block-cache budget: the `HILLVIEW_BLOCK_CACHE_BYTES`
+    /// environment variable when set and parseable, else
+    /// [`ClusterConfig::block_cache_bytes`].
+    pub fn effective_block_cache_bytes(&self) -> usize {
+        std::env::var("HILLVIEW_BLOCK_CACHE_BYTES")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(self.block_cache_bytes)
     }
 }
 
@@ -313,6 +333,7 @@ pub struct Cluster {
 impl Cluster {
     /// Build a cluster; every worker shares the source and UDF registries.
     pub fn new(cfg: ClusterConfig, sources: SourceRegistry, udfs: UdfRegistry) -> Arc<Self> {
+        let block_cache_bytes = cfg.effective_block_cache_bytes();
         let workers = (0..cfg.workers)
             .map(|id| {
                 Arc::new(Worker::new(
@@ -321,6 +342,7 @@ impl Cluster {
                     cfg.threads_per_worker,
                     cfg.micropartition_rows,
                     cfg.cache_budget_bytes,
+                    block_cache_bytes,
                     sources.clone(),
                     udfs.clone(),
                 ))
@@ -380,12 +402,34 @@ impl Cluster {
     }
 
     /// Total encoded in-memory bytes of `dataset` across live workers
-    /// (compressed columns report their packed size).
+    /// (compressed columns report their packed size). Mapped out-of-core
+    /// columns are excluded; see [`Cluster::dataset_mapped_bytes`].
     pub fn dataset_heap_bytes(&self, dataset: DatasetId) -> usize {
         self.workers
             .iter()
             .map(|w| w.dataset_heap_bytes(dataset))
             .sum()
+    }
+
+    /// Total file-window bytes of `dataset` across live workers: the
+    /// addressable span of mapped (out-of-core) columns. Residency of that
+    /// span is bounded by each worker's block cache, not by this figure.
+    pub fn dataset_mapped_bytes(&self, dataset: DatasetId) -> usize {
+        self.workers
+            .iter()
+            .map(|w| w.dataset_mapped_bytes(dataset))
+            .sum()
+    }
+
+    /// Aggregate block-residency cache counters across all workers
+    /// (faults, faulted bytes, hits, evictions; budgets and resident
+    /// bytes sum).
+    pub fn block_cache_stats(&self) -> hillview_columnar::BlockCacheStats {
+        let mut acc = hillview_columnar::BlockCacheStats::default();
+        for w in &self.workers {
+            acc.merge(&w.block_cache_stats());
+        }
+        acc
     }
 
     /// Drop all cached data everywhere (cold-start experiments).
@@ -404,6 +448,24 @@ impl Cluster {
             .iter()
             .map(|w| w.cache_stats())
             .fold(CacheStats::default(), CacheStats::merge)
+    }
+
+    /// Fingerprint of `dataset`'s lineage-derived content version across
+    /// the workers currently materializing it. Changes exactly when the
+    /// dataset's contents change under the same id — e.g. a root-load
+    /// [`reload`](crate::engine::Engine::reload) at a new snapshot — so
+    /// cached planning artifacts (selectivity estimates) can detect
+    /// staleness without re-probing. Workers without the dataset
+    /// contribute nothing; a fully-evicted dataset fingerprints as the
+    /// empty fold, which conservatively invalidates.
+    pub fn dataset_version_fingerprint(&self, dataset: DatasetId) -> u64 {
+        let mut h = FNV_OFFSET;
+        for w in &self.workers {
+            if let Some(v) = w.dataset_version(dataset) {
+                h = fnv_mix(h, &v.to_le_bytes());
+            }
+        }
+        h
     }
 
     /// Estimate the selectivity of `predicate` over `dataset` from zone

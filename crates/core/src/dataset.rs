@@ -8,8 +8,9 @@
 //! created them in the first place").
 
 use crate::error::{EngineError, EngineResult};
-use hillview_columnar::{Predicate, Table};
+use hillview_columnar::{BlockCache, Predicate, SegmentMode, Table};
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// Identifies a distributed dataset (a "partitioned data set" in Sketch
@@ -91,6 +92,22 @@ pub trait DataSource: Send + Sync + 'static {
         micropartition_rows: usize,
         snapshot: u64,
     ) -> EngineResult<Vec<Table>>;
+
+    /// Like [`DataSource::load`], but handed the calling worker's block
+    /// cache so out-of-core sources can charge faulted-in chunks against
+    /// that worker's budget. In-memory sources ignore the cache; the
+    /// default implementation delegates to [`DataSource::load`].
+    fn load_with_cache(
+        &self,
+        worker: usize,
+        num_workers: usize,
+        micropartition_rows: usize,
+        snapshot: u64,
+        cache: &Arc<BlockCache>,
+    ) -> EngineResult<Vec<Table>> {
+        let _ = cache;
+        self.load(worker, num_workers, micropartition_rows, snapshot)
+    }
 }
 
 /// Signature of a [`FnSource`] closure: `f(worker, num_workers,
@@ -136,6 +153,115 @@ impl DataSource for FnSource {
 impl fmt::Debug for FnSource {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "FnSource({})", self.name)
+    }
+}
+
+/// A [`DataSource`] over a directory of `hvc` part files — the out-of-core
+/// loader, and the reader half of the spilling ingest
+/// ([`hillview_storage::SpillingWriter`] writes `part-NNNNN.hvc` files
+/// this source consumes).
+///
+/// Planning is header-only: parts are dealt to workers round-robin and
+/// each worker probes its share with [`hillview_storage::probe_file`]
+/// (schema, row count, zone maps — no payload I/O), then opens them with
+/// [`hillview_storage::read_file_mapped`]. An opened part stays *mapped*:
+/// its columns are windows over the file, faulted in block-granular
+/// through the worker's [`BlockCache`] as scans touch them, so loading a
+/// dataset costs O(headers) and querying it costs only the blocks zone
+/// maps cannot prune. Heap fallbacks (v2 files, big-endian hosts) load
+/// eagerly and behave exactly as before.
+///
+/// The directory must be immutable while browsed (paper §2); the snapshot
+/// tag is ignored because the directory *is* one snapshot, which keeps
+/// replay deterministic trivially.
+pub struct HvcDirSource {
+    name: String,
+    dir: PathBuf,
+    mode: SegmentMode,
+    /// Fallback cache for loads outside a worker (direct [`DataSource::load`]
+    /// calls); worker loads pass their own budgeted cache instead.
+    fallback: Arc<BlockCache>,
+}
+
+impl HvcDirSource {
+    /// A source named `name` over the `hvc` files in `dir`, opened with
+    /// the default residency policy ([`SegmentMode::Auto`]: mmap when
+    /// compiled in, lazy pread otherwise).
+    pub fn new(name: &str, dir: impl Into<PathBuf>) -> Self {
+        Self::with_mode(name, dir, SegmentMode::Auto)
+    }
+
+    /// Same, pinning how part files are opened (tests force `Heap` to get
+    /// an eager baseline, `Pread`/`Mmap` to pin a tier).
+    pub fn with_mode(name: &str, dir: impl Into<PathBuf>, mode: SegmentMode) -> Self {
+        HvcDirSource {
+            name: name.to_string(),
+            dir: dir.into(),
+            mode,
+            fallback: BlockCache::unbounded(),
+        }
+    }
+
+    /// The directory this source reads.
+    pub fn dir(&self) -> &std::path::Path {
+        &self.dir
+    }
+
+    fn storage_err(e: hillview_storage::Error) -> EngineError {
+        EngineError::Source(e.to_string())
+    }
+}
+
+impl DataSource for HvcDirSource {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn load(
+        &self,
+        worker: usize,
+        num_workers: usize,
+        micropartition_rows: usize,
+        snapshot: u64,
+    ) -> EngineResult<Vec<Table>> {
+        self.load_with_cache(
+            worker,
+            num_workers,
+            micropartition_rows,
+            snapshot,
+            &self.fallback,
+        )
+    }
+
+    fn load_with_cache(
+        &self,
+        worker: usize,
+        num_workers: usize,
+        _micropartition_rows: usize,
+        _snapshot: u64,
+        cache: &Arc<BlockCache>,
+    ) -> EngineResult<Vec<Table>> {
+        let parts = hillview_storage::spill::list_parts(&self.dir).map_err(Self::storage_err)?;
+        let nw = num_workers.max(1);
+        let mut tables = Vec::new();
+        for path in parts.iter().skip(worker % nw).step_by(nw) {
+            // Header-only probe first: an empty part contributes nothing,
+            // and skipping it here costs no payload I/O.
+            let info = hillview_storage::probe_file(path).map_err(Self::storage_err)?;
+            if info.rows == 0 {
+                continue;
+            }
+            let table = hillview_storage::read_file_mapped(path, cache, self.mode)
+                .map_err(Self::storage_err)?;
+            tables.push(table);
+        }
+        Ok(tables)
+    }
+}
+
+impl fmt::Debug for HvcDirSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "HvcDirSource({} @ {})", self.name, self.dir.display())
     }
 }
 
@@ -219,6 +345,45 @@ mod tests {
         reg.register(Arc::new(tiny_source()));
         assert!(reg.get("tiny").is_ok());
         assert!(matches!(reg.get("nope"), Err(EngineError::Unregistered(_))));
+    }
+
+    #[test]
+    fn hvc_dir_source_deals_parts_round_robin_and_loads_mapped() {
+        let dir = std::env::temp_dir().join(format!("hv-dirsource-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut w = hillview_storage::SpillingWriter::new(&dir, 100).unwrap();
+        let t = Table::builder()
+            .column(
+                "X",
+                ColumnKind::Int,
+                Column::Int(I64Column::from_options((0..450).map(|i| Some(i as i64)))),
+            )
+            .build()
+            .unwrap();
+        w.push(&t).unwrap();
+        let manifest = w.finish().unwrap();
+        assert_eq!(manifest.parts.len(), 5);
+
+        let src = HvcDirSource::new("parts", &dir);
+        let a = src.load(0, 2, 1_000, 0).unwrap();
+        let b = src.load(1, 2, 1_000, 0).unwrap();
+        assert_eq!(a.len(), 3, "parts 0,2,4");
+        assert_eq!(b.len(), 2, "parts 1,3");
+        let rows: usize = a.iter().chain(&b).map(|t| t.num_rows()).sum();
+        assert_eq!(rows, 450);
+        // Little-endian hosts open v3 parts mapped: payloads are file
+        // windows, not heap.
+        if cfg!(target_endian = "little") {
+            assert!(a[0].mapped_bytes() > 0, "v3 part did not load mapped");
+        }
+        // Replay determinism: the same (worker, snapshot) yields the same
+        // parts in the same order.
+        let a2 = src.load(0, 2, 1_000, 0).unwrap();
+        for (x, y) in a.iter().zip(&a2) {
+            assert_eq!(x.num_rows(), y.num_rows());
+            assert_eq!(x.full_row(0), y.full_row(0));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -75,9 +75,12 @@ struct PendingFilter {
     /// ([`Engine::plan_query`]).
     queries: u32,
     /// Zone-map + probe selectivity estimate for the *composed* chain,
-    /// computed once on the second query and reused for every later
-    /// promotion decision.
-    estimate: Option<SelectivityEstimate>,
+    /// computed on the second query and reused for every later promotion
+    /// decision — tagged with the root dataset's version fingerprint at
+    /// estimation time, so a reload under the same id (new snapshot, new
+    /// lineage version) invalidates it instead of steering the planner
+    /// with statistics of data that no longer exists.
+    estimate: Option<(u64, SelectivityEstimate)>,
 }
 
 /// The root node: cluster + redo log + recovery.
@@ -133,6 +136,44 @@ impl Engine {
         self.log.record(id, Lineage::Loaded { spec: spec.clone() });
         self.cluster.load(id, &spec)?;
         Ok(id)
+    }
+
+    /// Re-load a root dataset *in place* at a new snapshot: the id keeps
+    /// naming "this source", but its contents — and its lineage-derived
+    /// content version — change. The redo-log entry is rewritten so
+    /// replay reconstructs the new snapshot, every *derived* dataset
+    /// (filtered/mapped descendants) is evicted cluster-wide so lazy
+    /// replay rebuilds it from the new data, and cached planning
+    /// artifacts keyed by version fingerprint (pending-filter
+    /// [`SelectivityEstimate`]s) invalidate themselves on next use.
+    /// Errors on derived datasets: reload the chain's root instead.
+    pub fn reload(&self, dataset: DatasetId, snapshot: u64) -> EngineResult<()> {
+        let spec = match self.log.lineage(dataset) {
+            Some(Lineage::Loaded { spec }) => spec,
+            Some(_) => {
+                return Err(EngineError::Source(format!(
+                    "dataset {dataset} is derived; reload its root load instead"
+                )))
+            }
+            None => return Err(EngineError::UnknownDataset(dataset)),
+        };
+        let spec = SourceSpec {
+            source: spec.source,
+            snapshot,
+        };
+        self.log
+            .record(dataset, Lineage::Loaded { spec: spec.clone() });
+        // Descendants materialized from the old snapshot are stale:
+        // evict them everywhere so the ordinary missing-dataset replay
+        // path rebuilds them against the new contents on demand.
+        for (id, _) in self.log.all() {
+            if id != dataset && self.log.chain(id).iter().any(|(c, _)| *c == dataset) {
+                for w in 0..self.cluster.num_workers() {
+                    self.cluster.worker(w).evict(id);
+                }
+            }
+        }
+        self.with_replay_on_all(|| self.cluster.load(dataset, &spec))
     }
 
     /// Derive a filtered dataset; logged (paper §5.6 "Selection"). The
@@ -278,11 +319,17 @@ impl Engine {
         if queries >= 2 {
             // Bind the cached estimate before matching: a guard temporary
             // in the scrutinee would outlive the re-lock in the None arm.
+            // Only an estimate taken at the root's *current* version
+            // fingerprint counts — a reload changed the data under the
+            // same id, so stale statistics must re-probe, not steer.
+            let fingerprint = self.cluster.dataset_version_fingerprint(root);
             let cached = self
                 .pending_filters
                 .lock()
                 .get(&dataset)
-                .and_then(|pf| pf.estimate);
+                .and_then(|pf| pf.estimate)
+                .filter(|(v, _)| *v == fingerprint)
+                .map(|(_, e)| e);
             let est = match cached {
                 Some(e) => e,
                 None => {
@@ -291,7 +338,7 @@ impl Engine {
                     // re-estimates the same chain.
                     let e = self.cluster.estimate_filter(root, &composed);
                     if let Some(pf) = self.pending_filters.lock().get_mut(&dataset) {
-                        pf.estimate = Some(e);
+                        pf.estimate = Some((fingerprint, e));
                     }
                     e
                 }
@@ -852,6 +899,90 @@ mod tests {
         assert_eq!(sum2.rows, 2_500);
         assert!(e.cluster().worker(0).has_dataset(a));
         assert!(e.cluster().worker(0).has_dataset(b));
+    }
+
+    #[test]
+    fn reload_swaps_snapshot_in_place_and_invalidates_descendants() {
+        let e = engine();
+        let base = e.load("nums", 0).unwrap();
+        let v0 = e.cluster().dataset_version_fingerprint(base);
+        let filtered = e.filter(base, Predicate::range("X", 0.0, 10.0)).unwrap();
+        assert_eq!(e.cluster().dataset_rows(filtered), 1_000);
+        e.reload(base, 7).unwrap();
+        assert_ne!(
+            e.cluster().dataset_version_fingerprint(base),
+            v0,
+            "a new snapshot is new content, so the fingerprint must move"
+        );
+        assert!(
+            !e.cluster().worker(0).has_dataset(filtered),
+            "derived datasets built from the old snapshot must be evicted"
+        );
+        // The evicted descendant replays lazily against the new snapshot.
+        let (sum, _) = e
+            .run(filtered, CountSketch::rows(), &QueryOptions::default())
+            .unwrap();
+        assert_eq!(sum.rows, 1_000, "values stay mod 100, band still 10%");
+        // Only root loads can reload.
+        assert!(e.reload(filtered, 1).is_err());
+        assert!(matches!(
+            e.reload(DatasetId(999), 1),
+            Err(EngineError::UnknownDataset(_))
+        ));
+    }
+
+    #[test]
+    fn reload_refreshes_cached_selectivity_estimate() {
+        // A source whose selectivity flips with the snapshot: snapshot 0
+        // puts every value inside the predicate band (non-selective — the
+        // planner must never promote), snapshot 1 is a sorted ramp where
+        // the band selects a sliver and zone maps skip almost everything
+        // (strongly promotable).
+        let mut sources = SourceRegistry::new();
+        sources.register(Arc::new(FnSource::new("flip", |w, _n, _mp, snap| {
+            let t = Table::builder()
+                .column(
+                    "X",
+                    ColumnKind::Int,
+                    Column::Int(I64Column::from_options((0..5_000).map(|i| {
+                        Some(if snap == 0 {
+                            i % 10
+                        } else {
+                            i + w as i64 * 5_000
+                        })
+                    }))),
+                )
+                .build()
+                .unwrap();
+            Ok(vec![t])
+        })));
+        let cluster = Cluster::new(ClusterConfig::test(), sources, UdfRegistry::with_builtins());
+        let e = Engine::new(cluster);
+        let base = e.load("flip", 0).unwrap();
+        let lazy = e.filter_lazy(base, Predicate::range("X", 0.0, 10.0));
+        for _ in 0..4 {
+            let (sum, _) = e
+                .run(lazy, CountSketch::rows(), &QueryOptions::default())
+                .unwrap();
+            assert_eq!(sum.rows, 10_000);
+        }
+        assert!(
+            !e.cluster().worker(0).has_dataset(lazy),
+            "non-selective predicate must keep fusing"
+        );
+        // Reload at the selective snapshot. The cached estimate was taken
+        // at the old fingerprint, so the next query must re-probe — and
+        // the fresh statistics promote immediately. A stale estimate
+        // (f ≈ s ≈ 1) would keep fusing forever.
+        e.reload(base, 1).unwrap();
+        let (sum, _) = e
+            .run(lazy, CountSketch::rows(), &QueryOptions::default())
+            .unwrap();
+        assert_eq!(sum.rows, 10, "sorted ramp: only X in [0,10) survives");
+        assert!(
+            e.cluster().worker(0).has_dataset(lazy),
+            "refreshed estimate must promote the now-selective chain"
+        );
     }
 
     #[test]

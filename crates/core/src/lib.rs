@@ -17,6 +17,20 @@
 //!   keyed by [`DatasetId`] and can vanish at any time.
 //! * **Storage independence** ([`dataset`]): data enters via [`DataSource`]
 //!   implementations with arbitrary horizontal partitioning (§2).
+//! * **Out-of-core storage tiers** ([`HvcDirSource`]): a directory of
+//!   `hvc` part files loads *mapped* — headers only at load time, column
+//!   payloads faulted in block-granular through a per-worker byte-budgeted
+//!   [`BlockCache`](hillview_columnar::BlockCache)
+//!   ([`ClusterConfig::block_cache_bytes`], env-overridable with
+//!   `HILLVIEW_BLOCK_CACHE_BYTES`) as scans touch them. Zone-map-skipped
+//!   blocks are never read at all, so a filtered query over a dataset far
+//!   larger than memory faults in only the selected band; results are
+//!   bit-identical to heap-resident execution.
+//!   [`Cluster::dataset_mapped_bytes`] and [`Cluster::block_cache_stats`]
+//!   surface the accounting ([`Cluster::dataset_heap_bytes`] counts only
+//!   owned payloads). With the `ooc` cargo feature, mapped columns are
+//!   zero-copy mmap windows and cold chunks are evicted past the budget;
+//!   without it, a portable pread path lazily fills pinned buffers.
 //! * **Caches** ([`worker`], [`cache`]): an in-memory column/data cache
 //!   in front of the repository, plus a bounded per-worker LRU
 //!   sketch-result cache for deterministic summaries (§5.4), keyed by
@@ -137,7 +151,7 @@ pub mod worker;
 
 pub use cache::{CacheKey, CacheStats, SketchCache};
 pub use cluster::{Cluster, ClusterConfig, QueryOptions, QueryOutcome};
-pub use dataset::{DataSource, DatasetId, FnSource, Lineage, SourceSpec};
+pub use dataset::{DataSource, DatasetId, FnSource, HvcDirSource, Lineage, SourceSpec};
 pub use engine::{Engine, RetryPolicy};
 pub use error::{EngineError, EngineResult};
 pub use fault::{FaultAction, FaultPlan, FaultSite, FaultSpec};

@@ -20,7 +20,7 @@ use crate::fault::{FaultAction, FaultPlan, FaultSite};
 use crate::pool::ThreadPool;
 use hillview_columnar::predicate::filter_members;
 use hillview_columnar::udf::UdfRegistry;
-use hillview_columnar::{fnv1a, Predicate, Table, FNV_OFFSET};
+use hillview_columnar::{fnv1a, BlockCache, BlockCacheStats, Predicate, Table, FNV_OFFSET};
 use hillview_sketch::TableView;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -67,6 +67,11 @@ pub struct Worker {
     pool: Arc<ThreadPool>,
     datasets: Mutex<HashMap<DatasetId, DatasetEntry>>,
     comp_cache: SketchCache,
+    /// Byte-budgeted residency cache for out-of-core (mapped) datasets:
+    /// every chunk a scan faults in is charged here, and under the `ooc`
+    /// feature cold chunks past the budget are evicted back to the file.
+    /// Unused (zero-cost) when every source is in-memory.
+    block_cache: Arc<BlockCache>,
     alive: AtomicBool,
     sources: SourceRegistry,
     udfs: UdfRegistry,
@@ -85,14 +90,17 @@ pub struct Worker {
 }
 
 impl Worker {
-    /// Create a worker with `threads` pool threads and a sketch-result
-    /// cache bounded at `cache_budget` bytes.
+    /// Create a worker with `threads` pool threads, a sketch-result
+    /// cache bounded at `cache_budget` bytes, and a block-residency cache
+    /// bounded at `block_cache_budget` bytes (`0` means unbounded).
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         id: usize,
         num_workers: usize,
         threads: usize,
         micropartition_rows: usize,
         cache_budget: usize,
+        block_cache_budget: usize,
         sources: SourceRegistry,
         udfs: UdfRegistry,
     ) -> Self {
@@ -103,6 +111,11 @@ impl Worker {
             pool: Arc::new(ThreadPool::new(threads, &format!("worker{id}"))),
             datasets: Mutex::new(HashMap::new()),
             comp_cache: SketchCache::new(cache_budget),
+            block_cache: if block_cache_budget == 0 {
+                BlockCache::unbounded()
+            } else {
+                BlockCache::new(block_cache_budget)
+            },
             alive: AtomicBool::new(true),
             sources,
             udfs,
@@ -261,11 +274,35 @@ impl Worker {
     /// Approximate in-memory footprint of this worker's partitions of `id`,
     /// in bytes. Reflects the *encoded* column payloads (compressed columns
     /// report their packed size), so tests and capacity planning can assert
-    /// the compression ratio a load achieved.
+    /// the compression ratio a load achieved. Mapped (out-of-core) columns
+    /// are *excluded* — they are file windows, not heap; see
+    /// [`Worker::dataset_mapped_bytes`].
     pub fn dataset_heap_bytes(&self, id: DatasetId) -> usize {
         self.partitions(id)
             .map(|p| p.iter().map(|v| v.table().heap_bytes()).sum())
             .unwrap_or(0)
+    }
+
+    /// Bytes of `id`'s partitions that are windows over mapped files
+    /// rather than owned heap payloads — the out-of-core complement of
+    /// [`Worker::dataset_heap_bytes`]. Counts the *addressable* span;
+    /// how much of it is actually resident is a property of the
+    /// [`Worker::block_cache`], not the dataset.
+    pub fn dataset_mapped_bytes(&self, id: DatasetId) -> usize {
+        self.partitions(id)
+            .map(|p| p.iter().map(|v| v.table().mapped_bytes()).sum())
+            .unwrap_or(0)
+    }
+
+    /// The worker's block-residency cache (out-of-core sources charge
+    /// faulted chunks here).
+    pub fn block_cache(&self) -> &Arc<BlockCache> {
+        &self.block_cache
+    }
+
+    /// Counter snapshot of the block-residency cache.
+    pub fn block_cache_stats(&self) -> BlockCacheStats {
+        self.block_cache.stats()
     }
 
     /// Rows loaded from sources so far.
@@ -309,16 +346,20 @@ impl Worker {
         self.fault_op(Some(id));
         self.check_alive()?;
         let source = self.sources.get(&spec.source)?;
-        let tables = source.load(
+        let tables = source.load_with_cache(
             self.id,
             self.num_workers,
             self.micropartition_rows,
             spec.snapshot,
+            &self.block_cache,
         )?;
         let mut views = Vec::new();
         for t in tables {
-            // Split oversized tables into micropartitions (paper §5.3).
-            if t.num_rows() > self.micropartition_rows {
+            // Split oversized tables into micropartitions (paper §5.3) —
+            // except mapped tables: slicing decodes every value, which
+            // would fault the whole file in. They stay one partition and
+            // rely on intra-partition leaf splitting for parallelism.
+            if t.num_rows() > self.micropartition_rows && t.mapped_bytes() == 0 {
                 for part in hillview_storage::partition_table(&t, self.micropartition_rows) {
                     views.push(TableView::full(Arc::new(part)));
                 }
@@ -494,7 +535,7 @@ mod tests {
         })));
         let mut udfs = UdfRegistry::with_builtins();
         udfs.register_sum("X2", "X", "X");
-        Arc::new(Worker::new(0, 2, 2, 30, 1 << 20, sources, udfs))
+        Arc::new(Worker::new(0, 2, 2, 30, 1 << 20, 0, sources, udfs))
     }
 
     fn spec() -> SourceSpec {
@@ -536,6 +577,7 @@ mod tests {
             1,
             10_000,
             1 << 20,
+            0,
             sources,
             UdfRegistry::with_builtins(),
         ));

@@ -30,7 +30,7 @@ impl Default for CsvOptions {
 
 /// Parse one CSV record starting at `first_line`; returns its fields.
 /// Handles quoted fields spanning multiple lines by pulling more lines.
-fn parse_record(
+pub(crate) fn parse_record(
     first_line: String,
     lines: &mut impl Iterator<Item = std::io::Result<String>>,
     delimiter: u8,

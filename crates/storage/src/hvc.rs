@@ -44,6 +44,11 @@
 //! lengths, starting with present), which collapses the common all-present
 //! case to a single varint.
 
+#[path = "hvc_v3.rs"]
+pub mod v3;
+
+pub use v3::{probe_file, read_file_mapped, FileInfo};
+
 use crate::error::{Error, Result};
 use bytes::Bytes;
 use hillview_columnar::column::{Column, DictColumn, F64Column, I64Column};
@@ -54,14 +59,14 @@ use hillview_net::{WireReader, WireWriter};
 use std::io::{Read, Write};
 use std::path::Path;
 
-const MAGIC: &[u8; 4] = b"HVC2";
+pub(crate) const MAGIC: &[u8; 4] = b"HVC2";
 
-const ENC_PLAIN: u8 = 0;
-const ENC_BIT_PACKED: u8 = 1;
-const ENC_RUN_LENGTH: u8 = 2;
-const ENC_DELTA: u8 = 3;
+pub(crate) const ENC_PLAIN: u8 = 0;
+pub(crate) const ENC_BIT_PACKED: u8 = 1;
+pub(crate) const ENC_RUN_LENGTH: u8 = 2;
+pub(crate) const ENC_DELTA: u8 = 3;
 
-fn kind_byte(kind: ColumnKind) -> u8 {
+pub(crate) fn kind_byte(kind: ColumnKind) -> u8 {
     match kind {
         ColumnKind::Int => 0,
         ColumnKind::Date => 1,
@@ -71,7 +76,7 @@ fn kind_byte(kind: ColumnKind) -> u8 {
     }
 }
 
-fn byte_kind(b: u8, at: usize) -> Result<ColumnKind> {
+pub(crate) fn byte_kind(b: u8, at: usize) -> Result<ColumnKind> {
     Ok(match b {
         0 => ColumnKind::Int,
         1 => ColumnKind::Date,
@@ -88,7 +93,7 @@ fn byte_kind(b: u8, at: usize) -> Result<ColumnKind> {
     })
 }
 
-fn parse_err(message: impl Into<String>) -> Error {
+pub(crate) fn parse_err(message: impl Into<String>) -> Error {
     Error::Parse {
         format: "hvc",
         at: 0,
@@ -96,7 +101,7 @@ fn parse_err(message: impl Into<String>) -> Error {
     }
 }
 
-fn wire_err(e: hillview_net::Error) -> Error {
+pub(crate) fn wire_err(e: hillview_net::Error) -> Error {
     parse_err(e.to_string())
 }
 
@@ -111,7 +116,7 @@ fn encode_int_storage<T: PackedInt>(
         IntStorage::Plain(values) => {
             w.put_u8(ENC_PLAIN);
             w.put_varint(values.len() as u64);
-            for &v in values {
+            for &v in values.slice() {
                 put(w, v);
             }
         }
@@ -126,7 +131,7 @@ fn encode_int_storage<T: PackedInt>(
             put(w, *base);
             w.put_u8(*width);
             w.put_varint(words.len() as u64);
-            for &word in words {
+            for &word in words.slice() {
                 w.put_u64(word);
             }
         }
@@ -155,7 +160,7 @@ fn encode_int_storage<T: PackedInt>(
             }
             w.put_u8(*width);
             w.put_varint(words.len() as u64);
-            for &word in words {
+            for &word in words.slice() {
                 w.put_u64(word);
             }
         }
@@ -198,7 +203,7 @@ fn decode_int_storage_body<T: PackedInt>(
             for _ in 0..rows {
                 values.push(get(r).map_err(wire_err)?);
             }
-            Ok(IntStorage::Plain(values))
+            Ok(IntStorage::Plain(values.into()))
         }
         ENC_BIT_PACKED => {
             let base = get(r).map_err(wire_err)?;
@@ -292,7 +297,7 @@ pub fn encode(table: &Table) -> Bytes {
                         w.put_u8(ENC_PLAIN);
                         w.put_varint(values.len() as u64);
                         let mut prev = 0i64;
-                        for &v in values {
+                        for &v in values.slice() {
                             w.put_i64(v.wrapping_sub(prev));
                             prev = v;
                         }
@@ -318,7 +323,7 @@ pub fn encode(table: &Table) -> Bytes {
     w.finish()
 }
 
-fn encode_null_runs(w: &mut WireWriter, col: &Column, rows: usize) {
+pub(crate) fn encode_null_runs(w: &mut WireWriter, col: &Column, rows: usize) {
     // Alternating run lengths: present, missing, present, ...
     let mut runs: Vec<u64> = Vec::new();
     let mut current_null = false;
@@ -340,7 +345,7 @@ fn encode_null_runs(w: &mut WireWriter, col: &Column, rows: usize) {
     }
 }
 
-fn decode_null_runs(r: &mut WireReader, rows: usize, column: &str) -> Result<NullMask> {
+pub(crate) fn decode_null_runs(r: &mut WireReader, rows: usize, column: &str) -> Result<NullMask> {
     let n = r.get_len("null runs").map_err(wire_err)?;
     let mut mask = NullMask::none();
     let mut idx = 0usize;
@@ -369,7 +374,7 @@ fn decode_null_runs(r: &mut WireReader, rows: usize, column: &str) -> Result<Nul
 /// matching the per-value check v1 performed while reading plain codes.
 /// `null_count` guards the empty-dictionary case: a dictionary can only be
 /// empty when every row is null (present rows would dereference it).
-fn validate_codes(
+pub(crate) fn validate_codes(
     codes: &IntStorage<u32>,
     dict_len: usize,
     null_count: usize,
@@ -503,14 +508,28 @@ fn decode_i64_storage(r: &mut WireReader, rows: usize, column: &str) -> Result<I
             prev = prev.wrapping_add(r.get_i64().map_err(wire_err)?);
             data.push(prev);
         }
-        Ok(IntStorage::Plain(data))
+        Ok(IntStorage::Plain(data.into()))
     } else {
         decode_int_storage_body(r, enc, rows, column, |r| r.get_i64())
     }
 }
 
-/// Write a table to a file.
+/// Write a table to a file, in the current on-disk version (v3: 64-byte
+/// aligned raw-LE payload sections behind a self-contained header, so the
+/// file can be mapped and scanned zero-copy — see [`v3`]). The v2 wire
+/// format ([`encode`]/[`decode`]) is unchanged; use [`write_file_v2`] to
+/// produce a v2 file for an older reader.
 pub fn write_file(table: &Table, path: impl AsRef<Path>) -> Result<()> {
+    let bytes = v3::encode(table);
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    f.write_all(&bytes)?;
+    f.flush()?;
+    Ok(())
+}
+
+/// Write a table in the v2 (wire) layout — varint-packed, unaligned, not
+/// mappable — for interchange with readers predating v3.
+pub fn write_file_v2(table: &Table, path: impl AsRef<Path>) -> Result<()> {
     let bytes = encode(table);
     let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
     f.write_all(&bytes)?;
@@ -518,11 +537,17 @@ pub fn write_file(table: &Table, path: impl AsRef<Path>) -> Result<()> {
     Ok(())
 }
 
-/// Read a table from a file.
+/// Read a table from a file into fully heap-resident columns, sniffing the
+/// version from the magic (v2 and v3 both readable). For lazy, file-backed
+/// columns use [`read_file_mapped`]; to inspect a file without reading its
+/// payload use [`probe_file`].
 pub fn read_file(path: impl AsRef<Path>) -> Result<Table> {
     let mut f = std::fs::File::open(path)?;
     let mut buf = Vec::new();
     f.read_to_end(&mut buf)?;
+    if buf.starts_with(v3::MAGIC3) {
+        return v3::decode_owned(&buf);
+    }
     decode(Bytes::from(buf))
 }
 

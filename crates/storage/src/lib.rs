@@ -17,8 +17,33 @@
 //! * [`partition`] — horizontal partitioning into micropartitions
 //!   (paper §5.3: "the data partition within a server is divided into
 //!   micropartitions ... each assigned to a leaf").
+//! * [`spill`] — streaming ingest that seals micropartitions to disk as
+//!   they fill, keeping ingest memory O(micropartition).
 //! * [`throttle`] — a throttled reader that models cold-SSD bandwidth for
 //!   the Figure 6 experiments.
+//!
+//! ## Storage tiers
+//!
+//! An `hvc` v3 file can be opened three ways, trading memory for I/O:
+//!
+//! 1. **Heap** ([`hvc::read_file`]) — the whole payload is decoded into
+//!    owned columns. Fastest scans, O(dataset) memory; also the only
+//!    correct path on big-endian hosts and for v2 files.
+//! 2. **Lazy pread** ([`hvc::read_file_mapped`] without the `ooc`
+//!    feature) — columns are windows over an anonymous buffer filled
+//!    64 KiB chunks at a time by `pread` as scans touch them. Untouched
+//!    columns and zone-skipped blocks cost no I/O; resident chunks are
+//!    pinned (eviction needs `ooc`).
+//! 3. **Zero-copy mmap** ([`hvc::read_file_mapped`] with `ooc`) — columns
+//!    borrow the page cache directly; a byte-budgeted
+//!    [`hillview_columnar::BlockCache`] evicts cold chunks with
+//!    `MADV_DONTNEED`, so a worker scans datasets far larger than its
+//!    budget.
+//!
+//! All three tiers produce bit-identical query results; the property
+//! tests in `tests/ooc_props.rs` pin that equivalence across encodings.
+//! [`hvc::probe_file`] reads none of the payload under any tier: the v3
+//! header carries the schema, row count, and per-block zone maps.
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -28,7 +53,10 @@ pub mod error;
 pub mod hvc;
 pub mod jsonl;
 pub mod partition;
+pub mod spill;
 pub mod throttle;
 
 pub use error::{Error, Result};
-pub use partition::partition_table;
+pub use hvc::{probe_file, read_file_mapped, FileInfo};
+pub use partition::{concat_tables, partition_table};
+pub use spill::{SpillManifest, SpilledPart, SpillingWriter};

@@ -6,6 +6,7 @@
 //! is arbitrary: Hillview makes no assumptions about which rows land where
 //! (§2), which the sketch merge laws guarantee is harmless.
 
+use crate::error::{Error, Result};
 use hillview_columnar::column::{Column, DictColumn, F64Column, I64Column};
 use hillview_columnar::{NullMask, Table};
 
@@ -83,6 +84,72 @@ pub fn slice_table(table: &Table, start: usize, end: usize) -> Table {
         builder = builder.column(&desc.name, desc.kind, sliced);
     }
     builder.build().expect("slice preserves schema validity")
+}
+
+/// Concatenate tables with identical schemas into one, in order — the
+/// inverse of [`partition_table`]. Used by the spilling ingest
+/// ([`crate::spill`]) to seal buffered row batches into one micropartition
+/// file, and by tests to check spilled parts reassemble exactly.
+///
+/// Values are materialized row-wise (dictionaries are re-interned, since
+/// each part may carry its own), so the result is always fully owned.
+pub fn concat_tables(parts: &[Table]) -> Result<Table> {
+    let Some(first) = parts.first() else {
+        return Ok(Table::empty());
+    };
+    for p in &parts[1..] {
+        if p.schema().descs() != first.schema().descs() {
+            return Err(Error::Schema(format!(
+                "cannot concatenate tables with different schemas ({:?} vs {:?})",
+                p.schema().descs(),
+                first.schema().descs()
+            )));
+        }
+    }
+    if parts.len() == 1 {
+        return Ok(first.clone());
+    }
+    let mut builder = Table::builder();
+    for c in 0..first.num_columns() {
+        let desc = first.schema().desc(c);
+        let column = match first.column(c) {
+            Column::Int(_) | Column::Date(_) => {
+                let vals = parts.iter().flat_map(|p| {
+                    let col = p.column(c).as_i64_col().expect("schema checked");
+                    (0..p.num_rows()).map(move |i| col.get(i))
+                });
+                let ic = I64Column::from_options(vals);
+                if desc.kind == hillview_columnar::ColumnKind::Int {
+                    Column::Int(ic)
+                } else {
+                    Column::Date(ic)
+                }
+            }
+            Column::Double(_) => {
+                Column::Double(F64Column::from_options(parts.iter().flat_map(|p| {
+                    let col = p.column(c).as_f64_col().expect("schema checked");
+                    (0..p.num_rows()).map(move |i| col.get(i))
+                })))
+            }
+            Column::Str(_) | Column::Cat(_) => {
+                let vals: Vec<Option<std::sync::Arc<str>>> = parts
+                    .iter()
+                    .flat_map(|p| {
+                        let col = p.column(c).as_dict_col().expect("schema checked");
+                        (0..p.num_rows()).map(move |i| col.get(i).cloned())
+                    })
+                    .collect();
+                let dc = DictColumn::from_strings(vals.iter().map(|v| v.as_deref()));
+                if desc.kind == hillview_columnar::ColumnKind::String {
+                    Column::Str(dc)
+                } else {
+                    Column::Cat(dc)
+                }
+            }
+        };
+        builder = builder.column(&desc.name, desc.kind, column);
+    }
+    Ok(builder.build()?)
 }
 
 /// Deal partitions round-robin to `workers` buckets (how a cluster spreads

@@ -1,0 +1,354 @@
+//! Spilling ingest: seal micropartitions to disk as they fill.
+//!
+//! The paper's workers hold datasets in memory (§5.4), but out-of-core
+//! datasets cannot be *ingested* through memory either: reading a whole
+//! source table just to write it back out makes ingest O(dataset). The
+//! [`SpillingWriter`] keeps ingest O(micropartition): rows are buffered
+//! only until the current micropartition reaches its row bound, then the
+//! sealed partition is written as an `hvc` v3 file — mappable, zone-mapped,
+//! 64-byte aligned — and its memory is released. The resulting directory
+//! of `part-NNNNN.hvc` files is exactly what the out-of-core loader
+//! ([`crate::hvc::read_file_mapped`] per part) consumes, and
+//! [`crate::hvc::probe_file`] plans over it without reading payloads.
+//!
+//! [`spill_csv`] drives the same writer from a CSV stream with a declared
+//! schema, so text ingest never materializes more than one micropartition
+//! of cells at a time.
+
+use crate::csv::{column_from_strings, parse_record, CsvOptions};
+use crate::error::{Error, Result};
+use crate::hvc;
+use crate::partition::concat_tables;
+use hillview_columnar::{Schema, Table};
+use std::io::BufRead;
+use std::path::{Path, PathBuf};
+
+/// One sealed micropartition on disk.
+#[derive(Debug, Clone)]
+pub struct SpilledPart {
+    /// The `hvc` v3 file holding this micropartition.
+    pub path: PathBuf,
+    /// Rows it contains.
+    pub rows: usize,
+}
+
+/// Everything a loader needs to know about a spilled dataset.
+#[derive(Debug, Clone)]
+pub struct SpillManifest {
+    /// Directory the parts were written into.
+    pub dir: PathBuf,
+    /// The sealed micropartitions, in row order.
+    pub parts: Vec<SpilledPart>,
+}
+
+impl SpillManifest {
+    /// Total rows across all parts.
+    pub fn total_rows(&self) -> usize {
+        self.parts.iter().map(|p| p.rows).sum()
+    }
+
+    /// The part file paths, in row order.
+    pub fn paths(&self) -> impl Iterator<Item = &Path> {
+        self.parts.iter().map(|p| p.path.as_path())
+    }
+}
+
+/// Streams tables (or row batches) into a directory of sealed
+/// micropartition files, holding at most one micropartition's rows in
+/// memory at a time.
+pub struct SpillingWriter {
+    dir: PathBuf,
+    rows_per_part: usize,
+    pending: Vec<Table>,
+    pending_rows: usize,
+    parts: Vec<SpilledPart>,
+}
+
+impl SpillingWriter {
+    /// Create a writer spilling into `dir` (created if absent), sealing a
+    /// micropartition every `rows_per_part` rows.
+    pub fn new(dir: impl AsRef<Path>, rows_per_part: usize) -> Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        Ok(SpillingWriter {
+            dir,
+            rows_per_part: rows_per_part.max(1),
+            pending: Vec::new(),
+            pending_rows: 0,
+            parts: Vec::new(),
+        })
+    }
+
+    /// Append a batch of rows. Any micropartition that fills inside the
+    /// batch is sealed to disk immediately and its memory dropped.
+    pub fn push(&mut self, table: &Table) -> Result<()> {
+        if table.num_rows() == 0 || table.num_columns() == 0 {
+            return Ok(());
+        }
+        let n = table.num_rows();
+        let mut start = 0usize;
+        while start < n {
+            let take = (self.rows_per_part - self.pending_rows).min(n - start);
+            self.pending
+                .push(crate::partition::slice_table(table, start, start + take));
+            self.pending_rows += take;
+            start += take;
+            if self.pending_rows == self.rows_per_part {
+                self.seal()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Micropartitions sealed so far.
+    pub fn sealed_parts(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Rows currently buffered (always `< rows_per_part` after a `push`).
+    pub fn buffered_rows(&self) -> usize {
+        self.pending_rows
+    }
+
+    fn seal(&mut self) -> Result<()> {
+        if self.pending_rows == 0 {
+            return Ok(());
+        }
+        let table = if self.pending.len() == 1 {
+            self.pending.pop().expect("one pending")
+        } else {
+            concat_tables(&std::mem::take(&mut self.pending))?
+        };
+        self.pending.clear();
+        self.pending_rows = 0;
+        let path = self.dir.join(format!("part-{:05}.hvc", self.parts.len()));
+        hvc::write_file(&table, &path)?;
+        self.parts.push(SpilledPart {
+            path,
+            rows: table.num_rows(),
+        });
+        Ok(())
+    }
+
+    /// Seal any buffered remainder and return the manifest.
+    pub fn finish(mut self) -> Result<SpillManifest> {
+        self.seal()?;
+        Ok(SpillManifest {
+            dir: self.dir,
+            parts: self.parts,
+        })
+    }
+}
+
+/// Stream a CSV source with a declared `schema` straight into spilled
+/// micropartitions: at most `rows_per_part` rows of cells are ever held in
+/// memory. The header row (when present) must match the schema's column
+/// names in order.
+pub fn spill_csv(
+    reader: impl BufRead,
+    options: &CsvOptions,
+    schema: &Schema,
+    rows_per_part: usize,
+    dir: impl AsRef<Path>,
+) -> Result<SpillManifest> {
+    let rows_per_part = rows_per_part.max(1);
+    let mut writer = SpillingWriter::new(dir, rows_per_part)?;
+    let mut lines = reader.lines();
+    let mut line_no = 0usize;
+    if options.has_header {
+        if let Some(line) = lines.next() {
+            line_no += 1;
+            let header = parse_record(line?, &mut lines, options.delimiter, line_no)?;
+            let names: Vec<&str> = schema.descs().iter().map(|d| d.name.as_ref()).collect();
+            if header != names {
+                return Err(Error::Schema(format!(
+                    "CSV header {header:?} does not match declared schema {names:?}"
+                )));
+            }
+        }
+    }
+    let ncols = schema.len();
+    let mut cells: Vec<Vec<Option<String>>> = (0..ncols).map(|_| Vec::new()).collect();
+    let mut buffered = 0usize;
+    let flush = |cells: &mut Vec<Vec<Option<String>>>, writer: &mut SpillingWriter| {
+        let mut builder = Table::builder();
+        for (desc, col) in schema.descs().iter().zip(cells.iter()) {
+            let column = column_from_strings(desc.kind, col);
+            builder = builder.column(&desc.name, desc.kind, column);
+        }
+        for col in cells.iter_mut() {
+            col.clear();
+        }
+        writer.push(&builder.build()?)
+    };
+    while let Some(line) = lines.next() {
+        line_no += 1;
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let record = parse_record(line, &mut lines, options.delimiter, line_no)?;
+        if record.len() != ncols {
+            return Err(Error::Parse {
+                format: "csv",
+                at: line_no,
+                message: format!("expected {ncols} fields, found {}", record.len()),
+            });
+        }
+        for (col, value) in cells.iter_mut().zip(record) {
+            col.push(if value.is_empty() { None } else { Some(value) });
+        }
+        buffered += 1;
+        if buffered == rows_per_part {
+            flush(&mut cells, &mut writer)?;
+            buffered = 0;
+        }
+    }
+    if buffered > 0 {
+        flush(&mut cells, &mut writer)?;
+    }
+    writer.finish()
+}
+
+/// List the `hvc` part files of a spill directory in name (row) order —
+/// the loader-side counterpart of the writer's `part-NNNNN.hvc` naming.
+pub fn list_parts(dir: impl AsRef<Path>) -> Result<Vec<PathBuf>> {
+    let mut parts: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .collect::<std::io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "hvc"))
+        .collect();
+    parts.sort();
+    Ok(parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hillview_columnar::column::{Column, DictColumn, F64Column, I64Column};
+    use hillview_columnar::{ColumnKind, Table};
+
+    fn dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("hvc-spill-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn rows(n: usize, base: usize) -> Table {
+        Table::builder()
+            .column(
+                "id",
+                ColumnKind::Int,
+                Column::Int(I64Column::from_options(
+                    (0..n).map(|i| Some((base + i) as i64)),
+                )),
+            )
+            .column(
+                "v",
+                ColumnKind::Double,
+                Column::Double(F64Column::from_options(
+                    (0..n).map(|i| Some((base + i) as f64 * 0.5)),
+                )),
+            )
+            .column(
+                "tag",
+                ColumnKind::Category,
+                Column::Cat(DictColumn::from_strings(
+                    (0..n).map(|i| Some(["x", "y", "z"][(base + i) % 3])),
+                )),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn spills_sealed_parts_and_reassembles_exactly() {
+        let d = dir("basic");
+        let mut w = SpillingWriter::new(&d, 100).unwrap();
+        // Push in ragged batches that straddle partition boundaries.
+        let mut base = 0usize;
+        for n in [37, 250, 1, 99, 63] {
+            w.push(&rows(n, base)).unwrap();
+            base += n;
+        }
+        assert_eq!(w.sealed_parts(), 4, "450 rows → 4 sealed parts");
+        assert_eq!(w.buffered_rows(), 50);
+        let m = w.finish().unwrap();
+        assert_eq!(m.parts.len(), 5);
+        assert_eq!(m.total_rows(), 450);
+        assert!(m.parts[..4].iter().all(|p| p.rows == 100));
+        assert_eq!(m.parts[4].rows, 50);
+        // Read every part back and reassemble: identical to the source.
+        let read: Vec<Table> = m.paths().map(|p| hvc::read_file(p).unwrap()).collect();
+        let whole = concat_tables(&read).unwrap();
+        let source = rows(450, 0);
+        for r in 0..450 {
+            assert_eq!(whole.full_row(r), source.full_row(r), "row {r}");
+        }
+    }
+
+    #[test]
+    fn parts_are_v3_and_probe_without_payload() {
+        let d = dir("v3");
+        let mut w = SpillingWriter::new(&d, 64).unwrap();
+        w.push(&rows(200, 0)).unwrap();
+        let m = w.finish().unwrap();
+        for p in m.paths() {
+            let info = hvc::probe_file(p).unwrap();
+            assert_eq!(info.version, 3);
+            assert!(info.schema.is_some());
+        }
+        assert_eq!(list_parts(&d).unwrap().len(), m.parts.len());
+    }
+
+    #[test]
+    fn spill_csv_streams_micropartitions() {
+        let d = dir("csv");
+        let mut csv = String::from("id,v,tag\n");
+        for i in 0..333 {
+            csv.push_str(&format!("{i},{}.5,{}\n", i, ["x", "y", "z"][i % 3]));
+        }
+        let schema = rows(1, 0).schema().clone();
+        let m = spill_csv(csv.as_bytes(), &CsvOptions::default(), &schema, 100, &d).unwrap();
+        assert_eq!(m.parts.len(), 4);
+        assert_eq!(m.total_rows(), 333);
+        let first = hvc::read_file(&m.parts[0].path).unwrap();
+        assert_eq!(first.num_rows(), 100);
+        assert_eq!(first.schema().descs(), schema.descs());
+        assert_eq!(
+            first.get(7, "tag").unwrap(),
+            hillview_columnar::Value::str("y")
+        );
+    }
+
+    #[test]
+    fn spill_csv_rejects_header_mismatch() {
+        let d = dir("hdr");
+        let schema = rows(1, 0).schema().clone();
+        let err = spill_csv(
+            "wrong,names,here\n1,2.0,x\n".as_bytes(),
+            &CsvOptions::default(),
+            &schema,
+            10,
+            &d,
+        )
+        .unwrap_err();
+        assert!(matches!(err, Error::Schema(_)), "got {err}");
+    }
+
+    #[test]
+    fn concat_rejects_schema_mismatch() {
+        let a = rows(3, 0);
+        let b = Table::builder()
+            .column(
+                "other",
+                ColumnKind::Int,
+                Column::Int(I64Column::from_options([Some(1)])),
+            )
+            .build()
+            .unwrap();
+        assert!(matches!(concat_tables(&[a, b]), Err(Error::Schema(_))));
+    }
+}

@@ -1,0 +1,232 @@
+//! Residency-tier equivalence: a table read back *mapped* (lazily
+//! resident, block-granular faults through a [`BlockCache`]) must be
+//! bit-identical to the same file decoded onto the heap — across every
+//! column encoding, every membership representation, both simd modes, and
+//! under a block cache small enough that chunks evict mid-scan.
+//!
+//! This is the storage-level contract the engine's out-of-core path
+//! stands on: residency is an I/O concern only, never a semantics one.
+
+use hillview_columnar::column::{Column, DictColumn, F64Column, I64Column};
+use hillview_columnar::predicate::filter_members;
+use hillview_columnar::{
+    simd, BlockCache, ColumnKind, I64Storage, MembershipSet, NullMask, Predicate, SegmentMode,
+    Table,
+};
+use hillview_storage::{hvc, read_file_mapped};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+/// Write `t` to a fresh v3 file in a temp path unique to this test run.
+fn write_temp(t: &Table, tag: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "hv-ooc-props-{tag}-{}-{:x}.hvc",
+        std::process::id(),
+        t as *const Table as usize
+    ));
+    hvc::write_file(t, &path).unwrap();
+    path
+}
+
+fn rows_of(m: &MembershipSet) -> Vec<usize> {
+    m.iter().collect()
+}
+
+/// Assert `mapped` and `heap` agree on every row and under `predicate`
+/// evaluated through each membership representation.
+fn assert_tiers_identical(heap: &Table, mapped: &Table, predicate: &Predicate, seed: u64) {
+    assert_eq!(mapped.num_rows(), heap.num_rows());
+    assert_eq!(mapped.num_columns(), heap.num_columns());
+    for r in 0..heap.num_rows() {
+        assert_eq!(mapped.full_row(r), heap.full_row(r), "row {r} diverged");
+    }
+    let n = heap.num_rows();
+    let full = MembershipSet::full(n);
+    let half = MembershipSet::from_rows((0..n as u32).step_by(2).collect(), n);
+    let sampled = MembershipSet::from_rows(full.sample(0.3, seed), n);
+    for (name, parent) in [("full", &full), ("half", &half), ("sampled", &sampled)] {
+        let h = filter_members(heap, predicate, parent).unwrap();
+        let m = filter_members(mapped, predicate, parent).unwrap();
+        assert_eq!(h.universe(), m.universe());
+        assert_eq!(
+            rows_of(&h),
+            rows_of(&m),
+            "membership rep {name:?} diverged between tiers"
+        );
+    }
+}
+
+/// Arbitrary mixed-type tables with nulls (mirrors the roundtrip suite).
+fn table_strategy() -> impl Strategy<Value = Table> {
+    let row = (
+        proptest::option::weighted(0.85, -3000i64..3000),
+        proptest::option::weighted(0.85, -1e9f64..1e9),
+        proptest::option::weighted(0.85, "[a-z]{0,6}"),
+    );
+    proptest::collection::vec(row, 1..300).prop_map(|rows| {
+        Table::builder()
+            .column(
+                "I",
+                ColumnKind::Int,
+                Column::Int(I64Column::from_options(rows.iter().map(|r| r.0))),
+            )
+            .column(
+                "F",
+                ColumnKind::Double,
+                Column::Double(F64Column::from_options(rows.iter().map(|r| r.1))),
+            )
+            .column(
+                "S",
+                ColumnKind::String,
+                Column::Str(DictColumn::from_strings(
+                    rows.iter().map(|r| r.2.as_deref()),
+                )),
+            )
+            .build()
+            .unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Mixed tables: mapped == heap row-for-row and filter-for-filter,
+    /// under a cache small enough (one chunk) to churn mid-comparison.
+    #[test]
+    fn mapped_equals_heap_for_mixed_tables(t in table_strategy(), seed in any::<u64>()) {
+        let path = write_temp(&t, "mixed");
+        let heap = hvc::read_file(&path).unwrap();
+        let cache = BlockCache::new(64 << 10);
+        let mapped = read_file_mapped(&path, &cache, SegmentMode::Auto).unwrap();
+        let pred = Predicate::range("I", -1500.0, 1500.0)
+            .and(Predicate::range("F", -5e8, 5e8));
+        assert_tiers_identical(&heap, &mapped, &pred, seed);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Every `I64Storage` encoding survives the mapped tier: plain,
+    /// bit-packed, run-length, delta — each forced explicitly, each
+    /// compared under both simd modes (the mapped windows feed the same
+    /// kernels the heap buffers do).
+    #[test]
+    fn mapped_equals_heap_for_every_encoding_and_simd_mode(
+        data in proptest::collection::vec(-3000i64..3000, 1..400),
+        seed in any::<u64>(),
+    ) {
+        let mut ascending = data.clone();
+        ascending.sort_unstable();
+        let storages = [
+            I64Storage::plain_of(data.clone()),
+            I64Storage::bit_packed_of(&data).unwrap(),
+            I64Storage::run_length_of(&data).unwrap(),
+            I64Storage::delta_of(&ascending).unwrap(),
+        ];
+        for s in storages {
+            let t = Table::builder()
+                .column(
+                    "V",
+                    ColumnKind::Int,
+                    Column::Int(I64Column::with_storage(s, NullMask::none())),
+                )
+                .build()
+                .unwrap();
+            let path = write_temp(&t, "enc");
+            let heap = hvc::read_file(&path).unwrap();
+            let cache = BlockCache::new(64 << 10);
+            let mapped = read_file_mapped(&path, &cache, SegmentMode::Auto).unwrap();
+            let pred = Predicate::range("V", -1000.0, 1000.0);
+            for scalar in [false, true] {
+                simd::set_force_scalar(scalar);
+                assert_tiers_identical(&heap, &mapped, &pred, seed);
+            }
+            simd::set_force_scalar(false);
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+}
+
+/// The storage-level mirror of the engine's
+/// `seeded_cache_churn_evicts_without_corrupting_results`: five part
+/// files scanned by a splitmix-seeded predicate grid through one shared
+/// 2 KiB cache. Every answer must match the heap ground truth while
+/// chunks continuously fault (and, under `ooc`, evict).
+#[test]
+fn tiny_cache_churn_grid_never_corrupts_results() {
+    const ROWS: usize = 50_000;
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    let mut s = 0xD1CE_u64;
+    // A dense shuffled payload plus a sorted delta column, split into five
+    // part files sharing one 2 KiB cache — each part is its own segment,
+    // so faulting one part's chunks must push out another's.
+    let t = Table::builder()
+        .column(
+            "A",
+            ColumnKind::Int,
+            Column::Int(I64Column::from_options(
+                (0..ROWS).map(|_| Some((splitmix(&mut s) % 100_000) as i64)),
+            )),
+        )
+        .column(
+            "K",
+            ColumnKind::Int,
+            Column::Int(I64Column::from_options((0..ROWS).map(|i| Some(i as i64)))),
+        )
+        .build()
+        .unwrap();
+    let parts = hillview_storage::partition_table(&t, ROWS / 5);
+    let cache = BlockCache::new(2048);
+    let tiers: Vec<(Table, Table, PathBuf)> = parts
+        .iter()
+        .map(|p| {
+            let path = write_temp(p, "churn");
+            let heap = hvc::read_file(&path).unwrap();
+            let mapped = read_file_mapped(&path, &cache, SegmentMode::Auto).unwrap();
+            (heap, mapped, path)
+        })
+        .collect();
+
+    let mut seed = 0xC0FFEE_u64;
+    for q in 0..16 {
+        let lo = (splitmix(&mut seed) % 90_000) as f64;
+        let key = (splitmix(&mut seed) % 40_000) as f64;
+        let pred = Predicate::range("A", lo, lo + 10_000.0).and(Predicate::range(
+            "K",
+            key,
+            key + 10_000.0,
+        ));
+        for (part, (heap, mapped, _)) in tiers.iter().enumerate() {
+            let full = MembershipSet::full(heap.num_rows());
+            let h = filter_members(heap, &pred, &full).unwrap();
+            let m = filter_members(mapped, &pred, &full).unwrap();
+            assert_eq!(
+                rows_of(&h),
+                rows_of(&m),
+                "query {q} part {part} corrupted by churn"
+            );
+        }
+    }
+
+    let stats = cache.stats();
+    if cfg!(target_endian = "little") {
+        assert!(stats.faults > 0, "mapped scans never faulted");
+        assert!(stats.hits > 0, "repeated scans never hit residency");
+        // Only the mmap tier can drop pages; the pread tier pins chunks.
+        #[cfg(feature = "ooc")]
+        {
+            assert!(
+                stats.evictions > 0,
+                "2 KiB budget over five mapped parts must evict (resident {})",
+                stats.resident_bytes
+            );
+        }
+    }
+    for (_, _, path) in &tiers {
+        let _ = std::fs::remove_file(path);
+    }
+}

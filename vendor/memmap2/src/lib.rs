@@ -1,0 +1,250 @@
+//! Offline shim for the `memmap2` crate: a read-only file memory map.
+//!
+//! The build environment has no crates.io access (vendor/README.md), so the
+//! out-of-core storage tier wraps raw `mmap(2)` here instead of depending on
+//! the real `memmap2`. The surface is the subset the workspace uses — a
+//! read-only, private, `Send + Sync` mapping dereferencing to `[u8]` — plus
+//! one extension the real crate spells `advise`: [`Mmap::advise_dontneed`],
+//! which drops the physical pages of a sub-range so a block cache can evict
+//! mapped column chunks (the kernel refaults identical bytes from the file
+//! on the next access).
+//!
+//! On non-unix targets mapping is unavailable and [`Mmap::map`] returns
+//! `Unsupported`; callers fall back to their pread/heap tiers.
+
+use std::fs::File;
+use std::io;
+use std::ops::Deref;
+
+/// The system page size (cached; 4096 when it cannot be queried). Mapping
+/// bases are page-aligned, so sub-range advice must be too.
+pub fn page_size() -> usize {
+    use std::sync::OnceLock;
+    static PAGE: OnceLock<usize> = OnceLock::new();
+    *PAGE.get_or_init(|| {
+        #[cfg(unix)]
+        {
+            let sz = unsafe { sys::sysconf(sys::SC_PAGESIZE) };
+            if sz > 0 {
+                return sz as usize;
+            }
+        }
+        4096
+    })
+}
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::c_void;
+
+    pub const PROT_READ: i32 = 0x1;
+    pub const MAP_PRIVATE: i32 = 0x02;
+    pub const MADV_DONTNEED: i32 = 4;
+    #[cfg(target_os = "linux")]
+    pub const SC_PAGESIZE: i32 = 30;
+    #[cfg(not(target_os = "linux"))]
+    pub const SC_PAGESIZE: i32 = 29;
+
+    // The libc symbols std already links; declaring them directly keeps the
+    // shim dependency-free.
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+        pub fn madvise(addr: *mut c_void, len: usize, advice: i32) -> i32;
+        pub fn sysconf(name: i32) -> i64;
+    }
+}
+
+/// A read-only, private memory map of an entire file.
+pub struct Mmap {
+    ptr: *const u8,
+    len: usize,
+}
+
+// The mapping is read-only and file lifetime is not borrowed (the kernel
+// keeps the file alive via the mapping), so sharing across threads is safe.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Map `file` read-only in its entirety.
+    ///
+    /// # Safety
+    ///
+    /// The caller must ensure the underlying file is not truncated or
+    /// rewritten while the map is alive: unix gives no way to make a
+    /// file-backed mapping immune to outside modification, so reads through
+    /// the map could otherwise observe torn data or fault. The storage
+    /// layer only maps sealed, immutable `hvc` files.
+    pub unsafe fn map(file: &File) -> io::Result<Mmap> {
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "file too large to map"))?;
+        if len == 0 {
+            // mmap rejects zero-length maps; represent as a dangling map.
+            return Ok(Mmap {
+                ptr: std::ptr::NonNull::<u8>::dangling().as_ptr(),
+                len: 0,
+            });
+        }
+        #[cfg(unix)]
+        {
+            use std::os::fd::AsRawFd;
+            let ptr = sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            );
+            if ptr as isize == -1 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Mmap {
+                ptr: ptr as *const u8,
+                len,
+            })
+        }
+        #[cfg(not(unix))]
+        {
+            Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "memory mapping is only available on unix targets",
+            ))
+        }
+    }
+
+    /// Length of the mapping in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True for a zero-length mapping.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Drop the physical pages backing `offset .. offset + len` (rounded out
+    /// to page boundaries, clipped to the mapping). The next access refaults
+    /// the same bytes from the file — this is the eviction primitive of the
+    /// block cache. `offset` must be page-aligned.
+    pub fn advise_dontneed(&self, offset: usize, len: usize) -> io::Result<()> {
+        if len == 0 || self.len == 0 {
+            return Ok(());
+        }
+        if !offset.is_multiple_of(page_size()) || offset >= self.len {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "advise range must start page-aligned inside the mapping",
+            ));
+        }
+        let len = len.min(self.len - offset);
+        #[cfg(unix)]
+        {
+            let rc = unsafe {
+                sys::madvise(
+                    self.ptr.add(offset) as *mut std::ffi::c_void,
+                    len,
+                    sys::MADV_DONTNEED,
+                )
+            };
+            if rc != 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+        #[cfg(not(unix))]
+        {
+            Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "madvise is only available on unix targets",
+            ))
+        }
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if self.len > 0 {
+            unsafe {
+                sys::munmap(self.ptr as *mut std::ffi::c_void, self.len);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mmap").field("len", &self.len).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn maps_file_contents() {
+        let dir = std::env::temp_dir().join("memmap2-shim-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.bin");
+        let data: Vec<u8> = (0..10_000u32).flat_map(|i| i.to_le_bytes()).collect();
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(&data)
+            .unwrap();
+        let f = File::open(&path).unwrap();
+        let m = unsafe { Mmap::map(&f) }.unwrap();
+        assert_eq!(&m[..], &data[..]);
+        // Dropping pages and re-reading yields the same bytes.
+        m.advise_dontneed(0, m.len()).unwrap();
+        assert_eq!(&m[..], &data[..]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_file_maps_empty() {
+        let dir = std::env::temp_dir().join("memmap2-shim-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("empty.bin");
+        std::fs::File::create(&path).unwrap();
+        let f = File::open(&path).unwrap();
+        let m = unsafe { Mmap::map(&f) }.unwrap();
+        assert!(m.is_empty());
+        assert_eq!(&m[..], &[] as &[u8]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn unaligned_advise_rejected() {
+        let dir = std::env::temp_dir().join("memmap2-shim-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("a.bin");
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(&[1u8; 64])
+            .unwrap();
+        let f = File::open(&path).unwrap();
+        let m = unsafe { Mmap::map(&f) }.unwrap();
+        assert!(m.advise_dontneed(1, 10).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}
