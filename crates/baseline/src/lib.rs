@@ -19,6 +19,7 @@
 //!   types") that a specialized columnar scan avoids.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 #![warn(rust_2018_idioms)]
 
 pub mod gp;

@@ -11,6 +11,7 @@
 //! of all comparisons are preserved (DESIGN.md §1).
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 #![warn(rust_2018_idioms)]
 
 pub mod setup;

@@ -1221,9 +1221,10 @@ fn prefix_frame_avx2<T: PackedInt>(anchor: T, out: &mut [T]) {
 #[inline]
 fn prefix_frame<T: PackedInt>(anchor: T, out: &mut [T]) {
     #[cfg(all(feature = "simd", target_arch = "x86_64"))]
-    // Safety: the tier is only reported after runtime detection.
     match crate::simd::current_tier() {
         crate::simd::Tier::Avx2 | crate::simd::Tier::Avx512 => {
+            // SAFETY: both tiers are only reported after runtime detection
+            // confirmed at least avx2 — the one feature the callee enables.
             return unsafe { prefix_frame_avx2(anchor, out) };
         }
         crate::simd::Tier::Scalar => {}
@@ -1239,16 +1240,23 @@ fn unpack_span_w<T: PackedInt, const W: usize>(
     out: &mut [T],
 ) {
     #[cfg(all(feature = "simd", target_arch = "x86_64"))]
-    // Safety: the tier is only reported after runtime detection.
     match crate::simd::current_tier() {
         crate::simd::Tier::Avx512 => {
             if W <= 25 && crate::simd::vbmi_available() {
+                // SAFETY: guarded by `vbmi_available()` (runtime
+                // avx512vbmi detection) on top of the Avx512 tier, which
+                // itself implies avx512f/dq/vl/bw were detected.
                 return unsafe { vbmi::unpack_span_vbmi::<T, W>(words, base, start, out) };
             }
+            // SAFETY: `Tier::Avx512` is only reported after runtime
+            // detection confirmed avx512f/dq/vl/bw — the features the
+            // callee enables.
             return unsafe { unpack_span_avx512::<T, W>(words, base, start, out) };
         }
         crate::simd::Tier::Avx2 => {
-            return unsafe { unpack_span_avx2::<T, W>(words, base, start, out) }
+            // SAFETY: `Tier::Avx2` is only reported after runtime detection
+            // confirmed avx2, the one feature the callee enables.
+            return unsafe { unpack_span_avx2::<T, W>(words, base, start, out) };
         }
         crate::simd::Tier::Scalar => {}
     }

@@ -119,7 +119,35 @@
 //! fraction of rows a predicate keeps and the fraction of blocks it can
 //! skip — the two costs the fuse-vs-materialize decision weighs.
 
+//!
+//! ## Safety & invariants
+//!
+//! This is the only workspace crate (outside `vendor/`) that uses `unsafe`,
+//! and every use falls into one of three audited families:
+//!
+//! 1. **SIMD intrinsics** (`simd.rs`, `encoding.rs`): every `#[target_feature]`
+//!    kernel is called only behind a runtime `is_x86_feature_detected!` check,
+//!    and every vector path has a scalar fallback that must produce
+//!    byte-identical output (pinned by the forced-scalar equivalence tests
+//!    and the `simd-registry` lint rule).
+//! 2. **Out-of-core residency** (`residency.rs`): raw page-aligned buffers
+//!    and mmap-backed `ValueBuf`s. Exclusive write access during `populate`
+//!    is guaranteed by the block cache's residency protocol (a chunk is
+//!    written only while non-resident and only under the cache lock), and
+//!    mapped reads borrow an `Arc`-kept segment whose bounds and alignment
+//!    were validated at construction.
+//! 3. **`Pod` reinterpretation** (`residency.rs`): byte-slice casts are
+//!    restricted to the sealed `Pod` trait (`u32`/`i64`/`f64`/`u64`), whose
+//!    implementations have no padding and accept any bit pattern.
+//!
+//! Every `unsafe` site carries a `// SAFETY:` comment; `hillview-lint`
+//! (rule `safety-comment`) fails CI when one is missing, and
+//! `unsafe_op_in_unsafe_fn` is denied so `unsafe fn` bodies must scope
+//! their dereferences explicitly. All other workspace crates are
+//! `#![forbid(unsafe_code)]`.
+
 #![deny(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(rust_2018_idioms)]
 
 pub mod bitmap;

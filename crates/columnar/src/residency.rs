@@ -83,7 +83,12 @@ struct RawBuf {
     len: usize,
 }
 
+// SAFETY: RawBuf is a uniquely-owned heap allocation (no aliasing, no
+// thread affinity); sending it just moves ownership of the pointer.
 unsafe impl Send for RawBuf {}
+// SAFETY: shared access is read-only except through `&mut self` or the
+// chunk-residency protocol in `fault_pread`, whose writes are confined to
+// chunks that the state word proves no reader has been handed yet.
 unsafe impl Sync for RawBuf {}
 
 impl RawBuf {
@@ -98,6 +103,8 @@ impl RawBuf {
         // Zeroed allocation: large requests are served as untouched
         // (lazily-committed) pages, so allocating a file-sized buffer does
         // not commit file-sized physical memory.
+        // SAFETY: `layout` has non-zero size (len == 0 returned above) and
+        // a valid 64-byte alignment, as `Layout::from_size_align` checked.
         let ptr = unsafe { std::alloc::alloc_zeroed(layout) };
         if ptr.is_null() {
             std::alloc::handle_alloc_error(layout);
@@ -110,6 +117,9 @@ impl Drop for RawBuf {
     fn drop(&mut self) {
         if self.len > 0 {
             let layout = std::alloc::Layout::from_size_align(self.len, 64).expect("segment layout");
+            // SAFETY: `ptr` came from `alloc_zeroed` with this exact layout
+            // (len > 0 implies the non-dangling branch of `zeroed`), and
+            // Drop runs at most once.
             unsafe { std::alloc::dealloc(self.ptr, layout) };
         }
     }
@@ -153,6 +163,7 @@ impl Segment {
         let lazy = !matches!(backing, Backing::Heap(_));
         let nchunks = len.div_ceil(CHUNK_BYTES);
         let seg = Arc::new(Segment {
+            // lint: allow(relaxed, unique-ID allocator; only uniqueness matters, not ordering)
             id: cache.next_id.fetch_add(1, Ordering::Relaxed),
             len,
             backing,
@@ -178,6 +189,9 @@ impl Segment {
         #[cfg(all(feature = "ooc", unix))]
         if matches!(mode, SegmentMode::Auto | SegmentMode::Mmap) {
             // On failure fall through to the pread tier.
+            // SAFETY: segment files are immutable once written (the store
+            // never rewrites a sealed column file), which is the contract
+            // `Mmap::map` needs — no live mutation can race the mapping.
             if let Ok(map) = unsafe { memmap2::Mmap::map(&file) } {
                 return Ok(Backing::Mmap(map));
             }
@@ -200,6 +214,9 @@ impl Segment {
         let buf = RawBuf::zeroed(len);
         let mut read = 0usize;
         while read < len {
+            // SAFETY: `buf` is a fresh, uniquely-owned allocation of `len`
+            // bytes, so `ptr + read .. ptr + len` is in bounds and nothing
+            // else aliases it during this fill loop.
             let dst = unsafe { std::slice::from_raw_parts_mut(buf.ptr.add(read), len - read) };
             let n = file.read(dst)?;
             if n == 0 {
@@ -273,6 +290,7 @@ impl Segment {
         self.chunks
             .iter()
             .enumerate()
+            // lint: allow(relaxed, advisory gauge snapshot; racing touches can legitimately change it mid-sum)
             .filter(|(_, s)| s.load(Ordering::Relaxed) & 1 == 1)
             .map(|(c, _)| self.chunk_len(c))
             .sum()
@@ -290,16 +308,39 @@ impl Segment {
         let c1 = (end - 1) / CHUNK_BYTES;
         let mut all_resident = true;
         for c in c0..=c1 {
+            // Acquire: reading a resident bit must synchronize with the
+            // Release store that published it, so the pread tier's buffer
+            // writes in `populate` are visible before the caller
+            // dereferences the window.
             if self.chunks[c].load(Ordering::Acquire) & 1 == 0 {
                 all_resident = false;
                 break;
             }
         }
         if all_resident {
+            // lint: allow(relaxed, recency clock; ticks only order evictions and publish nothing)
             let tick = self.cache.tick.fetch_add(1, Ordering::Relaxed);
             for c in c0..=c1 {
-                self.chunks[c].store(tick << 1 | 1, Ordering::Relaxed);
+                // The recency bump must be an RMW, not a plain store: a
+                // store would terminate the release sequence headed by the
+                // populating thread's Release store, so a later reader
+                // acquiring this value would NOT synchronize with
+                // `populate`'s buffer writes. An RMW continues the
+                // sequence. AcqRel also makes the returned value reliable
+                // for the race check below.
+                let prev = self.chunks[c].swap(tick << 1 | 1, Ordering::AcqRel);
+                if prev & 1 == 0 {
+                    // Lost a race with the evictor between the scan above
+                    // and here: our swap resurrected a chunk whose pages
+                    // and accounting are gone. Put the evicted state back
+                    // and take the slow path, which repopulates and
+                    // re-accounts under the cache lock.
+                    self.chunks[c].store(0, Ordering::Release);
+                    self.cache.fault(self, c0, c1);
+                    return;
+                }
             }
+            // lint: allow(relaxed, monotonic diagnostics counter; no data is published through it)
             self.cache.hits.fetch_add(1, Ordering::Relaxed);
             return;
         }
@@ -317,6 +358,12 @@ impl Segment {
                 use std::os::unix::fs::FileExt;
                 let off = c * CHUNK_BYTES;
                 let n = self.chunk_len(c);
+                // SAFETY: `off + n <= buf.len` by `chunk_len`, and the
+                // residency protocol guarantees exclusive write access: the
+                // caller (`BlockCache::fault`, under the cache lock) only
+                // populates chunks whose resident bit is clear, so no
+                // reader has been handed a window over these bytes yet and
+                // no other populater can run concurrently.
                 let dst = unsafe { std::slice::from_raw_parts_mut(buf.ptr.add(off), n) };
                 file.read_exact_at(dst, off as u64).unwrap_or_else(|e| {
                     panic!(
@@ -367,6 +414,7 @@ impl Drop for Segment {
             .chunks
             .iter()
             .enumerate()
+            // lint: allow(relaxed, Drop has &mut self, so no touch can race this final sum)
             .filter(|(_, s)| s.load(Ordering::Relaxed) & 1 == 1)
             .map(|(c, _)| self.chunk_len(c))
             .sum();
@@ -468,6 +516,7 @@ impl BlockCache {
             resident_bytes: inner.resident as u64,
             faults: inner.faults,
             bytes_faulted: inner.bytes_faulted,
+            // lint: allow(relaxed, monotonic diagnostics counter; no data is published through it)
             hits: self.hits.load(Ordering::Relaxed),
             evictions: inner.evictions,
         }
@@ -477,13 +526,21 @@ impl BlockCache {
     /// evictable chunks until the gauge is back under budget.
     fn fault(&self, seg: &Segment, c0: usize, c1: usize) {
         let mut inner = self.inner.lock();
+        // lint: allow(relaxed, recency clock; ticks only order evictions and publish nothing)
         let tick = self.tick.fetch_add(1, Ordering::Relaxed);
         for c in c0..=c1 {
             if seg.chunks[c].load(Ordering::Acquire) & 1 == 1 {
+                // Sound even though this thread did not populate: the
+                // Acquire load above synchronized with the Release store
+                // that published the chunk, so this Release store
+                // transitively republishes the populated bytes along with
+                // the new tick.
                 seg.chunks[c].store(tick << 1 | 1, Ordering::Release);
                 continue;
             }
             seg.populate(c);
+            // Release: publishes `populate`'s buffer writes to any thread
+            // that later Acquire-loads this state word.
             seg.chunks[c].store(tick << 1 | 1, Ordering::Release);
             let bytes = seg.chunk_len(c);
             inner.resident += bytes;
@@ -508,6 +565,7 @@ impl BlockCache {
                     if sid == seg.id && (c0..=c1).contains(&c) {
                         continue;
                     }
+                    // lint: allow(relaxed, recency-tick read for victim selection under the cache lock; no payload is read through it)
                     let state = s.chunks[c].load(Ordering::Relaxed);
                     if state & 1 == 0 {
                         continue;
@@ -655,6 +713,12 @@ impl<T> ValueBuf<T> {
     fn raw_slice(&self) -> &[T] {
         match &self.repr {
             Repr::Owned(v) => v,
+            // SAFETY: `ValueBuf::mapped` validated that `off..off + len *
+            // size_of::<T>()` lies inside the segment and that `off` is
+            // element-aligned (segment bases are 64-byte aligned). `T: Pod`
+            // is sealed to plain-old-data lane types, every bit pattern of
+            // which is a valid value. The segment is kept alive by the
+            // `Arc` in `Mapped`, so the borrow cannot outlive the bytes.
             Repr::Mapped { seg, off, len } => unsafe {
                 std::slice::from_raw_parts(seg.base_ptr().add(*off) as *const T, *len)
             },

@@ -52,11 +52,13 @@ static FORCE_SCALAR: AtomicBool = AtomicBool::new(false);
 /// are present (benchmark pairs, equivalence tests). Results are
 /// bit-identical either way; this only selects the codegen.
 pub fn set_force_scalar(v: bool) {
+    // lint: allow(relaxed, standalone codegen-selection flag; both codegens produce identical bytes, so staleness only affects which one runs)
     FORCE_SCALAR.store(v, Ordering::Relaxed);
 }
 
 /// True when [`set_force_scalar`] pinned the scalar fallbacks.
 pub fn force_scalar() -> bool {
+    // lint: allow(relaxed, standalone codegen-selection flag; both codegens produce identical bytes, so staleness only affects which one runs)
     FORCE_SCALAR.load(Ordering::Relaxed)
 }
 
@@ -147,9 +149,14 @@ macro_rules! tier_dispatch {
         #[inline]
         pub fn $entry $(<$($g: $b),*>)? ($($arg: $ty),*) $(-> $ret)? {
             #[cfg(all(feature = "simd", target_arch = "x86_64"))]
-            // Safety: the tier is only reported after runtime detection.
             match current_tier() {
+                // SAFETY: `Tier::Avx512` is only reported after
+                // `is_x86_feature_detected!` confirmed avx512f/dq/vl/bw at
+                // runtime — exactly the features the wrapper enables.
                 Tier::Avx512 => return unsafe { $avx512($($arg),*) },
+                // SAFETY: `Tier::Avx2` is only reported after runtime
+                // detection confirmed avx2, the one feature the wrapper
+                // enables.
                 Tier::Avx2 => return unsafe { $avx2($($arg),*) },
                 Tier::Scalar => {}
             }

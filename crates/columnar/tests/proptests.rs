@@ -466,6 +466,57 @@ proptest! {
         prop_assert_eq!(fast.3, slow.3, "bit-unpack");
     }
 
+    /// The predicate word primitives (`range_word_incl`, `range_word_half`,
+    /// `eq_word`, `probe_word`) produce bit-identical selection words under
+    /// forced-scalar and vector dispatch, including NaN lanes and
+    /// out-of-bitmap dictionary codes.
+    #[cfg(feature = "simd")]
+    #[test]
+    fn predicate_word_primitives_match_scalar_fallbacks(
+        fraw in proptest::collection::vec(
+            proptest::option::weighted(0.85, -1.0e6f64..1.0e6),
+            1..65,
+        ),
+        ivals in proptest::collection::vec(any::<i64>(), 1..65),
+        cvals in proptest::collection::vec(0u32..200, 1..65),
+        codes in proptest::collection::vec(0u32..160, 1..65),
+        bits in proptest::collection::vec(any::<u64>(), 2..3),
+        flo in -1.0e5f64..1.0e5,
+        fspan in 0.0f64..1.0e5,
+        ilo in any::<i64>(),
+        ispan in 0i64..1_000_000,
+        traw in proptest::option::weighted(0.8, -1.0e6f64..1.0e6),
+    ) {
+        use hillview_columnar::simd::{
+            eq_word, probe_word, range_word_half, range_word_incl, set_force_scalar,
+        };
+        // The vendored proptest has no weighted one-of; model "mostly finite,
+        // sometimes NaN" lanes with a weighted Option instead.
+        let fvals: Vec<f64> = fraw.iter().map(|v| v.unwrap_or(f64::NAN)).collect();
+        let target = traw.unwrap_or(f64::NAN);
+        let run = |scalar: bool| {
+            set_force_scalar(scalar);
+            let out = (
+                range_word_incl(&ivals, ilo, ilo.saturating_add(ispan)),
+                range_word_incl(&cvals, 20u32, 150u32),
+                range_word_incl(&fvals, flo, flo + fspan),
+                range_word_half(&fvals, flo, flo + fspan),
+                eq_word(&fvals, target),
+                probe_word(&codes, &bits),
+            );
+            set_force_scalar(false);
+            out
+        };
+        let fast = run(false);
+        let slow = run(true);
+        prop_assert_eq!(fast.0, slow.0, "range_word_incl i64");
+        prop_assert_eq!(fast.1, slow.1, "range_word_incl u32");
+        prop_assert_eq!(fast.2, slow.2, "range_word_incl f64");
+        prop_assert_eq!(fast.3, slow.3, "range_word_half");
+        prop_assert_eq!(fast.4, slow.4, "eq_word");
+        prop_assert_eq!(fast.5, slow.5, "probe_word");
+    }
+
     /// Value ordering is transitive on random triples (sort consistency).
     #[test]
     fn value_total_order(

@@ -183,16 +183,19 @@ impl SketchCache {
 
     /// Look up `key`, becoming the computing leader on a miss.
     pub fn lookup(&self, key: CacheKey) -> Lookup<'_> {
-        let mut inner = self.inner.lock();
-        if let Some(entry) = inner.map.get(&key) {
-            let (old, value) = (entry.tick, entry.value.clone());
+        let mut guard = self.inner.lock();
+        // Reborrow through the guard once so the borrows of `map`, `order`,
+        // and the counters split per-field (a second `map` lookup would
+        // otherwise be needed just to satisfy the borrow checker).
+        let inner = &mut *guard;
+        if let Some(entry) = inner.map.get_mut(&key) {
             inner.tick += 1;
             let tick = inner.tick;
-            inner.order.remove(&old);
+            inner.order.remove(&entry.tick);
             inner.order.insert(tick, key);
-            inner.map.get_mut(&key).expect("present").tick = tick;
+            entry.tick = tick;
             inner.hits += 1;
-            return Lookup::Hit(value);
+            return Lookup::Hit(entry.value.clone());
         }
         if inner.inflight.contains(&key) {
             return Lookup::InFlight;
@@ -247,12 +250,19 @@ impl SketchCache {
         inner.bytes += cost;
         inner.insertions += 1;
         while inner.bytes > self.budget {
-            let (&oldest, &victim) = inner.order.iter().next().expect("bytes>0 implies entries");
+            // `bytes > 0` implies the order index is non-empty; if the two
+            // ever disagree, stop evicting instead of spinning or panicking
+            // mid-query — the cache degrades to over-budget, nothing worse.
+            let Some((&oldest, &victim)) = inner.order.iter().next() else {
+                break;
+            };
             if victim == key {
                 break; // never evict the entry just inserted
             }
             inner.order.remove(&oldest);
-            let e = inner.map.remove(&victim).expect("order and map in sync");
+            let Some(e) = inner.map.remove(&victim) else {
+                break; // order/map out of sync: same degrade-don't-panic stance
+            };
             inner.bytes -= e.value.len() + ENTRY_OVERHEAD;
             inner.evictions += 1;
         }
@@ -269,9 +279,13 @@ impl SketchCache {
             .copied()
             .collect();
         for key in victims {
-            let e = inner.map.remove(&key).expect("collected from map");
-            inner.order.remove(&e.tick);
-            inner.bytes -= e.value.len() + ENTRY_OVERHEAD;
+            // Keys were collected from `map` under this same lock, so the
+            // removal cannot miss; guard anyway so a future refactor that
+            // drops the lock between collect and remove degrades gracefully.
+            if let Some(e) = inner.map.remove(&key) {
+                inner.order.remove(&e.tick);
+                inner.bytes -= e.value.len() + ENTRY_OVERHEAD;
+            }
         }
     }
 

@@ -54,6 +54,10 @@ pub enum EngineError {
         /// The last error observed.
         last: Box<EngineError>,
     },
+    /// An engine invariant was violated (a "can't happen" state reached
+    /// without panicking). Carries a description for the operator; never
+    /// retryable, because the same broken state would be observed again.
+    Internal(String),
 }
 
 impl fmt::Display for EngineError {
@@ -78,6 +82,7 @@ impl fmt::Display for EngineError {
             EngineError::RetriesExhausted { attempts, last } => {
                 write!(f, "gave up after {attempts} attempts; last error: {last}")
             }
+            EngineError::Internal(m) => write!(f, "internal engine invariant violated: {m}"),
         }
     }
 }
@@ -87,14 +92,32 @@ impl EngineError {
     /// transient worker/infrastructure faults, as opposed to deterministic
     /// query errors (bad column, cancelled, unknown dataset) that would
     /// fail identically on every attempt.
+    ///
+    /// Deliberately an exhaustive match with no wildcard arm, enforced by
+    /// `hillview-lint` (`error-classified`): adding a variant without
+    /// deciding its retry class is a compile error, not a silent default.
     pub fn is_retryable(&self) -> bool {
-        matches!(
-            self,
-            EngineError::DatasetMissing { .. }
-                | EngineError::WorkerDown(_)
-                | EngineError::LeafPanicked { .. }
-                | EngineError::Wire(_)
-        )
+        match self {
+            // Transient: soft state can be replayed, workers restart, and
+            // corrupt frames / isolated task panics do not repeat
+            // deterministically.
+            EngineError::DatasetMissing { .. } => true,
+            EngineError::WorkerDown(_) => true,
+            EngineError::LeafPanicked { .. } => true,
+            EngineError::Wire(_) => true,
+            // Deterministic: the same query would fail the same way.
+            EngineError::Sketch(_) => false,
+            EngineError::Cancelled => false,
+            EngineError::Source(_) => false,
+            EngineError::UnknownDataset(_) => false,
+            EngineError::Unregistered(_) => false,
+            // Budget errors: retrying a deadline or an exhausted retry loop
+            // inside another retry loop would multiply the budget.
+            EngineError::DeadlineExceeded { .. } => false,
+            EngineError::RetriesExhausted { .. } => false,
+            // Broken invariants reproduce until the process is replaced.
+            EngineError::Internal(_) => false,
+        }
     }
 }
 
@@ -162,5 +185,6 @@ mod tests {
             elapsed: Duration::from_secs(1)
         }
         .is_retryable());
+        assert!(!EngineError::Internal("channel sender dropped".into()).is_retryable());
     }
 }

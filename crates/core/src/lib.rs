@@ -134,6 +134,7 @@
 //! [`Cluster::cache_stats`].
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 #![warn(rust_2018_idioms)]
 
 pub mod cache;

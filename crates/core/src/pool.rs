@@ -33,9 +33,10 @@
 //! (see `cluster::aggregate_worker`).
 
 use crossbeam::deque::{Injector, Stealer, Worker as Deque};
+use parking_lot::{Condvar, Mutex};
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 type Task = Box<dyn FnOnce() + Send + 'static>;
@@ -69,7 +70,7 @@ impl Shared {
     /// sleep lock before parking, so with the count incremented before the
     /// push a submission can never slip past a parking thread.
     fn notify_one(&self) {
-        let _guard = self.sleep.lock().unwrap();
+        let _guard = self.sleep.lock();
         self.wake.notify_one();
     }
 
@@ -129,6 +130,9 @@ impl ThreadPool {
                         worker_loop(&shared, i);
                         CURRENT.with(|c| *c.borrow_mut() = None);
                     })
+                    // Thread spawning fails only on OS resource exhaustion
+                    // at pool construction; there is no query to fail yet.
+                    // lint: allow(panic, startup-time OS resource exhaustion has no caller to report to)
                     .expect("spawn pool thread")
             })
             .collect();
@@ -148,7 +152,9 @@ impl ThreadPool {
         CURRENT.with(|c| {
             if let Some((id, deque)) = c.borrow().as_ref() {
                 if *id == my_id {
-                    deque.push(task.take().expect("task not yet pushed"));
+                    if let Some(t) = task.take() {
+                        deque.push(t);
+                    }
                 }
             }
         });
@@ -193,9 +199,9 @@ fn worker_loop(shared: &Shared, me: usize) {
         }
         // Park until new work arrives; re-check under the lock so a
         // submission between `find_task` and here is never missed.
-        let guard = shared.sleep.lock().unwrap();
+        let mut guard = shared.sleep.lock();
         if shared.queued.load(Ordering::SeqCst) == 0 && !shared.shutdown.load(Ordering::SeqCst) {
-            let _unused = shared.wake.wait(guard).unwrap();
+            shared.wake.wait(&mut guard);
         }
     }
 }
@@ -204,7 +210,7 @@ impl Drop for ThreadPool {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         {
-            let _guard = self.shared.sleep.lock().unwrap();
+            let _guard = self.shared.sleep.lock();
             self.shared.wake.notify_all();
         }
         // The pool can be dropped *from one of its own threads*: a leaf

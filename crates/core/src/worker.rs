@@ -192,11 +192,13 @@ impl Worker {
     /// Leaf sub-tasks executed so far (diagnostics; exceeds the partition
     /// count of a query exactly when intra-partition splitting happened).
     pub fn leaf_tasks_executed(&self) -> u64 {
+        // lint: allow(relaxed, monotonic diagnostics counter; no data is published through it)
         self.leaf_tasks.load(Ordering::Relaxed)
     }
 
     /// Record one executed leaf sub-task.
     pub(crate) fn note_leaf_task(&self) {
+        // lint: allow(relaxed, monotonic diagnostics counter; no data is published through it)
         self.leaf_tasks.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -307,12 +309,14 @@ impl Worker {
 
     /// Rows loaded from sources so far.
     pub fn rows_loaded(&self) -> u64 {
+        // lint: allow(relaxed, monotonic diagnostics counter; no data is published through it)
         self.rows_loaded.load(Ordering::Relaxed)
     }
 
     /// Encoded bytes of datasets loaded from sources so far (the in-memory
     /// footprint counterpart of [`Worker::rows_loaded`]).
     pub fn bytes_loaded(&self) -> u64 {
+        // lint: allow(relaxed, monotonic diagnostics counter; no data is published through it)
         self.bytes_loaded.load(Ordering::Relaxed)
     }
 
@@ -369,7 +373,9 @@ impl Worker {
         }
         let rows: usize = views.iter().map(|v| v.len()).sum();
         let bytes: usize = views.iter().map(|v| v.table().heap_bytes()).sum();
+        // lint: allow(relaxed, monotonic diagnostics counters; the dataset itself is published via the mutex below)
         self.rows_loaded.fetch_add(rows as u64, Ordering::Relaxed);
+        // lint: allow(relaxed, monotonic diagnostics counters; the dataset itself is published via the mutex below)
         self.bytes_loaded.fetch_add(bytes as u64, Ordering::Relaxed);
         self.datasets.lock().insert(
             id,
@@ -428,7 +434,15 @@ impl Worker {
             let (i, r) = rx.recv().map_err(|_| EngineError::WorkerDown(self.id))?;
             out[i] = Some(r?);
         }
-        let views: Vec<TableView> = out.into_iter().map(|v| v.expect("all filled")).collect();
+        let views: Vec<TableView> = out
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| {
+                v.ok_or_else(|| {
+                    EngineError::Internal(format!("filter produced no result for partition {i}"))
+                })
+            })
+            .collect::<EngineResult<_>>()?;
         self.datasets.lock().insert(
             id,
             DatasetEntry {
@@ -487,7 +501,15 @@ impl Worker {
             let (i, r) = rx.recv().map_err(|_| EngineError::WorkerDown(self.id))?;
             out[i] = Some(r?);
         }
-        let views: Vec<TableView> = out.into_iter().map(|v| v.expect("all filled")).collect();
+        let views: Vec<TableView> = out
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| {
+                v.ok_or_else(|| {
+                    EngineError::Internal(format!("map produced no result for partition {i}"))
+                })
+            })
+            .collect::<EngineResult<_>>()?;
         self.datasets.lock().insert(
             id,
             DatasetEntry {

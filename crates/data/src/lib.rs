@@ -15,6 +15,7 @@
 //! (the paper's §3.1 motivation: servers logging hundreds of columns).
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 #![warn(rust_2018_idioms)]
 
 pub mod dist;

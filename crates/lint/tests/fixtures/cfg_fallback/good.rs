@@ -1,0 +1,15 @@
+// Fixture: every positive feature gate has a `not(...)` twin in the same
+// crate; a `cfg!` runtime check also counts (both branches compile).
+#[cfg(feature = "simd")]
+pub fn vectorized() -> u64 {
+    42
+}
+
+#[cfg(not(feature = "simd"))]
+pub fn vectorized() -> u64 {
+    42
+}
+
+pub fn runtime_gated() -> bool {
+    cfg!(feature = "ooc")
+}

@@ -1,0 +1,7 @@
+// Fixture (virtual path crates/columnar/src/simd.rs): a tier_dispatch!
+// entry whose scalar body is undefined and which no forced-scalar suite
+// references must fire twice.
+tier_dispatch! {
+    missing_scalar => avx2;
+    pub fn orphan_entry(x: &[u32]) -> u64;
+}

@@ -1,0 +1,10 @@
+// Fixture: scalar body defined in-file, entry referenced by a suite that
+// calls set_force_scalar (supplied alongside in the test workspace).
+fn covered_scalar(x: &[u32]) -> u64 {
+    x.iter().map(|&v| u64::from(v)).sum()
+}
+
+tier_dispatch! {
+    covered_scalar => avx2;
+    pub fn covered_entry(x: &[u32]) -> u64;
+}

@@ -1,0 +1,7 @@
+// Fixture (virtual path crates/sketch/src/…): a Sketch impl absent from
+// all three equivalence suites must fire three times.
+pub struct UncoveredSketch;
+
+impl Sketch for UncoveredSketch {
+    type Summary = ();
+}

@@ -1,0 +1,8 @@
+// Fixture: the impl's type is named in fused_equivalence,
+// scan_equivalence, and merge_laws (supplied alongside in the test
+// workspace), so no finding.
+pub struct CoveredSketch;
+
+impl Sketch for CoveredSketch {
+    type Summary = ();
+}

@@ -17,6 +17,7 @@
 //! * [`metrics`] — shared atomic counters for bytes/messages per endpoint.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 #![warn(rust_2018_idioms)]
 
 pub mod error;

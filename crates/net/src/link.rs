@@ -101,6 +101,7 @@ impl std::fmt::Debug for LinkSender {
             f,
             "LinkSender(faults={}, frames={})",
             self.faults.is_some(),
+            // lint: allow(relaxed, Debug-format snapshot of a diagnostics counter)
             self.frame_seq.load(Ordering::Relaxed)
         )
     }

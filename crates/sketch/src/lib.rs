@@ -31,6 +31,7 @@
 //! tolerance depends on that (paper §5.8).
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 #![warn(rust_2018_idioms)]
 
 mod bind;

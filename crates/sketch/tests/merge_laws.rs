@@ -6,20 +6,31 @@
 //! data and random partition splits.
 
 use hillview_columnar::column::{Column, DictColumn, F64Column};
-use hillview_columnar::{ColumnKind, MembershipSet, SortOrder, Table};
+use hillview_columnar::{ColumnKind, MembershipSet, SortOrder, StrMatchKind, Table};
+use hillview_sketch::bottomk::BottomKSketch;
 use hillview_sketch::buckets::BucketSpec;
 use hillview_sketch::count::CountSketch;
 use hillview_sketch::distinct::DistinctSketch;
+use hillview_sketch::find::FindSketch;
 use hillview_sketch::heatmap::HeatmapSketch;
-use hillview_sketch::heavy::MisraGriesSketch;
+use hillview_sketch::heavy::{MisraGriesSketch, SampledHeavyHittersSketch};
 use hillview_sketch::histogram::HistogramSketch;
+use hillview_sketch::moments::MomentsSketch;
 use hillview_sketch::nextk::NextKSketch;
+use hillview_sketch::pca::PcaSketch;
+use hillview_sketch::quantile::QuantileSketch;
 use hillview_sketch::range::RangeSketch;
 use hillview_sketch::stacked::StackedHistogramSketch;
 use hillview_sketch::traits::{Sketch, Summary};
 use hillview_sketch::TableView;
 use proptest::prelude::*;
 use std::sync::Arc;
+
+/// Relative-tolerance comparison for merged f64 accumulators: partitioning
+/// regroups the additions, so sums agree to rounding, not bit-for-bit.
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
+}
 
 /// Random table: numeric column X in [0, 100) with nulls, category column C.
 fn table_strategy() -> impl Strategy<Value = Table> {
@@ -169,6 +180,121 @@ proptest! {
     fn nextk_merge_laws(t in table_strategy(), c1 in 0usize..200, c2 in 0usize..200) {
         let sk = NextKSketch::first_page(SortOrder::ascending(&["C", "X"]), 7);
         check_exact_sketch(&sk, Arc::new(t), c1, c2)?;
+    }
+
+    #[test]
+    fn bottomk_merge_laws(t in table_strategy(), c1 in 0usize..200, c2 in 0usize..200) {
+        check_exact_sketch(&BottomKSketch::new("C", 8), Arc::new(t), c1, c2)?;
+    }
+
+    #[test]
+    fn find_merge_laws(t in table_strategy(), c1 in 0usize..200, c2 in 0usize..200) {
+        let sk = FindSketch::new(
+            "C",
+            "a",
+            StrMatchKind::Substring,
+            SortOrder::ascending(&["C", "X"]),
+        );
+        check_exact_sketch(&sk, Arc::new(t), c1, c2)?;
+    }
+
+    /// At rate 1.0 the sampled heavy-hitters sketch counts every row exactly
+    /// and keeps all distinct values; both `summarize` and `merge` finish
+    /// with the same (count desc, value asc) sort, so the summary is
+    /// partition-invariant and the full exact battery applies.
+    #[test]
+    fn sampled_heavy_hitters_merge_laws(
+        t in table_strategy(),
+        c1 in 0usize..200,
+        c2 in 0usize..200,
+    ) {
+        check_exact_sketch(&SampledHeavyHittersSketch::new("C", 4, 1.0), Arc::new(t), c1, c2)?;
+    }
+
+    /// Moments power sums are f64 additions regrouped by the partitioning:
+    /// counts and extrema merge exactly, the sums to rounding. Commutativity
+    /// and the identity unit stay bitwise (IEEE `a+b == b+a`, and the power
+    /// sums of X ∈ [0, 100) are non-negative so `x + 0.0 == x`).
+    #[test]
+    fn moments_merge_laws(t in table_strategy(), c1 in 0usize..200, c2 in 0usize..200) {
+        let table = Arc::new(t);
+        let sk = MomentsSketch::new("X", 4);
+        let whole = TableView::full(table.clone());
+        let parts = three_way_split(table, c1, c2);
+        let direct = sk.summarize(&whole, 7).unwrap();
+        let s: Vec<_> = parts.iter().map(|p| sk.summarize(p, 7).unwrap()).collect();
+        let merged = s[0].merge(&s[1]).merge(&s[2]);
+        prop_assert_eq!(merged.present, direct.present);
+        prop_assert_eq!(merged.missing, direct.missing);
+        prop_assert_eq!(merged.min, direct.min);
+        prop_assert_eq!(merged.max, direct.max);
+        for (m, d) in merged.sums.iter().zip(&direct.sums) {
+            prop_assert!(close(*m, *d), "power sum {} vs {}", m, d);
+        }
+        let a_bc = s[0].merge(&s[1].merge(&s[2]));
+        prop_assert_eq!(a_bc.present, merged.present);
+        for (g, m) in a_bc.sums.iter().zip(&merged.sums) {
+            prop_assert!(close(*g, *m), "regrouped power sum {} vs {}", g, m);
+        }
+        prop_assert_eq!(s[1].merge(&s[0]), s[0].merge(&s[1]), "commutative");
+        prop_assert_eq!(direct.merge(&sk.identity()), direct, "identity is unit");
+    }
+
+    /// Complete-case PCA accumulators behave like the moments sums: exact
+    /// counts, rounding-level Σx / Σxᵢxⱼ under regrouped partition merges.
+    #[test]
+    fn pca_merge_laws(t in table_strategy(), c1 in 0usize..200, c2 in 0usize..200) {
+        let table = Arc::new(t);
+        let sk = PcaSketch::new(&["X"], 1.0);
+        let whole = TableView::full(table.clone());
+        let parts = three_way_split(table, c1, c2);
+        let direct = sk.summarize(&whole, 7).unwrap();
+        let s: Vec<_> = parts.iter().map(|p| sk.summarize(p, 7).unwrap()).collect();
+        let merged = s[0].merge(&s[1]).merge(&s[2]);
+        prop_assert_eq!(merged.m, direct.m);
+        prop_assert_eq!(merged.count, direct.count);
+        for (m, d) in merged.sums.iter().zip(&direct.sums) {
+            prop_assert!(close(*m, *d), "column sum {} vs {}", m, d);
+        }
+        for (m, d) in merged.prods.iter().zip(&direct.prods) {
+            prop_assert!(close(*m, *d), "co-moment {} vs {}", m, d);
+        }
+        prop_assert_eq!(s[1].merge(&s[0]), s[0].merge(&s[1]), "commutative");
+        prop_assert_eq!(direct.merge(&sk.identity()), direct, "identity is unit");
+    }
+
+    /// At rate 1.0 with the cap above any generated table, the quantile
+    /// sample is the whole population and merging only concatenates — so the
+    /// merged key *multiset* must equal the direct one under any partition
+    /// split, grouping, or operand order, even though the raw key order is
+    /// concatenation-dependent.
+    #[test]
+    fn quantile_merge_laws(t in table_strategy(), c1 in 0usize..200, c2 in 0usize..200) {
+        let table = Arc::new(t);
+        let sk = QuantileSketch::new(SortOrder::ascending(&["C", "X"]), 1.0, 100_000);
+        let whole = TableView::full(table.clone());
+        let parts = three_way_split(table, c1, c2);
+        let direct = sk.summarize(&whole, 7).unwrap();
+        let s: Vec<_> = parts.iter().map(|p| sk.summarize(p, 7).unwrap()).collect();
+        let sorted_keys = |sm: &hillview_sketch::quantile::QuantileSummary| {
+            let mut keys = sm.keys.clone();
+            keys.sort();
+            keys
+        };
+        let merged = s[0].merge(&s[1]).merge(&s[2]);
+        prop_assert_eq!(merged.population, direct.population);
+        prop_assert_eq!(merged.cap, direct.cap);
+        prop_assert_eq!(sorted_keys(&merged), sorted_keys(&direct), "key multiset");
+        let a_bc = s[0].merge(&s[1].merge(&s[2]));
+        prop_assert_eq!(a_bc.population, merged.population);
+        prop_assert_eq!(sorted_keys(&a_bc), sorted_keys(&merged), "associative up to order");
+        let ba = s[1].merge(&s[0]);
+        let ab = s[0].merge(&s[1]);
+        prop_assert_eq!(ba.population, ab.population);
+        prop_assert_eq!(sorted_keys(&ba), sorted_keys(&ab), "commutative up to order");
+        let with_id = direct.merge(&sk.identity());
+        prop_assert_eq!(with_id.population, direct.population);
+        prop_assert_eq!(sorted_keys(&with_id), sorted_keys(&direct), "identity is unit");
     }
 
     /// Misra-Gries is not exactly partition-invariant (the summary depends on

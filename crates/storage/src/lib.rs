@@ -46,6 +46,7 @@
 //! header carries the schema, row count, and per-block zone maps.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 #![warn(rust_2018_idioms)]
 
 pub mod csv;

@@ -26,6 +26,7 @@
 //!   Fig. 3/13).
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 #![warn(rust_2018_idioms)]
 
 pub mod accuracy;

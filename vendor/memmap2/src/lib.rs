@@ -24,6 +24,8 @@ pub fn page_size() -> usize {
     *PAGE.get_or_init(|| {
         #[cfg(unix)]
         {
+            // SAFETY: `sysconf` is a pure query with no pointer arguments
+            // or global side effects; any `name` value is safe to pass.
             let sz = unsafe { sys::sysconf(sys::SC_PAGESIZE) };
             if sz > 0 {
                 return sz as usize;
@@ -68,9 +70,12 @@ pub struct Mmap {
     len: usize,
 }
 
-// The mapping is read-only and file lifetime is not borrowed (the kernel
-// keeps the file alive via the mapping), so sharing across threads is safe.
+// SAFETY: the mapping is read-only (PROT_READ) and the file's lifetime is
+// not borrowed — the kernel keeps the backing alive via the mapping itself —
+// so ownership can move between threads freely.
 unsafe impl Send for Mmap {}
+// SAFETY: all access through `&Mmap` is read-only; concurrent readers of an
+// immutable mapping cannot race.
 unsafe impl Sync for Mmap {}
 
 impl Mmap {
@@ -149,6 +154,10 @@ impl Mmap {
         let len = len.min(self.len - offset);
         #[cfg(unix)]
         {
+            // SAFETY: `offset < self.len` and `len` clipped above keep the
+            // range inside this mapping; MADV_DONTNEED on a file-backed
+            // private read-only map only drops clean physical pages — the
+            // virtual range stays valid and refaults from the file.
             let rc = unsafe {
                 sys::madvise(
                     self.ptr.add(offset) as *mut std::ffi::c_void,
@@ -175,6 +184,10 @@ impl Deref for Mmap {
     type Target = [u8];
     #[inline]
     fn deref(&self) -> &[u8] {
+        // SAFETY: `ptr` is either a live `len`-byte mapping owned by self
+        // (unmapped only in Drop) or dangling with `len == 0`, which
+        // `from_raw_parts` permits. Immutability of the bytes is the
+        // caller contract documented on `Mmap::map`.
         unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
     }
 }
@@ -183,6 +196,8 @@ impl Drop for Mmap {
     fn drop(&mut self) {
         #[cfg(unix)]
         if self.len > 0 {
+            // SAFETY: `len > 0` implies `ptr` came from a successful `mmap`
+            // of exactly `len` bytes, and Drop runs at most once.
             unsafe {
                 sys::munmap(self.ptr as *mut std::ffi::c_void, self.len);
             }
@@ -212,6 +227,8 @@ mod tests {
             .write_all(&data)
             .unwrap();
         let f = File::open(&path).unwrap();
+        // SAFETY: the file was fully written and closed above; nothing
+        // mutates it while the map lives.
         let m = unsafe { Mmap::map(&f) }.unwrap();
         assert_eq!(&m[..], &data[..]);
         // Dropping pages and re-reading yields the same bytes.
@@ -227,6 +244,8 @@ mod tests {
         let path = dir.join("empty.bin");
         std::fs::File::create(&path).unwrap();
         let f = File::open(&path).unwrap();
+        // SAFETY: empty file created above; nothing mutates it while the
+        // map lives.
         let m = unsafe { Mmap::map(&f) }.unwrap();
         assert!(m.is_empty());
         assert_eq!(&m[..], &[] as &[u8]);
@@ -243,6 +262,8 @@ mod tests {
             .write_all(&[1u8; 64])
             .unwrap();
         let f = File::open(&path).unwrap();
+        // SAFETY: the file was fully written and closed above; nothing
+        // mutates it while the map lives.
         let m = unsafe { Mmap::map(&f) }.unwrap();
         assert!(m.advise_dontneed(1, 10).is_err());
         std::fs::remove_file(&path).unwrap();

@@ -82,6 +82,28 @@ impl Condvar {
         self.inner.notify_all();
     }
 
+    /// Park on the condvar until notified, releasing `guard`'s lock while
+    /// parked and re-acquiring it before returning. Like every condvar,
+    /// spurious wakeups are possible — callers loop on their predicate.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        // std's `wait` consumes the guard and returns a fresh one;
+        // parking_lot's signature updates it in place.
+        // SAFETY: `ptr::read` duplicates the guard, but exactly one of the
+        // two copies is live at any point: `moved` is consumed by `wait`,
+        // and the guard it returns (possibly via the poison branch) is
+        // written back over `*guard` before returning. `wait` itself does
+        // not unwind (lock re-acquisition aborts on failure), so no path
+        // leaves `*guard` logically dropped while the caller still owns it.
+        unsafe {
+            let moved = std::ptr::read(guard);
+            let restored = match self.inner.wait(moved) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            std::ptr::write(guard, restored);
+        }
+    }
+
     /// Park on the condvar for at most `timeout`, releasing `guard`'s lock
     /// while parked and re-acquiring it before returning.
     pub fn wait_for<T>(
@@ -90,10 +112,11 @@ impl Condvar {
         timeout: Duration,
     ) -> WaitTimeoutResult {
         // std's `wait_timeout` consumes the guard and returns a fresh one;
-        // parking_lot's signature updates it in place. Move the guard out
-        // and write the returned one back: every non-panicking path below
-        // restores it exactly once, and poisoning (the only error) is
-        // unwrapped into the carried guard.
+        // parking_lot's signature updates it in place.
+        // SAFETY: same single-ownership dance as `wait` above — `moved` is
+        // consumed by `wait_timeout`, the returned guard (or the one
+        // recovered from the poison error) is written back exactly once,
+        // and no intervening code can unwind between the read and write.
         unsafe {
             let moved = std::ptr::read(guard);
             let (restored, timed_out) = match self.inner.wait_timeout(moved, timeout) {
@@ -136,6 +159,24 @@ mod tests {
         let mut g = m.lock();
         let r = cv.wait_for(&mut g, Duration::from_millis(5));
         assert!(r.timed_out());
+    }
+
+    #[test]
+    fn condvar_untimed_wait_wakes_on_notify() {
+        use std::sync::Arc;
+        let m = Arc::new(Mutex::new(false));
+        let cv = Arc::new(Condvar::new());
+        let (m2, cv2) = (m.clone(), cv.clone());
+        let h = std::thread::spawn(move || {
+            let mut g = m2.lock();
+            while !*g {
+                cv2.wait(&mut g);
+            }
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        *m.lock() = true;
+        cv.notify_all();
+        h.join().unwrap();
     }
 
     #[test]
